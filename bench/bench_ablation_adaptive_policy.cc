@@ -1,0 +1,52 @@
+// Ablation: cost-model-driven adaptive shred policy (the paper's §8 future
+// work) vs the fixed policies across the selectivity sweep of Figure 5.
+// Adaptive should track the lower envelope of Full and Shreds: shreds at low
+// selectivity, full columns once the crossover is passed.
+
+#include "bench/bench_common.h"
+
+namespace raw::bench {
+namespace {
+
+void Run() {
+  Dataset dataset = CheckOk(Dataset::Open(), "dataset");
+  std::vector<double> sels = Selectivities();
+  PrintTitle("Ablation — adaptive shred policy vs fixed (CSV 2nd query)");
+  printf("rows=%lld  query: %s\n", static_cast<long long>(dataset.d30_rows()),
+         Q2(&dataset, 0.5).c_str());
+  PrintSeriesHeader("policy", sels);
+
+  struct Row {
+    std::string name;
+    ShredPolicy policy;
+  } systems[] = {
+      {"FullColumns", ShredPolicy::kFullColumns},
+      {"Shreds", ShredPolicy::kShreds},
+      {"Adaptive", ShredPolicy::kAdaptive},
+  };
+  for (const Row& system : systems) {
+    std::vector<double> row;
+    for (double sel : sels) {
+      auto engine = D30CsvEngine(&dataset, /*stride=*/10);
+      PlannerOptions options;
+      options.access_path = engine->jit_cache()->compiler_available()
+                                ? AccessPathKind::kJit
+                                : AccessPathKind::kInSitu;
+      options.shred_policy = system.policy;
+      TimedQuery(engine.get(), Q1(&dataset, sel), options);
+      row.push_back(TimedQuery(engine.get(), Q2(&dataset, sel), options));
+    }
+    PrintSeriesRow(system.name, row);
+  }
+  printf("\nExpect: Adaptive hugs min(FullColumns, Shreds) on both sides of\n"
+         "the crossover — the cost model picks the right placement from the\n"
+         "cache-estimated selectivity.\n");
+}
+
+}  // namespace
+}  // namespace raw::bench
+
+int main() {
+  raw::bench::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 3: the "Find the Higgs Boson" use case (§6).
+// Hand-written C++ (object-at-a-time over REF events, format buffer pool)
+// vs RAW (columnar, selective branch reads, column-shred caching), cold and
+// warm. The good-runs CSV is joined with the REF event data in both systems.
+// Paper result: cold runs comparable (I/O bound; RAW slightly faster);
+// warm RAW ~2 orders of magnitude faster than warm hand-written C++.
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "workload/higgs.h"
+
+namespace raw::bench {
+namespace {
+
+void Run() {
+  Dataset dataset = CheckOk(Dataset::Open(), "dataset");
+  PrintTitle("Table 3 — Higgs analysis: hand-written C++ vs RAW");
+  std::vector<std::string> files =
+      CheckOk(dataset.HiggsRefFiles(), "ref files");
+  std::string runs = CheckOk(dataset.GoodRunsCsv(), "good runs");
+  printf("files=%d, events/file=%lld\n", dataset.higgs_files(),
+         static_cast<long long>(dataset.higgs_events()));
+
+  HiggsCuts cuts;
+  HandwrittenHiggsAnalysis handwritten(files, runs, cuts);
+  RawHiggsAnalysis raw_analysis(files, runs, cuts);
+
+  Stopwatch watch;
+  HiggsResult hw_cold = CheckOk(handwritten.Run(), "handwritten cold");
+  double hw_cold_s = watch.ElapsedSeconds();
+
+  watch.Restart();
+  HiggsResult hw_warm = CheckOk(handwritten.Run(), "handwritten warm");
+  double hw_warm_s = watch.ElapsedSeconds();
+
+  watch.Restart();
+  HiggsResult raw_cold = CheckOk(raw_analysis.Run(), "raw cold");
+  double raw_cold_s = watch.ElapsedSeconds();
+
+  watch.Restart();
+  HiggsResult raw_warm = CheckOk(raw_analysis.Run(), "raw warm");
+  double raw_warm_s = watch.ElapsedSeconds();
+
+  if (!(hw_cold == raw_cold) || !(hw_warm == raw_warm)) {
+    fprintf(stderr, "FATAL: systems disagree (hw=%lld raw=%lld candidates)\n",
+            static_cast<long long>(hw_cold.candidates),
+            static_cast<long long>(raw_cold.candidates));
+    exit(1);
+  }
+
+  printf("candidates=%lld of %lld events\n\n",
+         static_cast<long long>(hw_cold.candidates),
+         static_cast<long long>(hw_cold.events_scanned));
+  printf("%-32s %12s\n", "system", "time");
+  PrintKeyValue("1st query (cold)  Hand-written C++", hw_cold_s);
+  PrintKeyValue("1st query (cold)  RAW", raw_cold_s);
+  PrintKeyValue("2nd query (warm)  Hand-written C++", hw_warm_s);
+  PrintKeyValue("2nd query (warm)  RAW", raw_warm_s);
+  printf("\nwarm speedup RAW vs hand-written: %.1fx\n",
+         hw_warm_s / raw_warm_s);
+  printf("\nExpect: cold runs the same order of magnitude (RAW can edge out\n"
+         "the object-at-a-time loop); warm RAW orders of magnitude faster —\n"
+         "its column shreds hold exactly the needed values in columnar form\n"
+         "while the hand-written loop re-walks objects via the buffer pool.\n");
+}
+
+}  // namespace
+}  // namespace raw::bench
+
+int main() {
+  raw::bench::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// multiformat_join: the headline capability of §1/§3 — transparently joining
+// heterogeneous raw files in one query. An orders ledger lives in CSV, the
+// same-keyed measurements table lives in the fixed-width binary format, and
+// RAW joins them without loading either.
+
+#include <cstdio>
+
+#include "binfmt/binary_writer.h"
+#include "common/rng.h"
+#include "common/temp_dir.h"
+#include "csv/csv_writer.h"
+#include "engine/raw_engine.h"
+
+using namespace raw;
+
+int main() {
+  auto dir = TempDir::Create("raw_multiformat_");
+  if (!dir.ok()) return 1;
+
+  constexpr int kSensors = 500;
+  constexpr int kReadings = 50000;
+  Rng rng(2024);
+
+  // --- CSV: sensor registry (sensor_id, zone, threshold) ----------------------
+  Schema sensors_schema{{"sensor_id", DataType::kInt32},
+                        {"zone", DataType::kInt32},
+                        {"threshold", DataType::kFloat64}};
+  std::string sensors_csv = dir->FilePath("sensors.csv");
+  {
+    CsvWriter writer(sensors_csv);
+    if (!writer.Open().ok()) return 1;
+    for (int s = 0; s < kSensors; ++s) {
+      writer.AppendInt32(s);
+      writer.AppendInt32(s % 16);
+      writer.AppendFloat64(50.0 + rng.NextDouble(0, 25.0));
+      writer.EndRow();
+    }
+    if (!writer.Close().ok()) return 1;
+  }
+
+  // --- binary: measurement log (sensor_id, value, tick) ------------------------
+  Schema readings_schema{{"sensor_id", DataType::kInt32},
+                         {"value", DataType::kFloat64},
+                         {"tick", DataType::kInt64}};
+  std::string readings_bin = dir->FilePath("readings.bin");
+  {
+    auto layout = BinaryLayout::Create(readings_schema);
+    if (!layout.ok()) return 1;
+    BinaryWriter writer(readings_bin, *layout);
+    if (!writer.Open().ok()) return 1;
+    for (int64_t i = 0; i < kReadings; ++i) {
+      writer.AppendInt32(static_cast<int32_t>(rng.NextBelow(kSensors)));
+      writer.AppendFloat64(rng.NextDouble(0, 100.0));
+      writer.AppendInt64(i);
+      writer.EndRow();
+    }
+    if (!writer.Close().ok()) return 1;
+  }
+
+  RawEngine engine;
+  if (!engine.RegisterCsv("sensors", sensors_csv, sensors_schema).ok()) return 1;
+  if (!engine.RegisterBinary("readings", readings_bin, readings_schema).ok()) {
+    return 1;
+  }
+
+  const char* queries[] = {
+      // Cross-format join: binary fact table probes the CSV dimension.
+      "SELECT COUNT(*) FROM readings JOIN sensors ON readings.sensor_id = "
+      "sensors.sensor_id WHERE sensors.zone = 3",
+      // Aggregate over the joined pair.
+      "SELECT MAX(readings.value) FROM readings JOIN sensors ON "
+      "readings.sensor_id = sensors.sensor_id WHERE sensors.zone = 3",
+      // Single-format sanity queries.
+      "SELECT COUNT(*) FROM sensors WHERE threshold > 70.0",
+      "SELECT AVG(value) FROM readings WHERE sensor_id < 10",
+  };
+  for (const char* sql : queries) {
+    auto result = engine.Query(sql);
+    if (!result.ok()) {
+      fprintf(stderr, "query failed: %s\n%s\n", sql,
+              result.status().ToString().c_str());
+      return 1;
+    }
+    printf("\n> %s\n%s  [%.1f ms]\n", sql, result->table.ToString(3).c_str(),
+           result->total_seconds() * 1e3);
+  }
+  printf("\nJoined a CSV dimension with a binary fact table in place — no\n"
+         "loading, two different JIT access paths in one plan.\n");
+  return 0;
+}

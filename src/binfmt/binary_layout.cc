@@ -1,0 +1,23 @@
+#include "binfmt/binary_layout.h"
+
+namespace raw {
+
+StatusOr<BinaryLayout> BinaryLayout::Create(const Schema& schema) {
+  RAW_RETURN_NOT_OK(schema.Validate());
+  std::vector<int64_t> offsets;
+  offsets.reserve(static_cast<size_t>(schema.num_fields()));
+  int64_t offset = 0;
+  for (const Field& f : schema.fields()) {
+    int width = FixedWidth(f.type);
+    if (width == 0) {
+      return Status::InvalidArgument(
+          "binary layout requires fixed-width fields; '" + f.name +
+          "' is variable-length");
+    }
+    offsets.push_back(offset);
+    offset += width;
+  }
+  return BinaryLayout(schema, std::move(offsets), offset);
+}
+
+}  // namespace raw

@@ -1,0 +1,58 @@
+#ifndef RAW_BINFMT_BINARY_LAYOUT_H_
+#define RAW_BINFMT_BINARY_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace raw {
+
+/// Row-major fixed-width binary layout: every field is serialized from its C
+/// representation at a deterministic offset (§4.2's "custom binary format").
+///
+/// This is the format where positional maps are pure overhead: the byte
+/// position of (row, column) is `row * row_width + column_offset[column]`,
+/// a formula JIT access paths constant-fold into generated code (§4.1).
+class BinaryLayout {
+ public:
+  /// Builds the layout for `schema`. Fails on variable-length fields.
+  static StatusOr<BinaryLayout> Create(const Schema& schema);
+
+  int num_columns() const { return static_cast<int>(offsets_.size()); }
+  int64_t row_width() const { return row_width_; }
+
+  /// Byte offset of `column` within a row.
+  int64_t ColumnOffset(int column) const {
+    return offsets_[static_cast<size_t>(column)];
+  }
+
+  /// Absolute byte offset of (row, column).
+  int64_t Offset(int64_t row, int column) const {
+    return row * row_width_ + offsets_[static_cast<size_t>(column)];
+  }
+
+  /// Number of complete rows in a file of `file_size` bytes.
+  int64_t NumRows(int64_t file_size) const {
+    return row_width_ == 0 ? 0 : file_size / row_width_;
+  }
+
+  const Schema& schema() const { return schema_; }
+
+ private:
+  BinaryLayout(Schema schema, std::vector<int64_t> offsets, int64_t row_width)
+      : schema_(std::move(schema)),
+        offsets_(std::move(offsets)),
+        row_width_(row_width) {}
+
+  Schema schema_;
+  std::vector<int64_t> offsets_;
+  int64_t row_width_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_BINFMT_BINARY_LAYOUT_H_

@@ -1,0 +1,18 @@
+#include "binfmt/binary_reader.h"
+
+namespace raw {
+
+StatusOr<std::unique_ptr<BinaryReader>> BinaryReader::Open(
+    const std::string& path, BinaryLayout layout) {
+  RAW_ASSIGN_OR_RETURN(std::unique_ptr<MmapFile> file, MmapFile::Open(path));
+  if (layout.row_width() > 0 &&
+      static_cast<int64_t>(file->size()) % layout.row_width() != 0) {
+    return Status::ParseError(
+        "binary file size is not a multiple of the row width: " + path);
+  }
+  int64_t rows = layout.NumRows(static_cast<int64_t>(file->size()));
+  return std::unique_ptr<BinaryReader>(
+      new BinaryReader(std::move(file), std::move(layout), rows));
+}
+
+}  // namespace raw

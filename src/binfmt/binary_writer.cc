@@ -1,0 +1,92 @@
+#include "binfmt/binary_writer.h"
+
+namespace raw {
+
+namespace {
+constexpr size_t kFlushThreshold = 1 << 20;
+}
+
+BinaryWriter::BinaryWriter(std::string path, BinaryLayout layout)
+    : path_(std::move(path)), layout_(std::move(layout)) {}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) {
+    if (!buffer_.empty()) fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    fclose(file_);
+  }
+}
+
+Status BinaryWriter::Open() {
+  file_ = fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot create binary file '" + path_ + "'");
+  }
+  buffer_.reserve(kFlushThreshold + (1 << 16));
+  return Status::OK();
+}
+
+void BinaryWriter::AppendRawValue(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+void BinaryWriter::MaybeFlush() {
+  if (buffer_.size() >= kFlushThreshold) {
+    fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    buffer_.clear();
+  }
+}
+
+Status BinaryWriter::AppendDatumRow(const std::vector<Datum>& values) {
+  const Schema& schema = layout_.schema();
+  if (static_cast<int>(values.size()) != schema.num_fields()) {
+    return Status::InvalidArgument("AppendDatumRow: field count mismatch");
+  }
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    const Datum& d = values[static_cast<size_t>(i)];
+    if (d.type() != schema.field(i).type) {
+      return Status::InvalidArgument("AppendDatumRow: type mismatch at field " +
+                                     std::to_string(i));
+    }
+    switch (d.type()) {
+      case DataType::kInt32:
+        AppendInt32(d.int32_value());
+        break;
+      case DataType::kInt64:
+        AppendInt64(d.int64_value());
+        break;
+      case DataType::kFloat32:
+        AppendFloat32(d.float32_value());
+        break;
+      case DataType::kFloat64:
+        AppendFloat64(d.float64_value());
+        break;
+      case DataType::kBool:
+        AppendBool(d.bool_value());
+        break;
+      case DataType::kString:
+        return Status::InvalidArgument("binary format cannot store strings");
+    }
+  }
+  EndRow();
+  return Status::OK();
+}
+
+Status BinaryWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  if (!buffer_.empty()) {
+    if (fwrite(buffer_.data(), 1, buffer_.size(), file_) != buffer_.size()) {
+      fclose(file_);
+      file_ = nullptr;
+      return Status::IOError("short write to '" + path_ + "'");
+    }
+    buffer_.clear();
+  }
+  if (fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IOError("close failed for '" + path_ + "'");
+  }
+  file_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace raw

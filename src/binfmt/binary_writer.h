@@ -1,0 +1,55 @@
+#ifndef RAW_BINFMT_BINARY_WRITER_H_
+#define RAW_BINFMT_BINARY_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "binfmt/binary_layout.h"
+#include "common/datum.h"
+#include "common/macros.h"
+
+namespace raw {
+
+/// Writes rows in the fixed-width binary layout (little-endian host order,
+/// matching the paper's "attributes serialized from their C representation").
+class BinaryWriter {
+ public:
+  BinaryWriter(std::string path, BinaryLayout layout);
+  ~BinaryWriter();
+  RAW_DISALLOW_COPY_AND_ASSIGN(BinaryWriter);
+
+  Status Open();
+
+  // Streaming per-field appenders; fields must be appended in schema order.
+  void AppendInt32(int32_t v) { AppendRawValue(&v, sizeof(v)); }
+  void AppendInt64(int64_t v) { AppendRawValue(&v, sizeof(v)); }
+  void AppendFloat32(float v) { AppendRawValue(&v, sizeof(v)); }
+  void AppendFloat64(double v) { AppendRawValue(&v, sizeof(v)); }
+  void AppendBool(bool v) {
+    char c = v ? 1 : 0;
+    AppendRawValue(&c, 1);
+  }
+  void EndRow() { ++rows_written_; MaybeFlush(); }
+
+  /// Appends one typed row; types must match the layout's schema.
+  Status AppendDatumRow(const std::vector<Datum>& values);
+
+  Status Close();
+
+  int64_t rows_written() const { return rows_written_; }
+
+ private:
+  void AppendRawValue(const void* data, size_t size);
+  void MaybeFlush();
+
+  std::string path_;
+  BinaryLayout layout_;
+  FILE* file_ = nullptr;
+  std::string buffer_;
+  int64_t rows_written_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_BINFMT_BINARY_WRITER_H_

@@ -1,0 +1,220 @@
+#include "columnar/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace raw {
+
+std::string_view AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+StatusOr<DataType> AggResultType(AggKind kind, DataType input_type) {
+  switch (kind) {
+    case AggKind::kCount:
+      return DataType::kInt64;
+    case AggKind::kAvg:
+      if (!IsNumeric(input_type)) {
+        return Status::InvalidArgument("AVG requires a numeric column");
+      }
+      return DataType::kFloat64;
+    case AggKind::kSum:
+      if (!IsNumeric(input_type)) {
+        return Status::InvalidArgument("SUM requires a numeric column");
+      }
+      return (input_type == DataType::kInt32 || input_type == DataType::kInt64)
+                 ? DataType::kInt64
+                 : DataType::kFloat64;
+    case AggKind::kMax:
+    case AggKind::kMin:
+      if (!IsNumeric(input_type)) {
+        return Status::InvalidArgument("MIN/MAX requires a numeric column");
+      }
+      return input_type;
+  }
+  return Status::Internal("bad AggKind");
+}
+
+AggAccumulator::AggAccumulator(AggKind kind, DataType input_type)
+    : kind_(kind), input_type_(input_type) {}
+
+void AggAccumulator::UpdateNumeric(double value) {
+  ++count_;
+  switch (kind_) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      dacc_ += value;
+      iacc_ += static_cast<int64_t>(value);
+      break;
+    case AggKind::kMax:
+      if (!initialized_ || value > dacc_) dacc_ = value;
+      initialized_ = true;
+      break;
+    case AggKind::kMin:
+      if (!initialized_ || value < dacc_) dacc_ = value;
+      initialized_ = true;
+      break;
+  }
+}
+
+void AggAccumulator::UpdateInt(int64_t value) {
+  ++count_;
+  switch (kind_) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+      iacc_ += value;
+      break;
+    case AggKind::kAvg:
+      dacc_ += static_cast<double>(value);
+      break;
+    case AggKind::kMax:
+      if (!initialized_ || value > iacc_) iacc_ = value;
+      initialized_ = true;
+      break;
+    case AggKind::kMin:
+      if (!initialized_ || value < iacc_) iacc_ = value;
+      initialized_ = true;
+      break;
+  }
+}
+
+Datum AggAccumulator::Finalize() const {
+  switch (kind_) {
+    case AggKind::kCount:
+      return Datum::Int64(count_);
+    case AggKind::kAvg:
+      return Datum::Float64(count_ == 0 ? 0.0
+                                        : dacc_ / static_cast<double>(count_));
+    case AggKind::kSum:
+      if (input_type_ == DataType::kInt32 || input_type_ == DataType::kInt64) {
+        return Datum::Int64(iacc_);
+      }
+      return Datum::Float64(dacc_);
+    case AggKind::kMax:
+    case AggKind::kMin: {
+      switch (input_type_) {
+        case DataType::kInt32:
+          return Datum::Int32(static_cast<int32_t>(iacc_));
+        case DataType::kInt64:
+          return Datum::Int64(iacc_);
+        case DataType::kFloat32:
+          return Datum::Float32(static_cast<float>(dacc_));
+        default:
+          return Datum::Float64(dacc_);
+      }
+    }
+  }
+  return Datum();
+}
+
+AggregateOperator::AggregateOperator(OperatorPtr child,
+                                     std::vector<AggSpec> specs)
+    : child_(std::move(child)), specs_(std::move(specs)) {}
+
+Status AggregateOperator::Open() {
+  RAW_RETURN_NOT_OK(child_->Open());
+  input_types_.clear();  // Open() may run more than once before Next()
+  const Schema& in = child_->output_schema();
+  Schema schema;
+  for (const AggSpec& spec : specs_) {
+    DataType input_type = DataType::kInt64;
+    if (spec.kind != AggKind::kCount) {
+      if (spec.input < 0 || spec.input >= in.num_fields()) {
+        return Status::InvalidArgument("aggregate input column out of range");
+      }
+      input_type = in.field(spec.input).type;
+    }
+    input_types_.push_back(input_type);
+    RAW_ASSIGN_OR_RETURN(DataType out_type,
+                         AggResultType(spec.kind, input_type));
+    schema.AddField(spec.output_name.empty()
+                        ? std::string(AggKindToString(spec.kind))
+                        : spec.output_name,
+                    out_type);
+  }
+  output_schema_ = std::move(schema);
+  return Status::OK();
+}
+
+StatusOr<ColumnBatch> AggregateOperator::Next() {
+  if (done_) return ColumnBatch(output_schema_);
+  done_ = true;
+
+  std::vector<AggAccumulator> accs;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    accs.emplace_back(specs_[i].kind, input_types_[i]);
+  }
+
+  while (true) {
+    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
+    if (batch.empty()) break;
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      const AggSpec& spec = specs_[s];
+      AggAccumulator& acc = accs[s];
+      if (spec.kind == AggKind::kCount) {
+        for (int64_t i = 0; i < batch.num_rows(); ++i) acc.UpdateCount();
+        continue;
+      }
+      const Column& col = *batch.column(spec.input);
+      switch (col.type()) {
+        case DataType::kInt32: {
+          const int32_t* v = col.Data<int32_t>();
+          for (int64_t i = 0; i < batch.num_rows(); ++i) {
+            acc.UpdateInt(v[i]);
+          }
+          break;
+        }
+        case DataType::kInt64: {
+          const int64_t* v = col.Data<int64_t>();
+          for (int64_t i = 0; i < batch.num_rows(); ++i) {
+            acc.UpdateInt(v[i]);
+          }
+          break;
+        }
+        case DataType::kFloat32: {
+          const float* v = col.Data<float>();
+          for (int64_t i = 0; i < batch.num_rows(); ++i) {
+            acc.UpdateNumeric(static_cast<double>(v[i]));
+          }
+          break;
+        }
+        case DataType::kFloat64: {
+          const double* v = col.Data<double>();
+          for (int64_t i = 0; i < batch.num_rows(); ++i) {
+            acc.UpdateNumeric(v[i]);
+          }
+          break;
+        }
+        default:
+          return Status::InvalidArgument("cannot aggregate non-numeric column");
+      }
+    }
+  }
+
+  ColumnBatch out(output_schema_);
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    auto col = std::make_shared<Column>(output_schema_.field(
+        static_cast<int>(s)).type);
+    col->AppendDatum(accs[s].Finalize());
+    out.AddColumn(std::move(col));
+  }
+  out.SetNumRows(1);
+  return out;
+}
+
+}  // namespace raw

@@ -1,0 +1,77 @@
+#ifndef RAW_COLUMNAR_AGGREGATE_H_
+#define RAW_COLUMNAR_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/operator.h"
+
+namespace raw {
+
+/// Aggregate functions supported by the engine.
+enum class AggKind { kMax, kMin, kSum, kCount, kAvg };
+
+std::string_view AggKindToString(AggKind kind);
+
+/// One aggregate to compute: `kind` over child column `input`; `input` is
+/// ignored for COUNT(*) (pass -1).
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  int input = -1;
+  std::string output_name;
+};
+
+/// Returns the result type of `kind` applied to a column of `input_type`.
+StatusOr<DataType> AggResultType(AggKind kind, DataType input_type);
+
+/// Streaming accumulator for one aggregate (shared by scalar and group-by
+/// aggregation).
+class AggAccumulator {
+ public:
+  AggAccumulator(AggKind kind, DataType input_type);
+
+  void UpdateNumeric(double value);
+  /// Exact integer path (no double round-trip; int64 values above 2^53 stay
+  /// precise).
+  void UpdateInt(int64_t value);
+  void UpdateCount() { ++count_; }
+
+  /// Finalizes into a Datum of AggResultType(); MIN/MAX over zero rows
+  /// returns the type's identity-less "no rows" encoding (count()==0 lets
+  /// callers emit SQL NULL semantics; we surface it as 0 rows upstream).
+  Datum Finalize() const;
+
+  int64_t count() const { return count_; }
+
+ private:
+  AggKind kind_;
+  DataType input_type_;
+  int64_t count_ = 0;
+  double dacc_ = 0;      // sum / running min/max for floats
+  int64_t iacc_ = 0;     // running sum/min/max for ints
+  bool initialized_ = false;
+};
+
+/// Computes scalar aggregates over the entire child stream; emits exactly one
+/// row (the SQL no-GROUP-BY aggregate).
+class AggregateOperator : public Operator {
+ public:
+  AggregateOperator(OperatorPtr child, std::vector<AggSpec> specs);
+
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Open() override;
+  StatusOr<ColumnBatch> Next() override;
+  Status Close() override { return child_->Close(); }
+  std::string name() const override { return "Aggregate"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<AggSpec> specs_;
+  Schema output_schema_;
+  std::vector<DataType> input_types_;
+  bool done_ = false;
+};
+
+}  // namespace raw
+
+#endif  // RAW_COLUMNAR_AGGREGATE_H_

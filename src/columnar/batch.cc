@@ -1,0 +1,61 @@
+#include "columnar/batch.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace raw {
+
+void ColumnBatch::AddColumn(ColumnPtr column) {
+  assert(column != nullptr);
+  if (columns_.empty()) {
+    num_rows_ = column->length();
+  } else {
+    assert(column->length() == num_rows_ && "column length mismatch");
+  }
+  columns_.push_back(std::move(column));
+}
+
+ColumnBatch ColumnBatch::Filter(const SelectionVector& selection) const {
+  ColumnBatch out(schema_);
+  for (const ColumnPtr& col : columns_) {
+    out.AddColumn(std::make_shared<Column>(
+        col->Gather(selection.data(), selection.size())));
+  }
+  if (out.columns_.empty()) out.num_rows_ = selection.size();
+  if (!row_ids_.empty()) {
+    std::vector<int64_t> ids;
+    ids.reserve(static_cast<size_t>(selection.size()));
+    for (int64_t i = 0; i < selection.size(); ++i) {
+      ids.push_back(row_ids_[static_cast<size_t>(selection[i])]);
+    }
+    out.row_ids_ = std::move(ids);
+  }
+  out.num_rows_ = selection.size();
+  return out;
+}
+
+ColumnBatch ColumnBatch::SelectColumns(const std::vector<int>& indices) const {
+  ColumnBatch out(schema_.Select(indices));
+  for (int i : indices) out.AddColumn(columns_[static_cast<size_t>(i)]);
+  out.row_ids_ = row_ids_;
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+std::string ColumnBatch::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " [" << num_rows_ << " rows]\n";
+  int64_t shown = std::min(max_rows, num_rows_);
+  for (int64_t r = 0; r < shown; ++r) {
+    for (int c = 0; c < num_columns(); ++c) {
+      if (c > 0) os << " | ";
+      const ColumnPtr& col = columns_[static_cast<size_t>(c)];
+      os << (col->IsLoaded(r) ? col->GetDatum(r).ToString() : "<missing>");
+    }
+    os << "\n";
+  }
+  if (shown < num_rows_) os << "... (" << (num_rows_ - shown) << " more)\n";
+  return os.str();
+}
+
+}  // namespace raw

@@ -1,0 +1,77 @@
+#ifndef RAW_COLUMNAR_BATCH_H_
+#define RAW_COLUMNAR_BATCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/column.h"
+#include "columnar/selection_vector.h"
+#include "common/schema.h"
+
+namespace raw {
+
+/// Default number of rows per vectorized batch (tunable; see
+/// bench_ablation_vector_size).
+inline constexpr int64_t kDefaultBatchRows = 4096;
+
+/// A horizontal slice of a table: one Column per schema field plus an
+/// optional vector of *original row ids*.
+///
+/// Row ids are the glue between the columnar plan and raw files: a filter
+/// compacts them alongside the data, so a column-shred scan operator placed
+/// above the filter knows which raw rows (positional-map entries, binary
+/// offsets, event ids) to fetch.
+class ColumnBatch {
+ public:
+  ColumnBatch() = default;
+  explicit ColumnBatch(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  const ColumnPtr& column(int i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+  const std::vector<ColumnPtr>& columns() const { return columns_; }
+
+  /// Adds a column; all columns must agree on length.
+  void AddColumn(ColumnPtr column);
+
+  /// Replaces column `i`.
+  void SetColumn(int i, ColumnPtr column) {
+    columns_[static_cast<size_t>(i)] = std::move(column);
+  }
+
+  void SetNumRows(int64_t n) { num_rows_ = n; }
+
+  bool has_row_ids() const { return !row_ids_.empty(); }
+  const std::vector<int64_t>& row_ids() const { return row_ids_; }
+  std::vector<int64_t>* mutable_row_ids() { return &row_ids_; }
+  void SetRowIds(std::vector<int64_t> ids) { row_ids_ = std::move(ids); }
+
+  /// Returns a batch containing only the selected rows (columns gathered,
+  /// row ids compacted).
+  ColumnBatch Filter(const SelectionVector& selection) const;
+
+  /// Returns a batch with the subset of columns at `indices` (projection);
+  /// row ids are preserved.
+  ColumnBatch SelectColumns(const std::vector<int>& indices) const;
+
+  /// Debug string: schema + first rows.
+  std::string ToString(int64_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<ColumnPtr> columns_;
+  std::vector<int64_t> row_ids_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_COLUMNAR_BATCH_H_

@@ -1,0 +1,436 @@
+#include "columnar/expression.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace raw {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+Status Expression::EvaluateSelection(const ColumnBatch& batch,
+                                     SelectionVector* out) const {
+  RAW_ASSIGN_OR_RETURN(Column result, Evaluate(batch));
+  if (result.type() != DataType::kBool) {
+    return Status::InvalidArgument("predicate does not evaluate to bool");
+  }
+  const bool* values = result.Data<bool>();
+  for (int64_t i = 0; i < result.length(); ++i) {
+    if (values[i]) out->Append(static_cast<int32_t>(i));
+  }
+  return Status::OK();
+}
+
+// --- ColumnRefExpr ----------------------------------------------------------
+
+StatusOr<DataType> ColumnRefExpr::ResultType(const Schema& schema) const {
+  if (index_ < 0 || index_ >= schema.num_fields()) {
+    return Status::InvalidArgument("column index out of range: " +
+                                   std::to_string(index_));
+  }
+  return schema.field(index_).type;
+}
+
+StatusOr<Column> ColumnRefExpr::Evaluate(const ColumnBatch& batch) const {
+  if (index_ < 0 || index_ >= batch.num_columns()) {
+    return Status::InvalidArgument("column index out of range: " +
+                                   std::to_string(index_));
+  }
+  return *batch.column(index_);
+}
+
+std::string ColumnRefExpr::ToString() const {
+  return "$" + std::to_string(index_);
+}
+
+// --- LiteralExpr ------------------------------------------------------------
+
+StatusOr<DataType> LiteralExpr::ResultType(const Schema& schema) const {
+  return value_.type();
+}
+
+StatusOr<Column> LiteralExpr::Evaluate(const ColumnBatch& batch) const {
+  Column out(value_.type());
+  out.Reserve(batch.num_rows());
+  for (int64_t i = 0; i < batch.num_rows(); ++i) out.AppendDatum(value_);
+  return out;
+}
+
+std::string LiteralExpr::ToString() const { return value_.ToString(); }
+
+// --- CompareExpr ------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+inline bool ApplyCompare(CompareOp op, T a, T b) {
+  switch (op) {
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+  }
+  return false;
+}
+
+// Branch-light selection loop: compare column values against a constant and
+// append qualifying indices. The comparison op is a template parameter so the
+// compiler emits a tight loop per op (the "unrolled" flavour general-purpose
+// scans lack; see §4.1).
+template <typename T, CompareOp kOp>
+void SelectCompareConst(const T* values, int64_t n, T constant,
+                        SelectionVector* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    bool keep;
+    if constexpr (kOp == CompareOp::kLt) {
+      keep = values[i] < constant;
+    } else if constexpr (kOp == CompareOp::kLe) {
+      keep = values[i] <= constant;
+    } else if constexpr (kOp == CompareOp::kGt) {
+      keep = values[i] > constant;
+    } else if constexpr (kOp == CompareOp::kGe) {
+      keep = values[i] >= constant;
+    } else if constexpr (kOp == CompareOp::kEq) {
+      keep = values[i] == constant;
+    } else {
+      keep = values[i] != constant;
+    }
+    if (keep) out->Append(static_cast<int32_t>(i));
+  }
+}
+
+template <typename T>
+void SelectCompareConstDispatch(CompareOp op, const T* values, int64_t n,
+                                T constant, SelectionVector* out) {
+  switch (op) {
+    case CompareOp::kLt:
+      SelectCompareConst<T, CompareOp::kLt>(values, n, constant, out);
+      break;
+    case CompareOp::kLe:
+      SelectCompareConst<T, CompareOp::kLe>(values, n, constant, out);
+      break;
+    case CompareOp::kGt:
+      SelectCompareConst<T, CompareOp::kGt>(values, n, constant, out);
+      break;
+    case CompareOp::kGe:
+      SelectCompareConst<T, CompareOp::kGe>(values, n, constant, out);
+      break;
+    case CompareOp::kEq:
+      SelectCompareConst<T, CompareOp::kEq>(values, n, constant, out);
+      break;
+    case CompareOp::kNe:
+      SelectCompareConst<T, CompareOp::kNe>(values, n, constant, out);
+      break;
+  }
+}
+
+// Widens a column's value at i to double for mixed-type comparison.
+inline double WidenedValue(const Column& col, int64_t i) {
+  switch (col.type()) {
+    case DataType::kBool:
+      return col.Value<bool>(i) ? 1.0 : 0.0;
+    case DataType::kInt32:
+      return static_cast<double>(col.Value<int32_t>(i));
+    case DataType::kInt64:
+      return static_cast<double>(col.Value<int64_t>(i));
+    case DataType::kFloat32:
+      return static_cast<double>(col.Value<float>(i));
+    case DataType::kFloat64:
+      return col.Value<double>(i);
+    case DataType::kString:
+      return std::nan("");
+  }
+  return std::nan("");
+}
+
+}  // namespace
+
+StatusOr<DataType> CompareExpr::ResultType(const Schema& schema) const {
+  RAW_ASSIGN_OR_RETURN(DataType lt, lhs_->ResultType(schema));
+  RAW_ASSIGN_OR_RETURN(DataType rt, rhs_->ResultType(schema));
+  if ((lt == DataType::kString) != (rt == DataType::kString)) {
+    return Status::InvalidArgument("cannot compare string with non-string");
+  }
+  return DataType::kBool;
+}
+
+StatusOr<Column> CompareExpr::Evaluate(const ColumnBatch& batch) const {
+  RAW_ASSIGN_OR_RETURN(Column left, lhs_->Evaluate(batch));
+  RAW_ASSIGN_OR_RETURN(Column right, rhs_->Evaluate(batch));
+  Column out(DataType::kBool);
+  out.Reserve(batch.num_rows());
+  if (left.type() == DataType::kString && right.type() == DataType::kString) {
+    for (int64_t i = 0; i < batch.num_rows(); ++i) {
+      int cmp = left.StringValue(i).compare(right.StringValue(i));
+      out.Append<bool>(ApplyCompare(op_, cmp, 0));
+    }
+    return out;
+  }
+  if (left.type() == right.type() && left.type() == DataType::kInt32) {
+    const int32_t* a = left.Data<int32_t>();
+    const int32_t* b = right.Data<int32_t>();
+    for (int64_t i = 0; i < batch.num_rows(); ++i) {
+      out.Append<bool>(ApplyCompare(op_, a[i], b[i]));
+    }
+    return out;
+  }
+  for (int64_t i = 0; i < batch.num_rows(); ++i) {
+    out.Append<bool>(
+        ApplyCompare(op_, WidenedValue(left, i), WidenedValue(right, i)));
+  }
+  return out;
+}
+
+Status CompareExpr::EvaluateSelection(const ColumnBatch& batch,
+                                      SelectionVector* out) const {
+  // Fast path: <column> <op> <literal> on a numeric column.
+  if (lhs_->kind() == Kind::kColumnRef && rhs_->kind() == Kind::kLiteral) {
+    const auto* ref = static_cast<const ColumnRefExpr*>(lhs_.get());
+    const auto* lit = static_cast<const LiteralExpr*>(rhs_.get());
+    if (ref->index() >= 0 && ref->index() < batch.num_columns()) {
+      const Column& col = *batch.column(ref->index());
+      const int64_t n = batch.num_rows();
+      switch (col.type()) {
+        case DataType::kInt32: {
+          RAW_ASSIGN_OR_RETURN(int64_t c64, lit->value().AsInt64());
+          if (lit->value().type() == DataType::kInt32 ||
+              (c64 >= INT32_MIN && c64 <= INT32_MAX)) {
+            SelectCompareConstDispatch<int32_t>(
+                op_, col.Data<int32_t>(), n, static_cast<int32_t>(c64), out);
+            return Status::OK();
+          }
+          break;
+        }
+        case DataType::kInt64: {
+          RAW_ASSIGN_OR_RETURN(int64_t c, lit->value().AsInt64());
+          SelectCompareConstDispatch<int64_t>(op_, col.Data<int64_t>(), n, c,
+                                              out);
+          return Status::OK();
+        }
+        case DataType::kFloat32: {
+          RAW_ASSIGN_OR_RETURN(double c, lit->value().AsDouble());
+          SelectCompareConstDispatch<float>(op_, col.Data<float>(), n,
+                                            static_cast<float>(c), out);
+          return Status::OK();
+        }
+        case DataType::kFloat64: {
+          RAW_ASSIGN_OR_RETURN(double c, lit->value().AsDouble());
+          SelectCompareConstDispatch<double>(op_, col.Data<double>(), n, c,
+                                             out);
+          return Status::OK();
+        }
+        default:
+          break;
+      }
+    }
+  }
+  return Expression::EvaluateSelection(batch, out);
+}
+
+std::string CompareExpr::ToString() const {
+  return "(" + lhs_->ToString() + " " + std::string(CompareOpToString(op_)) +
+         " " + rhs_->ToString() + ")";
+}
+
+// --- ArithExpr --------------------------------------------------------------
+
+StatusOr<DataType> ArithExpr::ResultType(const Schema& schema) const {
+  RAW_ASSIGN_OR_RETURN(DataType lt, lhs_->ResultType(schema));
+  RAW_ASSIGN_OR_RETURN(DataType rt, rhs_->ResultType(schema));
+  if (!IsNumeric(lt) || !IsNumeric(rt)) {
+    return Status::InvalidArgument("arithmetic requires numeric operands");
+  }
+  if (op_ == ArithOp::kDiv) return DataType::kFloat64;
+  if (lt == DataType::kFloat64 || rt == DataType::kFloat64 ||
+      lt == DataType::kFloat32 || rt == DataType::kFloat32) {
+    return DataType::kFloat64;
+  }
+  if (lt == DataType::kInt64 || rt == DataType::kInt64) {
+    return DataType::kInt64;
+  }
+  return DataType::kInt32;
+}
+
+StatusOr<Column> ArithExpr::Evaluate(const ColumnBatch& batch) const {
+  RAW_ASSIGN_OR_RETURN(Column left, lhs_->Evaluate(batch));
+  RAW_ASSIGN_OR_RETURN(Column right, rhs_->Evaluate(batch));
+  RAW_ASSIGN_OR_RETURN(DataType out_type, ResultType(batch.schema()));
+  Column out(out_type);
+  out.Reserve(batch.num_rows());
+  for (int64_t i = 0; i < batch.num_rows(); ++i) {
+    double a = WidenedValue(left, i);
+    double b = WidenedValue(right, i);
+    double r = 0;
+    switch (op_) {
+      case ArithOp::kAdd:
+        r = a + b;
+        break;
+      case ArithOp::kSub:
+        r = a - b;
+        break;
+      case ArithOp::kMul:
+        r = a * b;
+        break;
+      case ArithOp::kDiv:
+        r = a / b;
+        break;
+    }
+    switch (out_type) {
+      case DataType::kInt32:
+        out.Append<int32_t>(static_cast<int32_t>(r));
+        break;
+      case DataType::kInt64:
+        out.Append<int64_t>(static_cast<int64_t>(r));
+        break;
+      default:
+        out.Append<double>(r);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string ArithExpr::ToString() const {
+  const char* names[] = {"+", "-", "*", "/"};
+  return "(" + lhs_->ToString() + " " + names[static_cast<int>(op_)] + " " +
+         rhs_->ToString() + ")";
+}
+
+// --- BoolOpExpr -------------------------------------------------------------
+
+StatusOr<DataType> BoolOpExpr::ResultType(const Schema& schema) const {
+  for (const ExprPtr& child : children_) {
+    RAW_ASSIGN_OR_RETURN(DataType t, child->ResultType(schema));
+    if (t != DataType::kBool) {
+      return Status::InvalidArgument("AND/OR child is not boolean");
+    }
+  }
+  return DataType::kBool;
+}
+
+StatusOr<Column> BoolOpExpr::Evaluate(const ColumnBatch& batch) const {
+  std::vector<Column> evaluated;
+  evaluated.reserve(children_.size());
+  for (const ExprPtr& child : children_) {
+    RAW_ASSIGN_OR_RETURN(Column c, child->Evaluate(batch));
+    if (c.type() != DataType::kBool) {
+      return Status::InvalidArgument("AND/OR child is not boolean");
+    }
+    evaluated.push_back(std::move(c));
+  }
+  const bool is_and = kind() == Kind::kAnd;
+  Column out(DataType::kBool);
+  out.Reserve(batch.num_rows());
+  for (int64_t i = 0; i < batch.num_rows(); ++i) {
+    bool acc = is_and;
+    for (const Column& c : evaluated) {
+      bool v = c.Value<bool>(i);
+      acc = is_and ? (acc && v) : (acc || v);
+    }
+    out.Append<bool>(acc);
+  }
+  return out;
+}
+
+Status BoolOpExpr::EvaluateSelection(const ColumnBatch& batch,
+                                     SelectionVector* out) const {
+  if (kind() != Kind::kAnd || children_.empty()) {
+    return Expression::EvaluateSelection(batch, out);
+  }
+  // AND: evaluate first child's selection, then re-filter progressively.
+  // This keeps the common conjunctive-predicate path allocation-light.
+  SelectionVector current;
+  RAW_RETURN_NOT_OK(children_[0]->EvaluateSelection(batch, &current));
+  for (size_t k = 1; k < children_.size() && current.size() > 0; ++k) {
+    ColumnBatch narrowed = batch.Filter(current);
+    SelectionVector next;
+    RAW_RETURN_NOT_OK(children_[k]->EvaluateSelection(narrowed, &next));
+    current = current.Compose(next);
+  }
+  for (int64_t i = 0; i < current.size(); ++i) out->Append(current[i]);
+  return Status::OK();
+}
+
+std::string BoolOpExpr::ToString() const {
+  std::string sep = kind() == Kind::kAnd ? " AND " : " OR ";
+  std::string out = "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += sep;
+    out += children_[i]->ToString();
+  }
+  return out + ")";
+}
+
+// --- NotExpr ----------------------------------------------------------------
+
+StatusOr<DataType> NotExpr::ResultType(const Schema& schema) const {
+  RAW_ASSIGN_OR_RETURN(DataType t, child_->ResultType(schema));
+  if (t != DataType::kBool) {
+    return Status::InvalidArgument("NOT child is not boolean");
+  }
+  return DataType::kBool;
+}
+
+StatusOr<Column> NotExpr::Evaluate(const ColumnBatch& batch) const {
+  RAW_ASSIGN_OR_RETURN(Column c, child_->Evaluate(batch));
+  if (c.type() != DataType::kBool) {
+    return Status::InvalidArgument("NOT child is not boolean");
+  }
+  Column out(DataType::kBool);
+  out.Reserve(batch.num_rows());
+  const bool* v = c.Data<bool>();
+  for (int64_t i = 0; i < batch.num_rows(); ++i) out.Append<bool>(!v[i]);
+  return out;
+}
+
+std::string NotExpr::ToString() const {
+  return "NOT " + child_->ToString();
+}
+
+// --- convenience ------------------------------------------------------------
+
+ExprPtr Col(int index) { return std::make_shared<ColumnRefExpr>(index); }
+ExprPtr Lit(Datum value) {
+  return std::make_shared<LiteralExpr>(std::move(value));
+}
+ExprPtr Cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<CompareExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr And(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<BoolOpExpr>(
+      Expression::Kind::kAnd, std::vector<ExprPtr>{std::move(lhs), std::move(rhs)});
+}
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<BoolOpExpr>(
+      Expression::Kind::kOr, std::vector<ExprPtr>{std::move(lhs), std::move(rhs)});
+}
+ExprPtr Not(ExprPtr child) { return std::make_shared<NotExpr>(std::move(child)); }
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ArithExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+}  // namespace raw

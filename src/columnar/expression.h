@@ -1,0 +1,177 @@
+#ifndef RAW_COLUMNAR_EXPRESSION_H_
+#define RAW_COLUMNAR_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "columnar/selection_vector.h"
+#include "common/datum.h"
+
+namespace raw {
+
+/// Comparison operators supported in predicates.
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// Binary arithmetic operators supported in projections.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+class Expression;
+using ExprPtr = std::shared_ptr<Expression>;
+
+/// Scalar expression tree evaluated vector-at-a-time over a ColumnBatch.
+///
+/// Predicates additionally support EvaluateSelection(), which produces a
+/// SelectionVector directly (the hot path for filters); comparisons against
+/// literals on int32/int64/float32/float64 columns run a branch-light
+/// specialized loop.
+class Expression {
+ public:
+  enum class Kind { kColumnRef, kLiteral, kCompare, kArith, kAnd, kOr, kNot };
+
+  virtual ~Expression() = default;
+
+  Kind kind() const { return kind_; }
+
+  /// Resolves the expression's result type against `schema`.
+  virtual StatusOr<DataType> ResultType(const Schema& schema) const = 0;
+
+  /// Full materialization: computes one value per batch row.
+  virtual StatusOr<Column> Evaluate(const ColumnBatch& batch) const = 0;
+
+  /// Predicate evaluation: appends qualifying row indices to `out`.
+  /// Default implementation materializes a bool column via Evaluate().
+  virtual Status EvaluateSelection(const ColumnBatch& batch,
+                                   SelectionVector* out) const;
+
+  virtual std::string ToString() const = 0;
+
+ protected:
+  explicit Expression(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+};
+
+/// References a column of the input batch by index.
+class ColumnRefExpr : public Expression {
+ public:
+  explicit ColumnRefExpr(int index)
+      : Expression(Kind::kColumnRef), index_(index) {}
+
+  int index() const { return index_; }
+
+  StatusOr<DataType> ResultType(const Schema& schema) const override;
+  StatusOr<Column> Evaluate(const ColumnBatch& batch) const override;
+  std::string ToString() const override;
+
+ private:
+  int index_;
+};
+
+/// A constant.
+class LiteralExpr : public Expression {
+ public:
+  explicit LiteralExpr(Datum value)
+      : Expression(Kind::kLiteral), value_(std::move(value)) {}
+
+  const Datum& value() const { return value_; }
+
+  StatusOr<DataType> ResultType(const Schema& schema) const override;
+  StatusOr<Column> Evaluate(const ColumnBatch& batch) const override;
+  std::string ToString() const override;
+
+ private:
+  Datum value_;
+};
+
+/// lhs <op> rhs, producing bool.
+class CompareExpr : public Expression {
+ public:
+  CompareExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expression(Kind::kCompare),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  CompareOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  StatusOr<DataType> ResultType(const Schema& schema) const override;
+  StatusOr<Column> Evaluate(const ColumnBatch& batch) const override;
+  Status EvaluateSelection(const ColumnBatch& batch,
+                           SelectionVector* out) const override;
+  std::string ToString() const override;
+
+ private:
+  CompareOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+/// lhs <op> rhs arithmetic; result type follows standard numeric promotion
+/// (int32 -> int64 -> float64).
+class ArithExpr : public Expression {
+ public:
+  ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expression(Kind::kArith),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  StatusOr<DataType> ResultType(const Schema& schema) const override;
+  StatusOr<Column> Evaluate(const ColumnBatch& batch) const override;
+  std::string ToString() const override;
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+/// Conjunction / disjunction over bool children.
+class BoolOpExpr : public Expression {
+ public:
+  BoolOpExpr(Kind kind, std::vector<ExprPtr> children)
+      : Expression(kind), children_(std::move(children)) {}
+
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  StatusOr<DataType> ResultType(const Schema& schema) const override;
+  StatusOr<Column> Evaluate(const ColumnBatch& batch) const override;
+  Status EvaluateSelection(const ColumnBatch& batch,
+                           SelectionVector* out) const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<ExprPtr> children_;
+};
+
+/// Logical negation.
+class NotExpr : public Expression {
+ public:
+  explicit NotExpr(ExprPtr child)
+      : Expression(Kind::kNot), child_(std::move(child)) {}
+
+  StatusOr<DataType> ResultType(const Schema& schema) const override;
+  StatusOr<Column> Evaluate(const ColumnBatch& batch) const override;
+  std::string ToString() const override;
+
+ private:
+  ExprPtr child_;
+};
+
+// Convenience constructors.
+ExprPtr Col(int index);
+ExprPtr Lit(Datum value);
+ExprPtr Cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Not(ExprPtr child);
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+
+}  // namespace raw
+
+#endif  // RAW_COLUMNAR_EXPRESSION_H_

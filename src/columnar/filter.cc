@@ -1,0 +1,21 @@
+#include "columnar/filter.h"
+
+namespace raw {
+
+StatusOr<ColumnBatch> FilterOperator::Next() {
+  while (true) {
+    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
+    if (batch.empty()) return batch;  // EOF
+    rows_in_ += batch.num_rows();
+    SelectionVector selection;
+    selection.Reserve(batch.num_rows());
+    RAW_RETURN_NOT_OK(predicate_->EvaluateSelection(batch, &selection));
+    if (selection.empty()) continue;  // fully filtered; pull next batch
+    rows_out_ += selection.size();
+    // All rows pass: forward the batch untouched (common at 100% selectivity).
+    if (selection.size() == batch.num_rows()) return batch;
+    return batch.Filter(selection);
+  }
+}
+
+}  // namespace raw

@@ -1,0 +1,39 @@
+#ifndef RAW_COLUMNAR_FILTER_H_
+#define RAW_COLUMNAR_FILTER_H_
+
+#include <memory>
+
+#include "columnar/expression.h"
+#include "columnar/operator.h"
+
+namespace raw {
+
+/// Filters child batches by a boolean predicate, producing compacted batches
+/// (row ids compacted alongside, so late scans above see only survivors).
+class FilterOperator : public Operator {
+ public:
+  FilterOperator(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override { return child_->Open(); }
+  StatusOr<ColumnBatch> Next() override;
+  Status Close() override { return child_->Close(); }
+  std::string name() const override { return "Filter"; }
+
+  /// Rows examined / passed so far (selectivity accounting in benches).
+  int64_t rows_in() const { return rows_in_; }
+  int64_t rows_out() const { return rows_out_; }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+  int64_t rows_in_ = 0;
+  int64_t rows_out_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_COLUMNAR_FILTER_H_

@@ -1,0 +1,183 @@
+#include "columnar/hash_group_by.h"
+
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace raw {
+
+HashGroupByOperator::HashGroupByOperator(OperatorPtr child,
+                                         std::vector<int> key_columns,
+                                         std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      key_columns_(std::move(key_columns)),
+      aggs_(std::move(aggs)) {}
+
+Status HashGroupByOperator::Open() {
+  RAW_RETURN_NOT_OK(child_->Open());
+  agg_input_types_.clear();  // Open() may run more than once before Next()
+  const Schema& in = child_->output_schema();
+  Schema schema;
+  for (int k : key_columns_) {
+    if (k < 0 || k >= in.num_fields()) {
+      return Status::InvalidArgument("group-by key column out of range");
+    }
+    schema.AddField(in.field(k).name, in.field(k).type);
+  }
+  for (const AggSpec& spec : aggs_) {
+    DataType input_type = DataType::kInt64;
+    if (spec.kind != AggKind::kCount) {
+      if (spec.input < 0 || spec.input >= in.num_fields()) {
+        return Status::InvalidArgument("aggregate input column out of range");
+      }
+      input_type = in.field(spec.input).type;
+    }
+    agg_input_types_.push_back(input_type);
+    RAW_ASSIGN_OR_RETURN(DataType out_type,
+                         AggResultType(spec.kind, input_type));
+    schema.AddField(spec.output_name.empty()
+                        ? std::string(AggKindToString(spec.kind))
+                        : spec.output_name,
+                    out_type);
+  }
+  RAW_RETURN_NOT_OK(schema.Validate());
+  output_schema_ = std::move(schema);
+  return Status::OK();
+}
+
+namespace {
+// Serializes the group key of row `r` into `buf` for exact group identity.
+void EncodeKey(const ColumnBatch& batch, const std::vector<int>& keys,
+               int64_t r, std::string* buf) {
+  buf->clear();
+  for (int k : keys) {
+    const Column& col = *batch.column(k);
+    switch (col.type()) {
+      case DataType::kString: {
+        const std::string& s = col.StringValue(r);
+        uint32_t len = static_cast<uint32_t>(s.size());
+        buf->append(reinterpret_cast<const char*>(&len), sizeof(len));
+        buf->append(s);
+        break;
+      }
+      case DataType::kBool: {
+        char v = col.Value<bool>(r) ? 1 : 0;
+        buf->push_back(v);
+        break;
+      }
+      case DataType::kInt32: {
+        int32_t v = col.Value<int32_t>(r);
+        buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kInt64: {
+        int64_t v = col.Value<int64_t>(r);
+        buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kFloat32: {
+        float v = col.Value<float>(r);
+        buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kFloat64: {
+        double v = col.Value<double>(r);
+        buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+    }
+  }
+}
+}  // namespace
+
+Status HashGroupByOperator::ConsumeChild() {
+  struct Group {
+    std::vector<Datum> key_values;
+    std::vector<AggAccumulator> accs;
+  };
+  std::unordered_map<std::string, size_t> index;
+  std::vector<Group> groups;
+  std::string key_buf;
+
+  while (true) {
+    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
+    if (batch.empty()) break;
+    for (int64_t r = 0; r < batch.num_rows(); ++r) {
+      EncodeKey(batch, key_columns_, r, &key_buf);
+      auto [it, inserted] = index.try_emplace(key_buf, groups.size());
+      if (inserted) {
+        Group g;
+        for (int k : key_columns_) {
+          g.key_values.push_back(batch.column(k)->GetDatum(r));
+        }
+        for (size_t s = 0; s < aggs_.size(); ++s) {
+          g.accs.emplace_back(aggs_[s].kind, agg_input_types_[s]);
+        }
+        groups.push_back(std::move(g));
+      }
+      Group& g = groups[it->second];
+      for (size_t s = 0; s < aggs_.size(); ++s) {
+        const AggSpec& spec = aggs_[s];
+        if (spec.kind == AggKind::kCount) {
+          g.accs[s].UpdateCount();
+          continue;
+        }
+        const Column& col = *batch.column(spec.input);
+        switch (col.type()) {
+          case DataType::kInt32:
+            g.accs[s].UpdateInt(col.Value<int32_t>(r));
+            break;
+          case DataType::kInt64:
+            g.accs[s].UpdateInt(col.Value<int64_t>(r));
+            break;
+          case DataType::kFloat32:
+            g.accs[s].UpdateNumeric(static_cast<double>(col.Value<float>(r)));
+            break;
+          case DataType::kFloat64:
+            g.accs[s].UpdateNumeric(col.Value<double>(r));
+            break;
+          default:
+            return Status::InvalidArgument(
+                "cannot aggregate non-numeric column");
+        }
+      }
+    }
+  }
+
+  // Stage results columnar.
+  for (int c = 0; c < output_schema_.num_fields(); ++c) {
+    result_columns_.push_back(
+        std::make_shared<Column>(output_schema_.field(c).type));
+  }
+  const size_t num_keys = key_columns_.size();
+  for (const Group& g : groups) {
+    for (size_t k = 0; k < num_keys; ++k) {
+      result_columns_[k]->AppendDatum(g.key_values[k]);
+    }
+    for (size_t s = 0; s < aggs_.size(); ++s) {
+      result_columns_[num_keys + s]->AppendDatum(g.accs[s].Finalize());
+    }
+  }
+  num_groups_ = static_cast<int64_t>(groups.size());
+  return Status::OK();
+}
+
+StatusOr<ColumnBatch> HashGroupByOperator::Next() {
+  if (!consumed_) {
+    consumed_ = true;
+    RAW_RETURN_NOT_OK(ConsumeChild());
+  }
+  if (emit_cursor_ >= num_groups_) return ColumnBatch(output_schema_);
+  int64_t take = std::min(kDefaultBatchRows, num_groups_ - emit_cursor_);
+  ColumnBatch out(output_schema_);
+  std::vector<int64_t> idx(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) idx[static_cast<size_t>(i)] = emit_cursor_ + i;
+  for (const ColumnPtr& col : result_columns_) {
+    out.AddColumn(std::make_shared<Column>(col->Gather(idx.data(), take)));
+  }
+  out.SetNumRows(take);
+  emit_cursor_ += take;
+  return out;
+}
+
+}  // namespace raw

@@ -1,0 +1,42 @@
+#ifndef RAW_COLUMNAR_HASH_GROUP_BY_H_
+#define RAW_COLUMNAR_HASH_GROUP_BY_H_
+
+#include <vector>
+
+#include "columnar/aggregate.h"
+#include "columnar/operator.h"
+
+namespace raw {
+
+/// Hash-based GROUP BY over integer/string key columns. Consumes the whole
+/// child stream on the first Next() and then emits one row per group. Used by
+/// the Higgs query (per-event particle aggregation, §6).
+class HashGroupByOperator : public Operator {
+ public:
+  HashGroupByOperator(OperatorPtr child, std::vector<int> key_columns,
+                      std::vector<AggSpec> aggs);
+
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Open() override;
+  StatusOr<ColumnBatch> Next() override;
+  Status Close() override { return child_->Close(); }
+  std::string name() const override { return "HashGroupBy"; }
+
+ private:
+  Status ConsumeChild();
+
+  OperatorPtr child_;
+  std::vector<int> key_columns_;
+  std::vector<AggSpec> aggs_;
+  std::vector<DataType> agg_input_types_;
+  Schema output_schema_;
+  bool consumed_ = false;
+  // Result staging after ConsumeChild().
+  std::vector<ColumnPtr> result_columns_;
+  int64_t num_groups_ = 0;
+  int64_t emit_cursor_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_COLUMNAR_HASH_GROUP_BY_H_

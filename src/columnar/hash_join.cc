@@ -1,0 +1,152 @@
+#include "columnar/hash_join.h"
+
+#include <unordered_set>
+
+namespace raw {
+
+HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
+                                   int probe_key, int build_key,
+                                   bool emit_build_row_ids)
+    : probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_key_(probe_key),
+      build_key_(build_key),
+      emit_build_row_ids_(emit_build_row_ids) {}
+
+Status HashJoinOperator::Open() {
+  RAW_RETURN_NOT_OK(probe_->Open());
+  RAW_RETURN_NOT_OK(build_->Open());
+  const Schema& lhs = probe_->output_schema();
+  const Schema& rhs = build_->output_schema();
+  if (probe_key_ < 0 || probe_key_ >= lhs.num_fields() || build_key_ < 0 ||
+      build_key_ >= rhs.num_fields()) {
+    return Status::InvalidArgument("join key column out of range");
+  }
+  DataType lt = lhs.field(probe_key_).type;
+  DataType rt = rhs.field(build_key_).type;
+  if (!IsNumeric(lt) || !IsNumeric(rt) ||
+      lt == DataType::kFloat32 || lt == DataType::kFloat64 ||
+      rt == DataType::kFloat32 || rt == DataType::kFloat64) {
+    return Status::InvalidArgument("hash join requires integer key columns");
+  }
+  Schema schema;
+  std::unordered_set<std::string> names;
+  for (const Field& f : lhs.fields()) {
+    schema.AddField(f.name, f.type);
+    names.insert(f.name);
+  }
+  for (const Field& f : rhs.fields()) {
+    std::string name = f.name;
+    while (names.count(name) > 0) name += "_r";
+    schema.AddField(name, f.type);
+    names.insert(name);
+  }
+  if (emit_build_row_ids_) {
+    schema.AddField(kBuildRowIdColumn, DataType::kInt64);
+  }
+  RAW_RETURN_NOT_OK(schema.Validate());
+  output_schema_ = std::move(schema);
+  return Status::OK();
+}
+
+StatusOr<int64_t> HashJoinOperator::KeyAt(const Column& col,
+                                          int64_t i) const {
+  switch (col.type()) {
+    case DataType::kInt32:
+      return static_cast<int64_t>(col.Value<int32_t>(i));
+    case DataType::kInt64:
+      return col.Value<int64_t>(i);
+    case DataType::kBool:
+      return col.Value<bool>(i) ? 1 : 0;
+    default:
+      return Status::InvalidArgument("unsupported join key type");
+  }
+}
+
+Status HashJoinOperator::BuildHashTable() {
+  RAW_ASSIGN_OR_RETURN(ColumnBatch all, CollectAll(build_.get()));
+  build_table_ = std::move(all);
+  if (build_table_.has_row_ids()) {
+    build_row_ids_ = build_table_.row_ids();
+  } else {
+    build_row_ids_.resize(static_cast<size_t>(build_table_.num_rows()));
+    for (int64_t i = 0; i < build_table_.num_rows(); ++i) {
+      build_row_ids_[static_cast<size_t>(i)] = i;
+    }
+  }
+  table_.reserve(static_cast<size_t>(build_table_.num_rows()));
+  if (build_table_.num_rows() == 0) return Status::OK();
+  const Column& keys = *build_table_.column(build_key_);
+  for (int64_t i = 0; i < build_table_.num_rows(); ++i) {
+    RAW_ASSIGN_OR_RETURN(int64_t key, KeyAt(keys, i));
+    table_.emplace(key, i);
+  }
+  return Status::OK();
+}
+
+StatusOr<ColumnBatch> HashJoinOperator::Next() {
+  if (!built_) {
+    built_ = true;
+    RAW_RETURN_NOT_OK(BuildHashTable());
+  }
+  const int num_probe_cols = probe_->output_schema().num_fields();
+  const int num_build_cols = build_->output_schema().num_fields();
+
+  while (true) {
+    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, probe_->Next());
+    if (batch.empty()) return ColumnBatch(output_schema_);
+
+    // Gather matching (probe_row, build_row) pairs, probe order preserved.
+    std::vector<int32_t> probe_rows;
+    std::vector<int64_t> build_rows;
+    const Column& keys = *batch.column(probe_key_);
+    for (int64_t i = 0; i < batch.num_rows(); ++i) {
+      RAW_ASSIGN_OR_RETURN(int64_t key, KeyAt(keys, i));
+      auto [lo, hi] = table_.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        probe_rows.push_back(static_cast<int32_t>(i));
+        build_rows.push_back(it->second);
+      }
+    }
+    if (probe_rows.empty()) continue;
+
+    const int64_t n = static_cast<int64_t>(probe_rows.size());
+    ColumnBatch out(output_schema_);
+    for (int c = 0; c < num_probe_cols; ++c) {
+      out.AddColumn(std::make_shared<Column>(
+          batch.column(c)->Gather(probe_rows.data(), n)));
+    }
+    for (int c = 0; c < num_build_cols; ++c) {
+      out.AddColumn(std::make_shared<Column>(
+          build_table_.column(c)->Gather(build_rows.data(), n)));
+    }
+    if (emit_build_row_ids_) {
+      auto ids = std::make_shared<Column>(DataType::kInt64);
+      ids->Reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        ids->Append<int64_t>(
+            build_row_ids_[static_cast<size_t>(build_rows[static_cast<size_t>(i)])]);
+      }
+      out.AddColumn(std::move(ids));
+    }
+    out.SetNumRows(n);
+    // Probe-side provenance flows through as the batch's row ids.
+    if (batch.has_row_ids()) {
+      std::vector<int64_t> ids;
+      ids.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        ids.push_back(batch.row_ids()[static_cast<size_t>(
+            probe_rows[static_cast<size_t>(i)])]);
+      }
+      out.SetRowIds(std::move(ids));
+    }
+    return out;
+  }
+}
+
+Status HashJoinOperator::Close() {
+  RAW_RETURN_NOT_OK(probe_->Close());
+  return build_->Close();
+}
+
+}  // namespace raw

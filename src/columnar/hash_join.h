@@ -1,0 +1,56 @@
+#ifndef RAW_COLUMNAR_HASH_JOIN_H_
+#define RAW_COLUMNAR_HASH_JOIN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "columnar/operator.h"
+
+namespace raw {
+
+/// Inner hash equi-join. The *right* child is the build side (hash table) and
+/// the *left* child probes it in a pipelined fashion, preserving probe-side
+/// order — exactly the structure §5.3.2 of the paper analyses.
+///
+/// Output schema: probe fields then build fields (duplicate names get an
+/// "_r" suffix). Batch row ids carry *probe-side* provenance, so a late scan
+/// above the join reads the pipelined file in near-sequential order. When
+/// `emit_build_row_ids` is set, an extra trailing int64 column named
+/// `kBuildRowIdColumn` carries build-side row ids — the hook for
+/// pipeline-breaking late materialization (§5.3.2 "Late"/"Intermediate").
+class HashJoinOperator : public Operator {
+ public:
+  static constexpr const char* kBuildRowIdColumn = "__build_row_id";
+
+  HashJoinOperator(OperatorPtr probe, OperatorPtr build, int probe_key,
+                   int build_key, bool emit_build_row_ids = false);
+
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Open() override;
+  StatusOr<ColumnBatch> Next() override;
+  Status Close() override;
+  std::string name() const override { return "HashJoin"; }
+
+  /// Rows in the build hash table (after build-side drain).
+  int64_t build_rows() const { return build_table_.num_rows(); }
+
+ private:
+  Status BuildHashTable();
+  StatusOr<int64_t> KeyAt(const Column& col, int64_t i) const;
+
+  OperatorPtr probe_;
+  OperatorPtr build_;
+  int probe_key_;
+  int build_key_;
+  bool emit_build_row_ids_;
+  Schema output_schema_;
+  bool built_ = false;
+
+  ColumnBatch build_table_;                 // fully materialized build side
+  std::vector<int64_t> build_row_ids_;      // original row ids of build rows
+  std::unordered_multimap<int64_t, int64_t> table_;  // key -> build row index
+};
+
+}  // namespace raw
+
+#endif  // RAW_COLUMNAR_HASH_JOIN_H_

@@ -1,0 +1,84 @@
+#include "columnar/in_memory_table.h"
+
+namespace raw {
+
+InMemoryTable::InMemoryTable(Schema schema) : schema_(std::move(schema)) {
+  for (const Field& f : schema_.fields()) {
+    columns_.push_back(std::make_shared<Column>(f.type));
+  }
+}
+
+Status InMemoryTable::AppendBatch(const ColumnBatch& batch) {
+  if (batch.num_columns() != schema_.num_fields()) {
+    return Status::InvalidArgument("AppendBatch: column count mismatch");
+  }
+  for (int c = 0; c < batch.num_columns(); ++c) {
+    RAW_RETURN_NOT_OK(
+        columns_[static_cast<size_t>(c)]->AppendColumn(*batch.column(c)));
+  }
+  num_rows_ += batch.num_rows();
+  return Status::OK();
+}
+
+int64_t InMemoryTable::MemoryBytes() const {
+  int64_t total = 0;
+  for (const ColumnPtr& col : columns_) total += col->MemoryBytes();
+  return total;
+}
+
+OperatorPtr InMemoryTable::CreateScan(int64_t batch_rows,
+                                      std::vector<int> columns) const {
+  return std::make_unique<InMemoryScanOperator>(this, batch_rows,
+                                                std::move(columns));
+}
+
+InMemoryScanOperator::InMemoryScanOperator(const InMemoryTable* table,
+                                           int64_t batch_rows,
+                                           std::vector<int> columns)
+    : table_(table), batch_rows_(batch_rows), columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    for (int c = 0; c < table_->schema().num_fields(); ++c) {
+      columns_.push_back(c);
+    }
+  }
+  schema_ = table_->schema().Select(columns_);
+}
+
+Status InMemoryScanOperator::Open() {
+  cursor_ = 0;
+  for (int c : columns_) {
+    if (c < 0 || c >= table_->schema().num_fields()) {
+      return Status::InvalidArgument("in-memory scan column out of range");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<ColumnBatch> InMemoryScanOperator::Next() {
+  if (cursor_ >= table_->num_rows()) return ColumnBatch(schema_);
+  int64_t take = std::min(batch_rows_, table_->num_rows() - cursor_);
+  if (cursor_ == 0 && take == table_->num_rows()) {
+    // Whole table in one batch: share the column buffers (zero copy).
+    ColumnBatch out(schema_);
+    for (int c : columns_) out.AddColumn(table_->column(c));
+    out.SetNumRows(take);
+    std::vector<int64_t> ids(static_cast<size_t>(take));
+    for (int64_t i = 0; i < take; ++i) ids[static_cast<size_t>(i)] = i;
+    out.SetRowIds(std::move(ids));
+    cursor_ = take;
+    return out;
+  }
+  std::vector<int64_t> idx(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) idx[static_cast<size_t>(i)] = cursor_ + i;
+  ColumnBatch out(schema_);
+  for (int c : columns_) {
+    out.AddColumn(std::make_shared<Column>(
+        table_->column(c)->Gather(idx.data(), take)));
+  }
+  out.SetNumRows(take);
+  out.SetRowIds(std::move(idx));
+  cursor_ += take;
+  return out;
+}
+
+}  // namespace raw

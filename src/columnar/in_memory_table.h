@@ -1,0 +1,67 @@
+#ifndef RAW_COLUMNAR_IN_MEMORY_TABLE_H_
+#define RAW_COLUMNAR_IN_MEMORY_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "columnar/operator.h"
+
+namespace raw {
+
+/// A fully loaded columnar table — what a traditional column-store holds
+/// after data loading (the paper's "DBMS" baseline), and the container the
+/// bulk loader fills.
+class InMemoryTable {
+ public:
+  explicit InMemoryTable(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+
+  const ColumnPtr& column(int i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+  Column* mutable_column(int i) { return columns_[static_cast<size_t>(i)].get(); }
+
+  /// Appends a batch whose schema must match.
+  Status AppendBatch(const ColumnBatch& batch);
+
+  /// Total value-buffer footprint.
+  int64_t MemoryBytes() const;
+
+  /// Creates a scan operator over [0, num_rows) producing batches of
+  /// `batch_rows` with sequential row ids. The table must outlive the scan.
+  /// `columns` restricts the scan to a subset (empty = all columns) — a
+  /// loaded column-store never touches columns a query does not need.
+  OperatorPtr CreateScan(int64_t batch_rows = kDefaultBatchRows,
+                         std::vector<int> columns = {}) const;
+
+ private:
+  Schema schema_;
+  std::vector<ColumnPtr> columns_;
+  int64_t num_rows_ = 0;
+};
+
+/// Scan over an InMemoryTable (the "data already loaded" access path).
+class InMemoryScanOperator : public Operator {
+ public:
+  /// `columns` empty selects all columns.
+  InMemoryScanOperator(const InMemoryTable* table, int64_t batch_rows,
+                       std::vector<int> columns);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  StatusOr<ColumnBatch> Next() override;
+  std::string name() const override { return "InMemoryScan"; }
+
+ private:
+  const InMemoryTable* table_;
+  int64_t batch_rows_;
+  std::vector<int> columns_;
+  Schema schema_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_COLUMNAR_IN_MEMORY_TABLE_H_

@@ -1,0 +1,48 @@
+#include "columnar/operator.h"
+
+namespace raw {
+
+StatusOr<ColumnBatch> CollectAll(Operator* op) {
+  RAW_RETURN_NOT_OK(op->Open());
+  std::vector<ColumnBatch> batches;
+  while (true) {
+    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, op->Next());
+    if (batch.empty()) break;
+    batches.push_back(std::move(batch));
+  }
+  RAW_RETURN_NOT_OK(op->Close());
+  return ConcatBatches(op->output_schema(), batches);
+}
+
+StatusOr<ColumnBatch> ConcatBatches(const Schema& schema,
+                                    const std::vector<ColumnBatch>& batches) {
+  ColumnBatch out(schema);
+  std::vector<ColumnPtr> columns;
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    columns.push_back(std::make_shared<Column>(schema.field(c).type));
+  }
+  std::vector<int64_t> row_ids;
+  bool any_row_ids = false;
+  int64_t total_rows = 0;
+  for (const ColumnBatch& batch : batches) {
+    if (batch.num_columns() != schema.num_fields()) {
+      return Status::Internal("ConcatBatches: column count mismatch");
+    }
+    for (int c = 0; c < batch.num_columns(); ++c) {
+      RAW_RETURN_NOT_OK(columns[static_cast<size_t>(c)]->AppendColumn(
+          *batch.column(c)));
+    }
+    if (batch.has_row_ids()) {
+      any_row_ids = true;
+      row_ids.insert(row_ids.end(), batch.row_ids().begin(),
+                     batch.row_ids().end());
+    }
+    total_rows += batch.num_rows();
+  }
+  for (ColumnPtr& col : columns) out.AddColumn(std::move(col));
+  out.SetNumRows(total_rows);
+  if (any_row_ids) out.SetRowIds(std::move(row_ids));
+  return out;
+}
+
+}  // namespace raw

@@ -1,0 +1,40 @@
+#include "columnar/project.h"
+
+namespace raw {
+
+ProjectOperator::ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
+                                 std::vector<std::string> names)
+    : child_(std::move(child)),
+      exprs_(std::move(exprs)),
+      names_(std::move(names)) {}
+
+Status ProjectOperator::Open() {
+  RAW_RETURN_NOT_OK(child_->Open());
+  if (exprs_.size() != names_.size()) {
+    return Status::InvalidArgument("Project: exprs/names size mismatch");
+  }
+  Schema schema;
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    RAW_ASSIGN_OR_RETURN(DataType type,
+                         exprs_[i]->ResultType(child_->output_schema()));
+    schema.AddField(names_[i], type);
+  }
+  RAW_RETURN_NOT_OK(schema.Validate());
+  output_schema_ = std::move(schema);
+  return Status::OK();
+}
+
+StatusOr<ColumnBatch> ProjectOperator::Next() {
+  RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
+  if (batch.empty()) return ColumnBatch(output_schema_);
+  ColumnBatch out(output_schema_);
+  for (const ExprPtr& expr : exprs_) {
+    RAW_ASSIGN_OR_RETURN(Column col, expr->Evaluate(batch));
+    out.AddColumn(std::make_shared<Column>(std::move(col)));
+  }
+  out.SetNumRows(batch.num_rows());
+  if (batch.has_row_ids()) out.SetRowIds(batch.row_ids());
+  return out;
+}
+
+}  // namespace raw

@@ -1,0 +1,35 @@
+#ifndef RAW_COLUMNAR_PROJECT_H_
+#define RAW_COLUMNAR_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/expression.h"
+#include "columnar/operator.h"
+
+namespace raw {
+
+/// Computes one output column per expression over each child batch. Row ids
+/// are forwarded.
+class ProjectOperator : public Operator {
+ public:
+  /// `names[i]` is the output field name of `exprs[i]`.
+  ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
+                  std::vector<std::string> names);
+
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Open() override;
+  StatusOr<ColumnBatch> Next() override;
+  Status Close() override { return child_->Close(); }
+  std::string name() const override { return "Project"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  std::vector<std::string> names_;
+  Schema output_schema_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_COLUMNAR_PROJECT_H_

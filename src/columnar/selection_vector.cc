@@ -1,0 +1,20 @@
+#include "columnar/selection_vector.h"
+
+namespace raw {
+
+SelectionVector SelectionVector::All(int32_t n) {
+  std::vector<int32_t> v(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) v[static_cast<size_t>(i)] = i;
+  return SelectionVector(std::move(v));
+}
+
+SelectionVector SelectionVector::Compose(const SelectionVector& inner) const {
+  SelectionVector out;
+  out.Reserve(inner.size());
+  for (int64_t i = 0; i < inner.size(); ++i) {
+    out.Append(indices_[static_cast<size_t>(inner[i])]);
+  }
+  return out;
+}
+
+}  // namespace raw

@@ -1,0 +1,44 @@
+#ifndef RAW_COLUMNAR_SELECTION_VECTOR_H_
+#define RAW_COLUMNAR_SELECTION_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace raw {
+
+/// Indices of qualifying rows within a batch (MonetDB/X100-style selection
+/// vector, referenced by the paper in §5.1). Filter operators produce these;
+/// gather/late-scan operators consume them.
+class SelectionVector {
+ public:
+  SelectionVector() = default;
+  explicit SelectionVector(std::vector<int32_t> indices)
+      : indices_(std::move(indices)) {}
+
+  /// Identity selection [0, n).
+  static SelectionVector All(int32_t n);
+
+  int64_t size() const { return static_cast<int64_t>(indices_.size()); }
+  bool empty() const { return indices_.empty(); }
+  int32_t operator[](int64_t i) const {
+    return indices_[static_cast<size_t>(i)];
+  }
+  const int32_t* data() const { return indices_.data(); }
+
+  void Append(int32_t index) { indices_.push_back(index); }
+  void Clear() { indices_.clear(); }
+  void Reserve(int64_t n) { indices_.reserve(static_cast<size_t>(n)); }
+
+  const std::vector<int32_t>& indices() const { return indices_; }
+
+  /// Composes: returns selection s.t. result[i] = this[inner[i]].
+  SelectionVector Compose(const SelectionVector& inner) const;
+
+ private:
+  std::vector<int32_t> indices_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_COLUMNAR_SELECTION_VECTOR_H_

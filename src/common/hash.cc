@@ -1,0 +1,15 @@
+#include "common/hash.h"
+
+namespace raw {
+
+std::string HashToHex(uint64_t h) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace raw

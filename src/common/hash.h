@@ -1,0 +1,40 @@
+#ifndef RAW_COMMON_HASH_H_
+#define RAW_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace raw {
+
+/// FNV-1a 64-bit hash. Used for JIT template-cache keys and hash tables.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+/// Mixes a 64-bit value (splitmix64 finalizer); good avalanche for join keys.
+inline uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hex-encodes a 64-bit hash (16 chars), for cache file names.
+std::string HashToHex(uint64_t h);
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_HASH_H_

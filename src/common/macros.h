@@ -1,0 +1,30 @@
+#ifndef RAW_COMMON_MACROS_H_
+#define RAW_COMMON_MACROS_H_
+
+// Branch-prediction and utility macros shared across the RAW engine.
+
+#define RAW_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define RAW_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+#define RAW_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+// Propagates a non-OK raw::Status from an expression.
+#define RAW_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::raw::Status _st = (expr);                \
+    if (RAW_UNLIKELY(!_st.ok())) return _st;   \
+  } while (0)
+
+// Evaluates an expression returning StatusOr<T>; on success assigns the value
+// to `lhs`, otherwise returns the error status.
+#define RAW_CONCAT_IMPL(a, b) a##b
+#define RAW_CONCAT(a, b) RAW_CONCAT_IMPL(a, b)
+#define RAW_ASSIGN_OR_RETURN(lhs, expr)                             \
+  auto RAW_CONCAT(_raw_sor_, __LINE__) = (expr);                    \
+  if (RAW_UNLIKELY(!RAW_CONCAT(_raw_sor_, __LINE__).ok()))          \
+    return RAW_CONCAT(_raw_sor_, __LINE__).status();                \
+  lhs = std::move(RAW_CONCAT(_raw_sor_, __LINE__)).value()
+
+#endif  // RAW_COMMON_MACROS_H_

@@ -1,0 +1,37 @@
+#ifndef RAW_COMMON_RNG_H_
+#define RAW_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace raw {
+
+/// Small, fast, deterministic PRNG (xoshiro256**). Data generators use this
+/// so experiment inputs are reproducible across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+  int32_t NextInt32(int32_t lo, int32_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  bool NextBool() { return (Next() & 1) != 0; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_RNG_H_

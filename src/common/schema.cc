@@ -1,0 +1,72 @@
+#include "common/schema.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace raw {
+
+int Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StatusOr<Field> Schema::FieldByName(std::string_view name) const {
+  int idx = FieldIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("no field named '" + std::string(name) + "'");
+  }
+  return fields_[static_cast<size_t>(idx)];
+}
+
+Status Schema::Validate() const {
+  std::unordered_set<std::string_view> seen;
+  for (const Field& f : fields_) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("schema has field with empty name");
+    }
+    if (!seen.insert(f.name).second) {
+      return Status::InvalidArgument("duplicate field name: " + f.name);
+    }
+  }
+  return Status::OK();
+}
+
+Schema Schema::Select(const std::vector<int>& indices) const {
+  std::vector<Field> out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(fields_[static_cast<size_t>(i)]);
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += fields_[i].name;
+    out += ':';
+    out += DataTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+StatusOr<Schema> Schema::FromString(std::string_view spec) {
+  Schema schema;
+  if (spec.empty()) return schema;
+  for (std::string_view part : SplitString(spec, ',')) {
+    size_t colon = part.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("bad schema field spec: " + std::string(part));
+    }
+    RAW_ASSIGN_OR_RETURN(DataType type,
+                         DataTypeFromString(part.substr(colon + 1)));
+    schema.AddField(std::string(part.substr(0, colon)), type);
+  }
+  RAW_RETURN_NOT_OK(schema.Validate());
+  return schema;
+}
+
+}  // namespace raw

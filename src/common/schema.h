@@ -1,0 +1,72 @@
+#ifndef RAW_COMMON_SCHEMA_H_
+#define RAW_COMMON_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/types.h"
+
+namespace raw {
+
+/// A named, typed column in a table schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt32;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered collection of fields describing a table or a raw file's rows.
+///
+/// RAW supports *partial* schemas (§3 of the paper): for formats navigable by
+/// attribute name (e.g. the REF event format), users may declare only the
+/// fields of interest. For offset-navigated formats (CSV, binary) the schema
+/// must describe every physical column.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+  Schema(std::initializer_list<Field> fields) : fields_(fields) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Appends a field. Duplicate names are rejected at Validate() time.
+  void AddField(std::string name, DataType type) {
+    fields_.push_back(Field{std::move(name), type});
+  }
+
+  /// Returns the index of the field named `name`, or -1 when absent.
+  int FieldIndex(std::string_view name) const;
+
+  /// Returns the field named `name` or NotFound.
+  StatusOr<Field> FieldByName(std::string_view name) const;
+
+  /// Verifies that field names are non-empty and unique.
+  Status Validate() const;
+
+  /// Returns a schema with only the fields at `indices`, in that order.
+  Schema Select(const std::vector<int>& indices) const;
+
+  /// "name:type,name:type,..." — used in catalog dumps and JIT cache keys.
+  std::string ToString() const;
+
+  /// Parses the ToString() representation.
+  static StatusOr<Schema> FromString(std::string_view spec);
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_SCHEMA_H_

@@ -1,0 +1,57 @@
+#ifndef RAW_COMMON_STATUSOR_H_
+#define RAW_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace raw {
+
+/// Holds either a value of type T or a non-OK Status. The usual companion of
+/// Status for functions that produce a result.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  /// Constructs from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_STATUSOR_H_

@@ -1,0 +1,50 @@
+#ifndef RAW_COMMON_STOPWATCH_H_
+#define RAW_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace raw {
+
+/// Monotonic wall-clock stopwatch used by benchmarks and ScanProfile.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulating timer: add intervals across many calls, read total at the
+/// end. Used for the Figure-3 cost breakdown.
+class AccumTimer {
+ public:
+  void Start() { watch_.Restart(); }
+  void Stop() { total_ns_ += watch_.ElapsedNanos(); }
+  void Reset() { total_ns_ = 0; }
+  int64_t total_nanos() const { return total_ns_; }
+  double total_seconds() const { return static_cast<double>(total_ns_) * 1e-9; }
+
+ private:
+  Stopwatch watch_;
+  int64_t total_ns_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_STOPWATCH_H_

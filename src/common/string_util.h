@@ -1,0 +1,34 @@
+#ifndef RAW_COMMON_STRING_UTIL_H_
+#define RAW_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raw {
+
+/// Splits `input` on `sep`; keeps empty pieces ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> SplitString(std::string_view input, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lowercases ASCII.
+std::string ToLower(std::string_view input);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Human-readable byte count, e.g. "1.5 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_STRING_UTIL_H_

@@ -1,0 +1,61 @@
+#include "common/temp_dir.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+namespace raw {
+
+namespace fs = std::filesystem;
+
+StatusOr<TempDir> TempDir::Create(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/" +
+                     prefix + "XXXXXX";
+  std::string buf = tmpl;
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return Status::IOError("mkdtemp failed for " + tmpl);
+  }
+  return TempDir(buf);
+}
+
+TempDir::TempDir(TempDir&& other) noexcept
+    : path_(std::move(other.path_)), owned_(other.owned_) {
+  other.owned_ = false;
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    if (owned_) RemoveTree(path_);
+    path_ = std::move(other.path_);
+    owned_ = other.owned_;
+    other.owned_ = false;
+  }
+  return *this;
+}
+
+TempDir::~TempDir() {
+  if (owned_) RemoveTree(path_);
+}
+
+std::string TempDir::FilePath(const std::string& name) const {
+  return path_ + "/" + name;
+}
+
+Status RemoveTree(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) return Status::IOError("remove_all '" + path + "': " + ec.message());
+  return Status::OK();
+}
+
+Status MakeDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("create_directories '" + path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace raw

@@ -1,0 +1,48 @@
+#ifndef RAW_COMMON_TEMP_DIR_H_
+#define RAW_COMMON_TEMP_DIR_H_
+
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace raw {
+
+/// RAII temporary directory; removed recursively on destruction. Used by the
+/// JIT compiler (generated sources / shared objects), tests and benchmarks.
+class TempDir {
+ public:
+  /// Creates a fresh directory under $TMPDIR (default /tmp) named
+  /// `<prefix>XXXXXX`.
+  static StatusOr<TempDir> Create(const std::string& prefix = "raw_");
+
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+  ~TempDir();
+  RAW_DISALLOW_COPY_AND_ASSIGN(TempDir);
+
+  const std::string& path() const { return path_; }
+
+  /// Returns `path()/name`.
+  std::string FilePath(const std::string& name) const;
+
+  /// Keeps the directory on destruction (debugging aid).
+  void Release() { owned_ = false; }
+
+ private:
+  explicit TempDir(std::string path) : path_(std::move(path)), owned_(true) {}
+
+  std::string path_;
+  bool owned_ = false;
+};
+
+/// Recursively removes a directory tree. No-op when absent.
+Status RemoveTree(const std::string& path);
+
+/// Creates a directory (and parents). OK when it already exists.
+Status MakeDirs(const std::string& path);
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_TEMP_DIR_H_

@@ -1,0 +1,67 @@
+#include "common/types.h"
+
+namespace raw {
+
+int FixedWidth(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kFloat64:
+      return 8;
+    case DataType::kString:
+      return 0;
+  }
+  return 0;
+}
+
+bool IsFixedWidth(DataType type) { return type != DataType::kString; }
+
+bool IsNumeric(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+    case DataType::kInt64:
+    case DataType::kFloat32:
+    case DataType::kFloat64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat32:
+      return "float32";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+StatusOr<DataType> DataTypeFromString(std::string_view name) {
+  if (name == "bool") return DataType::kBool;
+  if (name == "int32" || name == "int") return DataType::kInt32;
+  if (name == "int64" || name == "bigint") return DataType::kInt64;
+  if (name == "float32" || name == "float") return DataType::kFloat32;
+  if (name == "float64" || name == "double") return DataType::kFloat64;
+  if (name == "string" || name == "text" || name == "varchar") {
+    return DataType::kString;
+  }
+  return Status::InvalidArgument("unknown data type: " + std::string(name));
+}
+
+}  // namespace raw

@@ -1,0 +1,97 @@
+#ifndef RAW_COMMON_TYPES_H_
+#define RAW_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace raw {
+
+/// Physical data types understood by the columnar engine and the raw-file
+/// access paths. STRING is variable-length; everything else is fixed-width.
+enum class DataType : uint8_t {
+  kBool = 0,
+  kInt32 = 1,
+  kInt64 = 2,
+  kFloat32 = 3,
+  kFloat64 = 4,
+  kString = 5,
+};
+
+/// Number of distinct DataType values (for table-driven dispatch).
+inline constexpr int kNumDataTypes = 6;
+
+/// Returns the fixed on-disk / in-memory width of `type` in bytes, or 0 for
+/// variable-length types (STRING).
+int FixedWidth(DataType type);
+
+/// Returns true for INT32/INT64/FLOAT32/FLOAT64/BOOL.
+bool IsFixedWidth(DataType type);
+
+/// Returns true for numeric types (ints and floats).
+bool IsNumeric(DataType type);
+
+/// Returns the lowercase SQL-ish name, e.g. "int32", "float64".
+std::string_view DataTypeToString(DataType type);
+
+/// Parses "int32", "int64", "float32", "float64", "bool", "string".
+StatusOr<DataType> DataTypeFromString(std::string_view name);
+
+/// C++ type mapping used by templated kernels.
+template <DataType kType>
+struct CType;
+template <>
+struct CType<DataType::kBool> {
+  using type = bool;
+};
+template <>
+struct CType<DataType::kInt32> {
+  using type = int32_t;
+};
+template <>
+struct CType<DataType::kInt64> {
+  using type = int64_t;
+};
+template <>
+struct CType<DataType::kFloat32> {
+  using type = float;
+};
+template <>
+struct CType<DataType::kFloat64> {
+  using type = double;
+};
+
+/// Reverse mapping from a C++ type to its DataType tag.
+template <typename T>
+struct TypeTag;
+template <>
+struct TypeTag<bool> {
+  static constexpr DataType value = DataType::kBool;
+};
+template <>
+struct TypeTag<int32_t> {
+  static constexpr DataType value = DataType::kInt32;
+};
+template <>
+struct TypeTag<int64_t> {
+  static constexpr DataType value = DataType::kInt64;
+};
+template <>
+struct TypeTag<float> {
+  static constexpr DataType value = DataType::kFloat32;
+};
+template <>
+struct TypeTag<double> {
+  static constexpr DataType value = DataType::kFloat64;
+};
+template <>
+struct TypeTag<std::string> {
+  static constexpr DataType value = DataType::kString;
+};
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_TYPES_H_

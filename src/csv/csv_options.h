@@ -1,0 +1,17 @@
+#ifndef RAW_CSV_CSV_OPTIONS_H_
+#define RAW_CSV_CSV_OPTIONS_H_
+
+namespace raw {
+
+/// Dialect options for CSV files. RAW defaults to plain comma-separated
+/// values with no header (the paper's microbenchmark files).
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = false;
+  /// Quote character for string fields containing delimiters/newlines.
+  char quote = '"';
+};
+
+}  // namespace raw
+
+#endif  // RAW_CSV_CSV_OPTIONS_H_

@@ -1,0 +1,83 @@
+#include "csv/csv_tokenizer.h"
+
+#include <cstring>
+
+namespace raw {
+
+CsvRowCursor::CsvRowCursor(const char* begin, const char* end,
+                           CsvOptions options)
+    : begin_(begin), end_(end), pos_(begin), options_(options) {}
+
+Status CsvRowCursor::NextRow(std::vector<FieldRef>* fields) {
+  fields->clear();
+  if (AtEnd()) return Status::Internal("NextRow called at EOF");
+  const char* p = pos_;
+  const char delim = options_.delimiter;
+  while (true) {
+    if (p != end_ && *p == options_.quote) {
+      // Quoted field: scan to the closing quote ("" escapes a quote).
+      const char* field_start = ++p;
+      while (p != end_) {
+        if (*p == options_.quote) {
+          if (p + 1 != end_ && p[1] == options_.quote) {
+            p += 2;
+            continue;
+          }
+          break;
+        }
+        ++p;
+      }
+      if (p == end_) return Status::ParseError("unterminated quoted field");
+      fields->push_back(
+          FieldRef{field_start, static_cast<int32_t>(p - field_start)});
+      ++p;  // closing quote
+    } else {
+      const char* field_start = p;
+      while (p != end_ && *p != delim && *p != '\n' && *p != '\r') ++p;
+      fields->push_back(
+          FieldRef{field_start, static_cast<int32_t>(p - field_start)});
+    }
+    if (p == end_) {
+      pos_ = p;
+      return Status::OK();
+    }
+    if (*p == delim) {
+      ++p;
+      continue;
+    }
+    pos_ = SkipRowEnd(p, end_);
+    return Status::OK();
+  }
+}
+
+void CsvRowCursor::SkipRow() {
+  const char* p = static_cast<const char*>(
+      std::memchr(pos_, '\n', static_cast<size_t>(end_ - pos_)));
+  pos_ = (p == nullptr) ? end_ : p + 1;
+}
+
+int64_t CountRows(const char* begin, const char* end,
+                  const CsvOptions& options) {
+  const char* p = begin + DataStartOffset(begin, end, options);
+  int64_t rows = 0;
+  while (p < end) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(p, '\n', static_cast<size_t>(end - p)));
+    ++rows;
+    if (nl == nullptr) break;
+    p = nl + 1;
+    if (p == end) break;  // trailing newline: no extra row
+  }
+  return rows;
+}
+
+uint64_t DataStartOffset(const char* begin, const char* end,
+                         const CsvOptions& options) {
+  if (!options.has_header) return 0;
+  const char* nl = static_cast<const char*>(
+      std::memchr(begin, '\n', static_cast<size_t>(end - begin)));
+  if (nl == nullptr) return static_cast<uint64_t>(end - begin);
+  return static_cast<uint64_t>(nl + 1 - begin);
+}
+
+}  // namespace raw

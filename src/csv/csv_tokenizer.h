@@ -1,0 +1,95 @@
+#ifndef RAW_CSV_CSV_TOKENIZER_H_
+#define RAW_CSV_CSV_TOKENIZER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "csv/csv_options.h"
+
+namespace raw {
+
+/// A view into one CSV field inside the mapped raw file.
+struct FieldRef {
+  const char* data = nullptr;
+  int32_t size = 0;
+
+  std::string_view view() const {
+    return std::string_view(data, static_cast<size_t>(size));
+  }
+};
+
+/// Low-level field navigation primitives. These are the building blocks both
+/// the interpreted (NoDB-style) scan and the JIT-generated scan use; the
+/// difference is that generated code calls them in an unrolled, schema-aware
+/// sequence with no per-field switch (§4.1).
+
+/// Returns a pointer one past the end of the field starting at `p`
+/// (i.e. at the delimiter / newline / `end`).
+inline const char* FieldEnd(const char* p, const char* end, char delim) {
+  while (p != end && *p != delim && *p != '\n') ++p;
+  return p;
+}
+
+/// Advances past the field *and* its trailing delimiter.
+inline const char* SkipField(const char* p, const char* end, char delim) {
+  p = FieldEnd(p, end, delim);
+  if (p != end && *p == delim) ++p;
+  return p;
+}
+
+/// Advances past the row terminator ('\n'; tolerates "\r\n").
+inline const char* SkipRowEnd(const char* p, const char* end) {
+  if (p != end && *p == '\r') ++p;
+  if (p != end && *p == '\n') ++p;
+  return p;
+}
+
+/// Zero-allocation cursor over the rows of an in-memory CSV buffer.
+///
+/// Handles quoted fields (RFC-4180 style) on a slow path; the hot path for
+/// the paper's numeric workloads never sees a quote.
+class CsvRowCursor {
+ public:
+  CsvRowCursor(const char* begin, const char* end, CsvOptions options);
+
+  /// True once all rows are consumed.
+  bool AtEnd() const { return pos_ >= end_; }
+
+  /// Byte offset of the row the cursor currently points at.
+  uint64_t CurrentOffset() const {
+    return static_cast<uint64_t>(pos_ - begin_);
+  }
+
+  /// Tokenizes the current row into `fields` (views into the buffer) and
+  /// advances to the next row. `fields` is cleared first.
+  Status NextRow(std::vector<FieldRef>* fields);
+
+  /// Skips the current row without tokenizing (fast line scan).
+  void SkipRow();
+
+  /// Repositions the cursor at an absolute byte offset (positional-map jump).
+  void SeekTo(uint64_t offset) { pos_ = begin_ + offset; }
+
+  const char* position() const { return pos_; }
+  const char* end() const { return end_; }
+
+ private:
+  const char* begin_;
+  const char* end_;
+  const char* pos_;
+  CsvOptions options_;
+};
+
+/// Counts data rows in the buffer (excluding a header row when configured).
+int64_t CountRows(const char* begin, const char* end, const CsvOptions& options);
+
+/// Returns the offset of the first data row (skips the header when present).
+uint64_t DataStartOffset(const char* begin, const char* end,
+                         const CsvOptions& options);
+
+}  // namespace raw
+
+#endif  // RAW_CSV_CSV_TOKENIZER_H_

@@ -1,0 +1,152 @@
+#include "csv/csv_writer.h"
+
+#include <cinttypes>
+
+namespace raw {
+
+namespace {
+constexpr size_t kFlushThreshold = 1 << 20;  // 1 MiB write buffer
+}
+
+CsvWriter::CsvWriter(std::string path, CsvOptions options)
+    : path_(std::move(path)), options_(options) {}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) {
+    // Best effort; callers that care about errors call Close().
+    if (!buffer_.empty()) fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    fclose(file_);
+  }
+}
+
+Status CsvWriter::Open(const Schema* header_schema) {
+  file_ = fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot create CSV file '" + path_ + "'");
+  }
+  buffer_.reserve(kFlushThreshold + (1 << 16));
+  if (options_.has_header) {
+    if (header_schema == nullptr) {
+      return Status::InvalidArgument(
+          "has_header set but no header schema provided");
+    }
+    for (int i = 0; i < header_schema->num_fields(); ++i) {
+      if (i > 0) buffer_.push_back(options_.delimiter);
+      buffer_ += header_schema->field(i).name;
+    }
+    buffer_.push_back('\n');
+  }
+  return Status::OK();
+}
+
+void CsvWriter::MaybeDelimit() {
+  if (row_started_) {
+    buffer_.push_back(options_.delimiter);
+  } else {
+    row_started_ = true;
+  }
+}
+
+void CsvWriter::Put(std::string_view s) { buffer_.append(s); }
+
+void CsvWriter::AppendInt32(int32_t v) {
+  MaybeDelimit();
+  char tmp[16];
+  int n = snprintf(tmp, sizeof(tmp), "%d", v);
+  buffer_.append(tmp, static_cast<size_t>(n));
+}
+
+void CsvWriter::AppendInt64(int64_t v) {
+  MaybeDelimit();
+  char tmp[24];
+  int n = snprintf(tmp, sizeof(tmp), "%" PRId64, v);
+  buffer_.append(tmp, static_cast<size_t>(n));
+}
+
+void CsvWriter::AppendFloat64(double v) {
+  MaybeDelimit();
+  char tmp[32];
+  int n = snprintf(tmp, sizeof(tmp), "%.17g", v);
+  buffer_.append(tmp, static_cast<size_t>(n));
+}
+
+void CsvWriter::AppendString(std::string_view v) {
+  MaybeDelimit();
+  bool needs_quote =
+      v.find(options_.delimiter) != std::string_view::npos ||
+      v.find('\n') != std::string_view::npos ||
+      v.find(options_.quote) != std::string_view::npos;
+  if (!needs_quote) {
+    Put(v);
+    return;
+  }
+  buffer_.push_back(options_.quote);
+  for (char c : v) {
+    if (c == options_.quote) buffer_.push_back(options_.quote);
+    buffer_.push_back(c);
+  }
+  buffer_.push_back(options_.quote);
+}
+
+void CsvWriter::EndRow() {
+  buffer_.push_back('\n');
+  row_started_ = false;
+  ++rows_written_;
+  if (buffer_.size() >= kFlushThreshold) {
+    fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    buffer_.clear();
+  }
+}
+
+Status CsvWriter::AppendRow(const std::vector<std::string>& fields) {
+  for (const std::string& f : fields) AppendString(f);
+  EndRow();
+  return Status::OK();
+}
+
+Status CsvWriter::AppendDatumRow(const std::vector<Datum>& values) {
+  for (const Datum& d : values) {
+    switch (d.type()) {
+      case DataType::kInt32:
+        AppendInt32(d.int32_value());
+        break;
+      case DataType::kInt64:
+        AppendInt64(d.int64_value());
+        break;
+      case DataType::kFloat32:
+        AppendFloat64(static_cast<double>(d.float32_value()));
+        break;
+      case DataType::kFloat64:
+        AppendFloat64(d.float64_value());
+        break;
+      case DataType::kBool:
+        AppendString(d.bool_value() ? "1" : "0");
+        break;
+      case DataType::kString:
+        AppendString(d.string_value());
+        break;
+    }
+  }
+  EndRow();
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  if (!buffer_.empty()) {
+    if (fwrite(buffer_.data(), 1, buffer_.size(), file_) != buffer_.size()) {
+      fclose(file_);
+      file_ = nullptr;
+      return Status::IOError("short write to '" + path_ + "'");
+    }
+    buffer_.clear();
+  }
+  if (fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IOError("close failed for '" + path_ + "'");
+  }
+  file_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace raw

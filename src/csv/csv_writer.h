@@ -1,0 +1,59 @@
+#ifndef RAW_CSV_CSV_WRITER_H_
+#define RAW_CSV_CSV_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "common/macros.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "csv/csv_options.h"
+
+namespace raw {
+
+/// Buffered CSV file writer used by the workload generators and tests.
+class CsvWriter {
+ public:
+  CsvWriter(std::string path, CsvOptions options = CsvOptions());
+  ~CsvWriter();
+  RAW_DISALLOW_COPY_AND_ASSIGN(CsvWriter);
+
+  /// Opens the file (truncating) and writes the header when configured.
+  Status Open(const Schema* header_schema = nullptr);
+
+  /// Appends one row of raw (pre-formatted) fields.
+  Status AppendRow(const std::vector<std::string>& fields);
+
+  /// Appends one row of typed values formatted canonically.
+  Status AppendDatumRow(const std::vector<Datum>& values);
+
+  // Typed streaming interface (fastest path for the generators):
+  // call Append* for each field in order, then EndRow().
+  void AppendInt32(int32_t v);
+  void AppendInt64(int64_t v);
+  void AppendFloat64(double v);
+  void AppendString(std::string_view v);
+  void EndRow();
+
+  /// Flushes and closes. Returns any deferred I/O error.
+  Status Close();
+
+  int64_t rows_written() const { return rows_written_; }
+
+ private:
+  void MaybeDelimit();
+  void Put(std::string_view s);
+
+  std::string path_;
+  CsvOptions options_;
+  FILE* file_ = nullptr;
+  bool row_started_ = false;
+  int64_t rows_written_ = 0;
+  std::string buffer_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_CSV_CSV_WRITER_H_

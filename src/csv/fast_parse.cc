@@ -1,0 +1,97 @@
+#include "csv/fast_parse.h"
+
+#include <charconv>
+#include <string>
+
+namespace raw {
+
+namespace {
+inline bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+template <typename T>
+StatusOr<T> ParseIntImpl(const char* data, int32_t size) {
+  if (size <= 0) return Status::ParseError("empty integer field");
+  const char* p = data;
+  const char* end = data + size;
+  bool negative = false;
+  if (*p == '-' || *p == '+') {
+    negative = (*p == '-');
+    ++p;
+    if (p == end) return Status::ParseError("sign-only integer field");
+  }
+  T value = 0;
+  for (; p != end; ++p) {
+    if (!IsDigit(*p)) {
+      return Status::ParseError("bad integer field: " +
+                                std::string(data, static_cast<size_t>(size)));
+    }
+    value = static_cast<T>(value * 10 + (*p - '0'));
+  }
+  return negative ? static_cast<T>(-value) : value;
+}
+}  // namespace
+
+StatusOr<int32_t> ParseInt32(const char* data, int32_t size) {
+  return ParseIntImpl<int32_t>(data, size);
+}
+
+StatusOr<int64_t> ParseInt64(const char* data, int32_t size) {
+  return ParseIntImpl<int64_t>(data, size);
+}
+
+StatusOr<float> ParseFloat32(const char* data, int32_t size) {
+  float v = 0;
+  auto [p, ec] = std::from_chars(data, data + size, v);
+  if (ec != std::errc() || p != data + size) {
+    return Status::ParseError("bad float field: " +
+                              std::string(data, static_cast<size_t>(size)));
+  }
+  return v;
+}
+
+StatusOr<double> ParseFloat64(const char* data, int32_t size) {
+  double v = 0;
+  auto [p, ec] = std::from_chars(data, data + size, v);
+  if (ec != std::errc() || p != data + size) {
+    return Status::ParseError("bad double field: " +
+                              std::string(data, static_cast<size_t>(size)));
+  }
+  return v;
+}
+
+StatusOr<bool> ParseBool(const char* data, int32_t size) {
+  std::string_view s(data, static_cast<size_t>(size));
+  if (s == "1" || s == "true" || s == "t") return true;
+  if (s == "0" || s == "false" || s == "f") return false;
+  return Status::ParseError("bad bool field: " + std::string(s));
+}
+
+int32_t ParseInt32Unchecked(const char* data, int32_t size) {
+  const char* p = data;
+  bool negative = (*p == '-');
+  if (negative) ++p;
+  int32_t value = 0;
+  for (const char* end = data + size; p != end; ++p) {
+    value = value * 10 + (*p - '0');
+  }
+  return negative ? -value : value;
+}
+
+int64_t ParseInt64Unchecked(const char* data, int32_t size) {
+  const char* p = data;
+  bool negative = (*p == '-');
+  if (negative) ++p;
+  int64_t value = 0;
+  for (const char* end = data + size; p != end; ++p) {
+    value = value * 10 + (*p - '0');
+  }
+  return negative ? -value : value;
+}
+
+double ParseFloat64Unchecked(const char* data, int32_t size) {
+  double v = 0;
+  std::from_chars(data, data + size, v);
+  return v;
+}
+
+}  // namespace raw

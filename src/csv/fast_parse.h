@@ -1,0 +1,30 @@
+#ifndef RAW_CSV_FAST_PARSE_H_
+#define RAW_CSV_FAST_PARSE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace raw {
+
+/// Length-aware numeric parsers — the "custom version of atoi" the paper
+/// uses once the positional map knows field extents (§4.2). They avoid the
+/// locale machinery and per-character bound checks of the libc converters.
+/// All parsers accept an optional leading '-' and reject garbage.
+
+StatusOr<int32_t> ParseInt32(const char* data, int32_t size);
+StatusOr<int64_t> ParseInt64(const char* data, int32_t size);
+StatusOr<float> ParseFloat32(const char* data, int32_t size);
+StatusOr<double> ParseFloat64(const char* data, int32_t size);
+StatusOr<bool> ParseBool(const char* data, int32_t size);
+
+/// Unchecked variants for the hot scan loops: no validation, the caller
+/// guarantees a well-formed field (generated code does; see jit/).
+int32_t ParseInt32Unchecked(const char* data, int32_t size);
+int64_t ParseInt64Unchecked(const char* data, int32_t size);
+double ParseFloat64Unchecked(const char* data, int32_t size);
+
+}  // namespace raw
+
+#endif  // RAW_CSV_FAST_PARSE_H_

@@ -1,0 +1,131 @@
+#include "csv/schema_inference.h"
+
+#include <charconv>
+
+#include "common/macros.h"
+#include "common/mmap_file.h"
+#include "csv/csv_tokenizer.h"
+
+namespace raw {
+
+namespace {
+
+int LatticeRank(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return 0;
+    case DataType::kInt32:
+      return 1;
+    case DataType::kInt64:
+      return 2;
+    case DataType::kFloat64:
+      return 3;
+    default:
+      return 4;  // string (and anything else) tops the lattice
+  }
+}
+
+}  // namespace
+
+DataType PromoteTypes(DataType a, DataType b) {
+  if (a == b) return a;
+  // bool ("true"/"false") does not parse as a number: mixing it with any
+  // numeric type can only be represented as string.
+  if ((a == DataType::kBool && IsNumeric(b)) ||
+      (b == DataType::kBool && IsNumeric(a))) {
+    return DataType::kString;
+  }
+  static constexpr DataType kByRank[] = {DataType::kBool, DataType::kInt32,
+                                         DataType::kInt64, DataType::kFloat64,
+                                         DataType::kString};
+  return kByRank[std::max(LatticeRank(a), LatticeRank(b))];
+}
+
+DataType ClassifyField(const char* data, int32_t size) {
+  if (size == 0) return DataType::kString;  // empty: no narrower encoding
+  std::string_view s(data, static_cast<size_t>(size));
+  if (s == "0" || s == "1" || s == "true" || s == "false") {
+    // 0/1 stay integers (bool is rarely what a numeric column means);
+    // only the words classify as bool.
+    if (s == "true" || s == "false") return DataType::kBool;
+  }
+  // Integer?
+  {
+    int64_t v = 0;
+    auto [p, ec] = std::from_chars(data, data + size, v);
+    if (ec == std::errc() && p == data + size) {
+      return (v >= INT32_MIN && v <= INT32_MAX) ? DataType::kInt32
+                                                : DataType::kInt64;
+    }
+  }
+  // Float?
+  {
+    double v = 0;
+    auto [p, ec] = std::from_chars(data, data + size, v);
+    if (ec == std::errc() && p == data + size) return DataType::kFloat64;
+  }
+  return DataType::kString;
+}
+
+StatusOr<Schema> InferCsvSchema(const std::string& path,
+                                const CsvOptions& options,
+                                int64_t sample_rows) {
+  RAW_ASSIGN_OR_RETURN(std::unique_ptr<MmapFile> file, MmapFile::Open(path));
+  const char* begin = file->data();
+  const char* end = begin + file->size();
+
+  std::vector<std::string> names;
+  CsvRowCursor cursor(begin, end, options);
+  std::vector<FieldRef> fields;
+  if (options.has_header) {
+    if (cursor.AtEnd()) return Status::ParseError("empty CSV file: " + path);
+    RAW_RETURN_NOT_OK(cursor.NextRow(&fields));
+    for (const FieldRef& f : fields) names.emplace_back(f.view());
+  }
+
+  std::vector<DataType> types;
+  int64_t sampled = 0;
+  bool first_row = true;
+  while (!cursor.AtEnd() && sampled < sample_rows) {
+    RAW_RETURN_NOT_OK(cursor.NextRow(&fields));
+    if (first_row) {
+      first_row = false;
+      types.resize(fields.size());
+      for (size_t c = 0; c < fields.size(); ++c) {
+        types[c] = ClassifyField(fields[c].data, fields[c].size);
+      }
+      if (names.empty()) {
+        for (size_t c = 0; c < fields.size(); ++c) {
+          names.push_back("col" + std::to_string(c));
+        }
+      }
+      ++sampled;
+      continue;
+    }
+    if (fields.size() != types.size()) {
+      return Status::ParseError(
+          "row " + std::to_string(sampled) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(types.size()) + " (" + path + ")");
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      types[c] = PromoteTypes(types[c],
+                              ClassifyField(fields[c].data, fields[c].size));
+    }
+    ++sampled;
+  }
+  if (types.empty()) {
+    return Status::ParseError("CSV file has no data rows: " + path);
+  }
+  if (names.size() != types.size()) {
+    return Status::ParseError("header width differs from data width: " + path);
+  }
+  Schema schema;
+  for (size_t c = 0; c < types.size(); ++c) {
+    schema.AddField(names[c], types[c]);
+  }
+  RAW_RETURN_NOT_OK(schema.Validate());
+  return schema;
+}
+
+}  // namespace raw

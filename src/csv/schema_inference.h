@@ -1,0 +1,34 @@
+#ifndef RAW_CSV_SCHEMA_INFERENCE_H_
+#define RAW_CSV_SCHEMA_INFERENCE_H_
+
+#include <string>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "csv/csv_options.h"
+
+namespace raw {
+
+/// Infers a CSV file's schema by sampling its leading rows — letting the
+/// engine adapt to files nobody described. Column names come from the header
+/// row when `options.has_header`, otherwise they are col0..colN-1.
+///
+/// Types are the narrowest that fit every sampled value, promoted along
+///   bool -> int32 -> int64 -> float64 -> string
+/// (an empty field promotes straight to string: CSV has no other null
+/// representation this engine understands).
+StatusOr<Schema> InferCsvSchema(const std::string& path,
+                                const CsvOptions& options = CsvOptions(),
+                                int64_t sample_rows = 1000);
+
+/// The promotion lattice used above, exposed for tests: the least common
+/// type of two observed field types.
+DataType PromoteTypes(DataType a, DataType b);
+
+/// Classifies a single raw field into the narrowest lattice type.
+DataType ClassifyField(const char* data, int32_t size);
+
+}  // namespace raw
+
+#endif  // RAW_CSV_SCHEMA_INFERENCE_H_

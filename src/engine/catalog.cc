@@ -1,0 +1,132 @@
+#include "engine/catalog.h"
+
+namespace raw {
+
+Status TableEntry::EnsureOpen() {
+  switch (info.format) {
+    case FileFormat::kCsv: {
+      if (mmap == nullptr) {
+        RAW_ASSIGN_OR_RETURN(mmap, MmapFile::Open(info.path));
+      }
+      return Status::OK();
+    }
+    case FileFormat::kBinary: {
+      if (mmap == nullptr) {
+        RAW_ASSIGN_OR_RETURN(mmap, MmapFile::Open(info.path));
+      }
+      if (bin_reader == nullptr) {
+        RAW_ASSIGN_OR_RETURN(BinaryLayout layout,
+                             BinaryLayout::Create(info.schema));
+        RAW_ASSIGN_OR_RETURN(bin_reader,
+                             BinaryReader::Open(info.path, std::move(layout)));
+        row_count = bin_reader->num_rows();
+      }
+      return Status::OK();
+    }
+    case FileFormat::kRef:
+      // The shared reader is attached by Catalog::Get.
+      if (ref_reader == nullptr) {
+        return Status::Internal("REF reader not attached for table " +
+                                info.name);
+      }
+      row_count = info.ref_group < 0 ? ref_reader->num_events()
+                                     : ref_reader->GroupTotal(info.ref_group);
+      return Status::OK();
+  }
+  return Status::Internal("bad file format");
+}
+
+Catalog::Catalog(CatalogOptions options) : options_(options) {}
+
+Status Catalog::Register(TableInfo info) {
+  if (tables_.count(info.name) > 0) {
+    return Status::AlreadyExists("table '" + info.name +
+                                 "' is already registered");
+  }
+  RAW_RETURN_NOT_OK(info.schema.Validate());
+  auto entry = std::make_unique<TableEntry>();
+  entry->info = std::move(info);
+  tables_[entry->info.name] = std::move(entry);
+  return Status::OK();
+}
+
+Status Catalog::RegisterCsv(const std::string& name, const std::string& path,
+                            Schema schema, CsvOptions options,
+                            int pmap_stride) {
+  TableInfo info;
+  info.name = name;
+  info.path = path;
+  info.format = FileFormat::kCsv;
+  info.schema = std::move(schema);
+  info.csv_options = options;
+  info.pmap_stride = pmap_stride;
+  return Register(std::move(info));
+}
+
+Status Catalog::RegisterBinary(const std::string& name,
+                               const std::string& path, Schema schema) {
+  TableInfo info;
+  info.name = name;
+  info.path = path;
+  info.format = FileFormat::kBinary;
+  info.schema = std::move(schema);
+  return Register(std::move(info));
+}
+
+Status Catalog::RegisterRef(const std::string& prefix,
+                            const std::string& path) {
+  TableInfo events;
+  events.name = prefix + "_events";
+  events.path = path;
+  events.format = FileFormat::kRef;
+  events.ref_group = -1;
+  events.schema = Schema{{"eventID", DataType::kInt64},
+                         {"runNumber", DataType::kInt32}};
+  RAW_RETURN_NOT_OK(Register(std::move(events)));
+  static const char* kSuffix[] = {"_muons", "_electrons", "_jets"};
+  for (int g = 0; g < ref_branches::kNumGroups; ++g) {
+    TableInfo particles;
+    particles.name = prefix + kSuffix[g];
+    particles.path = path;
+    particles.format = FileFormat::kRef;
+    particles.ref_group = g;
+    particles.schema = Schema{{"eventID", DataType::kInt64},
+                              {"pt", DataType::kFloat32},
+                              {"eta", DataType::kFloat32},
+                              {"phi", DataType::kFloat32}};
+    RAW_RETURN_NOT_OK(Register(std::move(particles)));
+  }
+  return Status::OK();
+}
+
+StatusOr<TableEntry*> Catalog::Get(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table '" + name + "'");
+  }
+  TableEntry* entry = it->second.get();
+  if (entry->info.format == FileFormat::kRef && entry->ref_reader == nullptr) {
+    auto rit = ref_readers_.find(entry->info.path);
+    if (rit == ref_readers_.end()) {
+      RAW_ASSIGN_OR_RETURN(
+          std::unique_ptr<RefReader> reader,
+          RefReader::Open(entry->info.path, options_.ref_pool_bytes));
+      rit = ref_readers_
+                .emplace(entry->info.path,
+                         std::shared_ptr<RefReader>(std::move(reader)))
+                .first;
+    }
+    entry->ref_reader = rit->second;
+  }
+  RAW_RETURN_NOT_OK(entry->EnsureOpen());
+  return entry;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace raw

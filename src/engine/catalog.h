@@ -1,0 +1,98 @@
+#ifndef RAW_ENGINE_CATALOG_H_
+#define RAW_ENGINE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binfmt/binary_reader.h"
+#include "columnar/in_memory_table.h"
+#include "common/mmap_file.h"
+#include "common/schema.h"
+#include "csv/csv_options.h"
+#include "csv/positional_map.h"
+#include "eventsim/ref_reader.h"
+#include "jit/access_path_spec.h"
+
+namespace raw {
+
+/// Static description of a registered raw file ("each file exposed to RAW is
+/// given a name ... RAW maintains a catalog with the original filename, the
+/// schema and the file format", §3).
+struct TableInfo {
+  std::string name;
+  std::string path;
+  FileFormat format = FileFormat::kCsv;
+  /// CSV/binary: the file's full physical schema. REF: the derived table
+  /// schema (partial schemas are natural here — only queried fields).
+  Schema schema;
+  CsvOptions csv_options;
+  /// REF: particle group of this table (-1 = event table).
+  int ref_group = -1;
+  /// CSV: positional-map tracking stride used when the map is first built.
+  int pmap_stride = 10;
+};
+
+/// Per-table runtime state accumulated across queries: open file handles,
+/// the positional map, discovered row counts, and (for the DBMS baseline) a
+/// fully loaded copy.
+struct TableEntry {
+  TableInfo info;
+
+  std::unique_ptr<MmapFile> mmap;           // CSV / binary bytes
+  std::unique_ptr<BinaryReader> bin_reader;  // binary layout view
+  std::shared_ptr<RefReader> ref_reader;     // shared across one file's tables
+
+  std::unique_ptr<PositionalMap> pmap;  // CSV, built by the first raw scan
+  int64_t row_count = -1;               // -1 until discovered
+
+  std::unique_ptr<InMemoryTable> loaded;  // DBMS baseline storage
+  double load_seconds = 0;
+
+  /// Opens file handles appropriate for the format (idempotent).
+  Status EnsureOpen();
+};
+
+/// Options controlling catalog-wide runtime behaviour.
+struct CatalogOptions {
+  /// REF cluster-cache capacity per open file.
+  int64_t ref_pool_bytes = 256ll << 20;
+};
+
+/// Name -> table registry plus shared readers.
+class Catalog {
+ public:
+  explicit Catalog(CatalogOptions options = CatalogOptions());
+
+  Status RegisterCsv(const std::string& name, const std::string& path,
+                     Schema schema, CsvOptions options = CsvOptions(),
+                     int pmap_stride = 10);
+  Status RegisterBinary(const std::string& name, const std::string& path,
+                        Schema schema);
+
+  /// Registers the four relational views of an REF file:
+  /// `<prefix>_events`, `<prefix>_muons`, `<prefix>_electrons`,
+  /// `<prefix>_jets` (Figure 13).
+  Status RegisterRef(const std::string& prefix, const std::string& path);
+
+  /// Looks up a table; the entry is owned by the catalog and stable.
+  StatusOr<TableEntry*> Get(const std::string& name);
+
+  bool Contains(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  Status Register(TableInfo info);
+
+  CatalogOptions options_;
+  std::map<std::string, std::unique_ptr<TableEntry>> tables_;
+  std::map<std::string, std::shared_ptr<RefReader>> ref_readers_;  // by path
+};
+
+}  // namespace raw
+
+#endif  // RAW_ENGINE_CATALOG_H_

@@ -1,0 +1,89 @@
+#include "engine/cost_model.h"
+
+#include <algorithm>
+
+namespace raw {
+
+double CostModel::PerValueFetchCost(const ShredDecisionInput& in) const {
+  switch (in.format) {
+    case FileFormat::kCsv: {
+      double cost = params_.csv_jump +
+                    params_.csv_skip_field * in.skip_distance +
+                    params_.csv_parse_field + params_.build_value;
+      if (in.random_order) cost += params_.bin_random_penalty * 4;
+      return cost;
+    }
+    case FileFormat::kBinary: {
+      double cost = params_.bin_read_value + params_.build_value;
+      if (in.random_order) cost += params_.bin_random_penalty;
+      return cost;
+    }
+    case FileFormat::kRef:
+      return params_.ref_api_value + params_.build_value;
+  }
+  return 1.0;
+}
+
+double CostModel::FullColumnCost(const ShredDecisionInput& in) const {
+  // Sequential materialization of every row. No jump cost, and no skip cost
+  // either: the bottom scan's forward pass tokenizes through intermediate
+  // fields regardless of whether this column rides along.
+  double per_value = 0;
+  switch (in.format) {
+    case FileFormat::kCsv:
+      per_value = params_.csv_parse_field + params_.build_value;
+      break;
+    case FileFormat::kBinary:
+      per_value = params_.bin_read_value + params_.build_value;
+      break;
+    case FileFormat::kRef:
+      per_value = params_.ref_api_value + params_.build_value;
+      break;
+  }
+  return static_cast<double>(in.table_rows) * per_value;
+}
+
+double CostModel::ShredCost(const ShredDecisionInput& in) const {
+  return static_cast<double>(in.table_rows) * in.selectivity *
+         PerValueFetchCost(in);
+}
+
+double CostModel::MultiColumnShredCost(const ShredDecisionInput& in) const {
+  // One jump per row, then parse through the colocated span: the extra
+  // columns ride along for (roughly) one parse each instead of paying a
+  // fresh jump + skip chain per column.
+  ShredDecisionInput one = in;
+  one.colocated_columns = 1;
+  double first = ShredCost(one);
+  double extra_per_column = static_cast<double>(in.table_rows) *
+                            in.selectivity *
+                            (params_.csv_parse_field + params_.build_value);
+  return first + extra_per_column * (in.colocated_columns - 1);
+}
+
+double CostModel::ShredCrossover(const ShredDecisionInput& in) const {
+  double per_fetch = PerValueFetchCost(in);
+  if (per_fetch <= 0) return 1.0;
+  ShredDecisionInput full = in;
+  double per_full = FullColumnCost(full) /
+                    std::max<double>(1.0, static_cast<double>(in.table_rows));
+  return std::clamp(per_full / per_fetch, 0.0, 1.0);
+}
+
+ShredPolicy CostModel::ChoosePolicy(const ShredDecisionInput& in) const {
+  double full = FullColumnCost(in);
+  if (in.colocated_columns > 1 && in.format == FileFormat::kCsv) {
+    double multi = MultiColumnShredCost(in);
+    double single =
+        ShredCost(in) * in.colocated_columns;  // one late scan per column
+    if (multi <= full && multi <= single) {
+      return ShredPolicy::kMultiColumnShreds;
+    }
+    if (single <= full) return ShredPolicy::kShreds;
+    return ShredPolicy::kFullColumns;
+  }
+  return ShredCost(in) <= full ? ShredPolicy::kShreds
+                               : ShredPolicy::kFullColumns;
+}
+
+}  // namespace raw

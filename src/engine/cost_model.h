@@ -1,0 +1,85 @@
+#ifndef RAW_ENGINE_COST_MODEL_H_
+#define RAW_ENGINE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "engine/physical_plan.h"
+#include "jit/access_path_spec.h"
+
+namespace raw {
+
+/// Per-value abstract costs of the raw-data access primitives. Units are
+/// arbitrary (relative magnitudes drive every decision); defaults were
+/// calibrated against this repository's microbenchmarks on CSV/binary files.
+///
+/// The paper lists "developing a comprehensive cost model for our methods to
+/// enable their integration with existing query optimizers" as future work
+/// (§8); this is that model, scoped to the decision the experiments show
+/// matters most — *where to materialize a column* (full columns vs shreds vs
+/// speculative multi-column shreds, §5).
+struct CostParams {
+  // CSV costs.
+  double csv_parse_field = 1.0;      // tokenize+convert one field in sequence
+  double csv_jump = 0.4;             // jump to a mapped byte position
+  double csv_skip_field = 0.35;      // incremental-parse past one field
+  // Binary costs.
+  double bin_read_value = 0.15;      // computed-offset load
+  double bin_random_penalty = 0.25;  // extra cost of a non-sequential access
+  // Format-independent costs.
+  double build_value = 0.2;          // append into a columnar buffer
+  double ref_api_value = 0.5;        // one value through the REF I/O API
+};
+
+/// Inputs to one placement decision: a column that some upstream operator
+/// needs, reachable either in the bottom scan (full column) or via a late
+/// scan over the qualifying rows (shred).
+struct ShredDecisionInput {
+  FileFormat format = FileFormat::kCsv;
+  int64_t table_rows = 0;
+  /// Estimated fraction of rows that survive the operators below the
+  /// materialization point.
+  double selectivity = 1.0;
+  /// CSV: fields between the positional-map anchor and the target column
+  /// (0 = tracked exactly).
+  int skip_distance = 0;
+  /// True when the qualifying row ids arrive out of order (pipeline-breaking
+  /// join side) — random access to the raw file.
+  bool random_order = false;
+  /// Number of columns that could be fetched together speculatively.
+  int colocated_columns = 1;
+};
+
+/// Estimates materialization costs and picks a shred policy.
+class CostModel {
+ public:
+  explicit CostModel(CostParams params = CostParams()) : params_(params) {}
+
+  /// Cost of materializing the column for *all* rows in the bottom scan.
+  double FullColumnCost(const ShredDecisionInput& in) const;
+
+  /// Cost of fetching only qualifying rows via a pushed-up scan.
+  double ShredCost(const ShredDecisionInput& in) const;
+
+  /// Cost of a late scan that speculatively reads `colocated_columns`
+  /// adjacent columns in one pass (multi-column shreds, §5.3.1). Returned
+  /// per *decision*, i.e. the full pass cost.
+  double MultiColumnShredCost(const ShredDecisionInput& in) const;
+
+  /// Picks the cheapest policy for this input.
+  ShredPolicy ChoosePolicy(const ShredDecisionInput& in) const;
+
+  /// Selectivity below which shreds beat full columns (root of
+  /// ShredCost == FullColumnCost in the selectivity variable).
+  double ShredCrossover(const ShredDecisionInput& in) const;
+
+  const CostParams& params() const { return params_; }
+
+ private:
+  double PerValueFetchCost(const ShredDecisionInput& in) const;
+
+  CostParams params_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_ENGINE_COST_MODEL_H_

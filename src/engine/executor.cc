@@ -1,0 +1,35 @@
+#include "engine/executor.h"
+
+#include "common/stopwatch.h"
+
+namespace raw {
+
+StatusOr<Datum> QueryResult::ValueAt(int64_t row, int column) const {
+  if (row < 0 || row >= table.num_rows() || column < 0 ||
+      column >= table.num_columns()) {
+    return Status::InvalidArgument("result index out of range");
+  }
+  return table.column(column)->GetDatum(row);
+}
+
+StatusOr<Datum> QueryResult::Scalar() const {
+  if (table.num_rows() != 1 || table.num_columns() != 1) {
+    return Status::InvalidArgument(
+        "Scalar() requires a 1x1 result, got " +
+        std::to_string(table.num_rows()) + "x" +
+        std::to_string(table.num_columns()));
+  }
+  return ValueAt(0, 0);
+}
+
+StatusOr<QueryResult> Executor::Run(PhysicalPlan plan) {
+  QueryResult result;
+  result.plan_description = plan.description;
+  result.compile_seconds = plan.compile_seconds;
+  Stopwatch watch;
+  RAW_ASSIGN_OR_RETURN(result.table, CollectAll(plan.root.get()));
+  result.execute_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace raw

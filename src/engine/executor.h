@@ -1,0 +1,41 @@
+#ifndef RAW_ENGINE_EXECUTOR_H_
+#define RAW_ENGINE_EXECUTOR_H_
+
+#include <string>
+
+#include "columnar/batch.h"
+#include "common/datum.h"
+#include "engine/physical_plan.h"
+
+namespace raw {
+
+/// A fully materialized query result plus execution metadata.
+struct QueryResult {
+  ColumnBatch table;
+  double execute_seconds = 0;  // drain time (excludes planning)
+  double plan_seconds = 0;     // planning time (includes JIT compilation
+                               // and, for the DBMS baseline, data loading)
+  double compile_seconds = 0;  // JIT compilation charged to this query
+  std::string plan_description;
+
+  int64_t num_rows() const { return table.num_rows(); }
+  int num_columns() const { return table.num_columns(); }
+
+  /// Value at (row, column); bounds-checked.
+  StatusOr<Datum> ValueAt(int64_t row, int column) const;
+
+  /// Single-value convenience for scalar aggregates.
+  StatusOr<Datum> Scalar() const;
+
+  double total_seconds() const { return plan_seconds + execute_seconds; }
+};
+
+/// Drains a physical plan into a QueryResult.
+class Executor {
+ public:
+  static StatusOr<QueryResult> Run(PhysicalPlan plan);
+};
+
+}  // namespace raw
+
+#endif  // RAW_ENGINE_EXECUTOR_H_

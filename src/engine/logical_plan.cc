@@ -1,0 +1,75 @@
+#include "engine/logical_plan.h"
+
+#include <sstream>
+
+namespace raw {
+
+std::string PredicateSpec::ToString() const {
+  return column.ToString() + " " + std::string(CompareOpToString(op)) + " " +
+         literal.ToString();
+}
+
+std::string QuerySpec::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (is_aggregate()) {
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      if (i > 0) os << ", ";
+      const AggItemSpec& a = aggregates[i];
+      os << AggKindToString(a.kind) << "("
+         << (a.count_star ? "*" : a.column.ToString()) << ")";
+    }
+  } else {
+    for (size_t i = 0; i < projections.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << projections[i].ToString();
+    }
+  }
+  os << " FROM " << tables[0];
+  if (is_join()) {
+    os << " JOIN " << tables[1] << " ON " << join_left.ToString() << " = "
+       << join_right.ToString();
+  }
+  if (!predicates.empty()) {
+    os << " WHERE ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i > 0) os << " AND ";
+      os << predicates[i].ToString();
+    }
+  }
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << group_by[i].ToString();
+    }
+  }
+  if (limit >= 0) os << " LIMIT " << limit;
+  return os.str();
+}
+
+Status QuerySpec::Validate() const {
+  if (tables.empty() || tables.size() > 2) {
+    return Status::InvalidArgument("query must reference one or two tables");
+  }
+  if (is_join()) {
+    if (join_left.column.empty() || join_right.column.empty()) {
+      return Status::InvalidArgument("join requires an ON equality condition");
+    }
+  }
+  if (aggregates.empty() && projections.empty()) {
+    return Status::InvalidArgument("empty SELECT list");
+  }
+  if (!aggregates.empty() && !projections.empty() && group_by.empty()) {
+    return Status::InvalidArgument(
+        "mixing aggregates and plain columns requires GROUP BY");
+  }
+  for (const ColumnRefSpec& g : group_by) {
+    if (g.column.empty()) {
+      return Status::InvalidArgument("empty GROUP BY column");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace raw

@@ -1,0 +1,78 @@
+#ifndef RAW_ENGINE_LOGICAL_PLAN_H_
+#define RAW_ENGINE_LOGICAL_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/aggregate.h"
+#include "columnar/expression.h"
+#include "common/datum.h"
+
+namespace raw {
+
+/// A column reference resolved to a table. `table` may be empty before
+/// binding (unqualified SQL names).
+struct ColumnRefSpec {
+  std::string table;
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+/// A conjunct of the WHERE clause restricted to the form the paper's
+/// workloads use: <column> <op> <literal>.
+struct PredicateSpec {
+  ColumnRefSpec column;
+  CompareOp op = CompareOp::kLt;
+  Datum literal;
+
+  std::string ToString() const;
+};
+
+/// One SELECT-list aggregate, e.g. MAX(col11).
+struct AggItemSpec {
+  AggKind kind = AggKind::kMax;
+  ColumnRefSpec column;  // ignored for COUNT(*)
+  bool count_star = false;
+  std::string output_name;
+};
+
+/// The logical query: a file-agnostic description (§3 "the logical plan of an
+/// incoming query is file-agnostic") covering the query shapes of the
+/// paper's evaluation — single-table selection/aggregation and two-table
+/// equi-joins, optionally grouped.
+struct QuerySpec {
+  std::vector<std::string> tables;  // 1 or 2 entries (FROM [JOIN])
+
+  // Join condition (tables.size() == 2): tables[0] is the probe (pipelined)
+  // side, tables[1] the build side, per the engine's hash-join convention.
+  ColumnRefSpec join_left;
+  ColumnRefSpec join_right;
+
+  std::vector<PredicateSpec> predicates;  // ANDed
+
+  std::vector<AggItemSpec> aggregates;    // aggregate query when non-empty
+  std::vector<ColumnRefSpec> projections; // plain SELECT list otherwise
+  std::vector<ColumnRefSpec> group_by;
+
+  int64_t limit = -1;  // -1 = no limit
+
+  /// EXPLAIN <query>: plan (including access-path selection and JIT
+  /// compilation) but do not execute; the result is the plan description.
+  bool explain = false;
+
+  bool is_join() const { return tables.size() == 2; }
+  bool is_aggregate() const { return !aggregates.empty(); }
+
+  std::string ToString() const;
+
+  /// Structural sanity checks (tables present, join condition set iff two
+  /// tables, aggregate/projection exclusivity).
+  Status Validate() const;
+};
+
+}  // namespace raw
+
+#endif  // RAW_ENGINE_LOGICAL_PLAN_H_

@@ -1,0 +1,31 @@
+#include "engine/physical_plan.h"
+
+namespace raw {
+
+std::string_view ShredPolicyToString(ShredPolicy policy) {
+  switch (policy) {
+    case ShredPolicy::kFullColumns:
+      return "full_columns";
+    case ShredPolicy::kShreds:
+      return "shreds";
+    case ShredPolicy::kMultiColumnShreds:
+      return "multi_column_shreds";
+    case ShredPolicy::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+std::string_view JoinProjectionPlacementToString(JoinProjectionPlacement p) {
+  switch (p) {
+    case JoinProjectionPlacement::kEarly:
+      return "early";
+    case JoinProjectionPlacement::kIntermediate:
+      return "intermediate";
+    case JoinProjectionPlacement::kLate:
+      return "late";
+  }
+  return "?";
+}
+
+}  // namespace raw

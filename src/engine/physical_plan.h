@@ -1,0 +1,66 @@
+#ifndef RAW_ENGINE_PHYSICAL_PLAN_H_
+#define RAW_ENGINE_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/operator.h"
+#include "scan/access_path.h"
+
+namespace raw {
+
+/// Where newly needed columns get materialized (§5):
+enum class ShredPolicy {
+  /// "Full columns": every requested column is read by the bottom scan.
+  kFullColumns,
+  /// "Column shreds": scan operators pushed above filters; each column is
+  /// fetched only for surviving rows, one late scan per predicate stage.
+  kShreds,
+  /// "Multi-column shreds" (§5.3.1): the first late scan speculatively also
+  /// fetches the remaining needed nearby columns in the same pass.
+  kMultiColumnShreds,
+  /// Let the cost model decide per table, estimating predicate selectivity
+  /// from cached columns (the paper's §8 future-work cost model).
+  kAdaptive,
+};
+
+std::string_view ShredPolicyToString(ShredPolicy policy);
+
+/// Placement of a join's projected column relative to the join (§5.3.2).
+enum class JoinProjectionPlacement {
+  kEarly,         // read with the base scan, before the join ("full columns")
+  kIntermediate,  // after that side's filters, still before the join
+  kLate,          // after the join (column shreds)
+};
+
+std::string_view JoinProjectionPlacementToString(JoinProjectionPlacement p);
+
+/// Knobs the experiments sweep.
+struct PlannerOptions {
+  AccessPathKind access_path = AccessPathKind::kJit;
+  ShredPolicy shred_policy = ShredPolicy::kShreds;
+  JoinProjectionPlacement join_placement = JoinProjectionPlacement::kLate;
+  int64_t batch_rows = kDefaultBatchRows;
+  /// Use cached shreds / cached full columns when they subsume the request.
+  bool use_shred_cache = true;
+  /// Populate the shred cache with columns materialized by this query.
+  bool populate_shred_cache = true;
+  /// Build a positional map during first CSV scans.
+  bool build_positional_map = true;
+  /// kMultiColumnShreds: fetch an upstream column together with the current
+  /// one when their column distance is at most this window.
+  int speculation_window = 1000000;  // effectively "all remaining"
+};
+
+/// The executable plan: an operator tree plus bookkeeping the executor needs
+/// (JIT compile time for reporting, explain text).
+struct PhysicalPlan {
+  OperatorPtr root;
+  std::string description;      // EXPLAIN-style summary
+  double compile_seconds = 0;   // JIT compilation charged to this query
+};
+
+}  // namespace raw
+
+#endif  // RAW_ENGINE_PHYSICAL_PLAN_H_

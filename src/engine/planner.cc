@@ -1,0 +1,1297 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "common/stopwatch.h"
+#include "engine/cost_model.h"
+
+#include "columnar/filter.h"
+#include "columnar/hash_group_by.h"
+#include "columnar/hash_join.h"
+#include "columnar/project.h"
+#include "scan/external_table_scan.h"
+#include "scan/insitu_bin_scan.h"
+#include "scan/insitu_csv_scan.h"
+#include "scan/jit_scan.h"
+#include "scan/loader.h"
+#include "scan/ref_scan.h"
+#include "scan/shred_scan.h"
+
+namespace raw {
+
+std::string QualifiedName(const std::string& table,
+                          const std::string& column) {
+  return table + "." + column;
+}
+
+namespace {
+
+// =============================================================================
+// Small plan-glue operators
+// =============================================================================
+
+/// Zero-copy column subset + rename.
+class SelectColumnsOperator : public Operator {
+ public:
+  SelectColumnsOperator(OperatorPtr child, std::vector<int> indices,
+                        std::vector<std::string> names)
+      : child_(std::move(child)),
+        indices_(std::move(indices)),
+        names_(std::move(names)) {}
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override {
+    RAW_RETURN_NOT_OK(child_->Open());
+    Schema schema;
+    const Schema& in = child_->output_schema();
+    for (size_t i = 0; i < indices_.size(); ++i) {
+      schema.AddField(names_[i], in.field(indices_[i]).type);
+    }
+    RAW_RETURN_NOT_OK(schema.Validate());
+    schema_ = std::move(schema);
+    return Status::OK();
+  }
+  StatusOr<ColumnBatch> Next() override {
+    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
+    ColumnBatch out(schema_);
+    if (batch.empty()) return out;  // EOF
+    for (int idx : indices_) out.AddColumn(batch.column(idx));
+    out.SetNumRows(batch.num_rows());
+    if (batch.has_row_ids()) out.SetRowIds(batch.row_ids());
+    return out;
+  }
+  Status Close() override { return child_->Close(); }
+  std::string name() const override { return "SelectColumns"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<int> indices_;
+  std::vector<std::string> names_;
+  Schema schema_;
+};
+
+/// LIMIT n.
+class LimitOperator : public Operator {
+ public:
+  LimitOperator(OperatorPtr child, int64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+  StatusOr<ColumnBatch> Next() override {
+    if (emitted_ >= limit_) return ColumnBatch(child_->output_schema());
+    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
+    if (batch.empty()) return batch;
+    if (emitted_ + batch.num_rows() > limit_) {
+      SelectionVector head;
+      for (int64_t i = 0; i < limit_ - emitted_; ++i) {
+        head.Append(static_cast<int32_t>(i));
+      }
+      batch = batch.Filter(head);
+    }
+    emitted_ += batch.num_rows();
+    return batch;
+  }
+  Status Close() override { return child_->Close(); }
+  std::string name() const override { return "Limit"; }
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t emitted_ = 0;
+};
+
+/// Emits a set of full, already-materialized columns (cache hits) as one
+/// zero-copy batch with sequential row ids.
+class CachedColumnsScanOperator : public Operator {
+ public:
+  CachedColumnsScanOperator(Schema schema, std::vector<ColumnPtr> columns)
+      : schema_(std::move(schema)), columns_(std::move(columns)) {}
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override {
+    done_ = false;
+    return Status::OK();
+  }
+  StatusOr<ColumnBatch> Next() override {
+    ColumnBatch out(schema_);
+    if (done_) return out;
+    done_ = true;
+    for (const ColumnPtr& col : columns_) out.AddColumn(col);
+    int64_t rows = columns_.empty() ? 0 : columns_[0]->length();
+    out.SetNumRows(rows);
+    std::vector<int64_t> ids(static_cast<size_t>(rows));
+    for (int64_t i = 0; i < rows; ++i) ids[static_cast<size_t>(i)] = i;
+    out.SetRowIds(std::move(ids));
+    return out;
+  }
+  std::string name() const override { return "CachedColumnsScan"; }
+
+ private:
+  Schema schema_;
+  std::vector<ColumnPtr> columns_;
+  bool done_ = false;
+};
+
+/// Accumulates the values flowing out of a raw scan and registers them in the
+/// shred cache at Close() — "RAW preserves a pool of column shreds populated
+/// as a side-effect of previous queries" (§3). Also discovers the table's
+/// row count on full scans.
+class CacheInsertOperator : public Operator {
+ public:
+  struct Mapping {
+    int output_index;  // column in the child's output
+    int table_column;  // column in the table's schema
+  };
+
+  CacheInsertOperator(OperatorPtr child, ShredCache* cache, std::string table,
+                      std::vector<Mapping> mappings, bool full_scan,
+                      TableEntry* row_count_sink)
+      : child_(std::move(child)),
+        cache_(cache),
+        table_(std::move(table)),
+        mappings_(std::move(mappings)),
+        full_scan_(full_scan),
+        row_count_sink_(row_count_sink) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override {
+    RAW_RETURN_NOT_OK(child_->Open());
+    accumulators_.clear();
+    for (const Mapping& m : mappings_) {
+      accumulators_.push_back(std::make_shared<Column>(
+          child_->output_schema().field(m.output_index).type));
+    }
+    row_ids_.clear();
+    drained_ = false;
+    return Status::OK();
+  }
+  StatusOr<ColumnBatch> Next() override {
+    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
+    if (batch.empty()) {
+      drained_ = true;
+      return batch;
+    }
+    if (batch.has_row_ids()) {
+      row_ids_.insert(row_ids_.end(), batch.row_ids().begin(),
+                      batch.row_ids().end());
+      for (size_t i = 0; i < mappings_.size(); ++i) {
+        RAW_RETURN_NOT_OK(accumulators_[i]->AppendColumn(
+            *batch.column(mappings_[i].output_index)));
+      }
+    }
+    return batch;
+  }
+  Status Close() override {
+    if (drained_ && !row_ids_.empty()) {
+      bool contiguous = true;
+      for (size_t i = 0; i < row_ids_.size(); ++i) {
+        if (row_ids_[i] != static_cast<int64_t>(i)) {
+          contiguous = false;
+          break;
+        }
+      }
+      for (size_t i = 0; i < mappings_.size(); ++i) {
+        RAW_RETURN_NOT_OK(cache_->Insert(
+            table_, mappings_[i].table_column,
+            (contiguous && full_scan_) ? nullptr : row_ids_.data(),
+            *accumulators_[i]));
+      }
+      if (full_scan_ && contiguous && row_count_sink_ != nullptr &&
+          row_count_sink_->row_count < 0) {
+        row_count_sink_->row_count = static_cast<int64_t>(row_ids_.size());
+      }
+    }
+    accumulators_.clear();
+    row_ids_.clear();
+    return child_->Close();
+  }
+  std::string name() const override { return "CacheInsert"; }
+
+ private:
+  OperatorPtr child_;
+  ShredCache* cache_;
+  std::string table_;
+  std::vector<Mapping> mappings_;
+  bool full_scan_;
+  TableEntry* row_count_sink_;
+  std::vector<ColumnPtr> accumulators_;
+  std::vector<int64_t> row_ids_;
+  bool drained_ = false;
+};
+
+/// RowFetcher that consults the shred cache first and falls back to a raw
+/// fetcher on a subsumption miss (all-or-nothing per fetch).
+class CacheAwareFetcher : public RowFetcher {
+ public:
+  CacheAwareFetcher(ShredCache* cache, std::string table,
+                    std::vector<int> table_columns, RowFetcherPtr inner)
+      : cache_(cache),
+        table_(std::move(table)),
+        table_columns_(std::move(table_columns)),
+        inner_(std::move(inner)) {}
+
+  const Schema& fields() const override { return inner_->fields(); }
+
+  StatusOr<std::vector<ColumnPtr>> Fetch(const RowSet& rows) override {
+    if (cache_ != nullptr) {
+      std::vector<ColumnPtr> cached;
+      bool all_hit = true;
+      for (int col : table_columns_) {
+        auto hit = cache_->Lookup(table_, col, rows.ids);
+        if (!hit.ok()) {
+          all_hit = false;
+          break;
+        }
+        cached.push_back(std::move(hit).value());
+      }
+      if (all_hit) return cached;
+    }
+    return inner_->Fetch(rows);
+  }
+
+ private:
+  ShredCache* cache_;
+  std::string table_;
+  std::vector<int> table_columns_;
+  RowFetcherPtr inner_;
+};
+
+/// Interpreted REF fetcher (handles derived eventID on particle tables).
+class RefRowFetcher : public RowFetcher {
+ public:
+  RefRowFetcher(RefReader* reader, int group, std::vector<std::string> fields,
+                Schema qualified_schema)
+      : reader_(reader),
+        group_(group),
+        field_names_(std::move(fields)),
+        schema_(std::move(qualified_schema)) {}
+
+  const Schema& fields() const override { return schema_; }
+
+  StatusOr<std::vector<ColumnPtr>> Fetch(const RowSet& rows) override {
+    RefScanSpec spec;
+    spec.group = group_;
+    spec.fields = field_names_;
+    spec.row_set = rows;
+    spec.batch_rows = std::max<int64_t>(rows.size(), 1);
+    RefTableScanOperator op(reader_, std::move(spec));
+    RAW_RETURN_NOT_OK(op.Open());
+    std::vector<ColumnPtr> out;
+    if (rows.empty()) {
+      for (const Field& f : schema_.fields()) {
+        out.push_back(std::make_shared<Column>(f.type));
+      }
+      return out;
+    }
+    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, op.Next());
+    for (int c = 0; c < batch.num_columns(); ++c) {
+      out.push_back(batch.column(c));
+    }
+    return out;
+  }
+
+ private:
+  RefReader* reader_;
+  int group_;
+  std::vector<std::string> field_names_;
+  Schema schema_;
+};
+
+// =============================================================================
+// Planning context and helpers
+// =============================================================================
+
+struct BuildCtx {
+  Catalog* catalog;
+  JitTemplateCache* jit;
+  ShredCache* shreds;
+  const PlannerOptions* opts;
+  double* compile_seconds;
+  std::ostringstream* desc;
+};
+
+std::vector<int> SortedUnique(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+/// True when any of `cols` is variable-length. CSV JIT kernels only
+/// materialize fixed-width values; string columns take the interpreted path.
+bool AnyStringColumn(const Schema& schema, const std::vector<int>& cols) {
+  for (int c : cols) {
+    if (schema.field(c).type == DataType::kString) return true;
+  }
+  return false;
+}
+
+/// Qualified output schema for table columns.
+Schema QualifiedSchema(const TableEntry& entry, const std::vector<int>& cols) {
+  Schema out;
+  for (int c : cols) {
+    out.AddField(QualifiedName(entry.info.name, entry.info.schema.field(c).name),
+                 entry.info.schema.field(c).type);
+  }
+  return out;
+}
+
+/// Ensures the DBMS baseline copy exists (loads every column once).
+Status EnsureLoaded(BuildCtx& ctx, TableEntry* entry) {
+  if (entry->loaded != nullptr) return Status::OK();
+  Stopwatch watch;
+  std::vector<int> all;
+  for (int c = 0; c < entry->info.schema.num_fields(); ++c) all.push_back(c);
+  switch (entry->info.format) {
+    case FileFormat::kCsv: {
+      RAW_ASSIGN_OR_RETURN(entry->loaded,
+                           LoadCsvTable(entry->mmap.get(), entry->info.schema,
+                                        all, entry->info.csv_options));
+      break;
+    }
+    case FileFormat::kBinary: {
+      RAW_ASSIGN_OR_RETURN(entry->loaded,
+                           LoadBinaryTable(entry->bin_reader.get(), all));
+      break;
+    }
+    case FileFormat::kRef: {
+      if (entry->info.ref_group < 0) {
+        RAW_ASSIGN_OR_RETURN(entry->loaded,
+                             LoadRefEventTable(entry->ref_reader.get()));
+      } else {
+        RAW_ASSIGN_OR_RETURN(
+            entry->loaded,
+            LoadRefParticleTable(entry->ref_reader.get(), entry->info.ref_group));
+      }
+      break;
+    }
+  }
+  entry->load_seconds = watch.ElapsedSeconds();
+  entry->row_count = entry->loaded->num_rows();
+  (*ctx.desc) << "[load " << entry->info.name << " "
+              << entry->load_seconds << "s] ";
+  return Status::OK();
+}
+
+/// Builds the raw-file scan for `cols` of `entry` (no cache involvement).
+StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableEntry* entry,
+                                   const std::vector<int>& cols,
+                                   bool* full_scan) {
+  const TableInfo& info = entry->info;
+  const PlannerOptions& opts = *ctx.opts;
+  *full_scan = true;
+  Schema qualified = QualifiedSchema(*entry, cols);
+
+  switch (info.format) {
+    case FileFormat::kCsv: {
+      const bool have_pmap = entry->pmap != nullptr && !entry->pmap->empty();
+      if (opts.access_path == AccessPathKind::kExternalTable) {
+        auto ext = std::make_unique<ExternalTableScanOperator>(
+            entry->mmap.get(), info.schema, cols, info.csv_options,
+            opts.batch_rows);
+        std::vector<int> idx(cols.size());
+        std::vector<std::string> names;
+        for (size_t i = 0; i < cols.size(); ++i) {
+          idx[i] = static_cast<int>(i);
+          names.push_back(qualified.field(static_cast<int>(i)).name);
+        }
+        return OperatorPtr(std::make_unique<SelectColumnsOperator>(
+            std::move(ext), std::move(idx), std::move(names)));
+      }
+      if (!have_pmap) {
+        // First scan: sequential, building the positional map en route.
+        PositionalMap* build = nullptr;
+        if (opts.build_positional_map) {
+          if (entry->pmap == nullptr) {
+            entry->pmap = std::make_unique<PositionalMap>(
+                PositionalMap::WithStride(info.schema.num_fields(),
+                                          info.pmap_stride));
+          }
+          if (entry->pmap->empty()) build = entry->pmap.get();
+        }
+        (*ctx.desc) << "[seq-scan " << info.name << "] ";
+        if (opts.access_path == AccessPathKind::kJit &&
+            !AnyStringColumn(info.schema, cols)) {
+          AccessPathSpec spec;
+          spec.format = FileFormat::kCsv;
+          spec.mode = ScanMode::kSequential;
+          spec.delimiter = info.csv_options.delimiter;
+          for (int c : cols) {
+            spec.outputs.push_back(
+                OutputField{c, info.schema.field(c).type});
+          }
+          if (build != nullptr) spec.pmap_tracked = build->tracked_columns();
+          JitScanArgs args;
+          args.spec = std::move(spec);
+          args.output_schema = qualified;
+          args.file = entry->mmap.get();
+          args.build_pmap = build;
+          args.batch_rows = opts.batch_rows;
+          auto op = std::make_unique<JitScanOperator>(ctx.jit, std::move(args));
+          return OperatorPtr(std::move(op));
+        }
+        CsvScanSpec spec;
+        spec.file_schema = info.schema;
+        spec.outputs = cols;
+        spec.options = info.csv_options;
+        spec.batch_rows = opts.batch_rows;
+        spec.build_pmap = build;
+        auto op = std::make_unique<InsituCsvScanOperator>(entry->mmap.get(),
+                                                          std::move(spec));
+        // Qualified names:
+        std::vector<int> idx(cols.size());
+        std::vector<std::string> names;
+        for (size_t i = 0; i < cols.size(); ++i) {
+          idx[i] = static_cast<int>(i);
+          names.push_back(qualified.field(static_cast<int>(i)).name);
+        }
+        return OperatorPtr(std::make_unique<SelectColumnsOperator>(
+            std::move(op), std::move(idx), std::move(names)));
+      }
+      // Positional-map scan over all mapped rows.
+      int anchor = entry->pmap->tracked_columns().front();
+      for (int t : entry->pmap->tracked_columns()) {
+        if (t <= cols.front()) anchor = t;
+      }
+      (*ctx.desc) << "[pmap-scan " << info.name << " anchor=" << anchor
+                  << "] ";
+      if (opts.access_path == AccessPathKind::kJit &&
+          !AnyStringColumn(info.schema, cols)) {
+        AccessPathSpec spec;
+        spec.format = FileFormat::kCsv;
+        spec.mode = ScanMode::kByPosition;
+        spec.delimiter = info.csv_options.delimiter;
+        spec.anchor_column = anchor;
+        for (int c : cols) {
+          spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
+        }
+        RowSet all;
+        all.ids.resize(static_cast<size_t>(entry->pmap->num_rows()));
+        for (int64_t i = 0; i < entry->pmap->num_rows(); ++i) {
+          all.ids[static_cast<size_t>(i)] = i;
+        }
+        RAW_RETURN_NOT_OK(FillPositions(*entry->pmap,
+                                        entry->pmap->SlotFor(anchor), &all));
+        JitScanArgs args;
+        args.spec = std::move(spec);
+        args.output_schema = qualified;
+        args.file = entry->mmap.get();
+        args.row_set = std::move(all);
+        args.batch_rows = opts.batch_rows;
+        return OperatorPtr(
+            std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
+      }
+      CsvScanSpec spec;
+      spec.file_schema = info.schema;
+      spec.outputs = cols;
+      spec.options = info.csv_options;
+      spec.batch_rows = opts.batch_rows;
+      spec.use_pmap = entry->pmap.get();
+      spec.anchor_column = anchor;
+      auto op = std::make_unique<InsituCsvScanOperator>(entry->mmap.get(),
+                                                        std::move(spec));
+      std::vector<int> idx(cols.size());
+      std::vector<std::string> names;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        idx[i] = static_cast<int>(i);
+        names.push_back(qualified.field(static_cast<int>(i)).name);
+      }
+      return OperatorPtr(std::make_unique<SelectColumnsOperator>(
+          std::move(op), std::move(idx), std::move(names)));
+    }
+    case FileFormat::kBinary: {
+      (*ctx.desc) << "[bin-scan " << info.name << "] ";
+      if (opts.access_path == AccessPathKind::kJit) {
+        RAW_ASSIGN_OR_RETURN(BinaryLayout layout,
+                             BinaryLayout::Create(info.schema));
+        AccessPathSpec spec;
+        spec.format = FileFormat::kBinary;
+        spec.mode = ScanMode::kSequential;
+        spec.row_width = layout.row_width();
+        for (int c : cols) {
+          spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
+          spec.column_offsets.push_back(layout.ColumnOffset(c));
+        }
+        JitScanArgs args;
+        args.spec = std::move(spec);
+        args.output_schema = qualified;
+        args.file = entry->mmap.get();
+        args.total_rows = entry->bin_reader->num_rows();
+        args.batch_rows = opts.batch_rows;
+        return OperatorPtr(
+            std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
+      }
+      BinScanSpec spec;
+      spec.outputs = cols;
+      spec.batch_rows = opts.batch_rows;
+      auto op = std::make_unique<InsituBinScanOperator>(entry->bin_reader.get(),
+                                                        std::move(spec));
+      std::vector<int> idx(cols.size());
+      std::vector<std::string> names;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        idx[i] = static_cast<int>(i);
+        names.push_back(qualified.field(static_cast<int>(i)).name);
+      }
+      return OperatorPtr(std::make_unique<SelectColumnsOperator>(
+          std::move(op), std::move(idx), std::move(names)));
+    }
+    case FileFormat::kRef: {
+      (*ctx.desc) << "[ref-scan " << info.name << "] ";
+      std::vector<std::string> field_names;
+      bool needs_event_id_derivation = false;
+      for (int c : cols) {
+        const std::string& f = info.schema.field(c).name;
+        field_names.push_back(f);
+        if (f == "eventID" && info.ref_group >= 0) {
+          needs_event_id_derivation = true;
+        }
+      }
+      if (opts.access_path == AccessPathKind::kJit &&
+          !needs_event_id_derivation) {
+        AccessPathSpec spec;
+        spec.format = FileFormat::kRef;
+        spec.mode = ScanMode::kSequential;
+        for (size_t i = 0; i < cols.size(); ++i) {
+          RAW_ASSIGN_OR_RETURN(
+              int branch, RefBranchFor(*entry->ref_reader, info.ref_group,
+                                       field_names[i]));
+          spec.outputs.push_back(OutputField{
+              branch, info.schema.field(cols[i]).type});
+        }
+        JitScanArgs args;
+        args.spec = std::move(spec);
+        args.output_schema = qualified;
+        args.ref_reader = entry->ref_reader.get();
+        args.total_rows = entry->row_count;
+        args.batch_rows = opts.batch_rows;
+        return OperatorPtr(
+            std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
+      }
+      RefScanSpec spec;
+      spec.group = info.ref_group;
+      spec.fields = field_names;
+      spec.batch_rows = opts.batch_rows;
+      auto op = std::make_unique<RefTableScanOperator>(entry->ref_reader.get(),
+                                                       std::move(spec));
+      std::vector<int> idx(cols.size());
+      std::vector<std::string> names;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        idx[i] = static_cast<int>(i);
+        names.push_back(qualified.field(static_cast<int>(i)).name);
+      }
+      return OperatorPtr(std::make_unique<SelectColumnsOperator>(
+          std::move(op), std::move(idx), std::move(names)));
+    }
+  }
+  return Status::Internal("bad format");
+}
+
+/// Builds the bottom-of-plan scan for `cols`, consulting the shred cache and
+/// the DBMS-loaded copy, and wiring cache population.
+StatusOr<OperatorPtr> BuildBaseScan(BuildCtx& ctx, TableEntry* entry,
+                                    std::vector<int> cols) {
+  cols = SortedUnique(std::move(cols));
+  const TableInfo& info = entry->info;
+  const PlannerOptions& opts = *ctx.opts;
+
+  if (opts.access_path == AccessPathKind::kLoaded) {
+    RAW_RETURN_NOT_OK(EnsureLoaded(ctx, entry));
+    // Scan only the needed columns of the loaded table, renamed to their
+    // qualified form (the scan output is already in `cols` order).
+    OperatorPtr scan = entry->loaded->CreateScan(opts.batch_rows, cols);
+    std::vector<int> identity(cols.size());
+    std::vector<std::string> names;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      identity[i] = static_cast<int>(i);
+      names.push_back(
+          QualifiedName(info.name, info.schema.field(cols[i]).name));
+    }
+    return OperatorPtr(std::make_unique<SelectColumnsOperator>(
+        std::move(scan), std::move(identity), std::move(names)));
+  }
+
+  // Partition into cache-served full columns and raw columns.
+  std::vector<int> cached_cols, raw_cols;
+  std::vector<ColumnPtr> cached_values;
+  if (opts.use_shred_cache) {
+    for (int c : cols) {
+      auto hit = ctx.shreds->LookupFull(info.name, c);
+      if (hit.ok()) {
+        cached_cols.push_back(c);
+        cached_values.push_back(std::move(hit).value());
+      } else {
+        raw_cols.push_back(c);
+      }
+    }
+  } else {
+    raw_cols = cols;
+  }
+
+  if (raw_cols.empty() && !cached_cols.empty()) {
+    (*ctx.desc) << "[cache-scan " << info.name << "] ";
+    return OperatorPtr(std::make_unique<CachedColumnsScanOperator>(
+        QualifiedSchema(*entry, cached_cols), std::move(cached_values)));
+  }
+
+  bool full_scan = true;
+  RAW_ASSIGN_OR_RETURN(OperatorPtr op,
+                       BuildRawScan(ctx, entry, raw_cols, &full_scan));
+
+  if (opts.populate_shred_cache) {
+    std::vector<CacheInsertOperator::Mapping> mappings;
+    for (size_t i = 0; i < raw_cols.size(); ++i) {
+      mappings.push_back(
+          CacheInsertOperator::Mapping{static_cast<int>(i), raw_cols[i]});
+    }
+    op = std::make_unique<CacheInsertOperator>(std::move(op), ctx.shreds,
+                                               info.name, std::move(mappings),
+                                               full_scan, entry);
+  }
+
+  if (!cached_cols.empty()) {
+    (*ctx.desc) << "[cache-attach " << info.name << "] ";
+    auto fetcher = std::make_unique<CachedColumnFetcher>(
+        QualifiedSchema(*entry, cached_cols), std::move(cached_values));
+    op = std::make_unique<LateScanOperator>(std::move(op), std::move(fetcher));
+  }
+  return op;
+}
+
+/// Builds a cache-aware late-scan fetcher for `cols` of `entry`.
+StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, TableEntry* entry,
+                                     std::vector<int> cols) {
+  cols = SortedUnique(std::move(cols));
+  const TableInfo& info = entry->info;
+  const PlannerOptions& opts = *ctx.opts;
+  Schema qualified = QualifiedSchema(*entry, cols);
+  RowFetcherPtr inner;
+
+  switch (info.format) {
+    case FileFormat::kCsv: {
+      if (entry->pmap == nullptr) {
+        return Status::Internal(
+            "CSV late scan requires a positional map (none configured)");
+      }
+      int anchor = entry->pmap->tracked_columns().front();
+      for (int t : entry->pmap->tracked_columns()) {
+        if (t <= cols.front()) anchor = t;
+      }
+      if (opts.access_path == AccessPathKind::kJit &&
+          !AnyStringColumn(info.schema, cols)) {
+        AccessPathSpec spec;
+        spec.format = FileFormat::kCsv;
+        spec.mode = ScanMode::kByPosition;
+        spec.delimiter = info.csv_options.delimiter;
+        spec.anchor_column = anchor;
+        for (int c : cols) {
+          spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
+        }
+        JitScanArgs args;
+        args.spec = std::move(spec);
+        args.output_schema = qualified;
+        args.file = entry->mmap.get();
+        inner = std::make_unique<JitRowFetcher>(ctx.jit, std::move(args),
+                                                entry->pmap.get());
+      } else {
+        CsvScanSpec spec;
+        spec.file_schema = info.schema;
+        spec.outputs = cols;
+        spec.options = info.csv_options;
+        spec.use_pmap = entry->pmap.get();
+        spec.anchor_column = anchor;
+        auto fetcher = std::make_unique<InsituRowFetcher>(entry->mmap.get(),
+                                                          std::move(spec));
+        fetcher->set_fields(qualified);
+        inner = std::move(fetcher);
+      }
+      break;
+    }
+    case FileFormat::kBinary: {
+      if (opts.access_path == AccessPathKind::kJit) {
+        RAW_ASSIGN_OR_RETURN(BinaryLayout layout,
+                             BinaryLayout::Create(info.schema));
+        AccessPathSpec spec;
+        spec.format = FileFormat::kBinary;
+        spec.mode = ScanMode::kByRowIndex;
+        spec.row_width = layout.row_width();
+        for (int c : cols) {
+          spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
+          spec.column_offsets.push_back(layout.ColumnOffset(c));
+        }
+        JitScanArgs args;
+        args.spec = std::move(spec);
+        args.output_schema = qualified;
+        args.file = entry->mmap.get();
+        inner = std::make_unique<JitRowFetcher>(ctx.jit, std::move(args));
+      } else {
+        BinScanSpec spec;
+        spec.outputs = cols;
+        auto fetcher = std::make_unique<InsituRowFetcher>(
+            entry->bin_reader.get(), std::move(spec));
+        fetcher->set_fields(qualified);
+        inner = std::move(fetcher);
+      }
+      break;
+    }
+    case FileFormat::kRef: {
+      std::vector<std::string> field_names;
+      bool derived_event_id = false;
+      for (int c : cols) {
+        field_names.push_back(info.schema.field(c).name);
+        if (field_names.back() == "eventID" && info.ref_group >= 0) {
+          derived_event_id = true;
+        }
+      }
+      if (opts.access_path == AccessPathKind::kJit && !derived_event_id) {
+        AccessPathSpec spec;
+        spec.format = FileFormat::kRef;
+        spec.mode = ScanMode::kByRowIndex;
+        for (size_t i = 0; i < cols.size(); ++i) {
+          RAW_ASSIGN_OR_RETURN(
+              int branch, RefBranchFor(*entry->ref_reader, info.ref_group,
+                                       field_names[i]));
+          spec.outputs.push_back(
+              OutputField{branch, info.schema.field(cols[i]).type});
+        }
+        JitScanArgs args;
+        args.spec = std::move(spec);
+        args.output_schema = qualified;
+        args.ref_reader = entry->ref_reader.get();
+        inner = std::make_unique<JitRowFetcher>(ctx.jit, std::move(args));
+      } else {
+        inner = std::make_unique<RefRowFetcher>(entry->ref_reader.get(),
+                                                info.ref_group, field_names,
+                                                qualified);
+      }
+      break;
+    }
+  }
+  if (!opts.use_shred_cache) return inner;
+  return RowFetcherPtr(std::make_unique<CacheAwareFetcher>(
+      ctx.shreds, info.name, cols, std::move(inner)));
+}
+
+// =============================================================================
+// Spec resolution helpers
+// =============================================================================
+
+/// Resolves a (possibly unqualified) column reference to a table + column
+/// index among the query's tables.
+Status ResolveRef(const std::vector<TableEntry*>& tables, ColumnRefSpec* ref,
+                  TableEntry** out_entry, int* out_column) {
+  TableEntry* found = nullptr;
+  int column = -1;
+  for (TableEntry* entry : tables) {
+    if (!ref->table.empty() && entry->info.name != ref->table) continue;
+    int idx = entry->info.schema.FieldIndex(ref->column);
+    if (idx < 0) continue;
+    if (found != nullptr) {
+      return Status::InvalidArgument("ambiguous column reference '" +
+                                     ref->column + "'");
+    }
+    found = entry;
+    column = idx;
+  }
+  if (found == nullptr) {
+    return Status::NotFound("column '" + ref->ToString() +
+                            "' not found in query tables");
+  }
+  ref->table = found->info.name;
+  *out_entry = found;
+  *out_column = column;
+  return Status::OK();
+}
+
+/// Finds the index of "<table>.<column>" in `schema` or returns an error.
+StatusOr<int> QualifiedIndex(const Schema& schema, const ColumnRefSpec& ref) {
+  int idx = schema.FieldIndex(QualifiedName(ref.table, ref.column));
+  if (idx < 0) {
+    return Status::Internal("planner lost track of column " + ref.ToString());
+  }
+  return idx;
+}
+
+/// Builds the bound filter expression for a predicate against `schema`.
+StatusOr<ExprPtr> BindPredicate(const Schema& schema,
+                                const PredicateSpec& pred) {
+  RAW_ASSIGN_OR_RETURN(int idx, QualifiedIndex(schema, pred.column));
+  return Cmp(pred.op, Col(idx), Lit(pred.literal));
+}
+
+// Per-side planning state for the cascade builder.
+struct SidePlan {
+  TableEntry* entry = nullptr;
+  std::vector<PredicateSpec> predicates;  // bound to this table, query order
+  std::vector<int> predicate_cols;        // parallel column indices
+  std::vector<int> force_base;            // columns forced into the base scan
+  std::vector<int> needed_after;          // columns fetched after filters
+  /// Concrete policy for this side (kAdaptive already resolved).
+  ShredPolicy policy = ShredPolicy::kShreds;
+};
+
+/// Estimates the fraction of `entry`'s rows passing `pred` using the shred
+/// cache (exact when the full predicate column is cached), or nullopt.
+std::optional<double> EstimateSelectivity(ShredCache* shreds,
+                                          const TableEntry& entry,
+                                          const PredicateSpec& pred, int col) {
+  auto cached = shreds->LookupFull(entry.info.name, col);
+  if (!cached.ok()) return std::nullopt;
+  const Column& values = **cached;
+  if (values.length() == 0) return 1.0;
+  ColumnBatch batch;
+  batch.AddColumn(*cached);
+  SelectionVector passing;
+  ExprPtr expr = Cmp(pred.op, Col(0), Lit(pred.literal));
+  if (!expr->EvaluateSelection(batch, &passing).ok()) return std::nullopt;
+  return static_cast<double>(passing.size()) /
+         static_cast<double>(values.length());
+}
+
+/// Resolves kAdaptive to a concrete policy for one table side using the
+/// cost model: estimate the combined selectivity below each late-fetch
+/// point, then compare full-column vs shred vs multi-column costs.
+ShredPolicy ResolveAdaptivePolicy(BuildCtx& ctx, const SidePlan& side) {
+  const TableEntry& entry = *side.entry;
+  if (entry.row_count < 0) {
+    // First contact with the file: row count unknown, predicate columns not
+    // cached. Shreds are never worse than full columns for the bottom
+    // predicate and strictly cheaper when anything is filtered.
+    (*ctx.desc) << "[adaptive: no stats -> shreds] ";
+    return ShredPolicy::kShreds;
+  }
+  double selectivity = 1.0;
+  bool any_estimate = false;
+  for (size_t i = 0; i < side.predicates.size(); ++i) {
+    std::optional<double> est = EstimateSelectivity(
+        ctx.shreds, entry, side.predicates[i], side.predicate_cols[i]);
+    if (est.has_value()) {
+      selectivity *= *est;
+      any_estimate = true;
+    } else {
+      selectivity *= 0.5;  // agnostic default for unseen predicates
+    }
+  }
+  ShredDecisionInput in;
+  in.format = entry.info.format;
+  in.table_rows = entry.row_count;
+  in.selectivity = selectivity;
+  // Columns a late scan would fetch: predicates beyond the first + upstream.
+  int fetch_cols = static_cast<int>(side.needed_after.size());
+  if (side.predicates.size() > 1) {
+    fetch_cols += static_cast<int>(side.predicates.size()) - 1;
+  }
+  in.colocated_columns = std::max(fetch_cols, 1);
+  if (entry.info.format == FileFormat::kCsv && entry.pmap != nullptr &&
+      !entry.pmap->empty()) {
+    // Typical skip distance: half the tracking stride.
+    const auto& tracked = entry.pmap->tracked_columns();
+    int stride = tracked.size() > 1 ? tracked[1] - tracked[0]
+                                    : entry.info.schema.num_fields();
+    in.skip_distance = stride / 2;
+  }
+  CostModel model;
+  ShredPolicy policy = model.ChoosePolicy(in);
+  (*ctx.desc) << "[adaptive: sel=" << selectivity
+              << (any_estimate ? " (cache-estimated)" : " (default)")
+              << " -> " << ShredPolicyToString(policy) << "] ";
+  return policy;
+}
+
+/// Wraps `op` (a LateScanOperator output) so the freshly fetched columns are
+/// registered in the shred pool at Close() — "creating only subsets (shreds)
+/// of columns ... preserved in a pool" (§3/§5.1). Only used below filter
+/// cascades, where row ids are strictly increasing (post-join order is not).
+OperatorPtr WrapLateScanCacheInsert(BuildCtx& ctx, OperatorPtr op,
+                                    TableEntry* entry, int base_fields,
+                                    const std::vector<int>& fetch_cols) {
+  if (!ctx.opts->populate_shred_cache) return op;
+  std::vector<CacheInsertOperator::Mapping> mappings;
+  for (size_t j = 0; j < fetch_cols.size(); ++j) {
+    mappings.push_back(CacheInsertOperator::Mapping{
+        base_fields + static_cast<int>(j), fetch_cols[j]});
+  }
+  return std::make_unique<CacheInsertOperator>(
+      std::move(op), ctx.shreds, entry->info.name, std::move(mappings),
+      /*full_scan=*/false, /*row_count_sink=*/nullptr);
+}
+
+/// Builds scan -> [late scan, filter]* -> [late scan] for one table.
+StatusOr<OperatorPtr> BuildTableSubplan(BuildCtx& ctx, SidePlan& side) {
+  const PlannerOptions& opts = *ctx.opts;
+  const std::string& table = side.entry->info.name;
+  const Schema& tschema = side.entry->info.schema;
+
+  const bool full_columns =
+      side.policy == ShredPolicy::kFullColumns ||
+      opts.access_path == AccessPathKind::kLoaded ||
+      opts.access_path == AccessPathKind::kExternalTable;
+
+  std::vector<int> base_cols = side.force_base;
+  std::set<int> have;
+  if (full_columns) {
+    for (int c : side.predicate_cols) base_cols.push_back(c);
+    for (int c : side.needed_after) base_cols.push_back(c);
+  } else if (!side.predicate_cols.empty()) {
+    base_cols.push_back(side.predicate_cols.front());
+  } else {
+    for (int c : side.needed_after) base_cols.push_back(c);
+  }
+  if (base_cols.empty()) {
+    // Degenerate: no predicates, nothing needed below — still scan something
+    // to drive row ids (first schema column).
+    base_cols.push_back(0);
+  }
+  base_cols = SortedUnique(std::move(base_cols));
+  for (int c : base_cols) have.insert(c);
+
+  RAW_ASSIGN_OR_RETURN(OperatorPtr op, BuildBaseScan(ctx, side.entry, base_cols));
+
+  // Remaining work queue: predicates in order, then the upstream columns.
+  std::vector<int> remaining_pred_cols;
+  for (size_t i = 0; i < side.predicates.size(); ++i) {
+    remaining_pred_cols.push_back(side.predicate_cols[i]);
+  }
+
+  for (size_t i = 0; i < side.predicates.size(); ++i) {
+    int col = side.predicate_cols[i];
+    if (have.count(col) == 0) {
+      std::vector<int> fetch_cols = {col};
+      if (side.policy == ShredPolicy::kMultiColumnShreds) {
+        // Speculatively fetch nearby columns needed later in the same pass
+        // (§5.3.1: "it may be comparatively cheap to read nearby fields").
+        for (size_t k = i + 1; k < side.predicates.size(); ++k) {
+          int other = side.predicate_cols[k];
+          if (have.count(other) == 0 &&
+              std::abs(other - col) <= opts.speculation_window) {
+            fetch_cols.push_back(other);
+          }
+        }
+        for (int other : side.needed_after) {
+          if (have.count(other) == 0 &&
+              std::abs(other - col) <= opts.speculation_window) {
+            fetch_cols.push_back(other);
+          }
+        }
+      }
+      fetch_cols = SortedUnique(std::move(fetch_cols));
+      RAW_ASSIGN_OR_RETURN(RowFetcherPtr fetcher,
+                           BuildFetcher(ctx, side.entry, fetch_cols));
+      (*ctx.desc) << "[late-scan " << table << ":";
+      for (int c : fetch_cols) (*ctx.desc) << c << ",";
+      (*ctx.desc) << "] ";
+      RAW_RETURN_NOT_OK(op->Open());  // idempotent; exposes the field count
+      int base_fields = op->output_schema().num_fields();
+      op = std::make_unique<LateScanOperator>(std::move(op),
+                                              std::move(fetcher));
+      op = WrapLateScanCacheInsert(ctx, std::move(op), side.entry, base_fields,
+                                   fetch_cols);
+      for (int c : fetch_cols) have.insert(c);
+    }
+    // Operator Open() is idempotent before the first Next(); opening here
+    // materializes the subtree's output schema so the predicate can bind.
+    RAW_RETURN_NOT_OK(op->Open());
+    RAW_ASSIGN_OR_RETURN(
+        ExprPtr pred, BindPredicate(op->output_schema(), side.predicates[i]));
+    op = std::make_unique<FilterOperator>(std::move(op), std::move(pred));
+    (*ctx.desc) << "[filter " << side.predicates[i].ToString() << "] ";
+  }
+
+  std::vector<int> missing;
+  for (int c : side.needed_after) {
+    if (have.count(c) == 0) missing.push_back(c);
+  }
+  if (!missing.empty()) {
+    missing = SortedUnique(std::move(missing));
+    RAW_ASSIGN_OR_RETURN(RowFetcherPtr fetcher,
+                         BuildFetcher(ctx, side.entry, missing));
+    (*ctx.desc) << "[late-scan " << table << ":";
+    for (int c : missing) (*ctx.desc) << c << ",";
+    (*ctx.desc) << "] ";
+    RAW_RETURN_NOT_OK(op->Open());
+    int base_fields = op->output_schema().num_fields();
+    op = std::make_unique<LateScanOperator>(std::move(op), std::move(fetcher));
+    op = WrapLateScanCacheInsert(ctx, std::move(op), side.entry, base_fields,
+                                 missing);
+  }
+  (void)tschema;
+  return op;
+}
+
+}  // namespace
+
+// =============================================================================
+// Planner::Plan
+// =============================================================================
+
+StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
+                                     const PlannerOptions& options) {
+  RAW_RETURN_NOT_OK(query.Validate());
+
+  PhysicalPlan plan;
+  std::ostringstream desc;
+  double compile_seconds = 0;
+  BuildCtx ctx{catalog_, jit_, shreds_, &options, &compile_seconds, &desc};
+
+  // Resolve tables.
+  std::vector<TableEntry*> entries;
+  for (const std::string& t : query.tables) {
+    RAW_ASSIGN_OR_RETURN(TableEntry * entry, catalog_->Get(t));
+    entries.push_back(entry);
+  }
+
+  // Resolve all column references (mutating copies of the spec items).
+  QuerySpec q = query;
+  auto resolve = [&](ColumnRefSpec* ref, TableEntry** entry,
+                     int* column) -> Status {
+    return ResolveRef(entries, ref, entry, column);
+  };
+
+  std::vector<TableEntry*> pred_entry(q.predicates.size());
+  std::vector<int> pred_col(q.predicates.size());
+  for (size_t i = 0; i < q.predicates.size(); ++i) {
+    RAW_RETURN_NOT_OK(
+        resolve(&q.predicates[i].column, &pred_entry[i], &pred_col[i]));
+  }
+  struct OutCol {
+    TableEntry* entry;
+    int column;
+  };
+  std::vector<OutCol> agg_cols(q.aggregates.size());
+  for (size_t i = 0; i < q.aggregates.size(); ++i) {
+    if (q.aggregates[i].count_star) {
+      agg_cols[i] = {nullptr, -1};
+      continue;
+    }
+    RAW_RETURN_NOT_OK(resolve(&q.aggregates[i].column, &agg_cols[i].entry,
+                              &agg_cols[i].column));
+  }
+  std::vector<OutCol> proj_cols(q.projections.size());
+  for (size_t i = 0; i < q.projections.size(); ++i) {
+    RAW_RETURN_NOT_OK(
+        resolve(&q.projections[i], &proj_cols[i].entry, &proj_cols[i].column));
+  }
+  std::vector<OutCol> group_cols(q.group_by.size());
+  for (size_t i = 0; i < q.group_by.size(); ++i) {
+    RAW_RETURN_NOT_OK(
+        resolve(&q.group_by[i], &group_cols[i].entry, &group_cols[i].column));
+  }
+
+  OperatorPtr op;
+
+  if (!q.is_join()) {
+    SidePlan side;
+    side.entry = entries[0];
+    for (size_t i = 0; i < q.predicates.size(); ++i) {
+      side.predicates.push_back(q.predicates[i]);
+      side.predicate_cols.push_back(pred_col[i]);
+    }
+    for (const OutCol& c : agg_cols) {
+      if (c.entry != nullptr) side.needed_after.push_back(c.column);
+    }
+    for (const OutCol& c : proj_cols) side.needed_after.push_back(c.column);
+    for (const OutCol& c : group_cols) side.needed_after.push_back(c.column);
+    side.policy = options.shred_policy;
+    if (side.policy == ShredPolicy::kAdaptive) {
+      side.policy = ResolveAdaptivePolicy(ctx, side);
+    }
+    RAW_ASSIGN_OR_RETURN(op, BuildTableSubplan(ctx, side));
+  } else {
+    TableEntry* probe_entry = entries[0];
+    TableEntry* build_entry = entries[1];
+
+    // Resolve join keys.
+    TableEntry* jl_entry;
+    int jl_col;
+    TableEntry* jr_entry;
+    int jr_col;
+    RAW_RETURN_NOT_OK(resolve(&q.join_left, &jl_entry, &jl_col));
+    RAW_RETURN_NOT_OK(resolve(&q.join_right, &jr_entry, &jr_col));
+    if (jl_entry == build_entry && jr_entry == probe_entry) {
+      std::swap(jl_entry, jr_entry);
+      std::swap(jl_col, jr_col);
+      std::swap(q.join_left, q.join_right);
+    }
+    if (jl_entry != probe_entry || jr_entry != build_entry) {
+      return Status::InvalidArgument(
+          "join condition must reference both tables");
+    }
+
+    SidePlan probe, build;
+    probe.entry = probe_entry;
+    build.entry = build_entry;
+    probe.needed_after.push_back(jl_col);
+    build.needed_after.push_back(jr_col);
+    for (size_t i = 0; i < q.predicates.size(); ++i) {
+      SidePlan& side = pred_entry[i] == probe_entry ? probe : build;
+      side.predicates.push_back(q.predicates[i]);
+      side.predicate_cols.push_back(pred_col[i]);
+    }
+
+    // Projected / aggregated columns: placement decides which side structure
+    // receives them (early -> base scan, intermediate -> after side filters,
+    // late -> after the join).
+    std::vector<OutCol> late_probe, late_build;
+    auto place = [&](const OutCol& c) {
+      if (c.entry == nullptr) return;
+      SidePlan& side = c.entry == probe_entry ? probe : build;
+      switch (options.join_placement) {
+        case JoinProjectionPlacement::kEarly:
+          side.force_base.push_back(c.column);
+          break;
+        case JoinProjectionPlacement::kIntermediate:
+          side.needed_after.push_back(c.column);
+          break;
+        case JoinProjectionPlacement::kLate:
+          if (c.entry == probe_entry) {
+            late_probe.push_back(c);
+          } else {
+            late_build.push_back(c);
+          }
+          break;
+      }
+    };
+    for (const OutCol& c : agg_cols) {
+      // Join keys and group keys must exist at the join; only non-key
+      // payload columns are placement-sensitive.
+      place(c);
+    }
+    for (const OutCol& c : proj_cols) place(c);
+    for (const OutCol& c : group_cols) {
+      // Group keys are needed at the group-by; treat as intermediate to be
+      // safe (available right after the join).
+      SidePlan& side = c.entry == probe_entry ? probe : build;
+      side.needed_after.push_back(c.column);
+    }
+
+    probe.policy = options.shred_policy;
+    build.policy = options.shred_policy;
+    if (probe.policy == ShredPolicy::kAdaptive) {
+      probe.policy = ResolveAdaptivePolicy(ctx, probe);
+    }
+    if (build.policy == ShredPolicy::kAdaptive) {
+      build.policy = ResolveAdaptivePolicy(ctx, build);
+    }
+
+    RAW_ASSIGN_OR_RETURN(OperatorPtr probe_op, BuildTableSubplan(ctx, probe));
+    RAW_ASSIGN_OR_RETURN(OperatorPtr build_op, BuildTableSubplan(ctx, build));
+
+    const bool emit_build_ids = !late_build.empty();
+    // Open the (idempotent) subplans so their qualified output schemas exist
+    // for join-key resolution.
+    RAW_RETURN_NOT_OK(probe_op->Open());
+    RAW_RETURN_NOT_OK(build_op->Open());
+    RAW_ASSIGN_OR_RETURN(int probe_key,
+                         QualifiedIndex(probe_op->output_schema(), q.join_left));
+    RAW_ASSIGN_OR_RETURN(int build_key, QualifiedIndex(build_op->output_schema(),
+                                                       q.join_right));
+    (*ctx.desc) << "[hash-join " << q.join_left.ToString() << "="
+                << q.join_right.ToString() << " placement="
+                << JoinProjectionPlacementToString(options.join_placement)
+                << "] ";
+    auto join = std::make_unique<HashJoinOperator>(
+        std::move(probe_op), std::move(build_op), probe_key, build_key,
+        emit_build_ids);
+    op = std::move(join);
+
+    if (!late_probe.empty()) {
+      std::vector<int> cols;
+      for (const OutCol& c : late_probe) cols.push_back(c.column);
+      RAW_ASSIGN_OR_RETURN(RowFetcherPtr fetcher,
+                           BuildFetcher(ctx, probe_entry, cols));
+      (*ctx.desc) << "[late-scan(post-join,pipelined) " << probe_entry->info.name
+                  << "] ";
+      op = std::make_unique<LateScanOperator>(std::move(op),
+                                              std::move(fetcher));
+    }
+    if (!late_build.empty()) {
+      std::vector<int> cols;
+      for (const OutCol& c : late_build) cols.push_back(c.column);
+      RAW_ASSIGN_OR_RETURN(RowFetcherPtr fetcher,
+                           BuildFetcher(ctx, build_entry, cols));
+      (*ctx.desc) << "[late-scan(post-join,breaking) " << build_entry->info.name
+                  << "] ";
+      op = std::make_unique<LateScanOperator>(
+          std::move(op), std::move(fetcher),
+          HashJoinOperator::kBuildRowIdColumn);
+    }
+  }
+
+  // Aggregation / grouping / projection.
+  if (q.is_aggregate()) {
+    RAW_RETURN_NOT_OK(op->Open());
+    const Schema& in = op->output_schema();
+    std::vector<AggSpec> specs;
+    for (size_t i = 0; i < q.aggregates.size(); ++i) {
+      AggSpec spec;
+      spec.kind = q.aggregates[i].kind;
+      if (q.aggregates[i].count_star) {
+        spec.input = -1;
+      } else {
+        RAW_ASSIGN_OR_RETURN(spec.input,
+                             QualifiedIndex(in, q.aggregates[i].column));
+      }
+      spec.output_name =
+          !q.aggregates[i].output_name.empty()
+              ? q.aggregates[i].output_name
+              : std::string(AggKindToString(q.aggregates[i].kind)) + "(" +
+                    (q.aggregates[i].count_star
+                         ? "*"
+                         : q.aggregates[i].column.ToString()) +
+                    ")";
+      specs.push_back(std::move(spec));
+    }
+    if (q.group_by.empty()) {
+      op = std::make_unique<AggregateOperator>(std::move(op), std::move(specs));
+      (*ctx.desc) << "[aggregate] ";
+    } else {
+      std::vector<int> keys;
+      for (const ColumnRefSpec& g : q.group_by) {
+        RAW_ASSIGN_OR_RETURN(int idx, QualifiedIndex(in, g));
+        keys.push_back(idx);
+      }
+      op = std::make_unique<HashGroupByOperator>(std::move(op), std::move(keys),
+                                                 std::move(specs));
+      (*ctx.desc) << "[group-by] ";
+    }
+  } else {
+    RAW_RETURN_NOT_OK(op->Open());
+    const Schema& in = op->output_schema();
+    std::vector<int> indices;
+    std::vector<std::string> names;
+    std::set<std::string> used;
+    for (const ColumnRefSpec& p : q.projections) {
+      RAW_ASSIGN_OR_RETURN(int idx, QualifiedIndex(in, p));
+      indices.push_back(idx);
+      std::string name = p.column;
+      if (!used.insert(name).second) name = QualifiedName(p.table, p.column);
+      names.push_back(name);
+    }
+    op = std::make_unique<SelectColumnsOperator>(std::move(op),
+                                                 std::move(indices),
+                                                 std::move(names));
+    (*ctx.desc) << "[project] ";
+  }
+
+  if (q.limit >= 0) {
+    op = std::make_unique<LimitOperator>(std::move(op), q.limit);
+    (*ctx.desc) << "[limit " << q.limit << "] ";
+  }
+
+  plan.root = std::move(op);
+  plan.description = desc.str();
+  plan.compile_seconds = compile_seconds;
+  return plan;
+}
+
+}  // namespace raw

@@ -1,0 +1,45 @@
+#ifndef RAW_ENGINE_PLANNER_H_
+#define RAW_ENGINE_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/logical_plan.h"
+#include "engine/physical_plan.h"
+#include "engine/shred_cache.h"
+#include "jit/template_cache.h"
+
+namespace raw {
+
+/// Converts logical queries into physical operator trees, making the
+/// decisions §3 describes: which access path serves each field (parse raw /
+/// positional-map jump / nearby position + incremental parse / cached
+/// shred), where each scan operator sits in the plan (full columns vs column
+/// shreds vs multi-column shreds; early/intermediate/late around joins), and
+/// which kernels to JIT-compile.
+class Planner {
+ public:
+  Planner(Catalog* catalog, JitTemplateCache* jit, ShredCache* shreds)
+      : catalog_(catalog), jit_(jit), shreds_(shreds) {}
+
+  StatusOr<PhysicalPlan> Plan(const QuerySpec& query,
+                              const PlannerOptions& options);
+
+ private:
+  struct TableSide;  // planning state for one table (defined in planner.cc)
+
+  Catalog* catalog_;
+  JitTemplateCache* jit_;
+  ShredCache* shreds_;
+};
+
+/// Internal field naming: every materialized column is qualified as
+/// "<table>.<column>" so join outputs never collide and specs resolve
+/// unambiguously at any plan level.
+std::string QualifiedName(const std::string& table, const std::string& column);
+
+}  // namespace raw
+
+#endif  // RAW_ENGINE_PLANNER_H_

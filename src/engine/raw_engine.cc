@@ -1,0 +1,78 @@
+#include "engine/raw_engine.h"
+
+#include "common/stopwatch.h"
+#include "csv/schema_inference.h"
+#include "engine/sql/binder.h"
+#include "engine/sql/parser.h"
+
+namespace raw {
+
+Status RawEngine::RegisterCsvInferred(const std::string& name,
+                                      const std::string& path, CsvOptions csv,
+                                      int pmap_stride) {
+  RAW_ASSIGN_OR_RETURN(Schema schema, InferCsvSchema(path, csv));
+  return catalog_.RegisterCsv(name, path, std::move(schema), csv, pmap_stride);
+}
+
+RawEngine::RawEngine(RawEngineOptions options)
+    : options_(std::move(options)),
+      catalog_(options_.catalog),
+      jit_(options_.jit_compiler),
+      shreds_(options_.shred_cache_bytes),
+      planner_(&catalog_, &jit_, &shreds_) {}
+
+StatusOr<QuerySpec> RawEngine::ParseSql(const std::string& sql) {
+  RAW_ASSIGN_OR_RETURN(QuerySpec spec, sql::Parse(sql));
+  RAW_RETURN_NOT_OK(sql::Bind(&catalog_, &spec));
+  return spec;
+}
+
+StatusOr<QueryResult> RawEngine::Query(const std::string& sql) {
+  return Query(sql, options_.planner);
+}
+
+StatusOr<QueryResult> RawEngine::Query(const std::string& sql,
+                                       const PlannerOptions& options) {
+  RAW_ASSIGN_OR_RETURN(QuerySpec spec, ParseSql(sql));
+  return Execute(spec, options);
+}
+
+StatusOr<QueryResult> RawEngine::Execute(const QuerySpec& spec,
+                                         const PlannerOptions& options) {
+  Stopwatch plan_watch;
+  const double compile_before = jit_.total_compile_seconds();
+  RAW_ASSIGN_OR_RETURN(PhysicalPlan plan, planner_.Plan(spec, options));
+  const double plan_seconds = plan_watch.ElapsedSeconds();
+  if (spec.explain) {
+    // EXPLAIN: return the plan description as a one-row result.
+    QueryResult result;
+    result.plan_description = plan.description;
+    result.plan_seconds = plan_seconds;
+    result.compile_seconds = jit_.total_compile_seconds() - compile_before;
+    ColumnBatch table(Schema{{"plan", DataType::kString}});
+    auto col = std::make_shared<Column>(DataType::kString);
+    col->AppendString(plan.description);
+    table.AddColumn(std::move(col));
+    table.SetNumRows(1);
+    result.table = std::move(table);
+    return result;
+  }
+  RAW_ASSIGN_OR_RETURN(QueryResult result, Executor::Run(std::move(plan)));
+  result.plan_seconds = plan_seconds;
+  result.compile_seconds = jit_.total_compile_seconds() - compile_before;
+  return result;
+}
+
+void RawEngine::ResetAdaptiveState() {
+  shreds_.Clear();
+  jit_.Clear();
+  for (const std::string& name : catalog_.TableNames()) {
+    auto entry = catalog_.Get(name);
+    if (entry.ok()) {
+      (*entry)->pmap.reset();
+      (*entry)->loaded.reset();
+    }
+  }
+}
+
+}  // namespace raw

@@ -1,0 +1,91 @@
+#ifndef RAW_ENGINE_RAW_ENGINE_H_
+#define RAW_ENGINE_RAW_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/catalog.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "engine/shred_cache.h"
+#include "jit/template_cache.h"
+
+namespace raw {
+
+/// Engine-wide configuration.
+struct RawEngineOptions {
+  PlannerOptions planner;  // per-query defaults
+  CatalogOptions catalog;
+  CcCompilerOptions jit_compiler;
+  int64_t shred_cache_bytes = 1ll << 30;
+};
+
+/// RAW — the adaptive raw-data query engine. Register raw files once, then
+/// query them with SQL; the engine adapts to each file format and query by
+/// generating Just-In-Time access paths and materializing column shreds,
+/// caching both for future queries.
+///
+///   RawEngine engine;
+///   engine.RegisterCsv("t", "/data/t.csv", schema);
+///   auto result = engine.Query("SELECT MAX(col11) FROM t WHERE col1 < 100");
+class RawEngine {
+ public:
+  explicit RawEngine(RawEngineOptions options = RawEngineOptions());
+
+  // --- registration ----------------------------------------------------------
+  Status RegisterCsv(const std::string& name, const std::string& path,
+                     Schema schema, CsvOptions csv = CsvOptions(),
+                     int pmap_stride = 10) {
+    return catalog_.RegisterCsv(name, path, std::move(schema), csv,
+                                pmap_stride);
+  }
+  /// Registers a CSV file whose schema is *inferred* by sampling its rows —
+  /// no description of the file needed at all.
+  Status RegisterCsvInferred(const std::string& name, const std::string& path,
+                             CsvOptions csv = CsvOptions(),
+                             int pmap_stride = 10);
+  Status RegisterBinary(const std::string& name, const std::string& path,
+                        Schema schema) {
+    return catalog_.RegisterBinary(name, path, std::move(schema));
+  }
+  Status RegisterRef(const std::string& prefix, const std::string& path) {
+    return catalog_.RegisterRef(prefix, path);
+  }
+
+  // --- querying --------------------------------------------------------------
+  /// Parses, binds, plans and executes `sql` with the engine's default
+  /// planner options.
+  StatusOr<QueryResult> Query(const std::string& sql);
+
+  /// Same, with explicit per-query planner options (experiments sweep these).
+  StatusOr<QueryResult> Query(const std::string& sql,
+                              const PlannerOptions& options);
+
+  /// Executes a programmatic logical query.
+  StatusOr<QueryResult> Execute(const QuerySpec& spec,
+                                const PlannerOptions& options);
+
+  /// Parses + binds without executing (EXPLAIN-style tooling, tests).
+  StatusOr<QuerySpec> ParseSql(const std::string& sql);
+
+  // --- state inspection ------------------------------------------------------
+  Catalog* catalog() { return &catalog_; }
+  JitTemplateCache* jit_cache() { return &jit_; }
+  ShredCache* shred_cache() { return &shreds_; }
+  const RawEngineOptions& options() const { return options_; }
+
+  /// Drops all adaptive state (shred pool + compiled-kernel cache + maps),
+  /// reverting the engine to its freshly-started behaviour.
+  void ResetAdaptiveState();
+
+ private:
+  RawEngineOptions options_;
+  Catalog catalog_;
+  JitTemplateCache jit_;
+  ShredCache shreds_;
+  Planner planner_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_ENGINE_RAW_ENGINE_H_

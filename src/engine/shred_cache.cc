@@ -1,0 +1,132 @@
+#include "engine/shred_cache.h"
+
+#include <algorithm>
+
+namespace raw {
+
+ShredCache::Entry* ShredCache::Find(const std::string& key, bool refresh_lru) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  if (refresh_lru) lru_.splice(lru_.begin(), lru_, it->second);
+  return &*it->second;
+}
+
+Status ShredCache::Insert(const std::string& table, int column,
+                          const int64_t* row_ids, const Column& values) {
+  std::string key = MakeKey(table, column);
+  Entry* existing = Find(key, /*refresh_lru=*/false);
+  const int64_t new_rows = values.length();
+  if (existing != nullptr) {
+    int64_t old_rows = existing->full()
+                           ? existing->values->length()
+                           : static_cast<int64_t>(existing->row_ids.size());
+    if (existing->full() || old_rows >= new_rows) {
+      return Status::OK();  // keep the (at least as large) existing entry
+    }
+    bytes_cached_ -= existing->bytes;
+    lru_.erase(index_[key]);
+    index_.erase(key);
+  }
+  Entry entry;
+  entry.key = key;
+  entry.values = std::make_shared<Column>(values);
+  if (row_ids != nullptr) {
+    entry.row_ids.assign(row_ids, row_ids + new_rows);
+    for (int64_t i = 1; i < new_rows; ++i) {
+      if (entry.row_ids[static_cast<size_t>(i)] <=
+          entry.row_ids[static_cast<size_t>(i - 1)]) {
+        return Status::InvalidArgument(
+            "shred cache insert: row ids must be strictly increasing");
+      }
+    }
+  }
+  entry.bytes = entry.values->MemoryBytes() +
+                static_cast<int64_t>(entry.row_ids.size() * sizeof(int64_t));
+  bytes_cached_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  EvictOverCapacity();
+  return Status::OK();
+}
+
+void ShredCache::EvictOverCapacity() {
+  while (bytes_cached_ > capacity_bytes_ && lru_.size() > 1) {
+    Entry& victim = lru_.back();
+    bytes_cached_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+bool ShredCache::Covers(const std::string& table, int column,
+                        const std::vector<int64_t>& rows) {
+  Entry* entry = Find(MakeKey(table, column), /*refresh_lru=*/false);
+  if (entry == nullptr) return false;
+  if (entry->full()) {
+    for (int64_t r : rows) {
+      if (r < 0 || r >= entry->values->length()) return false;
+    }
+    return true;
+  }
+  const auto& ids = entry->row_ids;
+  for (int64_t r : rows) {
+    if (!std::binary_search(ids.begin(), ids.end(), r)) return false;
+  }
+  return true;
+}
+
+StatusOr<ColumnPtr> ShredCache::Lookup(const std::string& table, int column,
+                                       const std::vector<int64_t>& rows) {
+  Entry* entry = Find(MakeKey(table, column), /*refresh_lru=*/true);
+  if (entry == nullptr) {
+    ++misses_;
+    return Status::NotFound("no cached shred");
+  }
+  auto out = std::make_shared<Column>(entry->values->type());
+  out->Reserve(static_cast<int64_t>(rows.size()));
+  if (entry->full()) {
+    for (int64_t r : rows) {
+      if (r < 0 || r >= entry->values->length()) {
+        ++misses_;
+        return Status::NotFound("row outside cached column");
+      }
+    }
+    ++hits_;
+    return std::make_shared<Column>(entry->values->Gather(
+        rows.data(), static_cast<int64_t>(rows.size())));
+  }
+  const auto& ids = entry->row_ids;
+  std::vector<int64_t> indices;
+  indices.reserve(rows.size());
+  for (int64_t r : rows) {
+    auto it = std::lower_bound(ids.begin(), ids.end(), r);
+    if (it == ids.end() || *it != r) {
+      ++misses_;
+      return Status::NotFound("requested row not in cached shred");
+    }
+    indices.push_back(static_cast<int64_t>(it - ids.begin()));
+  }
+  ++hits_;
+  return std::make_shared<Column>(entry->values->Gather(
+      indices.data(), static_cast<int64_t>(indices.size())));
+}
+
+StatusOr<ColumnPtr> ShredCache::LookupFull(const std::string& table,
+                                           int column) {
+  Entry* entry = Find(MakeKey(table, column), /*refresh_lru=*/true);
+  if (entry == nullptr || !entry->full()) {
+    ++misses_;
+    return Status::NotFound("no cached full column");
+  }
+  ++hits_;
+  return entry->values;
+}
+
+void ShredCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_cached_ = 0;
+}
+
+}  // namespace raw

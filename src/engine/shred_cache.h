@@ -1,0 +1,86 @@
+#ifndef RAW_ENGINE_SHRED_CACHE_H_
+#define RAW_ENGINE_SHRED_CACHE_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/column.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace raw {
+
+/// The pool of column shreds populated as a side effect of query execution
+/// (§3, §5.1): per (table, column) it keeps the rows already converted from
+/// the raw file. "A shred is used by an upcoming query if the values it
+/// contains subsume the values requested. The replacement policy ... is LRU."
+///
+/// An entry is either a *full column* (row_ids empty, covers every row) or a
+/// shred: sorted row ids plus the parallel values. On insert, an existing
+/// entry for the same (table, column) is replaced only when the new one
+/// covers at least as many rows (cheap subsumption-by-size policy; merging
+/// arbitrary shreds is bookkeeping the paper also points out can become
+/// costly, §5.1).
+class ShredCache {
+ public:
+  explicit ShredCache(int64_t capacity_bytes = 1ll << 30)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Inserts values for `row_ids` (nullptr => full column starting at row 0).
+  /// `row_ids` must be strictly increasing when present.
+  Status Insert(const std::string& table, int column, const int64_t* row_ids,
+                const Column& values);
+
+  /// Returns the cached values for exactly `rows` (in order), or nullopt if
+  /// no entry subsumes the request. A hit refreshes LRU order.
+  StatusOr<ColumnPtr> Lookup(const std::string& table, int column,
+                             const std::vector<int64_t>& rows);
+
+  /// True when an entry subsumes `rows` without materializing the result.
+  bool Covers(const std::string& table, int column,
+              const std::vector<int64_t>& rows);
+
+  /// Full-column fast path: the complete cached column when the entry is
+  /// full-length, else NotFound.
+  StatusOr<ColumnPtr> LookupFull(const std::string& table, int column);
+
+  void Clear();
+
+  int64_t bytes_cached() const { return bytes_cached_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t num_entries() const { return static_cast<int64_t>(index_.size()); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<int64_t> row_ids;  // empty => full column
+    ColumnPtr values;
+    int64_t bytes = 0;
+
+    bool full() const { return row_ids.empty(); }
+  };
+
+  static std::string MakeKey(const std::string& table, int column) {
+    return table + "#" + std::to_string(column);
+  }
+
+  Entry* Find(const std::string& key, bool refresh_lru);
+  void EvictOverCapacity();
+
+  int64_t capacity_bytes_;
+  std::list<Entry> lru_;  // front = most recent
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  int64_t bytes_cached_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_ENGINE_SHRED_CACHE_H_

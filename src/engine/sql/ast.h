@@ -1,0 +1,10 @@
+#ifndef RAW_ENGINE_SQL_AST_H_
+#define RAW_ENGINE_SQL_AST_H_
+
+// The SQL front end reuses QuerySpec as its AST: the supported subset
+// (single table or one equi-join, conjunctive column-vs-literal predicates,
+// aggregates, GROUP BY, LIMIT) maps 1:1 onto the logical plan.
+
+#include "engine/logical_plan.h"
+
+#endif  // RAW_ENGINE_SQL_AST_H_

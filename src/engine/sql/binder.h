@@ -1,0 +1,17 @@
+#ifndef RAW_ENGINE_SQL_BINDER_H_
+#define RAW_ENGINE_SQL_BINDER_H_
+
+#include "engine/catalog.h"
+#include "engine/logical_plan.h"
+
+namespace raw::sql {
+
+/// Semantic checks + name qualification against the catalog: verifies every
+/// referenced table exists, qualifies unqualified column references, coerces
+/// predicate literals to the column's type (so the planner's typed fast
+/// paths apply), and validates aggregate input types.
+Status Bind(Catalog* catalog, QuerySpec* spec);
+
+}  // namespace raw::sql
+
+#endif  // RAW_ENGINE_SQL_BINDER_H_

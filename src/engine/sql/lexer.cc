@@ -1,0 +1,123 @@
+#include "engine/sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace raw::sql {
+
+namespace {
+const std::set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::set<std::string>{
+      "SELECT", "FROM", "WHERE",  "AND",   "JOIN",  "ON",  "GROUP",
+      "BY",     "LIMIT", "AS",    "MAX",   "MIN",   "SUM", "COUNT",
+      "AVG",    "INNER", "ORDER", "ASC",   "DESC",  "EXPLAIN"};
+  return *kKeywords;
+}
+}  // namespace
+
+StatusOr<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (Keywords().count(upper) > 0) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = word;
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])) &&
+         (tokens.empty() || tokens.back().type == TokenType::kSymbol ||
+          tokens.back().type == TokenType::kKeyword))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_float = false;
+      while (i < n) {
+        char d = input[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.' && !is_float) {
+          is_float = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && i + 1 < n) {
+          is_float = true;
+          ++i;
+          if (input[i] == '+' || input[i] == '-') ++i;
+        } else {
+          break;
+        }
+      }
+      token.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      token.text = input.substr(start, i - start);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      size_t start = ++i;
+      std::string value;
+      while (i < n && input[i] != '\'') {
+        value += input[i];
+        ++i;
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start - 1));
+      }
+      ++i;  // closing quote
+      token.type = TokenType::kString;
+      token.text = std::move(value);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Multi-char operators first.
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        token.type = TokenType::kSymbol;
+        token.text = two == "<>" ? "!=" : two;
+        tokens.push_back(std::move(token));
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string("(),.*=<>;").find(c) != std::string::npos) {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      tokens.push_back(std::move(token));
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  tokens.push_back(Token{TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace raw::sql

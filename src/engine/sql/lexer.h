@@ -1,0 +1,42 @@
+#ifndef RAW_ENGINE_SQL_LEXER_H_
+#define RAW_ENGINE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace raw::sql {
+
+enum class TokenType {
+  kIdentifier,  // foo, "quoted id" not supported
+  kKeyword,     // SELECT, FROM, ... (uppercased)
+  kInteger,
+  kFloat,
+  kString,      // 'literal'
+  kSymbol,      // ( ) , . * = < > <= >= != <>
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // keywords uppercased; others verbatim
+  size_t offset = 0;
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(std::string_view sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes `input`. Keywords are recognized case-insensitively and
+/// normalized to uppercase; everything alphabetic that is not a keyword is
+/// an identifier.
+StatusOr<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace raw::sql
+
+#endif  // RAW_ENGINE_SQL_LEXER_H_

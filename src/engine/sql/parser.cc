@@ -1,0 +1,242 @@
+#include "engine/sql/parser.h"
+
+#include <charconv>
+
+#include "engine/sql/lexer.h"
+
+namespace raw::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<QuerySpec> ParseQuery();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool AcceptKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(std::string_view sym) {
+    if (Peek().IsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError("expected " + std::string(kw) + " near '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::ParseError("expected '" + std::string(sym) + "' near '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ParseIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError("expected identifier near '" + Peek().text +
+                                "'");
+    }
+    return Advance().text;
+  }
+
+  StatusOr<ColumnRefSpec> ParseColumnRef() {
+    ColumnRefSpec ref;
+    RAW_ASSIGN_OR_RETURN(std::string first, ParseIdentifier());
+    if (AcceptSymbol(".")) {
+      RAW_ASSIGN_OR_RETURN(std::string second, ParseIdentifier());
+      ref.table = std::move(first);
+      ref.column = std::move(second);
+    } else {
+      ref.column = std::move(first);
+    }
+    return ref;
+  }
+
+  StatusOr<Datum> ParseLiteral() {
+    const Token& tok = Peek();
+    if (tok.type == TokenType::kInteger) {
+      Advance();
+      int64_t v = 0;
+      auto [p, ec] =
+          std::from_chars(tok.text.data(), tok.text.data() + tok.text.size(), v);
+      if (ec != std::errc() || p != tok.text.data() + tok.text.size()) {
+        return Status::ParseError("bad integer literal '" + tok.text + "'");
+      }
+      return Datum::Int64(v);
+    }
+    if (tok.type == TokenType::kFloat) {
+      Advance();
+      double v = 0;
+      auto [p, ec] =
+          std::from_chars(tok.text.data(), tok.text.data() + tok.text.size(), v);
+      if (ec != std::errc() || p != tok.text.data() + tok.text.size()) {
+        return Status::ParseError("bad float literal '" + tok.text + "'");
+      }
+      return Datum::Float64(v);
+    }
+    if (tok.type == TokenType::kString) {
+      Advance();
+      return Datum::String(tok.text);
+    }
+    return Status::ParseError("expected literal near '" + tok.text + "'");
+  }
+
+  StatusOr<CompareOp> ParseCompareOp() {
+    const Token& tok = Peek();
+    if (tok.type != TokenType::kSymbol) {
+      return Status::ParseError("expected comparison operator near '" +
+                                tok.text + "'");
+    }
+    CompareOp op;
+    if (tok.text == "<") {
+      op = CompareOp::kLt;
+    } else if (tok.text == "<=") {
+      op = CompareOp::kLe;
+    } else if (tok.text == ">") {
+      op = CompareOp::kGt;
+    } else if (tok.text == ">=") {
+      op = CompareOp::kGe;
+    } else if (tok.text == "=") {
+      op = CompareOp::kEq;
+    } else if (tok.text == "!=") {
+      op = CompareOp::kNe;
+    } else {
+      return Status::ParseError("expected comparison operator near '" +
+                                tok.text + "'");
+    }
+    Advance();
+    return op;
+  }
+
+  StatusOr<AggKind> KeywordToAgg(const std::string& kw) {
+    if (kw == "MAX") return AggKind::kMax;
+    if (kw == "MIN") return AggKind::kMin;
+    if (kw == "SUM") return AggKind::kSum;
+    if (kw == "AVG") return AggKind::kAvg;
+    if (kw == "COUNT") return AggKind::kCount;
+    return Status::ParseError("unknown aggregate " + kw);
+  }
+
+  Status ParseSelectItem(QuerySpec* spec) {
+    const Token& tok = Peek();
+    if (tok.type == TokenType::kKeyword &&
+        (tok.text == "MAX" || tok.text == "MIN" || tok.text == "SUM" ||
+         tok.text == "AVG" || tok.text == "COUNT")) {
+      Advance();
+      AggItemSpec item;
+      RAW_ASSIGN_OR_RETURN(item.kind, KeywordToAgg(tok.text));
+      RAW_RETURN_NOT_OK(ExpectSymbol("("));
+      if (AcceptSymbol("*")) {
+        if (item.kind != AggKind::kCount) {
+          return Status::ParseError("'*' argument is only valid for COUNT");
+        }
+        item.count_star = true;
+      } else {
+        RAW_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+      }
+      RAW_RETURN_NOT_OK(ExpectSymbol(")"));
+      if (AcceptKeyword("AS")) {
+        RAW_ASSIGN_OR_RETURN(item.output_name, ParseIdentifier());
+      }
+      spec->aggregates.push_back(std::move(item));
+      return Status::OK();
+    }
+    RAW_ASSIGN_OR_RETURN(ColumnRefSpec ref, ParseColumnRef());
+    if (AcceptKeyword("AS")) {
+      // Plain projections keep their own name; alias folds into column name
+      // at output time — not stored separately in this subset.
+      RAW_RETURN_NOT_OK(ParseIdentifier().status());
+    }
+    spec->projections.push_back(std::move(ref));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+StatusOr<QuerySpec> Parser::ParseQuery() {
+  QuerySpec spec;
+  spec.explain = AcceptKeyword("EXPLAIN");
+  RAW_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  RAW_RETURN_NOT_OK(ParseSelectItem(&spec));
+  while (AcceptSymbol(",")) {
+    RAW_RETURN_NOT_OK(ParseSelectItem(&spec));
+  }
+  RAW_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  RAW_ASSIGN_OR_RETURN(std::string t0, ParseIdentifier());
+  spec.tables.push_back(std::move(t0));
+  if (AcceptKeyword("INNER")) {
+    RAW_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+    RAW_ASSIGN_OR_RETURN(std::string t1, ParseIdentifier());
+    spec.tables.push_back(std::move(t1));
+    RAW_RETURN_NOT_OK(ExpectKeyword("ON"));
+    RAW_ASSIGN_OR_RETURN(spec.join_left, ParseColumnRef());
+    RAW_RETURN_NOT_OK(ExpectSymbol("="));
+    RAW_ASSIGN_OR_RETURN(spec.join_right, ParseColumnRef());
+  } else if (AcceptKeyword("JOIN")) {
+    RAW_ASSIGN_OR_RETURN(std::string t1, ParseIdentifier());
+    spec.tables.push_back(std::move(t1));
+    RAW_RETURN_NOT_OK(ExpectKeyword("ON"));
+    RAW_ASSIGN_OR_RETURN(spec.join_left, ParseColumnRef());
+    RAW_RETURN_NOT_OK(ExpectSymbol("="));
+    RAW_ASSIGN_OR_RETURN(spec.join_right, ParseColumnRef());
+  }
+  if (AcceptKeyword("WHERE")) {
+    do {
+      PredicateSpec pred;
+      RAW_ASSIGN_OR_RETURN(pred.column, ParseColumnRef());
+      RAW_ASSIGN_OR_RETURN(pred.op, ParseCompareOp());
+      RAW_ASSIGN_OR_RETURN(pred.literal, ParseLiteral());
+      spec.predicates.push_back(std::move(pred));
+    } while (AcceptKeyword("AND"));
+  }
+  if (AcceptKeyword("GROUP")) {
+    RAW_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      RAW_ASSIGN_OR_RETURN(ColumnRefSpec ref, ParseColumnRef());
+      spec.group_by.push_back(std::move(ref));
+    } while (AcceptSymbol(","));
+  }
+  if (AcceptKeyword("LIMIT")) {
+    const Token& tok = Peek();
+    if (tok.type != TokenType::kInteger) {
+      return Status::ParseError("expected integer after LIMIT");
+    }
+    Advance();
+    spec.limit = std::stoll(tok.text);
+  }
+  AcceptSymbol(";");
+  if (Peek().type != TokenType::kEnd) {
+    return Status::ParseError("unexpected trailing input near '" +
+                              Peek().text + "'");
+  }
+  RAW_RETURN_NOT_OK(spec.Validate());
+  return spec;
+}
+
+}  // namespace
+
+StatusOr<QuerySpec> Parse(const std::string& sql) {
+  RAW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace raw::sql

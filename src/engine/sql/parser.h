@@ -1,0 +1,24 @@
+#ifndef RAW_ENGINE_SQL_PARSER_H_
+#define RAW_ENGINE_SQL_PARSER_H_
+
+#include <string>
+
+#include "engine/logical_plan.h"
+
+namespace raw::sql {
+
+/// Parses the supported SQL subset into a QuerySpec:
+///
+///   SELECT <item> [, <item>]*
+///   FROM <table> [JOIN <table> ON <ref> = <ref>]
+///   [WHERE <ref> <op> <literal> [AND ...]]
+///   [GROUP BY <ref> [, <ref>]*]
+///   [LIMIT <n>]
+///
+/// where <item> is a column reference or MAX/MIN/SUM/AVG/COUNT over one
+/// column (COUNT(*) allowed), optionally aliased with AS.
+StatusOr<QuerySpec> Parse(const std::string& sql);
+
+}  // namespace raw::sql
+
+#endif  // RAW_ENGINE_SQL_PARSER_H_

@@ -1,0 +1,42 @@
+#include "eventsim/buffer_pool.h"
+
+namespace raw {
+
+const std::vector<uint8_t>* ClusterBufferPool::Get(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return &it->second->data;
+}
+
+const std::vector<uint8_t>* ClusterBufferPool::Put(uint64_t key,
+                                                   std::vector<uint8_t> data) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->data;
+  }
+  bytes_cached_ += static_cast<int64_t>(data.size());
+  lru_.push_front(Entry{key, std::move(data)});
+  index_[key] = lru_.begin();
+  while (bytes_cached_ > capacity_bytes_ && lru_.size() > 1) {
+    Entry& victim = lru_.back();
+    bytes_cached_ -= static_cast<int64_t>(victim.data.size());
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return &lru_.front().data;
+}
+
+void ClusterBufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_cached_ = 0;
+}
+
+}  // namespace raw

@@ -1,0 +1,61 @@
+#ifndef RAW_EVENTSIM_BUFFER_POOL_H_
+#define RAW_EVENTSIM_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace raw {
+
+/// LRU cache of decoded branch clusters — REF's equivalent of ROOT's
+/// in-memory "buffer pool of commonly-accessed objects" (§6). The warm-run
+/// behaviour of the hand-written Higgs analysis comes from this cache.
+class ClusterBufferPool {
+ public:
+  /// `capacity_bytes` bounds the decoded bytes held; 0 disables caching
+  /// (every access decodes from disk — fully cold behaviour).
+  explicit ClusterBufferPool(int64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+  RAW_DISALLOW_COPY_AND_ASSIGN(ClusterBufferPool);
+
+  /// Key identifying a cluster: (branch index << 32) | cluster index.
+  static uint64_t MakeKey(int branch, int cluster) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(branch)) << 32) |
+           static_cast<uint32_t>(cluster);
+  }
+
+  /// Returns the cached cluster or nullptr (counts a hit/miss).
+  const std::vector<uint8_t>* Get(uint64_t key);
+
+  /// Inserts a decoded cluster, evicting LRU entries over capacity. Returns
+  /// a stable pointer to the cached bytes (valid until eviction).
+  const std::vector<uint8_t>* Put(uint64_t key, std::vector<uint8_t> data);
+
+  void Clear();
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t bytes_cached() const { return bytes_cached_; }
+  int64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    std::vector<uint8_t> data;
+  };
+
+  int64_t capacity_bytes_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t bytes_cached_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_EVENTSIM_BUFFER_POOL_H_

@@ -1,0 +1,93 @@
+#include "eventsim/event_generator.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "eventsim/ref_writer.h"
+
+namespace raw {
+
+EventGenerator::EventGenerator(EventGenOptions options)
+    : options_(options), rng_(options.seed) {}
+
+int EventGenerator::SampleMultiplicity(double mean) {
+  // Geometric-flavoured multiplicity: floor of an exponential with the given
+  // mean; cheap, deterministic, long-ish tail like real multiplicities.
+  double u = rng_.NextDouble();
+  if (u <= 0) u = 1e-12;
+  double x = -mean * std::log(u) * 0.7;
+  int n = static_cast<int>(x);
+  return n > 24 ? 24 : n;
+}
+
+Particle EventGenerator::SampleParticle() {
+  Particle p;
+  double u = rng_.NextDouble();
+  if (u <= 0) u = 1e-12;
+  p.pt = static_cast<float>(-options_.pt_scale * std::log(u));
+  // Roughly central eta: average two uniforms for a triangular shape.
+  double eta = (rng_.NextDouble() + rng_.NextDouble() - 1.0) * options_.eta_max;
+  p.eta = static_cast<float>(eta);
+  p.phi = static_cast<float>(rng_.NextDouble(-M_PI, M_PI));
+  return p;
+}
+
+Event EventGenerator::Next() {
+  Event e;
+  e.event_id = next_index_;
+  e.run_number =
+      options_.first_run +
+      static_cast<int32_t>(rng_.NextBelow(static_cast<uint64_t>(
+          options_.num_runs)));
+  int n_mu = SampleMultiplicity(options_.mean_muons);
+  int n_el = SampleMultiplicity(options_.mean_electrons);
+  int n_jet = SampleMultiplicity(options_.mean_jets);
+  e.muons.reserve(static_cast<size_t>(n_mu));
+  for (int i = 0; i < n_mu; ++i) e.muons.push_back(SampleParticle());
+  e.electrons.reserve(static_cast<size_t>(n_el));
+  for (int i = 0; i < n_el; ++i) e.electrons.push_back(SampleParticle());
+  e.jets.reserve(static_cast<size_t>(n_jet));
+  for (int i = 0; i < n_jet; ++i) e.jets.push_back(SampleParticle());
+  ++next_index_;
+  return e;
+}
+
+std::vector<int32_t> EventGenerator::GoodRuns(const EventGenOptions& options) {
+  // Deterministic subset: a run r is good when a hash-free criterion holds;
+  // use a dedicated RNG so the subset is independent of event sampling.
+  Rng rng(options.seed ^ 0x600d0072u);
+  std::vector<int32_t> good;
+  for (int32_t r = 0; r < options.num_runs; ++r) {
+    if (rng.NextDouble() < options.good_run_fraction) {
+      good.push_back(options.first_run + r);
+    }
+  }
+  if (good.empty()) good.push_back(options.first_run);  // never fully empty
+  return good;
+}
+
+Status WriteRefFile(const std::string& path, const EventGenOptions& options,
+                    int32_t cluster_events) {
+  EventGenerator gen(options);
+  RefWriter writer(path, cluster_events);
+  RAW_RETURN_NOT_OK(writer.Open());
+  for (int64_t i = 0; i < options.num_events; ++i) {
+    RAW_RETURN_NOT_OK(writer.AppendEvent(gen.Next()));
+  }
+  return writer.Close();
+}
+
+Status WriteGoodRunsCsv(const std::string& path,
+                        const EventGenOptions& options) {
+  std::vector<int32_t> good = EventGenerator::GoodRuns(options);
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create good-runs CSV '" + path + "'");
+  }
+  for (int32_t r : good) fprintf(f, "%d\n", r);
+  if (fclose(f) != 0) return Status::IOError("close failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace raw

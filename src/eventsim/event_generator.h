@@ -1,0 +1,71 @@
+#ifndef RAW_EVENTSIM_EVENT_GENERATOR_H_
+#define RAW_EVENTSIM_EVENT_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "eventsim/event_model.h"
+
+namespace raw {
+
+/// Parameters of the synthetic collision-event workload. The distributions
+/// are physics-free but shaped so the Higgs-style cuts (§6) have realistic,
+/// tunable selectivities: particle multiplicities are geometric-ish, pt falls
+/// off steeply, eta is roughly central, and a controllable fraction of events
+/// belongs to "good runs".
+struct EventGenOptions {
+  uint64_t seed = 42;
+  int64_t num_events = 50000;
+  /// Run numbers cycle through [first_run, first_run + num_runs).
+  int32_t first_run = 2000;
+  int32_t num_runs = 40;
+  /// Fraction of runs recorded in the good-runs list.
+  double good_run_fraction = 0.8;
+  /// Mean particle multiplicities per event.
+  double mean_muons = 2.2;
+  double mean_electrons = 2.0;
+  double mean_jets = 4.5;
+  /// pt scale (GeV); pt ~ scale * exponential decay.
+  double pt_scale = 28.0;
+  /// |eta| bound.
+  double eta_max = 5.0;
+};
+
+/// Deterministic generator of synthetic events.
+class EventGenerator {
+ public:
+  explicit EventGenerator(EventGenOptions options);
+
+  /// Generates the `index`-th event (reproducible for a fixed seed —
+  /// generation is streamed, call with increasing indices).
+  Event Next();
+
+  int64_t events_generated() const { return next_index_; }
+  const EventGenOptions& options() const { return options_; }
+
+  /// The run numbers in the good-runs list for these options.
+  static std::vector<int32_t> GoodRuns(const EventGenOptions& options);
+
+ private:
+  int SampleMultiplicity(double mean);
+  Particle SampleParticle();
+
+  EventGenOptions options_;
+  Rng rng_;
+  int64_t next_index_ = 0;
+};
+
+/// Writes `options.num_events` events to an REF file at `path`.
+Status WriteRefFile(const std::string& path, const EventGenOptions& options,
+                    int32_t cluster_events = 1024);
+
+/// Writes the good-runs CSV (single int32 column "run") at `path`.
+Status WriteGoodRunsCsv(const std::string& path,
+                        const EventGenOptions& options);
+
+}  // namespace raw
+
+#endif  // RAW_EVENTSIM_EVENT_GENERATOR_H_

@@ -1,0 +1,54 @@
+#ifndef RAW_EVENTSIM_EVENT_MODEL_H_
+#define RAW_EVENTSIM_EVENT_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace raw {
+
+/// In-memory event model mirroring the paper's Figure 13: an Event owns
+/// variable-length lists of muons, electrons and jets, each with transverse
+/// momentum (pt), pseudorapidity (eta) and azimuth (phi).
+struct Particle {
+  float pt = 0;
+  float eta = 0;
+  float phi = 0;
+};
+
+struct Event {
+  int64_t event_id = 0;
+  int32_t run_number = 0;
+  std::vector<Particle> muons;
+  std::vector<Particle> electrons;
+  std::vector<Particle> jets;
+
+  const std::vector<Particle>& particles(int group) const {
+    switch (group) {
+      case 0:
+        return muons;
+      case 1:
+        return electrons;
+      default:
+        return jets;
+    }
+  }
+  std::vector<Particle>* mutable_particles(int group) {
+    switch (group) {
+      case 0:
+        return &muons;
+      case 1:
+        return &electrons;
+      default:
+        return &jets;
+    }
+  }
+};
+
+/// Particle group indices (match ref_branches::kGroups order).
+inline constexpr int kMuon = 0;
+inline constexpr int kElectron = 1;
+inline constexpr int kJet = 2;
+
+}  // namespace raw
+
+#endif  // RAW_EVENTSIM_EVENT_MODEL_H_

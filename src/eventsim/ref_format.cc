@@ -1,0 +1,119 @@
+#include "eventsim/ref_format.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace raw {
+
+namespace {
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const uint8_t* data, size_t size, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > size) return false;
+  std::memcpy(v, data + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void RefHeader::SerializeTo(std::string* out) const {
+  AppendPod(out, magic);
+  AppendPod(out, version);
+  AppendPod(out, directory_offset);
+  AppendPod(out, num_events);
+  AppendPod(out, cluster_events);
+  AppendPod(out, num_branches);
+}
+
+StatusOr<RefHeader> RefHeader::Deserialize(const uint8_t* data, size_t size) {
+  RefHeader h;
+  size_t pos = 0;
+  if (!ReadPod(data, size, &pos, &h.magic) ||
+      !ReadPod(data, size, &pos, &h.version) ||
+      !ReadPod(data, size, &pos, &h.directory_offset) ||
+      !ReadPod(data, size, &pos, &h.num_events) ||
+      !ReadPod(data, size, &pos, &h.cluster_events) ||
+      !ReadPod(data, size, &pos, &h.num_branches)) {
+    return Status::ParseError("REF header truncated");
+  }
+  if (h.magic != kRefMagic) return Status::ParseError("not an REF file");
+  if (h.version != kRefVersion) {
+    return Status::ParseError("unsupported REF version " +
+                              std::to_string(h.version));
+  }
+  return h;
+}
+
+int RefBranch::ClusterFor(int64_t index) const {
+  if (index < 0 || index >= num_values()) return -1;
+  auto it = std::upper_bound(
+      clusters.begin(), clusters.end(), index,
+      [](int64_t v, const RefCluster& c) { return v < c.first_value; });
+  return static_cast<int>(it - clusters.begin()) - 1;
+}
+
+void SerializeDirectory(const std::vector<RefBranch>& branches,
+                        std::string* out) {
+  for (const RefBranch& b : branches) {
+    uint32_t name_len = static_cast<uint32_t>(b.name.size());
+    AppendPod(out, name_len);
+    out->append(b.name);
+    AppendPod(out, static_cast<uint8_t>(b.type));
+    AppendPod(out, static_cast<uint8_t>(b.codec));
+    AppendPod(out, static_cast<uint8_t>(b.per_event ? 1 : 0));
+    AppendPod(out, static_cast<int32_t>(b.clusters.size()));
+    for (const RefCluster& c : b.clusters) {
+      AppendPod(out, c.file_offset);
+      AppendPod(out, c.stored_bytes);
+      AppendPod(out, c.first_value);
+      AppendPod(out, c.num_values);
+    }
+  }
+}
+
+StatusOr<std::vector<RefBranch>> DeserializeDirectory(const uint8_t* data,
+                                                      size_t size,
+                                                      int32_t num_branches) {
+  std::vector<RefBranch> branches;
+  size_t pos = 0;
+  for (int32_t i = 0; i < num_branches; ++i) {
+    RefBranch b;
+    uint32_t name_len = 0;
+    if (!ReadPod(data, size, &pos, &name_len) || pos + name_len > size) {
+      return Status::ParseError("REF directory truncated (branch name)");
+    }
+    b.name.assign(reinterpret_cast<const char*>(data + pos), name_len);
+    pos += name_len;
+    uint8_t type = 0, codec = 0, per_event = 0;
+    int32_t num_clusters = 0;
+    if (!ReadPod(data, size, &pos, &type) ||
+        !ReadPod(data, size, &pos, &codec) ||
+        !ReadPod(data, size, &pos, &per_event) ||
+        !ReadPod(data, size, &pos, &num_clusters)) {
+      return Status::ParseError("REF directory truncated (branch meta)");
+    }
+    b.type = static_cast<DataType>(type);
+    b.codec = static_cast<RefCodec>(codec);
+    b.per_event = per_event != 0;
+    for (int32_t c = 0; c < num_clusters; ++c) {
+      RefCluster cl;
+      if (!ReadPod(data, size, &pos, &cl.file_offset) ||
+          !ReadPod(data, size, &pos, &cl.stored_bytes) ||
+          !ReadPod(data, size, &pos, &cl.first_value) ||
+          !ReadPod(data, size, &pos, &cl.num_values)) {
+        return Status::ParseError("REF directory truncated (cluster)");
+      }
+      b.clusters.push_back(cl);
+    }
+    branches.push_back(std::move(b));
+  }
+  return branches;
+}
+
+}  // namespace raw

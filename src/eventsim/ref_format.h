@@ -1,0 +1,100 @@
+#ifndef RAW_EVENTSIM_REF_FORMAT_H_
+#define RAW_EVENTSIM_REF_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/types.h"
+#include "eventsim/rle_codec.h"
+
+namespace raw {
+
+/// REF ("Raw Event Format") — the repository's stand-in for CERN's ROOT
+/// format (§6 of the paper). Shared layout definitions for writer and reader.
+///
+/// An REF file stores a sequence of *events*; each event owns variable-length
+/// lists of particles (muons, electrons, jets). Data is laid out columnar per
+/// *branch*, chunked into *clusters* (ROOT's "baskets"), optionally
+/// compressed. A directory at the end of the file records every branch and
+/// cluster, enabling direct, id-based access without scanning — the property
+/// the paper's JIT access paths exploit via the ROOT I/O API.
+///
+/// File layout:
+///   [RefHeader][cluster data ...][directory]
+///
+/// Directory (at RefHeader::directory_offset):
+///   for each branch: name, type, codec, per-event flag, clusters
+///   cluster: {file_offset, stored_bytes, first_value, num_values}
+
+inline constexpr uint32_t kRefMagic = 0x52454631;  // "REF1"
+inline constexpr uint32_t kRefVersion = 1;
+
+/// Fixed-size file header (at offset 0, little-endian, packed manually).
+struct RefHeader {
+  uint32_t magic = kRefMagic;
+  uint32_t version = kRefVersion;
+  int64_t directory_offset = 0;
+  int64_t num_events = 0;
+  int32_t cluster_events = 0;  // events per cluster (writer policy)
+  int32_t num_branches = 0;
+
+  static constexpr size_t kSerializedSize = 4 + 4 + 8 + 8 + 4 + 4;
+
+  void SerializeTo(std::string* out) const;
+  static StatusOr<RefHeader> Deserialize(const uint8_t* data, size_t size);
+};
+
+/// One stored chunk of a branch.
+struct RefCluster {
+  int64_t file_offset = 0;  // where the (possibly compressed) bytes live
+  int64_t stored_bytes = 0;
+  int64_t first_value = 0;  // flat index of the first value in this cluster
+  int64_t num_values = 0;
+};
+
+/// Branch metadata.
+struct RefBranch {
+  std::string name;
+  DataType type = DataType::kFloat32;
+  RefCodec codec = RefCodec::kNone;
+  /// True for branches with exactly one value per event (event/id, muon/n);
+  /// false for flattened particle branches (muon/pt, ...).
+  bool per_event = true;
+  std::vector<RefCluster> clusters;
+
+  int64_t num_values() const {
+    return clusters.empty()
+               ? 0
+               : clusters.back().first_value + clusters.back().num_values;
+  }
+
+  /// Index of the cluster containing flat value `index` (binary search);
+  /// -1 when out of range.
+  int ClusterFor(int64_t index) const;
+};
+
+/// Serializes the branch directory.
+void SerializeDirectory(const std::vector<RefBranch>& branches,
+                        std::string* out);
+
+/// Parses the branch directory (`num_branches` entries).
+StatusOr<std::vector<RefBranch>> DeserializeDirectory(const uint8_t* data,
+                                                      size_t size,
+                                                      int32_t num_branches);
+
+/// Canonical branch names for the event model.
+namespace ref_branches {
+inline constexpr const char* kEventId = "event/id";
+inline constexpr const char* kEventRun = "event/run";
+/// Particle groups, each with branches "<group>/n", "<group>/pt",
+/// "<group>/eta", "<group>/phi".
+inline constexpr const char* kGroups[] = {"muon", "electron", "jet"};
+inline constexpr int kNumGroups = 3;
+}  // namespace ref_branches
+
+}  // namespace raw
+
+#endif  // RAW_EVENTSIM_REF_FORMAT_H_

@@ -1,0 +1,243 @@
+#include "eventsim/ref_reader.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace raw {
+
+namespace {
+Status PRead(int fd, void* buf, size_t count, int64_t offset,
+             const std::string& path) {
+  size_t done = 0;
+  while (done < count) {
+    ssize_t n = ::pread(fd, static_cast<char*>(buf) + done, count - done,
+                        offset + static_cast<int64_t>(done));
+    if (n < 0) {
+      return Status::IOError("pread '" + path + "': " + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("unexpected EOF in '" + path + "'");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+}  // namespace
+
+StatusOr<std::unique_ptr<RefReader>> RefReader::Open(
+    const std::string& path, int64_t pool_capacity_bytes) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open REF file '" + path +
+                           "': " + std::strerror(errno));
+  }
+  uint8_t header_bytes[RefHeader::kSerializedSize];
+  Status st = PRead(fd, header_bytes, sizeof(header_bytes), 0, path);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  auto header_or = RefHeader::Deserialize(header_bytes, sizeof(header_bytes));
+  if (!header_or.ok()) {
+    ::close(fd);
+    return header_or.status();
+  }
+  RefHeader header = header_or.value();
+  int64_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < header.directory_offset) {
+    ::close(fd);
+    return Status::ParseError("REF directory offset beyond EOF");
+  }
+  std::vector<uint8_t> dir_bytes(
+      static_cast<size_t>(end - header.directory_offset));
+  st = PRead(fd, dir_bytes.data(), dir_bytes.size(), header.directory_offset,
+             path);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  auto branches_or = DeserializeDirectory(dir_bytes.data(), dir_bytes.size(),
+                                          header.num_branches);
+  if (!branches_or.ok()) {
+    ::close(fd);
+    return branches_or.status();
+  }
+  std::unique_ptr<RefReader> reader(new RefReader(
+      fd, path, header, std::move(branches_or).value(), pool_capacity_bytes));
+  RAW_RETURN_NOT_OK(reader->BuildGroupOffsets());
+  return reader;
+}
+
+RefReader::RefReader(int fd, std::string path, RefHeader header,
+                     std::vector<RefBranch> branches,
+                     int64_t pool_capacity_bytes)
+    : fd_(fd),
+      path_(std::move(path)),
+      header_(header),
+      branches_(std::move(branches)),
+      pool_(std::make_unique<ClusterBufferPool>(pool_capacity_bytes)) {
+  id_branch_ = BranchIndex(ref_branches::kEventId);
+  run_branch_ = BranchIndex(ref_branches::kEventRun);
+  static const char* kFields[] = {"/n", "/pt", "/eta", "/phi"};
+  for (int g = 0; g < ref_branches::kNumGroups; ++g) {
+    for (int f = 0; f < 4; ++f) {
+      group_branch_[g][f] =
+          BranchIndex(std::string(ref_branches::kGroups[g]) + kFields[f]);
+    }
+  }
+}
+
+RefReader::~RefReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+int RefReader::BranchIndex(std::string_view name) const {
+  for (size_t i = 0; i < branches_.size(); ++i) {
+    if (branches_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StatusOr<const std::vector<uint8_t>*> RefReader::FetchCluster(
+    int branch, int cluster_idx) {
+  uint64_t key = ClusterBufferPool::MakeKey(branch, cluster_idx);
+  if (const std::vector<uint8_t>* cached = pool_->Get(key)) return cached;
+  const RefBranch& b = branches_[static_cast<size_t>(branch)];
+  const RefCluster& c = b.clusters[static_cast<size_t>(cluster_idx)];
+  std::vector<uint8_t> stored(static_cast<size_t>(c.stored_bytes));
+  RAW_RETURN_NOT_OK(
+      PRead(fd_, stored.data(), stored.size(), c.file_offset, path_));
+  const int width = FixedWidth(b.type);
+  std::vector<uint8_t> decoded;
+  if (b.codec == RefCodec::kRle) {
+    RAW_ASSIGN_OR_RETURN(
+        decoded,
+        RleDecode(stored.data(), stored.size(), width,
+                  static_cast<size_t>(c.num_values) *
+                      static_cast<size_t>(width)));
+  } else {
+    decoded = std::move(stored);
+    if (decoded.size() != static_cast<size_t>(c.num_values) *
+                              static_cast<size_t>(width)) {
+      return Status::ParseError("cluster size mismatch in '" + path_ + "'");
+    }
+  }
+  return pool_->Put(key, std::move(decoded));
+}
+
+Status RefReader::ReadRange(int branch, int64_t first, int64_t count,
+                            void* out) {
+  if (branch < 0 || branch >= num_branches()) {
+    return Status::InvalidArgument("bad branch index");
+  }
+  const RefBranch& b = branches_[static_cast<size_t>(branch)];
+  const int width = FixedWidth(b.type);
+  if (first < 0 || count < 0 || first + count > b.num_values()) {
+    return Status::InvalidArgument("ReadRange out of bounds for branch " +
+                                   b.name);
+  }
+  char* dst = static_cast<char*>(out);
+  int64_t remaining = count;
+  int64_t cursor = first;
+  while (remaining > 0) {
+    int ci = b.ClusterFor(cursor);
+    if (ci < 0) return Status::Internal("cluster lookup failed");
+    const RefCluster& c = b.clusters[static_cast<size_t>(ci)];
+    RAW_ASSIGN_OR_RETURN(const std::vector<uint8_t>* data,
+                         FetchCluster(branch, ci));
+    int64_t in_cluster_offset = cursor - c.first_value;
+    int64_t available = c.num_values - in_cluster_offset;
+    int64_t take = std::min(available, remaining);
+    std::memcpy(dst,
+                data->data() + static_cast<size_t>(in_cluster_offset) *
+                                   static_cast<size_t>(width),
+                static_cast<size_t>(take) * static_cast<size_t>(width));
+    dst += take * width;
+    cursor += take;
+    remaining -= take;
+  }
+  return Status::OK();
+}
+
+StatusOr<int64_t> RefReader::ReadInt64(int branch, int64_t index) {
+  int64_t v = 0;
+  RAW_RETURN_NOT_OK(ReadRange(branch, index, 1, &v));
+  return v;
+}
+
+StatusOr<int32_t> RefReader::ReadInt32(int branch, int64_t index) {
+  int32_t v = 0;
+  RAW_RETURN_NOT_OK(ReadRange(branch, index, 1, &v));
+  return v;
+}
+
+StatusOr<float> RefReader::ReadFloat(int branch, int64_t index) {
+  float v = 0;
+  RAW_RETURN_NOT_OK(ReadRange(branch, index, 1, &v));
+  return v;
+}
+
+Status RefReader::BuildGroupOffsets() {
+  group_offsets_.assign(ref_branches::kNumGroups, {});
+  const int64_t n = header_.num_events;
+  for (int g = 0; g < ref_branches::kNumGroups; ++g) {
+    std::vector<int32_t> counts(static_cast<size_t>(n));
+    if (n > 0) {
+      RAW_RETURN_NOT_OK(ReadRange(group_branch_[g][0], 0, n, counts.data()));
+    }
+    std::vector<int64_t>& offsets = group_offsets_[static_cast<size_t>(g)];
+    offsets.resize(static_cast<size_t>(n) + 1);
+    int64_t acc = 0;
+    for (int64_t e = 0; e < n; ++e) {
+      offsets[static_cast<size_t>(e)] = acc;
+      acc += counts[static_cast<size_t>(e)];
+    }
+    offsets[static_cast<size_t>(n)] = acc;
+  }
+  return Status::OK();
+}
+
+void RefReader::GroupRange(int group, int64_t event, int64_t* begin,
+                           int64_t* count) const {
+  const std::vector<int64_t>& offsets =
+      group_offsets_[static_cast<size_t>(group)];
+  *begin = offsets[static_cast<size_t>(event)];
+  *count = offsets[static_cast<size_t>(event) + 1] - *begin;
+}
+
+int64_t RefReader::EventOfFlatIndex(int group, int64_t flat_index) const {
+  const std::vector<int64_t>& offsets =
+      group_offsets_[static_cast<size_t>(group)];
+  auto it = std::upper_bound(offsets.begin(), offsets.end(), flat_index);
+  return static_cast<int64_t>(it - offsets.begin()) - 1;
+}
+
+Status RefReader::GetEntry(int64_t i, Event* out) {
+  if (i < 0 || i >= num_events()) {
+    return Status::InvalidArgument("GetEntry: event index out of range");
+  }
+  RAW_ASSIGN_OR_RETURN(out->event_id, ReadInt64(id_branch_, i));
+  RAW_ASSIGN_OR_RETURN(out->run_number, ReadInt32(run_branch_, i));
+  for (int g = 0; g < ref_branches::kNumGroups; ++g) {
+    int64_t begin = 0, count = 0;
+    GroupRange(g, i, &begin, &count);
+    std::vector<Particle>* ps = out->mutable_particles(g);
+    ps->resize(static_cast<size_t>(count));
+    if (count == 0) continue;
+    std::vector<float> tmp(static_cast<size_t>(count));
+    RAW_RETURN_NOT_OK(
+        ReadRange(group_branch_[g][1], begin, count, tmp.data()));
+    for (int64_t k = 0; k < count; ++k) (*ps)[static_cast<size_t>(k)].pt = tmp[static_cast<size_t>(k)];
+    RAW_RETURN_NOT_OK(
+        ReadRange(group_branch_[g][2], begin, count, tmp.data()));
+    for (int64_t k = 0; k < count; ++k) (*ps)[static_cast<size_t>(k)].eta = tmp[static_cast<size_t>(k)];
+    RAW_RETURN_NOT_OK(
+        ReadRange(group_branch_[g][3], begin, count, tmp.data()));
+    for (int64_t k = 0; k < count; ++k) (*ps)[static_cast<size_t>(k)].phi = tmp[static_cast<size_t>(k)];
+  }
+  return Status::OK();
+}
+
+}  // namespace raw

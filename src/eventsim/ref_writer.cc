@@ -1,0 +1,156 @@
+#include "eventsim/ref_writer.h"
+
+#include <cstring>
+
+namespace raw {
+
+namespace {
+
+template <typename T>
+void AppendValue(std::vector<uint8_t>* buf, T v) {
+  size_t pos = buf->size();
+  buf->resize(pos + sizeof(T));
+  std::memcpy(buf->data() + pos, &v, sizeof(T));
+}
+
+}  // namespace
+
+RefWriter::RefWriter(std::string path, int32_t cluster_events)
+    : path_(std::move(path)), cluster_events_(cluster_events) {
+  auto add_branch = [&](std::string name, DataType type, RefCodec codec,
+                        bool per_event) {
+    RefBranch b;
+    b.name = std::move(name);
+    b.type = type;
+    b.codec = codec;
+    b.per_event = per_event;
+    branches_.push_back(std::move(b));
+  };
+  add_branch(ref_branches::kEventId, DataType::kInt64, RefCodec::kNone, true);
+  add_branch(ref_branches::kEventRun, DataType::kInt32, RefCodec::kRle, true);
+  for (const char* group : ref_branches::kGroups) {
+    std::string g(group);
+    add_branch(g + "/n", DataType::kInt32, RefCodec::kRle, true);
+    add_branch(g + "/pt", DataType::kFloat32, RefCodec::kNone, false);
+    add_branch(g + "/eta", DataType::kFloat32, RefCodec::kNone, false);
+    add_branch(g + "/phi", DataType::kFloat32, RefCodec::kNone, false);
+  }
+  buffers_.resize(kNumBranches);
+  buffer_values_.assign(kNumBranches, 0);
+  total_values_.assign(kNumBranches, 0);
+}
+
+RefWriter::~RefWriter() {
+  if (file_ != nullptr) fclose(file_);
+}
+
+Status RefWriter::Open() {
+  file_ = fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot create REF file '" + path_ + "'");
+  }
+  // Reserve header space; patched in Close().
+  std::string header(RefHeader::kSerializedSize, '\0');
+  if (fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    return Status::IOError("short write (header) to '" + path_ + "'");
+  }
+  file_offset_ = static_cast<int64_t>(RefHeader::kSerializedSize);
+  return Status::OK();
+}
+
+Status RefWriter::AppendEvent(const Event& event) {
+  if (file_ == nullptr) return Status::Internal("RefWriter not open");
+  AppendValue(&buffers_[0], event.event_id);
+  ++buffer_values_[0];
+  AppendValue(&buffers_[1], event.run_number);
+  ++buffer_values_[1];
+  for (int g = 0; g < ref_branches::kNumGroups; ++g) {
+    const std::vector<Particle>& ps = event.particles(g);
+    int base = 2 + 4 * g;
+    AppendValue(&buffers_[static_cast<size_t>(base)],
+                static_cast<int32_t>(ps.size()));
+    ++buffer_values_[static_cast<size_t>(base)];
+    for (const Particle& p : ps) {
+      AppendValue(&buffers_[static_cast<size_t>(base + 1)], p.pt);
+      AppendValue(&buffers_[static_cast<size_t>(base + 2)], p.eta);
+      AppendValue(&buffers_[static_cast<size_t>(base + 3)], p.phi);
+    }
+    buffer_values_[static_cast<size_t>(base + 1)] +=
+        static_cast<int64_t>(ps.size());
+    buffer_values_[static_cast<size_t>(base + 2)] +=
+        static_cast<int64_t>(ps.size());
+    buffer_values_[static_cast<size_t>(base + 3)] +=
+        static_cast<int64_t>(ps.size());
+  }
+  ++events_written_;
+  if (++events_in_cluster_ >= cluster_events_) {
+    RAW_RETURN_NOT_OK(FlushClusters());
+  }
+  return Status::OK();
+}
+
+Status RefWriter::WriteBuffer(int branch, const std::vector<uint8_t>& raw_bytes,
+                              int64_t num_values) {
+  RefBranch& b = branches_[static_cast<size_t>(branch)];
+  const std::vector<uint8_t>* out = &raw_bytes;
+  std::vector<uint8_t> encoded;
+  if (b.codec == RefCodec::kRle) {
+    RAW_ASSIGN_OR_RETURN(encoded, RleEncode(raw_bytes.data(), raw_bytes.size(),
+                                            FixedWidth(b.type)));
+    out = &encoded;
+  }
+  RefCluster cluster;
+  cluster.file_offset = file_offset_;
+  cluster.stored_bytes = static_cast<int64_t>(out->size());
+  cluster.first_value = total_values_[static_cast<size_t>(branch)];
+  cluster.num_values = num_values;
+  if (fwrite(out->data(), 1, out->size(), file_) != out->size()) {
+    return Status::IOError("short write (cluster) to '" + path_ + "'");
+  }
+  file_offset_ += cluster.stored_bytes;
+  total_values_[static_cast<size_t>(branch)] += num_values;
+  b.clusters.push_back(cluster);
+  return Status::OK();
+}
+
+Status RefWriter::FlushClusters() {
+  if (events_in_cluster_ == 0) return Status::OK();
+  for (int br = 0; br < kNumBranches; ++br) {
+    RAW_RETURN_NOT_OK(WriteBuffer(br, buffers_[static_cast<size_t>(br)],
+                                  buffer_values_[static_cast<size_t>(br)]));
+    buffers_[static_cast<size_t>(br)].clear();
+    buffer_values_[static_cast<size_t>(br)] = 0;
+  }
+  events_in_cluster_ = 0;
+  return Status::OK();
+}
+
+Status RefWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  RAW_RETURN_NOT_OK(FlushClusters());
+  std::string directory;
+  SerializeDirectory(branches_, &directory);
+  if (fwrite(directory.data(), 1, directory.size(), file_) !=
+      directory.size()) {
+    return Status::IOError("short write (directory) to '" + path_ + "'");
+  }
+  RefHeader header;
+  header.directory_offset = file_offset_;
+  header.num_events = events_written_;
+  header.cluster_events = cluster_events_;
+  header.num_branches = kNumBranches;
+  std::string bytes;
+  header.SerializeTo(&bytes);
+  if (fseek(file_, 0, SEEK_SET) != 0 ||
+      fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::IOError("cannot patch REF header in '" + path_ + "'");
+  }
+  if (fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IOError("close failed for '" + path_ + "'");
+  }
+  file_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace raw

@@ -1,0 +1,58 @@
+#ifndef RAW_EVENTSIM_REF_WRITER_H_
+#define RAW_EVENTSIM_REF_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "eventsim/event_model.h"
+#include "eventsim/ref_format.h"
+
+namespace raw {
+
+/// Writes REF event files. Events accumulate in per-branch buffers; every
+/// `cluster_events` events each branch's buffered values are flushed as one
+/// cluster. Count branches (`<group>/n`) and the run-number branch are
+/// RLE-compressed; value branches are stored raw.
+class RefWriter {
+ public:
+  RefWriter(std::string path, int32_t cluster_events = 1024);
+  ~RefWriter();
+  RAW_DISALLOW_COPY_AND_ASSIGN(RefWriter);
+
+  Status Open();
+
+  /// Appends one event (all branches).
+  Status AppendEvent(const Event& event);
+
+  /// Flushes pending clusters, writes the directory, patches the header.
+  Status Close();
+
+  int64_t events_written() const { return events_written_; }
+
+ private:
+  // Branch indices (fixed model): 0 event/id, 1 event/run, then per group g:
+  // 2+4g+0 n, +1 pt, +2 eta, +3 phi.
+  static constexpr int kNumBranches = 2 + 4 * ref_branches::kNumGroups;
+
+  Status FlushClusters();
+  Status WriteBuffer(int branch, const std::vector<uint8_t>& raw_bytes,
+                     int64_t num_values);
+
+  std::string path_;
+  int32_t cluster_events_;
+  FILE* file_ = nullptr;
+  std::vector<RefBranch> branches_;
+  std::vector<std::vector<uint8_t>> buffers_;   // raw value bytes per branch
+  std::vector<int64_t> buffer_values_;          // value counts per branch
+  std::vector<int64_t> total_values_;           // flat indices assigned so far
+  int64_t events_written_ = 0;
+  int64_t events_in_cluster_ = 0;
+  int64_t file_offset_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_EVENTSIM_REF_WRITER_H_

@@ -1,0 +1,65 @@
+#include "eventsim/rle_codec.h"
+
+#include <cstring>
+
+namespace raw {
+
+StatusOr<std::vector<uint8_t>> RleEncode(const uint8_t* data, size_t size,
+                                         int element_width) {
+  if (element_width != 4 && element_width != 8) {
+    return Status::InvalidArgument("RLE element width must be 4 or 8");
+  }
+  if (size % static_cast<size_t>(element_width) != 0) {
+    return Status::InvalidArgument("RLE input not a multiple of element width");
+  }
+  const size_t n = size / static_cast<size_t>(element_width);
+  std::vector<uint8_t> out;
+  out.reserve(size / 2 + 16);
+  size_t i = 0;
+  while (i < n) {
+    const uint8_t* value = data + i * static_cast<size_t>(element_width);
+    size_t run = 1;
+    while (i + run < n &&
+           std::memcmp(value, data + (i + run) * static_cast<size_t>(element_width),
+                       static_cast<size_t>(element_width)) == 0 &&
+           run < 0xffffffffu) {
+      ++run;
+    }
+    uint32_t count = static_cast<uint32_t>(run);
+    size_t pos = out.size();
+    out.resize(pos + sizeof(count) + static_cast<size_t>(element_width));
+    std::memcpy(out.data() + pos, &count, sizeof(count));
+    std::memcpy(out.data() + pos + sizeof(count), value,
+                static_cast<size_t>(element_width));
+    i += run;
+  }
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> RleDecode(const uint8_t* data, size_t size,
+                                         int element_width,
+                                         size_t expected_size) {
+  if (element_width != 4 && element_width != 8) {
+    return Status::InvalidArgument("RLE element width must be 4 or 8");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(expected_size);
+  size_t pos = 0;
+  const size_t record = sizeof(uint32_t) + static_cast<size_t>(element_width);
+  while (pos + record <= size) {
+    uint32_t count = 0;
+    std::memcpy(&count, data + pos, sizeof(count));
+    const uint8_t* value = data + pos + sizeof(count);
+    for (uint32_t k = 0; k < count; ++k) {
+      out.insert(out.end(), value, value + element_width);
+    }
+    pos += record;
+  }
+  if (pos != size) return Status::ParseError("truncated RLE stream");
+  if (out.size() != expected_size) {
+    return Status::ParseError("RLE decode size mismatch");
+  }
+  return out;
+}
+
+}  // namespace raw

@@ -1,0 +1,34 @@
+#ifndef RAW_EVENTSIM_RLE_CODEC_H_
+#define RAW_EVENTSIM_RLE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace raw {
+
+/// Cluster compression codecs for REF branch data. ROOT compresses baskets
+/// with zlib; the measured access-path behaviour only requires *a* decode
+/// step on cold cluster reads, so REF ships a simple run-length codec for
+/// fixed-width elements (effective on count branches and run numbers).
+enum class RefCodec : uint8_t {
+  kNone = 0,
+  kRle = 1,
+};
+
+/// Run-length encodes `data` interpreted as elements of `element_width`
+/// bytes (4 or 8). Output layout: repeated [count:uint32][element bytes].
+StatusOr<std::vector<uint8_t>> RleEncode(const uint8_t* data, size_t size,
+                                         int element_width);
+
+/// Decodes an RleEncode() buffer; `expected_size` is the decoded byte count
+/// (element_width * element count) and is validated.
+StatusOr<std::vector<uint8_t>> RleDecode(const uint8_t* data, size_t size,
+                                         int element_width,
+                                         size_t expected_size);
+
+}  // namespace raw
+
+#endif  // RAW_EVENTSIM_RLE_CODEC_H_

@@ -1,0 +1,45 @@
+#include "jit/access_path_spec.h"
+
+#include <sstream>
+
+namespace raw {
+
+std::string_view FileFormatToString(FileFormat format) {
+  switch (format) {
+    case FileFormat::kCsv:
+      return "csv";
+    case FileFormat::kBinary:
+      return "binary";
+    case FileFormat::kRef:
+      return "ref";
+  }
+  return "?";
+}
+
+std::string_view ScanModeToString(ScanMode mode) {
+  switch (mode) {
+    case ScanMode::kSequential:
+      return "sequential";
+    case ScanMode::kByPosition:
+      return "by_position";
+    case ScanMode::kByRowIndex:
+      return "by_row_index";
+  }
+  return "?";
+}
+
+std::string AccessPathSpec::CacheKey() const {
+  std::ostringstream os;
+  os << FileFormatToString(format) << '|' << ScanModeToString(mode) << '|'
+     << "d=" << static_cast<int>(delimiter) << "|out=";
+  for (const OutputField& f : outputs) {
+    os << f.column << ':' << DataTypeToString(f.type) << ',';
+  }
+  os << "|pmap=";
+  for (int c : pmap_tracked) os << c << ',';
+  os << "|anchor=" << anchor_column << "|rw=" << row_width << "|off=";
+  for (int64_t o : column_offsets) os << o << ',';
+  return os.str();
+}
+
+}  // namespace raw

@@ -1,0 +1,83 @@
+#ifndef RAW_JIT_ACCESS_PATH_SPEC_H_
+#define RAW_JIT_ACCESS_PATH_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace raw {
+
+/// Raw-file formats the engine has code-generation plug-ins for.
+enum class FileFormat : uint8_t {
+  kCsv = 0,
+  kBinary = 1,
+  kRef = 2,
+};
+
+std::string_view FileFormatToString(FileFormat format);
+
+/// How a generated kernel walks the file.
+enum class ScanMode : uint8_t {
+  /// Full forward scan producing every row (first-query path; for CSV this
+  /// is where the positional map is built as a side effect).
+  kSequential = 0,
+  /// CSV: visit only the given rows, jumping to a byte position per row
+  /// (positional-map hit on `anchor_column`, then constant-distance
+  /// incremental parse to the requested columns).
+  kByPosition = 1,
+  /// Binary / REF: visit only the given row ids; offsets are computed (binary)
+  /// or id-based API calls are issued (REF).
+  kByRowIndex = 2,
+};
+
+std::string_view ScanModeToString(ScanMode mode);
+
+/// One field a kernel must materialize.
+struct OutputField {
+  int column = 0;      // CSV/binary column index, or REF branch index
+  DataType type = DataType::kInt32;
+};
+
+/// Complete description of a generated scan operator — the "operator
+/// specification provided to the code generation plug-in" of §3. Everything
+/// the kernel needs is captured here so the emitted code can hard-code it:
+/// schema data types, unrolled column positions, binary offsets, tracked
+/// positional-map slots.
+struct AccessPathSpec {
+  FileFormat format = FileFormat::kCsv;
+  ScanMode mode = ScanMode::kSequential;
+
+  /// Fields to materialize, sorted by `column`.
+  std::vector<OutputField> outputs;
+
+  // --- CSV ------------------------------------------------------------------
+  char delimiter = ',';
+  /// Columns whose byte positions the kernel records while scanning
+  /// (kSequential only), in ascending order.
+  std::vector<int> pmap_tracked;
+  /// kByPosition: the column the per-row byte positions point at. Outputs to
+  /// the left of the anchor are not reachable (the planner never asks).
+  int anchor_column = 0;
+
+  // --- binary -----------------------------------------------------------------
+  int64_t row_width = 0;
+  /// Byte offset within a row of each output (parallel to `outputs`).
+  std::vector<int64_t> column_offsets;
+
+  // --- REF --------------------------------------------------------------------
+  /// For kSequential REF scans: flat-value index base per output branch is
+  /// the row cursor itself (per-event branches) — particle tables pass the
+  /// flat range through in_row_ids instead.
+
+  /// Stable identity for the template cache (§3's "template cache ... reused
+  /// later in case the same query is resubmitted").
+  std::string CacheKey() const;
+
+  /// Human-readable description (debugging / EXPLAIN).
+  std::string ToString() const { return CacheKey(); }
+};
+
+}  // namespace raw
+
+#endif  // RAW_JIT_ACCESS_PATH_SPEC_H_

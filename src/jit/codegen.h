@@ -1,0 +1,30 @@
+#ifndef RAW_JIT_CODEGEN_H_
+#define RAW_JIT_CODEGEN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "jit/access_path_spec.h"
+
+namespace raw {
+
+/// Emits the complete C++ translation unit implementing `spec` — a file-,
+/// schema- and query-specific scan kernel exporting RAW_JIT_ENTRY_SYMBOL.
+/// Dispatches to the per-format plug-in below.
+StatusOr<std::string> GenerateScanSource(const AccessPathSpec& spec);
+
+/// Format plug-ins (§3: "a file-format-specific plug-in is activated for
+/// each scan operator specification").
+StatusOr<std::string> GenerateCsvScanSource(const AccessPathSpec& spec);
+StatusOr<std::string> GenerateBinScanSource(const AccessPathSpec& spec);
+StatusOr<std::string> GenerateRefScanSource(const AccessPathSpec& spec);
+
+namespace jit_internal {
+/// C type spelling for a DataType ("int32_t", "double", ...).
+std::string_view CTypeName(DataType type);
+}  // namespace jit_internal
+
+}  // namespace raw
+
+#endif  // RAW_JIT_CODEGEN_H_

@@ -1,0 +1,81 @@
+#ifndef RAW_JIT_JIT_ABI_H_
+#define RAW_JIT_JIT_ABI_H_
+
+// C ABI shared between the RAW host engine and JIT-generated scan kernels.
+//
+// This header is #included both by the engine and by every generated
+// translation unit (the compiler driver passes -I pointing here), so it must
+// stay C-compatible: stdint types and PODs only, no C++ standard library.
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+// Callback table for file formats accessed through a library API rather than
+// raw bytes (the REF event format, standing in for ROOT I/O; see §6 of the
+// paper: "the JIT access paths emit code that calls the ROOT I/O API").
+typedef struct RawJitRefApi {
+  void* reader;  // opaque RefReader*
+  // Reads `count` packed values of `branch` starting at flat index `first`
+  // into `out`. Returns 0 on success, nonzero on failure.
+  int32_t (*read_range)(void* reader, int32_t branch, int64_t first,
+                        int64_t count, void* out);
+} RawJitRefApi;
+
+// Execution context handed to a generated scan kernel for each batch.
+// The kernel fills output buffers and advances the cursor fields.
+typedef struct RawJitContext {
+  // --- raw bytes (CSV / binary formats; memory-mapped by the host) ---------
+  const char* file_data;
+  uint64_t file_size;
+
+  // --- sequential cursor state (kSequential kernels) ------------------------
+  uint64_t byte_cursor;  // next unread byte (CSV)
+  int64_t row_cursor;    // next unread row (binary / REF sequential)
+  int64_t total_rows;    // total rows when known, else -1
+
+  // --- batch control ---------------------------------------------------------
+  int64_t max_rows;       // capacity of each output buffer, in rows
+  int64_t rows_produced;  // set by the kernel
+
+  // --- selective inputs (column shreds / positional access) -----------------
+  // Row ids to fetch and, for CSV, the byte position of the anchor column of
+  // each row (from the positional map). Both arrays have num_inputs entries;
+  // the kernel consumes from input_cursor.
+  const int64_t* in_row_ids;
+  const uint64_t* in_positions;
+  int64_t num_inputs;
+  int64_t input_cursor;
+
+  // --- outputs ---------------------------------------------------------------
+  // One pointer per requested field, each an array of max_rows elements of
+  // the field's C type.
+  void** out_columns;
+  // Original row id per produced row (capacity max_rows); always filled.
+  int64_t* out_row_ids;
+
+  // --- positional map building (CSV kSequential only) -----------------------
+  uint64_t* pmap_row_starts;  // capacity max_rows
+  uint64_t* pmap_positions;   // row-major [row][tracked slot]
+
+  // --- REF callback API ------------------------------------------------------
+  RawJitRefApi ref;
+
+  // --- error reporting -------------------------------------------------------
+  int32_t error;      // nonzero => kernel aborted
+  int64_t error_row;  // row where the error occurred
+} RawJitContext;
+
+// Every generated library exports this symbol. Returns the number of rows
+// produced (0 = end of stream), or -1 on error (ctx->error set).
+typedef int64_t (*RawJitScanFn)(RawJitContext* ctx);
+
+#define RAW_JIT_ENTRY_SYMBOL "raw_jit_scan_batch"
+
+#ifdef __cplusplus
+}  // extern "C"
+#endif
+
+#endif  // RAW_JIT_JIT_ABI_H_

@@ -1,0 +1,33 @@
+#include "jit/shared_library.h"
+
+#include <dlfcn.h>
+
+namespace raw {
+
+StatusOr<std::unique_ptr<SharedLibrary>> SharedLibrary::Load(
+    const std::string& path) {
+  void* handle = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* err = ::dlerror();
+    return Status::Internal("dlopen failed for '" + path +
+                            "': " + (err != nullptr ? err : "unknown"));
+  }
+  return std::unique_ptr<SharedLibrary>(new SharedLibrary(handle, path));
+}
+
+SharedLibrary::~SharedLibrary() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+StatusOr<void*> SharedLibrary::Symbol(const std::string& symbol) const {
+  ::dlerror();  // clear
+  void* addr = ::dlsym(handle_, symbol.c_str());
+  if (addr == nullptr) {
+    const char* err = ::dlerror();
+    return Status::NotFound("symbol '" + symbol + "' not found in '" + path_ +
+                            "'" + (err != nullptr ? std::string(": ") + err : ""));
+  }
+  return addr;
+}
+
+}  // namespace raw

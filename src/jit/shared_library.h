@@ -1,0 +1,39 @@
+#ifndef RAW_JIT_SHARED_LIBRARY_H_
+#define RAW_JIT_SHARED_LIBRARY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace raw {
+
+/// RAII wrapper around a dlopen()ed shared object holding a generated scan
+/// kernel. The library stays mapped for the wrapper's lifetime (the template
+/// cache keeps them alive across queries).
+class SharedLibrary {
+ public:
+  static StatusOr<std::unique_ptr<SharedLibrary>> Load(
+      const std::string& path);
+
+  ~SharedLibrary();
+  RAW_DISALLOW_COPY_AND_ASSIGN(SharedLibrary);
+
+  /// Resolves `symbol` or returns NotFound.
+  StatusOr<void*> Symbol(const std::string& symbol) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  SharedLibrary(void* handle, std::string path)
+      : handle_(handle), path_(std::move(path)) {}
+
+  void* handle_;
+  std::string path_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_JIT_SHARED_LIBRARY_H_

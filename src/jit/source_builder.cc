@@ -1,0 +1,34 @@
+#include "jit/source_builder.h"
+
+namespace raw {
+
+SourceBuilder& SourceBuilder::Line(std::string_view text) {
+  for (int i = 0; i < indent_; ++i) out_ += "  ";
+  out_ += text;
+  out_ += '\n';
+  return *this;
+}
+
+SourceBuilder& SourceBuilder::Blank() {
+  out_ += '\n';
+  return *this;
+}
+
+SourceBuilder& SourceBuilder::Open(std::string_view text) {
+  Line(text);
+  ++indent_;
+  return *this;
+}
+
+SourceBuilder& SourceBuilder::Close(std::string_view text) {
+  if (indent_ > 0) --indent_;
+  Line(text);
+  return *this;
+}
+
+SourceBuilder& SourceBuilder::Raw(std::string_view text) {
+  out_ += text;
+  return *this;
+}
+
+}  // namespace raw

@@ -1,0 +1,38 @@
+#ifndef RAW_JIT_SOURCE_BUILDER_H_
+#define RAW_JIT_SOURCE_BUILDER_H_
+
+#include <string>
+#include <string_view>
+
+namespace raw {
+
+/// Tiny indentation-aware C++ source emitter used by the code generators.
+/// (The original system generated C++ "through a layer of C++ macros", §4.2;
+/// a builder keeps the emitted code readable when dumped for debugging.)
+class SourceBuilder {
+ public:
+  /// Appends one line at the current indentation.
+  SourceBuilder& Line(std::string_view text);
+
+  /// Appends a blank line.
+  SourceBuilder& Blank();
+
+  /// Appends a line and increases indentation (e.g. "for (...) {").
+  SourceBuilder& Open(std::string_view text);
+
+  /// Decreases indentation and appends a line (e.g. "}").
+  SourceBuilder& Close(std::string_view text = "}");
+
+  /// Appends raw text verbatim.
+  SourceBuilder& Raw(std::string_view text);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  std::string out_;
+  int indent_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_JIT_SOURCE_BUILDER_H_

@@ -1,0 +1,36 @@
+#include "jit/template_cache.h"
+
+#include "common/hash.h"
+
+namespace raw {
+
+JitTemplateCache::JitTemplateCache(CcCompilerOptions compiler_options)
+    : compiler_(std::move(compiler_options)),
+      compiler_available_(compiler_.IsAvailable()) {}
+
+StatusOr<CompiledKernel> JitTemplateCache::GetOrCompile(
+    const AccessPathSpec& spec) {
+  std::string key = spec.CacheKey();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    CompiledKernel kernel = it->second;
+    kernel.compile_seconds = 0;  // cache hit: no compilation this time
+    return kernel;
+  }
+  ++misses_;
+  if (!compiler_available_) {
+    return Status::NotImplemented(
+        "no external C++ compiler available for JIT compilation");
+  }
+  RAW_ASSIGN_OR_RETURN(std::string source, GenerateScanSource(spec));
+  std::string hint = std::string(FileFormatToString(spec.format)) + "_" +
+                     HashToHex(Fnv1a64(key));
+  RAW_ASSIGN_OR_RETURN(CompiledKernel kernel, compiler_.Compile(source, hint));
+  total_compile_seconds_ += kernel.compile_seconds;
+  cache_[key] = kernel;
+  return kernel;
+}
+
+}  // namespace raw

@@ -1,0 +1,53 @@
+#ifndef RAW_JIT_TEMPLATE_CACHE_H_
+#define RAW_JIT_TEMPLATE_CACHE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "jit/access_path_spec.h"
+#include "jit/cc_compiler.h"
+#include "jit/codegen.h"
+
+namespace raw {
+
+/// The template cache of §3: generated libraries are registered under their
+/// access-path specification and reused when the same access path is
+/// requested again, amortizing compilation across queries.
+class JitTemplateCache {
+ public:
+  explicit JitTemplateCache(CcCompilerOptions compiler_options = {});
+
+  /// Returns the kernel for `spec`, generating + compiling on a miss.
+  /// On a hit, `kernel.compile_seconds` is 0.
+  StatusOr<CompiledKernel> GetOrCompile(const AccessPathSpec& spec);
+
+  /// Pre-generates without executing (used to overlap compilation with
+  /// other planning work, and by tests to validate emitted source).
+  StatusOr<std::string> GenerateSource(const AccessPathSpec& spec) const {
+    return GenerateScanSource(spec);
+  }
+
+  bool compiler_available() const { return compiler_available_; }
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  double total_compile_seconds() const { return total_compile_seconds_; }
+  int64_t size() const { return static_cast<int64_t>(cache_.size()); }
+
+  void Clear() { cache_.clear(); }
+
+ private:
+  CcCompiler compiler_;
+  bool compiler_available_;
+  std::unordered_map<std::string, CompiledKernel> cache_;
+  std::mutex mutex_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  double total_compile_seconds_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_JIT_TEMPLATE_CACHE_H_

@@ -1,0 +1,46 @@
+#include "scan/access_path.h"
+
+namespace raw {
+
+std::string_view AccessPathKindToString(AccessPathKind kind) {
+  switch (kind) {
+    case AccessPathKind::kExternalTable:
+      return "external_table";
+    case AccessPathKind::kInSitu:
+      return "in_situ";
+    case AccessPathKind::kJit:
+      return "jit";
+    case AccessPathKind::kLoaded:
+      return "loaded";
+  }
+  return "?";
+}
+
+Status FillPositions(const PositionalMap& pmap, int slot, RowSet* out) {
+  if (slot < 0 || slot >= pmap.num_tracked()) {
+    return Status::InvalidArgument("positional-map slot out of range");
+  }
+  out->positions.resize(out->ids.size());
+  for (size_t i = 0; i < out->ids.size(); ++i) {
+    int64_t row = out->ids[i];
+    if (row < 0 || row >= pmap.num_rows()) {
+      return Status::InvalidArgument("row id outside positional map");
+    }
+    out->positions[i] = pmap.Position(row, slot);
+  }
+  return Status::OK();
+}
+
+Schema SchemaForColumns(const Schema& file_schema,
+                        const std::vector<int>& columns) {
+  Schema out;
+  for (int c : columns) {
+    // Out-of-range columns are skipped here; operators reject them with a
+    // proper Status at Open() (constructors must not fail).
+    if (c < 0 || c >= file_schema.num_fields()) continue;
+    out.AddField(file_schema.field(c).name, file_schema.field(c).type);
+  }
+  return out;
+}
+
+}  // namespace raw

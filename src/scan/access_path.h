@@ -1,0 +1,63 @@
+#ifndef RAW_SCAN_ACCESS_PATH_H_
+#define RAW_SCAN_ACCESS_PATH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/column.h"
+#include "columnar/operator.h"
+#include "common/schema.h"
+#include "csv/positional_map.h"
+
+namespace raw {
+
+/// The access-path families the engine (and the paper's experiments) compare.
+enum class AccessPathKind {
+  kExternalTable,  // re-parse + convert everything, every query (§2.2)
+  kInSitu,         // general-purpose interpreted scan + positional map (§2.3)
+  kJit,            // generated, file/query-specific scan (§4)
+  kLoaded,         // pre-loaded columnar table ("DBMS", §2.1)
+};
+
+std::string_view AccessPathKindToString(AccessPathKind kind);
+
+/// An explicit set of rows for selective (column-shred) access: original row
+/// ids plus, for CSV, the byte position of the anchor column of each row.
+struct RowSet {
+  std::vector<int64_t> ids;
+  std::vector<uint64_t> positions;  // empty for formats with computed offsets
+
+  int64_t size() const { return static_cast<int64_t>(ids.size()); }
+  bool empty() const { return ids.empty(); }
+};
+
+/// Fills `out->positions` from a positional map: for each row id, the byte
+/// position of tracked slot `slot`.
+Status FillPositions(const PositionalMap& pmap, int slot, RowSet* out);
+
+/// Fetches the values of a fixed set of fields for explicit row lists —
+/// the engine-facing face of a pushed-up (late) scan operator. Implemented
+/// by the per-format access paths in this module.
+class RowFetcher {
+ public:
+  virtual ~RowFetcher() = default;
+
+  /// Output schema of the fetched fields (one column each).
+  virtual const Schema& fields() const = 0;
+
+  /// Materializes the fields for `rows`, in order. For CSV, `rows.positions`
+  /// must be pre-filled (see FillPositions).
+  virtual StatusOr<std::vector<ColumnPtr>> Fetch(const RowSet& rows) = 0;
+};
+
+using RowFetcherPtr = std::unique_ptr<RowFetcher>;
+
+/// Builds an output schema for a subset of a file schema, one field per
+/// requested column index.
+Schema SchemaForColumns(const Schema& file_schema,
+                        const std::vector<int>& columns);
+
+}  // namespace raw
+
+#endif  // RAW_SCAN_ACCESS_PATH_H_

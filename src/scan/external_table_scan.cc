@@ -1,0 +1,101 @@
+#include "scan/external_table_scan.h"
+
+#include "common/datum.h"
+#include "csv/fast_parse.h"
+
+namespace raw {
+
+ExternalTableScanOperator::ExternalTableScanOperator(
+    const MmapFile* file, Schema file_schema, std::vector<int> outputs,
+    CsvOptions options, int64_t batch_rows)
+    : file_(file),
+      file_schema_(std::move(file_schema)),
+      outputs_(std::move(outputs)),
+      options_(options),
+      batch_rows_(batch_rows) {
+  output_schema_ = SchemaForColumns(file_schema_, outputs_);
+}
+
+Status ExternalTableScanOperator::Open() {
+  const char* begin = file_->data();
+  end_ = begin + file_->size();
+  pos_ = begin + DataStartOffset(begin, end_, options_);
+  row_ = 0;
+  return Status::OK();
+}
+
+StatusOr<ColumnBatch> ExternalTableScanOperator::Next() {
+  ColumnBatch out(output_schema_);
+  if (pos_ >= end_) return out;
+
+  const int num_fields = file_schema_.num_fields();
+  std::vector<ColumnPtr> columns;
+  for (int c : outputs_) {
+    auto col = std::make_shared<Column>(file_schema_.field(c).type);
+    col->Reserve(batch_rows_);
+    columns.push_back(std::move(col));
+  }
+  std::vector<int64_t> row_ids;
+  // Scratch tuple: the external table materializes the *entire* row as typed
+  // values, whether or not the query needs them.
+  std::vector<Datum> tuple(static_cast<size_t>(num_fields));
+
+  CsvRowCursor cursor(pos_, end_, options_);
+  int64_t rows = 0;
+  while (rows < batch_rows_ && !cursor.AtEnd()) {
+    RAW_RETURN_NOT_OK(cursor.NextRow(&field_scratch_));
+    if (static_cast<int>(field_scratch_.size()) < num_fields) {
+      return Status::ParseError("row " + std::to_string(row_) + " has " +
+                                std::to_string(field_scratch_.size()) +
+                                " fields, expected " +
+                                std::to_string(num_fields));
+    }
+    for (int c = 0; c < num_fields; ++c) {
+      const FieldRef& f = field_scratch_[static_cast<size_t>(c)];
+      switch (file_schema_.field(c).type) {
+        case DataType::kInt32: {
+          RAW_ASSIGN_OR_RETURN(int32_t v, ParseInt32(f.data, f.size));
+          tuple[static_cast<size_t>(c)] = Datum::Int32(v);
+          break;
+        }
+        case DataType::kInt64: {
+          RAW_ASSIGN_OR_RETURN(int64_t v, ParseInt64(f.data, f.size));
+          tuple[static_cast<size_t>(c)] = Datum::Int64(v);
+          break;
+        }
+        case DataType::kFloat32: {
+          RAW_ASSIGN_OR_RETURN(float v, ParseFloat32(f.data, f.size));
+          tuple[static_cast<size_t>(c)] = Datum::Float32(v);
+          break;
+        }
+        case DataType::kFloat64: {
+          RAW_ASSIGN_OR_RETURN(double v, ParseFloat64(f.data, f.size));
+          tuple[static_cast<size_t>(c)] = Datum::Float64(v);
+          break;
+        }
+        case DataType::kBool: {
+          RAW_ASSIGN_OR_RETURN(bool v, ParseBool(f.data, f.size));
+          tuple[static_cast<size_t>(c)] = Datum::Bool(v);
+          break;
+        }
+        case DataType::kString:
+          tuple[static_cast<size_t>(c)] = Datum::String(std::string(f.view()));
+          break;
+      }
+    }
+    for (size_t j = 0; j < outputs_.size(); ++j) {
+      columns[j]->AppendDatum(tuple[static_cast<size_t>(outputs_[j])]);
+    }
+    row_ids.push_back(row_);
+    ++row_;
+    ++rows;
+  }
+  pos_ = cursor.position();
+
+  for (ColumnPtr& col : columns) out.AddColumn(std::move(col));
+  out.SetNumRows(rows);
+  out.SetRowIds(std::move(row_ids));
+  return out;
+}
+
+}  // namespace raw

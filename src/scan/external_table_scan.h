@@ -1,0 +1,45 @@
+#ifndef RAW_SCAN_EXTERNAL_TABLE_SCAN_H_
+#define RAW_SCAN_EXTERNAL_TABLE_SCAN_H_
+
+#include <vector>
+
+#include "common/mmap_file.h"
+#include "csv/csv_options.h"
+#include "csv/csv_tokenizer.h"
+#include "scan/access_path.h"
+
+namespace raw {
+
+/// MySQL-CSV-storage-engine-style external table scan (§2.2): every query
+/// re-reads the file from scratch, tokenizes every line, parses and converts
+/// *every* field to the engine's types to form a full tuple — then hands the
+/// requested columns upstream. No positional map, no caching, costs incurred
+/// repeatedly. The paper's slowest baseline.
+class ExternalTableScanOperator : public Operator {
+ public:
+  ExternalTableScanOperator(const MmapFile* file, Schema file_schema,
+                            std::vector<int> outputs,
+                            CsvOptions options = CsvOptions(),
+                            int64_t batch_rows = kDefaultBatchRows);
+
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Open() override;
+  StatusOr<ColumnBatch> Next() override;
+  std::string name() const override { return "ExternalTableScan"; }
+
+ private:
+  const MmapFile* file_;
+  Schema file_schema_;
+  std::vector<int> outputs_;
+  CsvOptions options_;
+  int64_t batch_rows_;
+  Schema output_schema_;
+  const char* pos_ = nullptr;
+  const char* end_ = nullptr;
+  int64_t row_ = 0;
+  std::vector<FieldRef> field_scratch_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_SCAN_EXTERNAL_TABLE_SCAN_H_

@@ -1,0 +1,44 @@
+#ifndef RAW_SCAN_INSITU_BIN_SCAN_H_
+#define RAW_SCAN_INSITU_BIN_SCAN_H_
+
+#include <optional>
+#include <vector>
+
+#include "binfmt/binary_reader.h"
+#include "scan/access_path.h"
+#include "scan/scan_profile.h"
+
+namespace raw {
+
+/// General-purpose interpreted scan over the fixed-width binary format: the
+/// offset of every data element is *computed during query execution* through
+/// the layout object and a per-field type switch (§4.2 "In Situ" binary
+/// baseline) — versus the JIT path that hard-codes the offsets.
+struct BinScanSpec {
+  std::vector<int> outputs;  // column indices, ascending
+  int64_t batch_rows = kDefaultBatchRows;
+  /// Explicit rows (column shreds); absent => all rows.
+  std::optional<RowSet> row_set;
+  ScanProfile* profile = nullptr;
+};
+
+class InsituBinScanOperator : public Operator {
+ public:
+  /// `reader` must outlive the operator.
+  InsituBinScanOperator(const BinaryReader* reader, BinScanSpec spec);
+
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Open() override;
+  StatusOr<ColumnBatch> Next() override;
+  std::string name() const override { return "InsituBinScan"; }
+
+ private:
+  const BinaryReader* reader_;
+  BinScanSpec spec_;
+  Schema output_schema_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace raw
+
+#endif  // RAW_SCAN_INSITU_BIN_SCAN_H_

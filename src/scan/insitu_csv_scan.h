@@ -1,0 +1,84 @@
+#ifndef RAW_SCAN_INSITU_CSV_SCAN_H_
+#define RAW_SCAN_INSITU_CSV_SCAN_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/mmap_file.h"
+#include "csv/csv_options.h"
+#include "csv/csv_tokenizer.h"
+#include "csv/positional_map.h"
+#include "scan/access_path.h"
+#include "scan/scan_profile.h"
+
+namespace raw {
+
+/// Configuration of a general-purpose in-situ CSV scan (the NoDB-style
+/// baseline of §2.3/§4.2). One spec describes either:
+///  * a sequential scan of the whole file (optionally building a positional
+///    map as a side effect), or
+///  * a positional scan that jumps to `anchor_column` via `use_pmap` for a
+///    set of rows (all rows, or an explicit RowSet for column shreds) and
+///    incrementally parses to the requested columns.
+struct CsvScanSpec {
+  Schema file_schema;         // full file schema (all physical columns)
+  std::vector<int> outputs;   // columns to materialize, ascending
+  CsvOptions options;
+  int64_t batch_rows = kDefaultBatchRows;
+
+  /// Sequential mode: build this map while scanning (may be null).
+  PositionalMap* build_pmap = nullptr;
+
+  /// Positional mode: jump with this map (null => sequential mode).
+  const PositionalMap* use_pmap = nullptr;
+  /// Positional mode: tracked column the jumps land on. Must be tracked by
+  /// `use_pmap` and <= the first output column.
+  int anchor_column = -1;
+
+  /// Positional mode: explicit rows (column shreds). Empty positions are
+  /// filled from the map. When absent, all mapped rows are visited.
+  std::optional<RowSet> row_set;
+
+  ScanProfile* profile = nullptr;  // optional instrumentation
+};
+
+/// The interpreted scan operator: per-column loop with branch conditions and
+/// catalog-type switches in the critical path — deliberately general-purpose,
+/// this is precisely the overhead JIT access paths remove (§4.1).
+class InsituCsvScanOperator : public Operator {
+ public:
+  /// `file` must outlive the operator.
+  InsituCsvScanOperator(const MmapFile* file, CsvScanSpec spec);
+
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Open() override;
+  StatusOr<ColumnBatch> Next() override;
+  std::string name() const override { return "InsituCsvScan"; }
+
+ private:
+  StatusOr<ColumnBatch> NextSequential();
+  StatusOr<ColumnBatch> NextPositional();
+  Status ConvertAndBuild(const std::vector<std::vector<FieldRef>>& refs,
+                         int64_t rows, ColumnBatch* out);
+
+  const MmapFile* file_;
+  CsvScanSpec spec_;
+  Schema output_schema_;
+  // Sequential cursor state.
+  const char* pos_ = nullptr;
+  const char* end_ = nullptr;
+  int64_t row_ = 0;
+  // Positional cursor state.
+  int64_t input_cursor_ = 0;
+  int anchor_slot_ = -1;
+  // Scratch: field views per output column for the current batch.
+  std::vector<std::vector<FieldRef>> refs_;
+  std::vector<int64_t> row_id_scratch_;
+  // Sequential mode: tracked-slot index per column (-1 untracked).
+  std::vector<int> slot_lookup_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_SCAN_INSITU_CSV_SCAN_H_

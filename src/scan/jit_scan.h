@@ -1,0 +1,85 @@
+#ifndef RAW_SCAN_JIT_SCAN_H_
+#define RAW_SCAN_JIT_SCAN_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/mmap_file.h"
+#include "csv/positional_map.h"
+#include "eventsim/ref_reader.h"
+#include "jit/jit_abi.h"
+#include "jit/template_cache.h"
+#include "scan/access_path.h"
+#include "scan/scan_profile.h"
+
+namespace raw {
+
+/// Everything a JIT scan operator instance needs beyond its AccessPathSpec:
+/// the concrete file, optional selective inputs, and optional positional-map
+/// building. The spec describes *what code to generate*; these args describe
+/// *what data to run it over*.
+struct JitScanArgs {
+  AccessPathSpec spec;
+  /// Output field names, parallel to spec.outputs.
+  Schema output_schema;
+
+  /// CSV / binary: the memory-mapped raw file.
+  const MmapFile* file = nullptr;
+  /// Binary / REF sequential scans: total row count. CSV sequential passes
+  /// -1 (rows are discovered while parsing).
+  int64_t total_rows = -1;
+
+  /// REF: the reader whose I/O API the generated code calls.
+  RefReader* ref_reader = nullptr;
+
+  /// Selective input for kByPosition / kByRowIndex kernels. For CSV the
+  /// positions must be filled (FillPositions) before Open().
+  std::optional<RowSet> row_set;
+
+  /// CSV sequential: positional map populated as a side effect of the scan.
+  /// Must be configured with exactly spec.pmap_tracked columns.
+  PositionalMap* build_pmap = nullptr;
+
+  int64_t batch_rows = kDefaultBatchRows;
+  ScanProfile* profile = nullptr;
+};
+
+/// Volcano operator wrapping a generated scan kernel: compiles (or fetches
+/// from the template cache) at Open(), then drives the kernel batch by batch,
+/// wrapping its output buffers into ColumnBatches. The "freshly-compiled
+/// library ... linked with the remaining query plan using the Volcano model"
+/// of §3.
+class JitScanOperator : public Operator {
+ public:
+  JitScanOperator(JitTemplateCache* cache, JitScanArgs args);
+
+  const Schema& output_schema() const override { return args_.output_schema; }
+  Status Open() override;
+  StatusOr<ColumnBatch> Next() override;
+  std::string name() const override { return "JitScan"; }
+
+  /// Compilation time incurred by this operator's Open() (0 on cache hit).
+  double compile_seconds() const { return compile_seconds_; }
+
+ private:
+  static int32_t RefReadRangeTrampoline(void* reader, int32_t branch,
+                                        int64_t first, int64_t count,
+                                        void* out);
+
+  JitTemplateCache* cache_;
+  JitScanArgs args_;
+  CompiledKernel kernel_;
+  RawJitContext ctx_ = {};
+  double compile_seconds_ = 0;
+  bool eof_ = false;
+  // pmap scratch buffers (batch-sized).
+  std::vector<uint64_t> pmap_rows_scratch_;
+  std::vector<uint64_t> pmap_pos_scratch_;
+  std::vector<int64_t> row_id_scratch_;
+  std::vector<void*> out_ptr_scratch_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_SCAN_JIT_SCAN_H_

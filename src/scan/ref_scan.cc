@@ -1,0 +1,123 @@
+#include "scan/ref_scan.h"
+
+#include <algorithm>
+
+namespace raw {
+
+StatusOr<int> RefBranchFor(const RefReader& reader, int group,
+                           const std::string& field) {
+  std::string name;
+  if (group < 0) {
+    if (field == "eventID") {
+      name = ref_branches::kEventId;
+    } else if (field == "runNumber") {
+      name = ref_branches::kEventRun;
+    } else {
+      return Status::NotFound("event table has no field '" + field + "'");
+    }
+  } else {
+    if (group >= ref_branches::kNumGroups) {
+      return Status::InvalidArgument("bad particle group");
+    }
+    if (field != "pt" && field != "eta" && field != "phi" && field != "n") {
+      return Status::NotFound("particle table has no field '" + field + "'");
+    }
+    name = std::string(ref_branches::kGroups[group]) + "/" + field;
+  }
+  int idx = reader.BranchIndex(name);
+  if (idx < 0) return Status::NotFound("branch '" + name + "' missing");
+  return idx;
+}
+
+RefTableScanOperator::RefTableScanOperator(RefReader* reader, RefScanSpec spec)
+    : reader_(reader), spec_(std::move(spec)) {}
+
+Status RefTableScanOperator::Open() {
+  cursor_ = 0;
+  if (spec_.fields.empty()) {
+    spec_.fields = spec_.group < 0
+                       ? std::vector<std::string>{"eventID", "runNumber"}
+                       : std::vector<std::string>{"eventID", "pt", "eta", "phi"};
+  }
+  Schema schema;
+  for (const std::string& f : spec_.fields) {
+    if (f == "eventID") {
+      schema.AddField("eventID", DataType::kInt64);
+      continue;
+    }
+    if (spec_.group < 0 && f == "runNumber") {
+      schema.AddField("runNumber", DataType::kInt32);
+      continue;
+    }
+    RAW_ASSIGN_OR_RETURN(int branch, RefBranchFor(*reader_, spec_.group, f));
+    schema.AddField(f, reader_->branch(branch).type);
+  }
+  RAW_RETURN_NOT_OK(schema.Validate());
+  output_schema_ = std::move(schema);
+  total_rows_ = spec_.row_set.has_value() ? spec_.row_set->size()
+                : spec_.group < 0         ? reader_->num_events()
+                                          : reader_->GroupTotal(spec_.group);
+  return Status::OK();
+}
+
+StatusOr<ColumnPtr> RefTableScanOperator::ReadFieldColumn(
+    const std::string& field, int64_t first, int64_t count,
+    const std::vector<int64_t>* explicit_rows) {
+  // eventID of a particle table is derived from the nesting structure, not
+  // stored — resolve through the group offsets.
+  if (field == "eventID" && spec_.group >= 0) {
+    auto col = std::make_shared<Column>(DataType::kInt64);
+    col->Reserve(count);
+    for (int64_t i = 0; i < count; ++i) {
+      int64_t flat = explicit_rows != nullptr
+                         ? (*explicit_rows)[static_cast<size_t>(first + i)]
+                         : first + i;
+      col->Append<int64_t>(reader_->EventOfFlatIndex(spec_.group, flat));
+    }
+    return col;
+  }
+  std::string lookup = field;
+  if (field == "eventID") lookup = "eventID";  // event table: stored branch
+  RAW_ASSIGN_OR_RETURN(int branch, RefBranchFor(*reader_, spec_.group, lookup));
+  DataType type = reader_->branch(branch).type;
+  auto col = std::make_shared<Column>(Column::Zeroed(type, count));
+  if (explicit_rows == nullptr) {
+    RAW_RETURN_NOT_OK(reader_->ReadRange(branch, first, count, col->raw_data()));
+  } else {
+    const int width = FixedWidth(type);
+    for (int64_t i = 0; i < count; ++i) {
+      int64_t idx = (*explicit_rows)[static_cast<size_t>(first + i)];
+      RAW_RETURN_NOT_OK(reader_->ReadRange(
+          branch, idx, 1,
+          col->raw_data() + static_cast<size_t>(i) * static_cast<size_t>(width)));
+    }
+  }
+  return col;
+}
+
+StatusOr<ColumnBatch> RefTableScanOperator::Next() {
+  ColumnBatch out(output_schema_);
+  if (cursor_ >= total_rows_) return out;
+  const int64_t take = std::min(spec_.batch_rows, total_rows_ - cursor_);
+  const std::vector<int64_t>* explicit_rows =
+      spec_.row_set.has_value() ? &spec_.row_set->ids : nullptr;
+
+  for (const std::string& f : spec_.fields) {
+    RAW_ASSIGN_OR_RETURN(ColumnPtr col,
+                         ReadFieldColumn(f, cursor_, take, explicit_rows));
+    out.AddColumn(std::move(col));
+  }
+  out.SetNumRows(take);
+  std::vector<int64_t> ids(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) {
+    ids[static_cast<size_t>(i)] =
+        explicit_rows != nullptr
+            ? (*explicit_rows)[static_cast<size_t>(cursor_ + i)]
+            : cursor_ + i;
+  }
+  out.SetRowIds(std::move(ids));
+  cursor_ += take;
+  return out;
+}
+
+}  // namespace raw

@@ -1,0 +1,19 @@
+#include "scan/scan_profile.h"
+
+#include <cstdio>
+
+namespace raw {
+
+std::string ScanProfile::ToString() const {
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "rows=%lld main_loop=%.3fs parsing=%.3fs conversion=%.3fs "
+           "build_columns=%.3fs kernel=%.3fs total=%.3fs",
+           static_cast<long long>(rows), main_loop.total_seconds(),
+           parsing.total_seconds(), conversion.total_seconds(),
+           build_columns.total_seconds(), kernel.total_seconds(),
+           total_seconds());
+  return buf;
+}
+
+}  // namespace raw

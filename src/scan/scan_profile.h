@@ -1,0 +1,47 @@
+#ifndef RAW_SCAN_SCAN_PROFILE_H_
+#define RAW_SCAN_SCAN_PROFILE_H_
+
+#include <string>
+
+#include "common/stopwatch.h"
+
+namespace raw {
+
+/// Phase-level cost breakdown of a raw-data scan, mirroring the categories
+/// of the paper's Figure 3 (VTune profile): main-loop bookkeeping, tokenizing
+/// /parsing, data-type conversion, and populating columnar structures.
+///
+/// Interpreted scans attribute time to all four phases. JIT scans execute a
+/// fused kernel: parsing + conversion + loop run inside generated code and
+/// are reported under `kernel`; column allocation/wrapping stays host-side
+/// under `build_columns`.
+struct ScanProfile {
+  AccumTimer main_loop;
+  AccumTimer parsing;
+  AccumTimer conversion;
+  AccumTimer build_columns;
+  AccumTimer kernel;  // fused JIT time
+  int64_t rows = 0;
+
+  void Reset() {
+    main_loop.Reset();
+    parsing.Reset();
+    conversion.Reset();
+    build_columns.Reset();
+    kernel.Reset();
+    rows = 0;
+  }
+
+  double total_seconds() const {
+    return main_loop.total_seconds() + parsing.total_seconds() +
+           conversion.total_seconds() + build_columns.total_seconds() +
+           kernel.total_seconds();
+  }
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+}  // namespace raw
+
+#endif  // RAW_SCAN_SCAN_PROFILE_H_

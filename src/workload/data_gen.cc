@@ -1,0 +1,84 @@
+#include "workload/data_gen.h"
+
+#include "binfmt/binary_writer.h"
+#include "common/macros.h"
+#include "csv/csv_writer.h"
+
+namespace raw {
+
+Status WriteCsvFile(const TableSpec& spec, const std::string& path,
+                    const std::vector<int64_t>* permutation) {
+  TableDataSource source(spec);
+  CsvWriter writer(path);
+  RAW_RETURN_NOT_OK(writer.Open());
+  for (int64_t r = 0; r < spec.rows; ++r) {
+    int64_t row = permutation != nullptr
+                      ? (*permutation)[static_cast<size_t>(r)]
+                      : r;
+    for (size_t c = 0; c < spec.columns.size(); ++c) {
+      Datum v = source.Value(row, static_cast<int>(c));
+      switch (v.type()) {
+        case DataType::kInt32:
+          writer.AppendInt32(v.int32_value());
+          break;
+        case DataType::kInt64:
+          writer.AppendInt64(v.int64_value());
+          break;
+        case DataType::kFloat32:
+          writer.AppendFloat64(static_cast<double>(v.float32_value()));
+          break;
+        case DataType::kFloat64:
+          writer.AppendFloat64(v.float64_value());
+          break;
+        case DataType::kBool:
+          writer.AppendString(v.bool_value() ? "1" : "0");
+          break;
+        case DataType::kString:
+          writer.AppendString(v.string_value());
+          break;
+      }
+    }
+    writer.EndRow();
+  }
+  return writer.Close();
+}
+
+Status WriteBinaryFile(const TableSpec& spec, const std::string& path,
+                       const std::vector<int64_t>* permutation) {
+  TableDataSource source(spec);
+  RAW_ASSIGN_OR_RETURN(BinaryLayout layout,
+                       BinaryLayout::Create(spec.ToSchema()));
+  BinaryWriter writer(path, std::move(layout));
+  RAW_RETURN_NOT_OK(writer.Open());
+  for (int64_t r = 0; r < spec.rows; ++r) {
+    int64_t row = permutation != nullptr
+                      ? (*permutation)[static_cast<size_t>(r)]
+                      : r;
+    for (size_t c = 0; c < spec.columns.size(); ++c) {
+      Datum v = source.Value(row, static_cast<int>(c));
+      switch (v.type()) {
+        case DataType::kInt32:
+          writer.AppendInt32(v.int32_value());
+          break;
+        case DataType::kInt64:
+          writer.AppendInt64(v.int64_value());
+          break;
+        case DataType::kFloat32:
+          writer.AppendFloat32(v.float32_value());
+          break;
+        case DataType::kFloat64:
+          writer.AppendFloat64(v.float64_value());
+          break;
+        case DataType::kBool:
+          writer.AppendBool(v.bool_value());
+          break;
+        case DataType::kString:
+          return Status::InvalidArgument("binary format cannot hold strings");
+      }
+    }
+    writer.EndRow();
+  }
+  return writer.Close();
+}
+
+}  // namespace raw

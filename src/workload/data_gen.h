@@ -1,0 +1,23 @@
+#ifndef RAW_WORKLOAD_DATA_GEN_H_
+#define RAW_WORKLOAD_DATA_GEN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/table_spec.h"
+
+namespace raw {
+
+/// Writes `spec` as a CSV file at `path`. When `permutation` is non-null it
+/// reorders rows (the shuffled join copy of §5.3.2).
+Status WriteCsvFile(const TableSpec& spec, const std::string& path,
+                    const std::vector<int64_t>* permutation = nullptr);
+
+/// Writes `spec` as a fixed-width binary file at `path` (same logical data
+/// as the CSV flavour).
+Status WriteBinaryFile(const TableSpec& spec, const std::string& path,
+                       const std::vector<int64_t>* permutation = nullptr);
+
+}  // namespace raw
+
+#endif  // RAW_WORKLOAD_DATA_GEN_H_

@@ -1,0 +1,125 @@
+#include "workload/dataset.h"
+
+#include <cstdlib>
+#include <functional>
+
+#include "common/macros.h"
+#include "common/mmap_file.h"
+#include "common/temp_dir.h"
+#include "workload/data_gen.h"
+
+namespace raw {
+
+namespace {
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return std::atoll(v);
+}
+}  // namespace
+
+StatusOr<Dataset> Dataset::Open() {
+  const char* env_dir = std::getenv("RAW_DATA_DIR");
+  std::string dir = env_dir != nullptr ? env_dir : "/tmp/raw_bench_data";
+  RAW_RETURN_NOT_OK(MakeDirs(dir));
+  Dataset ds(dir);
+  ds.d30_rows_ = EnvInt("RAW_BENCH_ROWS", ds.d30_rows_);
+  ds.d120_rows_ = EnvInt("RAW_BENCH_ROWS_120", ds.d120_rows_);
+  ds.higgs_events_ = EnvInt("RAW_BENCH_EVENTS", ds.higgs_events_);
+  ds.higgs_files_ = static_cast<int>(EnvInt("RAW_BENCH_FILES",
+                                            ds.higgs_files_));
+  return ds;
+}
+
+StatusOr<std::string> Dataset::EnsureFile(
+    const std::string& name,
+    const std::function<Status(const std::string&)>& make) {
+  std::string path = dir_ + "/" + name;
+  if (!FileExists(path)) {
+    // Write to a temp name then rename so interrupted runs don't leave a
+    // truncated file behind that later runs would trust.
+    std::string tmp = path + ".tmp";
+    RAW_RETURN_NOT_OK(make(tmp));
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      return Status::IOError("rename failed for " + path);
+    }
+  }
+  return path;
+}
+
+TableSpec Dataset::D30Spec() const {
+  return TableSpec::UniformInt32("d30", 30, d30_rows_, /*seed=*/42);
+}
+
+TableSpec Dataset::D120Spec() const {
+  return TableSpec::Mixed120("d120", d120_rows_, /*seed=*/7);
+}
+
+StatusOr<std::string> Dataset::D30Csv() {
+  return EnsureFile("d30_" + std::to_string(d30_rows_) + ".csv",
+                    [&](const std::string& p) {
+                      return WriteCsvFile(D30Spec(), p);
+                    });
+}
+
+StatusOr<std::string> Dataset::D30Binary() {
+  return EnsureFile("d30_" + std::to_string(d30_rows_) + ".bin",
+                    [&](const std::string& p) {
+                      return WriteBinaryFile(D30Spec(), p);
+                    });
+}
+
+StatusOr<std::string> Dataset::D30CsvShuffled() {
+  return EnsureFile("d30_" + std::to_string(d30_rows_) + "_shuffled.csv",
+                    [&](const std::string& p) {
+                      std::vector<int64_t> perm =
+                          ShuffledPermutation(d30_rows_, /*seed=*/99);
+                      return WriteCsvFile(D30Spec(), p, &perm);
+                    });
+}
+
+StatusOr<std::string> Dataset::D120Csv() {
+  return EnsureFile("d120_" + std::to_string(d120_rows_) + ".csv",
+                    [&](const std::string& p) {
+                      return WriteCsvFile(D120Spec(), p);
+                    });
+}
+
+StatusOr<std::string> Dataset::D120Binary() {
+  return EnsureFile("d120_" + std::to_string(d120_rows_) + ".bin",
+                    [&](const std::string& p) {
+                      return WriteBinaryFile(D120Spec(), p);
+                    });
+}
+
+EventGenOptions Dataset::HiggsOptions(int file_index) const {
+  EventGenOptions options;
+  options.seed = 1000 + static_cast<uint64_t>(file_index);
+  options.num_events = higgs_events_;
+  return options;
+}
+
+StatusOr<std::vector<std::string>> Dataset::HiggsRefFiles() {
+  std::vector<std::string> paths;
+  for (int f = 0; f < higgs_files_; ++f) {
+    EventGenOptions options = HiggsOptions(f);
+    RAW_ASSIGN_OR_RETURN(
+        std::string path,
+        EnsureFile("higgs_" + std::to_string(higgs_events_) + "_" +
+                       std::to_string(f) + ".ref",
+                   [&](const std::string& p) {
+                     return WriteRefFile(p, options);
+                   }));
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+StatusOr<std::string> Dataset::GoodRunsCsv() {
+  EventGenOptions options = HiggsOptions(0);
+  return EnsureFile("good_runs.csv", [&](const std::string& p) {
+    return WriteGoodRunsCsv(p, options);
+  });
+}
+
+}  // namespace raw

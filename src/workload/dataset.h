@@ -1,0 +1,67 @@
+#ifndef RAW_WORKLOAD_DATASET_H_
+#define RAW_WORKLOAD_DATASET_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "eventsim/event_generator.h"
+#include "workload/table_spec.h"
+
+namespace raw {
+
+/// Benchmark dataset manager: materializes the experiment files once in a
+/// cache directory and hands out paths. Sizes default to laptop scale and
+/// can be overridden with environment variables:
+///   RAW_DATA_DIR     cache directory       (default /tmp/raw_bench_data)
+///   RAW_BENCH_ROWS   D30 rows              (default 1,000,000)
+///   RAW_BENCH_ROWS_120  D120 rows          (default 300,000)
+///   RAW_BENCH_EVENTS HIGGS events per file (default 50,000)
+///   RAW_BENCH_FILES  HIGGS file count      (default 4)
+class Dataset {
+ public:
+  /// Creates the manager (reads env overrides, creates the cache dir).
+  static StatusOr<Dataset> Open();
+
+  const std::string& dir() const { return dir_; }
+
+  // --- D30: 30 int32 columns (paper §4.2) ------------------------------------
+  TableSpec D30Spec() const;
+  StatusOr<std::string> D30Csv();
+  StatusOr<std::string> D30Binary();
+  /// Shuffled row-order copy (file2 of the join experiments, §5.3.2).
+  StatusOr<std::string> D30CsvShuffled();
+
+  // --- D120: 120 mixed int/float columns (paper §5.2) -------------------------
+  TableSpec D120Spec() const;
+  StatusOr<std::string> D120Csv();
+  StatusOr<std::string> D120Binary();
+
+  // --- HIGGS: REF event files + good-runs CSV (paper §6) ----------------------
+  EventGenOptions HiggsOptions(int file_index) const;
+  StatusOr<std::vector<std::string>> HiggsRefFiles();
+  StatusOr<std::string> GoodRunsCsv();
+
+  int64_t d30_rows() const { return d30_rows_; }
+  int64_t d120_rows() const { return d120_rows_; }
+  int64_t higgs_events() const { return higgs_events_; }
+  int higgs_files() const { return higgs_files_; }
+
+ private:
+  explicit Dataset(std::string dir) : dir_(std::move(dir)) {}
+
+  StatusOr<std::string> EnsureFile(const std::string& name,
+                                   const std::function<Status(const std::string&)>& make);
+
+  std::string dir_;
+  int64_t d30_rows_ = 1000000;
+  int64_t d120_rows_ = 300000;
+  int64_t higgs_events_ = 50000;
+  int higgs_files_ = 4;
+};
+
+}  // namespace raw
+
+#endif  // RAW_WORKLOAD_DATASET_H_

@@ -1,0 +1,222 @@
+#include "workload/higgs.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/mmap_file.h"
+#include "csv/fast_parse.h"
+#include "scan/ref_scan.h"
+
+namespace raw {
+
+namespace {
+void FillHistogram(HiggsResult* result, float leading_pt) {
+  int bin = static_cast<int>(leading_pt / HiggsResult::kBinWidth);
+  if (bin < 0) bin = 0;
+  if (bin >= HiggsResult::kBins) bin = HiggsResult::kBins - 1;
+  ++result->histogram[static_cast<size_t>(bin)];
+}
+}  // namespace
+
+StatusOr<std::set<int32_t>> LoadGoodRuns(const std::string& csv_path) {
+  RAW_ASSIGN_OR_RETURN(std::string text, ReadFileToString(csv_path));
+  std::set<int32_t> runs;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) {
+      RAW_ASSIGN_OR_RETURN(
+          int32_t run,
+          ParseInt32(text.data() + start, static_cast<int32_t>(end - start)));
+      runs.insert(run);
+    }
+    start = end + 1;
+  }
+  return runs;
+}
+
+// --- Hand-written baseline ---------------------------------------------------
+
+HandwrittenHiggsAnalysis::HandwrittenHiggsAnalysis(
+    std::vector<std::string> ref_paths, std::string goodruns_csv,
+    HiggsCuts cuts)
+    : paths_(std::move(ref_paths)),
+      goodruns_csv_(std::move(goodruns_csv)),
+      cuts_(cuts) {}
+
+void HandwrittenHiggsAnalysis::DropCaches() {
+  for (auto& reader : readers_) {
+    if (reader != nullptr) reader->ClearCache();
+  }
+}
+
+StatusOr<HiggsResult> HandwrittenHiggsAnalysis::Run() {
+  RAW_ASSIGN_OR_RETURN(std::set<int32_t> good_runs,
+                       LoadGoodRuns(goodruns_csv_));
+  if (readers_.empty()) {
+    for (const std::string& path : paths_) {
+      RAW_ASSIGN_OR_RETURN(std::unique_ptr<RefReader> reader,
+                           RefReader::Open(path));
+      readers_.push_back(std::move(reader));
+    }
+  }
+  HiggsResult result;
+  Event event;
+  // The classic physicist loop: one event object at a time, nested loops
+  // over its particle vectors, branch-heavy cuts.
+  for (auto& reader : readers_) {
+    const int64_t n = reader->num_events();
+    for (int64_t i = 0; i < n; ++i) {
+      RAW_RETURN_NOT_OK(reader->GetEntry(i, &event));
+      ++result.events_scanned;
+      if (good_runs.find(event.run_number) == good_runs.end()) continue;
+      int n_muons = 0;
+      float leading = 0;
+      for (const Particle& mu : event.muons) {
+        if (mu.pt > cuts_.min_muon_pt && std::fabs(mu.eta) < cuts_.max_abs_eta) {
+          ++n_muons;
+          if (mu.pt > leading) leading = mu.pt;
+        }
+      }
+      if (n_muons < cuts_.min_muons) continue;
+      int n_electrons = 0;
+      for (const Particle& el : event.electrons) {
+        if (el.pt > cuts_.min_electron_pt &&
+            std::fabs(el.eta) < cuts_.max_abs_eta) {
+          ++n_electrons;
+        }
+      }
+      if (n_electrons < cuts_.min_electrons) continue;
+      int n_jets = 0;
+      for (const Particle& jet : event.jets) {
+        if (jet.pt > cuts_.min_jet_pt &&
+            std::fabs(jet.eta) < cuts_.max_abs_eta) {
+          ++n_jets;
+        }
+      }
+      if (n_jets < cuts_.min_jets) continue;
+      ++result.candidates;
+      FillHistogram(&result, leading);
+    }
+  }
+  return result;
+}
+
+// --- RAW version -------------------------------------------------------------
+
+RawHiggsAnalysis::RawHiggsAnalysis(std::vector<std::string> ref_paths,
+                                   std::string goodruns_csv, HiggsCuts cuts)
+    : paths_(std::move(ref_paths)),
+      goodruns_csv_(std::move(goodruns_csv)),
+      cuts_(cuts) {}
+
+void RawHiggsAnalysis::DropCaches() {
+  file_caches_.clear();
+  for (auto& reader : readers_) {
+    if (reader != nullptr) reader->ClearCache();
+  }
+}
+
+StatusOr<RawHiggsAnalysis::FileCache> RawHiggsAnalysis::BuildFileCache(
+    RefReader* reader) {
+  FileCache cache;
+  const int64_t n = reader->num_events();
+  cache.run_number.resize(static_cast<size_t>(n));
+  {
+    int branch = reader->BranchIndex(ref_branches::kEventRun);
+    RAW_RETURN_NOT_OK(reader->ReadRange(branch, 0, n, cache.run_number.data()));
+  }
+  const float min_pt[3] = {cuts_.min_muon_pt, cuts_.min_electron_pt,
+                           cuts_.min_jet_pt};
+  cache.leading_muon_pt.assign(static_cast<size_t>(n), 0.0f);
+  for (int g = 0; g < 3; ++g) {
+    cache.pass_counts[g].assign(static_cast<size_t>(n), 0);
+    const int64_t total = reader->GroupTotal(g);
+    if (total == 0) continue;
+    std::string group(ref_branches::kGroups[g]);
+    int pt_branch = reader->BranchIndex(group + "/pt");
+    int eta_branch = reader->BranchIndex(group + "/eta");
+    // Columnar evaluation in chunks: only pt and eta are ever read — the
+    // other branches (phi, unused groups' payloads) stay untouched on disk,
+    // which is exactly the JIT access path's selective behaviour.
+    constexpr int64_t kChunk = 65536;
+    std::vector<float> pt(static_cast<size_t>(kChunk));
+    std::vector<float> eta(static_cast<size_t>(kChunk));
+    int64_t event = 0;
+    for (int64_t first = 0; first < total; first += kChunk) {
+      int64_t take = std::min(kChunk, total - first);
+      RAW_RETURN_NOT_OK(reader->ReadRange(pt_branch, first, take, pt.data()));
+      RAW_RETURN_NOT_OK(reader->ReadRange(eta_branch, first, take, eta.data()));
+      for (int64_t k = 0; k < take; ++k) {
+        int64_t flat = first + k;
+        // Advance the event cursor (offsets are sorted, amortized O(1)).
+        int64_t begin, count;
+        reader->GroupRange(g, event, &begin, &count);
+        while (flat >= begin + count) {
+          ++event;
+          reader->GroupRange(g, event, &begin, &count);
+        }
+        bool pass = pt[static_cast<size_t>(k)] > min_pt[g] &&
+                    std::fabs(eta[static_cast<size_t>(k)]) < cuts_.max_abs_eta;
+        if (pass) {
+          ++cache.pass_counts[g][static_cast<size_t>(event)];
+          if (g == kMuon &&
+              pt[static_cast<size_t>(k)] >
+                  cache.leading_muon_pt[static_cast<size_t>(event)]) {
+            cache.leading_muon_pt[static_cast<size_t>(event)] =
+                pt[static_cast<size_t>(k)];
+          }
+        }
+      }
+      // Position the cursor at the event owning the next chunk's first value.
+      if (first + take < total) {
+        event = reader->EventOfFlatIndex(g, first + take);
+      }
+    }
+  }
+  return cache;
+}
+
+StatusOr<HiggsResult> RawHiggsAnalysis::Run() {
+  RAW_ASSIGN_OR_RETURN(std::set<int32_t> good_runs,
+                       LoadGoodRuns(goodruns_csv_));
+  if (readers_.empty()) {
+    for (const std::string& path : paths_) {
+      RAW_ASSIGN_OR_RETURN(std::unique_ptr<RefReader> reader,
+                           RefReader::Open(path));
+      readers_.push_back(std::move(reader));
+    }
+  }
+  const bool cold = file_caches_.empty();
+  if (cold) {
+    for (auto& reader : readers_) {
+      RAW_ASSIGN_OR_RETURN(FileCache cache, BuildFileCache(reader.get()));
+      file_caches_.push_back(std::move(cache));
+    }
+  }
+  // Warm path: pure in-memory vectorized pass over the cached shreds.
+  HiggsResult result;
+  for (const FileCache& cache : file_caches_) {
+    const int64_t n = static_cast<int64_t>(cache.run_number.size());
+    result.events_scanned += n;
+    for (int64_t i = 0; i < n; ++i) {
+      if (cache.pass_counts[kMuon][static_cast<size_t>(i)] < cuts_.min_muons ||
+          cache.pass_counts[kElectron][static_cast<size_t>(i)] <
+              cuts_.min_electrons ||
+          cache.pass_counts[kJet][static_cast<size_t>(i)] < cuts_.min_jets) {
+        continue;
+      }
+      if (good_runs.find(cache.run_number[static_cast<size_t>(i)]) ==
+          good_runs.end()) {
+        continue;
+      }
+      ++result.candidates;
+      FillHistogram(&result,
+                    cache.leading_muon_pt[static_cast<size_t>(i)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace raw

@@ -1,0 +1,105 @@
+#ifndef RAW_WORKLOAD_HIGGS_H_
+#define RAW_WORKLOAD_HIGGS_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "eventsim/ref_reader.h"
+
+namespace raw {
+
+/// The "Find the Higgs Boson" selection (§6): per event, count the muons,
+/// electrons and jets passing kinematic cuts; an event is a candidate when
+/// every multiplicity threshold is met and the event belongs to a good run.
+struct HiggsCuts {
+  float min_muon_pt = 22.0f;
+  float min_electron_pt = 24.0f;
+  float min_jet_pt = 30.0f;
+  float max_abs_eta = 2.4f;
+  int min_muons = 2;
+  int min_electrons = 1;
+  int min_jets = 2;
+};
+
+/// Query output: candidate count plus a histogram of the leading passing
+/// muon's pt (the physicists' end product).
+struct HiggsResult {
+  int64_t events_scanned = 0;
+  int64_t candidates = 0;
+  static constexpr int kBins = 50;
+  static constexpr float kBinWidth = 5.0f;  // 0..250 GeV
+  std::vector<int64_t> histogram = std::vector<int64_t>(kBins, 0);
+
+  bool operator==(const HiggsResult& other) const {
+    return events_scanned == other.events_scanned &&
+           candidates == other.candidates && histogram == other.histogram;
+  }
+};
+
+/// Loads the good-runs CSV (one int per line) into a set.
+StatusOr<std::set<int32_t>> LoadGoodRuns(const std::string& csv_path);
+
+/// The hand-written C++ analysis (the paper's baseline): an object-at-a-time
+/// loop using GetEntry(), branchy per-particle cuts, relying on the format's
+/// buffer pool for warm-run speed. Keep the readers alive between calls to
+/// model a physicist's long-running session.
+class HandwrittenHiggsAnalysis {
+ public:
+  HandwrittenHiggsAnalysis(std::vector<std::string> ref_paths,
+                           std::string goodruns_csv, HiggsCuts cuts);
+
+  /// Runs the full analysis. The first call is "cold" (clusters decoded from
+  /// disk); subsequent calls hit the buffer pool.
+  StatusOr<HiggsResult> Run();
+
+  /// Drops the buffer pools (forces the next Run() cold).
+  void DropCaches();
+
+ private:
+  std::vector<std::string> paths_;
+  std::string goodruns_csv_;
+  HiggsCuts cuts_;
+  std::vector<std::unique_ptr<RefReader>> readers_;
+};
+
+/// The RAW version: columnar, vectorized evaluation over the same files,
+/// reading only the branches the cuts touch (JIT-style API access), and
+/// caching the resulting column shreds — subsequent runs never touch the raw
+/// files (§6: "RAW performs as if the data had been loaded in advance").
+class RawHiggsAnalysis {
+ public:
+  RawHiggsAnalysis(std::vector<std::string> ref_paths,
+                   std::string goodruns_csv, HiggsCuts cuts);
+
+  StatusOr<HiggsResult> Run();
+
+  /// Drops cached shreds and buffer pools (next Run() is cold).
+  void DropCaches();
+
+  bool warm() const { return !file_caches_.empty(); }
+
+ private:
+  /// Per-file cached per-event shreds: only the attributes the query needs,
+  /// only the derived values (pass-counts + leading muon pt + run number).
+  struct FileCache {
+    std::vector<int32_t> run_number;
+    std::vector<int32_t> pass_counts[3];  // per group
+    std::vector<float> leading_muon_pt;
+  };
+
+  StatusOr<FileCache> BuildFileCache(RefReader* reader);
+
+  std::vector<std::string> paths_;
+  std::string goodruns_csv_;
+  HiggsCuts cuts_;
+  std::vector<std::unique_ptr<RefReader>> readers_;
+  std::vector<FileCache> file_caches_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_WORKLOAD_HIGGS_H_

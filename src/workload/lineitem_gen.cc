@@ -1,0 +1,52 @@
+#include "workload/lineitem_gen.h"
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "csv/csv_writer.h"
+
+namespace raw {
+
+Schema LineitemSchema() {
+  return Schema{{"l_orderkey", DataType::kInt64},
+                {"l_partkey", DataType::kInt64},
+                {"l_suppkey", DataType::kInt64},
+                {"l_linenumber", DataType::kInt32},
+                {"l_quantity", DataType::kInt32},
+                {"l_extendedprice", DataType::kFloat64},
+                {"l_discount", DataType::kFloat64},
+                {"l_tax", DataType::kFloat64},
+                {"l_shipdate", DataType::kInt32}};
+}
+
+Status WriteLineitemCsv(const std::string& path,
+                        const LineitemGenOptions& options) {
+  Rng rng(options.seed);
+  CsvWriter writer(path);
+  RAW_RETURN_NOT_OK(writer.Open());
+  constexpr int32_t kEpochStart = 8766;   // ~1994-01-01 in days
+  constexpr int32_t kEpochSpan = 2557;    // ~7 years
+  for (int64_t r = 0; r < options.rows; ++r) {
+    int64_t orderkey = rng.NextInt64(1, options.num_orders);
+    int64_t partkey = rng.NextInt64(1, options.num_parts);
+    int64_t suppkey = rng.NextInt64(1, options.num_suppliers);
+    int32_t linenumber = rng.NextInt32(1, 7);
+    int32_t quantity = rng.NextInt32(1, 50);
+    double price = static_cast<double>(quantity) * rng.NextDouble(900.0, 2100.0);
+    double discount = rng.NextInt32(0, 10) / 100.0;
+    double tax = rng.NextInt32(0, 8) / 100.0;
+    int32_t shipdate = kEpochStart + rng.NextInt32(0, kEpochSpan);
+    writer.AppendInt64(orderkey);
+    writer.AppendInt64(partkey);
+    writer.AppendInt64(suppkey);
+    writer.AppendInt32(linenumber);
+    writer.AppendInt32(quantity);
+    writer.AppendFloat64(price);
+    writer.AppendFloat64(discount);
+    writer.AppendFloat64(tax);
+    writer.AppendInt32(shipdate);
+    writer.EndRow();
+  }
+  return writer.Close();
+}
+
+}  // namespace raw

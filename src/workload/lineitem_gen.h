@@ -1,0 +1,33 @@
+#ifndef RAW_WORKLOAD_LINEITEM_GEN_H_
+#define RAW_WORKLOAD_LINEITEM_GEN_H_
+
+#include <string>
+
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace raw {
+
+/// A TPC-H-flavoured `lineitem` CSV generator for the examples: realistic
+/// mixed-type analytics data (keys, quantities, prices, discounts, dates as
+/// integers) without requiring the actual dbgen tool.
+struct LineitemGenOptions {
+  int64_t rows = 100000;
+  uint64_t seed = 1;
+  int64_t num_orders = 25000;
+  int64_t num_parts = 20000;
+  int64_t num_suppliers = 1000;
+};
+
+/// Schema: l_orderkey:int64, l_partkey:int64, l_suppkey:int64,
+/// l_linenumber:int32, l_quantity:int32, l_extendedprice:float64,
+/// l_discount:float64, l_tax:float64, l_shipdate:int32 (days since epoch).
+Schema LineitemSchema();
+
+/// Writes the table as CSV at `path`.
+Status WriteLineitemCsv(const std::string& path,
+                        const LineitemGenOptions& options);
+
+}  // namespace raw
+
+#endif  // RAW_WORKLOAD_LINEITEM_GEN_H_

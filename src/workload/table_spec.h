@@ -1,0 +1,73 @@
+#ifndef RAW_WORKLOAD_TABLE_SPEC_H_
+#define RAW_WORKLOAD_TABLE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "common/schema.h"
+
+namespace raw {
+
+/// Value distribution of one generated column.
+struct ColumnSpec {
+  DataType type = DataType::kInt32;
+  /// Uniform integer range [min_value, max_value] for int columns; floats
+  /// draw uniformly from [min_value, max_value).
+  int64_t min_value = 0;
+  int64_t max_value = 999999999;  // paper: "values distributed randomly
+                                  // between 0 and 10^9" (§4.2)
+};
+
+/// Deterministic description of an experiment table. Row values are a pure
+/// function of (seed, row, column), so CSV and binary copies of the same
+/// spec hold identical data (the paper generates both formats from one
+/// dataset), and shuffled copies are cheap to produce.
+struct TableSpec {
+  std::string name;
+  std::vector<ColumnSpec> columns;
+  int64_t rows = 0;
+  uint64_t seed = 42;
+
+  /// The paper's §4.2 microbenchmark table: `num_columns` int32 columns,
+  /// uniform in [0, 1e9).
+  static TableSpec UniformInt32(std::string name, int num_columns,
+                                int64_t rows, uint64_t seed = 42);
+
+  /// The §5.2 wide table: 120 columns alternating int32 and float64
+  /// ("more data types, including floating-point numbers").
+  static TableSpec Mixed120(std::string name, int64_t rows, uint64_t seed = 7);
+
+  /// Column names are col0, col1, ... colN-1 (paper counts from 1; we use
+  /// 0-based names and note the mapping in EXPERIMENTS.md).
+  Schema ToSchema() const;
+
+  /// Predicate literal giving ~`fraction` selectivity for `col1 < X` style
+  /// predicates on uniform columns.
+  Datum SelectivityLiteral(int column, double fraction) const;
+};
+
+/// Random-access deterministic value source for a TableSpec.
+class TableDataSource {
+ public:
+  explicit TableDataSource(const TableSpec& spec) : spec_(spec) {}
+
+  /// Value of (row, column); pure function of the spec's seed.
+  Datum Value(int64_t row, int column) const;
+
+  /// Fills a full row.
+  void Row(int64_t row, std::vector<Datum>* out) const;
+
+  const TableSpec& spec() const { return spec_; }
+
+ private:
+  TableSpec spec_;
+};
+
+/// Deterministic permutation of [0, rows) (for the shuffled join copy).
+std::vector<int64_t> ShuffledPermutation(int64_t rows, uint64_t seed);
+
+}  // namespace raw
+
+#endif  // RAW_WORKLOAD_TABLE_SPEC_H_

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "binfmt/binary_layout.h"
+#include "binfmt/binary_reader.h"
+#include "binfmt/binary_writer.h"
+#include "tests/test_util.h"
+
+namespace raw {
+namespace {
+
+Schema TestSchema() {
+  return Schema{{"a", DataType::kInt32},
+                {"b", DataType::kInt64},
+                {"c", DataType::kFloat32},
+                {"d", DataType::kFloat64},
+                {"e", DataType::kBool}};
+}
+
+TEST(BinaryLayoutTest, OffsetsAndWidth) {
+  ASSERT_OK_AND_ASSIGN(BinaryLayout layout, BinaryLayout::Create(TestSchema()));
+  EXPECT_EQ(layout.row_width(), 4 + 8 + 4 + 8 + 1);
+  EXPECT_EQ(layout.ColumnOffset(0), 0);
+  EXPECT_EQ(layout.ColumnOffset(1), 4);
+  EXPECT_EQ(layout.ColumnOffset(3), 16);
+  EXPECT_EQ(layout.Offset(2, 1), 2 * 25 + 4);
+  EXPECT_EQ(layout.NumRows(100), 4);
+}
+
+TEST(BinaryLayoutTest, RejectsStrings) {
+  Schema s{{"x", DataType::kString}};
+  EXPECT_FALSE(BinaryLayout::Create(s).ok());
+}
+
+using BinaryIoTest = testing::TempDirTest;
+
+TEST_F(BinaryIoTest, WriteReadRoundTrip) {
+  std::string path = Path("t.bin");
+  ASSERT_OK_AND_ASSIGN(BinaryLayout layout, BinaryLayout::Create(TestSchema()));
+  {
+    BinaryWriter writer(path, layout);
+    ASSERT_OK(writer.Open());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_OK(writer.AppendDatumRow(
+          {Datum::Int32(i), Datum::Int64(i * 1000000007ll),
+           Datum::Float32(i * 0.5f), Datum::Float64(i * 0.25),
+           Datum::Bool(i % 2 == 0)}));
+    }
+    ASSERT_OK(writer.Close());
+    EXPECT_EQ(writer.rows_written(), 100);
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<BinaryReader> reader,
+                       BinaryReader::Open(path, layout));
+  EXPECT_EQ(reader->num_rows(), 100);
+  EXPECT_EQ(reader->Value<int32_t>(7, 0), 7);
+  EXPECT_EQ(reader->Value<int64_t>(99, 1), 99 * 1000000007ll);
+  EXPECT_FLOAT_EQ(reader->Value<float>(3, 2), 1.5f);
+  EXPECT_DOUBLE_EQ(reader->Value<double>(4, 3), 1.0);
+  EXPECT_EQ(reader->Value<char>(4, 4), 1);
+  EXPECT_EQ(reader->Value<char>(5, 4), 0);
+}
+
+TEST_F(BinaryIoTest, TypeMismatchRejected) {
+  std::string path = Path("t2.bin");
+  ASSERT_OK_AND_ASSIGN(BinaryLayout layout, BinaryLayout::Create(TestSchema()));
+  BinaryWriter writer(path, layout);
+  ASSERT_OK(writer.Open());
+  EXPECT_FALSE(writer.AppendDatumRow({Datum::Int64(1), Datum::Int64(2),
+                                      Datum::Float32(0), Datum::Float64(0),
+                                      Datum::Bool(false)})
+                   .ok());
+  EXPECT_FALSE(writer.AppendDatumRow({Datum::Int32(1)}).ok());
+}
+
+TEST_F(BinaryIoTest, TruncatedFileRejected) {
+  std::string path = Path("bad.bin");
+  ASSERT_OK(WriteStringToFile(path, std::string(27, 'x')));  // not % 25
+  ASSERT_OK_AND_ASSIGN(BinaryLayout layout, BinaryLayout::Create(TestSchema()));
+  EXPECT_FALSE(BinaryReader::Open(path, layout).ok());
+}
+
+TEST_F(BinaryIoTest, EmptyFileHasZeroRows) {
+  std::string path = Path("empty.bin");
+  ASSERT_OK(WriteStringToFile(path, ""));
+  ASSERT_OK_AND_ASSIGN(BinaryLayout layout, BinaryLayout::Create(TestSchema()));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<BinaryReader> reader,
+                       BinaryReader::Open(path, layout));
+  EXPECT_EQ(reader->num_rows(), 0);
+}
+
+}  // namespace
+}  // namespace raw

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "columnar/batch.h"
+#include "columnar/column.h"
+#include "columnar/selection_vector.h"
+#include "tests/test_util.h"
+
+namespace raw {
+namespace {
+
+TEST(ColumnTest, AppendAndRead) {
+  Column col(DataType::kInt32);
+  col.Append<int32_t>(1);
+  col.Append<int32_t>(-2);
+  col.Append<int32_t>(3);
+  EXPECT_EQ(col.length(), 3);
+  EXPECT_EQ(col.Value<int32_t>(0), 1);
+  EXPECT_EQ(col.Value<int32_t>(1), -2);
+  EXPECT_EQ(col.GetDatum(2), Datum::Int32(3));
+}
+
+TEST(ColumnTest, AllTypesRoundTripDatum) {
+  struct Case {
+    Datum d;
+  } cases[] = {{Datum::Bool(true)},       {Datum::Int32(-7)},
+               {Datum::Int64(1ll << 40)}, {Datum::Float32(1.5f)},
+               {Datum::Float64(-2.25)},   {Datum::String("abc")}};
+  for (const auto& c : cases) {
+    Column col(c.d.type());
+    col.AppendDatum(c.d);
+    EXPECT_EQ(col.GetDatum(0), c.d) << DataTypeToString(c.d.type());
+  }
+}
+
+TEST(ColumnTest, ZeroedAndResize) {
+  Column col = Column::Zeroed(DataType::kInt64, 5);
+  EXPECT_EQ(col.length(), 5);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(col.Value<int64_t>(i), 0);
+  col.Resize(2);
+  EXPECT_EQ(col.length(), 2);
+  col.Resize(4);
+  EXPECT_EQ(col.length(), 4);
+  EXPECT_EQ(col.Value<int64_t>(3), 0);
+}
+
+TEST(ColumnTest, GatherInt32AndString) {
+  Column col(DataType::kInt32);
+  for (int i = 0; i < 10; ++i) col.Append<int32_t>(i * 10);
+  int32_t idx32[] = {9, 0, 5};
+  Column g = col.Gather(idx32, 3);
+  EXPECT_EQ(g.length(), 3);
+  EXPECT_EQ(g.Value<int32_t>(0), 90);
+  EXPECT_EQ(g.Value<int32_t>(1), 0);
+  EXPECT_EQ(g.Value<int32_t>(2), 50);
+
+  Column s(DataType::kString);
+  s.AppendString("a");
+  s.AppendString("b");
+  s.AppendString("c");
+  int64_t idx64[] = {2, 2, 0};
+  Column gs = s.Gather(idx64, 3);
+  EXPECT_EQ(gs.StringValue(0), "c");
+  EXPECT_EQ(gs.StringValue(2), "a");
+}
+
+TEST(ColumnTest, AppendColumnTypeChecked) {
+  Column a(DataType::kInt32), b(DataType::kInt32), c(DataType::kInt64);
+  a.Append<int32_t>(1);
+  b.Append<int32_t>(2);
+  ASSERT_OK(a.AppendColumn(b));
+  EXPECT_EQ(a.length(), 2);
+  EXPECT_EQ(a.Value<int32_t>(1), 2);
+  EXPECT_FALSE(a.AppendColumn(c).ok());
+}
+
+TEST(ColumnTest, LoadedBitmap) {
+  Column col = Column::Zeroed(DataType::kFloat64, 10);
+  EXPECT_TRUE(col.fully_loaded());
+  EXPECT_EQ(col.CountLoaded(), 10);
+  col.MarkAllMissing();
+  EXPECT_FALSE(col.fully_loaded());
+  EXPECT_EQ(col.CountLoaded(), 0);
+  col.SetLoaded(3);
+  col.SetLoaded(9);
+  EXPECT_TRUE(col.IsLoaded(3));
+  EXPECT_FALSE(col.IsLoaded(4));
+  EXPECT_EQ(col.CountLoaded(), 2);
+}
+
+TEST(ColumnTest, EqualsConsidersLoadedness) {
+  Column a = Column::Zeroed(DataType::kInt32, 3);
+  Column b = Column::Zeroed(DataType::kInt32, 3);
+  EXPECT_TRUE(a.Equals(b));
+  b.MarkAllMissing();
+  EXPECT_FALSE(a.Equals(b));
+}
+
+TEST(ColumnTest, MemoryBytes) {
+  Column col = Column::Zeroed(DataType::kInt32, 100);
+  EXPECT_EQ(col.MemoryBytes(), 400);
+}
+
+TEST(SelectionVectorTest, AllAndCompose) {
+  SelectionVector all = SelectionVector::All(5);
+  EXPECT_EQ(all.size(), 5);
+  EXPECT_EQ(all[4], 4);
+  SelectionVector outer({1, 3, 5, 7});
+  SelectionVector inner({0, 2});
+  SelectionVector composed = outer.Compose(inner);
+  ASSERT_EQ(composed.size(), 2);
+  EXPECT_EQ(composed[0], 1);
+  EXPECT_EQ(composed[1], 5);
+}
+
+ColumnBatch MakeBatch() {
+  Schema schema{{"x", DataType::kInt32}, {"y", DataType::kFloat64}};
+  ColumnBatch batch(schema);
+  auto x = std::make_shared<Column>(DataType::kInt32);
+  auto y = std::make_shared<Column>(DataType::kFloat64);
+  for (int i = 0; i < 6; ++i) {
+    x->Append<int32_t>(i);
+    y->Append<double>(i * 0.5);
+  }
+  batch.AddColumn(x);
+  batch.AddColumn(y);
+  batch.SetRowIds({10, 11, 12, 13, 14, 15});
+  return batch;
+}
+
+TEST(ColumnBatchTest, FilterCompactsColumnsAndRowIds) {
+  ColumnBatch batch = MakeBatch();
+  SelectionVector sel({1, 4});
+  ColumnBatch out = batch.Filter(sel);
+  EXPECT_EQ(out.num_rows(), 2);
+  EXPECT_EQ(out.column(0)->Value<int32_t>(0), 1);
+  EXPECT_EQ(out.column(0)->Value<int32_t>(1), 4);
+  EXPECT_DOUBLE_EQ(out.column(1)->Value<double>(1), 2.0);
+  ASSERT_TRUE(out.has_row_ids());
+  EXPECT_EQ(out.row_ids()[0], 11);
+  EXPECT_EQ(out.row_ids()[1], 14);
+}
+
+TEST(ColumnBatchTest, SelectColumnsSharesBuffers) {
+  ColumnBatch batch = MakeBatch();
+  ColumnBatch out = batch.SelectColumns({1});
+  EXPECT_EQ(out.num_columns(), 1);
+  EXPECT_EQ(out.schema().field(0).name, "y");
+  EXPECT_EQ(out.column(0).get(), batch.column(1).get());  // zero copy
+  EXPECT_EQ(out.num_rows(), 6);
+}
+
+TEST(ColumnBatchTest, ToStringShowsRows) {
+  ColumnBatch batch = MakeBatch();
+  std::string s = batch.ToString(2);
+  EXPECT_NE(s.find("x:int32"), std::string::npos);
+  EXPECT_NE(s.find("more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raw

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "common/mmap_file.h"
+#include "csv/csv_tokenizer.h"
+#include "csv/csv_writer.h"
+#include "csv/fast_parse.h"
+#include "csv/positional_map.h"
+#include "tests/test_util.h"
+
+namespace raw {
+namespace {
+
+// --- fast_parse ---------------------------------------------------------------
+
+TEST(FastParseTest, Int32Basics) {
+  EXPECT_EQ(*ParseInt32("123", 3), 123);
+  EXPECT_EQ(*ParseInt32("-123", 4), -123);
+  EXPECT_EQ(*ParseInt32("+7", 2), 7);
+  EXPECT_EQ(*ParseInt32("0", 1), 0);
+  EXPECT_FALSE(ParseInt32("", 0).ok());
+  EXPECT_FALSE(ParseInt32("-", 1).ok());
+  EXPECT_FALSE(ParseInt32("12a", 3).ok());
+}
+
+TEST(FastParseTest, Int64LargeValues) {
+  EXPECT_EQ(*ParseInt64("922337203685477580", 18), 922337203685477580ll);
+  EXPECT_EQ(*ParseInt64("-922337203685477580", 19), -922337203685477580ll);
+}
+
+TEST(FastParseTest, Floats) {
+  EXPECT_FLOAT_EQ(*ParseFloat32("1.5", 3), 1.5f);
+  EXPECT_DOUBLE_EQ(*ParseFloat64("-2.25e3", 7), -2250.0);
+  EXPECT_DOUBLE_EQ(*ParseFloat64("0.1", 3), 0.1);
+  EXPECT_FALSE(ParseFloat64("1.2.3", 5).ok());
+}
+
+TEST(FastParseTest, Bools) {
+  EXPECT_TRUE(*ParseBool("1", 1));
+  EXPECT_TRUE(*ParseBool("true", 4));
+  EXPECT_FALSE(*ParseBool("0", 1));
+  EXPECT_FALSE(ParseBool("yes", 3).ok());
+}
+
+TEST(FastParseTest, UncheckedMatchesChecked) {
+  const char* cases[] = {"0", "42", "-17", "999999999", "-2000000000"};
+  for (const char* c : cases) {
+    int32_t size = static_cast<int32_t>(strlen(c));
+    EXPECT_EQ(ParseInt32Unchecked(c, size), *ParseInt32(c, size)) << c;
+    EXPECT_EQ(ParseInt64Unchecked(c, size), *ParseInt64(c, size)) << c;
+  }
+  EXPECT_DOUBLE_EQ(ParseFloat64Unchecked("3.25", 4), 3.25);
+}
+
+// --- tokenizer -----------------------------------------------------------------
+
+TEST(TokenizerTest, FieldPrimitives) {
+  const char* data = "abc,de,f\nxyz\n";
+  const char* end = data + strlen(data);
+  const char* p = FieldEnd(data, end, ',');
+  EXPECT_EQ(p - data, 3);
+  p = SkipField(data, end, ',');
+  EXPECT_EQ(*p, 'd');
+  p = SkipField(p, end, ',');
+  EXPECT_EQ(*p, 'f');
+}
+
+TEST(TokenizerTest, CursorTokenizesRows) {
+  std::string data = "1,2,3\n4,5,6\n";
+  CsvRowCursor cursor(data.data(), data.data() + data.size(), CsvOptions());
+  std::vector<FieldRef> fields;
+  ASSERT_OK(cursor.NextRow(&fields));
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1].view(), "2");
+  ASSERT_OK(cursor.NextRow(&fields));
+  EXPECT_EQ(fields[2].view(), "6");
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST(TokenizerTest, EmptyFieldsAndCrLf) {
+  std::string data = "a,,c\r\n,,\r\n";
+  CsvRowCursor cursor(data.data(), data.data() + data.size(), CsvOptions());
+  std::vector<FieldRef> fields;
+  ASSERT_OK(cursor.NextRow(&fields));
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1].view(), "");
+  ASSERT_OK(cursor.NextRow(&fields));
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST(TokenizerTest, QuotedFields) {
+  std::string data = "\"a,b\",2\n\"x\"\"y\",3\n";
+  CsvRowCursor cursor(data.data(), data.data() + data.size(), CsvOptions());
+  std::vector<FieldRef> fields;
+  ASSERT_OK(cursor.NextRow(&fields));
+  EXPECT_EQ(fields[0].view(), "a,b");
+  EXPECT_EQ(fields[1].view(), "2");
+  ASSERT_OK(cursor.NextRow(&fields));
+  EXPECT_EQ(fields[0].view(), "x\"\"y");  // raw slice; unescape is caller's
+}
+
+TEST(TokenizerTest, UnterminatedQuoteFails) {
+  std::string data = "\"abc\n";
+  CsvRowCursor cursor(data.data(), data.data() + data.size(), CsvOptions());
+  std::vector<FieldRef> fields;
+  EXPECT_FALSE(cursor.NextRow(&fields).ok());
+}
+
+TEST(TokenizerTest, CountRowsAndHeader) {
+  std::string data = "h1,h2\n1,2\n3,4\n";
+  CsvOptions with_header;
+  with_header.has_header = true;
+  EXPECT_EQ(CountRows(data.data(), data.data() + data.size(), with_header), 2);
+  EXPECT_EQ(CountRows(data.data(), data.data() + data.size(), CsvOptions()), 3);
+  EXPECT_EQ(DataStartOffset(data.data(), data.data() + data.size(),
+                            with_header),
+            6u);
+}
+
+TEST(TokenizerTest, NoTrailingNewline) {
+  std::string data = "1,2\n3,4";
+  EXPECT_EQ(CountRows(data.data(), data.data() + data.size(), CsvOptions()), 2);
+  CsvRowCursor cursor(data.data(), data.data() + data.size(), CsvOptions());
+  std::vector<FieldRef> fields;
+  ASSERT_OK(cursor.NextRow(&fields));
+  ASSERT_OK(cursor.NextRow(&fields));
+  EXPECT_EQ(fields[1].view(), "4");
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+// --- writer ---------------------------------------------------------------------
+
+using CsvWriterTest = testing::TempDirTest;
+
+TEST_F(CsvWriterTest, TypedRoundTrip) {
+  std::string path = Path("t.csv");
+  CsvWriter writer(path);
+  ASSERT_OK(writer.Open());
+  writer.AppendInt32(-42);
+  writer.AppendInt64(1ll << 40);
+  writer.AppendFloat64(2.5);
+  writer.AppendString("plain");
+  writer.EndRow();
+  ASSERT_OK(writer.Close());
+  ASSERT_OK_AND_ASSIGN(std::string content, ReadFileToString(path));
+  EXPECT_EQ(content, "-42,1099511627776,2.5,plain\n");
+}
+
+TEST_F(CsvWriterTest, QuotesWhenNeeded) {
+  std::string path = Path("q.csv");
+  CsvWriter writer(path);
+  ASSERT_OK(writer.Open());
+  writer.AppendString("a,b");
+  writer.AppendString("he said \"hi\"");
+  writer.EndRow();
+  ASSERT_OK(writer.Close());
+  ASSERT_OK_AND_ASSIGN(std::string content, ReadFileToString(path));
+  EXPECT_EQ(content, "\"a,b\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvWriterTest, HeaderWritten) {
+  std::string path = Path("h.csv");
+  CsvOptions options;
+  options.has_header = true;
+  CsvWriter writer(path, options);
+  Schema schema{{"x", DataType::kInt32}, {"y", DataType::kInt32}};
+  ASSERT_OK(writer.Open(&schema));
+  writer.AppendInt32(1);
+  writer.AppendInt32(2);
+  writer.EndRow();
+  ASSERT_OK(writer.Close());
+  ASSERT_OK_AND_ASSIGN(std::string content, ReadFileToString(path));
+  EXPECT_EQ(content, "x,y\n1,2\n");
+}
+
+TEST_F(CsvWriterTest, DatumRows) {
+  std::string path = Path("d.csv");
+  CsvWriter writer(path);
+  ASSERT_OK(writer.Open());
+  ASSERT_OK(writer.AppendDatumRow(
+      {Datum::Int32(1), Datum::Float64(0.5), Datum::Bool(true)}));
+  ASSERT_OK(writer.Close());
+  ASSERT_OK_AND_ASSIGN(std::string content, ReadFileToString(path));
+  EXPECT_EQ(content, "1,0.5,1\n");
+  EXPECT_EQ(writer.rows_written(), 1);
+}
+
+// --- positional map --------------------------------------------------------------
+
+TEST(PositionalMapTest, StrideTracking) {
+  PositionalMap pmap = PositionalMap::WithStride(30, 10);
+  EXPECT_EQ(pmap.num_tracked(), 3);
+  EXPECT_EQ(pmap.tracked_columns(), (std::vector<int>{0, 10, 20}));
+  EXPECT_TRUE(pmap.Tracks(10));
+  EXPECT_FALSE(pmap.Tracks(11));
+  EXPECT_EQ(pmap.SlotFor(20), 2);
+  EXPECT_EQ(pmap.SlotFor(15), -1);
+}
+
+TEST(PositionalMapTest, NearestTracked) {
+  PositionalMap pmap = PositionalMap::WithStride(30, 7);
+  // Tracks 0, 7, 14, 21, 28.
+  EXPECT_EQ(pmap.NearestTrackedAtOrBefore(10),
+            pmap.SlotFor(7));
+  EXPECT_EQ(pmap.NearestTrackedAtOrBefore(6), pmap.SlotFor(0));
+  EXPECT_EQ(pmap.NearestTrackedAtOrBefore(28), pmap.SlotFor(28));
+}
+
+TEST(PositionalMapTest, ExplicitColumnsSortedDeduped) {
+  PositionalMap pmap = PositionalMap::TrackingColumns(30, {11, 3, 11, 7});
+  EXPECT_EQ(pmap.tracked_columns(), (std::vector<int>{3, 7, 11}));
+  ASSERT_OK(pmap.CheckConsistency());
+}
+
+TEST(PositionalMapTest, AppendAndLookupPositions) {
+  PositionalMap pmap = PositionalMap::TrackingColumns(5, {0, 2});
+  uint64_t row0[] = {0, 10};
+  uint64_t row1[] = {20, 33};
+  pmap.AppendRow(0, row0);
+  pmap.AppendRow(20, row1);
+  EXPECT_EQ(pmap.num_rows(), 2);
+  EXPECT_EQ(pmap.Position(0, 1), 10u);
+  EXPECT_EQ(pmap.Position(1, 0), 20u);
+  EXPECT_EQ(pmap.RowStart(1), 20u);
+  ASSERT_OK(pmap.CheckConsistency());
+  EXPECT_GT(pmap.MemoryBytes(), 0);
+}
+
+}  // namespace
+}  // namespace raw

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/mmap_file.h"
+#include "eventsim/buffer_pool.h"
+#include "eventsim/event_generator.h"
+#include "eventsim/ref_format.h"
+#include "eventsim/ref_reader.h"
+#include "eventsim/ref_writer.h"
+#include "eventsim/rle_codec.h"
+#include "tests/test_util.h"
+
+namespace raw {
+namespace {
+
+// --- RLE codec ----------------------------------------------------------------
+
+TEST(RleCodecTest, RoundTripRuns) {
+  std::vector<int32_t> values = {5, 5, 5, 7, 7, 1, 1, 1, 1, 1};
+  const auto* bytes = reinterpret_cast<const uint8_t*>(values.data());
+  size_t size = values.size() * 4;
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> encoded, RleEncode(bytes, size, 4));
+  EXPECT_LT(encoded.size(), size);  // runs compress
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> decoded,
+                       RleDecode(encoded.data(), encoded.size(), 4, size));
+  EXPECT_EQ(memcmp(decoded.data(), bytes, size), 0);
+}
+
+TEST(RleCodecTest, RoundTripNoRuns8Byte) {
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < 100; ++i) values.push_back(i);
+  const auto* bytes = reinterpret_cast<const uint8_t*>(values.data());
+  size_t size = values.size() * 8;
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> encoded, RleEncode(bytes, size, 8));
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> decoded,
+                       RleDecode(encoded.data(), encoded.size(), 8, size));
+  EXPECT_EQ(memcmp(decoded.data(), bytes, size), 0);
+}
+
+TEST(RleCodecTest, RejectsBadInput) {
+  uint8_t data[7] = {0};
+  EXPECT_FALSE(RleEncode(data, 7, 4).ok());     // not multiple of width
+  EXPECT_FALSE(RleEncode(data, 4, 3).ok());     // bad width
+  EXPECT_FALSE(RleDecode(data, 7, 4, 100).ok());  // truncated stream
+}
+
+TEST(RleCodecTest, EmptyInput) {
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> encoded, RleEncode(nullptr, 0, 4));
+  EXPECT_TRUE(encoded.empty());
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> decoded,
+                       RleDecode(encoded.data(), 0, 4, 0));
+  EXPECT_TRUE(decoded.empty());
+}
+
+// --- header / directory ---------------------------------------------------------
+
+TEST(RefFormatTest, HeaderRoundTrip) {
+  RefHeader header;
+  header.directory_offset = 1234;
+  header.num_events = 99;
+  header.cluster_events = 256;
+  header.num_branches = 14;
+  std::string bytes;
+  header.SerializeTo(&bytes);
+  EXPECT_EQ(bytes.size(), RefHeader::kSerializedSize);
+  ASSERT_OK_AND_ASSIGN(
+      RefHeader parsed,
+      RefHeader::Deserialize(reinterpret_cast<const uint8_t*>(bytes.data()),
+                             bytes.size()));
+  EXPECT_EQ(parsed.directory_offset, 1234);
+  EXPECT_EQ(parsed.num_events, 99);
+  EXPECT_EQ(parsed.num_branches, 14);
+}
+
+TEST(RefFormatTest, BadMagicRejected) {
+  std::string bytes(RefHeader::kSerializedSize, '\0');
+  EXPECT_FALSE(RefHeader::Deserialize(
+                   reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size())
+                   .ok());
+}
+
+TEST(RefFormatTest, ClusterLookup) {
+  RefBranch branch;
+  branch.clusters = {{0, 0, 0, 100}, {0, 0, 100, 50}, {0, 0, 150, 25}};
+  EXPECT_EQ(branch.num_values(), 175);
+  EXPECT_EQ(branch.ClusterFor(0), 0);
+  EXPECT_EQ(branch.ClusterFor(99), 0);
+  EXPECT_EQ(branch.ClusterFor(100), 1);
+  EXPECT_EQ(branch.ClusterFor(174), 2);
+  EXPECT_EQ(branch.ClusterFor(175), -1);
+  EXPECT_EQ(branch.ClusterFor(-1), -1);
+}
+
+// --- buffer pool -----------------------------------------------------------------
+
+TEST(BufferPoolTest, HitMissAccounting) {
+  ClusterBufferPool pool(1 << 20);
+  uint64_t key = ClusterBufferPool::MakeKey(3, 7);
+  EXPECT_EQ(pool.Get(key), nullptr);
+  EXPECT_EQ(pool.misses(), 1);
+  pool.Put(key, std::vector<uint8_t>(100, 1));
+  const std::vector<uint8_t>* hit = pool.Get(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 100u);
+  EXPECT_EQ(pool.hits(), 1);
+}
+
+TEST(BufferPoolTest, EvictsLruOverCapacity) {
+  ClusterBufferPool pool(250);
+  pool.Put(1, std::vector<uint8_t>(100));
+  pool.Put(2, std::vector<uint8_t>(100));
+  EXPECT_NE(pool.Get(1), nullptr);  // refresh 1; 2 is now LRU
+  pool.Put(3, std::vector<uint8_t>(100));
+  EXPECT_EQ(pool.Get(2), nullptr);  // evicted
+  EXPECT_NE(pool.Get(1), nullptr);
+  EXPECT_NE(pool.Get(3), nullptr);
+  EXPECT_GE(pool.evictions(), 1);
+}
+
+TEST(BufferPoolTest, ClearDropsEverything) {
+  ClusterBufferPool pool(1 << 20);
+  pool.Put(1, std::vector<uint8_t>(10));
+  pool.Clear();
+  EXPECT_EQ(pool.Get(1), nullptr);
+  EXPECT_EQ(pool.bytes_cached(), 0);
+}
+
+// --- writer / reader round trip ---------------------------------------------------
+
+using RefIoTest = testing::TempDirTest;
+
+Event MakeEvent(int64_t id, int32_t run, int n_mu, int n_el, int n_jet) {
+  Event e;
+  e.event_id = id;
+  e.run_number = run;
+  for (int i = 0; i < n_mu; ++i) {
+    e.muons.push_back(Particle{10.0f + static_cast<float>(i), 0.5f, 0.1f});
+  }
+  for (int i = 0; i < n_el; ++i) {
+    e.electrons.push_back(Particle{20.0f + static_cast<float>(i), -1.0f, 0.2f});
+  }
+  for (int i = 0; i < n_jet; ++i) {
+    e.jets.push_back(Particle{30.0f + static_cast<float>(i), 2.0f, 0.3f});
+  }
+  return e;
+}
+
+TEST_F(RefIoTest, RoundTripEvents) {
+  std::string path = Path("events.ref");
+  std::vector<Event> events;
+  for (int64_t i = 0; i < 300; ++i) {
+    events.push_back(MakeEvent(i, 2000 + static_cast<int32_t>(i % 5),
+                               static_cast<int>(i % 4), static_cast<int>(i % 3),
+                               static_cast<int>(i % 6)));
+  }
+  {
+    RefWriter writer(path, /*cluster_events=*/64);
+    ASSERT_OK(writer.Open());
+    for (const Event& e : events) ASSERT_OK(writer.AppendEvent(e));
+    ASSERT_OK(writer.Close());
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<RefReader> reader,
+                       RefReader::Open(path));
+  ASSERT_EQ(reader->num_events(), 300);
+  Event e;
+  for (int64_t i : {int64_t{0}, int64_t{63}, int64_t{64}, int64_t{299}}) {
+    ASSERT_OK(reader->GetEntry(i, &e));
+    EXPECT_EQ(e.event_id, events[static_cast<size_t>(i)].event_id);
+    EXPECT_EQ(e.run_number, events[static_cast<size_t>(i)].run_number);
+    ASSERT_EQ(e.muons.size(), events[static_cast<size_t>(i)].muons.size());
+    for (size_t m = 0; m < e.muons.size(); ++m) {
+      EXPECT_FLOAT_EQ(e.muons[m].pt,
+                      events[static_cast<size_t>(i)].muons[m].pt);
+      EXPECT_FLOAT_EQ(e.muons[m].eta,
+                      events[static_cast<size_t>(i)].muons[m].eta);
+    }
+    EXPECT_EQ(e.jets.size(), events[static_cast<size_t>(i)].jets.size());
+  }
+}
+
+TEST_F(RefIoTest, IdBasedFieldAccess) {
+  std::string path = Path("id.ref");
+  {
+    RefWriter writer(path, 16);
+    ASSERT_OK(writer.Open());
+    for (int64_t i = 0; i < 100; ++i) {
+      ASSERT_OK(writer.AppendEvent(MakeEvent(i * 7, 1, 2, 1, 1)));
+    }
+    ASSERT_OK(writer.Close());
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<RefReader> reader,
+                       RefReader::Open(path));
+  int id_branch = reader->BranchIndex(ref_branches::kEventId);
+  ASSERT_GE(id_branch, 0);
+  ASSERT_OK_AND_ASSIGN(int64_t id42, reader->ReadInt64(id_branch, 42));
+  EXPECT_EQ(id42, 42 * 7);
+  // Flat particle access: every event has 2 muons; muon 2k belongs to event k.
+  int pt_branch = reader->BranchIndex("muon/pt");
+  ASSERT_OK_AND_ASSIGN(float pt, reader->ReadFloat(pt_branch, 85));
+  EXPECT_FLOAT_EQ(pt, 85 % 2 == 0 ? 10.0f : 11.0f);
+  EXPECT_EQ(reader->EventOfFlatIndex(kMuon, 85), 42);
+  int64_t begin, count;
+  reader->GroupRange(kMuon, 42, &begin, &count);
+  EXPECT_EQ(begin, 84);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(reader->GroupTotal(kMuon), 200);
+}
+
+TEST_F(RefIoTest, ReadRangeSpansClusters) {
+  std::string path = Path("span.ref");
+  {
+    RefWriter writer(path, 10);
+    ASSERT_OK(writer.Open());
+    for (int64_t i = 0; i < 55; ++i) {
+      ASSERT_OK(writer.AppendEvent(MakeEvent(i, 1, 0, 0, 0)));
+    }
+    ASSERT_OK(writer.Close());
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<RefReader> reader,
+                       RefReader::Open(path));
+  int id_branch = reader->BranchIndex(ref_branches::kEventId);
+  std::vector<int64_t> ids(55);
+  ASSERT_OK(reader->ReadRange(id_branch, 0, 55, ids.data()));
+  for (int64_t i = 0; i < 55; ++i) EXPECT_EQ(ids[static_cast<size_t>(i)], i);
+  // Out-of-range rejected.
+  int64_t v;
+  EXPECT_FALSE(reader->ReadRange(id_branch, 50, 10, &v).ok());
+  EXPECT_FALSE(reader->ReadRange(id_branch, -1, 1, &v).ok());
+}
+
+TEST_F(RefIoTest, BufferPoolWarmsAcrossReads) {
+  std::string path = Path("pool.ref");
+  {
+    RefWriter writer(path, 8);
+    ASSERT_OK(writer.Open());
+    for (int64_t i = 0; i < 64; ++i) {
+      ASSERT_OK(writer.AppendEvent(MakeEvent(i, 1, 1, 1, 1)));
+    }
+    ASSERT_OK(writer.Close());
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<RefReader> reader,
+                       RefReader::Open(path));
+  Event e;
+  ASSERT_OK(reader->GetEntry(5, &e));
+  int64_t misses_cold = reader->pool()->misses();
+  ASSERT_OK(reader->GetEntry(5, &e));
+  EXPECT_EQ(reader->pool()->misses(), misses_cold);  // fully cached
+  EXPECT_GT(reader->pool()->hits(), 0);
+  reader->ClearCache();
+  ASSERT_OK(reader->GetEntry(5, &e));
+  EXPECT_GT(reader->pool()->misses(), misses_cold);
+}
+
+// --- generator -------------------------------------------------------------------
+
+TEST(EventGeneratorTest, DeterministicForSeed) {
+  EventGenOptions options;
+  options.num_events = 50;
+  EventGenerator a(options), b(options);
+  for (int i = 0; i < 50; ++i) {
+    Event ea = a.Next();
+    Event eb = b.Next();
+    EXPECT_EQ(ea.event_id, eb.event_id);
+    EXPECT_EQ(ea.run_number, eb.run_number);
+    ASSERT_EQ(ea.muons.size(), eb.muons.size());
+    for (size_t m = 0; m < ea.muons.size(); ++m) {
+      EXPECT_FLOAT_EQ(ea.muons[m].pt, eb.muons[m].pt);
+    }
+  }
+}
+
+TEST(EventGeneratorTest, PhysicalShape) {
+  EventGenOptions options;
+  options.num_events = 2000;
+  EventGenerator gen(options);
+  int64_t total_muons = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Event e = gen.Next();
+    total_muons += static_cast<int64_t>(e.muons.size());
+    for (const Particle& p : e.muons) {
+      EXPECT_GT(p.pt, 0);
+      EXPECT_LE(std::fabs(p.eta), options.eta_max);
+      EXPECT_LE(std::fabs(p.phi), static_cast<float>(M_PI) + 1e-4f);
+    }
+    EXPECT_GE(e.run_number, options.first_run);
+    EXPECT_LT(e.run_number, options.first_run + options.num_runs);
+  }
+  EXPECT_GT(total_muons, 1000);  // mean multiplicity is real
+}
+
+TEST(EventGeneratorTest, GoodRunsSubset) {
+  EventGenOptions options;
+  std::vector<int32_t> good = EventGenerator::GoodRuns(options);
+  EXPECT_FALSE(good.empty());
+  EXPECT_LE(static_cast<int>(good.size()), options.num_runs);
+  for (int32_t r : good) {
+    EXPECT_GE(r, options.first_run);
+    EXPECT_LT(r, options.first_run + options.num_runs);
+  }
+  // Deterministic.
+  EXPECT_EQ(good, EventGenerator::GoodRuns(options));
+}
+
+using GeneratorIoTest = testing::TempDirTest;
+
+TEST_F(GeneratorIoTest, WriteRefFileAndGoodRuns) {
+  EventGenOptions options;
+  options.num_events = 200;
+  std::string ref_path = Path("gen.ref");
+  ASSERT_OK(WriteRefFile(ref_path, options, 32));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<RefReader> reader,
+                       RefReader::Open(ref_path));
+  EXPECT_EQ(reader->num_events(), 200);
+  // File contents match a fresh generator stream.
+  EventGenerator gen(options);
+  Event expected = gen.Next();
+  Event actual;
+  ASSERT_OK(reader->GetEntry(0, &actual));
+  EXPECT_EQ(actual.event_id, expected.event_id);
+  ASSERT_EQ(actual.muons.size(), expected.muons.size());
+
+  std::string runs_path = Path("runs.csv");
+  ASSERT_OK(WriteGoodRunsCsv(runs_path, options));
+  ASSERT_OK_AND_ASSIGN(std::string text, ReadFileToString(runs_path));
+  EXPECT_FALSE(text.empty());
+}
+
+}  // namespace
+}  // namespace raw

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "columnar/expression.h"
+#include "tests/test_util.h"
+
+namespace raw {
+namespace {
+
+ColumnBatch IntBatch(std::vector<int32_t> a, std::vector<double> b = {}) {
+  Schema schema{{"a", DataType::kInt32}};
+  if (!b.empty()) schema.AddField("b", DataType::kFloat64);
+  ColumnBatch batch(schema);
+  auto ca = std::make_shared<Column>(DataType::kInt32);
+  for (int32_t v : a) ca->Append<int32_t>(v);
+  batch.AddColumn(ca);
+  if (!b.empty()) {
+    auto cb = std::make_shared<Column>(DataType::kFloat64);
+    for (double v : b) cb->Append<double>(v);
+    batch.AddColumn(cb);
+  }
+  return batch;
+}
+
+TEST(ExpressionTest, ColumnRefEvaluates) {
+  ColumnBatch batch = IntBatch({1, 2, 3});
+  ASSERT_OK_AND_ASSIGN(Column out, Col(0)->Evaluate(batch));
+  EXPECT_EQ(out.Value<int32_t>(2), 3);
+  EXPECT_FALSE(Col(5)->Evaluate(batch).ok());
+}
+
+TEST(ExpressionTest, LiteralBroadcasts) {
+  ColumnBatch batch = IntBatch({1, 2, 3});
+  ASSERT_OK_AND_ASSIGN(Column out, Lit(Datum::Int32(9))->Evaluate(batch));
+  EXPECT_EQ(out.length(), 3);
+  EXPECT_EQ(out.Value<int32_t>(1), 9);
+}
+
+TEST(ExpressionTest, CompareAllOps) {
+  ColumnBatch batch = IntBatch({1, 2, 3, 4});
+  struct Case {
+    CompareOp op;
+    std::vector<bool> expect;
+  } cases[] = {
+      {CompareOp::kLt, {true, true, false, false}},
+      {CompareOp::kLe, {true, true, true, false}},
+      {CompareOp::kGt, {false, false, false, true}},
+      {CompareOp::kGe, {false, false, true, true}},
+      {CompareOp::kEq, {false, false, true, false}},
+      {CompareOp::kNe, {true, true, false, true}},
+  };
+  for (const auto& c : cases) {
+    ExprPtr expr = Cmp(c.op, Col(0), Lit(Datum::Int32(3)));
+    ASSERT_OK_AND_ASSIGN(Column out, expr->Evaluate(batch));
+    for (size_t i = 0; i < c.expect.size(); ++i) {
+      EXPECT_EQ(out.Value<bool>(static_cast<int64_t>(i)), c.expect[i])
+          << CompareOpToString(c.op) << " row " << i;
+    }
+  }
+}
+
+TEST(ExpressionTest, SelectionFastPathMatchesEvaluate) {
+  ColumnBatch batch = IntBatch({5, 1, 9, 3, 7, 2});
+  for (CompareOp op : {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                       CompareOp::kGe, CompareOp::kEq, CompareOp::kNe}) {
+    ExprPtr expr = Cmp(op, Col(0), Lit(Datum::Int32(5)));
+    SelectionVector fast;
+    ASSERT_OK(expr->EvaluateSelection(batch, &fast));
+    ASSERT_OK_AND_ASSIGN(Column slow, expr->Evaluate(batch));
+    SelectionVector expected;
+    for (int64_t i = 0; i < slow.length(); ++i) {
+      if (slow.Value<bool>(i)) expected.Append(static_cast<int32_t>(i));
+    }
+    EXPECT_EQ(fast.indices(), expected.indices())
+        << CompareOpToString(op);
+  }
+}
+
+TEST(ExpressionTest, SelectionFastPathFloat64) {
+  Schema schema{{"f", DataType::kFloat64}};
+  ColumnBatch batch(schema);
+  auto col = std::make_shared<Column>(DataType::kFloat64);
+  for (double v : {0.5, 1.5, 2.5, 3.5}) col->Append<double>(v);
+  batch.AddColumn(col);
+  ExprPtr expr = Cmp(CompareOp::kLt, Col(0), Lit(Datum::Float64(2.0)));
+  SelectionVector sel;
+  ASSERT_OK(expr->EvaluateSelection(batch, &sel));
+  ASSERT_EQ(sel.size(), 2);
+  EXPECT_EQ(sel[0], 0);
+  EXPECT_EQ(sel[1], 1);
+}
+
+TEST(ExpressionTest, MixedTypeComparisonWidens) {
+  ColumnBatch batch = IntBatch({1, 2, 3}, {1.5, 1.5, 1.5});
+  ExprPtr expr = Cmp(CompareOp::kGt, Col(0), Col(1));  // int vs double
+  ASSERT_OK_AND_ASSIGN(Column out, expr->Evaluate(batch));
+  EXPECT_FALSE(out.Value<bool>(0));
+  EXPECT_TRUE(out.Value<bool>(1));
+  EXPECT_TRUE(out.Value<bool>(2));
+}
+
+TEST(ExpressionTest, StringComparison) {
+  Schema schema{{"s", DataType::kString}};
+  ColumnBatch batch(schema);
+  auto col = std::make_shared<Column>(DataType::kString);
+  col->AppendString("apple");
+  col->AppendString("banana");
+  batch.AddColumn(col);
+  ExprPtr expr = Cmp(CompareOp::kEq, Col(0), Lit(Datum::String("banana")));
+  ASSERT_OK_AND_ASSIGN(Column out, expr->Evaluate(batch));
+  EXPECT_FALSE(out.Value<bool>(0));
+  EXPECT_TRUE(out.Value<bool>(1));
+  // Mixed string/number comparison is rejected at type-check time.
+  ExprPtr bad = Cmp(CompareOp::kEq, Col(0), Lit(Datum::Int32(1)));
+  EXPECT_FALSE(bad->ResultType(schema).ok());
+}
+
+TEST(ExpressionTest, ArithmeticPromotion) {
+  ColumnBatch batch = IntBatch({4, 10}, {0.5, 2.0});
+  ASSERT_OK_AND_ASSIGN(
+      Column sum, Arith(ArithOp::kAdd, Col(0), Col(0))->Evaluate(batch));
+  EXPECT_EQ(sum.type(), DataType::kInt32);
+  EXPECT_EQ(sum.Value<int32_t>(1), 20);
+  ASSERT_OK_AND_ASSIGN(
+      Column mix, Arith(ArithOp::kMul, Col(0), Col(1))->Evaluate(batch));
+  EXPECT_EQ(mix.type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(mix.Value<double>(0), 2.0);
+  ASSERT_OK_AND_ASSIGN(
+      Column div, Arith(ArithOp::kDiv, Col(0), Col(0))->Evaluate(batch));
+  EXPECT_EQ(div.type(), DataType::kFloat64);
+}
+
+TEST(ExpressionTest, AndOrNot) {
+  ColumnBatch batch = IntBatch({1, 2, 3, 4, 5});
+  ExprPtr gt1 = Cmp(CompareOp::kGt, Col(0), Lit(Datum::Int32(1)));
+  ExprPtr lt5 = Cmp(CompareOp::kLt, Col(0), Lit(Datum::Int32(5)));
+  SelectionVector both;
+  ASSERT_OK(And(gt1, lt5)->EvaluateSelection(batch, &both));
+  EXPECT_EQ(both.size(), 3);  // 2,3,4
+
+  SelectionVector either;
+  ExprPtr eq1 = Cmp(CompareOp::kEq, Col(0), Lit(Datum::Int32(1)));
+  ExprPtr eq5 = Cmp(CompareOp::kEq, Col(0), Lit(Datum::Int32(5)));
+  ASSERT_OK(Or(eq1, eq5)->EvaluateSelection(batch, &either));
+  EXPECT_EQ(either.size(), 2);
+
+  ASSERT_OK_AND_ASSIGN(Column not_gt1, Not(gt1)->Evaluate(batch));
+  EXPECT_TRUE(not_gt1.Value<bool>(0));
+  EXPECT_FALSE(not_gt1.Value<bool>(1));
+}
+
+TEST(ExpressionTest, AndSelectionComposesIndicesCorrectly) {
+  // Regression-style check: AND evaluates the second conjunct only on
+  // survivors and must map indices back to the original batch.
+  ColumnBatch batch = IntBatch({9, 1, 8, 2, 7, 3});
+  ExprPtr lt5 = Cmp(CompareOp::kLt, Col(0), Lit(Datum::Int32(5)));
+  ExprPtr gt1 = Cmp(CompareOp::kGt, Col(0), Lit(Datum::Int32(1)));
+  SelectionVector sel;
+  ASSERT_OK(And(lt5, gt1)->EvaluateSelection(batch, &sel));
+  ASSERT_EQ(sel.size(), 2);
+  EXPECT_EQ(sel[0], 3);  // value 2
+  EXPECT_EQ(sel[1], 5);  // value 3
+}
+
+TEST(ExpressionTest, ToStringRenders) {
+  ExprPtr e = And(Cmp(CompareOp::kLt, Col(0), Lit(Datum::Int32(5))),
+                  Cmp(CompareOp::kGe, Col(1), Lit(Datum::Float64(0.5))));
+  EXPECT_EQ(e->ToString(), "(($0 < 5) AND ($1 >= 0.5))");
+}
+
+}  // namespace
+}  // namespace raw

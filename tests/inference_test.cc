@@ -1,0 +1,145 @@
+// Schema inference + EXPLAIN: the engine adapting to files nobody described.
+
+#include <gtest/gtest.h>
+
+#include "common/mmap_file.h"
+#include "csv/schema_inference.h"
+#include "engine/raw_engine.h"
+#include "tests/test_util.h"
+
+namespace raw {
+namespace {
+
+TEST(ClassifyFieldTest, Basics) {
+  auto classify = [](std::string_view s) {
+    return ClassifyField(s.data(), static_cast<int32_t>(s.size()));
+  };
+  EXPECT_EQ(classify("0"), DataType::kInt32);
+  EXPECT_EQ(classify("-42"), DataType::kInt32);
+  EXPECT_EQ(classify("2147483648"), DataType::kInt64);  // > INT32_MAX
+  EXPECT_EQ(classify("-9223372036854775807"), DataType::kInt64);
+  EXPECT_EQ(classify("3.5"), DataType::kFloat64);
+  EXPECT_EQ(classify("1e9"), DataType::kFloat64);
+  EXPECT_EQ(classify("true"), DataType::kBool);
+  EXPECT_EQ(classify("false"), DataType::kBool);
+  EXPECT_EQ(classify("hello"), DataType::kString);
+  EXPECT_EQ(classify("12ab"), DataType::kString);
+  EXPECT_EQ(classify(""), DataType::kString);
+}
+
+TEST(PromoteTypesTest, Lattice) {
+  EXPECT_EQ(PromoteTypes(DataType::kInt32, DataType::kInt32),
+            DataType::kInt32);
+  EXPECT_EQ(PromoteTypes(DataType::kInt32, DataType::kInt64),
+            DataType::kInt64);
+  EXPECT_EQ(PromoteTypes(DataType::kInt64, DataType::kFloat64),
+            DataType::kFloat64);
+  EXPECT_EQ(PromoteTypes(DataType::kFloat64, DataType::kString),
+            DataType::kString);
+  // bool mixed with numerics cannot be narrowed: only string holds both.
+  EXPECT_EQ(PromoteTypes(DataType::kBool, DataType::kInt32),
+            DataType::kString);
+  EXPECT_EQ(PromoteTypes(DataType::kFloat64, DataType::kBool),
+            DataType::kString);
+  EXPECT_EQ(PromoteTypes(DataType::kBool, DataType::kBool), DataType::kBool);
+}
+
+using InferenceTest = testing::TempDirTest;
+
+TEST_F(InferenceTest, InfersTypesWithoutHeader) {
+  std::string path = Path("t.csv");
+  ASSERT_OK(WriteStringToFile(path,
+                              "1,2.5,abc,9999999999\n"
+                              "2,3,def,12\n"
+                              "3,4.25,,0\n"));
+  ASSERT_OK_AND_ASSIGN(Schema schema, InferCsvSchema(path));
+  ASSERT_EQ(schema.num_fields(), 4);
+  EXPECT_EQ(schema.field(0).type, DataType::kInt32);
+  EXPECT_EQ(schema.field(0).name, "col0");
+  EXPECT_EQ(schema.field(1).type, DataType::kFloat64);  // 3 promotes up
+  EXPECT_EQ(schema.field(2).type, DataType::kString);   // empty field too
+  EXPECT_EQ(schema.field(3).type, DataType::kInt64);    // wide value
+}
+
+TEST_F(InferenceTest, HeaderNamesUsed) {
+  std::string path = Path("h.csv");
+  ASSERT_OK(WriteStringToFile(path, "id,score\n1,0.5\n2,0.7\n"));
+  CsvOptions options;
+  options.has_header = true;
+  ASSERT_OK_AND_ASSIGN(Schema schema, InferCsvSchema(path, options));
+  EXPECT_EQ(schema.field(0).name, "id");
+  EXPECT_EQ(schema.field(1).name, "score");
+  EXPECT_EQ(schema.field(0).type, DataType::kInt32);
+  EXPECT_EQ(schema.field(1).type, DataType::kFloat64);
+}
+
+TEST_F(InferenceTest, SamplingWindowRespected) {
+  // Row 11 would force a string type, but we only sample 10 rows.
+  std::string content;
+  for (int i = 0; i < 10; ++i) content += std::to_string(i) + "\n";
+  content += "surprise\n";
+  std::string path = Path("w.csv");
+  ASSERT_OK(WriteStringToFile(path, content));
+  ASSERT_OK_AND_ASSIGN(Schema narrow,
+                       InferCsvSchema(path, CsvOptions(), /*sample_rows=*/10));
+  EXPECT_EQ(narrow.field(0).type, DataType::kInt32);
+  ASSERT_OK_AND_ASSIGN(Schema wide,
+                       InferCsvSchema(path, CsvOptions(), /*sample_rows=*/100));
+  EXPECT_EQ(wide.field(0).type, DataType::kString);
+}
+
+TEST_F(InferenceTest, RejectsRaggedAndEmptyFiles) {
+  std::string ragged = Path("r.csv");
+  ASSERT_OK(WriteStringToFile(ragged, "1,2\n3\n"));
+  EXPECT_FALSE(InferCsvSchema(ragged).ok());
+  std::string empty = Path("e.csv");
+  ASSERT_OK(WriteStringToFile(empty, ""));
+  EXPECT_FALSE(InferCsvSchema(empty).ok());
+}
+
+TEST_F(InferenceTest, EndToEndQueryOverInferredTable) {
+  std::string path = Path("auto.csv");
+  std::string content;
+  for (int i = 0; i < 500; ++i) {
+    content += std::to_string(i) + "," + std::to_string(i * 0.5) + ",name" +
+               std::to_string(i % 3) + "\n";
+  }
+  ASSERT_OK(WriteStringToFile(path, content));
+  RawEngine engine;
+  ASSERT_OK(engine.RegisterCsvInferred("t", path));
+  PlannerOptions options;
+  options.access_path = AccessPathKind::kInSitu;
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      engine.Query("SELECT MAX(col1) FROM t WHERE col0 < 100", options));
+  ASSERT_OK_AND_ASSIGN(Datum max, result.Scalar());
+  EXPECT_DOUBLE_EQ(max.float64_value(), 49.5);
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult names,
+      engine.Query("SELECT COUNT(*) FROM t WHERE col2 = 'name1'", options));
+  ASSERT_OK_AND_ASSIGN(Datum count, names.Scalar());
+  EXPECT_EQ(count.int64_value(), 167);  // i % 3 == 1 for i in [0, 500)
+}
+
+TEST_F(InferenceTest, ExplainReturnsPlanWithoutExecuting) {
+  std::string path = Path("x.csv");
+  ASSERT_OK(WriteStringToFile(path, "1,2\n3,4\n"));
+  RawEngine engine;
+  ASSERT_OK(engine.RegisterCsvInferred("t", path));
+  PlannerOptions options;
+  options.access_path = AccessPathKind::kInSitu;
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      engine.Query("EXPLAIN SELECT MAX(col1) FROM t WHERE col0 < 2",
+                   options));
+  ASSERT_EQ(result.num_rows(), 1);
+  ASSERT_OK_AND_ASSIGN(Datum plan, result.Scalar());
+  EXPECT_NE(plan.string_value().find("seq-scan"), std::string::npos);
+  EXPECT_NE(plan.string_value().find("aggregate"), std::string::npos);
+  // Planning an EXPLAIN still opens scans but must not drain them into the
+  // shred cache.
+  EXPECT_EQ(engine.shred_cache()->num_entries(), 0);
+}
+
+}  // namespace
+}  // namespace raw

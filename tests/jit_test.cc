@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include "common/mmap_file.h"
+#include "csv/csv_writer.h"
+#include "jit/access_path_spec.h"
+#include "jit/cc_compiler.h"
+#include "jit/codegen.h"
+#include "jit/source_builder.h"
+#include "jit/template_cache.h"
+#include "tests/test_util.h"
+
+namespace raw {
+namespace {
+
+TEST(SourceBuilderTest, IndentsAndCloses) {
+  SourceBuilder src;
+  src.Open("if (x) {").Line("y();").Close();
+  EXPECT_EQ(src.str(), "if (x) {\n  y();\n}\n");
+}
+
+AccessPathSpec CsvSeqSpec() {
+  AccessPathSpec spec;
+  spec.format = FileFormat::kCsv;
+  spec.mode = ScanMode::kSequential;
+  spec.outputs = {{0, DataType::kInt32}, {2, DataType::kFloat64}};
+  spec.pmap_tracked = {0, 2};
+  return spec;
+}
+
+TEST(CodegenTest, CsvSequentialSourceShape) {
+  ASSERT_OK_AND_ASSIGN(std::string src, GenerateCsvScanSource(CsvSeqSpec()));
+  // Unrolled per-column blocks, no per-column switch in the emitted code.
+  EXPECT_NE(src.find("raw_jit_scan_batch"), std::string::npos);
+  EXPECT_NE(src.find("// column 0"), std::string::npos);
+  EXPECT_NE(src.find("// column 2"), std::string::npos);
+  EXPECT_NE(src.find("pmap_pos"), std::string::npos);
+  EXPECT_EQ(src.find("switch"), std::string::npos);
+}
+
+TEST(CodegenTest, CsvRejectsBadSpecs) {
+  AccessPathSpec spec = CsvSeqSpec();
+  spec.outputs.clear();
+  EXPECT_FALSE(GenerateCsvScanSource(spec).ok());
+  spec = CsvSeqSpec();
+  spec.outputs = {{2, DataType::kInt32}, {0, DataType::kInt32}};  // unsorted
+  EXPECT_FALSE(GenerateCsvScanSource(spec).ok());
+  spec = CsvSeqSpec();
+  spec.mode = ScanMode::kByRowIndex;
+  EXPECT_FALSE(GenerateCsvScanSource(spec).ok());
+  // By-position left of anchor is unreachable.
+  spec = CsvSeqSpec();
+  spec.mode = ScanMode::kByPosition;
+  spec.anchor_column = 1;
+  EXPECT_FALSE(GenerateCsvScanSource(spec).ok());
+}
+
+TEST(CodegenTest, BinarySourceHardCodesOffsets) {
+  AccessPathSpec spec;
+  spec.format = FileFormat::kBinary;
+  spec.mode = ScanMode::kSequential;
+  spec.outputs = {{1, DataType::kInt64}};
+  spec.row_width = 20;
+  spec.column_offsets = {4};
+  ASSERT_OK_AND_ASSIGN(std::string src, GenerateBinScanSource(spec));
+  EXPECT_NE(src.find("20ull"), std::string::npos);
+  EXPECT_NE(src.find("4ull"), std::string::npos);
+}
+
+TEST(CodegenTest, BinaryValidatesSpec) {
+  AccessPathSpec spec;
+  spec.format = FileFormat::kBinary;
+  spec.outputs = {{1, DataType::kInt64}};
+  spec.row_width = 0;  // missing
+  spec.column_offsets = {4};
+  EXPECT_FALSE(GenerateBinScanSource(spec).ok());
+  spec.row_width = 20;
+  spec.column_offsets = {};  // not parallel
+  EXPECT_FALSE(GenerateBinScanSource(spec).ok());
+}
+
+TEST(CodegenTest, RefSourceCallsApi) {
+  AccessPathSpec spec;
+  spec.format = FileFormat::kRef;
+  spec.mode = ScanMode::kByRowIndex;
+  spec.outputs = {{3, DataType::kFloat32}};
+  ASSERT_OK_AND_ASSIGN(std::string src, GenerateRefScanSource(spec));
+  EXPECT_NE(src.find("ctx->ref.read_range"), std::string::npos);
+}
+
+TEST(CacheKeyTest, DistinguishesSpecs) {
+  AccessPathSpec a = CsvSeqSpec();
+  AccessPathSpec b = CsvSeqSpec();
+  EXPECT_EQ(a.CacheKey(), b.CacheKey());
+  b.outputs[0].column = 1;
+  EXPECT_NE(a.CacheKey(), b.CacheKey());
+  b = CsvSeqSpec();
+  b.pmap_tracked = {0};
+  EXPECT_NE(a.CacheKey(), b.CacheKey());
+  b = CsvSeqSpec();
+  b.mode = ScanMode::kByPosition;
+  EXPECT_NE(a.CacheKey(), b.CacheKey());
+}
+
+// --- compile & execute ----------------------------------------------------------
+
+class JitExecTest : public testing::TempDirTest {
+ protected:
+  void SetUp() override {
+    testing::TempDirTest::SetUp();
+    if (!cache_.compiler_available()) {
+      GTEST_SKIP() << "no external C++ compiler on this host";
+    }
+  }
+
+  JitTemplateCache cache_;
+};
+
+TEST_F(JitExecTest, CompilesAndRunsCsvSequential) {
+  // 3-column CSV: int,int,float
+  std::string path = Path("t.csv");
+  CsvWriter writer(path);
+  ASSERT_OK(writer.Open());
+  for (int i = 0; i < 1000; ++i) {
+    writer.AppendInt32(i);
+    writer.AppendInt32(-i * 3);
+    writer.AppendFloat64(i * 0.5);
+    writer.EndRow();
+  }
+  ASSERT_OK(writer.Close());
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<MmapFile> file, MmapFile::Open(path));
+
+  AccessPathSpec spec;
+  spec.format = FileFormat::kCsv;
+  spec.mode = ScanMode::kSequential;
+  spec.outputs = {{1, DataType::kInt32}, {2, DataType::kFloat64}};
+  ASSERT_OK_AND_ASSIGN(CompiledKernel kernel, cache_.GetOrCompile(spec));
+  EXPECT_GT(kernel.compile_seconds, 0);
+
+  std::vector<int32_t> out1(1000);
+  std::vector<double> out2(1000);
+  std::vector<int64_t> row_ids(1000);
+  void* outs[] = {out1.data(), out2.data()};
+  RawJitContext ctx = {};
+  ctx.file_data = file->data();
+  ctx.file_size = file->size();
+  ctx.max_rows = 1000;
+  ctx.out_columns = outs;
+  ctx.out_row_ids = row_ids.data();
+  int64_t produced = kernel.entry(&ctx);
+  ASSERT_EQ(produced, 1000);
+  EXPECT_EQ(out1[7], -21);
+  EXPECT_DOUBLE_EQ(out2[999], 499.5);
+  EXPECT_EQ(row_ids[500], 500);
+  // Second call: EOF.
+  EXPECT_EQ(kernel.entry(&ctx), 0);
+}
+
+TEST_F(JitExecTest, TemplateCacheHitsSkipCompilation) {
+  AccessPathSpec spec;
+  spec.format = FileFormat::kBinary;
+  spec.mode = ScanMode::kSequential;
+  spec.outputs = {{0, DataType::kInt32}};
+  spec.row_width = 4;
+  spec.column_offsets = {0};
+  ASSERT_OK_AND_ASSIGN(CompiledKernel first, cache_.GetOrCompile(spec));
+  EXPECT_GT(first.compile_seconds, 0);
+  ASSERT_OK_AND_ASSIGN(CompiledKernel second, cache_.GetOrCompile(spec));
+  EXPECT_EQ(second.compile_seconds, 0);
+  EXPECT_EQ(second.entry, first.entry);
+  EXPECT_EQ(cache_.hits(), 1);
+  EXPECT_EQ(cache_.misses(), 1);
+}
+
+TEST_F(JitExecTest, BinaryByRowIndexKernel) {
+  // Write 100 rows of (int32, float64) binary.
+  Schema schema{{"a", DataType::kInt32}, {"b", DataType::kFloat64}};
+  std::string data;
+  for (int32_t i = 0; i < 100; ++i) {
+    double d = i * 1.5;
+    data.append(reinterpret_cast<const char*>(&i), 4);
+    data.append(reinterpret_cast<const char*>(&d), 8);
+  }
+  std::string path = Path("t.bin");
+  ASSERT_OK(WriteStringToFile(path, data));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<MmapFile> file, MmapFile::Open(path));
+
+  AccessPathSpec spec;
+  spec.format = FileFormat::kBinary;
+  spec.mode = ScanMode::kByRowIndex;
+  spec.outputs = {{1, DataType::kFloat64}};
+  spec.row_width = 12;
+  spec.column_offsets = {4};
+  ASSERT_OK_AND_ASSIGN(CompiledKernel kernel, cache_.GetOrCompile(spec));
+
+  std::vector<int64_t> wanted = {99, 0, 42};
+  std::vector<double> out(3);
+  std::vector<int64_t> row_ids(3);
+  void* outs[] = {out.data()};
+  RawJitContext ctx = {};
+  ctx.file_data = file->data();
+  ctx.file_size = file->size();
+  ctx.max_rows = 3;
+  ctx.out_columns = outs;
+  ctx.out_row_ids = row_ids.data();
+  ctx.in_row_ids = wanted.data();
+  ctx.num_inputs = 3;
+  ASSERT_EQ(kernel.entry(&ctx), 3);
+  EXPECT_DOUBLE_EQ(out[0], 148.5);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 63.0);
+  EXPECT_EQ(row_ids[2], 42);
+}
+
+TEST_F(JitExecTest, CsvByPositionKernelJumpsAndSkips) {
+  // File: 5 int columns. Map tracks column 1; kernel reads columns 2 and 4
+  // (skip 1 field to reach col2, then skip 1 more to reach col4).
+  std::string path = Path("p.csv");
+  CsvWriter writer(path);
+  ASSERT_OK(writer.Open());
+  for (int i = 0; i < 200; ++i) {
+    for (int c = 0; c < 5; ++c) writer.AppendInt32(i * 10 + c);
+    writer.EndRow();
+  }
+  ASSERT_OK(writer.Close());
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<MmapFile> file, MmapFile::Open(path));
+
+  // Build positions of column 1 for every row by tokenizing.
+  std::vector<uint64_t> col1_pos;
+  {
+    const char* p = file->data();
+    const char* end = p + file->size();
+    while (p < end) {
+      const char* q = p;
+      while (*q != ',') ++q;  // skip col0
+      col1_pos.push_back(static_cast<uint64_t>(q + 1 - file->data()));
+      const char* nl =
+          static_cast<const char*>(memchr(p, '\n', static_cast<size_t>(end - p)));
+      p = nl + 1;
+    }
+  }
+
+  AccessPathSpec spec;
+  spec.format = FileFormat::kCsv;
+  spec.mode = ScanMode::kByPosition;
+  spec.anchor_column = 1;
+  spec.outputs = {{2, DataType::kInt32}, {4, DataType::kInt32}};
+  ASSERT_OK_AND_ASSIGN(CompiledKernel kernel, cache_.GetOrCompile(spec));
+
+  std::vector<int64_t> rows = {0, 7, 199, 42};
+  std::vector<uint64_t> positions;
+  for (int64_t r : rows) positions.push_back(col1_pos[static_cast<size_t>(r)]);
+  std::vector<int32_t> out2(rows.size()), out4(rows.size());
+  std::vector<int64_t> row_ids(rows.size());
+  void* outs[] = {out2.data(), out4.data()};
+  RawJitContext ctx = {};
+  ctx.file_data = file->data();
+  ctx.file_size = file->size();
+  ctx.max_rows = static_cast<int64_t>(rows.size());
+  ctx.out_columns = outs;
+  ctx.out_row_ids = row_ids.data();
+  ctx.in_row_ids = rows.data();
+  ctx.in_positions = positions.data();
+  ctx.num_inputs = static_cast<int64_t>(rows.size());
+  ASSERT_EQ(kernel.entry(&ctx), 4);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(out2[i], rows[i] * 10 + 2) << i;
+    EXPECT_EQ(out4[i], rows[i] * 10 + 4) << i;
+    EXPECT_EQ(row_ids[i], rows[i]);
+  }
+}
+
+TEST_F(JitExecTest, NegativeAndFloatFieldsParseCorrectly) {
+  std::string path = Path("neg.csv");
+  CsvWriter writer(path);
+  ASSERT_OK(writer.Open());
+  writer.AppendInt32(-2147483647);
+  writer.AppendFloat64(-0.5);
+  writer.EndRow();
+  writer.AppendInt32(0);
+  writer.AppendFloat64(1e300);
+  writer.EndRow();
+  ASSERT_OK(writer.Close());
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<MmapFile> file, MmapFile::Open(path));
+
+  AccessPathSpec spec;
+  spec.format = FileFormat::kCsv;
+  spec.mode = ScanMode::kSequential;
+  spec.outputs = {{0, DataType::kInt32}, {1, DataType::kFloat64}};
+  ASSERT_OK_AND_ASSIGN(CompiledKernel kernel, cache_.GetOrCompile(spec));
+  std::vector<int32_t> ints(2);
+  std::vector<double> floats(2);
+  std::vector<int64_t> row_ids(2);
+  void* outs[] = {ints.data(), floats.data()};
+  RawJitContext ctx = {};
+  ctx.file_data = file->data();
+  ctx.file_size = file->size();
+  ctx.max_rows = 2;
+  ctx.out_columns = outs;
+  ctx.out_row_ids = row_ids.data();
+  ASSERT_EQ(kernel.entry(&ctx), 2);
+  EXPECT_EQ(ints[0], -2147483647);
+  EXPECT_DOUBLE_EQ(floats[0], -0.5);
+  EXPECT_DOUBLE_EQ(floats[1], 1e300);
+}
+
+TEST_F(JitExecTest, CompileErrorSurfacesDiagnostics) {
+  CcCompiler compiler;
+  auto result = compiler.Compile("this is not C++", "bad");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("JIT compilation failed"),
+            std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace raw

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "columnar/aggregate.h"
+#include "columnar/filter.h"
+#include "columnar/hash_group_by.h"
+#include "columnar/hash_join.h"
+#include "columnar/in_memory_table.h"
+#include "columnar/project.h"
+#include "tests/test_util.h"
+
+namespace raw {
+namespace {
+
+// Builds an in-memory table: col "k" int32 = i % modulo, col "v" float64 = i.
+std::unique_ptr<InMemoryTable> MakeTable(int64_t rows, int32_t modulo) {
+  Schema schema{{"k", DataType::kInt32}, {"v", DataType::kFloat64}};
+  auto table = std::make_unique<InMemoryTable>(schema);
+  ColumnBatch batch(schema);
+  auto k = std::make_shared<Column>(DataType::kInt32);
+  auto v = std::make_shared<Column>(DataType::kFloat64);
+  for (int64_t i = 0; i < rows; ++i) {
+    k->Append<int32_t>(static_cast<int32_t>(i % modulo));
+    v->Append<double>(static_cast<double>(i));
+  }
+  batch.AddColumn(k);
+  batch.AddColumn(v);
+  EXPECT_TRUE(table->AppendBatch(batch).ok());
+  return table;
+}
+
+TEST(InMemoryTableTest, ScanProducesAllRowsWithRowIds) {
+  auto table = MakeTable(10000, 7);
+  OperatorPtr scan = table->CreateScan(1024);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch all, CollectAll(scan.get()));
+  EXPECT_EQ(all.num_rows(), 10000);
+  ASSERT_TRUE(all.has_row_ids());
+  EXPECT_EQ(all.row_ids()[9999], 9999);
+  EXPECT_DOUBLE_EQ(all.column(1)->Value<double>(123), 123.0);
+}
+
+TEST(InMemoryTableTest, SingleBatchZeroCopy) {
+  auto table = MakeTable(100, 3);
+  OperatorPtr scan = table->CreateScan(1000);  // batch >= rows
+  ASSERT_OK(scan->Open());
+  ASSERT_OK_AND_ASSIGN(ColumnBatch batch, scan->Next());
+  EXPECT_EQ(batch.column(0).get(), table->column(0).get());
+}
+
+TEST(FilterTest, KeepsOnlyQualifyingRows) {
+  auto table = MakeTable(1000, 10);
+  auto filter = std::make_unique<FilterOperator>(
+      table->CreateScan(128),
+      Cmp(CompareOp::kLt, Col(0), Lit(Datum::Int32(3))));
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(filter.get()));
+  EXPECT_EQ(out.num_rows(), 300);
+  for (int64_t i = 0; i < out.num_rows(); ++i) {
+    EXPECT_LT(out.column(0)->Value<int32_t>(i), 3);
+  }
+  // Row ids must still point at original rows.
+  ASSERT_TRUE(out.has_row_ids());
+  EXPECT_EQ(out.row_ids()[0] % 10, out.column(0)->Value<int32_t>(0));
+}
+
+TEST(FilterTest, EmptyResult) {
+  auto table = MakeTable(100, 10);
+  auto filter = std::make_unique<FilterOperator>(
+      table->CreateScan(16), Cmp(CompareOp::kGt, Col(0), Lit(Datum::Int32(99))));
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(filter.get()));
+  EXPECT_EQ(out.num_rows(), 0);
+}
+
+TEST(ProjectTest, ComputesExpressions) {
+  auto table = MakeTable(10, 5);
+  std::vector<ExprPtr> exprs = {
+      Arith(ArithOp::kAdd, Col(1), Lit(Datum::Float64(1.0))), Col(0)};
+  auto project = std::make_unique<ProjectOperator>(
+      table->CreateScan(4), exprs, std::vector<std::string>{"vplus", "k"});
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(project.get()));
+  EXPECT_EQ(out.schema().field(0).name, "vplus");
+  EXPECT_DOUBLE_EQ(out.column(0)->Value<double>(3), 4.0);
+  EXPECT_EQ(out.column(1)->Value<int32_t>(7), 2);
+}
+
+TEST(AggregateTest, ScalarAggregates) {
+  auto table = MakeTable(1000, 10);
+  std::vector<AggSpec> specs = {
+      {AggKind::kMax, 1, "max_v"},   {AggKind::kMin, 1, "min_v"},
+      {AggKind::kSum, 0, "sum_k"},   {AggKind::kCount, -1, "cnt"},
+      {AggKind::kAvg, 1, "avg_v"},
+  };
+  auto agg =
+      std::make_unique<AggregateOperator>(table->CreateScan(128), specs);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(agg.get()));
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(out.column(0)->Value<double>(0), 999.0);
+  EXPECT_DOUBLE_EQ(out.column(1)->Value<double>(0), 0.0);
+  EXPECT_EQ(out.column(2)->Value<int64_t>(0), 4500);  // 100 * (0+..+9)
+  EXPECT_EQ(out.column(3)->Value<int64_t>(0), 1000);
+  EXPECT_DOUBLE_EQ(out.column(4)->Value<double>(0), 499.5);
+}
+
+TEST(AggregateTest, Int64MinMaxExactAboveDoublePrecision) {
+  Schema schema{{"big", DataType::kInt64}};
+  InMemoryTable table(schema);
+  ColumnBatch batch(schema);
+  auto col = std::make_shared<Column>(DataType::kInt64);
+  int64_t big = (1ll << 60) + 1;  // not representable as double
+  col->Append<int64_t>(big);
+  col->Append<int64_t>(big - 2);
+  batch.AddColumn(col);
+  ASSERT_OK(table.AppendBatch(batch));
+  std::vector<AggSpec> specs = {{AggKind::kMax, 0, "m"}};
+  auto agg = std::make_unique<AggregateOperator>(table.CreateScan(), specs);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(agg.get()));
+  EXPECT_EQ(out.column(0)->Value<int64_t>(0), big);
+}
+
+TEST(AggregateTest, EmptyInputCountsZero) {
+  auto table = MakeTable(0, 5);
+  std::vector<AggSpec> specs = {{AggKind::kCount, -1, "cnt"},
+                                {AggKind::kMax, 1, "max"}};
+  auto agg = std::make_unique<AggregateOperator>(table->CreateScan(), specs);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(agg.get()));
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_EQ(out.column(0)->Value<int64_t>(0), 0);
+}
+
+TEST(HashGroupByTest, GroupsAndAggregates) {
+  auto table = MakeTable(1000, 4);
+  std::vector<AggSpec> specs = {{AggKind::kCount, -1, "cnt"},
+                                {AggKind::kSum, 1, "sum_v"}};
+  auto gb = std::make_unique<HashGroupByOperator>(
+      table->CreateScan(64), std::vector<int>{0}, specs);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(gb.get()));
+  EXPECT_EQ(out.num_rows(), 4);
+  std::map<int32_t, int64_t> counts;
+  std::map<int32_t, double> sums;
+  for (int64_t i = 0; i < out.num_rows(); ++i) {
+    int32_t key = out.column(0)->Value<int32_t>(i);
+    counts[key] = out.column(1)->Value<int64_t>(i);
+    sums[key] = out.column(2)->Value<double>(i);
+  }
+  for (int32_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(counts[k], 250);
+    // Sum of i where i % 4 == k, i < 1000.
+    double expected = 0;
+    for (int64_t i = k; i < 1000; i += 4) expected += static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(sums[k], expected);
+  }
+}
+
+TEST(HashGroupByTest, MultiKeyGroups) {
+  Schema schema{{"a", DataType::kInt32}, {"b", DataType::kInt32}};
+  InMemoryTable table(schema);
+  ColumnBatch batch(schema);
+  auto a = std::make_shared<Column>(DataType::kInt32);
+  auto b = std::make_shared<Column>(DataType::kInt32);
+  for (int i = 0; i < 100; ++i) {
+    a->Append<int32_t>(i % 2);
+    b->Append<int32_t>(i % 3);
+  }
+  batch.AddColumn(a);
+  batch.AddColumn(b);
+  ASSERT_OK(table.AppendBatch(batch));
+  std::vector<AggSpec> specs = {{AggKind::kCount, -1, "cnt"}};
+  auto gb = std::make_unique<HashGroupByOperator>(
+      table.CreateScan(), std::vector<int>{0, 1}, specs);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(gb.get()));
+  EXPECT_EQ(out.num_rows(), 6);
+}
+
+// Reference nested-loop join for correctness checks.
+std::vector<std::pair<int64_t, int64_t>> NestedLoopJoin(
+    const std::vector<int32_t>& left, const std::vector<int32_t>& right) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (size_t l = 0; l < left.size(); ++l) {
+    for (size_t r = 0; r < right.size(); ++r) {
+      if (left[l] == right[r]) out.emplace_back(l, r);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<InMemoryTable> KeyTable(const std::vector<int32_t>& keys,
+                                        const std::string& payload_name) {
+  Schema schema{{"key", DataType::kInt32}, {payload_name, DataType::kInt64}};
+  auto table = std::make_unique<InMemoryTable>(schema);
+  ColumnBatch batch(schema);
+  auto k = std::make_shared<Column>(DataType::kInt32);
+  auto p = std::make_shared<Column>(DataType::kInt64);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    k->Append<int32_t>(keys[i]);
+    p->Append<int64_t>(static_cast<int64_t>(i) * 100);
+  }
+  batch.AddColumn(k);
+  batch.AddColumn(p);
+  EXPECT_TRUE(table->AppendBatch(batch).ok());
+  return table;
+}
+
+TEST(HashJoinTest, MatchesNestedLoopWithDuplicates) {
+  std::vector<int32_t> left = {1, 2, 2, 3, 5, 7, 7};
+  std::vector<int32_t> right = {2, 2, 3, 4, 7};
+  auto lt = KeyTable(left, "lp");
+  auto rt = KeyTable(right, "rp");
+  auto join = std::make_unique<HashJoinOperator>(lt->CreateScan(3),
+                                                 rt->CreateScan(2), 0, 0);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(join.get()));
+  auto expected = NestedLoopJoin(left, right);
+  EXPECT_EQ(out.num_rows(), static_cast<int64_t>(expected.size()));
+  // Probe-side order preserved; row ids carry probe provenance.
+  ASSERT_TRUE(out.has_row_ids());
+  for (int64_t i = 1; i < out.num_rows(); ++i) {
+    EXPECT_LE(out.row_ids()[static_cast<size_t>(i - 1)],
+              out.row_ids()[static_cast<size_t>(i)]);
+  }
+  // Every output pair joins equal keys.
+  for (int64_t i = 0; i < out.num_rows(); ++i) {
+    EXPECT_EQ(out.column(0)->Value<int32_t>(i),
+              out.column(2)->Value<int32_t>(i));
+  }
+}
+
+TEST(HashJoinTest, EmptySides) {
+  auto lt = KeyTable({}, "lp");
+  auto rt = KeyTable({1, 2}, "rp");
+  auto join = std::make_unique<HashJoinOperator>(lt->CreateScan(),
+                                                 rt->CreateScan(), 0, 0);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(join.get()));
+  EXPECT_EQ(out.num_rows(), 0);
+
+  auto lt2 = KeyTable({1, 2}, "lp");
+  auto rt2 = KeyTable({}, "rp");
+  auto join2 = std::make_unique<HashJoinOperator>(lt2->CreateScan(),
+                                                  rt2->CreateScan(), 0, 0);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out2, CollectAll(join2.get()));
+  EXPECT_EQ(out2.num_rows(), 0);
+}
+
+TEST(HashJoinTest, DuplicateNamesGetSuffixed) {
+  auto lt = KeyTable({1}, "p");
+  auto rt = KeyTable({1}, "p");
+  auto join = std::make_unique<HashJoinOperator>(lt->CreateScan(),
+                                                 rt->CreateScan(), 0, 0);
+  ASSERT_OK(join->Open());
+  const Schema& schema = join->output_schema();
+  EXPECT_EQ(schema.field(0).name, "key");
+  EXPECT_EQ(schema.field(2).name, "key_r");
+  EXPECT_EQ(schema.field(3).name, "p_r");
+}
+
+TEST(HashJoinTest, EmitsBuildRowIds) {
+  auto lt = KeyTable({5, 6}, "lp");
+  auto rt = KeyTable({6, 5}, "rp");
+  auto join = std::make_unique<HashJoinOperator>(
+      lt->CreateScan(), rt->CreateScan(), 0, 0, /*emit_build_row_ids=*/true);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(join.get()));
+  int idx = out.schema().FieldIndex(HashJoinOperator::kBuildRowIdColumn);
+  ASSERT_GE(idx, 0);
+  // key 5 (probe row 0) matches build row 1; key 6 matches build row 0.
+  EXPECT_EQ(out.column(idx)->Value<int64_t>(0), 1);
+  EXPECT_EQ(out.column(idx)->Value<int64_t>(1), 0);
+}
+
+TEST(HashJoinTest, RejectsFloatKeys) {
+  Schema schema{{"f", DataType::kFloat64}};
+  InMemoryTable t(schema);
+  auto join = std::make_unique<HashJoinOperator>(t.CreateScan(),
+                                                 t.CreateScan(), 0, 0);
+  EXPECT_FALSE(join->Open().ok());
+}
+
+}  // namespace
+}  // namespace raw

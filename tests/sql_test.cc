@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "engine/sql/lexer.h"
+#include "engine/sql/parser.h"
+#include "tests/test_util.h"
+
+namespace raw {
+namespace {
+
+using sql::Lex;
+using sql::Parse;
+using sql::TokenType;
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Lex("select FROM wHeRe"));
+  ASSERT_EQ(tokens.size(), 4u);  // incl. kEnd
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("FROM"));
+  EXPECT_TRUE(tokens[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  // A negative literal is recognized after a symbol/keyword (the only
+  // positions SQL grammar puts one), not after another literal.
+  ASSERT_OK_AND_ASSIGN(auto tokens, Lex("42 < -17 3.25 1e9 'hi there'"));
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[2].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[2].text, "-17");
+  EXPECT_EQ(tokens[3].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[4].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[5].type, TokenType::kString);
+  EXPECT_EQ(tokens[5].text, "hi there");
+}
+
+TEST(LexerTest, OperatorsNormalized) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Lex("<= >= != <> < > ="));
+  EXPECT_EQ(tokens[0].text, "<=");
+  EXPECT_EQ(tokens[1].text, ">=");
+  EXPECT_EQ(tokens[2].text, "!=");
+  EXPECT_EQ(tokens[3].text, "!=");  // <> normalized
+  EXPECT_EQ(tokens[4].text, "<");
+}
+
+TEST(LexerTest, RejectsGarbage) {
+  EXPECT_FALSE(Lex("select @foo").ok());
+  EXPECT_FALSE(Lex("'unterminated").ok());
+}
+
+TEST(ParserTest, SimpleAggregate) {
+  ASSERT_OK_AND_ASSIGN(QuerySpec spec,
+                       Parse("SELECT MAX(col11) FROM t WHERE col1 < 500"));
+  ASSERT_EQ(spec.tables.size(), 1u);
+  EXPECT_EQ(spec.tables[0], "t");
+  ASSERT_EQ(spec.aggregates.size(), 1u);
+  EXPECT_EQ(spec.aggregates[0].kind, AggKind::kMax);
+  EXPECT_EQ(spec.aggregates[0].column.column, "col11");
+  ASSERT_EQ(spec.predicates.size(), 1u);
+  EXPECT_EQ(spec.predicates[0].op, CompareOp::kLt);
+  EXPECT_EQ(spec.predicates[0].literal.int64_value(), 500);
+}
+
+TEST(ParserTest, MultipleAggregatesAndAliases) {
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec spec,
+      Parse("SELECT MIN(a) AS lo, MAX(a) AS hi, COUNT(*) FROM t"));
+  ASSERT_EQ(spec.aggregates.size(), 3u);
+  EXPECT_EQ(spec.aggregates[0].output_name, "lo");
+  EXPECT_EQ(spec.aggregates[1].output_name, "hi");
+  EXPECT_TRUE(spec.aggregates[2].count_star);
+}
+
+TEST(ParserTest, JoinWithQualifiedRefs) {
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec spec,
+      Parse("SELECT MAX(f1.col11) FROM f1 JOIN f2 ON f1.col1 = f2.col1 "
+            "WHERE f2.col2 < 100"));
+  ASSERT_EQ(spec.tables.size(), 2u);
+  EXPECT_EQ(spec.join_left.table, "f1");
+  EXPECT_EQ(spec.join_right.table, "f2");
+  EXPECT_EQ(spec.predicates[0].column.table, "f2");
+}
+
+TEST(ParserTest, GroupByAndLimit) {
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec spec,
+      Parse("SELECT eventID, COUNT(*) FROM muons WHERE pt > 20.5 "
+            "GROUP BY eventID LIMIT 10"));
+  ASSERT_EQ(spec.group_by.size(), 1u);
+  EXPECT_EQ(spec.group_by[0].column, "eventID");
+  EXPECT_EQ(spec.limit, 10);
+  EXPECT_DOUBLE_EQ(spec.predicates[0].literal.float64_value(), 20.5);
+  ASSERT_EQ(spec.projections.size(), 1u);
+  ASSERT_EQ(spec.aggregates.size(), 1u);
+}
+
+TEST(ParserTest, AndChains) {
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec spec,
+      Parse("SELECT MAX(col6) FROM t WHERE col1 < 10 AND col5 < 20 AND "
+            "col2 >= 3"));
+  EXPECT_EQ(spec.predicates.size(), 3u);
+  EXPECT_EQ(spec.predicates[2].op, CompareOp::kGe);
+}
+
+TEST(ParserTest, NegativeAndFloatLiterals) {
+  ASSERT_OK_AND_ASSIGN(QuerySpec spec,
+                       Parse("SELECT COUNT(*) FROM t WHERE x > -5"));
+  EXPECT_EQ(spec.predicates[0].literal.int64_value(), -5);
+  ASSERT_OK_AND_ASSIGN(QuerySpec spec2,
+                       Parse("SELECT COUNT(*) FROM t WHERE x < 2.5"));
+  EXPECT_DOUBLE_EQ(spec2.predicates[0].literal.float64_value(), 2.5);
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(Parse("SELECT COUNT(*) FROM t;").ok());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT MAX(col) t").ok());
+  EXPECT_FALSE(Parse("SELECT MAX(col) FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT MAX(*) FROM t").ok());  // * only for COUNT
+  EXPECT_FALSE(Parse("SELECT COUNT(*) FROM t GROUP eventID").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) FROM t LIMIT x").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) FROM t extra").ok());
+  EXPECT_FALSE(Parse("SELECT a, MAX(b) FROM t").ok());  // needs GROUP BY
+}
+
+TEST(ParserTest, ToStringRendersSpec) {
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec spec,
+      Parse("SELECT MAX(col11) FROM t WHERE col1 < 500 LIMIT 3"));
+  std::string s = spec.ToString();
+  EXPECT_NE(s.find("MAX(col11)"), std::string::npos);
+  EXPECT_NE(s.find("col1 < 500"), std::string::npos);
+  EXPECT_NE(s.find("LIMIT 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raw

@@ -1,0 +1,52 @@
+#ifndef RAW_TESTS_TEST_UTIL_H_
+#define RAW_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/temp_dir.h"
+
+// Assertion helpers for Status / StatusOr.
+#define ASSERT_OK(expr)                                  \
+  do {                                                   \
+    ::raw::Status _st = (expr);                          \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();             \
+  } while (0)
+
+#define EXPECT_OK(expr)                                  \
+  do {                                                   \
+    ::raw::Status _st = (expr);                          \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();             \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                       \
+  auto RAW_CONCAT(_t_sor_, __LINE__) = (expr);                \
+  ASSERT_TRUE(RAW_CONCAT(_t_sor_, __LINE__).ok())             \
+      << RAW_CONCAT(_t_sor_, __LINE__).status().ToString();   \
+  lhs = std::move(RAW_CONCAT(_t_sor_, __LINE__)).value()
+
+namespace raw::testing {
+
+/// Per-test temporary directory fixture mixin.
+class TempDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Create("raw_test_");
+    ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+    dir_ = std::make_unique<TempDir>(std::move(dir).value());
+  }
+
+  std::string Path(const std::string& name) const {
+    return dir_->FilePath(name);
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+}  // namespace raw::testing
+
+#endif  // RAW_TESTS_TEST_UTIL_H_
