@@ -1,0 +1,54 @@
+# Resolves Google Benchmark for the three microbenchmark ablations.
+# Preference order mirrors RawGoogleTest.cmake: installed package first
+# (ignoring PATH-derived prefixes such as conda), then a tolerant download +
+# FetchContent. Unlike FetchContent_MakeAvailable's built-in download, a
+# network failure here is NOT fatal: RAW_HAVE_BENCHMARK is set OFF and the
+# gbench targets are dropped (bench/CMakeLists.txt warns with the list), so
+# offline builds still get everything else.
+
+set(RAW_HAVE_BENCHMARK OFF)
+
+find_package(benchmark CONFIG QUIET NO_CMAKE_ENVIRONMENT_PATH NO_SYSTEM_ENVIRONMENT_PATH)
+if(benchmark_FOUND)
+  message(STATUS "raw: using installed Google Benchmark ${benchmark_VERSION}")
+else()
+  set(_raw_gb_sha256 6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce)
+  set(_raw_gb_tar "${CMAKE_BINARY_DIR}/_deps/benchmark-v1.8.3.tar.gz")
+  if(NOT EXISTS "${_raw_gb_tar}")
+    message(STATUS "raw: downloading Google Benchmark v1.8.3")
+    file(DOWNLOAD
+      https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+      "${_raw_gb_tar}" STATUS _raw_gb_status)
+    list(GET _raw_gb_status 0 _raw_gb_code)
+    if(NOT _raw_gb_code EQUAL 0)
+      file(REMOVE "${_raw_gb_tar}")
+    endif()
+  endif()
+  if(EXISTS "${_raw_gb_tar}")
+    file(SHA256 "${_raw_gb_tar}" _raw_gb_actual)
+    if(NOT _raw_gb_actual STREQUAL _raw_gb_sha256)
+      message(WARNING "raw: Google Benchmark download hash mismatch; discarding")
+      file(REMOVE "${_raw_gb_tar}")
+    else()
+      include(FetchContent)
+      set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+      set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+      FetchContent_Declare(benchmark
+        URL "${_raw_gb_tar}"
+        URL_HASH SHA256=${_raw_gb_sha256})
+      FetchContent_MakeAvailable(benchmark)
+    endif()
+  endif()
+endif()
+
+if(TARGET benchmark::benchmark)
+  set(RAW_HAVE_BENCHMARK ON)
+  # --benchmark_min_time grammar changed at 1.8: older releases reject the
+  # '0.01s' suffix form, 1.8+ deprecates the bare-number form. The FetchContent
+  # path is pinned to 1.8.3 (benchmark_VERSION unset there).
+  if(DEFINED benchmark_VERSION AND benchmark_VERSION VERSION_LESS 1.8)
+    set(RAW_GBENCH_MIN_TIME "--benchmark_min_time=0.01")
+  else()
+    set(RAW_GBENCH_MIN_TIME "--benchmark_min_time=0.01s")
+  endif()
+endif()

@@ -1,0 +1,26 @@
+# Compiler-wide knobs: ccache, warnings, sanitizers.
+
+# Opt-in default only: an explicit -DCMAKE_CXX_COMPILER_LAUNCHER (including
+# an empty one, to disable ccache) always wins.
+if(NOT DEFINED CMAKE_CXX_COMPILER_LAUNCHER)
+  find_program(RAW_CCACHE_PROGRAM ccache)
+  if(RAW_CCACHE_PROGRAM)
+    set(CMAKE_CXX_COMPILER_LAUNCHER "${RAW_CCACHE_PROGRAM}")
+    message(STATUS "raw: using ccache at ${RAW_CCACHE_PROGRAM}")
+  endif()
+endif()
+
+set(RAW_WARNING_FLAGS -Wall -Wextra)
+if(RAW_WERROR)
+  list(APPEND RAW_WARNING_FLAGS -Werror)
+endif()
+
+# Sanitizer flags are global (not per-target) so that third-party code built
+# from source (GoogleTest, Benchmark) is instrumented consistently with ours.
+if(RAW_SANITIZE)
+  string(REPLACE ";" "," _raw_san "${RAW_SANITIZE}")
+  add_compile_options(-fsanitize=${_raw_san} -fno-omit-frame-pointer
+                      -fno-sanitize-recover=all)
+  add_link_options(-fsanitize=${_raw_san})
+  message(STATUS "raw: sanitizers enabled: ${_raw_san}")
+endif()

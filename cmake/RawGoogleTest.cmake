@@ -1,0 +1,40 @@
+# Resolves GoogleTest so a clean checkout builds without network access:
+#   1. the distro source tree at /usr/src/googletest (Debian/Ubuntu
+#      libgtest-dev) — built with our exact compiler and flags,
+#   2. an installed GTest package (explicitly ignoring PATH-derived prefixes
+#      so a conda/toolchain env on PATH cannot inject an ABI-mismatched build),
+#   3. FetchContent from GitHub as the online fallback.
+# Afterwards GTest::gtest and GTest::gtest_main exist either way.
+
+if(EXISTS "/usr/src/googletest/CMakeLists.txt")
+  message(STATUS "raw: building GTest from /usr/src/googletest")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest "${CMAKE_BINARY_DIR}/_deps/system-googletest"
+                   EXCLUDE_FROM_ALL)
+else()
+  find_package(GTest QUIET NO_CMAKE_ENVIRONMENT_PATH NO_SYSTEM_ENVIRONMENT_PATH)
+  if(GTest_FOUND)
+    message(STATUS "raw: using installed GTest ${GTest_VERSION}")
+  else()
+    message(STATUS "raw: fetching GTest with FetchContent")
+    include(FetchContent)
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+endif()
+
+foreach(_raw_gt_target gtest gtest_main)
+  if(NOT TARGET GTest::${_raw_gt_target} AND TARGET ${_raw_gt_target})
+    add_library(GTest::${_raw_gt_target} ALIAS ${_raw_gt_target})
+  endif()
+endforeach()
+
+if(NOT TARGET GTest::gtest_main)
+  message(FATAL_ERROR "raw: could not resolve GoogleTest; install libgtest-dev "
+                      "or allow network access for FetchContent")
+endif()

@@ -61,7 +61,7 @@ std::string ColumnRefExpr::ToString() const {
 
 // --- LiteralExpr ------------------------------------------------------------
 
-StatusOr<DataType> LiteralExpr::ResultType(const Schema& schema) const {
+StatusOr<DataType> LiteralExpr::ResultType(const Schema& /*schema*/) const {
   return value_.type();
 }
 

@@ -104,7 +104,10 @@ Status RefWriter::WriteBuffer(int branch, const std::vector<uint8_t>& raw_bytes,
   cluster.stored_bytes = static_cast<int64_t>(out->size());
   cluster.first_value = total_values_[static_cast<size_t>(branch)];
   cluster.num_values = num_values;
-  if (fwrite(out->data(), 1, out->size(), file_) != out->size()) {
+  // out->data() is null for an empty buffer; fwrite's first argument is
+  // declared nonnull, so skip the zero-byte write entirely.
+  if (!out->empty() &&
+      fwrite(out->data(), 1, out->size(), file_) != out->size()) {
     return Status::IOError("short write (cluster) to '" + path_ + "'");
   }
   file_offset_ += cluster.stored_bytes;

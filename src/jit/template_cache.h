@@ -31,6 +31,12 @@ class JitTemplateCache {
 
   bool compiler_available() const { return compiler_available_; }
 
+  /// The resolved external-compiler configuration (diagnostics: which binary
+  /// was probed when compiler_available() is false).
+  const CcCompilerOptions& compiler_options() const {
+    return compiler_.options();
+  }
+
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
   double total_compile_seconds() const { return total_compile_seconds_; }

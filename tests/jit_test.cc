@@ -108,7 +108,9 @@ class JitExecTest : public testing::TempDirTest {
   void SetUp() override {
     testing::TempDirTest::SetUp();
     if (!cache_.compiler_available()) {
-      GTEST_SKIP() << "no external C++ compiler on this host";
+      GTEST_SKIP() << "no external C++ compiler on this host (probed '"
+                   << cache_.compiler_options().cxx
+                   << "'; set $RAW_JIT_CXX to point at a working compiler)";
     }
   }
 
