@@ -20,6 +20,13 @@ inline std::vector<double> Selectivities() {
   return {0.01, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
 }
 
+/// The scan/aggregation thread count every engine in this process will use
+/// (PlannerOptions::num_threads stays 0 = auto in the benches, so this is
+/// $RAW_NUM_THREADS when set, else hardware concurrency). Benches print it:
+/// comparing a RAW_NUM_THREADS=1 run against =4 measures the morsel-parallel
+/// speedup on otherwise identical queries.
+inline int BenchNumThreads() { return ResolveNumThreads(0); }
+
 inline void PrintTitle(const std::string& title) {
   printf("\n=== %s ===\n", title.c_str());
 }

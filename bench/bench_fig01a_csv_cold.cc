@@ -12,7 +12,8 @@ namespace {
 void Run() {
   Dataset dataset = CheckOk(Dataset::Open(), "dataset");
   PrintTitle("Figure 1a — CSV, 1st query, cold file cache");
-  printf("rows=%lld  query: %s\n", static_cast<long long>(dataset.d30_rows()),
+  printf("rows=%lld  num_threads=%d  query: %s\n",
+         static_cast<long long>(dataset.d30_rows()), BenchNumThreads(),
          Q1(&dataset, 0.5).c_str());
 
   for (const SystemConfig& system : AccessPathSystems(/*include_external=*/true)) {

@@ -15,7 +15,8 @@ void Run() {
   Dataset dataset = CheckOk(Dataset::Open(), "dataset");
   std::vector<double> sels = Selectivities();
   PrintTitle("Figure 1b — CSV, 2nd query (warm), selectivity sweep");
-  printf("rows=%lld  query: %s\n", static_cast<long long>(dataset.d30_rows()),
+  printf("rows=%lld  num_threads=%d  query: %s\n",
+         static_cast<long long>(dataset.d30_rows()), BenchNumThreads(),
          Q2(&dataset, 0.5).c_str());
   PrintSeriesHeader("system", sels);
 

@@ -93,6 +93,43 @@ void AggAccumulator::UpdateInt(int64_t value) {
   }
 }
 
+void AggAccumulator::Merge(const AggAccumulator& other) {
+  count_ += other.count_;
+  switch (kind_) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      dacc_ += other.dacc_;
+      iacc_ += other.iacc_;
+      break;
+    case AggKind::kMax:
+      if (other.initialized_) {
+        if (!initialized_) {
+          dacc_ = other.dacc_;
+          iacc_ = other.iacc_;
+        } else {
+          dacc_ = std::max(dacc_, other.dacc_);
+          iacc_ = std::max(iacc_, other.iacc_);
+        }
+        initialized_ = true;
+      }
+      break;
+    case AggKind::kMin:
+      if (other.initialized_) {
+        if (!initialized_) {
+          dacc_ = other.dacc_;
+          iacc_ = other.iacc_;
+        } else {
+          dacc_ = std::min(dacc_, other.dacc_);
+          iacc_ = std::min(iacc_, other.iacc_);
+        }
+        initialized_ = true;
+      }
+      break;
+  }
+}
+
 Datum AggAccumulator::Finalize() const {
   switch (kind_) {
     case AggKind::kCount:

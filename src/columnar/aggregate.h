@@ -36,6 +36,12 @@ class AggAccumulator {
   void UpdateInt(int64_t value);
   void UpdateCount() { ++count_; }
 
+  /// Folds another accumulator of the same (kind, input type) into this one —
+  /// the merge step combining per-thread partial aggregates. For SUM/AVG the
+  /// result equals accumulating this accumulator's rows first, then
+  /// `other`'s; MIN/MAX/COUNT are order-insensitive.
+  void Merge(const AggAccumulator& other);
+
   /// Finalizes into a Datum of AggResultType(); MIN/MAX over zero rows
   /// returns the type's identity-less "no rows" encoding (count()==0 lets
   /// callers emit SQL NULL semantics; we surface it as 0 rows upstream).

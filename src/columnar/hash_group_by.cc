@@ -1,8 +1,7 @@
 #include "columnar/hash_group_by.h"
 
-#include <unordered_map>
-
-#include "common/hash.h"
+#include <algorithm>
+#include <numeric>
 
 namespace raw {
 
@@ -12,6 +11,11 @@ HashGroupByOperator::HashGroupByOperator(OperatorPtr child,
     : child_(std::move(child)),
       key_columns_(std::move(key_columns)),
       aggs_(std::move(aggs)) {}
+
+void HashGroupByOperator::SetParallel(ThreadPool* pool, int num_threads) {
+  pool_ = pool;
+  num_threads_ = std::max(num_threads, 1);
+}
 
 Status HashGroupByOperator::Open() {
   RAW_RETURN_NOT_OK(child_->Open());
@@ -90,88 +94,272 @@ void EncodeKey(const ColumnBatch& batch, const std::vector<int>& keys,
 }
 }  // namespace
 
+// =============================================================================
+// GroupByPartial
+// =============================================================================
+
+GroupByPartial::GroupByPartial(std::vector<int> key_columns,
+                               std::vector<AggSpec> aggs,
+                               std::vector<DataType> agg_input_types)
+    : key_columns_(std::move(key_columns)),
+      aggs_(std::move(aggs)),
+      agg_input_types_(std::move(agg_input_types)) {}
+
+void GroupByPartial::EncodeKeys(const ColumnBatch& batch,
+                                const std::vector<int>& key_columns,
+                                std::vector<std::string>* out) {
+  out->resize(static_cast<size_t>(batch.num_rows()));
+  for (int64_t r = 0; r < batch.num_rows(); ++r) {
+    EncodeKey(batch, key_columns, r, &(*out)[static_cast<size_t>(r)]);
+  }
+}
+
+Status GroupByPartial::AbsorbRow(const ColumnBatch& batch, int64_t row,
+                                 int64_t seq, const std::string& key) {
+  auto [it, inserted] = index_.try_emplace(key, groups_.size());
+  if (inserted) {
+    Group g;
+    g.key = key;
+    g.first_seen = seq;
+    for (int k : key_columns_) {
+      g.key_values.push_back(batch.column(k)->GetDatum(row));
+    }
+    for (size_t s = 0; s < aggs_.size(); ++s) {
+      g.accs.emplace_back(aggs_[s].kind, agg_input_types_[s]);
+    }
+    groups_.push_back(std::move(g));
+  }
+  Group& g = groups_[it->second];
+  for (size_t s = 0; s < aggs_.size(); ++s) {
+    const AggSpec& spec = aggs_[s];
+    if (spec.kind == AggKind::kCount) {
+      g.accs[s].UpdateCount();
+      continue;
+    }
+    const Column& col = *batch.column(spec.input);
+    switch (col.type()) {
+      case DataType::kInt32:
+        g.accs[s].UpdateInt(col.Value<int32_t>(row));
+        break;
+      case DataType::kInt64:
+        g.accs[s].UpdateInt(col.Value<int64_t>(row));
+        break;
+      case DataType::kFloat32:
+        g.accs[s].UpdateNumeric(static_cast<double>(col.Value<float>(row)));
+        break;
+      case DataType::kFloat64:
+        g.accs[s].UpdateNumeric(col.Value<double>(row));
+        break;
+      default:
+        return Status::InvalidArgument("cannot aggregate non-numeric column");
+    }
+  }
+  return Status::OK();
+}
+
+void GroupByPartial::HashKeys(const std::vector<std::string>& keys,
+                              std::vector<uint64_t>* out) {
+  const std::hash<std::string> hasher;
+  out->resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (*out)[i] = hasher(keys[i]);
+  }
+}
+
+Status GroupByPartial::Absorb(const ColumnBatch& batch, int64_t seq_base,
+                              const std::vector<std::string>* precomputed_keys,
+                              const std::vector<uint64_t>* precomputed_hashes,
+                              uint64_t partition, uint64_t num_partitions) {
+  if (precomputed_keys != nullptr &&
+      precomputed_keys->size() != static_cast<size_t>(batch.num_rows())) {
+    return Status::InvalidArgument("precomputed keys do not match batch rows");
+  }
+  if (precomputed_hashes != nullptr &&
+      precomputed_hashes->size() != static_cast<size_t>(batch.num_rows())) {
+    return Status::InvalidArgument(
+        "precomputed hashes do not match batch rows");
+  }
+  const std::hash<std::string> hasher;
+  std::string scratch;
+  for (int64_t r = 0; r < batch.num_rows(); ++r) {
+    const std::string* key = nullptr;
+    if (num_partitions > 1) {
+      // Partition test first: non-owning workers skip foreign rows with a
+      // single compare when hashes were precomputed.
+      uint64_t hash;
+      if (precomputed_hashes != nullptr) {
+        hash = (*precomputed_hashes)[static_cast<size_t>(r)];
+      } else if (precomputed_keys != nullptr) {
+        hash = hasher((*precomputed_keys)[static_cast<size_t>(r)]);
+      } else {
+        EncodeKey(batch, key_columns_, r, &scratch);
+        key = &scratch;
+        hash = hasher(scratch);
+      }
+      if (hash % num_partitions != partition) continue;
+    }
+    if (key == nullptr) {
+      if (precomputed_keys != nullptr) {
+        key = &(*precomputed_keys)[static_cast<size_t>(r)];
+      } else {
+        EncodeKey(batch, key_columns_, r, &scratch);
+        key = &scratch;
+      }
+    }
+    RAW_RETURN_NOT_OK(AbsorbRow(batch, r, seq_base + r, *key));
+  }
+  return Status::OK();
+}
+
+Status GroupByPartial::MergeFrom(const GroupByPartial& other) {
+  if (other.key_columns_ != key_columns_ ||
+      other.agg_input_types_ != agg_input_types_ ||
+      other.aggs_.size() != aggs_.size()) {
+    return Status::InvalidArgument(
+        "cannot merge group-by partials with different shapes");
+  }
+  for (const Group& og : other.groups_) {  // insertion == first-seen order
+    auto [it, inserted] = index_.try_emplace(og.key, groups_.size());
+    if (inserted) {
+      groups_.push_back(og);
+      continue;
+    }
+    Group& g = groups_[it->second];
+    g.first_seen = std::min(g.first_seen, og.first_seen);
+    for (size_t s = 0; s < aggs_.size(); ++s) {
+      g.accs[s].Merge(og.accs[s]);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<ColumnPtr>> GroupByPartial::Finalize(
+    const Schema& output_schema) const {
+  const size_t num_keys = key_columns_.size();
+  if (output_schema.num_fields() !=
+      static_cast<int>(num_keys + aggs_.size())) {
+    return Status::InvalidArgument("group-by output schema shape mismatch");
+  }
+  std::vector<size_t> order(groups_.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return groups_[a].first_seen < groups_[b].first_seen;
+  });
+  std::vector<ColumnPtr> columns;
+  for (int c = 0; c < output_schema.num_fields(); ++c) {
+    columns.push_back(std::make_shared<Column>(output_schema.field(c).type));
+  }
+  for (size_t idx : order) {
+    const Group& g = groups_[idx];
+    for (size_t k = 0; k < num_keys; ++k) {
+      columns[k]->AppendDatum(g.key_values[k]);
+    }
+    for (size_t s = 0; s < aggs_.size(); ++s) {
+      columns[num_keys + s]->AppendDatum(g.accs[s].Finalize());
+    }
+  }
+  return columns;
+}
+
+// =============================================================================
+// HashGroupByOperator
+// =============================================================================
+
 Status HashGroupByOperator::ConsumeChild() {
-  struct Group {
-    std::vector<Datum> key_values;
-    std::vector<AggAccumulator> accs;
+  GroupByPartial partial(key_columns_, aggs_, agg_input_types_);
+  int64_t seq = 0;
+  while (true) {
+    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
+    if (batch.empty()) break;
+    RAW_RETURN_NOT_OK(partial.Absorb(batch, seq));
+    seq += batch.num_rows();
+  }
+  RAW_ASSIGN_OR_RETURN(result_columns_, partial.Finalize(output_schema_));
+  num_groups_ = partial.num_groups();
+  return Status::OK();
+}
+
+Status HashGroupByOperator::ConsumeChildParallel() {
+  const uint64_t W = static_cast<uint64_t>(num_threads_);
+  std::vector<GroupByPartial> partials(
+      static_cast<size_t>(W),
+      GroupByPartial(key_columns_, aggs_, agg_input_types_));
+
+  // Stream the child in bounded chunks of batches — memory stays
+  // O(chunk + groups) like the serial path, not O(table). Per chunk:
+  // encode + hash keys (parallel over batches), then absorb (parallel over
+  // key partitions: every row of a group lands in the same partial, and the
+  // chunk barrier keeps each partial's absorption in stream order — the
+  // determinism contract).
+  const size_t chunk_batches = std::max<size_t>(4 * W, 8);
+  std::vector<ColumnBatch> chunk;
+  std::vector<int64_t> seq_base;
+  std::vector<std::vector<std::string>> keys;
+  std::vector<std::vector<uint64_t>> hashes;
+  int64_t seq = 0;
+
+  auto flush_chunk = [&]() -> Status {
+    if (chunk.empty()) return Status::OK();
+    keys.assign(chunk.size(), {});
+    hashes.assign(chunk.size(), {});
+    RAW_RETURN_NOT_OK(pool_->ParallelFor(
+        static_cast<int64_t>(chunk.size()), num_threads_, [&](int64_t b) {
+          const size_t i = static_cast<size_t>(b);
+          GroupByPartial::EncodeKeys(chunk[i], key_columns_, &keys[i]);
+          GroupByPartial::HashKeys(keys[i], &hashes[i]);
+          return Status::OK();
+        }));
+    RAW_RETURN_NOT_OK(pool_->ParallelFor(
+        static_cast<int64_t>(W), num_threads_, [&](int64_t w) {
+          for (size_t b = 0; b < chunk.size(); ++b) {
+            RAW_RETURN_NOT_OK(partials[static_cast<size_t>(w)].Absorb(
+                chunk[b], seq_base[b], &keys[b], &hashes[b],
+                static_cast<uint64_t>(w), W));
+          }
+          return Status::OK();
+        }));
+    chunk.clear();
+    seq_base.clear();
+    return Status::OK();
   };
-  std::unordered_map<std::string, size_t> index;
-  std::vector<Group> groups;
-  std::string key_buf;
 
   while (true) {
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
     if (batch.empty()) break;
-    for (int64_t r = 0; r < batch.num_rows(); ++r) {
-      EncodeKey(batch, key_columns_, r, &key_buf);
-      auto [it, inserted] = index.try_emplace(key_buf, groups.size());
-      if (inserted) {
-        Group g;
-        for (int k : key_columns_) {
-          g.key_values.push_back(batch.column(k)->GetDatum(r));
-        }
-        for (size_t s = 0; s < aggs_.size(); ++s) {
-          g.accs.emplace_back(aggs_[s].kind, agg_input_types_[s]);
-        }
-        groups.push_back(std::move(g));
-      }
-      Group& g = groups[it->second];
-      for (size_t s = 0; s < aggs_.size(); ++s) {
-        const AggSpec& spec = aggs_[s];
-        if (spec.kind == AggKind::kCount) {
-          g.accs[s].UpdateCount();
-          continue;
-        }
-        const Column& col = *batch.column(spec.input);
-        switch (col.type()) {
-          case DataType::kInt32:
-            g.accs[s].UpdateInt(col.Value<int32_t>(r));
-            break;
-          case DataType::kInt64:
-            g.accs[s].UpdateInt(col.Value<int64_t>(r));
-            break;
-          case DataType::kFloat32:
-            g.accs[s].UpdateNumeric(static_cast<double>(col.Value<float>(r)));
-            break;
-          case DataType::kFloat64:
-            g.accs[s].UpdateNumeric(col.Value<double>(r));
-            break;
-          default:
-            return Status::InvalidArgument(
-                "cannot aggregate non-numeric column");
-        }
-      }
-    }
+    seq_base.push_back(seq);
+    seq += batch.num_rows();
+    chunk.push_back(std::move(batch));
+    if (chunk.size() >= chunk_batches) RAW_RETURN_NOT_OK(flush_chunk());
   }
+  RAW_RETURN_NOT_OK(flush_chunk());
 
-  // Stage results columnar.
-  for (int c = 0; c < output_schema_.num_fields(); ++c) {
-    result_columns_.push_back(
-        std::make_shared<Column>(output_schema_.field(c).type));
+  // Merge — key sets are disjoint across partials, so this is pure
+  // concatenation; Finalize re-establishes stream order.
+  GroupByPartial& final_partial = partials[0];
+  for (size_t w = 1; w < partials.size(); ++w) {
+    RAW_RETURN_NOT_OK(final_partial.MergeFrom(partials[w]));
   }
-  const size_t num_keys = key_columns_.size();
-  for (const Group& g : groups) {
-    for (size_t k = 0; k < num_keys; ++k) {
-      result_columns_[k]->AppendDatum(g.key_values[k]);
-    }
-    for (size_t s = 0; s < aggs_.size(); ++s) {
-      result_columns_[num_keys + s]->AppendDatum(g.accs[s].Finalize());
-    }
-  }
-  num_groups_ = static_cast<int64_t>(groups.size());
+  RAW_ASSIGN_OR_RETURN(result_columns_, final_partial.Finalize(output_schema_));
+  num_groups_ = final_partial.num_groups();
   return Status::OK();
 }
 
 StatusOr<ColumnBatch> HashGroupByOperator::Next() {
   if (!consumed_) {
     consumed_ = true;
-    RAW_RETURN_NOT_OK(ConsumeChild());
+    if (pool_ != nullptr && num_threads_ > 1) {
+      RAW_RETURN_NOT_OK(ConsumeChildParallel());
+    } else {
+      RAW_RETURN_NOT_OK(ConsumeChild());
+    }
   }
   if (emit_cursor_ >= num_groups_) return ColumnBatch(output_schema_);
   int64_t take = std::min(kDefaultBatchRows, num_groups_ - emit_cursor_);
   ColumnBatch out(output_schema_);
   std::vector<int64_t> idx(static_cast<size_t>(take));
-  for (int64_t i = 0; i < take; ++i) idx[static_cast<size_t>(i)] = emit_cursor_ + i;
+  for (int64_t i = 0; i < take; ++i) {
+    idx[static_cast<size_t>(i)] = emit_cursor_ + i;
+  }
   for (const ColumnPtr& col : result_columns_) {
     out.AddColumn(std::make_shared<Column>(col->Gather(idx.data(), take)));
   }

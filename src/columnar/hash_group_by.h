@@ -1,20 +1,95 @@
 #ifndef RAW_COLUMNAR_HASH_GROUP_BY_H_
 #define RAW_COLUMNAR_HASH_GROUP_BY_H_
 
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "columnar/aggregate.h"
 #include "columnar/operator.h"
+#include "common/thread_pool.h"
 
 namespace raw {
 
+/// Mergeable partial-aggregation state for hash GROUP BY — the per-thread
+/// half of the parallel aggregation path. Each worker absorbs its share of
+/// the input into a private partial (no locking: one partial per thread),
+/// then partials merge into one and groups emit in first-seen stream order.
+///
+/// Determinism contract: callers partition *rows by key* (hash % workers), so
+/// every row of a given group is folded by the same partial in stream order.
+/// Accumulation order per group therefore never depends on the worker count,
+/// and results — floating-point sums included — are bitwise identical to the
+/// serial path for any number of threads.
+class GroupByPartial {
+ public:
+  GroupByPartial(std::vector<int> key_columns, std::vector<AggSpec> aggs,
+                 std::vector<DataType> agg_input_types);
+
+  /// Absorbs the rows of `batch` whose encoded key hashes into `partition`
+  /// (modulo `num_partitions`; pass 0/1 to absorb every row). `seq_base` is
+  /// the global stream sequence of the batch's first row — it orders group
+  /// emission. `precomputed_keys` (one encoded key per row, see EncodeKeys)
+  /// skips re-encoding, and `precomputed_hashes` (see HashKeys) skips
+  /// re-hashing — with both, a non-owning partition worker only pays a
+  /// compare per foreign row; pass nullptr to compute on the fly.
+  Status Absorb(const ColumnBatch& batch, int64_t seq_base,
+                const std::vector<std::string>* precomputed_keys = nullptr,
+                const std::vector<uint64_t>* precomputed_hashes = nullptr,
+                uint64_t partition = 0, uint64_t num_partitions = 1);
+
+  /// Folds `other` into this partial: accumulators of matching keys merge
+  /// (this partial's rows first, then `other`'s — relevant for float SUM/AVG
+  /// only when key sets overlap), new keys keep their first-seen sequence.
+  Status MergeFrom(const GroupByPartial& other);
+
+  int64_t num_groups() const { return static_cast<int64_t>(groups_.size()); }
+
+  /// Emits one column per key followed by one per aggregate, groups ordered
+  /// by first-seen sequence (== serial insertion order).
+  StatusOr<std::vector<ColumnPtr>> Finalize(const Schema& output_schema) const;
+
+  /// Serializes the group key of every row of `batch` (the per-batch encode
+  /// pass workers parallelize before partitioned absorption).
+  static void EncodeKeys(const ColumnBatch& batch,
+                         const std::vector<int>& key_columns,
+                         std::vector<std::string>* out);
+
+  /// Partition hashes for encoded keys (paired with EncodeKeys so the
+  /// per-row hash is computed once, not once per partition worker).
+  static void HashKeys(const std::vector<std::string>& keys,
+                       std::vector<uint64_t>* out);
+
+ private:
+  struct Group {
+    std::string key;  // encoded form, for MergeFrom lookups
+    std::vector<Datum> key_values;
+    std::vector<AggAccumulator> accs;
+    int64_t first_seen = 0;
+  };
+
+  Status AbsorbRow(const ColumnBatch& batch, int64_t row, int64_t seq,
+                   const std::string& key);
+
+  std::vector<int> key_columns_;
+  std::vector<AggSpec> aggs_;
+  std::vector<DataType> agg_input_types_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<Group> groups_;
+};
+
 /// Hash-based GROUP BY over integer/string key columns. Consumes the whole
 /// child stream on the first Next() and then emits one row per group. Used by
-/// the Higgs query (per-event particle aggregation, §6).
+/// the Higgs query (per-event particle aggregation, §6). With SetParallel,
+/// absorption fans out over the thread pool via key-partitioned
+/// GroupByPartials; output is bitwise identical to the serial path.
 class HashGroupByOperator : public Operator {
  public:
   HashGroupByOperator(OperatorPtr child, std::vector<int> key_columns,
                       std::vector<AggSpec> aggs);
+
+  /// Enables parallel partial aggregation (num_threads <= 1 stays serial).
+  void SetParallel(ThreadPool* pool, int num_threads);
 
   const Schema& output_schema() const override { return output_schema_; }
   Status Open() override;
@@ -24,12 +99,15 @@ class HashGroupByOperator : public Operator {
 
  private:
   Status ConsumeChild();
+  Status ConsumeChildParallel();
 
   OperatorPtr child_;
   std::vector<int> key_columns_;
   std::vector<AggSpec> aggs_;
   std::vector<DataType> agg_input_types_;
   Schema output_schema_;
+  ThreadPool* pool_ = nullptr;
+  int num_threads_ = 1;
   bool consumed_ = false;
   // Result staging after ConsumeChild().
   std::vector<ColumnPtr> result_columns_;

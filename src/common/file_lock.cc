@@ -1,0 +1,74 @@
+#include "common/file_lock.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace raw {
+
+namespace {
+StatusOr<int> OpenLockFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open lock file " + path + ": " +
+                           ::strerror(errno));
+  }
+  return fd;
+}
+}  // namespace
+
+StatusOr<FileLock> FileLock::Acquire(const std::string& path) {
+  RAW_ASSIGN_OR_RETURN(int fd, OpenLockFile(path));
+  int rc;
+  do {
+    rc = ::flock(fd, LOCK_EX);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status st = Status::IOError("flock " + path + ": " + ::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  return FileLock(path, fd);
+}
+
+StatusOr<FileLock> FileLock::TryAcquire(const std::string& path) {
+  RAW_ASSIGN_OR_RETURN(int fd, OpenLockFile(path));
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    int saved = errno;
+    ::close(fd);
+    if (saved == EWOULDBLOCK) {
+      return Status::ResourceExhausted("lock held elsewhere: " + path);
+    }
+    return Status::IOError("flock " + path + ": " + ::strerror(saved));
+  }
+  return FileLock(path, fd);
+}
+
+FileLock::FileLock(FileLock&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FileLock::~FileLock() { Release(); }
+
+void FileLock::Release() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace raw

@@ -1,0 +1,45 @@
+#ifndef RAW_COMMON_FILE_LOCK_H_
+#define RAW_COMMON_FILE_LOCK_H_
+
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace raw {
+
+/// RAII advisory file lock (flock(2), exclusive). Serializes critical
+/// sections across *processes* — e.g. concurrent benchmark binaries
+/// materializing the same dataset cache directory. The lock file is created
+/// if missing and left behind after release (unlinking would race with other
+/// waiters holding the same inode).
+class FileLock {
+ public:
+  /// Blocks until the exclusive lock on `path` is acquired.
+  static StatusOr<FileLock> Acquire(const std::string& path);
+
+  /// Non-blocking variant; returns ResourceExhausted when the lock is
+  /// already held elsewhere.
+  static StatusOr<FileLock> TryAcquire(const std::string& path);
+
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+  ~FileLock();
+  RAW_DISALLOW_COPY_AND_ASSIGN(FileLock);
+
+  const std::string& path() const { return path_; }
+
+  /// Releases early (idempotent; the destructor is the usual path).
+  void Release();
+
+ private:
+  FileLock(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_FILE_LOCK_H_

@@ -36,6 +36,19 @@ void PositionalMap::AppendRow(uint64_t row_start, const uint64_t* positions) {
   ++num_rows_;
 }
 
+Status PositionalMap::AppendFrom(const PositionalMap& other) {
+  if (other.num_columns_ != num_columns_ || other.tracked_ != tracked_) {
+    return Status::InvalidArgument(
+        "cannot append positional map with different tracking configuration");
+  }
+  row_starts_.insert(row_starts_.end(), other.row_starts_.begin(),
+                     other.row_starts_.end());
+  positions_.insert(positions_.end(), other.positions_.begin(),
+                    other.positions_.end());
+  num_rows_ += other.num_rows_;
+  return Status::OK();
+}
+
 int64_t PositionalMap::MemoryBytes() const {
   return static_cast<int64_t>((row_starts_.size() + positions_.size()) *
                               sizeof(uint64_t));

@@ -50,6 +50,10 @@ class PositionalMap {
   /// offset of tracked column s; `row_start` is the offset of column 0.
   void AppendRow(uint64_t row_start, const uint64_t* positions);
 
+  /// Appends all rows of `other` (a per-morsel partial map built over a later
+  /// slice of the same file). Both maps must track the same columns.
+  Status AppendFrom(const PositionalMap& other);
+
   /// Byte offset of row `row`'s column 0.
   uint64_t RowStart(int64_t row) const {
     return row_starts_[static_cast<size_t>(row)];

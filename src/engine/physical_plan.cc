@@ -1,6 +1,20 @@
 #include "engine/physical_plan.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
 namespace raw {
+
+int ResolveNumThreads(int requested) {
+  if (requested > 0) return requested;
+  const char* env = std::getenv("RAW_NUM_THREADS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
 
 std::string_view ShredPolicyToString(ShredPolicy policy) {
   switch (policy) {

@@ -51,7 +51,16 @@ struct PlannerOptions {
   /// kMultiColumnShreds: fetch an upstream column together with the current
   /// one when their column distance is at most this window.
   int speculation_window = 1000000;  // effectively "all remaining"
+  /// Worker threads for morsel-parallel table scans and group-by partials.
+  /// 1 preserves the single-threaded plans bit-for-bit; 0 = auto, resolving
+  /// to $RAW_NUM_THREADS when set, else std::thread::hardware_concurrency().
+  /// Parallel plans return identical results for every thread count (morsels
+  /// re-emit in file order; group-by partials partition rows by key).
+  int num_threads = 0;
 };
+
+/// Resolves PlannerOptions::num_threads (see above); always >= 1.
+int ResolveNumThreads(int requested);
 
 /// The executable plan: an operator tree plus bookkeeping the executor needs
 /// (JIT compile time for reporting, explain text).

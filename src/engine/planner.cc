@@ -7,7 +7,9 @@
 #include <sstream>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "engine/cost_model.h"
+#include "engine/executor.h"
 
 #include "columnar/filter.h"
 #include "columnar/hash_group_by.h"
@@ -18,6 +20,7 @@
 #include "scan/insitu_csv_scan.h"
 #include "scan/jit_scan.h"
 #include "scan/loader.h"
+#include "scan/morsel.h"
 #include "scan/ref_scan.h"
 #include "scan/shred_scan.h"
 
@@ -320,6 +323,7 @@ struct BuildCtx {
   const PlannerOptions* opts;
   double* compile_seconds;
   std::ostringstream* desc;
+  int num_threads = 1;  // resolved from opts->num_threads once per plan
 };
 
 std::vector<int> SortedUnique(std::vector<int> v) {
@@ -384,6 +388,300 @@ Status EnsureLoaded(BuildCtx& ctx, TableEntry* entry) {
   return Status::OK();
 }
 
+/// Zero-copy rename of a scan's outputs to their qualified names.
+OperatorPtr WrapQualified(OperatorPtr op, const Schema& qualified) {
+  std::vector<int> idx(static_cast<size_t>(qualified.num_fields()));
+  std::vector<std::string> names;
+  for (int i = 0; i < qualified.num_fields(); ++i) {
+    idx[static_cast<size_t>(i)] = i;
+    names.push_back(qualified.field(i).name);
+  }
+  return std::make_unique<SelectColumnsOperator>(std::move(op), std::move(idx),
+                                                 std::move(names));
+}
+
+/// First-contact CSV scan: sequential, building the positional map en route.
+/// With num_threads > 1 the file splits into newline-aligned byte morsels
+/// scanned concurrently; each morsel builds a private partial map that the
+/// parallel driver stitches together in file order at end of stream.
+StatusOr<OperatorPtr> BuildCsvSequentialScan(BuildCtx& ctx, TableEntry* entry,
+                                             const std::vector<int>& cols,
+                                             const Schema& qualified) {
+  const TableInfo& info = entry->info;
+  const PlannerOptions& opts = *ctx.opts;
+  PositionalMap* build = nullptr;
+  if (opts.build_positional_map) {
+    if (entry->pmap == nullptr) {
+      entry->pmap = std::make_unique<PositionalMap>(PositionalMap::WithStride(
+          info.schema.num_fields(), info.pmap_stride));
+    }
+    if (entry->pmap->empty()) build = entry->pmap.get();
+  }
+  (*ctx.desc) << "[seq-scan " << info.name << "] ";
+  const bool use_jit = opts.access_path == AccessPathKind::kJit &&
+                       !AnyStringColumn(info.schema, cols);
+
+  auto make_jit_spec = [&] {
+    AccessPathSpec spec;
+    spec.format = FileFormat::kCsv;
+    spec.mode = ScanMode::kSequential;
+    spec.delimiter = info.csv_options.delimiter;
+    for (int c : cols) {
+      spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
+    }
+    if (build != nullptr) spec.pmap_tracked = build->tracked_columns();
+    return spec;
+  };
+  auto make_insitu_spec = [&] {
+    CsvScanSpec spec;
+    spec.file_schema = info.schema;
+    spec.outputs = cols;
+    spec.options = info.csv_options;
+    spec.batch_rows = opts.batch_rows;
+    return spec;
+  };
+
+  std::vector<ByteMorsel> morsels;
+  if (ctx.num_threads > 1) {
+    morsels = SplitCsvByteRanges(entry->mmap->data(), entry->mmap->size(),
+                                 info.csv_options, ctx.num_threads * 4);
+  }
+  if (morsels.size() > 1) {
+    ParallelTableScanOperator::Options popts;
+    popts.num_threads = ctx.num_threads;
+    popts.rebase_row_ids = true;  // morsel children emit range-local ids
+    popts.merge_pmap_into = build;
+    std::vector<OperatorPtr> children;
+    for (const ByteMorsel& m : morsels) {
+      PositionalMap* child_pmap = nullptr;
+      if (build != nullptr) {
+        popts.partial_pmaps.push_back(
+            std::make_unique<PositionalMap>(PositionalMap::WithStride(
+                info.schema.num_fields(), info.pmap_stride)));
+        child_pmap = popts.partial_pmaps.back().get();
+      }
+      if (use_jit) {
+        JitScanArgs args;
+        args.spec = make_jit_spec();
+        args.output_schema = qualified;
+        args.file = entry->mmap.get();
+        args.build_pmap = child_pmap;
+        args.window_begin = m.begin;
+        args.window_end = m.end;
+        args.batch_rows = opts.batch_rows;
+        children.push_back(
+            std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
+      } else {
+        CsvScanSpec spec = make_insitu_spec();
+        spec.build_pmap = child_pmap;
+        spec.range_begin = m.begin;
+        spec.range_end = m.end;
+        children.push_back(WrapQualified(
+            std::make_unique<InsituCsvScanOperator>(entry->mmap.get(),
+                                                    std::move(spec)),
+            qualified));
+      }
+    }
+    (*ctx.desc) << "[parallel x" << ctx.num_threads << " morsels="
+                << morsels.size() << "] ";
+    return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
+        qualified, std::move(children), std::move(popts)));
+  }
+
+  if (use_jit) {
+    JitScanArgs args;
+    args.spec = make_jit_spec();
+    args.output_schema = qualified;
+    args.file = entry->mmap.get();
+    args.build_pmap = build;
+    args.batch_rows = opts.batch_rows;
+    return OperatorPtr(
+        std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
+  }
+  CsvScanSpec spec = make_insitu_spec();
+  spec.build_pmap = build;
+  return WrapQualified(std::make_unique<InsituCsvScanOperator>(
+                           entry->mmap.get(), std::move(spec)),
+                       qualified);
+}
+
+/// Warm CSV scan: jump to every mapped row via the positional map. With
+/// num_threads > 1 the mapped rows split into row-range morsels; ids are
+/// already file-global, so no rebasing is needed.
+StatusOr<OperatorPtr> BuildCsvPositionalScan(BuildCtx& ctx, TableEntry* entry,
+                                             const std::vector<int>& cols,
+                                             const Schema& qualified) {
+  const TableInfo& info = entry->info;
+  const PlannerOptions& opts = *ctx.opts;
+  int anchor = entry->pmap->tracked_columns().front();
+  for (int t : entry->pmap->tracked_columns()) {
+    if (t <= cols.front()) anchor = t;
+  }
+  (*ctx.desc) << "[pmap-scan " << info.name << " anchor=" << anchor << "] ";
+  const bool use_jit = opts.access_path == AccessPathKind::kJit &&
+                       !AnyStringColumn(info.schema, cols);
+
+  auto make_jit_args = [&](RowSet rows) -> StatusOr<JitScanArgs> {
+    RAW_RETURN_NOT_OK(
+        FillPositions(*entry->pmap, entry->pmap->SlotFor(anchor), &rows));
+    AccessPathSpec spec;
+    spec.format = FileFormat::kCsv;
+    spec.mode = ScanMode::kByPosition;
+    spec.delimiter = info.csv_options.delimiter;
+    spec.anchor_column = anchor;
+    for (int c : cols) {
+      spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
+    }
+    JitScanArgs args;
+    args.spec = std::move(spec);
+    args.output_schema = qualified;
+    args.file = entry->mmap.get();
+    args.row_set = std::move(rows);
+    args.batch_rows = opts.batch_rows;
+    return args;
+  };
+  auto make_insitu = [&](std::optional<RowSet> rows) {
+    CsvScanSpec spec;
+    spec.file_schema = info.schema;
+    spec.outputs = cols;
+    spec.options = info.csv_options;
+    spec.batch_rows = opts.batch_rows;
+    spec.use_pmap = entry->pmap.get();
+    spec.anchor_column = anchor;
+    spec.row_set = std::move(rows);
+    return WrapQualified(std::make_unique<InsituCsvScanOperator>(
+                             entry->mmap.get(), std::move(spec)),
+                         qualified);
+  };
+  auto iota_rows = [](int64_t first, int64_t count) {
+    RowSet rows;
+    rows.ids.resize(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      rows.ids[static_cast<size_t>(i)] = first + i;
+    }
+    return rows;
+  };
+
+  std::vector<RowMorsel> morsels;
+  if (ctx.num_threads > 1) {
+    morsels = SplitPmapRowRanges(*entry->pmap, ctx.num_threads * 4);
+  }
+  if (morsels.size() > 1) {
+    ParallelTableScanOperator::Options popts;
+    popts.num_threads = ctx.num_threads;
+    std::vector<OperatorPtr> children;
+    for (const RowMorsel& m : morsels) {
+      if (use_jit) {
+        RAW_ASSIGN_OR_RETURN(JitScanArgs args,
+                             make_jit_args(iota_rows(m.first, m.count)));
+        children.push_back(
+            std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
+      } else {
+        children.push_back(make_insitu(iota_rows(m.first, m.count)));
+      }
+    }
+    (*ctx.desc) << "[parallel x" << ctx.num_threads << " morsels="
+                << morsels.size() << "] ";
+    return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
+        qualified, std::move(children), std::move(popts)));
+  }
+
+  if (use_jit) {
+    RAW_ASSIGN_OR_RETURN(JitScanArgs args,
+                         make_jit_args(iota_rows(0, entry->pmap->num_rows())));
+    return OperatorPtr(
+        std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
+  }
+  return make_insitu(std::nullopt);
+}
+
+/// Full binary scan; with num_threads > 1, row-range morsels. Binary morsels
+/// know their first row up front, so ids stay global (JIT kernels emit
+/// window-local ids that JitScanOperator rebases by row_id_offset).
+StatusOr<OperatorPtr> BuildBinSequentialScan(BuildCtx& ctx, TableEntry* entry,
+                                             const std::vector<int>& cols,
+                                             const Schema& qualified) {
+  const TableInfo& info = entry->info;
+  const PlannerOptions& opts = *ctx.opts;
+  (*ctx.desc) << "[bin-scan " << info.name << "] ";
+
+  if (opts.access_path == AccessPathKind::kJit) {
+    RAW_ASSIGN_OR_RETURN(BinaryLayout layout, BinaryLayout::Create(info.schema));
+    auto make_jit_args = [&](int64_t first, int64_t count) {
+      AccessPathSpec spec;
+      spec.format = FileFormat::kBinary;
+      spec.mode = ScanMode::kSequential;
+      spec.row_width = layout.row_width();
+      for (int c : cols) {
+        spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
+        spec.column_offsets.push_back(layout.ColumnOffset(c));
+      }
+      JitScanArgs args;
+      args.spec = std::move(spec);
+      args.output_schema = qualified;
+      args.file = entry->mmap.get();
+      args.total_rows = count;
+      args.batch_rows = opts.batch_rows;
+      if (first > 0 || count < entry->bin_reader->num_rows()) {
+        const uint64_t width = static_cast<uint64_t>(layout.row_width());
+        args.window_begin = static_cast<uint64_t>(first) * width;
+        args.window_end = static_cast<uint64_t>(first + count) * width;
+        args.row_id_offset = first;
+      }
+      return args;
+    };
+    std::vector<RowMorsel> morsels;
+    if (ctx.num_threads > 1) {
+      morsels = SplitRowRanges(entry->bin_reader->num_rows(),
+                               ctx.num_threads * 4);
+    }
+    if (morsels.size() > 1) {
+      ParallelTableScanOperator::Options popts;
+      popts.num_threads = ctx.num_threads;
+      std::vector<OperatorPtr> children;
+      for (const RowMorsel& m : morsels) {
+        children.push_back(std::make_unique<JitScanOperator>(
+            ctx.jit, make_jit_args(m.first, m.count)));
+      }
+      (*ctx.desc) << "[parallel x" << ctx.num_threads << " morsels="
+                  << morsels.size() << "] ";
+      return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
+          qualified, std::move(children), std::move(popts)));
+    }
+    return OperatorPtr(std::make_unique<JitScanOperator>(
+        ctx.jit, make_jit_args(0, entry->bin_reader->num_rows())));
+  }
+
+  auto make_insitu = [&](int64_t first, int64_t count) {
+    BinScanSpec spec;
+    spec.outputs = cols;
+    spec.batch_rows = opts.batch_rows;
+    spec.first_row = first;
+    spec.num_rows = count;
+    return WrapQualified(std::make_unique<InsituBinScanOperator>(
+                             entry->bin_reader.get(), std::move(spec)),
+                         qualified);
+  };
+  std::vector<RowMorsel> morsels;
+  if (ctx.num_threads > 1) {
+    morsels = SplitRowRanges(entry->bin_reader->num_rows(),
+                             ctx.num_threads * 4);
+  }
+  if (morsels.size() > 1) {
+    ParallelTableScanOperator::Options popts;
+    popts.num_threads = ctx.num_threads;
+    std::vector<OperatorPtr> children;
+    for (const RowMorsel& m : morsels) {
+      children.push_back(make_insitu(m.first, m.count));
+    }
+    (*ctx.desc) << "[parallel x" << ctx.num_threads << " morsels="
+                << morsels.size() << "] ";
+    return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
+        qualified, std::move(children), std::move(popts)));
+  }
+  return make_insitu(0, entry->bin_reader->num_rows());
+}
+
 /// Builds the raw-file scan for `cols` of `entry` (no cache involvement).
 StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableEntry* entry,
                                    const std::vector<int>& cols,
@@ -397,155 +695,20 @@ StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableEntry* entry,
     case FileFormat::kCsv: {
       const bool have_pmap = entry->pmap != nullptr && !entry->pmap->empty();
       if (opts.access_path == AccessPathKind::kExternalTable) {
+        // The "external tables" baseline re-parses everything per query by
+        // design; it stays serial (it is a comparison system, not a target).
         auto ext = std::make_unique<ExternalTableScanOperator>(
             entry->mmap.get(), info.schema, cols, info.csv_options,
             opts.batch_rows);
-        std::vector<int> idx(cols.size());
-        std::vector<std::string> names;
-        for (size_t i = 0; i < cols.size(); ++i) {
-          idx[i] = static_cast<int>(i);
-          names.push_back(qualified.field(static_cast<int>(i)).name);
-        }
-        return OperatorPtr(std::make_unique<SelectColumnsOperator>(
-            std::move(ext), std::move(idx), std::move(names)));
+        return WrapQualified(std::move(ext), qualified);
       }
       if (!have_pmap) {
-        // First scan: sequential, building the positional map en route.
-        PositionalMap* build = nullptr;
-        if (opts.build_positional_map) {
-          if (entry->pmap == nullptr) {
-            entry->pmap = std::make_unique<PositionalMap>(
-                PositionalMap::WithStride(info.schema.num_fields(),
-                                          info.pmap_stride));
-          }
-          if (entry->pmap->empty()) build = entry->pmap.get();
-        }
-        (*ctx.desc) << "[seq-scan " << info.name << "] ";
-        if (opts.access_path == AccessPathKind::kJit &&
-            !AnyStringColumn(info.schema, cols)) {
-          AccessPathSpec spec;
-          spec.format = FileFormat::kCsv;
-          spec.mode = ScanMode::kSequential;
-          spec.delimiter = info.csv_options.delimiter;
-          for (int c : cols) {
-            spec.outputs.push_back(
-                OutputField{c, info.schema.field(c).type});
-          }
-          if (build != nullptr) spec.pmap_tracked = build->tracked_columns();
-          JitScanArgs args;
-          args.spec = std::move(spec);
-          args.output_schema = qualified;
-          args.file = entry->mmap.get();
-          args.build_pmap = build;
-          args.batch_rows = opts.batch_rows;
-          auto op = std::make_unique<JitScanOperator>(ctx.jit, std::move(args));
-          return OperatorPtr(std::move(op));
-        }
-        CsvScanSpec spec;
-        spec.file_schema = info.schema;
-        spec.outputs = cols;
-        spec.options = info.csv_options;
-        spec.batch_rows = opts.batch_rows;
-        spec.build_pmap = build;
-        auto op = std::make_unique<InsituCsvScanOperator>(entry->mmap.get(),
-                                                          std::move(spec));
-        // Qualified names:
-        std::vector<int> idx(cols.size());
-        std::vector<std::string> names;
-        for (size_t i = 0; i < cols.size(); ++i) {
-          idx[i] = static_cast<int>(i);
-          names.push_back(qualified.field(static_cast<int>(i)).name);
-        }
-        return OperatorPtr(std::make_unique<SelectColumnsOperator>(
-            std::move(op), std::move(idx), std::move(names)));
+        return BuildCsvSequentialScan(ctx, entry, cols, qualified);
       }
-      // Positional-map scan over all mapped rows.
-      int anchor = entry->pmap->tracked_columns().front();
-      for (int t : entry->pmap->tracked_columns()) {
-        if (t <= cols.front()) anchor = t;
-      }
-      (*ctx.desc) << "[pmap-scan " << info.name << " anchor=" << anchor
-                  << "] ";
-      if (opts.access_path == AccessPathKind::kJit &&
-          !AnyStringColumn(info.schema, cols)) {
-        AccessPathSpec spec;
-        spec.format = FileFormat::kCsv;
-        spec.mode = ScanMode::kByPosition;
-        spec.delimiter = info.csv_options.delimiter;
-        spec.anchor_column = anchor;
-        for (int c : cols) {
-          spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
-        }
-        RowSet all;
-        all.ids.resize(static_cast<size_t>(entry->pmap->num_rows()));
-        for (int64_t i = 0; i < entry->pmap->num_rows(); ++i) {
-          all.ids[static_cast<size_t>(i)] = i;
-        }
-        RAW_RETURN_NOT_OK(FillPositions(*entry->pmap,
-                                        entry->pmap->SlotFor(anchor), &all));
-        JitScanArgs args;
-        args.spec = std::move(spec);
-        args.output_schema = qualified;
-        args.file = entry->mmap.get();
-        args.row_set = std::move(all);
-        args.batch_rows = opts.batch_rows;
-        return OperatorPtr(
-            std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
-      }
-      CsvScanSpec spec;
-      spec.file_schema = info.schema;
-      spec.outputs = cols;
-      spec.options = info.csv_options;
-      spec.batch_rows = opts.batch_rows;
-      spec.use_pmap = entry->pmap.get();
-      spec.anchor_column = anchor;
-      auto op = std::make_unique<InsituCsvScanOperator>(entry->mmap.get(),
-                                                        std::move(spec));
-      std::vector<int> idx(cols.size());
-      std::vector<std::string> names;
-      for (size_t i = 0; i < cols.size(); ++i) {
-        idx[i] = static_cast<int>(i);
-        names.push_back(qualified.field(static_cast<int>(i)).name);
-      }
-      return OperatorPtr(std::make_unique<SelectColumnsOperator>(
-          std::move(op), std::move(idx), std::move(names)));
+      return BuildCsvPositionalScan(ctx, entry, cols, qualified);
     }
-    case FileFormat::kBinary: {
-      (*ctx.desc) << "[bin-scan " << info.name << "] ";
-      if (opts.access_path == AccessPathKind::kJit) {
-        RAW_ASSIGN_OR_RETURN(BinaryLayout layout,
-                             BinaryLayout::Create(info.schema));
-        AccessPathSpec spec;
-        spec.format = FileFormat::kBinary;
-        spec.mode = ScanMode::kSequential;
-        spec.row_width = layout.row_width();
-        for (int c : cols) {
-          spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
-          spec.column_offsets.push_back(layout.ColumnOffset(c));
-        }
-        JitScanArgs args;
-        args.spec = std::move(spec);
-        args.output_schema = qualified;
-        args.file = entry->mmap.get();
-        args.total_rows = entry->bin_reader->num_rows();
-        args.batch_rows = opts.batch_rows;
-        return OperatorPtr(
-            std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
-      }
-      BinScanSpec spec;
-      spec.outputs = cols;
-      spec.batch_rows = opts.batch_rows;
-      auto op = std::make_unique<InsituBinScanOperator>(entry->bin_reader.get(),
-                                                        std::move(spec));
-      std::vector<int> idx(cols.size());
-      std::vector<std::string> names;
-      for (size_t i = 0; i < cols.size(); ++i) {
-        idx[i] = static_cast<int>(i);
-        names.push_back(qualified.field(static_cast<int>(i)).name);
-      }
-      return OperatorPtr(std::make_unique<SelectColumnsOperator>(
-          std::move(op), std::move(idx), std::move(names)));
-    }
+    case FileFormat::kBinary:
+      return BuildBinSequentialScan(ctx, entry, cols, qualified);
     case FileFormat::kRef: {
       (*ctx.desc) << "[ref-scan " << info.name << "] ";
       std::vector<std::string> field_names;
@@ -1041,7 +1204,8 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
   PhysicalPlan plan;
   std::ostringstream desc;
   double compile_seconds = 0;
-  BuildCtx ctx{catalog_, jit_, shreds_, &options, &compile_seconds, &desc};
+  BuildCtx ctx{catalog_, jit_, shreds_, &options, &compile_seconds, &desc,
+               ResolveNumThreads(options.num_threads)};
 
   // Resolve tables.
   std::vector<TableEntry*> entries;
@@ -1260,9 +1424,15 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
         RAW_ASSIGN_OR_RETURN(int idx, QualifiedIndex(in, g));
         keys.push_back(idx);
       }
-      op = std::make_unique<HashGroupByOperator>(std::move(op), std::move(keys),
-                                                 std::move(specs));
-      (*ctx.desc) << "[group-by] ";
+      auto group_by = std::make_unique<HashGroupByOperator>(
+          std::move(op), std::move(keys), std::move(specs));
+      if (ctx.num_threads > 1) {
+        group_by->SetParallel(ThreadPool::Shared(), ctx.num_threads);
+        (*ctx.desc) << "[group-by x" << ctx.num_threads << "] ";
+      } else {
+        (*ctx.desc) << "[group-by] ";
+      }
+      op = std::move(group_by);
     }
   } else {
     RAW_RETURN_NOT_OK(op->Open());

@@ -15,6 +15,9 @@ Status InsituBinScanOperator::Open() {
   if (spec_.outputs.empty()) {
     return Status::InvalidArgument("binary scan needs at least one output");
   }
+  if (spec_.first_row < 0 || spec_.first_row > reader_->num_rows()) {
+    return Status::InvalidArgument("binary scan first_row out of range");
+  }
   for (int c : spec_.outputs) {
     if (c < 0 || c >= reader_->layout().num_columns()) {
       return Status::InvalidArgument("binary scan output column out of range");
@@ -25,8 +28,13 @@ Status InsituBinScanOperator::Open() {
 
 StatusOr<ColumnBatch> InsituBinScanOperator::Next() {
   ColumnBatch out(output_schema_);
-  const int64_t total = spec_.row_set.has_value() ? spec_.row_set->size()
-                                                  : reader_->num_rows();
+  int64_t total;
+  if (spec_.row_set.has_value()) {
+    total = spec_.row_set->size();
+  } else {
+    total = reader_->num_rows() - spec_.first_row;
+    if (spec_.num_rows >= 0) total = std::min(total, spec_.num_rows);
+  }
   if (cursor_ >= total) return out;
   if (spec_.profile) spec_.profile->main_loop.Start();
 
@@ -39,7 +47,7 @@ StatusOr<ColumnBatch> InsituBinScanOperator::Next() {
   for (int64_t i = 0; i < take; ++i) {
     int64_t row = spec_.row_set.has_value()
                       ? spec_.row_set->ids[static_cast<size_t>(cursor_ + i)]
-                      : cursor_ + i;
+                      : spec_.first_row + cursor_ + i;
     row_ids.push_back(row);
   }
   if (spec_.profile) {

@@ -19,6 +19,11 @@ struct BinScanSpec {
   int64_t batch_rows = kDefaultBatchRows;
   /// Explicit rows (column shreds); absent => all rows.
   std::optional<RowSet> row_set;
+  /// Row-range morsel [first_row, first_row + num_rows) when `row_set` is
+  /// absent (num_rows < 0 => through the last row). Emitted row ids stay
+  /// global, so parallel morsels concatenate into the full-table id space.
+  int64_t first_row = 0;
+  int64_t num_rows = -1;
   ScanProfile* profile = nullptr;
 };
 

@@ -17,6 +17,14 @@ Status InsituCsvScanOperator::Open() {
   const char* begin = file_->data();
   end_ = begin + file_->size();
   pos_ = begin + DataStartOffset(begin, end_, spec_.options);
+  if (spec_.range_end > 0) {
+    if (spec_.range_end > file_->size() ||
+        spec_.range_begin > spec_.range_end) {
+      return Status::InvalidArgument("CSV scan byte range out of bounds");
+    }
+    pos_ = begin + spec_.range_begin;
+    end_ = begin + spec_.range_end;
+  }
   row_ = 0;
   input_cursor_ = 0;
   if (spec_.outputs.empty()) {

@@ -27,6 +27,14 @@ struct CsvScanSpec {
   CsvOptions options;
   int64_t batch_rows = kDefaultBatchRows;
 
+  /// Sequential mode: restrict the scan to a byte sub-range of the file — a
+  /// morsel (range_end == 0 => whole file). `range_begin` must point at the
+  /// start of a data row and `range_end` one past a row terminator (or file
+  /// size); see SplitCsvByteRanges. Emitted row ids are local to the range
+  /// (the parallel scan driver rebases them by morsel prefix sums).
+  uint64_t range_begin = 0;
+  uint64_t range_end = 0;
+
   /// Sequential mode: build this map while scanning (may be null).
   PositionalMap* build_pmap = nullptr;
 

@@ -28,6 +28,14 @@ Status JitScanOperator::Open() {
   if (args_.file != nullptr) {
     ctx_.file_data = args_.file->data();
     ctx_.file_size = args_.file->size();
+    if (args_.window_end > 0) {
+      if (args_.window_end > args_.file->size() ||
+          args_.window_begin > args_.window_end) {
+        return Status::InvalidArgument("JIT scan window out of bounds");
+      }
+      ctx_.file_data += args_.window_begin;
+      ctx_.file_size = args_.window_end - args_.window_begin;
+    }
     if (args_.spec.format == FileFormat::kCsv && ctx_.file_size > 0 &&
         ctx_.file_data[ctx_.file_size - 1] != '\n') {
       // Generated CSV kernels elide bounds checks inside fields; they rely
@@ -117,14 +125,24 @@ StatusOr<ColumnBatch> JitScanOperator::Next() {
     out.AddColumn(std::move(col));
   }
   out.SetNumRows(produced);
-  out.SetRowIds(std::vector<int64_t>(row_id_scratch_.begin(),
-                                     row_id_scratch_.begin() + produced));
+  std::vector<int64_t> ids(row_id_scratch_.begin(),
+                           row_id_scratch_.begin() + produced);
+  if (args_.row_id_offset != 0) {
+    for (int64_t& id : ids) id += args_.row_id_offset;
+  }
+  out.SetRowIds(std::move(ids));
   if (args_.build_pmap != nullptr) {
     PositionalMap* pmap = args_.build_pmap;
     const size_t slots = args_.spec.pmap_tracked.size();
+    const uint64_t rebase = args_.window_begin;
     for (int64_t r = 0; r < produced; ++r) {
-      pmap->AppendRow(pmap_rows_scratch_[static_cast<size_t>(r)],
-                      pmap_pos_scratch_.data() + static_cast<size_t>(r) * slots);
+      uint64_t* positions =
+          pmap_pos_scratch_.data() + static_cast<size_t>(r) * slots;
+      if (rebase != 0) {
+        for (size_t s = 0; s < slots; ++s) positions[s] += rebase;
+      }
+      pmap->AppendRow(pmap_rows_scratch_[static_cast<size_t>(r)] + rebase,
+                      positions);
     }
   }
   if (args_.profile) {

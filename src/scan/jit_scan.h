@@ -37,6 +37,18 @@ struct JitScanArgs {
   /// positions must be filled (FillPositions) before Open().
   std::optional<RowSet> row_set;
 
+  /// Morsel window for sequential kernels: restricts the scan to bytes
+  /// [window_begin, window_end) of the file (window_end == 0 => whole file).
+  /// The kernel sees the window as its entire file, so its row ids are
+  /// window-local: `row_id_offset` rebases them when the per-window row count
+  /// is known up front (binary), and the parallel scan driver rebases CSV
+  /// morsels by prefix sums. Positional-map offsets recorded by windowed
+  /// kernels are rebased to absolute file offsets before AppendRow.
+  uint64_t window_begin = 0;
+  uint64_t window_end = 0;
+  /// Added to every emitted row id (see window_begin).
+  int64_t row_id_offset = 0;
+
   /// CSV sequential: positional map populated as a side effect of the scan.
   /// Must be configured with exactly spec.pmap_tracked columns.
   PositionalMap* build_pmap = nullptr;

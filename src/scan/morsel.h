@@ -1,0 +1,55 @@
+#ifndef RAW_SCAN_MORSEL_H_
+#define RAW_SCAN_MORSEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "csv/csv_options.h"
+#include "csv/positional_map.h"
+
+namespace raw {
+
+/// A morsel is one independently scannable slice of a raw file: a byte range
+/// for textual formats, a row range for formats with computed or mapped
+/// offsets. Morsels are the unit of work the parallel scan drivers hand to
+/// the thread pool (morsel-driven parallelism à la Leis et al.); results are
+/// re-emitted in morsel order so parallel plans stay deterministic.
+struct ByteMorsel {
+  uint64_t begin = 0;  // inclusive, start of a row
+  uint64_t end = 0;    // exclusive, one past a row terminator (or file end)
+};
+
+struct RowMorsel {
+  int64_t first = 0;
+  int64_t count = 0;
+};
+
+/// Minimum work per morsel; below these, splitting overhead dominates.
+inline constexpr uint64_t kMinMorselBytes = 4096;
+inline constexpr int64_t kMinMorselRows = 256;
+
+/// Partitions the data region of an in-memory CSV buffer (after any header)
+/// into up to `target_morsels` newline-aligned byte ranges of at least
+/// `min_bytes` each. Quote-aware: when the buffer contains the configured
+/// quote character, fields may hide newlines, so boundaries found by newline
+/// search cannot be trusted — the whole region is returned as one morsel.
+/// An empty data region yields no morsels.
+std::vector<ByteMorsel> SplitCsvByteRanges(const char* data, size_t size,
+                                           const CsvOptions& options,
+                                           int target_morsels,
+                                           uint64_t min_bytes = kMinMorselBytes);
+
+/// Partitions [0, total_rows) into up to `target_morsels` contiguous row
+/// ranges of at least `min_rows` each. Zero rows yields no morsels.
+std::vector<RowMorsel> SplitRowRanges(int64_t total_rows, int target_morsels,
+                                      int64_t min_rows = kMinMorselRows);
+
+/// Row ranges over the rows a positional map has indexed — the splitter for
+/// warm (positional) CSV scans, where jumping makes byte alignment moot.
+std::vector<RowMorsel> SplitPmapRowRanges(const PositionalMap& pmap,
+                                          int target_morsels,
+                                          int64_t min_rows = kMinMorselRows);
+
+}  // namespace raw
+
+#endif  // RAW_SCAN_MORSEL_H_

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <functional>
 
+#include "common/file_lock.h"
 #include "common/macros.h"
 #include "common/mmap_file.h"
 #include "common/temp_dir.h"
@@ -35,6 +36,10 @@ StatusOr<std::string> Dataset::EnsureFile(
     const std::string& name,
     const std::function<Status(const std::string&)>& make) {
   std::string path = dir_ + "/" + name;
+  if (FileExists(path)) return path;  // fast path, no lock traffic
+  // Serialize generation across processes sharing one RAW_DATA_DIR: whoever
+  // wins the lock generates; the rest block, then find the file present.
+  RAW_ASSIGN_OR_RETURN(FileLock lock, FileLock::Acquire(path + ".lock"));
   if (!FileExists(path)) {
     // Write to a temp name then rename so interrupted runs don't leave a
     // truncated file behind that later runs would trust.

@@ -1,0 +1,392 @@
+// Morsel-parallel scan pipeline: determinism across thread counts (parallel
+// plans must return byte-identical answers to the serial engine over CSV,
+// binary, and JIT access paths, cold and warm), morsel-boundary edge cases
+// (quoted newlines, missing trailing newline, empty files), the positional
+// maps stitched from per-morsel partials, and the mergeable group-by
+// partials. Runs under the `concurrency` ctest label (TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "columnar/hash_group_by.h"
+#include "common/mmap_file.h"
+#include "engine/raw_engine.h"
+#include "scan/morsel.h"
+#include "tests/test_util.h"
+#include "workload/data_gen.h"
+
+namespace raw {
+namespace {
+
+// =============================================================================
+// Morsel splitter
+// =============================================================================
+
+TEST(MorselSplitterTest, ByteRangesAreNewlineAlignedAndCoverTheFile) {
+  std::string csv;
+  for (int i = 0; i < 3000; ++i) {
+    csv += std::to_string(i) + "," + std::to_string(i * 7) + "\n";
+  }
+  std::vector<ByteMorsel> morsels =
+      SplitCsvByteRanges(csv.data(), csv.size(), CsvOptions(), 8, 1024);
+  ASSERT_GT(morsels.size(), 1u);
+  uint64_t expect_begin = 0;
+  for (const ByteMorsel& m : morsels) {
+    EXPECT_EQ(m.begin, expect_begin);  // contiguous, gap-free
+    ASSERT_GT(m.end, m.begin);
+    // Every boundary except the file end sits one past a newline.
+    if (m.end < csv.size()) {
+      EXPECT_EQ(csv[m.end - 1], '\n');
+    }
+    expect_begin = m.end;
+  }
+  EXPECT_EQ(morsels.back().end, csv.size());
+}
+
+TEST(MorselSplitterTest, LastPartialMorselWithoutTrailingNewline) {
+  std::string csv = "1,2\n3,4\n5,6";  // no trailing newline
+  std::vector<ByteMorsel> morsels =
+      SplitCsvByteRanges(csv.data(), csv.size(), CsvOptions(), 4, 4);
+  ASSERT_FALSE(morsels.empty());
+  EXPECT_EQ(morsels.back().end, csv.size());
+  uint64_t covered = 0;
+  for (const ByteMorsel& m : morsels) covered += m.end - m.begin;
+  EXPECT_EQ(covered, csv.size());
+}
+
+TEST(MorselSplitterTest, EmptyFileYieldsNoMorsels) {
+  std::string csv;
+  EXPECT_TRUE(
+      SplitCsvByteRanges(csv.data(), 0, CsvOptions(), 8, 4096).empty());
+}
+
+TEST(MorselSplitterTest, HeaderOnlyFileYieldsNoMorsels) {
+  std::string csv = "a,b,c\n";
+  CsvOptions options;
+  options.has_header = true;
+  EXPECT_TRUE(
+      SplitCsvByteRanges(csv.data(), csv.size(), options, 8, 4).empty());
+}
+
+TEST(MorselSplitterTest, HeaderIsExcludedFromTheFirstMorsel) {
+  std::string csv = "a,b\n";
+  const uint64_t header = csv.size();
+  for (int i = 0; i < 100; ++i) csv += "1,2\n";
+  CsvOptions options;
+  options.has_header = true;
+  std::vector<ByteMorsel> morsels =
+      SplitCsvByteRanges(csv.data(), csv.size(), options, 4, 32);
+  ASSERT_FALSE(morsels.empty());
+  EXPECT_EQ(morsels.front().begin, header);
+}
+
+TEST(MorselSplitterTest, QuotedContentFallsBackToOneMorsel) {
+  // A quoted field hiding a newline: newline-probing boundaries would split
+  // mid-row, so the splitter must refuse to split quoted files.
+  std::string csv;
+  for (int i = 0; i < 2000; ++i) csv += "1,2,3\n";
+  csv += "4,\"line1\nline2\",6\n";
+  for (int i = 0; i < 2000; ++i) csv += "7,8,9\n";
+  std::vector<ByteMorsel> morsels =
+      SplitCsvByteRanges(csv.data(), csv.size(), CsvOptions(), 8, 64);
+  ASSERT_EQ(morsels.size(), 1u);
+  EXPECT_EQ(morsels[0].begin, 0u);
+  EXPECT_EQ(morsels[0].end, csv.size());
+}
+
+TEST(MorselSplitterTest, RowRangesPartitionExactly) {
+  std::vector<RowMorsel> morsels = SplitRowRanges(10001, 8, 16);
+  ASSERT_GT(morsels.size(), 1u);
+  int64_t next = 0;
+  for (const RowMorsel& m : morsels) {
+    EXPECT_EQ(m.first, next);
+    EXPECT_GT(m.count, 0);
+    next += m.count;
+  }
+  EXPECT_EQ(next, 10001);
+  EXPECT_TRUE(SplitRowRanges(0, 8, 16).empty());
+}
+
+// =============================================================================
+// Engine determinism across thread counts
+// =============================================================================
+
+void ExpectSameTable(const QueryResult& expected, const QueryResult& actual,
+                     const std::string& what) {
+  ASSERT_EQ(expected.num_rows(), actual.num_rows()) << what;
+  ASSERT_EQ(expected.num_columns(), actual.num_columns()) << what;
+  for (int64_t r = 0; r < expected.num_rows(); ++r) {
+    for (int c = 0; c < expected.num_columns(); ++c) {
+      ASSERT_OK_AND_ASSIGN(Datum e, expected.ValueAt(r, c));
+      ASSERT_OK_AND_ASSIGN(Datum a, actual.ValueAt(r, c));
+      ASSERT_EQ(e.ToString(), a.ToString())
+          << what << " at (" << r << "," << c << ")";
+    }
+  }
+}
+
+class ParallelScanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new TempDir(std::move(*TempDir::Create("raw_par_")));
+    spec_ = new TableSpec(TableSpec::UniformInt32("t", 8, 5000, 1234));
+    spec_->columns[5].type = DataType::kFloat64;
+    csv_path_ = new std::string(dir_->FilePath("t.csv"));
+    bin_path_ = new std::string(dir_->FilePath("t.bin"));
+    ASSERT_OK(WriteCsvFile(*spec_, *csv_path_));
+    ASSERT_OK(WriteBinaryFile(*spec_, *bin_path_));
+  }
+  static void TearDownTestSuite() {
+    delete bin_path_;
+    delete csv_path_;
+    delete spec_;
+    delete dir_;
+  }
+
+  static std::vector<std::string> Queries() {
+    int64_t lit = *spec_->SelectivityLiteral(0, 0.4).AsInt64();
+    return {
+        "SELECT COUNT(*) FROM t",
+        "SELECT MAX(col2), MIN(col3), SUM(col5) FROM t WHERE col0 < " +
+            std::to_string(lit),
+        "SELECT col1, col4 FROM t WHERE col0 < " + std::to_string(lit),
+    };
+  }
+
+  /// Runs the query list twice (cold scan building the positional map, then
+  /// the warm positional re-scan) on a fresh engine with `threads`.
+  static std::vector<QueryResult> RunAll(bool csv, AccessPathKind access,
+                                         int threads) {
+    RawEngine engine;
+    if (csv) {
+      EXPECT_OK(engine.RegisterCsv("t", *csv_path_, spec_->ToSchema(),
+                                   CsvOptions(), /*pmap_stride=*/3));
+    } else {
+      EXPECT_OK(engine.RegisterBinary("t", *bin_path_, spec_->ToSchema()));
+    }
+    PlannerOptions options;
+    options.access_path = access;
+    options.num_threads = threads;
+    std::vector<QueryResult> results;
+    for (int round = 0; round < 2; ++round) {
+      for (const std::string& sql : Queries()) {
+        auto result = engine.Query(sql, options);
+        EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+        if (result.ok()) results.push_back(std::move(result).value());
+      }
+    }
+    return results;
+  }
+
+  static void CheckDeterminism(bool csv, AccessPathKind access) {
+    std::vector<QueryResult> reference = RunAll(csv, access, /*threads=*/1);
+    for (int threads : {2, 8}) {
+      std::vector<QueryResult> parallel = RunAll(csv, access, threads);
+      ASSERT_EQ(reference.size(), parallel.size());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        ExpectSameTable(reference[i], parallel[i],
+                        "threads=" + std::to_string(threads) + " query#" +
+                            std::to_string(i));
+      }
+    }
+  }
+
+  static TempDir* dir_;
+  static TableSpec* spec_;
+  static std::string* csv_path_;
+  static std::string* bin_path_;
+};
+
+TempDir* ParallelScanTest::dir_ = nullptr;
+TableSpec* ParallelScanTest::spec_ = nullptr;
+std::string* ParallelScanTest::csv_path_ = nullptr;
+std::string* ParallelScanTest::bin_path_ = nullptr;
+
+TEST_F(ParallelScanTest, CsvInsituDeterministicAcrossThreadCounts) {
+  CheckDeterminism(/*csv=*/true, AccessPathKind::kInSitu);
+}
+
+TEST_F(ParallelScanTest, BinaryInsituDeterministicAcrossThreadCounts) {
+  CheckDeterminism(/*csv=*/false, AccessPathKind::kInSitu);
+}
+
+TEST_F(ParallelScanTest, CsvJitDeterministicAcrossThreadCounts) {
+  RawEngine probe;
+  if (!probe.jit_cache()->compiler_available()) GTEST_SKIP() << "no compiler";
+  CheckDeterminism(/*csv=*/true, AccessPathKind::kJit);
+}
+
+TEST_F(ParallelScanTest, BinaryJitDeterministicAcrossThreadCounts) {
+  RawEngine probe;
+  if (!probe.jit_cache()->compiler_available()) GTEST_SKIP() << "no compiler";
+  CheckDeterminism(/*csv=*/false, AccessPathKind::kJit);
+}
+
+TEST_F(ParallelScanTest, ParallelPositionalMapMatchesSerialMap) {
+  auto scan_all = [&](int threads) {
+    RawEngine engine;
+    EXPECT_OK(engine.RegisterCsv("t", *csv_path_, spec_->ToSchema(),
+                                 CsvOptions(), /*pmap_stride=*/3));
+    PlannerOptions options;
+    options.access_path = AccessPathKind::kInSitu;
+    options.num_threads = threads;
+    EXPECT_OK(engine.Query("SELECT COUNT(*) FROM t", options).status());
+    TableEntry* entry = *engine.catalog()->Get("t");
+    EXPECT_NE(entry->pmap, nullptr);
+    EXPECT_OK(entry->pmap->CheckConsistency());
+    std::vector<uint64_t> flat;
+    for (int64_t r = 0; r < entry->pmap->num_rows(); ++r) {
+      flat.push_back(entry->pmap->RowStart(r));
+      for (int s = 0; s < entry->pmap->num_tracked(); ++s) {
+        flat.push_back(entry->pmap->Position(r, s));
+      }
+    }
+    return flat;
+  };
+  std::vector<uint64_t> serial = scan_all(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, scan_all(2));
+  EXPECT_EQ(serial, scan_all(8));
+}
+
+TEST_F(ParallelScanTest, GroupByDeterministicAcrossThreadCounts) {
+  // Low-cardinality keys so every partial sees every group.
+  std::string path = dir_->FilePath("g.csv");
+  std::string csv;
+  for (int i = 0; i < 4000; ++i) {
+    csv += std::to_string(i % 7) + "," + std::to_string(i) + "," +
+           std::to_string(i * 0.25) + "\n";
+  }
+  ASSERT_OK(WriteStringToFile(path, csv));
+  Schema schema{{"k", DataType::kInt64},
+                {"v", DataType::kInt64},
+                {"f", DataType::kFloat64}};
+  auto run = [&](int threads) {
+    RawEngine engine;
+    EXPECT_OK(engine.RegisterCsv("g", path, schema));
+    PlannerOptions options;
+    options.access_path = AccessPathKind::kInSitu;
+    options.num_threads = threads;
+    auto result = engine.Query(
+        "SELECT k, COUNT(*), SUM(v), SUM(f), AVG(f) FROM g GROUP BY k",
+        options);
+    EXPECT_OK(result.status());
+    return std::move(result).value();
+  };
+  QueryResult serial = run(1);
+  ASSERT_EQ(serial.num_rows(), 7);
+  ExpectSameTable(serial, run(2), "group-by threads=2");
+  ExpectSameTable(serial, run(8), "group-by threads=8");
+}
+
+TEST_F(ParallelScanTest, EmptyCsvFileAllThreadCounts) {
+  std::string path = dir_->FilePath("empty.csv");
+  ASSERT_OK(WriteStringToFile(path, ""));
+  Schema schema{{"a", DataType::kInt64}, {"b", DataType::kInt64}};
+  for (int threads : {1, 8}) {
+    RawEngine engine;
+    ASSERT_OK(engine.RegisterCsv("e", path, schema));
+    PlannerOptions options;
+    options.access_path = AccessPathKind::kInSitu;
+    options.num_threads = threads;
+    ASSERT_OK_AND_ASSIGN(QueryResult result,
+                         engine.Query("SELECT COUNT(*) FROM e", options));
+    ASSERT_OK_AND_ASSIGN(Datum count, result.Scalar());
+    EXPECT_EQ(count.int64_value(), 0) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelScanTest, MissingTrailingNewlineAllThreadCounts) {
+  std::string path = dir_->FilePath("partial.csv");
+  std::string csv;
+  for (int i = 0; i < 3000; ++i) csv += std::to_string(i) + ",1\n";
+  csv += "9999,1";  // final row unterminated: the last morsel is partial
+  ASSERT_OK(WriteStringToFile(path, csv));
+  Schema schema{{"a", DataType::kInt64}, {"b", DataType::kInt64}};
+  auto run = [&](int threads) {
+    RawEngine engine;
+    EXPECT_OK(engine.RegisterCsv("p", path, schema));
+    PlannerOptions options;
+    options.access_path = AccessPathKind::kInSitu;
+    options.num_threads = threads;
+    auto result = engine.Query("SELECT COUNT(*), MAX(a) FROM p", options);
+    EXPECT_OK(result.status());
+    return std::move(result).value();
+  };
+  QueryResult serial = run(1);
+  ASSERT_OK_AND_ASSIGN(Datum count, serial.ValueAt(0, 0));
+  EXPECT_EQ(count.int64_value(), 3001);
+  ExpectSameTable(serial, run(2), "partial-newline threads=2");
+  ExpectSameTable(serial, run(8), "partial-newline threads=8");
+}
+
+// =============================================================================
+// GroupByPartial merge API
+// =============================================================================
+
+TEST(GroupByPartialTest, PartitionedAbsorbPlusMergeEqualsSerialAbsorb) {
+  ColumnBatch batch(Schema{{"k", DataType::kInt32},
+                           {"v", DataType::kFloat64}});
+  auto keys = std::make_shared<Column>(DataType::kInt32);
+  auto values = std::make_shared<Column>(DataType::kFloat64);
+  for (int i = 0; i < 997; ++i) {
+    keys->Append<int32_t>(i % 5);
+    values->Append<double>(i * 0.5);
+  }
+  batch.AddColumn(keys);
+  batch.AddColumn(values);
+  batch.SetNumRows(997);
+
+  std::vector<int> key_cols = {0};
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggKind::kSum, 1, "s"});
+  aggs.push_back(AggSpec{AggKind::kCount, -1, "n"});
+  std::vector<DataType> in_types = {DataType::kFloat64, DataType::kInt64};
+  Schema out_schema{{"k", DataType::kInt32},
+                    {"s", DataType::kFloat64},
+                    {"n", DataType::kInt64}};
+
+  GroupByPartial serial(key_cols, aggs, in_types);
+  ASSERT_OK(serial.Absorb(batch, 0));
+  ASSERT_OK_AND_ASSIGN(std::vector<ColumnPtr> expected,
+                       serial.Finalize(out_schema));
+
+  for (uint64_t partitions : {2, 3, 8}) {
+    std::vector<GroupByPartial> partials(
+        partitions, GroupByPartial(key_cols, aggs, in_types));
+    for (uint64_t p = 0; p < partitions; ++p) {
+      ASSERT_OK(partials[p].Absorb(batch, 0, nullptr, nullptr, p, partitions));
+    }
+    GroupByPartial& merged = partials[0];
+    for (uint64_t p = 1; p < partitions; ++p) {
+      ASSERT_OK(merged.MergeFrom(partials[p]));
+    }
+    EXPECT_EQ(merged.num_groups(), serial.num_groups());
+    ASSERT_OK_AND_ASSIGN(std::vector<ColumnPtr> actual,
+                         merged.Finalize(out_schema));
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t c = 0; c < expected.size(); ++c) {
+      ASSERT_EQ(actual[c]->length(), expected[c]->length());
+      for (int64_t r = 0; r < expected[c]->length(); ++r) {
+        EXPECT_EQ(actual[c]->GetDatum(r).ToString(),
+                  expected[c]->GetDatum(r).ToString())
+            << "partitions=" << partitions << " (" << c << "," << r << ")";
+      }
+    }
+  }
+}
+
+TEST(GroupByPartialTest, MergeRejectsMismatchedShapes) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggKind::kCount, -1, "n"});
+  GroupByPartial a({0}, aggs, {DataType::kInt64});
+  GroupByPartial b({0, 1}, aggs, {DataType::kInt64});
+  EXPECT_FALSE(a.MergeFrom(b).ok());
+}
+
+}  // namespace
+}  // namespace raw

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <random>
 
 #include "engine/raw_engine.h"
 #include "eventsim/event_generator.h"
@@ -264,6 +265,73 @@ TEST_P(DelimiterSweep, EngineAnswersIndependentOfDelimiter) {
 
 INSTANTIATE_TEST_SUITE_P(Delimiters, DelimiterSweep,
                          ::testing::Values(',', ';', '\t', '|'));
+
+// --- morsel-parallel scan invariant -----------------------------------------------
+
+// For randomly generated schemas (width, types, row counts — including empty
+// and single-row tables), a morsel-parallel scan must return exactly the
+// single-threaded reference answer: same rows, same aggregates, same
+// group-by output, same order.
+TEST(ParallelConsistencyProperty, RandomSchemasParallelEqualsSerial) {
+  ASSERT_OK_AND_ASSIGN(TempDir dir, TempDir::Create("raw_parprop_"));
+  std::mt19937_64 rng(20260731);
+  for (int iter = 0; iter < 100; ++iter) {
+    const int num_columns = 1 + static_cast<int>(rng() % 10);
+    const int64_t rows = static_cast<int64_t>(rng() % 700);  // 0 happens
+    TableSpec spec = TableSpec::UniformInt32(
+        "r", num_columns, rows, /*seed=*/static_cast<uint64_t>(rng()));
+    for (int c = 0; c < num_columns; ++c) {
+      switch (rng() % 4) {
+        case 0:
+          spec.columns[static_cast<size_t>(c)].type = DataType::kFloat64;
+          break;
+        case 1:
+          spec.columns[static_cast<size_t>(c)].type = DataType::kInt64;
+          break;
+        default:
+          break;  // keep int32
+      }
+    }
+    std::string path = dir.FilePath("r" + std::to_string(iter) + ".csv");
+    ASSERT_OK(WriteCsvFile(spec, path));
+
+    const int agg_col = static_cast<int>(rng() % num_columns);
+    const int group_col = static_cast<int>(rng() % num_columns);
+    std::vector<std::string> queries = {
+        "SELECT COUNT(*) FROM r",
+        "SELECT MAX(col" + std::to_string(agg_col) + "), SUM(col" +
+            std::to_string(agg_col) + ") FROM r",
+        "SELECT col" + std::to_string(group_col) + ", COUNT(*) FROM r" +
+            " GROUP BY col" + std::to_string(group_col),
+    };
+    const int threads = 2 + static_cast<int>(rng() % 7);  // 2..8
+    for (const std::string& sql : queries) {
+      auto run = [&](int t) -> StatusOr<QueryResult> {
+        RawEngine engine;
+        RAW_RETURN_NOT_OK(engine.RegisterCsv(
+            "r", path, spec.ToSchema(), CsvOptions(), /*pmap_stride=*/3));
+        PlannerOptions options;
+        options.access_path = AccessPathKind::kInSitu;
+        options.num_threads = t;
+        return engine.Query(sql, options);
+      };
+      ASSERT_OK_AND_ASSIGN(QueryResult serial, run(1));
+      ASSERT_OK_AND_ASSIGN(QueryResult parallel, run(threads));
+      ASSERT_EQ(serial.num_rows(), parallel.num_rows())
+          << "iter " << iter << ": " << sql;
+      ASSERT_EQ(serial.num_columns(), parallel.num_columns());
+      for (int64_t r = 0; r < serial.num_rows(); ++r) {
+        for (int c = 0; c < serial.num_columns(); ++c) {
+          ASSERT_OK_AND_ASSIGN(Datum e, serial.ValueAt(r, c));
+          ASSERT_OK_AND_ASSIGN(Datum a, parallel.ValueAt(r, c));
+          ASSERT_EQ(e.ToString(), a.ToString())
+              << "iter " << iter << " threads " << threads << ": " << sql
+              << " at (" << r << "," << c << ")";
+        }
+      }
+    }
+  }
+}
 
 // --- REF cluster-size invariant ---------------------------------------------------
 
