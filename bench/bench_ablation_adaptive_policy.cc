@@ -28,13 +28,14 @@ void Run() {
     std::vector<double> row;
     for (double sel : sels) {
       auto engine = D30CsvEngine(&dataset, /*stride=*/10);
+      auto session = engine->OpenSession();
       PlannerOptions options;
-      options.access_path = engine->jit_cache()->compiler_available()
+      options.access_path = engine->Stats().jit_compiler_available()
                                 ? AccessPathKind::kJit
                                 : AccessPathKind::kInSitu;
       options.shred_policy = system.policy;
-      TimedQuery(engine.get(), Q1(&dataset, sel), options);
-      row.push_back(TimedQuery(engine.get(), Q2(&dataset, sel), options));
+      TimedQuery(session.get(), Q1(&dataset, sel), options);
+      row.push_back(TimedQuery(session.get(), Q2(&dataset, sel), options));
     }
     PrintSeriesRow(system.name, row);
   }

@@ -21,15 +21,15 @@ void Run() {
 
   for (int stride : {1, 2, 5, 7, 10, 15, 30}) {
     auto engine = D30CsvEngine(&dataset, stride);
+    auto session = engine->OpenSession();
     PlannerOptions options;
-    options.access_path = engine->jit_cache()->compiler_available()
+    options.access_path = engine->Stats().jit_compiler_available()
                               ? AccessPathKind::kJit
                               : AccessPathKind::kInSitu;
     options.shred_policy = ShredPolicy::kFullColumns;
-    double q1 = TimedQuery(engine.get(), Q1(&dataset, 0.5), options);
-    double q2 = TimedQuery(engine.get(), Q2(&dataset, 0.5), options);
-    TableEntry* entry = CheckOk(engine->catalog()->Get("t"), "entry");
-    int64_t bytes = entry->pmap != nullptr ? entry->pmap->MemoryBytes() : 0;
+    double q1 = TimedQuery(session.get(), Q1(&dataset, 0.5), options);
+    double q2 = TimedQuery(session.get(), Q2(&dataset, 0.5), options);
+    int64_t bytes = engine->Stats().table("t")->pmap_bytes;
     printf("%-8d %11.3fs %11.3fs %14s\n", stride, q1, q2,
            HumanBytes(static_cast<uint64_t>(bytes)).c_str());
   }

@@ -124,14 +124,15 @@ inline std::string Q2(Dataset* dataset, double selectivity) {
   return "SELECT MAX(col10) FROM t WHERE col0 < " + lit.ToString();
 }
 
-/// Runs `sql`, returning wall seconds minus JIT compilation (compilation is
-/// amortized by the template cache across queries in a session; reporting it
-/// separately mirrors the paper's treatment, which charges it once to the
-/// first query and caches thereafter).
-inline double TimedQuery(RawEngine* engine, const std::string& sql,
+/// Runs `sql` through a client session, returning wall seconds minus JIT
+/// compilation (compilation is amortized by the template cache across
+/// queries in a session; reporting it separately mirrors the paper's
+/// treatment, which charges it once to the first query and caches
+/// thereafter).
+inline double TimedQuery(Session* session, const std::string& sql,
                          const PlannerOptions& options,
                          double* compile_seconds = nullptr) {
-  QueryResult result = CheckOk(engine->Query(sql, options), sql.c_str());
+  QueryResult result = CheckOk(session->Query(sql, options), sql.c_str());
   if (compile_seconds != nullptr) *compile_seconds += result.compile_seconds;
   return result.total_seconds() - result.compile_seconds;
 }

@@ -18,18 +18,18 @@ void Run() {
 
   for (const SystemConfig& system : AccessPathSystems(/*include_external=*/true)) {
     auto engine = D30CsvEngine(&dataset, system.pmap_stride);
+    auto session = engine->OpenSession();
     if (system.options.access_path == AccessPathKind::kJit &&
-        !engine->jit_cache()->compiler_available()) {
+        !engine->Stats().jit_compiler_available()) {
       printf("%-28s (skipped: no compiler)\n", system.name.c_str());
       continue;
     }
     // Best-effort cold: drop this file's pages from the OS cache.
-    TableEntry* entry = CheckOk(engine->catalog()->Get("t"), "entry");
-    CheckOk(entry->mmap->DropPageCache(), "drop cache");
+    CheckOk(engine->DropFilePageCache("t"), "drop cache");
     double compile = 0;
     Stopwatch watch;
     double query_seconds =
-        TimedQuery(engine.get(), Q1(&dataset, 0.5), system.options, &compile);
+        TimedQuery(session.get(), Q1(&dataset, 0.5), system.options, &compile);
     double wall = watch.ElapsedSeconds();
     printf("%-28s %9.3fs   (query %.3fs + JIT compile %.3fs)\n",
            system.name.c_str(), wall, query_seconds, compile);

@@ -26,13 +26,14 @@ void Run() {
     for (double sel : sels) {
       // Fresh engine per point: Q1 warms (not timed), Q2 measured.
       auto engine = D30CsvEngine(&dataset, system.pmap_stride);
+      auto session = engine->OpenSession();
       if (system.options.access_path == AccessPathKind::kJit &&
-          !engine->jit_cache()->compiler_available()) {
+          !engine->Stats().jit_compiler_available()) {
         skipped = true;
         break;
       }
-      TimedQuery(engine.get(), Q1(&dataset, sel), system.options);
-      row.push_back(TimedQuery(engine.get(), Q2(&dataset, sel), system.options));
+      TimedQuery(session.get(), Q1(&dataset, sel), system.options);
+      row.push_back(TimedQuery(session.get(), Q2(&dataset, sel), system.options));
     }
     if (skipped) {
       printf("%-28s (skipped: no compiler)\n", system.name.c_str());

@@ -39,13 +39,14 @@ void Run() {
     bool skipped = false;
     for (double sel : sels) {
       auto engine = D30CsvEngine(&dataset, system.stride);
+      auto session = engine->OpenSession();
       if (system.access == AccessPathKind::kJit &&
-          !engine->jit_cache()->compiler_available()) {
+          !engine->Stats().jit_compiler_available()) {
         skipped = true;
         break;
       }
-      TimedQuery(engine.get(), Q1(&dataset, sel), options);
-      row.push_back(TimedQuery(engine.get(), Q2(&dataset, sel), options));
+      TimedQuery(session.get(), Q1(&dataset, sel), options);
+      row.push_back(TimedQuery(session.get(), Q2(&dataset, sel), options));
     }
     if (skipped) {
       printf("%-28s (skipped: no compiler)\n", system.name.c_str());

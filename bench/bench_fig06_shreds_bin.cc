@@ -29,11 +29,12 @@ void Run() {
     bool skipped = false;
     for (double sel : sels) {
       auto engine = D30BinEngine(&dataset);
-      if (!engine->jit_cache()->compiler_available()) {
+      auto session = engine->OpenSession();
+      if (!engine->Stats().jit_compiler_available()) {
         options.access_path = AccessPathKind::kInSitu;
       }
-      TimedQuery(engine.get(), Q1(&dataset, sel), options);
-      row.push_back(TimedQuery(engine.get(), Q2(&dataset, sel), options));
+      TimedQuery(session.get(), Q1(&dataset, sel), options);
+      row.push_back(TimedQuery(session.get(), Q2(&dataset, sel), options));
     }
     if (skipped) continue;
     PrintSeriesRow(system.name, row);

@@ -28,21 +28,22 @@ void Run() {
     std::vector<double> row;
     for (double sel : sels) {
       auto engine = std::make_unique<RawEngine>();
+      auto session = engine->OpenSession();
       std::string path = CheckOk(dataset.D120Binary(), "bin");
       CheckOk(engine->RegisterBinary("t", path, spec.ToSchema()), "register");
       PlannerOptions options;
       options.access_path = system.access;
       options.shred_policy = system.policy;
       if (system.access == AccessPathKind::kJit &&
-          !engine->jit_cache()->compiler_available()) {
+          !engine->Stats().jit_compiler_available()) {
         options.access_path = AccessPathKind::kInSitu;
       }
       Datum lit = spec.SelectivityLiteral(0, sel);
       std::string q1 = "SELECT MAX(col0) FROM t WHERE col0 < " + lit.ToString();
       std::string q2 =
           "SELECT MAX(col11) FROM t WHERE col0 < " + lit.ToString();
-      TimedQuery(engine.get(), q1, options);
-      row.push_back(TimedQuery(engine.get(), q2, options));
+      TimedQuery(session.get(), q1, options);
+      row.push_back(TimedQuery(session.get(), q2, options));
     }
     PrintSeriesRow(system.name, row);
   }

@@ -33,18 +33,19 @@ void Run() {
       // Stride 9 tracks columns {0, 9, 18, 27}: jumps land on column 0 and
       // incremental parsing reaches columns 4-5, as in the paper's setup.
       auto engine = D30CsvEngine(&dataset, /*stride=*/9);
+      auto session = engine->OpenSession();
       PlannerOptions options;
-      options.access_path = engine->jit_cache()->compiler_available()
+      options.access_path = engine->Stats().jit_compiler_available()
                                 ? AccessPathKind::kJit
                                 : AccessPathKind::kInSitu;
       options.shred_policy = system.policy;
       // Priming query: builds the positional map and caches col0.
-      TimedQuery(engine.get(), Q1(&dataset, 1.0), options);
+      TimedQuery(session.get(), Q1(&dataset, 1.0), options);
       Datum lit = spec.SelectivityLiteral(0, sel);
       std::string q = "SELECT MAX(col5) FROM t WHERE col0 < " +
                       lit.ToString() + " AND col4 < " + lit.ToString();
       options.shred_policy = system.policy;
-      row.push_back(TimedQuery(engine.get(), q, options));
+      row.push_back(TimedQuery(session.get(), q, options));
     }
     PrintSeriesRow(system.name, row);
   }

@@ -24,12 +24,12 @@ std::unique_ptr<RawEngine> JoinEngine(Dataset* dataset) {
   return engine;
 }
 
-void Prime(RawEngine* engine, const PlannerOptions& options) {
+void Prime(Session* session, const PlannerOptions& options) {
   // Cache f1.col0 and f2.col0/f2.col1, building both positional maps.
   PlannerOptions full = options;
   full.shred_policy = ShredPolicy::kFullColumns;
-  TimedQuery(engine, "SELECT COUNT(*) FROM f1 WHERE col0 >= 0", full);
-  TimedQuery(engine,
+  TimedQuery(session, "SELECT COUNT(*) FROM f1 WHERE col0 >= 0", full);
+  TimedQuery(session,
              "SELECT COUNT(*) FROM f2 WHERE col0 >= 0 AND col1 >= 0", full);
 }
 
@@ -54,23 +54,24 @@ void Run() {
     std::vector<double> row;
     for (double sel : sels) {
       auto engine = JoinEngine(&dataset);
+      auto session = engine->OpenSession();
       PlannerOptions options;
       options.access_path = system.access;
       if (system.access == AccessPathKind::kJit &&
-          !engine->jit_cache()->compiler_available()) {
+          !engine->Stats().jit_compiler_available()) {
         options.access_path = AccessPathKind::kInSitu;
       }
       options.join_placement = system.placement;
       // Prime every system: raw paths cache keys/predicate columns and the
       // positional maps; the DBMS loads its tables (the paper's reference
       // has data loaded before this experiment).
-      Prime(engine.get(), options);
+      Prime(session.get(), options);
       Datum lit = spec.SelectivityLiteral(1, sel);
       std::string q =
           "SELECT MAX(f1.col10) FROM f1 JOIN f2 ON f1.col0 = f2.col0 WHERE "
           "f2.col1 < " +
           lit.ToString();
-      row.push_back(TimedQuery(engine.get(), q, options));
+      row.push_back(TimedQuery(session.get(), q, options));
     }
     PrintSeriesRow(system.name, row);
   }

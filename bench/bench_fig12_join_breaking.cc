@@ -26,10 +26,10 @@ std::unique_ptr<RawEngine> JoinEngine(Dataset* dataset) {
   return engine;
 }
 
-void Prime(RawEngine* engine, PlannerOptions options) {
+void Prime(Session* session, PlannerOptions options) {
   options.shred_policy = ShredPolicy::kFullColumns;
-  TimedQuery(engine, "SELECT COUNT(*) FROM f1 WHERE col0 >= 0", options);
-  TimedQuery(engine,
+  TimedQuery(session, "SELECT COUNT(*) FROM f1 WHERE col0 >= 0", options);
+  TimedQuery(session,
              "SELECT COUNT(*) FROM f2 WHERE col0 >= 0 AND col1 >= 0", options);
 }
 
@@ -56,22 +56,23 @@ void Run() {
     std::vector<double> row;
     for (double sel : sels) {
       auto engine = JoinEngine(&dataset);
+      auto session = engine->OpenSession();
       PlannerOptions options;
       options.access_path = system.access;
       if (system.access == AccessPathKind::kJit &&
-          !engine->jit_cache()->compiler_available()) {
+          !engine->Stats().jit_compiler_available()) {
         options.access_path = AccessPathKind::kInSitu;
       }
       options.join_placement = system.placement;
       // Prime every system (DBMS included: loading happens here, matching
       // the paper's already-loaded reference).
-      Prime(engine.get(), options);
+      Prime(session.get(), options);
       Datum lit = spec.SelectivityLiteral(1, sel);
       std::string q =
           "SELECT MAX(f2.col10) FROM f1 JOIN f2 ON f1.col0 = f2.col0 WHERE "
           "f2.col1 < " +
           lit.ToString();
-      row.push_back(TimedQuery(engine.get(), q, options));
+      row.push_back(TimedQuery(session.get(), q, options));
     }
     PrintSeriesRow(system.name, row);
   }

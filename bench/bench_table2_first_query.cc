@@ -26,6 +26,7 @@ void RunFormat(Dataset* dataset, bool csv) {
   };
   for (const Row& row : rows) {
     auto engine = std::make_unique<RawEngine>();
+    auto session = engine->OpenSession();
     if (csv) {
       std::string path = CheckOk(dataset->D120Csv(), "d120 csv");
       CheckOk(engine->RegisterCsv("t", path, spec.ToSchema()), "register");
@@ -37,13 +38,12 @@ void RunFormat(Dataset* dataset, bool csv) {
     options.access_path = row.access;
     options.shred_policy = row.policy;
     if (row.access == AccessPathKind::kJit &&
-        !engine->jit_cache()->compiler_available()) {
+        !engine->Stats().jit_compiler_available()) {
       options.access_path = AccessPathKind::kInSitu;
     }
-    TableEntry* entry = CheckOk(engine->catalog()->Get("t"), "entry");
-    if (entry->mmap != nullptr) CheckOk(entry->mmap->DropPageCache(), "drop");
+    CheckOk(engine->DropFilePageCache("t"), "drop");
     double compile = 0;
-    double seconds = TimedQuery(engine.get(), sql, options, &compile);
+    double seconds = TimedQuery(session.get(), sql, options, &compile);
     PrintKeyValue(std::string(csv ? "CSV    " : "Binary ") + row.name, seconds);
   }
 }

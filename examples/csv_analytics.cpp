@@ -1,8 +1,11 @@
 // csv_analytics: interactive-style exploration of a TPC-H-flavoured lineitem
-// CSV, showing how RAW *adapts* across a query session:
+// CSV through the session API, showing how RAW *adapts* across a client
+// session:
 //   query 1 pays the raw-file scan and builds the positional map;
 //   later queries reuse cached column shreds and the map, approaching
-//   loaded-DBMS latency with zero loading step.
+//   loaded-DBMS latency with zero loading step;
+//   a prepared statement re-executes with new parameters without
+//   re-parsing, and a streaming cursor drains a drill-down incrementally.
 
 #include <cstdio>
 
@@ -33,7 +36,10 @@ int main() {
     return 1;
   }
 
-  const char* session[] = {
+  // One session per client; the engine behind it is shared and thread-safe.
+  std::unique_ptr<Session> session = engine.OpenSession();
+
+  const char* queries[] = {
       // Pricing-summary-flavoured aggregates (TPC-H Q1 spirit).
       "SELECT COUNT(*), SUM(l_quantity), AVG(l_extendedprice) FROM lineitem "
       "WHERE l_shipdate < 10200",
@@ -41,13 +47,10 @@ int main() {
       "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate < 9500",
       // New column enters the working set as a shred.
       "SELECT MAX(l_discount) FROM lineitem WHERE l_quantity > 45",
-      // High-selectivity drill-down.
-      "SELECT l_orderkey, l_extendedprice FROM lineitem WHERE "
-      "l_extendedprice > 100000.0 LIMIT 5",
   };
 
-  for (const char* sql : session) {
-    auto result = engine.Query(sql);
+  for (const char* sql : queries) {
+    auto result = session->Query(sql);
     if (!result.ok()) {
       fprintf(stderr, "query failed: %s\n%s\n", sql,
               result.status().ToString().c_str());
@@ -60,12 +63,58 @@ int main() {
            result->plan_description.c_str());
   }
 
+  // Prepared statement: parsed + bound once, re-executed with fresh `?`
+  // values (no re-parse — check EngineStats::queries_parsed).
+  auto prepared = session->Prepare(
+      "SELECT COUNT(*) FROM lineitem WHERE l_shipdate < ?");
+  if (!prepared.ok()) {
+    fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  printf("\n> prepared: SELECT COUNT(*) FROM lineitem WHERE l_shipdate < ?\n");
+  for (int64_t ship_date : {9000, 9800, 10400}) {
+    auto result = prepared->Execute({Datum::Int64(ship_date)});
+    if (!result.ok()) {
+      fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    printf("  ? = %-6lld -> %s rows in %.1f ms\n",
+           static_cast<long long>(ship_date),
+           (*result->Scalar()).ToString().c_str(),
+           result->total_seconds() * 1e3);
+  }
+
+  // Streaming cursor: the drill-down arrives batch by batch instead of one
+  // materialized table (bound memory for arbitrarily large results).
+  auto cursor = session->Stream(
+      "SELECT l_orderkey, l_extendedprice FROM lineitem WHERE "
+      "l_extendedprice > 90000.0");
+  if (!cursor.ok()) {
+    fprintf(stderr, "%s\n", cursor.status().ToString().c_str());
+    return 1;
+  }
+  printf("\n> streaming: l_extendedprice > 90000.0\n");
+  int64_t streamed = 0;
+  int batches = 0;
+  while (true) {
+    auto batch = cursor->Next();
+    if (!batch.ok()) {
+      fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+      return 1;
+    }
+    if (batch->empty()) break;
+    streamed += batch->num_rows();
+    ++batches;
+  }
+  printf("  %lld matching rows streamed in %d batches\n",
+         static_cast<long long>(streamed), batches);
+
+  const raw::EngineStats stats = engine.Stats();
   printf("\nsession state: shred cache %s in %lld entries; %lld kernels; "
          "cache hits %lld\n",
-         HumanBytes(static_cast<uint64_t>(engine.shred_cache()->bytes_cached()))
-             .c_str(),
-         static_cast<long long>(engine.shred_cache()->num_entries()),
-         static_cast<long long>(engine.jit_cache()->size()),
-         static_cast<long long>(engine.shred_cache()->hits()));
+         HumanBytes(static_cast<uint64_t>(stats.shred_cache.bytes)).c_str(),
+         static_cast<long long>(stats.shred_cache.entries),
+         static_cast<long long>(stats.jit_cache.entries),
+         static_cast<long long>(stats.shred_cache.hits));
   return 0;
 }

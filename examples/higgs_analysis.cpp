@@ -40,6 +40,7 @@ int main() {
            .ok()) {
     return 1;
   }
+  std::unique_ptr<Session> session = engine.OpenSession();
   const char* queries[] = {
       "SELECT COUNT(*) FROM atlas_events",
       "SELECT COUNT(*) FROM atlas_muons WHERE pt > 22.0",
@@ -52,7 +53,7 @@ int main() {
       "GROUP BY eventID LIMIT 5",
   };
   for (const char* sql : queries) {
-    auto result = engine.Query(sql);
+    auto result = session->Query(sql);
     if (!result.ok()) {
       fprintf(stderr, "query failed: %s\n%s\n", sql,
               result.status().ToString().c_str());

@@ -5,6 +5,12 @@
 //   3. Run SQL; the engine generates a JIT access path for the file/query
 //      combination (falling back to the interpreted scan without a host
 //      compiler) and caches positional map + column shreds for next time.
+//
+// This example deliberately stays on the classic one-shot surface
+// (engine.Query(...)): it is a thin shim over an engine-owned default
+// session, kept as the backward-compatible quickstart path. See
+// csv_analytics / multiformat_join for the session API (OpenSession,
+// Prepare, streaming cursors, concurrent clients).
 
 #include <cstdio>
 
@@ -74,8 +80,9 @@ int main() {
     printf("> %s\n%s\n", sql, result->table.ToString().c_str());
   }
 
+  raw::EngineStats stats = engine.Stats();
   printf("adaptive state: %lld cached shred entries, %lld compiled kernels\n",
-         static_cast<long long>(engine.shred_cache()->num_entries()),
-         static_cast<long long>(engine.jit_cache()->size()));
+         static_cast<long long>(stats.shred_cache.entries),
+         static_cast<long long>(stats.jit_cache.entries));
   return 0;
 }

@@ -2,6 +2,7 @@
 #define RAW_CSV_CSV_TOKENIZER_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 #include <vector>
 
@@ -44,6 +45,55 @@ inline const char* SkipField(const char* p, const char* end, char delim) {
 inline const char* SkipRowEnd(const char* p, const char* end) {
   if (p != end && *p == '\r') ++p;
   if (p != end && *p == '\n') ++p;
+  return p;
+}
+
+/// True when the buffer contains the quote character at all. Quote-free files
+/// (the paper's numeric workloads) take the branch-light tokenization paths;
+/// files with quotes route through the quote-aware variants below, so
+/// inference, scans and positional jumps all agree on field boundaries.
+inline bool BufferContainsQuote(const char* begin, const char* end,
+                                char quote) {
+  return std::memchr(begin, quote,
+                     static_cast<size_t>(end - begin)) != nullptr;
+}
+
+/// Quote-aware single-field step: reads the field starting at `*pp` and
+/// returns its *content* view — outer quotes stripped, `""` escapes left
+/// in place, exactly like CsvRowCursor::NextRow — leaving `*pp` at the
+/// delimiter / row terminator / `end`.
+inline FieldRef NextFieldQuoted(const char** pp, const char* end, char delim,
+                                char quote) {
+  const char* p = *pp;
+  if (p != end && *p == quote) {
+    const char* start = ++p;
+    while (p != end) {
+      if (*p == quote) {
+        if (p + 1 != end && p[1] == quote) {
+          p += 2;
+          continue;
+        }
+        break;
+      }
+      ++p;
+    }
+    FieldRef field{start, static_cast<int32_t>(p - start)};
+    if (p != end) ++p;  // past the closing quote
+    *pp = p;
+    return field;
+  }
+  const char* start = p;
+  while (p != end && *p != delim && *p != '\n' && *p != '\r') ++p;
+  *pp = p;
+  return FieldRef{start, static_cast<int32_t>(p - start)};
+}
+
+/// Quote-aware SkipField: advances past the field and its trailing delimiter.
+inline const char* SkipFieldQuoted(const char* p, const char* end, char delim,
+                                   char quote) {
+  FieldRef ignored = NextFieldQuoted(&p, end, delim, quote);
+  (void)ignored;
+  if (p != end && *p == delim) ++p;
   return p;
 }
 

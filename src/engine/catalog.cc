@@ -1,49 +1,195 @@
 #include "engine/catalog.h"
 
+#include "common/stopwatch.h"
+#include "csv/csv_tokenizer.h"
+#include "scan/loader.h"
+
 namespace raw {
 
 Status TableEntry::EnsureOpen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opened_) {
+    // REF row counts refresh on every lookup (the shared reader may serve
+    // several derived tables).
+    if (info.format == FileFormat::kRef && ref_reader_ != nullptr) {
+      row_count_.store(info.ref_group < 0
+                           ? ref_reader_->num_events()
+                           : ref_reader_->GroupTotal(info.ref_group),
+                       std::memory_order_release);
+    }
+    return Status::OK();
+  }
   switch (info.format) {
     case FileFormat::kCsv: {
-      if (mmap == nullptr) {
-        RAW_ASSIGN_OR_RETURN(mmap, MmapFile::Open(info.path));
+      if (mmap_ == nullptr) {
+        RAW_ASSIGN_OR_RETURN(mmap_, MmapFile::Open(info.path));
+        // One memchr pass over the file decides the tokenizer for every
+        // future scan (quote handling must be known up front — a quote
+        // appearing late would invalidate earlier row boundaries). The
+        // pass also warms the page cache the first scan reads right after,
+        // so on files that fit in memory the extra disk I/O is ~zero.
+        csv_quoted_ = BufferContainsQuote(mmap_->data(),
+                                          mmap_->data() + mmap_->size(),
+                                          info.csv_options.quote);
       }
-      return Status::OK();
+      break;
     }
     case FileFormat::kBinary: {
-      if (mmap == nullptr) {
-        RAW_ASSIGN_OR_RETURN(mmap, MmapFile::Open(info.path));
+      if (mmap_ == nullptr) {
+        RAW_ASSIGN_OR_RETURN(mmap_, MmapFile::Open(info.path));
       }
-      if (bin_reader == nullptr) {
+      if (bin_reader_ == nullptr) {
         RAW_ASSIGN_OR_RETURN(BinaryLayout layout,
                              BinaryLayout::Create(info.schema));
-        RAW_ASSIGN_OR_RETURN(bin_reader,
+        RAW_ASSIGN_OR_RETURN(bin_reader_,
                              BinaryReader::Open(info.path, std::move(layout)));
-        row_count = bin_reader->num_rows();
+        row_count_.store(bin_reader_->num_rows(), std::memory_order_release);
       }
-      return Status::OK();
+      break;
     }
     case FileFormat::kRef:
       // The shared reader is attached by Catalog::Get.
-      if (ref_reader == nullptr) {
+      if (ref_reader_ == nullptr) {
         return Status::Internal("REF reader not attached for table " +
                                 info.name);
       }
-      row_count = info.ref_group < 0 ? ref_reader->num_events()
-                                     : ref_reader->GroupTotal(info.ref_group);
-      return Status::OK();
+      row_count_.store(info.ref_group < 0
+                           ? ref_reader_->num_events()
+                           : ref_reader_->GroupTotal(info.ref_group),
+                       std::memory_order_release);
+      break;
   }
-  return Status::Internal("bad file format");
+  opened_ = true;
+  return Status::OK();
+}
+
+Status TableEntry::DropPageCache() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mmap_ == nullptr) return Status::OK();
+  return mmap_->DropPageCache();
+}
+
+std::shared_ptr<const PositionalMap> TableEntry::pmap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pmap_;
+}
+
+bool TableEntry::TryClaimPmapBuild() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pmap_ != nullptr) return false;
+  }
+  bool expected = false;
+  return pmap_building_.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel);
+}
+
+void TableEntry::AbandonPmapBuild() {
+  pmap_building_.store(false, std::memory_order_release);
+}
+
+void TableEntry::PublishPmap(std::shared_ptr<const PositionalMap> map) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pmap_ == nullptr && map != nullptr && !map->empty()) {
+      pmap_ = std::move(map);
+      SetRowCountIfUnknown(pmap_->num_rows());
+    }
+  }
+  pmap_building_.store(false, std::memory_order_release);
+}
+
+StatusOr<std::shared_ptr<const InMemoryTable>> TableEntry::EnsureLoaded(
+    double* load_seconds) {
+  if (load_seconds != nullptr) *load_seconds = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (loaded_ != nullptr) return loaded_;
+  }
+  // Duplicate loaders serialize on load_mu_ (the work happens once), but
+  // `mu_` stays free so concurrent readers of the entry's other state are
+  // not stalled behind a multi-second load. The file handles read below are
+  // stable after EnsureOpen, which every caller has been through.
+  std::lock_guard<std::mutex> load_lock(load_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (loaded_ != nullptr) return loaded_;  // lost the race; share it
+  }
+  Stopwatch watch;
+  std::vector<int> all;
+  for (int c = 0; c < info.schema.num_fields(); ++c) all.push_back(c);
+  std::unique_ptr<InMemoryTable> table;
+  switch (info.format) {
+    case FileFormat::kCsv: {
+      RAW_ASSIGN_OR_RETURN(
+          table, LoadCsvTable(mmap_.get(), info.schema, all, info.csv_options,
+                              csv_quoted_));
+      break;
+    }
+    case FileFormat::kBinary: {
+      RAW_ASSIGN_OR_RETURN(table, LoadBinaryTable(bin_reader_.get(), all));
+      break;
+    }
+    case FileFormat::kRef: {
+      if (info.ref_group < 0) {
+        RAW_ASSIGN_OR_RETURN(table, LoadRefEventTable(ref_reader_.get()));
+      } else {
+        RAW_ASSIGN_OR_RETURN(
+            table, LoadRefParticleTable(ref_reader_.get(), info.ref_group));
+      }
+      break;
+    }
+  }
+  std::shared_ptr<const InMemoryTable> loaded(std::move(table));
+  row_count_.store(loaded->num_rows(), std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    load_seconds_ = watch.ElapsedSeconds();
+    if (load_seconds != nullptr) *load_seconds = load_seconds_;
+    loaded_ = loaded;
+  }
+  return loaded;
+}
+
+std::shared_ptr<const InMemoryTable> TableEntry::loaded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loaded_;
+}
+
+void TableEntry::ResetAdaptiveState() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pmap_.reset();
+  loaded_.reset();
+}
+
+TableStats TableEntry::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TableStats stats;
+  stats.name = info.name;
+  stats.format = info.format;
+  stats.row_count = row_count_.load(std::memory_order_acquire);
+  if (pmap_ != nullptr) {
+    stats.pmap_rows = pmap_->num_rows();
+    stats.pmap_bytes = pmap_->MemoryBytes();
+  }
+  stats.loaded = loaded_ != nullptr;
+  return stats;
+}
+
+void TableEntry::AttachRefReader(std::shared_ptr<RefReader> reader) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ref_reader_ == nullptr) ref_reader_ = std::move(reader);
 }
 
 Catalog::Catalog(CatalogOptions options) : options_(options) {}
 
 Status Catalog::Register(TableInfo info) {
+  RAW_RETURN_NOT_OK(info.schema.Validate());
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.count(info.name) > 0) {
     return Status::AlreadyExists("table '" + info.name +
                                  "' is already registered");
   }
-  RAW_RETURN_NOT_OK(info.schema.Validate());
   auto entry = std::make_unique<TableEntry>();
   entry->info = std::move(info);
   tables_[entry->info.name] = std::move(entry);
@@ -100,12 +246,20 @@ Status Catalog::RegisterRef(const std::string& prefix,
 }
 
 StatusOr<TableEntry*> Catalog::Get(const std::string& name) {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    return Status::NotFound("unknown table '" + name + "'");
+  TableEntry* entry = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("unknown table '" + name + "'");
+    }
+    entry = it->second.get();
   }
-  TableEntry* entry = it->second.get();
-  if (entry->info.format == FileFormat::kRef && entry->ref_reader == nullptr) {
+  if (entry->info.format == FileFormat::kRef && !entry->HasRefReader()) {
+    // First lookup of this REF table: resolve/share the file's reader under
+    // the (cold-path-only) global lock. Racing lookups both enter; the
+    // attach is idempotent.
+    std::lock_guard<std::mutex> lock(ref_mu_);
     auto rit = ref_readers_.find(entry->info.path);
     if (rit == ref_readers_.end()) {
       RAW_ASSIGN_OR_RETURN(
@@ -116,17 +270,36 @@ StatusOr<TableEntry*> Catalog::Get(const std::string& name) {
                          std::shared_ptr<RefReader>(std::move(reader)))
                 .first;
     }
-    entry->ref_reader = rit->second;
+    entry->AttachRefReader(rit->second);
   }
   RAW_RETURN_NOT_OK(entry->EnsureOpen());
   return entry;
 }
 
+bool Catalog::Contains(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tables_.count(name) > 0;
+}
+
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, entry] : tables_) names.push_back(name);
   return names;
+}
+
+void Catalog::ResetAdaptiveState() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [name, entry] : tables_) entry->ResetAdaptiveState();
+}
+
+std::vector<TableStats> Catalog::Stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<TableStats> stats;
+  stats.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) stats.push_back(entry->Stats());
+  return stats;
 }
 
 }  // namespace raw

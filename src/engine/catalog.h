@@ -1,8 +1,11 @@
 #ifndef RAW_ENGINE_CATALOG_H_
 #define RAW_ENGINE_CATALOG_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -34,24 +37,107 @@ struct TableInfo {
   int pmap_stride = 10;
 };
 
+/// Read-only snapshot of one table's runtime state (see RawEngine::Stats()).
+struct TableStats {
+  std::string name;
+  FileFormat format = FileFormat::kCsv;
+  int64_t row_count = -1;   // -1 until discovered
+  int64_t pmap_rows = 0;    // 0 when no positional map is published
+  int64_t pmap_bytes = 0;
+  bool loaded = false;      // DBMS-baseline copy resident
+};
+
 /// Per-table runtime state accumulated across queries: open file handles,
 /// the positional map, discovered row counts, and (for the DBMS baseline) a
 /// fully loaded copy.
+///
+/// Thread-safety: `info` is immutable after registration. File handles are
+/// opened once (EnsureOpen, idempotent under the entry mutex) and never
+/// reset, so their raw pointers stay valid for the engine's lifetime.
+/// Adaptive state — the positional map and the loaded copy — is published as
+/// immutable shared_ptr snapshots: planners take a snapshot per query, so
+/// ResetAdaptiveState() can drop the entry's reference while in-flight
+/// queries keep theirs.
 struct TableEntry {
   TableInfo info;
 
-  std::unique_ptr<MmapFile> mmap;           // CSV / binary bytes
-  std::unique_ptr<BinaryReader> bin_reader;  // binary layout view
-  std::shared_ptr<RefReader> ref_reader;     // shared across one file's tables
-
-  std::unique_ptr<PositionalMap> pmap;  // CSV, built by the first raw scan
-  int64_t row_count = -1;               // -1 until discovered
-
-  std::unique_ptr<InMemoryTable> loaded;  // DBMS baseline storage
-  double load_seconds = 0;
-
-  /// Opens file handles appropriate for the format (idempotent).
+  /// Opens file handles appropriate for the format (idempotent, thread-safe).
+  /// For CSV this also detects — once — whether the file uses quoting, which
+  /// routes scans onto the quote-aware tokenizer.
   Status EnsureOpen();
+
+  // --- stable handles (valid after a successful EnsureOpen) ------------------
+  const MmapFile* mmap() const { return mmap_.get(); }
+  const BinaryReader* bin_reader() const { return bin_reader_.get(); }
+  RefReader* ref_reader() const { return ref_reader_.get(); }
+  bool csv_quoted() const { return csv_quoted_; }
+
+  /// Best-effort OS page-cache drop for cold-run benchmarks.
+  Status DropPageCache() const;
+
+  // --- discovered row count --------------------------------------------------
+  int64_t row_count() const {
+    return row_count_.load(std::memory_order_acquire);
+  }
+  void SetRowCountIfUnknown(int64_t rows) {
+    int64_t expected = -1;
+    row_count_.compare_exchange_strong(expected, rows,
+                                       std::memory_order_acq_rel);
+  }
+
+  // --- positional map --------------------------------------------------------
+  /// The published (complete, immutable) map, or null.
+  std::shared_ptr<const PositionalMap> pmap() const;
+
+  /// Claims the right to build this table's positional map. At most one
+  /// in-flight query holds the claim; concurrent cold scans simply run
+  /// without building. The claim ends with PublishPmap (successful full
+  /// drain) or AbandonPmapBuild (partial scan, error, plan dropped).
+  bool TryClaimPmapBuild();
+  void AbandonPmapBuild();
+  void PublishPmap(std::shared_ptr<const PositionalMap> map);
+
+  // --- DBMS-baseline loaded copy ---------------------------------------------
+  /// Loads the full table once (thread-safe; concurrent callers share the
+  /// result). `load_seconds` (optional) receives the one-off load time when
+  /// this call performed the load, else 0.
+  StatusOr<std::shared_ptr<const InMemoryTable>> EnsureLoaded(
+      double* load_seconds);
+  std::shared_ptr<const InMemoryTable> loaded() const;
+
+  /// Drops the positional map and the loaded copy (snapshots held by
+  /// in-flight queries stay alive).
+  void ResetAdaptiveState();
+
+  TableStats Stats() const;
+
+ private:
+  friend class Catalog;
+
+  void AttachRefReader(std::shared_ptr<RefReader> reader);
+  bool HasRefReader() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ref_reader_ != nullptr;
+  }
+
+  mutable std::mutex mu_;
+  /// Serializes duplicate DBMS-baseline loads without holding `mu_` for the
+  /// load's duration (readers of other entry state must not stall behind a
+  /// multi-second load).
+  std::mutex load_mu_;
+  bool opened_ = false;
+  std::unique_ptr<MmapFile> mmap_;           // CSV / binary bytes
+  std::unique_ptr<BinaryReader> bin_reader_;  // binary layout view
+  std::shared_ptr<RefReader> ref_reader_;     // shared across one file's tables
+  bool csv_quoted_ = false;
+
+  std::atomic<int64_t> row_count_{-1};  // -1 until discovered
+
+  std::shared_ptr<const PositionalMap> pmap_;   // published map (complete)
+  std::atomic<bool> pmap_building_{false};
+
+  std::shared_ptr<const InMemoryTable> loaded_;  // DBMS baseline storage
+  double load_seconds_ = 0;
 };
 
 /// Options controlling catalog-wide runtime behaviour.
@@ -60,7 +146,9 @@ struct CatalogOptions {
   int64_t ref_pool_bytes = 256ll << 20;
 };
 
-/// Name -> table registry plus shared readers.
+/// Name -> table registry plus shared readers. Registration takes the writer
+/// lock; lookups are shared, so concurrent sessions resolve tables without
+/// serializing on each other (entries are stable once registered).
 class Catalog {
  public:
   explicit Catalog(CatalogOptions options = CatalogOptions());
@@ -79,17 +167,22 @@ class Catalog {
   /// Looks up a table; the entry is owned by the catalog and stable.
   StatusOr<TableEntry*> Get(const std::string& name);
 
-  bool Contains(const std::string& name) const {
-    return tables_.count(name) > 0;
-  }
+  bool Contains(const std::string& name) const;
 
   std::vector<std::string> TableNames() const;
+
+  /// Drops every table's adaptive state (see TableEntry::ResetAdaptiveState).
+  void ResetAdaptiveState();
+
+  std::vector<TableStats> Stats() const;
 
  private:
   Status Register(TableInfo info);
 
   CatalogOptions options_;
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::unique_ptr<TableEntry>> tables_;
+  std::mutex ref_mu_;
   std::map<std::string, std::shared_ptr<RefReader>> ref_readers_;  // by path
 };
 

@@ -6,7 +6,8 @@ namespace raw {
 
 std::string PredicateSpec::ToString() const {
   return column.ToString() + " " + std::string(CompareOpToString(op)) + " " +
-         literal.ToString();
+         (is_parameter() ? "?" + std::to_string(param_index + 1)
+                         : literal.ToString());
 }
 
 std::string QuerySpec::ToString() const {

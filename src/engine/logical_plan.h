@@ -22,11 +22,18 @@ struct ColumnRefSpec {
 };
 
 /// A conjunct of the WHERE clause restricted to the form the paper's
-/// workloads use: <column> <op> <literal>.
+/// workloads use: <column> <op> <literal>. The literal may be a `?`
+/// placeholder (param_index >= 0) to be bound per execution through a
+/// PreparedQuery; the binder records the column's type in `param_type` so
+/// bound values coerce exactly like inline literals.
 struct PredicateSpec {
   ColumnRefSpec column;
   CompareOp op = CompareOp::kLt;
   Datum literal;
+  int param_index = -1;  // >= 0: literal comes from parameter binding
+  DataType param_type = DataType::kInt64;  // set by the binder for params
+
+  bool is_parameter() const { return param_index >= 0; }
 
   std::string ToString() const;
 };
@@ -58,6 +65,11 @@ struct QuerySpec {
   std::vector<ColumnRefSpec> group_by;
 
   int64_t limit = -1;  // -1 = no limit
+
+  /// Number of `?` placeholders (all in predicate literal position). A spec
+  /// with parameters can only be executed through Session::Prepare, which
+  /// substitutes bound values per execution.
+  int num_params = 0;
 
   /// EXPLAIN <query>: plan (including access-path selection and JIT
   /// compilation) but do not execute; the result is the plan description.

@@ -68,6 +68,12 @@ struct PhysicalPlan {
   OperatorPtr root;
   std::string description;      // EXPLAIN-style summary
   double compile_seconds = 0;   // JIT compilation charged to this query
+  /// Immutable snapshots the operator tree references by raw pointer
+  /// (positional maps, loaded tables). Holding them here pins them for the
+  /// plan's whole lifetime — streaming cursors keep working even if
+  /// RawEngine::ResetAdaptiveState() drops the engine's own references
+  /// mid-stream.
+  std::vector<std::shared_ptr<const void>> resources;
 };
 
 }  // namespace raw

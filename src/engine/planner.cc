@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -145,6 +146,53 @@ class CachedColumnsScanOperator : public Operator {
   bool done_ = false;
 };
 
+/// Owns the positional map a cold CSV scan is building for this query and
+/// publishes it to the table entry once the scan drains completely. The map
+/// stays private to the query until then, so concurrent sessions never
+/// observe a half-built map; a partial scan (LIMIT, error, dropped cursor)
+/// abandons the build claim instead, letting a later query rebuild.
+class PmapPublishOperator : public Operator {
+ public:
+  PmapPublishOperator(OperatorPtr child, std::shared_ptr<PositionalMap> map,
+                      TableEntry* entry)
+      : child_(std::move(child)), map_(std::move(map)), entry_(entry) {}
+
+  ~PmapPublishOperator() override { Finish(/*publish=*/false); }
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override { return child_->Open(); }
+  StatusOr<ColumnBatch> Next() override {
+    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
+    if (batch.empty()) drained_ = true;
+    return batch;
+  }
+  Status Close() override {
+    Status status = child_->Close();
+    Finish(/*publish=*/drained_ && status.ok());
+    return status;
+  }
+  std::string name() const override { return "PmapPublish"; }
+
+ private:
+  void Finish(bool publish) {
+    if (finished_) return;
+    finished_ = true;
+    if (publish && map_ != nullptr && map_->CheckConsistency().ok()) {
+      entry_->PublishPmap(std::move(map_));
+    } else {
+      entry_->AbandonPmapBuild();
+    }
+  }
+
+  OperatorPtr child_;
+  std::shared_ptr<PositionalMap> map_;
+  TableEntry* entry_;
+  bool drained_ = false;
+  bool finished_ = false;
+};
+
 /// Accumulates the values flowing out of a raw scan and registers them in the
 /// shred cache at Close() — "RAW preserves a pool of column shreds populated
 /// as a side-effect of previous queries" (§3). Also discovers the table's
@@ -211,9 +259,9 @@ class CacheInsertOperator : public Operator {
             (contiguous && full_scan_) ? nullptr : row_ids_.data(),
             *accumulators_[i]));
       }
-      if (full_scan_ && contiguous && row_count_sink_ != nullptr &&
-          row_count_sink_->row_count < 0) {
-        row_count_sink_->row_count = static_cast<int64_t>(row_ids_.size());
+      if (full_scan_ && contiguous && row_count_sink_ != nullptr) {
+        row_count_sink_->SetRowCountIfUnknown(
+            static_cast<int64_t>(row_ids_.size()));
       }
     }
     accumulators_.clear();
@@ -316,6 +364,33 @@ class RefRowFetcher : public RowFetcher {
 // Planning context and helpers
 // =============================================================================
 
+/// Per-query snapshot of one table's adaptive state. Taken once when planning
+/// starts, so the whole plan sees one consistent view even while other
+/// sessions publish maps, load copies, or reset the engine.
+struct TableCtx {
+  TableEntry* entry = nullptr;
+
+  /// Complete, immutable map published by an earlier query (may be null).
+  std::shared_ptr<const PositionalMap> published_pmap;
+  /// Map this query is building (claim held); merged/appended during the
+  /// base scan, published by PmapPublishOperator on full drain.
+  std::shared_ptr<PositionalMap> building_pmap;
+  bool build_wired = false;  // a scan of this plan already builds the map
+
+  std::shared_ptr<const InMemoryTable> loaded;  // resolved for kLoaded
+  int64_t row_count = -1;
+
+  bool has_complete_pmap() const {
+    return published_pmap != nullptr && !published_pmap->empty();
+  }
+  /// The map same-query late scans should navigate: the one being built, or
+  /// the published one.
+  const PositionalMap* pmap_view() const {
+    if (building_pmap != nullptr) return building_pmap.get();
+    return published_pmap.get();
+  }
+};
+
 struct BuildCtx {
   Catalog* catalog;
   JitTemplateCache* jit;
@@ -324,6 +399,17 @@ struct BuildCtx {
   double* compile_seconds;
   std::ostringstream* desc;
   int num_threads = 1;  // resolved from opts->num_threads once per plan
+  std::map<TableEntry*, TableCtx>* tables = nullptr;
+
+  TableCtx& Ctx(TableEntry* entry) {
+    TableCtx& tc = (*tables)[entry];
+    if (tc.entry == nullptr) {
+      tc.entry = entry;
+      tc.published_pmap = entry->pmap();
+      tc.row_count = entry->row_count();
+    }
+    return tc;
+  }
 };
 
 std::vector<int> SortedUnique(std::vector<int> v) {
@@ -341,6 +427,12 @@ bool AnyStringColumn(const Schema& schema, const std::vector<int>& cols) {
   return false;
 }
 
+/// CSV JIT kernels tokenize with the branch-light unquoted fast path; quoted
+/// files fall back to the interpreted, quote-aware scan.
+bool CsvJitEligible(const TableEntry& entry, const std::vector<int>& cols) {
+  return !AnyStringColumn(entry.info.schema, cols) && !entry.csv_quoted();
+}
+
 /// Qualified output schema for table columns.
 Schema QualifiedSchema(const TableEntry& entry, const std::vector<int>& cols) {
   Schema out;
@@ -351,40 +443,42 @@ Schema QualifiedSchema(const TableEntry& entry, const std::vector<int>& cols) {
   return out;
 }
 
-/// Ensures the DBMS baseline copy exists (loads every column once).
-Status EnsureLoaded(BuildCtx& ctx, TableEntry* entry) {
-  if (entry->loaded != nullptr) return Status::OK();
-  Stopwatch watch;
-  std::vector<int> all;
-  for (int c = 0; c < entry->info.schema.num_fields(); ++c) all.push_back(c);
-  switch (entry->info.format) {
-    case FileFormat::kCsv: {
-      RAW_ASSIGN_OR_RETURN(entry->loaded,
-                           LoadCsvTable(entry->mmap.get(), entry->info.schema,
-                                        all, entry->info.csv_options));
-      break;
-    }
-    case FileFormat::kBinary: {
-      RAW_ASSIGN_OR_RETURN(entry->loaded,
-                           LoadBinaryTable(entry->bin_reader.get(), all));
-      break;
-    }
-    case FileFormat::kRef: {
-      if (entry->info.ref_group < 0) {
-        RAW_ASSIGN_OR_RETURN(entry->loaded,
-                             LoadRefEventTable(entry->ref_reader.get()));
-      } else {
-        RAW_ASSIGN_OR_RETURN(
-            entry->loaded,
-            LoadRefParticleTable(entry->ref_reader.get(), entry->info.ref_group));
-      }
-      break;
-    }
+/// True when late scans against `tc`'s table can work: non-CSV formats
+/// fetch by row index, CSV needs a positional map — one already published,
+/// or one this query can (and, as a side effect here, does) claim the right
+/// to build. Returns false for the CSV baselines that never build maps and
+/// for cold CSV tables whose build claim another in-flight session holds;
+/// callers must then route columns into base scans instead of late scans.
+bool LateScanFeasible(BuildCtx& ctx, TableCtx& tc) {
+  if (tc.entry->info.format != FileFormat::kCsv) return true;
+  const PlannerOptions& opts = *ctx.opts;
+  if (tc.has_complete_pmap()) return true;
+  if (opts.access_path == AccessPathKind::kLoaded ||
+      opts.access_path == AccessPathKind::kExternalTable ||
+      !opts.build_positional_map) {
+    return false;
   }
-  entry->load_seconds = watch.ElapsedSeconds();
-  entry->row_count = entry->loaded->num_rows();
-  (*ctx.desc) << "[load " << entry->info.name << " "
-              << entry->load_seconds << "s] ";
+  if (tc.building_pmap != nullptr) return true;
+  if (!tc.entry->TryClaimPmapBuild()) return false;
+  // Claim taken here so the planning decision is binding; the base scan
+  // wires this map in (BuildBaseScan guarantees the sequential scan runs
+  // while the claim is unwired).
+  tc.building_pmap = std::make_shared<PositionalMap>(PositionalMap::WithStride(
+      tc.entry->info.schema.num_fields(), tc.entry->info.pmap_stride));
+  return true;
+}
+
+/// Ensures the DBMS baseline copy exists (loads every column once, shared
+/// across sessions) and snapshots it into the table context.
+Status EnsureLoaded(BuildCtx& ctx, TableCtx& tc) {
+  if (tc.loaded != nullptr) return Status::OK();
+  double load_seconds = 0;
+  RAW_ASSIGN_OR_RETURN(tc.loaded, tc.entry->EnsureLoaded(&load_seconds));
+  tc.row_count = tc.loaded->num_rows();
+  if (load_seconds > 0) {
+    (*ctx.desc) << "[load " << tc.entry->info.name << " " << load_seconds
+                << "s] ";
+  }
   return Status::OK();
 }
 
@@ -404,22 +498,31 @@ OperatorPtr WrapQualified(OperatorPtr op, const Schema& qualified) {
 /// With num_threads > 1 the file splits into newline-aligned byte morsels
 /// scanned concurrently; each morsel builds a private partial map that the
 /// parallel driver stitches together in file order at end of stream.
-StatusOr<OperatorPtr> BuildCsvSequentialScan(BuildCtx& ctx, TableEntry* entry,
+///
+/// The map is built into query-private storage under the table's build claim
+/// (at most one query builds at a time; losers just scan) and published to
+/// the shared entry only on a complete drain.
+StatusOr<OperatorPtr> BuildCsvSequentialScan(BuildCtx& ctx, TableCtx& tc,
                                              const std::vector<int>& cols,
                                              const Schema& qualified) {
+  TableEntry* entry = tc.entry;
   const TableInfo& info = entry->info;
   const PlannerOptions& opts = *ctx.opts;
   PositionalMap* build = nullptr;
-  if (opts.build_positional_map) {
-    if (entry->pmap == nullptr) {
-      entry->pmap = std::make_unique<PositionalMap>(PositionalMap::WithStride(
-          info.schema.num_fields(), info.pmap_stride));
+  if (opts.build_positional_map && !tc.has_complete_pmap() &&
+      !tc.build_wired &&
+      (tc.building_pmap != nullptr || entry->TryClaimPmapBuild())) {
+    if (tc.building_pmap == nullptr) {
+      tc.building_pmap = std::make_shared<PositionalMap>(
+          PositionalMap::WithStride(info.schema.num_fields(),
+                                    info.pmap_stride));
     }
-    if (entry->pmap->empty()) build = entry->pmap.get();
+    tc.build_wired = true;
+    build = tc.building_pmap.get();
   }
   (*ctx.desc) << "[seq-scan " << info.name << "] ";
   const bool use_jit = opts.access_path == AccessPathKind::kJit &&
-                       !AnyStringColumn(info.schema, cols);
+                       CsvJitEligible(*entry, cols);
 
   auto make_jit_spec = [&] {
     AccessPathSpec spec;
@@ -437,13 +540,19 @@ StatusOr<OperatorPtr> BuildCsvSequentialScan(BuildCtx& ctx, TableEntry* entry,
     spec.file_schema = info.schema;
     spec.outputs = cols;
     spec.options = info.csv_options;
+    spec.quoted = entry->csv_quoted();
     spec.batch_rows = opts.batch_rows;
     return spec;
+  };
+  auto wrap_publish = [&](OperatorPtr op) -> OperatorPtr {
+    if (build == nullptr) return op;
+    return std::make_unique<PmapPublishOperator>(std::move(op),
+                                                 tc.building_pmap, entry);
   };
 
   std::vector<ByteMorsel> morsels;
   if (ctx.num_threads > 1) {
-    morsels = SplitCsvByteRanges(entry->mmap->data(), entry->mmap->size(),
+    morsels = SplitCsvByteRanges(entry->mmap()->data(), entry->mmap()->size(),
                                  info.csv_options, ctx.num_threads * 4);
   }
   if (morsels.size() > 1) {
@@ -464,7 +573,7 @@ StatusOr<OperatorPtr> BuildCsvSequentialScan(BuildCtx& ctx, TableEntry* entry,
         JitScanArgs args;
         args.spec = make_jit_spec();
         args.output_schema = qualified;
-        args.file = entry->mmap.get();
+        args.file = entry->mmap();
         args.build_pmap = child_pmap;
         args.window_begin = m.begin;
         args.window_end = m.end;
@@ -477,14 +586,14 @@ StatusOr<OperatorPtr> BuildCsvSequentialScan(BuildCtx& ctx, TableEntry* entry,
         spec.range_begin = m.begin;
         spec.range_end = m.end;
         children.push_back(WrapQualified(
-            std::make_unique<InsituCsvScanOperator>(entry->mmap.get(),
+            std::make_unique<InsituCsvScanOperator>(entry->mmap(),
                                                     std::move(spec)),
             qualified));
       }
     }
     (*ctx.desc) << "[parallel x" << ctx.num_threads << " morsels="
                 << morsels.size() << "] ";
-    return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
+    return wrap_publish(std::make_unique<ParallelTableScanOperator>(
         qualified, std::move(children), std::move(popts)));
   }
 
@@ -492,38 +601,39 @@ StatusOr<OperatorPtr> BuildCsvSequentialScan(BuildCtx& ctx, TableEntry* entry,
     JitScanArgs args;
     args.spec = make_jit_spec();
     args.output_schema = qualified;
-    args.file = entry->mmap.get();
+    args.file = entry->mmap();
     args.build_pmap = build;
     args.batch_rows = opts.batch_rows;
-    return OperatorPtr(
+    return wrap_publish(
         std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
   }
   CsvScanSpec spec = make_insitu_spec();
   spec.build_pmap = build;
-  return WrapQualified(std::make_unique<InsituCsvScanOperator>(
-                           entry->mmap.get(), std::move(spec)),
-                       qualified);
+  return wrap_publish(WrapQualified(std::make_unique<InsituCsvScanOperator>(
+                                        entry->mmap(), std::move(spec)),
+                                    qualified));
 }
 
 /// Warm CSV scan: jump to every mapped row via the positional map. With
 /// num_threads > 1 the mapped rows split into row-range morsels; ids are
 /// already file-global, so no rebasing is needed.
-StatusOr<OperatorPtr> BuildCsvPositionalScan(BuildCtx& ctx, TableEntry* entry,
+StatusOr<OperatorPtr> BuildCsvPositionalScan(BuildCtx& ctx, TableCtx& tc,
                                              const std::vector<int>& cols,
                                              const Schema& qualified) {
+  TableEntry* entry = tc.entry;
   const TableInfo& info = entry->info;
   const PlannerOptions& opts = *ctx.opts;
-  int anchor = entry->pmap->tracked_columns().front();
-  for (int t : entry->pmap->tracked_columns()) {
+  const PositionalMap& pmap = *tc.published_pmap;
+  int anchor = pmap.tracked_columns().front();
+  for (int t : pmap.tracked_columns()) {
     if (t <= cols.front()) anchor = t;
   }
   (*ctx.desc) << "[pmap-scan " << info.name << " anchor=" << anchor << "] ";
   const bool use_jit = opts.access_path == AccessPathKind::kJit &&
-                       !AnyStringColumn(info.schema, cols);
+                       CsvJitEligible(*entry, cols);
 
   auto make_jit_args = [&](RowSet rows) -> StatusOr<JitScanArgs> {
-    RAW_RETURN_NOT_OK(
-        FillPositions(*entry->pmap, entry->pmap->SlotFor(anchor), &rows));
+    RAW_RETURN_NOT_OK(FillPositions(pmap, pmap.SlotFor(anchor), &rows));
     AccessPathSpec spec;
     spec.format = FileFormat::kCsv;
     spec.mode = ScanMode::kByPosition;
@@ -535,7 +645,7 @@ StatusOr<OperatorPtr> BuildCsvPositionalScan(BuildCtx& ctx, TableEntry* entry,
     JitScanArgs args;
     args.spec = std::move(spec);
     args.output_schema = qualified;
-    args.file = entry->mmap.get();
+    args.file = entry->mmap();
     args.row_set = std::move(rows);
     args.batch_rows = opts.batch_rows;
     return args;
@@ -545,12 +655,13 @@ StatusOr<OperatorPtr> BuildCsvPositionalScan(BuildCtx& ctx, TableEntry* entry,
     spec.file_schema = info.schema;
     spec.outputs = cols;
     spec.options = info.csv_options;
+    spec.quoted = entry->csv_quoted();
     spec.batch_rows = opts.batch_rows;
-    spec.use_pmap = entry->pmap.get();
+    spec.use_pmap = &pmap;
     spec.anchor_column = anchor;
     spec.row_set = std::move(rows);
     return WrapQualified(std::make_unique<InsituCsvScanOperator>(
-                             entry->mmap.get(), std::move(spec)),
+                             entry->mmap(), std::move(spec)),
                          qualified);
   };
   auto iota_rows = [](int64_t first, int64_t count) {
@@ -564,7 +675,7 @@ StatusOr<OperatorPtr> BuildCsvPositionalScan(BuildCtx& ctx, TableEntry* entry,
 
   std::vector<RowMorsel> morsels;
   if (ctx.num_threads > 1) {
-    morsels = SplitPmapRowRanges(*entry->pmap, ctx.num_threads * 4);
+    morsels = SplitPmapRowRanges(pmap, ctx.num_threads * 4);
   }
   if (morsels.size() > 1) {
     ParallelTableScanOperator::Options popts;
@@ -588,7 +699,7 @@ StatusOr<OperatorPtr> BuildCsvPositionalScan(BuildCtx& ctx, TableEntry* entry,
 
   if (use_jit) {
     RAW_ASSIGN_OR_RETURN(JitScanArgs args,
-                         make_jit_args(iota_rows(0, entry->pmap->num_rows())));
+                         make_jit_args(iota_rows(0, pmap.num_rows())));
     return OperatorPtr(
         std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
   }
@@ -598,9 +709,10 @@ StatusOr<OperatorPtr> BuildCsvPositionalScan(BuildCtx& ctx, TableEntry* entry,
 /// Full binary scan; with num_threads > 1, row-range morsels. Binary morsels
 /// know their first row up front, so ids stay global (JIT kernels emit
 /// window-local ids that JitScanOperator rebases by row_id_offset).
-StatusOr<OperatorPtr> BuildBinSequentialScan(BuildCtx& ctx, TableEntry* entry,
+StatusOr<OperatorPtr> BuildBinSequentialScan(BuildCtx& ctx, TableCtx& tc,
                                              const std::vector<int>& cols,
                                              const Schema& qualified) {
+  TableEntry* entry = tc.entry;
   const TableInfo& info = entry->info;
   const PlannerOptions& opts = *ctx.opts;
   (*ctx.desc) << "[bin-scan " << info.name << "] ";
@@ -619,10 +731,10 @@ StatusOr<OperatorPtr> BuildBinSequentialScan(BuildCtx& ctx, TableEntry* entry,
       JitScanArgs args;
       args.spec = std::move(spec);
       args.output_schema = qualified;
-      args.file = entry->mmap.get();
+      args.file = entry->mmap();
       args.total_rows = count;
       args.batch_rows = opts.batch_rows;
-      if (first > 0 || count < entry->bin_reader->num_rows()) {
+      if (first > 0 || count < entry->bin_reader()->num_rows()) {
         const uint64_t width = static_cast<uint64_t>(layout.row_width());
         args.window_begin = static_cast<uint64_t>(first) * width;
         args.window_end = static_cast<uint64_t>(first + count) * width;
@@ -632,7 +744,7 @@ StatusOr<OperatorPtr> BuildBinSequentialScan(BuildCtx& ctx, TableEntry* entry,
     };
     std::vector<RowMorsel> morsels;
     if (ctx.num_threads > 1) {
-      morsels = SplitRowRanges(entry->bin_reader->num_rows(),
+      morsels = SplitRowRanges(entry->bin_reader()->num_rows(),
                                ctx.num_threads * 4);
     }
     if (morsels.size() > 1) {
@@ -649,7 +761,7 @@ StatusOr<OperatorPtr> BuildBinSequentialScan(BuildCtx& ctx, TableEntry* entry,
           qualified, std::move(children), std::move(popts)));
     }
     return OperatorPtr(std::make_unique<JitScanOperator>(
-        ctx.jit, make_jit_args(0, entry->bin_reader->num_rows())));
+        ctx.jit, make_jit_args(0, entry->bin_reader()->num_rows())));
   }
 
   auto make_insitu = [&](int64_t first, int64_t count) {
@@ -659,12 +771,12 @@ StatusOr<OperatorPtr> BuildBinSequentialScan(BuildCtx& ctx, TableEntry* entry,
     spec.first_row = first;
     spec.num_rows = count;
     return WrapQualified(std::make_unique<InsituBinScanOperator>(
-                             entry->bin_reader.get(), std::move(spec)),
+                             entry->bin_reader(), std::move(spec)),
                          qualified);
   };
   std::vector<RowMorsel> morsels;
   if (ctx.num_threads > 1) {
-    morsels = SplitRowRanges(entry->bin_reader->num_rows(),
+    morsels = SplitRowRanges(entry->bin_reader()->num_rows(),
                              ctx.num_threads * 4);
   }
   if (morsels.size() > 1) {
@@ -679,13 +791,14 @@ StatusOr<OperatorPtr> BuildBinSequentialScan(BuildCtx& ctx, TableEntry* entry,
     return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
         qualified, std::move(children), std::move(popts)));
   }
-  return make_insitu(0, entry->bin_reader->num_rows());
+  return make_insitu(0, entry->bin_reader()->num_rows());
 }
 
 /// Builds the raw-file scan for `cols` of `entry` (no cache involvement).
-StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableEntry* entry,
+StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableCtx& tc,
                                    const std::vector<int>& cols,
                                    bool* full_scan) {
+  TableEntry* entry = tc.entry;
   const TableInfo& info = entry->info;
   const PlannerOptions& opts = *ctx.opts;
   *full_scan = true;
@@ -693,22 +806,21 @@ StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableEntry* entry,
 
   switch (info.format) {
     case FileFormat::kCsv: {
-      const bool have_pmap = entry->pmap != nullptr && !entry->pmap->empty();
       if (opts.access_path == AccessPathKind::kExternalTable) {
         // The "external tables" baseline re-parses everything per query by
         // design; it stays serial (it is a comparison system, not a target).
         auto ext = std::make_unique<ExternalTableScanOperator>(
-            entry->mmap.get(), info.schema, cols, info.csv_options,
+            entry->mmap(), info.schema, cols, info.csv_options,
             opts.batch_rows);
         return WrapQualified(std::move(ext), qualified);
       }
-      if (!have_pmap) {
-        return BuildCsvSequentialScan(ctx, entry, cols, qualified);
+      if (!tc.has_complete_pmap()) {
+        return BuildCsvSequentialScan(ctx, tc, cols, qualified);
       }
-      return BuildCsvPositionalScan(ctx, entry, cols, qualified);
+      return BuildCsvPositionalScan(ctx, tc, cols, qualified);
     }
     case FileFormat::kBinary:
-      return BuildBinSequentialScan(ctx, entry, cols, qualified);
+      return BuildBinSequentialScan(ctx, tc, cols, qualified);
     case FileFormat::kRef: {
       (*ctx.desc) << "[ref-scan " << info.name << "] ";
       std::vector<std::string> field_names;
@@ -727,7 +839,7 @@ StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableEntry* entry,
         spec.mode = ScanMode::kSequential;
         for (size_t i = 0; i < cols.size(); ++i) {
           RAW_ASSIGN_OR_RETURN(
-              int branch, RefBranchFor(*entry->ref_reader, info.ref_group,
+              int branch, RefBranchFor(*entry->ref_reader(), info.ref_group,
                                        field_names[i]));
           spec.outputs.push_back(OutputField{
               branch, info.schema.field(cols[i]).type});
@@ -735,8 +847,8 @@ StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableEntry* entry,
         JitScanArgs args;
         args.spec = std::move(spec);
         args.output_schema = qualified;
-        args.ref_reader = entry->ref_reader.get();
-        args.total_rows = entry->row_count;
+        args.ref_reader = entry->ref_reader();
+        args.total_rows = tc.row_count;
         args.batch_rows = opts.batch_rows;
         return OperatorPtr(
             std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
@@ -745,7 +857,7 @@ StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableEntry* entry,
       spec.group = info.ref_group;
       spec.fields = field_names;
       spec.batch_rows = opts.batch_rows;
-      auto op = std::make_unique<RefTableScanOperator>(entry->ref_reader.get(),
+      auto op = std::make_unique<RefTableScanOperator>(entry->ref_reader(),
                                                        std::move(spec));
       std::vector<int> idx(cols.size());
       std::vector<std::string> names;
@@ -762,17 +874,18 @@ StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableEntry* entry,
 
 /// Builds the bottom-of-plan scan for `cols`, consulting the shred cache and
 /// the DBMS-loaded copy, and wiring cache population.
-StatusOr<OperatorPtr> BuildBaseScan(BuildCtx& ctx, TableEntry* entry,
+StatusOr<OperatorPtr> BuildBaseScan(BuildCtx& ctx, TableCtx& tc,
                                     std::vector<int> cols) {
   cols = SortedUnique(std::move(cols));
+  TableEntry* entry = tc.entry;
   const TableInfo& info = entry->info;
   const PlannerOptions& opts = *ctx.opts;
 
   if (opts.access_path == AccessPathKind::kLoaded) {
-    RAW_RETURN_NOT_OK(EnsureLoaded(ctx, entry));
+    RAW_RETURN_NOT_OK(EnsureLoaded(ctx, tc));
     // Scan only the needed columns of the loaded table, renamed to their
     // qualified form (the scan output is already in `cols` order).
-    OperatorPtr scan = entry->loaded->CreateScan(opts.batch_rows, cols);
+    OperatorPtr scan = tc.loaded->CreateScan(opts.batch_rows, cols);
     std::vector<int> identity(cols.size());
     std::vector<std::string> names;
     for (size_t i = 0; i < cols.size(); ++i) {
@@ -784,10 +897,15 @@ StatusOr<OperatorPtr> BuildBaseScan(BuildCtx& ctx, TableEntry* entry,
         std::move(scan), std::move(identity), std::move(names)));
   }
 
-  // Partition into cache-served full columns and raw columns.
+  // Partition into cache-served full columns and raw columns. When this
+  // query holds the (not yet wired) positional-map build claim, skip the
+  // cache so the sequential scan — and with it the map build the late scans
+  // of this very plan rely on — is guaranteed to run.
   std::vector<int> cached_cols, raw_cols;
   std::vector<ColumnPtr> cached_values;
-  if (opts.use_shred_cache) {
+  const bool must_run_raw_scan =
+      tc.building_pmap != nullptr && !tc.build_wired;
+  if (opts.use_shred_cache && !must_run_raw_scan) {
     for (int c : cols) {
       auto hit = ctx.shreds->LookupFull(info.name, c);
       if (hit.ok()) {
@@ -809,7 +927,7 @@ StatusOr<OperatorPtr> BuildBaseScan(BuildCtx& ctx, TableEntry* entry,
 
   bool full_scan = true;
   RAW_ASSIGN_OR_RETURN(OperatorPtr op,
-                       BuildRawScan(ctx, entry, raw_cols, &full_scan));
+                       BuildRawScan(ctx, tc, raw_cols, &full_scan));
 
   if (opts.populate_shred_cache) {
     std::vector<CacheInsertOperator::Mapping> mappings;
@@ -832,9 +950,10 @@ StatusOr<OperatorPtr> BuildBaseScan(BuildCtx& ctx, TableEntry* entry,
 }
 
 /// Builds a cache-aware late-scan fetcher for `cols` of `entry`.
-StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, TableEntry* entry,
+StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, TableCtx& tc,
                                      std::vector<int> cols) {
   cols = SortedUnique(std::move(cols));
+  TableEntry* entry = tc.entry;
   const TableInfo& info = entry->info;
   const PlannerOptions& opts = *ctx.opts;
   Schema qualified = QualifiedSchema(*entry, cols);
@@ -842,16 +961,17 @@ StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, TableEntry* entry,
 
   switch (info.format) {
     case FileFormat::kCsv: {
-      if (entry->pmap == nullptr) {
+      const PositionalMap* pmap = tc.pmap_view();
+      if (pmap == nullptr) {
         return Status::Internal(
             "CSV late scan requires a positional map (none configured)");
       }
-      int anchor = entry->pmap->tracked_columns().front();
-      for (int t : entry->pmap->tracked_columns()) {
+      int anchor = pmap->tracked_columns().front();
+      for (int t : pmap->tracked_columns()) {
         if (t <= cols.front()) anchor = t;
       }
       if (opts.access_path == AccessPathKind::kJit &&
-          !AnyStringColumn(info.schema, cols)) {
+          CsvJitEligible(*entry, cols)) {
         AccessPathSpec spec;
         spec.format = FileFormat::kCsv;
         spec.mode = ScanMode::kByPosition;
@@ -863,17 +983,18 @@ StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, TableEntry* entry,
         JitScanArgs args;
         args.spec = std::move(spec);
         args.output_schema = qualified;
-        args.file = entry->mmap.get();
+        args.file = entry->mmap();
         inner = std::make_unique<JitRowFetcher>(ctx.jit, std::move(args),
-                                                entry->pmap.get());
+                                                pmap);
       } else {
         CsvScanSpec spec;
         spec.file_schema = info.schema;
         spec.outputs = cols;
         spec.options = info.csv_options;
-        spec.use_pmap = entry->pmap.get();
+        spec.quoted = entry->csv_quoted();
+        spec.use_pmap = pmap;
         spec.anchor_column = anchor;
-        auto fetcher = std::make_unique<InsituRowFetcher>(entry->mmap.get(),
+        auto fetcher = std::make_unique<InsituRowFetcher>(entry->mmap(),
                                                           std::move(spec));
         fetcher->set_fields(qualified);
         inner = std::move(fetcher);
@@ -895,13 +1016,13 @@ StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, TableEntry* entry,
         JitScanArgs args;
         args.spec = std::move(spec);
         args.output_schema = qualified;
-        args.file = entry->mmap.get();
+        args.file = entry->mmap();
         inner = std::make_unique<JitRowFetcher>(ctx.jit, std::move(args));
       } else {
         BinScanSpec spec;
         spec.outputs = cols;
         auto fetcher = std::make_unique<InsituRowFetcher>(
-            entry->bin_reader.get(), std::move(spec));
+            entry->bin_reader(), std::move(spec));
         fetcher->set_fields(qualified);
         inner = std::move(fetcher);
       }
@@ -922,7 +1043,7 @@ StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, TableEntry* entry,
         spec.mode = ScanMode::kByRowIndex;
         for (size_t i = 0; i < cols.size(); ++i) {
           RAW_ASSIGN_OR_RETURN(
-              int branch, RefBranchFor(*entry->ref_reader, info.ref_group,
+              int branch, RefBranchFor(*entry->ref_reader(), info.ref_group,
                                        field_names[i]));
           spec.outputs.push_back(
               OutputField{branch, info.schema.field(cols[i]).type});
@@ -930,10 +1051,10 @@ StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, TableEntry* entry,
         JitScanArgs args;
         args.spec = std::move(spec);
         args.output_schema = qualified;
-        args.ref_reader = entry->ref_reader.get();
+        args.ref_reader = entry->ref_reader();
         inner = std::make_unique<JitRowFetcher>(ctx.jit, std::move(args));
       } else {
-        inner = std::make_unique<RefRowFetcher>(entry->ref_reader.get(),
+        inner = std::make_unique<RefRowFetcher>(entry->ref_reader(),
                                                 info.ref_group, field_names,
                                                 qualified);
       }
@@ -1026,7 +1147,8 @@ std::optional<double> EstimateSelectivity(ShredCache* shreds,
 /// point, then compare full-column vs shred vs multi-column costs.
 ShredPolicy ResolveAdaptivePolicy(BuildCtx& ctx, const SidePlan& side) {
   const TableEntry& entry = *side.entry;
-  if (entry.row_count < 0) {
+  const TableCtx& tc = ctx.Ctx(side.entry);
+  if (tc.row_count < 0) {
     // First contact with the file: row count unknown, predicate columns not
     // cached. Shreds are never worse than full columns for the bottom
     // predicate and strictly cheaper when anything is filtered.
@@ -1047,7 +1169,7 @@ ShredPolicy ResolveAdaptivePolicy(BuildCtx& ctx, const SidePlan& side) {
   }
   ShredDecisionInput in;
   in.format = entry.info.format;
-  in.table_rows = entry.row_count;
+  in.table_rows = tc.row_count;
   in.selectivity = selectivity;
   // Columns a late scan would fetch: predicates beyond the first + upstream.
   int fetch_cols = static_cast<int>(side.needed_after.size());
@@ -1055,10 +1177,9 @@ ShredPolicy ResolveAdaptivePolicy(BuildCtx& ctx, const SidePlan& side) {
     fetch_cols += static_cast<int>(side.predicates.size()) - 1;
   }
   in.colocated_columns = std::max(fetch_cols, 1);
-  if (entry.info.format == FileFormat::kCsv && entry.pmap != nullptr &&
-      !entry.pmap->empty()) {
+  if (entry.info.format == FileFormat::kCsv && tc.has_complete_pmap()) {
     // Typical skip distance: half the tracking stride.
-    const auto& tracked = entry.pmap->tracked_columns();
+    const auto& tracked = tc.published_pmap->tracked_columns();
     int stride = tracked.size() > 1 ? tracked[1] - tracked[0]
                                     : entry.info.schema.num_fields();
     in.skip_distance = stride / 2;
@@ -1092,13 +1213,29 @@ OperatorPtr WrapLateScanCacheInsert(BuildCtx& ctx, OperatorPtr op,
 /// Builds scan -> [late scan, filter]* -> [late scan] for one table.
 StatusOr<OperatorPtr> BuildTableSubplan(BuildCtx& ctx, SidePlan& side) {
   const PlannerOptions& opts = *ctx.opts;
+  TableCtx& tc = ctx.Ctx(side.entry);
   const std::string& table = side.entry->info.name;
-  const Schema& tschema = side.entry->info.schema;
+
+  // A CSV table without any positional map in reach (published, or built by
+  // this very query) cannot serve late scans: force every column into the
+  // base scan instead. This covers build_positional_map=false and the case
+  // where another in-flight session holds the build claim.
+  bool csv_can_late_scan = true;
+  if (side.entry->info.format == FileFormat::kCsv &&
+      opts.access_path != AccessPathKind::kLoaded &&
+      opts.access_path != AccessPathKind::kExternalTable &&
+      !tc.has_complete_pmap()) {
+    csv_can_late_scan = LateScanFeasible(ctx, tc);
+    if (!csv_can_late_scan) {
+      (*ctx.desc) << "[no-pmap: full columns " << table << "] ";
+    }
+  }
 
   const bool full_columns =
       side.policy == ShredPolicy::kFullColumns ||
       opts.access_path == AccessPathKind::kLoaded ||
-      opts.access_path == AccessPathKind::kExternalTable;
+      opts.access_path == AccessPathKind::kExternalTable ||
+      !csv_can_late_scan;
 
   std::vector<int> base_cols = side.force_base;
   std::set<int> have;
@@ -1118,13 +1255,7 @@ StatusOr<OperatorPtr> BuildTableSubplan(BuildCtx& ctx, SidePlan& side) {
   base_cols = SortedUnique(std::move(base_cols));
   for (int c : base_cols) have.insert(c);
 
-  RAW_ASSIGN_OR_RETURN(OperatorPtr op, BuildBaseScan(ctx, side.entry, base_cols));
-
-  // Remaining work queue: predicates in order, then the upstream columns.
-  std::vector<int> remaining_pred_cols;
-  for (size_t i = 0; i < side.predicates.size(); ++i) {
-    remaining_pred_cols.push_back(side.predicate_cols[i]);
-  }
+  RAW_ASSIGN_OR_RETURN(OperatorPtr op, BuildBaseScan(ctx, tc, base_cols));
 
   for (size_t i = 0; i < side.predicates.size(); ++i) {
     int col = side.predicate_cols[i];
@@ -1149,7 +1280,7 @@ StatusOr<OperatorPtr> BuildTableSubplan(BuildCtx& ctx, SidePlan& side) {
       }
       fetch_cols = SortedUnique(std::move(fetch_cols));
       RAW_ASSIGN_OR_RETURN(RowFetcherPtr fetcher,
-                           BuildFetcher(ctx, side.entry, fetch_cols));
+                           BuildFetcher(ctx, tc, fetch_cols));
       (*ctx.desc) << "[late-scan " << table << ":";
       for (int c : fetch_cols) (*ctx.desc) << c << ",";
       (*ctx.desc) << "] ";
@@ -1177,7 +1308,7 @@ StatusOr<OperatorPtr> BuildTableSubplan(BuildCtx& ctx, SidePlan& side) {
   if (!missing.empty()) {
     missing = SortedUnique(std::move(missing));
     RAW_ASSIGN_OR_RETURN(RowFetcherPtr fetcher,
-                         BuildFetcher(ctx, side.entry, missing));
+                         BuildFetcher(ctx, tc, missing));
     (*ctx.desc) << "[late-scan " << table << ":";
     for (int c : missing) (*ctx.desc) << c << ",";
     (*ctx.desc) << "] ";
@@ -1187,7 +1318,6 @@ StatusOr<OperatorPtr> BuildTableSubplan(BuildCtx& ctx, SidePlan& side) {
     op = WrapLateScanCacheInsert(ctx, std::move(op), side.entry, base_fields,
                                  missing);
   }
-  (void)tschema;
   return op;
 }
 
@@ -1200,19 +1330,45 @@ StatusOr<OperatorPtr> BuildTableSubplan(BuildCtx& ctx, SidePlan& side) {
 StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
                                      const PlannerOptions& options) {
   RAW_RETURN_NOT_OK(query.Validate());
+  for (const PredicateSpec& pred : query.predicates) {
+    if (pred.is_parameter()) {
+      return Status::InvalidArgument(
+          "query has unbound '?' parameters; execute it through "
+          "Session::Prepare");
+    }
+  }
 
   PhysicalPlan plan;
   std::ostringstream desc;
   double compile_seconds = 0;
-  BuildCtx ctx{catalog_, jit_, shreds_, &options, &compile_seconds, &desc,
-               ResolveNumThreads(options.num_threads)};
+  std::map<TableEntry*, TableCtx> table_ctxs;
+  BuildCtx ctx{catalog_,         jit_,  shreds_,
+               &options,         &compile_seconds,
+               &desc,            ResolveNumThreads(options.num_threads),
+               &table_ctxs};
 
   // Resolve tables.
   std::vector<TableEntry*> entries;
   for (const std::string& t : query.tables) {
     RAW_ASSIGN_OR_RETURN(TableEntry * entry, catalog_->Get(t));
     entries.push_back(entry);
+    ctx.Ctx(entry);  // snapshot adaptive state once per query
   }
+
+  // If planning fails after a table context claimed a pmap build without
+  // wiring it into an operator (which would own the claim), release it.
+  struct ClaimGuard {
+    std::map<TableEntry*, TableCtx>* tables;
+    bool disarm = false;
+    ~ClaimGuard() {
+      if (disarm) return;
+      for (auto& [entry, tc] : *tables) {
+        if (tc.building_pmap != nullptr && !tc.build_wired) {
+          entry->AbandonPmapBuild();
+        }
+      }
+    }
+  } claim_guard{&table_ctxs};
 
   // Resolve all column references (mutating copies of the spec items).
   QuerySpec q = query;
@@ -1304,12 +1460,25 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
 
     // Projected / aggregated columns: placement decides which side structure
     // receives them (early -> base scan, intermediate -> after side filters,
-    // late -> after the join).
+    // late -> after the join). Post-join late scans need a navigable
+    // positional map for CSV sides; when none is in reach (baseline access
+    // paths, build_positional_map off, or another session holds the build
+    // claim) the columns demote to intermediate placement instead of
+    // failing at fetch time.
+    const bool probe_late_ok = LateScanFeasible(ctx, ctx.Ctx(probe_entry));
+    const bool build_late_ok = LateScanFeasible(ctx, ctx.Ctx(build_entry));
     std::vector<OutCol> late_probe, late_build;
     auto place = [&](const OutCol& c) {
       if (c.entry == nullptr) return;
       SidePlan& side = c.entry == probe_entry ? probe : build;
-      switch (options.join_placement) {
+      JoinProjectionPlacement placement = options.join_placement;
+      if (placement == JoinProjectionPlacement::kLate &&
+          !(c.entry == probe_entry ? probe_late_ok : build_late_ok)) {
+        placement = JoinProjectionPlacement::kIntermediate;
+        (*ctx.desc) << "[no-pmap: late->intermediate "
+                    << c.entry->info.name << "] ";
+      }
+      switch (placement) {
         case JoinProjectionPlacement::kEarly:
           side.force_base.push_back(c.column);
           break;
@@ -1372,7 +1541,7 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
       std::vector<int> cols;
       for (const OutCol& c : late_probe) cols.push_back(c.column);
       RAW_ASSIGN_OR_RETURN(RowFetcherPtr fetcher,
-                           BuildFetcher(ctx, probe_entry, cols));
+                           BuildFetcher(ctx, ctx.Ctx(probe_entry), cols));
       (*ctx.desc) << "[late-scan(post-join,pipelined) " << probe_entry->info.name
                   << "] ";
       op = std::make_unique<LateScanOperator>(std::move(op),
@@ -1382,7 +1551,7 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
       std::vector<int> cols;
       for (const OutCol& c : late_build) cols.push_back(c.column);
       RAW_ASSIGN_OR_RETURN(RowFetcherPtr fetcher,
-                           BuildFetcher(ctx, build_entry, cols));
+                           BuildFetcher(ctx, ctx.Ctx(build_entry), cols));
       (*ctx.desc) << "[late-scan(post-join,breaking) " << build_entry->info.name
                   << "] ";
       op = std::make_unique<LateScanOperator>(
@@ -1457,6 +1626,15 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
     op = std::make_unique<LimitOperator>(std::move(op), q.limit);
     (*ctx.desc) << "[limit " << q.limit << "] ";
   }
+
+  // Pin the per-query snapshots for the plan's lifetime: operators reference
+  // them by raw pointer, and streaming cursors may outlive engine-side state.
+  for (auto& [entry, tc] : table_ctxs) {
+    if (tc.published_pmap != nullptr) plan.resources.push_back(tc.published_pmap);
+    if (tc.building_pmap != nullptr) plan.resources.push_back(tc.building_pmap);
+    if (tc.loaded != nullptr) plan.resources.push_back(tc.loaded);
+  }
+  claim_guard.disarm = true;  // wired claims are owned by PmapPublishOperator
 
   plan.root = std::move(op);
   plan.description = desc.str();

@@ -1,78 +1,89 @@
 #include "engine/raw_engine.h"
 
-#include "common/stopwatch.h"
 #include "csv/schema_inference.h"
-#include "engine/sql/binder.h"
-#include "engine/sql/parser.h"
 
 namespace raw {
 
 Status RawEngine::RegisterCsvInferred(const std::string& name,
                                       const std::string& path, CsvOptions csv,
                                       int pmap_stride) {
-  RAW_ASSIGN_OR_RETURN(Schema schema, InferCsvSchema(path, csv));
-  return catalog_.RegisterCsv(name, path, std::move(schema), csv, pmap_stride);
+  // One CsvOptions drives both the sampling pass and every later scan, so
+  // quoting/delimiter/header handling cannot diverge between them.
+  StatusOr<Schema> schema = InferCsvSchema(path, csv);
+  if (!schema.ok()) {
+    return Status(schema.status().code(),
+                  "schema inference for table '" + name + "' failed: " +
+                      std::string(schema.status().message()));
+  }
+  return catalog_.RegisterCsv(name, path, std::move(schema).value(), csv,
+                              pmap_stride);
 }
 
 RawEngine::RawEngine(RawEngineOptions options)
     : options_(std::move(options)),
       catalog_(options_.catalog),
       jit_(options_.jit_compiler),
-      shreds_(options_.shred_cache_bytes),
-      planner_(&catalog_, &jit_, &shreds_) {}
+      shreds_(options_.shred_cache_bytes, options_.shred_cache_shards),
+      planner_(&catalog_, &jit_, &shreds_) {
+  default_session_ = OpenSession(options_.planner);
+}
+
+std::unique_ptr<Session> RawEngine::OpenSession() {
+  return OpenSession(options_.planner);
+}
+
+std::unique_ptr<Session> RawEngine::OpenSession(
+    const PlannerOptions& options) {
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Session>(new Session(
+      this, options, next_session_id_.fetch_add(1, std::memory_order_relaxed)));
+}
 
 StatusOr<QuerySpec> RawEngine::ParseSql(const std::string& sql) {
-  RAW_ASSIGN_OR_RETURN(QuerySpec spec, sql::Parse(sql));
-  RAW_RETURN_NOT_OK(sql::Bind(&catalog_, &spec));
-  return spec;
+  return default_session_->Parse(sql);
 }
 
 StatusOr<QueryResult> RawEngine::Query(const std::string& sql) {
-  return Query(sql, options_.planner);
+  return default_session_->Query(sql);
 }
 
 StatusOr<QueryResult> RawEngine::Query(const std::string& sql,
                                        const PlannerOptions& options) {
-  RAW_ASSIGN_OR_RETURN(QuerySpec spec, ParseSql(sql));
-  return Execute(spec, options);
+  return default_session_->Query(sql, options);
 }
 
 StatusOr<QueryResult> RawEngine::Execute(const QuerySpec& spec,
                                          const PlannerOptions& options) {
-  Stopwatch plan_watch;
-  const double compile_before = jit_.total_compile_seconds();
-  RAW_ASSIGN_OR_RETURN(PhysicalPlan plan, planner_.Plan(spec, options));
-  const double plan_seconds = plan_watch.ElapsedSeconds();
-  if (spec.explain) {
-    // EXPLAIN: return the plan description as a one-row result.
-    QueryResult result;
-    result.plan_description = plan.description;
-    result.plan_seconds = plan_seconds;
-    result.compile_seconds = jit_.total_compile_seconds() - compile_before;
-    ColumnBatch table(Schema{{"plan", DataType::kString}});
-    auto col = std::make_shared<Column>(DataType::kString);
-    col->AppendString(plan.description);
-    table.AddColumn(std::move(col));
-    table.SetNumRows(1);
-    result.table = std::move(table);
-    return result;
-  }
-  RAW_ASSIGN_OR_RETURN(QueryResult result, Executor::Run(std::move(plan)));
-  result.plan_seconds = plan_seconds;
-  result.compile_seconds = jit_.total_compile_seconds() - compile_before;
-  return result;
+  return default_session_->Execute(spec, options);
+}
+
+EngineStats RawEngine::Stats() const {
+  EngineStats stats;
+  stats.shred_cache = shreds_.Stats();
+  stats.jit_cache = jit_.Stats();
+  stats.tables = catalog_.Stats();
+  stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  stats.queries_parsed = queries_parsed_.load(std::memory_order_relaxed);
+  stats.queries_planned = queries_planned_.load(std::memory_order_relaxed);
+  stats.queries_executed = queries_executed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+StatusOr<std::shared_ptr<const PositionalMap>>
+RawEngine::PositionalMapSnapshot(const std::string& table) {
+  RAW_ASSIGN_OR_RETURN(TableEntry * entry, catalog_.Get(table));
+  return entry->pmap();
+}
+
+Status RawEngine::DropFilePageCache(const std::string& table) {
+  RAW_ASSIGN_OR_RETURN(TableEntry * entry, catalog_.Get(table));
+  return entry->DropPageCache();
 }
 
 void RawEngine::ResetAdaptiveState() {
   shreds_.Clear();
   jit_.Clear();
-  for (const std::string& name : catalog_.TableNames()) {
-    auto entry = catalog_.Get(name);
-    if (entry.ok()) {
-      (*entry)->pmap.reset();
-      (*entry)->loaded.reset();
-    }
-  }
+  catalog_.ResetAdaptiveState();
 }
 
 }  // namespace raw

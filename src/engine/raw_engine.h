@@ -1,12 +1,15 @@
 #ifndef RAW_ENGINE_RAW_ENGINE_H_
 #define RAW_ENGINE_RAW_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "engine/catalog.h"
 #include "engine/executor.h"
 #include "engine/planner.h"
+#include "engine/session.h"
 #include "engine/shred_cache.h"
 #include "jit/template_cache.h"
 
@@ -14,10 +17,43 @@ namespace raw {
 
 /// Engine-wide configuration.
 struct RawEngineOptions {
-  PlannerOptions planner;  // per-query defaults
+  PlannerOptions planner;  // defaults inherited by new sessions
   CatalogOptions catalog;
   CcCompilerOptions jit_compiler;
   int64_t shred_cache_bytes = 1ll << 30;
+  /// Lock shards of the shred cache (sessions touching different columns
+  /// never contend); capacity splits evenly across shards.
+  int shred_cache_shards = ShredCache::kDefaultNumShards;
+};
+
+/// Read-only snapshot of the engine's shared state: cache counters, query
+/// counters, and per-table adaptive state. This is the introspection surface
+/// — tests and benchmarks read stats instead of poking mutable internals.
+struct EngineStats {
+  CacheStats shred_cache;
+  JitCacheStats jit_cache;
+  std::vector<TableStats> tables;
+
+  int64_t sessions_opened = 0;
+  /// SQL statements parsed + bound (Prepare counts once; re-executing a
+  /// PreparedQuery does not re-parse — that is the point).
+  int64_t queries_parsed = 0;
+  /// Physical plans built.
+  int64_t queries_planned = 0;
+  /// Plans executed (materialized or streamed).
+  int64_t queries_executed = 0;
+
+  bool jit_compiler_available() const {
+    return jit_cache.compiler_available;
+  }
+
+  /// Convenience lookup; null when the table is unknown.
+  const TableStats* table(const std::string& name) const {
+    for (const TableStats& t : tables) {
+      if (t.name == name) return &t;
+    }
+    return nullptr;
+  }
 };
 
 /// RAW — the adaptive raw-data query engine. Register raw files once, then
@@ -25,14 +61,25 @@ struct RawEngineOptions {
 /// generating Just-In-Time access paths and materializing column shreds,
 /// caching both for future queries.
 ///
+/// The engine core is thread-safe and server-shaped: one shared RawEngine
+/// owns the catalog and every adaptive cache (sharded shred pool, JIT
+/// template cache, positional maps) behind proper synchronization, while
+/// per-client Sessions carry planner options, prepared statements and
+/// streaming cursors. Any number of sessions may run queries concurrently;
+/// warm state is shared across all of them.
+///
 ///   RawEngine engine;
 ///   engine.RegisterCsv("t", "/data/t.csv", schema);
-///   auto result = engine.Query("SELECT MAX(col11) FROM t WHERE col1 < 100");
+///   auto session = engine.OpenSession();
+///   auto result = session->Query("SELECT MAX(col11) FROM t WHERE col1 < 100");
+///
+/// The classic one-shot surface (engine.Query(...)) remains as a thin shim
+/// over an engine-owned default session.
 class RawEngine {
  public:
   explicit RawEngine(RawEngineOptions options = RawEngineOptions());
 
-  // --- registration ----------------------------------------------------------
+  // --- registration (thread-safe) --------------------------------------------
   Status RegisterCsv(const std::string& name, const std::string& path,
                      Schema schema, CsvOptions csv = CsvOptions(),
                      int pmap_stride = 10) {
@@ -40,7 +87,10 @@ class RawEngine {
                                 pmap_stride);
   }
   /// Registers a CSV file whose schema is *inferred* by sampling its rows —
-  /// no description of the file needed at all.
+  /// no description of the file needed at all. Inference and later scans
+  /// share the same CsvOptions (including quoting), so the schema the
+  /// sampler sees is exactly what queries will parse; a sampling failure
+  /// surfaces as a Status annotated with the file, never a silent fallback.
   Status RegisterCsvInferred(const std::string& name, const std::string& path,
                              CsvOptions csv = CsvOptions(),
                              int pmap_stride = 10);
@@ -52,7 +102,14 @@ class RawEngine {
     return catalog_.RegisterRef(prefix, path);
   }
 
-  // --- querying --------------------------------------------------------------
+  // --- sessions --------------------------------------------------------------
+  /// Opens a client session with the engine's default planner options (or an
+  /// explicit override). Sessions are cheap; open one per client thread.
+  /// The returned handle must not outlive the engine.
+  std::unique_ptr<Session> OpenSession();
+  std::unique_ptr<Session> OpenSession(const PlannerOptions& options);
+
+  // --- legacy one-shot surface (shims over the default session) --------------
   /// Parses, binds, plans and executes `sql` with the engine's default
   /// planner options.
   StatusOr<QueryResult> Query(const std::string& sql);
@@ -68,22 +125,48 @@ class RawEngine {
   /// Parses + binds without executing (EXPLAIN-style tooling, tests).
   StatusOr<QuerySpec> ParseSql(const std::string& sql);
 
-  // --- state inspection ------------------------------------------------------
-  Catalog* catalog() { return &catalog_; }
-  JitTemplateCache* jit_cache() { return &jit_; }
-  ShredCache* shred_cache() { return &shreds_; }
+  // --- introspection ---------------------------------------------------------
+  /// Read-only snapshot of caches, counters and per-table adaptive state.
+  EngineStats Stats() const;
+
+  /// Deep read-only introspection: the published positional map of `table`
+  /// (null when none). The snapshot is immutable and safe to keep.
+  StatusOr<std::shared_ptr<const PositionalMap>> PositionalMapSnapshot(
+      const std::string& table);
+
+  /// Read-only introspection: true when the shred pool holds the complete
+  /// `column` of `table` (no LRU refresh, no counter side effects).
+  bool ShredCacheContainsFull(const std::string& table, int column) const {
+    return shreds_.ContainsFull(table, column);
+  }
+
+  /// Best-effort OS page-cache drop for `table`'s file (cold-run benches).
+  Status DropFilePageCache(const std::string& table);
+
   const RawEngineOptions& options() const { return options_; }
 
   /// Drops all adaptive state (shred pool + compiled-kernel cache + maps),
-  /// reverting the engine to its freshly-started behaviour.
+  /// reverting the engine to its freshly-started behaviour. Safe against
+  /// in-flight sessions: running queries hold immutable snapshots and
+  /// simply finish on the state they started with.
   void ResetAdaptiveState();
 
  private:
+  friend class Session;
+
   RawEngineOptions options_;
   Catalog catalog_;
   JitTemplateCache jit_;
   ShredCache shreds_;
   Planner planner_;
+
+  std::atomic<int64_t> next_session_id_{1};
+  std::atomic<int64_t> sessions_opened_{0};
+  std::atomic<int64_t> queries_parsed_{0};
+  std::atomic<int64_t> queries_planned_{0};
+  std::atomic<int64_t> queries_executed_{0};
+
+  std::unique_ptr<Session> default_session_;  // backs the legacy shims
 };
 
 }  // namespace raw

@@ -1,0 +1,240 @@
+#include "engine/session.h"
+
+#include "common/stopwatch.h"
+#include "engine/raw_engine.h"
+#include "engine/sql/binder.h"
+#include "engine/sql/parser.h"
+
+namespace raw {
+
+namespace {
+
+/// EXPLAIN results materialize as a one-row, one-column table.
+ColumnBatch ExplainBatch(const std::string& description) {
+  ColumnBatch table(Schema{{"plan", DataType::kString}});
+  auto col = std::make_shared<Column>(DataType::kString);
+  col->AppendString(description);
+  table.AddColumn(std::move(col));
+  table.SetNumRows(1);
+  return table;
+}
+
+}  // namespace
+
+// =============================================================================
+// Cursor
+// =============================================================================
+
+Cursor::~Cursor() {
+  Status ignored = Close();
+  (void)ignored;
+}
+
+Cursor Cursor::FromBatch(ColumnBatch batch, std::string description,
+                         double plan_seconds, double compile_seconds) {
+  Cursor cursor;
+  cursor.plan_.description = std::move(description);
+  cursor.empty_schema_ = batch.schema();
+  cursor.pending_ = std::make_unique<ColumnBatch>(std::move(batch));
+  cursor.plan_seconds_ = plan_seconds;
+  cursor.compile_seconds_ = compile_seconds;
+  return cursor;
+}
+
+const Schema& Cursor::schema() const {
+  if (plan_.root != nullptr) return plan_.root->output_schema();
+  if (pending_ != nullptr) return pending_->schema();
+  return empty_schema_;
+}
+
+Status Cursor::EnsureOpen() {
+  if (opened_ || plan_.root == nullptr) return Status::OK();
+  RAW_RETURN_NOT_OK(plan_.root->Open());
+  opened_ = true;
+  return Status::OK();
+}
+
+StatusOr<ColumnBatch> Cursor::Next() {
+  if (pending_ != nullptr) {
+    ColumnBatch batch = std::move(*pending_);
+    pending_.reset();
+    return batch;
+  }
+  if (eof_ || closed_ || plan_.root == nullptr) {
+    if (plan_.root == nullptr) eof_ = true;
+    return ColumnBatch(schema());
+  }
+  Stopwatch watch;
+  RAW_RETURN_NOT_OK(EnsureOpen());
+  StatusOr<ColumnBatch> batch = plan_.root->Next();
+  execute_seconds_ += watch.ElapsedSeconds();
+  if (batch.ok() && batch->empty()) {
+    eof_ = true;
+    // Close eagerly so end-of-stream side effects (shred-cache population,
+    // positional-map publication) land without waiting for destruction.
+    RAW_RETURN_NOT_OK(Close());
+  }
+  return batch;
+}
+
+StatusOr<QueryResult> Cursor::Consume() {
+  std::vector<ColumnBatch> batches;
+  Schema result_schema = schema();
+  while (true) {
+    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, Next());
+    if (batch.empty()) break;
+    batches.push_back(std::move(batch));
+  }
+  QueryResult result;
+  RAW_ASSIGN_OR_RETURN(result.table, ConcatBatches(result_schema, batches));
+  result.plan_description = plan_.description;
+  result.plan_seconds = plan_seconds_;
+  result.compile_seconds = compile_seconds_;
+  result.execute_seconds = execute_seconds_;
+  return result;
+}
+
+Status Cursor::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  if (plan_.root != nullptr && opened_) {
+    return plan_.root->Close();
+  }
+  return Status::OK();
+}
+
+// =============================================================================
+// PreparedQuery
+// =============================================================================
+
+StatusOr<QuerySpec> PreparedQuery::BindParams(
+    const std::vector<Datum>& params) const {
+  if (static_cast<int>(params.size()) != spec_.num_params) {
+    return Status::InvalidArgument(
+        "prepared query expects " + std::to_string(spec_.num_params) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  QuerySpec bound = spec_;
+  for (PredicateSpec& pred : bound.predicates) {
+    if (!pred.is_parameter()) continue;
+    // Coerce exactly like an inline literal of the column's type would.
+    RAW_ASSIGN_OR_RETURN(
+        pred.literal,
+        params[static_cast<size_t>(pred.param_index)].CastTo(pred.param_type));
+    pred.param_index = -1;
+  }
+  bound.num_params = 0;
+  return bound;
+}
+
+StatusOr<QueryResult> PreparedQuery::Execute(
+    const std::vector<Datum>& params) {
+  RAW_ASSIGN_OR_RETURN(QuerySpec bound, BindParams(params));
+  return session_->Execute(bound);
+}
+
+StatusOr<Cursor> PreparedQuery::ExecuteStream(
+    const std::vector<Datum>& params) {
+  RAW_ASSIGN_OR_RETURN(QuerySpec bound, BindParams(params));
+  return session_->ExecuteStream(bound);
+}
+
+// =============================================================================
+// Session
+// =============================================================================
+
+StatusOr<QuerySpec> Session::Parse(const std::string& sql) {
+  RAW_ASSIGN_OR_RETURN(QuerySpec spec, sql::Parse(sql));
+  RAW_RETURN_NOT_OK(sql::Bind(&engine_->catalog_, &spec));
+  engine_->queries_parsed_.fetch_add(1, std::memory_order_relaxed);
+  return spec;
+}
+
+StatusOr<PreparedQuery> Session::Prepare(const std::string& sql) {
+  RAW_ASSIGN_OR_RETURN(QuerySpec spec, Parse(sql));
+  return PreparedQuery(this, std::move(spec));
+}
+
+StatusOr<PhysicalPlan> Session::PlanSpec(const QuerySpec& spec,
+                                         const PlannerOptions& options,
+                                         double* plan_seconds,
+                                         double* compile_seconds) {
+  Stopwatch watch;
+  const double compile_before = engine_->jit_.total_compile_seconds();
+  RAW_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       engine_->planner_.Plan(spec, options));
+  *plan_seconds = watch.ElapsedSeconds();
+  *compile_seconds = engine_->jit_.total_compile_seconds() - compile_before;
+  engine_->queries_planned_.fetch_add(1, std::memory_order_relaxed);
+  return plan;
+}
+
+StatusOr<QueryResult> Session::Query(const std::string& sql) {
+  return Query(sql, options_);
+}
+
+StatusOr<QueryResult> Session::Query(const std::string& sql,
+                                     const PlannerOptions& options) {
+  RAW_ASSIGN_OR_RETURN(QuerySpec spec, Parse(sql));
+  return Execute(spec, options);
+}
+
+StatusOr<QueryResult> Session::Execute(const QuerySpec& spec) {
+  return Execute(spec, options_);
+}
+
+StatusOr<QueryResult> Session::Execute(const QuerySpec& spec,
+                                       const PlannerOptions& options) {
+  double plan_seconds = 0;
+  double compile_seconds = 0;
+  RAW_ASSIGN_OR_RETURN(
+      PhysicalPlan plan,
+      PlanSpec(spec, options, &plan_seconds, &compile_seconds));
+  if (spec.explain) {
+    // EXPLAIN: return the plan description as a one-row result.
+    QueryResult result;
+    result.plan_description = plan.description;
+    result.plan_seconds = plan_seconds;
+    result.compile_seconds = compile_seconds;
+    result.table = ExplainBatch(plan.description);
+    return result;
+  }
+  engine_->queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  RAW_ASSIGN_OR_RETURN(QueryResult result, Executor::Run(std::move(plan)));
+  result.plan_seconds = plan_seconds;
+  result.compile_seconds = compile_seconds;
+  return result;
+}
+
+StatusOr<Cursor> Session::Stream(const std::string& sql) {
+  return Stream(sql, options_);
+}
+
+StatusOr<Cursor> Session::Stream(const std::string& sql,
+                                 const PlannerOptions& options) {
+  RAW_ASSIGN_OR_RETURN(QuerySpec spec, Parse(sql));
+  return ExecuteStream(spec, options);
+}
+
+StatusOr<Cursor> Session::ExecuteStream(const QuerySpec& spec) {
+  return ExecuteStream(spec, options_);
+}
+
+StatusOr<Cursor> Session::ExecuteStream(const QuerySpec& spec,
+                                        const PlannerOptions& options) {
+  double plan_seconds = 0;
+  double compile_seconds = 0;
+  RAW_ASSIGN_OR_RETURN(
+      PhysicalPlan plan,
+      PlanSpec(spec, options, &plan_seconds, &compile_seconds));
+  if (spec.explain) {
+    return Cursor::FromBatch(ExplainBatch(plan.description), plan.description,
+                             plan_seconds, compile_seconds);
+  }
+  engine_->queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  Cursor cursor(std::move(plan), plan_seconds, compile_seconds);
+  RAW_RETURN_NOT_OK(cursor.EnsureOpen());
+  return cursor;
+}
+
+}  // namespace raw

@@ -1,0 +1,189 @@
+#ifndef RAW_ENGINE_SESSION_H_
+#define RAW_ENGINE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/logical_plan.h"
+#include "engine/physical_plan.h"
+
+namespace raw {
+
+class RawEngine;
+class Session;
+
+/// A streaming query result: RecordBatch-at-a-time access to a running plan
+/// instead of one materialized table. Obtained from Session::Stream /
+/// ExecuteStream / PreparedQuery::ExecuteStream.
+///
+///   auto cursor = session->Stream("SELECT ... FROM t");
+///   while (true) {
+///     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, cursor->Next());
+///     if (batch.empty()) break;   // end of stream
+///     ...consume batch...
+///   }
+///
+/// The cursor pins every snapshot its plan references (positional maps,
+/// loaded tables, cached columns), so it keeps streaming correct results
+/// even if RawEngine::ResetAdaptiveState() runs mid-stream. Abandoning a
+/// cursor early is safe: Close() runs on destruction, releasing any
+/// adaptive-state build claims the plan holds.
+///
+/// A Cursor is single-consumer and not thread-safe; the engine underneath is.
+class Cursor {
+ public:
+  Cursor() = default;
+  Cursor(Cursor&&) = default;
+  Cursor& operator=(Cursor&&) = default;
+  Cursor(const Cursor&) = delete;
+  Cursor& operator=(const Cursor&) = delete;
+  ~Cursor();
+
+  /// Schema of the batches this cursor yields.
+  const Schema& schema() const;
+
+  /// The next batch; an empty batch signals end of stream. The first call
+  /// starts execution.
+  StatusOr<ColumnBatch> Next();
+
+  /// Drains the remaining stream into a materialized QueryResult (the
+  /// entire result when called first).
+  StatusOr<QueryResult> Consume();
+
+  /// Releases plan resources; idempotent, also runs on destruction.
+  Status Close();
+
+  bool done() const { return eof_; }
+  const std::string& plan_description() const { return plan_.description; }
+  double plan_seconds() const { return plan_seconds_; }
+  double compile_seconds() const { return compile_seconds_; }
+  /// Execution time accumulated inside Next() so far.
+  double execute_seconds() const { return execute_seconds_; }
+
+ private:
+  friend class Session;
+
+  Cursor(PhysicalPlan plan, double plan_seconds, double compile_seconds)
+      : plan_(std::move(plan)),
+        plan_seconds_(plan_seconds),
+        compile_seconds_(compile_seconds) {}
+
+  /// Opens the plan root (idempotent); called at creation so schema() is
+  /// valid immediately and open-time errors surface from Stream(), not from
+  /// the first Next().
+  Status EnsureOpen();
+
+  /// Pre-materialized single-batch cursor (EXPLAIN).
+  static Cursor FromBatch(ColumnBatch batch, std::string description,
+                          double plan_seconds, double compile_seconds);
+
+  PhysicalPlan plan_;
+  Schema empty_schema_;
+  std::unique_ptr<ColumnBatch> pending_;  // pre-materialized first batch
+  bool opened_ = false;
+  bool eof_ = false;
+  bool closed_ = false;
+  double plan_seconds_ = 0;
+  double compile_seconds_ = 0;
+  double execute_seconds_ = 0;
+};
+
+/// A SQL statement parsed and bound once, re-executable with fresh `?`
+/// parameter values. Re-execution skips the parse and bind phases entirely
+/// (observable via EngineStats::queries_parsed) and reuses the planner's
+/// adaptive state — the JIT template cache makes repeated plans cheap.
+///
+/// Holds a pointer to its Session; the session must outlive it.
+class PreparedQuery {
+ public:
+  const QuerySpec& spec() const { return spec_; }
+  int num_params() const { return spec_.num_params; }
+
+  /// Executes with `params` bound positionally to the `?` placeholders
+  /// (params.size() must equal num_params()).
+  StatusOr<QueryResult> Execute(const std::vector<Datum>& params = {});
+
+  /// Streaming flavour of Execute.
+  StatusOr<Cursor> ExecuteStream(const std::vector<Datum>& params = {});
+
+ private:
+  friend class Session;
+
+  PreparedQuery(Session* session, QuerySpec spec)
+      : session_(session), spec_(std::move(spec)) {}
+
+  /// Substitutes + type-coerces `params` into a directly executable spec.
+  StatusOr<QuerySpec> BindParams(const std::vector<Datum>& params) const;
+
+  Session* session_;
+  QuerySpec spec_;
+};
+
+/// A per-client handle onto a shared RawEngine. Sessions carry the client's
+/// planner options and prepared statements; the engine underneath owns the
+/// catalog and all adaptive caches behind proper synchronization, so any
+/// number of sessions can run queries concurrently — sharing warm positional
+/// maps, column shreds and JIT'd kernels — with results identical to serial
+/// execution.
+///
+/// A Session itself is a lightweight, externally synchronized handle: use
+/// one per client thread (they are cheap), or guard a shared one yourself.
+class Session {
+ public:
+  const PlannerOptions& planner_options() const { return options_; }
+  void set_planner_options(const PlannerOptions& options) {
+    options_ = options;
+  }
+
+  /// Parses + binds `sql` without executing (EXPLAIN-style tooling, tests).
+  StatusOr<QuerySpec> Parse(const std::string& sql);
+
+  /// Parses + binds once; the result re-executes with new parameters.
+  StatusOr<PreparedQuery> Prepare(const std::string& sql);
+
+  /// One-shot SQL execution with the session's planner options (or an
+  /// explicit override), materializing the full result.
+  StatusOr<QueryResult> Query(const std::string& sql);
+  StatusOr<QueryResult> Query(const std::string& sql,
+                              const PlannerOptions& options);
+
+  /// Executes a programmatic logical query.
+  StatusOr<QueryResult> Execute(const QuerySpec& spec);
+  StatusOr<QueryResult> Execute(const QuerySpec& spec,
+                                const PlannerOptions& options);
+
+  /// Streaming flavours: batches are produced incrementally as the cursor
+  /// is pulled, instead of materializing the whole result.
+  StatusOr<Cursor> Stream(const std::string& sql);
+  StatusOr<Cursor> Stream(const std::string& sql,
+                          const PlannerOptions& options);
+  StatusOr<Cursor> ExecuteStream(const QuerySpec& spec);
+  StatusOr<Cursor> ExecuteStream(const QuerySpec& spec,
+                                 const PlannerOptions& options);
+
+  RawEngine* engine() const { return engine_; }
+  int64_t id() const { return id_; }
+
+ private:
+  friend class RawEngine;
+  friend class PreparedQuery;
+
+  Session(RawEngine* engine, PlannerOptions options, int64_t id)
+      : engine_(engine), options_(std::move(options)), id_(id) {}
+
+  /// Plans `spec`, returning the plan plus timing metadata.
+  StatusOr<PhysicalPlan> PlanSpec(const QuerySpec& spec,
+                                  const PlannerOptions& options,
+                                  double* plan_seconds,
+                                  double* compile_seconds);
+
+  RawEngine* engine_;
+  PlannerOptions options_;
+  int64_t id_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_ENGINE_SESSION_H_

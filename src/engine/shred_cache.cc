@@ -2,19 +2,38 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace raw {
 
-ShredCache::Entry* ShredCache::Find(const std::string& key, bool refresh_lru) {
-  auto it = index_.find(key);
-  if (it == index_.end()) return nullptr;
-  if (refresh_lru) lru_.splice(lru_.begin(), lru_, it->second);
+ShredCache::ShredCache(int64_t capacity_bytes, int num_shards)
+    : capacity_bytes_(std::max<int64_t>(capacity_bytes, 1)) {
+  num_shards = std::max(num_shards, 1);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShredCache::Shard& ShredCache::ShardFor(const std::string& key) const {
+  return *shards_[static_cast<size_t>(
+      Fnv1a64(key) % static_cast<uint64_t>(shards_.size()))];
+}
+
+ShredCache::Entry* ShredCache::Find(Shard& shard, const std::string& key,
+                                    bool refresh_lru) {
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  if (refresh_lru) shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return &*it->second;
 }
 
 Status ShredCache::Insert(const std::string& table, int column,
                           const int64_t* row_ids, const Column& values) {
   std::string key = MakeKey(table, column);
-  Entry* existing = Find(key, /*refresh_lru=*/false);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* existing = Find(shard, key, /*refresh_lru=*/false);
   const int64_t new_rows = values.length();
   if (existing != nullptr) {
     int64_t old_rows = existing->full()
@@ -23,9 +42,10 @@ Status ShredCache::Insert(const std::string& table, int column,
     if (existing->full() || old_rows >= new_rows) {
       return Status::OK();  // keep the (at least as large) existing entry
     }
-    bytes_cached_ -= existing->bytes;
-    lru_.erase(index_[key]);
-    index_.erase(key);
+    shard.bytes_cached -= existing->bytes;
+    total_bytes_.fetch_sub(existing->bytes, std::memory_order_relaxed);
+    shard.lru.erase(shard.index[key]);
+    shard.index.erase(key);
   }
   Entry entry;
   entry.key = key;
@@ -42,26 +62,37 @@ Status ShredCache::Insert(const std::string& table, int column,
   }
   entry.bytes = entry.values->MemoryBytes() +
                 static_cast<int64_t>(entry.row_ids.size() * sizeof(int64_t));
-  bytes_cached_ += entry.bytes;
-  lru_.push_front(std::move(entry));
-  index_[key] = lru_.begin();
-  EvictOverCapacity();
+  shard.bytes_cached += entry.bytes;
+  total_bytes_.fetch_add(entry.bytes, std::memory_order_relaxed);
+  shard.lru.push_front(std::move(entry));
+  shard.index[key] = shard.lru.begin();
+  EvictOverCapacity(shard);
   return Status::OK();
 }
 
-void ShredCache::EvictOverCapacity() {
-  while (bytes_cached_ > capacity_bytes_ && lru_.size() > 1) {
-    Entry& victim = lru_.back();
-    bytes_cached_ -= victim.bytes;
-    index_.erase(victim.key);
-    lru_.pop_back();
-    ++evictions_;
+void ShredCache::EvictOverCapacity(Shard& shard) {
+  // The budget is cache-wide; an over-budget insert evicts from its own
+  // shard's LRU tail (down to one surviving entry — the same oversized-entry
+  // guard the single-LRU always had). Other shards shed their own tails on
+  // their own next inserts, so the total converges onto the budget without
+  // any cross-shard locking.
+  while (total_bytes_.load(std::memory_order_relaxed) > capacity_bytes_ &&
+         shard.lru.size() > 1) {
+    Entry& victim = shard.lru.back();
+    shard.bytes_cached -= victim.bytes;
+    total_bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
   }
 }
 
 bool ShredCache::Covers(const std::string& table, int column,
                         const std::vector<int64_t>& rows) {
-  Entry* entry = Find(MakeKey(table, column), /*refresh_lru=*/false);
+  std::string key = MakeKey(table, column);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* entry = Find(shard, key, /*refresh_lru=*/false);
   if (entry == nullptr) return false;
   if (entry->full()) {
     for (int64_t r : rows) {
@@ -78,9 +109,12 @@ bool ShredCache::Covers(const std::string& table, int column,
 
 StatusOr<ColumnPtr> ShredCache::Lookup(const std::string& table, int column,
                                        const std::vector<int64_t>& rows) {
-  Entry* entry = Find(MakeKey(table, column), /*refresh_lru=*/true);
+  std::string key = MakeKey(table, column);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* entry = Find(shard, key, /*refresh_lru=*/true);
   if (entry == nullptr) {
-    ++misses_;
+    ++shard.misses;
     return Status::NotFound("no cached shred");
   }
   auto out = std::make_shared<Column>(entry->values->type());
@@ -88,11 +122,11 @@ StatusOr<ColumnPtr> ShredCache::Lookup(const std::string& table, int column,
   if (entry->full()) {
     for (int64_t r : rows) {
       if (r < 0 || r >= entry->values->length()) {
-        ++misses_;
+        ++shard.misses;
         return Status::NotFound("row outside cached column");
       }
     }
-    ++hits_;
+    ++shard.hits;
     return std::make_shared<Column>(entry->values->Gather(
         rows.data(), static_cast<int64_t>(rows.size())));
   }
@@ -102,31 +136,59 @@ StatusOr<ColumnPtr> ShredCache::Lookup(const std::string& table, int column,
   for (int64_t r : rows) {
     auto it = std::lower_bound(ids.begin(), ids.end(), r);
     if (it == ids.end() || *it != r) {
-      ++misses_;
+      ++shard.misses;
       return Status::NotFound("requested row not in cached shred");
     }
     indices.push_back(static_cast<int64_t>(it - ids.begin()));
   }
-  ++hits_;
+  ++shard.hits;
   return std::make_shared<Column>(entry->values->Gather(
       indices.data(), static_cast<int64_t>(indices.size())));
 }
 
 StatusOr<ColumnPtr> ShredCache::LookupFull(const std::string& table,
                                            int column) {
-  Entry* entry = Find(MakeKey(table, column), /*refresh_lru=*/true);
+  std::string key = MakeKey(table, column);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* entry = Find(shard, key, /*refresh_lru=*/true);
   if (entry == nullptr || !entry->full()) {
-    ++misses_;
+    ++shard.misses;
     return Status::NotFound("no cached full column");
   }
-  ++hits_;
+  ++shard.hits;
   return entry->values;
 }
 
+bool ShredCache::ContainsFull(const std::string& table, int column) const {
+  std::string key = MakeKey(table, column);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  return it != shard.index.end() && it->second->full();
+}
+
 void ShredCache::Clear() {
-  lru_.clear();
-  index_.clear();
-  bytes_cached_ = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total_bytes_.fetch_sub(shard->bytes_cached, std::memory_order_relaxed);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes_cached = 0;
+  }
+}
+
+CacheStats ShredCache::Stats() const {
+  CacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += static_cast<int64_t>(shard->index.size());
+    stats.bytes += shard->bytes_cached;
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+  }
+  return stats;
 }
 
 }  // namespace raw

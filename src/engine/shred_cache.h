@@ -1,9 +1,11 @@
 #ifndef RAW_ENGINE_SHRED_CACHE_H_
 #define RAW_ENGINE_SHRED_CACHE_H_
 
+#include <atomic>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,15 @@
 #include "common/statusor.h"
 
 namespace raw {
+
+/// Read-only counters describing one cache (see RawEngine::Stats()).
+struct CacheStats {
+  int64_t entries = 0;
+  int64_t bytes = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+};
 
 /// The pool of column shreds populated as a side effect of query execution
 /// (§3, §5.1): per (table, column) it keeps the rows already converted from
@@ -24,10 +35,23 @@ namespace raw {
 /// covers at least as many rows (cheap subsumption-by-size policy; merging
 /// arbitrary shreds is bookkeeping the paper also points out can become
 /// costly, §5.1).
+///
+/// Thread-safety: the cache is *sharded* by (table, column) key hash; each
+/// shard has its own mutex and LRU list, so concurrent sessions touching
+/// different columns never contend on one lock. The byte budget stays
+/// *global* (an atomic total): an insert evicts from its own shard's LRU
+/// tail only while the whole cache is over capacity, so key skew cannot
+/// evict warm columns while most of the budget sits unused. Returned
+/// columns are shared, immutable snapshots — safe to read after eviction
+/// or Clear().
 class ShredCache {
  public:
-  explicit ShredCache(int64_t capacity_bytes = 1ll << 30)
-      : capacity_bytes_(capacity_bytes) {}
+  static constexpr int kDefaultNumShards = 16;
+
+  /// `num_shards` mainly exists for tests that want the classic single-LRU
+  /// behaviour; the capacity is a cache-wide budget regardless.
+  explicit ShredCache(int64_t capacity_bytes = 1ll << 30,
+                      int num_shards = kDefaultNumShards);
 
   /// Inserts values for `row_ids` (nullptr => full column starting at row 0).
   /// `row_ids` must be strictly increasing when present.
@@ -47,13 +71,22 @@ class ShredCache {
   /// full-length, else NotFound.
   StatusOr<ColumnPtr> LookupFull(const std::string& table, int column);
 
+  /// Side-effect-free introspection: true when a *full* column is cached for
+  /// (table, column). Unlike LookupFull this neither refreshes LRU order nor
+  /// counts a hit/miss — it exists for stats surfaces and tests.
+  bool ContainsFull(const std::string& table, int column) const;
+
   void Clear();
 
-  int64_t bytes_cached() const { return bytes_cached_; }
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
-  int64_t evictions() const { return evictions_; }
-  int64_t num_entries() const { return static_cast<int64_t>(index_.size()); }
+  /// Aggregated counters across all shards (a consistent-enough snapshot for
+  /// introspection; shards are summed one lock at a time).
+  CacheStats Stats() const;
+
+  int64_t bytes_cached() const { return Stats().bytes; }
+  int64_t hits() const { return Stats().hits; }
+  int64_t misses() const { return Stats().misses; }
+  int64_t evictions() const { return Stats().evictions; }
+  int64_t num_entries() const { return Stats().entries; }
 
  private:
   struct Entry {
@@ -65,20 +98,33 @@ class ShredCache {
     bool full() const { return row_ids.empty(); }
   };
 
+  struct Shard {
+    Shard() = default;
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::map<std::string, std::list<Entry>::iterator> index;
+    int64_t bytes_cached = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
   static std::string MakeKey(const std::string& table, int column) {
     return table + "#" + std::to_string(column);
   }
 
-  Entry* Find(const std::string& key, bool refresh_lru);
-  void EvictOverCapacity();
+  Shard& ShardFor(const std::string& key) const;
+
+  /// Caller holds `shard.mu`.
+  static Entry* Find(Shard& shard, const std::string& key, bool refresh_lru);
+  void EvictOverCapacity(Shard& shard);
 
   int64_t capacity_bytes_;
-  std::list<Entry> lru_;  // front = most recent
-  std::map<std::string, std::list<Entry>::iterator> index_;
-  int64_t bytes_cached_ = 0;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
+  std::atomic<int64_t> total_bytes_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace raw

@@ -46,6 +46,12 @@ Status Bind(Catalog* catalog, QuerySpec* spec) {
   for (PredicateSpec& pred : spec->predicates) {
     DataType col_type;
     RAW_RETURN_NOT_OK(QualifyRef(tables, &pred.column, &col_type));
+    if (pred.is_parameter()) {
+      // `?` placeholder: remember the column type so values bound later
+      // coerce exactly like inline literals would have.
+      pred.param_type = col_type;
+      continue;
+    }
     // Coerce the literal to the column type so typed comparison fast paths
     // apply (string literals only compare against string columns, etc.).
     RAW_ASSIGN_OR_RETURN(pred.literal, pred.literal.CastTo(col_type));

@@ -106,7 +106,7 @@ StatusOr<std::vector<Token>> Lex(const std::string& input) {
         continue;
       }
     }
-    if (std::string("(),.*=<>;").find(c) != std::string::npos) {
+    if (std::string("(),.*=<>;?").find(c) != std::string::npos) {
       token.type = TokenType::kSymbol;
       token.text = std::string(1, c);
       tokens.push_back(std::move(token));

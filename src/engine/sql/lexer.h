@@ -15,7 +15,7 @@ enum class TokenType {
   kInteger,
   kFloat,
   kString,      // 'literal'
-  kSymbol,      // ( ) , . * = < > <= >= != <>
+  kSymbol,      // ( ) , . * = < > <= >= != <> ? ;
   kEnd,
 };
 

@@ -203,7 +203,12 @@ StatusOr<QuerySpec> Parser::ParseQuery() {
       PredicateSpec pred;
       RAW_ASSIGN_OR_RETURN(pred.column, ParseColumnRef());
       RAW_ASSIGN_OR_RETURN(pred.op, ParseCompareOp());
-      RAW_ASSIGN_OR_RETURN(pred.literal, ParseLiteral());
+      if (AcceptSymbol("?")) {
+        // Positional parameter, bound per execution via Session::Prepare.
+        pred.param_index = spec.num_params++;
+      } else {
+        RAW_ASSIGN_OR_RETURN(pred.literal, ParseLiteral());
+      }
       spec.predicates.push_back(std::move(pred));
     } while (AcceptKeyword("AND"));
   }

@@ -59,11 +59,16 @@ Status CcCompiler::EnsureScratchDir() {
 
 StatusOr<CompiledKernel> CcCompiler::Compile(const std::string& source,
                                              const std::string& name_hint) {
-  RAW_RETURN_NOT_OK(EnsureScratchDir());
   Stopwatch watch;
-  std::string base = name_hint + "_" + std::to_string(counter_++);
-  std::string src_path = scratch_->FilePath(base + ".cc");
-  std::string lib_path = scratch_->FilePath(base + ".so");
+  std::string src_path;
+  std::string lib_path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RAW_RETURN_NOT_OK(EnsureScratchDir());
+    std::string base = name_hint + "_" + std::to_string(counter_++);
+    src_path = scratch_->FilePath(base + ".cc");
+    lib_path = scratch_->FilePath(base + ".so");
+  }
   RAW_RETURN_NOT_OK(WriteStringToFile(src_path, source));
 
   std::string command = options_.cxx + " " + options_.flags + " -I" +

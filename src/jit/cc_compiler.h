@@ -2,6 +2,7 @@
 #define RAW_JIT_CC_COMPILER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/macros.h"
@@ -47,7 +48,9 @@ class CcCompiler {
   bool IsAvailable() const;
 
   /// Compiles `source` and loads the resulting kernel. `name_hint` becomes
-  /// part of the scratch file names.
+  /// part of the scratch file names. Safe to call concurrently: each call
+  /// gets a unique scratch file pair and the external compiler runs without
+  /// holding any lock.
   StatusOr<CompiledKernel> Compile(const std::string& source,
                                    const std::string& name_hint);
 
@@ -57,6 +60,7 @@ class CcCompiler {
   Status EnsureScratchDir();
 
   CcCompilerOptions options_;
+  std::mutex mu_;  // guards scratch_ creation and counter_
   std::unique_ptr<TempDir> scratch_;
   int64_t counter_ = 0;
 };

@@ -11,26 +11,64 @@ JitTemplateCache::JitTemplateCache(CcCompilerOptions compiler_options)
 StatusOr<CompiledKernel> JitTemplateCache::GetOrCompile(
     const AccessPathSpec& spec) {
   std::string key = spec.CacheKey();
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++hits_;
-    CompiledKernel kernel = it->second;
-    kernel.compile_seconds = 0;  // cache hit: no compilation this time
-    return kernel;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++hits_;
+        CompiledKernel kernel = it->second;
+        kernel.compile_seconds = 0;  // cache hit: no compilation this time
+        return kernel;
+      }
+      if (inflight_.count(key) == 0) break;
+      // Another session is compiling this very spec; wait for its result
+      // instead of duplicating the external-compiler invocation.
+      inflight_cv_.wait(lock);
+    }
+    ++misses_;
+    if (!compiler_available_) {
+      return Status::NotImplemented(
+          "no external C++ compiler available for JIT compilation");
+    }
+    inflight_.insert(key);
   }
-  ++misses_;
-  if (!compiler_available_) {
-    return Status::NotImplemented(
-        "no external C++ compiler available for JIT compilation");
+
+  // Generation + compilation run unlocked: distinct specs compile in
+  // parallel. The in-flight marker must be cleared on every exit path.
+  StatusOr<CompiledKernel> kernel = [&]() -> StatusOr<CompiledKernel> {
+    RAW_ASSIGN_OR_RETURN(std::string source, GenerateScanSource(spec));
+    std::string hint = std::string(FileFormatToString(spec.format)) + "_" +
+                       HashToHex(Fnv1a64(key));
+    return compiler_.Compile(source, hint);
+  }();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+    if (kernel.ok()) {
+      total_compile_seconds_ += kernel->compile_seconds;
+      cache_[key] = *kernel;
+    }
   }
-  RAW_ASSIGN_OR_RETURN(std::string source, GenerateScanSource(spec));
-  std::string hint = std::string(FileFormatToString(spec.format)) + "_" +
-                     HashToHex(Fnv1a64(key));
-  RAW_ASSIGN_OR_RETURN(CompiledKernel kernel, compiler_.Compile(source, hint));
-  total_compile_seconds_ += kernel.compile_seconds;
-  cache_[key] = kernel;
+  inflight_cv_.notify_all();
   return kernel;
+}
+
+JitCacheStats JitTemplateCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JitCacheStats stats;
+  stats.entries = static_cast<int64_t>(cache_.size());
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.total_compile_seconds = total_compile_seconds_;
+  stats.compiler_available = compiler_available_;
+  return stats;
+}
+
+void JitTemplateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
 }
 
 }  // namespace raw

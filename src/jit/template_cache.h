@@ -1,8 +1,10 @@
 #ifndef RAW_JIT_TEMPLATE_CACHE_H_
 #define RAW_JIT_TEMPLATE_CACHE_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -12,9 +14,24 @@
 
 namespace raw {
 
+/// Read-only counters describing the template cache (see RawEngine::Stats()).
+struct JitCacheStats {
+  int64_t entries = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  double total_compile_seconds = 0;
+  bool compiler_available = false;
+};
+
 /// The template cache of §3: generated libraries are registered under their
 /// access-path specification and reused when the same access path is
 /// requested again, amortizing compilation across queries.
+///
+/// Thread-safety: lookups take a short lock; compilation runs *outside* the
+/// lock, with an in-flight set so concurrent requests for the same spec
+/// compile once (later arrivals wait on the first) while requests for
+/// different specs compile in parallel. Returned kernels keep their shared
+/// object mapped via shared_ptr, so Clear() never unloads code in use.
 class JitTemplateCache {
  public:
   explicit JitTemplateCache(CcCompilerOptions compiler_options = {});
@@ -37,18 +54,25 @@ class JitTemplateCache {
     return compiler_.options();
   }
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
-  double total_compile_seconds() const { return total_compile_seconds_; }
-  int64_t size() const { return static_cast<int64_t>(cache_.size()); }
+  JitCacheStats Stats() const;
 
-  void Clear() { cache_.clear(); }
+  int64_t hits() const { return Stats().hits; }
+  int64_t misses() const { return Stats().misses; }
+  double total_compile_seconds() const {
+    return Stats().total_compile_seconds;
+  }
+  int64_t size() const { return Stats().entries; }
+
+  void Clear();
 
  private:
   CcCompiler compiler_;
   bool compiler_available_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable inflight_cv_;
   std::unordered_map<std::string, CompiledKernel> cache_;
-  std::mutex mutex_;
+  std::set<std::string> inflight_;  // specs some thread is compiling
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   double total_compile_seconds_ = 0;

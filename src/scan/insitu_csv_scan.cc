@@ -123,7 +123,70 @@ Status InsituCsvScanOperator::ConvertAndBuild(
   return Status::OK();
 }
 
+StatusOr<ColumnBatch> InsituCsvScanOperator::NextSequentialQuoted() {
+  // Quoted files: fields may hide delimiters and newlines, so the row walk
+  // steps through every field with the quote-aware tokenizer instead of
+  // stopping at the last needed column and memchr-ing for '\n'.
+  ColumnBatch out(output_schema_);
+  if (pos_ >= end_) return out;
+  if (spec_.profile) spec_.profile->parsing.Start();
+
+  const char delim = spec_.options.delimiter;
+  const char quote = spec_.options.quote;
+  const int num_outputs = static_cast<int>(spec_.outputs.size());
+  for (auto& v : refs_) v.clear();
+  row_id_scratch_.clear();
+
+  PositionalMap* pmap = spec_.build_pmap;
+  const int num_slots = pmap != nullptr ? pmap->num_tracked() : 0;
+  std::vector<uint64_t> slot_positions(
+      static_cast<size_t>(std::max(num_slots, 1)));
+  const int num_fields = spec_.file_schema.num_fields();
+
+  int64_t rows = 0;
+  const char* base = file_->data();
+  while (rows < spec_.batch_rows && pos_ < end_) {
+    const char* p = pos_;
+    const uint64_t row_start = static_cast<uint64_t>(p - base);
+    int out_idx = 0;
+    int col = 0;
+    while (true) {
+      if (col < num_fields) {
+        int slot = slot_lookup_[static_cast<size_t>(col)];
+        if (slot >= 0) {
+          slot_positions[static_cast<size_t>(slot)] =
+              static_cast<uint64_t>(p - base);
+        }
+      }
+      FieldRef field = NextFieldQuoted(&p, end_, delim, quote);
+      if (out_idx < num_outputs &&
+          spec_.outputs[static_cast<size_t>(out_idx)] == col) {
+        refs_[static_cast<size_t>(out_idx)].push_back(field);
+        ++out_idx;
+      }
+      if (p < end_ && *p == delim) {
+        ++p;
+        ++col;
+        continue;
+      }
+      break;  // row terminator or EOF
+    }
+    pos_ = SkipRowEnd(p, end_);
+    if (pmap != nullptr) pmap->AppendRow(row_start, slot_positions.data());
+    row_id_scratch_.push_back(row_);
+    ++row_;
+    ++rows;
+  }
+  if (spec_.profile) spec_.profile->parsing.Stop();
+
+  RAW_RETURN_NOT_OK(ConvertAndBuild(refs_, rows, &out));
+  out.SetRowIds(row_id_scratch_);
+  if (spec_.profile) spec_.profile->rows += rows;
+  return out;
+}
+
 StatusOr<ColumnBatch> InsituCsvScanOperator::NextSequential() {
+  if (spec_.quoted) return NextSequentialQuoted();
   ColumnBatch out(output_schema_);
   if (pos_ >= end_) return out;
   if (spec_.profile) spec_.profile->main_loop.Start();
@@ -197,6 +260,8 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextPositional() {
   if (spec_.profile) spec_.profile->parsing.Start();
 
   const char delim = spec_.options.delimiter;
+  const char quote = spec_.options.quote;
+  const bool quoted = spec_.quoted;
   const char* base = file_->data();
   for (auto& v : refs_) v.clear();
   row_id_scratch_.clear();
@@ -219,13 +284,22 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextPositional() {
       // Incremental parse from the nearest known position (§2.3): skip
       // (target - cursor) fields, generic loop, branch per character.
       while (col_cursor < target) {
-        p = SkipField(p, end_, delim);
+        p = quoted ? SkipFieldQuoted(p, end_, delim, quote)
+                   : SkipField(p, end_, delim);
         ++col_cursor;
       }
-      const char* field_end = FieldEnd(p, end_, delim);
-      refs_[j].push_back(FieldRef{p, static_cast<int32_t>(field_end - p)});
+      const char* next = p;
+      FieldRef field;
+      if (quoted) {
+        field = NextFieldQuoted(&next, end_, delim, quote);
+      } else {
+        const char* field_end = FieldEnd(p, end_, delim);
+        field = FieldRef{p, static_cast<int32_t>(field_end - p)};
+        next = field_end;
+      }
+      refs_[j].push_back(field);
       if (j + 1 < spec_.outputs.size()) {
-        p = field_end;
+        p = next;
         if (p < end_ && *p == delim) ++p;
         ++col_cursor;
       }

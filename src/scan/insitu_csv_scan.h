@@ -25,6 +25,11 @@ struct CsvScanSpec {
   Schema file_schema;         // full file schema (all physical columns)
   std::vector<int> outputs;   // columns to materialize, ascending
   CsvOptions options;
+  /// The file contains `options.quote` somewhere: fields step through the
+  /// quote-aware tokenizer (outer quotes stripped, embedded delimiters and
+  /// newlines respected) so scans agree with schema inference. Detected once
+  /// at catalog open; quote-free files keep the branch-light fast path.
+  bool quoted = false;
   int64_t batch_rows = kDefaultBatchRows;
 
   /// Sequential mode: restrict the scan to a byte sub-range of the file — a
@@ -66,6 +71,7 @@ class InsituCsvScanOperator : public Operator {
 
  private:
   StatusOr<ColumnBatch> NextSequential();
+  StatusOr<ColumnBatch> NextSequentialQuoted();
   StatusOr<ColumnBatch> NextPositional();
   Status ConvertAndBuild(const std::vector<std::vector<FieldRef>>& refs,
                          int64_t rows, ColumnBatch* out);

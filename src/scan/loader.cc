@@ -23,11 +23,12 @@ StatusOr<std::unique_ptr<InMemoryTable>> Drain(Operator* scan) {
 
 StatusOr<std::unique_ptr<InMemoryTable>> LoadCsvTable(
     const MmapFile* file, const Schema& file_schema,
-    const std::vector<int>& columns, const CsvOptions& options) {
+    const std::vector<int>& columns, const CsvOptions& options, bool quoted) {
   CsvScanSpec spec;
   spec.file_schema = file_schema;
   spec.outputs = columns;
   spec.options = options;
+  spec.quoted = quoted;
   InsituCsvScanOperator scan(file, std::move(spec));
   return Drain(&scan);
 }

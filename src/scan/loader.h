@@ -18,9 +18,12 @@ namespace raw {
 /// DBMS baseline (Fig. 1a, Table 2).
 
 /// Loads `columns` of a CSV file (pass all columns for the full DBMS load).
+/// `quoted` routes the scan through the quote-aware tokenizer (see
+/// CsvScanSpec::quoted).
 StatusOr<std::unique_ptr<InMemoryTable>> LoadCsvTable(
     const MmapFile* file, const Schema& file_schema,
-    const std::vector<int>& columns, const CsvOptions& options = CsvOptions());
+    const std::vector<int>& columns, const CsvOptions& options = CsvOptions(),
+    bool quoted = false);
 
 /// Loads `columns` of a fixed-width binary file.
 StatusOr<std::unique_ptr<InMemoryTable>> LoadBinaryTable(

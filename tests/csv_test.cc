@@ -99,6 +99,36 @@ TEST(TokenizerTest, QuotedFields) {
   EXPECT_EQ(fields[0].view(), "x\"\"y");  // raw slice; unescape is caller's
 }
 
+TEST(TokenizerTest, QuoteAwareFieldStep) {
+  std::string data = "\"a,b\",2,\"x\"\"y\",plain\n";
+  const char* p = data.data();
+  const char* end = data.data() + data.size();
+  FieldRef f = NextFieldQuoted(&p, end, ',', '"');
+  EXPECT_EQ(f.view(), "a,b");  // outer quotes stripped, delimiter kept
+  ASSERT_EQ(*p, ',');
+  ++p;
+  f = NextFieldQuoted(&p, end, ',', '"');
+  EXPECT_EQ(f.view(), "2");
+  p = data.data();
+  p = SkipFieldQuoted(p, end, ',', '"');   // past "a,b",
+  p = SkipFieldQuoted(p, end, ',', '"');   // past 2,
+  f = NextFieldQuoted(&p, end, ',', '"');
+  EXPECT_EQ(f.view(), "x\"\"y");  // raw slice, same as CsvRowCursor
+  EXPECT_TRUE(BufferContainsQuote(data.data(), end, '"'));
+  std::string plain = "1,2,3\n";
+  EXPECT_FALSE(
+      BufferContainsQuote(plain.data(), plain.data() + plain.size(), '"'));
+}
+
+TEST(TokenizerTest, QuoteAwareFieldStepEmbeddedNewline) {
+  std::string data = "\"line1\nline2\",tail\n";
+  const char* p = data.data();
+  const char* end = data.data() + data.size();
+  FieldRef f = NextFieldQuoted(&p, end, ',', '"');
+  EXPECT_EQ(f.view(), "line1\nline2");
+  ASSERT_EQ(*p, ',');
+}
+
 TEST(TokenizerTest, UnterminatedQuoteFails) {
   std::string data = "\"abc\n";
   CsvRowCursor cursor(data.data(), data.data() + data.size(), CsvOptions());

@@ -56,11 +56,11 @@ class EngineTest : public testing::TempDirTest {
 
 TEST_F(EngineTest, CatalogBasics) {
   auto engine = NewEngine();
-  EXPECT_TRUE(engine->catalog()->Contains("t_csv"));
-  EXPECT_FALSE(engine->catalog()->Contains("nope"));
+  EXPECT_NE(engine->Stats().table("t_csv"), nullptr);
+  EXPECT_EQ(engine->Stats().table("nope"), nullptr);
   EXPECT_FALSE(engine->RegisterCsv("t_csv", Path("t.csv"), spec_.ToSchema())
                    .ok());  // duplicate
-  EXPECT_EQ(engine->catalog()->TableNames().size(), 2u);
+  EXPECT_EQ(engine->Stats().tables.size(), 2u);
   EXPECT_FALSE(engine->Query("SELECT COUNT(*) FROM missing").ok());
 }
 
@@ -128,12 +128,13 @@ TEST_F(EngineTest, SecondQueryUsesPositionalMapAndCache) {
                           options)
                 .status());
   // Positional map built by query 1.
-  ASSERT_OK_AND_ASSIGN(TableEntry * entry, engine->catalog()->Get("t_csv"));
-  ASSERT_NE(entry->pmap, nullptr);
-  EXPECT_EQ(entry->pmap->num_rows(), 2000);
-  EXPECT_EQ(entry->row_count, 2000);
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const PositionalMap> pmap,
+                       engine->PositionalMapSnapshot("t_csv"));
+  ASSERT_NE(pmap, nullptr);
+  EXPECT_EQ(pmap->num_rows(), 2000);
+  EXPECT_EQ(engine->Stats().table("t_csv")->row_count, 2000);
   // col1 should now be served from the shred cache (full column).
-  EXPECT_TRUE(engine->shred_cache()->LookupFull("t_csv", 1).ok());
+  EXPECT_TRUE(engine->ShredCacheContainsFull("t_csv", 1));
   // Second query over a different column still correct.
   ASSERT_OK_AND_ASSIGN(
       QueryResult result,
@@ -152,13 +153,13 @@ TEST_F(EngineTest, RepeatQueryServedFromCacheIsFaster) {
   ASSERT_OK_AND_ASSIGN(QueryResult cold, engine->Query(sql, options));
   // The first run pools *both* touched columns: col1 as a full column (base
   // scan) and col3 as a shred over the qualifying rows (late scan).
-  EXPECT_TRUE(engine->shred_cache()->LookupFull("t_csv", 1).ok());
-  EXPECT_GE(engine->shred_cache()->num_entries(), 2);
+  EXPECT_TRUE(engine->ShredCacheContainsFull("t_csv", 1));
+  EXPECT_GE(engine->Stats().shred_cache.entries, 2);
   ASSERT_OK_AND_ASSIGN(QueryResult warm, engine->Query(sql, options));
   ASSERT_OK_AND_ASSIGN(Datum a, cold.Scalar());
   ASSERT_OK_AND_ASSIGN(Datum b, warm.Scalar());
   EXPECT_EQ(a, b);
-  EXPECT_GT(engine->shred_cache()->hits(), 0);
+  EXPECT_GT(engine->Stats().shred_cache.hits, 0);
 }
 
 TEST_F(EngineTest, CountAndMultipleAggregates) {
@@ -280,6 +281,29 @@ TEST_F(JoinEngineTest, PipelinedProjectionAllPlacementsAgree) {
     EXPECT_EQ(*got.AsInt64(), expected)
         << JoinProjectionPlacementToString(placement);
   }
+}
+
+TEST_F(JoinEngineTest, LatePlacementDemotesWhenNoPositionalMapInReach) {
+  // kLate projection placement needs a positional map for post-join CSV
+  // fetches; with map building disabled the planner must demote to
+  // intermediate placement instead of failing at fetch time.
+  int64_t lit = 100;
+  int64_t expected = ExpectedJoinMax(0, 4, lit);
+  auto engine = NewEngine();
+  PlannerOptions options;
+  options.access_path = AccessPathKind::kInSitu;
+  options.join_placement = JoinProjectionPlacement::kLate;
+  options.build_positional_map = false;
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      engine->Query("SELECT MAX(f1.col4) FROM f1 JOIN f2 ON f1.col0 = "
+                    "f2.col0 WHERE f2.col1 < " +
+                        std::to_string(lit),
+                    options));
+  ASSERT_OK_AND_ASSIGN(Datum got, result.Scalar());
+  EXPECT_EQ(*got.AsInt64(), expected);
+  EXPECT_NE(result.plan_description.find("no-pmap"), std::string::npos)
+      << result.plan_description;
 }
 
 TEST_F(JoinEngineTest, BreakingProjectionAllPlacementsAgree) {

@@ -121,6 +121,69 @@ TEST_F(InferenceTest, EndToEndQueryOverInferredTable) {
   EXPECT_EQ(count.int64_value(), 167);  // i % 3 == 1 for i in [0, 500)
 }
 
+TEST_F(InferenceTest, QuotedCsvScansAgreeWithInference) {
+  // Quoted numerics, embedded delimiters/newlines/escaped quotes: the
+  // sampler and the scan paths share one CsvOptions and one quote-aware
+  // tokenizer, so what inference classifies is exactly what queries parse.
+  std::string path = Path("q.csv");
+  std::string content = "id,name,score\n";
+  for (int i = 0; i < 200; ++i) {
+    content += "\"" + std::to_string(i) + "\",";
+    if (i % 7 == 0) {
+      content += "\"na,me\nwith \"\"stuff\"\"\",";
+    } else {
+      content += "plain" + std::to_string(i % 3) + ",";
+    }
+    content += std::to_string(i * 0.5) + "\n";
+  }
+  ASSERT_OK(WriteStringToFile(path, content));
+  CsvOptions csv;
+  csv.has_header = true;
+  RawEngine engine;
+  ASSERT_OK(engine.RegisterCsvInferred("q", path, csv));
+  PlannerOptions options;
+  options.access_path = AccessPathKind::kInSitu;
+
+  // Quoted integers classified (and parsed) as integers, not strings.
+  ASSERT_OK_AND_ASSIGN(QueryResult all,
+                       engine.Query("SELECT COUNT(*) FROM q", options));
+  EXPECT_EQ((*all.Scalar()).int64_value(), 200);
+  // Cold (sequential quoted scan, builds the positional map)...
+  std::string sql = "SELECT COUNT(*) FROM q WHERE id < 100";
+  ASSERT_OK_AND_ASSIGN(QueryResult cold, engine.Query(sql, options));
+  EXPECT_EQ((*cold.Scalar()).int64_value(), 100);
+  // ...and warm (positional quoted scan + late scans) agree.
+  ASSERT_OK_AND_ASSIGN(QueryResult warm, engine.Query(sql, options));
+  EXPECT_EQ((*warm.Scalar()).int64_value(), 100);
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult score,
+      engine.Query("SELECT MAX(score) FROM q WHERE id < 100", options));
+  EXPECT_DOUBLE_EQ((*score.Scalar()).float64_value(), 49.5);
+  // Outer quotes are stripped; the field's raw content ("" escapes
+  // included, matching the sampler) comes back verbatim.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult name,
+      engine.Query("SELECT name FROM q WHERE id = 7", options));
+  ASSERT_EQ(name.num_rows(), 1);
+  EXPECT_EQ((*name.ValueAt(0, 0)).string_value(),
+            "na,me\nwith \"\"stuff\"\"");
+}
+
+TEST_F(InferenceTest, RegisterCsvInferredSurfacesSamplingFailure) {
+  std::string path = Path("empty.csv");
+  ASSERT_OK(WriteStringToFile(path, ""));
+  RawEngine engine;
+  Status status = engine.RegisterCsvInferred("bad", path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("schema inference for table 'bad'"),
+            std::string::npos)
+      << status.ToString();
+  // Nothing half-registered.
+  EXPECT_EQ(engine.Stats().table("bad"), nullptr);
+  // A missing file surfaces too (no silent fallback anywhere).
+  EXPECT_FALSE(engine.RegisterCsvInferred("gone", Path("nope.csv")).ok());
+}
+
 TEST_F(InferenceTest, ExplainReturnsPlanWithoutExecuting) {
   std::string path = Path("x.csv");
   ASSERT_OK(WriteStringToFile(path, "1,2\n3,4\n"));
@@ -138,7 +201,7 @@ TEST_F(InferenceTest, ExplainReturnsPlanWithoutExecuting) {
   EXPECT_NE(plan.string_value().find("aggregate"), std::string::npos);
   // Planning an EXPLAIN still opens scans but must not drain them into the
   // shred cache.
-  EXPECT_EQ(engine.shred_cache()->num_entries(), 0);
+  EXPECT_EQ(engine.Stats().shred_cache.entries, 0);
 }
 
 }  // namespace

@@ -216,13 +216,13 @@ TEST_F(ParallelScanTest, BinaryInsituDeterministicAcrossThreadCounts) {
 
 TEST_F(ParallelScanTest, CsvJitDeterministicAcrossThreadCounts) {
   RawEngine probe;
-  if (!probe.jit_cache()->compiler_available()) GTEST_SKIP() << "no compiler";
+  if (!probe.Stats().jit_compiler_available()) GTEST_SKIP() << "no compiler";
   CheckDeterminism(/*csv=*/true, AccessPathKind::kJit);
 }
 
 TEST_F(ParallelScanTest, BinaryJitDeterministicAcrossThreadCounts) {
   RawEngine probe;
-  if (!probe.jit_cache()->compiler_available()) GTEST_SKIP() << "no compiler";
+  if (!probe.Stats().jit_compiler_available()) GTEST_SKIP() << "no compiler";
   CheckDeterminism(/*csv=*/false, AccessPathKind::kJit);
 }
 
@@ -235,14 +235,15 @@ TEST_F(ParallelScanTest, ParallelPositionalMapMatchesSerialMap) {
     options.access_path = AccessPathKind::kInSitu;
     options.num_threads = threads;
     EXPECT_OK(engine.Query("SELECT COUNT(*) FROM t", options).status());
-    TableEntry* entry = *engine.catalog()->Get("t");
-    EXPECT_NE(entry->pmap, nullptr);
-    EXPECT_OK(entry->pmap->CheckConsistency());
+    std::shared_ptr<const PositionalMap> pmap =
+        *engine.PositionalMapSnapshot("t");
+    EXPECT_NE(pmap, nullptr);
+    EXPECT_OK(pmap->CheckConsistency());
     std::vector<uint64_t> flat;
-    for (int64_t r = 0; r < entry->pmap->num_rows(); ++r) {
-      flat.push_back(entry->pmap->RowStart(r));
-      for (int s = 0; s < entry->pmap->num_tracked(); ++s) {
-        flat.push_back(entry->pmap->Position(r, s));
+    for (int64_t r = 0; r < pmap->num_rows(); ++r) {
+      flat.push_back(pmap->RowStart(r));
+      for (int s = 0; s < pmap->num_tracked(); ++s) {
+        flat.push_back(pmap->Position(r, s));
       }
     }
     return flat;

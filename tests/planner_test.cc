@@ -125,8 +125,7 @@ TEST_F(PlannerTest, RowCountDiscoveredOnFullScan) {
   options.access_path = AccessPathKind::kInSitu;
   ASSERT_OK(engine->Query("SELECT COUNT(*) FROM t WHERE col0 >= 0", options)
                 .status());
-  ASSERT_OK_AND_ASSIGN(TableEntry * entry, engine->catalog()->Get("t"));
-  EXPECT_EQ(entry->row_count, spec_.rows);
+  EXPECT_EQ(engine->Stats().table("t")->row_count, spec_.rows);
 }
 
 TEST_F(PlannerTest, CachePopulationCanBeDisabled) {
@@ -138,9 +137,8 @@ TEST_F(PlannerTest, CachePopulationCanBeDisabled) {
   ASSERT_OK(engine->Query("SELECT MAX(col0) FROM t WHERE col0 < 999999999",
                           options)
                 .status());
-  EXPECT_EQ(engine->shred_cache()->num_entries(), 0);
-  ASSERT_OK_AND_ASSIGN(TableEntry * entry, engine->catalog()->Get("t"));
-  EXPECT_TRUE(entry->pmap == nullptr || entry->pmap->empty());
+  EXPECT_EQ(engine->Stats().shred_cache.entries, 0);
+  EXPECT_EQ(engine->Stats().table("t")->pmap_rows, 0);
 }
 
 TEST_F(PlannerTest, ResetAdaptiveStateForgetsEverything) {
@@ -150,11 +148,14 @@ TEST_F(PlannerTest, ResetAdaptiveStateForgetsEverything) {
   ASSERT_OK(engine->Query("SELECT MAX(col0) FROM t WHERE col0 < 999999999",
                           options)
                 .status());
-  EXPECT_GT(engine->shred_cache()->num_entries(), 0);
+  EXPECT_GT(engine->Stats().shred_cache.entries, 0);
+  EXPECT_GT(engine->Stats().table("t")->pmap_rows, 0);
   engine->ResetAdaptiveState();
-  EXPECT_EQ(engine->shred_cache()->num_entries(), 0);
-  ASSERT_OK_AND_ASSIGN(TableEntry * entry, engine->catalog()->Get("t"));
-  EXPECT_EQ(entry->pmap, nullptr);
+  EXPECT_EQ(engine->Stats().shred_cache.entries, 0);
+  EXPECT_EQ(engine->Stats().table("t")->pmap_rows, 0);
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const PositionalMap> pmap,
+                       engine->PositionalMapSnapshot("t"));
+  EXPECT_EQ(pmap, nullptr);
   // Still queryable afterwards.
   ASSERT_OK(engine->Query("SELECT COUNT(*) FROM t WHERE col0 >= 0", options)
                 .status());
@@ -229,7 +230,7 @@ TEST_F(PlannerTest, StringColumnsFallBackFromJit) {
   }
   RawEngine engine;
   ASSERT_OK(engine.RegisterCsv("s", Path("s.csv"), schema));
-  if (!engine.jit_cache()->compiler_available()) GTEST_SKIP();
+  if (!engine.Stats().jit_compiler_available()) GTEST_SKIP();
   PlannerOptions options;
   options.access_path = AccessPathKind::kJit;
   ASSERT_OK_AND_ASSIGN(
@@ -263,7 +264,7 @@ class RefPlannerTest : public testing::TempDirTest {
 TEST_F(RefPlannerTest, JitAndInsituAgreeOnRefTables) {
   RawEngine engine;
   ASSERT_OK(engine.RegisterRef("a", Path("e.ref")));
-  if (!engine.jit_cache()->compiler_available()) {
+  if (!engine.Stats().jit_compiler_available()) {
     GTEST_SKIP() << "no compiler";
   }
   for (const char* sql :

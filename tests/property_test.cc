@@ -95,7 +95,7 @@ TEST_P(ConsistencySweep, CsvQueriesMatchGroundTruth) {
   options.access_path = c.access;
   options.shred_policy = c.policy;
   if (c.access == AccessPathKind::kJit &&
-      !engine.jit_cache()->compiler_available()) {
+      !engine.Stats().jit_compiler_available()) {
     GTEST_SKIP() << "no compiler";
   }
   int64_t lit = *spec_->SelectivityLiteral(1, c.selectivity).AsInt64();
@@ -132,7 +132,7 @@ TEST_P(ConsistencySweep, BinaryQueriesMatchGroundTruth) {
   options.access_path = c.access;
   options.shred_policy = c.policy;
   if (c.access == AccessPathKind::kJit &&
-      !engine.jit_cache()->compiler_available()) {
+      !engine.Stats().jit_compiler_available()) {
     GTEST_SKIP() << "no compiler";
   }
   int64_t lit = *spec_->SelectivityLiteral(1, c.selectivity).AsInt64();
@@ -235,7 +235,7 @@ TEST_P(DelimiterSweep, EngineAnswersIndependentOfDelimiter) {
   RawEngine engine;
   ASSERT_OK(engine.RegisterCsv("d", path, spec.ToSchema(), options, 2));
   PlannerOptions planner_options;
-  planner_options.access_path = engine.jit_cache()->compiler_available()
+  planner_options.access_path = engine.Stats().jit_compiler_available()
                                     ? AccessPathKind::kJit
                                     : AccessPathKind::kInSitu;
   int64_t lit = *spec.SelectivityLiteral(0, 0.4).AsInt64();

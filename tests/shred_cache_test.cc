@@ -70,7 +70,9 @@ TEST(ShredCacheTest, RejectsUnsortedRowIds) {
 }
 
 TEST(ShredCacheTest, LruEvictionUnderPressure) {
-  ShredCache cache(/*capacity_bytes=*/1000);
+  // One shard pins the classic single-LRU semantics (the sharded default
+  // spreads keys across independent LRU lists).
+  ShredCache cache(/*capacity_bytes=*/1000, /*num_shards=*/1);
   // Each full column of 100 int32 = 400 bytes.
   ASSERT_OK(cache.Insert("t", 0, nullptr,
                          IntColumn(std::vector<int32_t>(100, 1))));
@@ -113,6 +115,57 @@ TEST(ShredCacheTest, StatsCount) {
   EXPECT_FALSE(cache.Lookup("t", 9, {1}).ok());
   EXPECT_EQ(cache.hits(), 1);
   EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(ShredCacheTest, ContainsFullHasNoSideEffects) {
+  ShredCache cache;
+  ASSERT_OK(cache.Insert("t", 0, nullptr, IntColumn({1, 2})));
+  EXPECT_TRUE(cache.ContainsFull("t", 0));
+  EXPECT_FALSE(cache.ContainsFull("t", 1));
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+}
+
+TEST(ShredCacheTest, ShardedCapacityStaysBounded) {
+  // Many distinct columns under a small budget: the byte budget is global,
+  // each over-budget insert sheds its own shard's LRU tail, so total bytes
+  // stay near capacity (every shard may keep one surviving entry — the
+  // same oversized-entry guard the single-LRU always had).
+  const int64_t capacity = 4000;
+  ShredCache cache(capacity);
+  const int64_t entry_bytes =
+      IntColumn(std::vector<int32_t>(100, 1)).MemoryBytes();
+  for (int c = 0; c < 64; ++c) {
+    ASSERT_OK(cache.Insert("t", c, nullptr,
+                           IntColumn(std::vector<int32_t>(100, c))));
+  }
+  CacheStats stats = cache.Stats();
+  EXPECT_GE(stats.evictions, 1);
+  EXPECT_LE(stats.bytes,
+            capacity + ShredCache::kDefaultNumShards * entry_bytes);
+  // Surviving entries still serve exact lookups.
+  int64_t served = 0;
+  for (int c = 0; c < 64; ++c) {
+    auto hit = cache.LookupFull("t", c);
+    if (hit.ok()) {
+      ++served;
+      EXPECT_EQ((*hit)->Value<int32_t>(0), c);
+    }
+  }
+  EXPECT_EQ(served, stats.entries);
+}
+
+TEST(ShredCacheTest, NoEvictionWhileGlobalBudgetHasHeadroom) {
+  // Key skew must not evict: even if several entries hash to one shard,
+  // nothing is dropped while the cache-wide total is under capacity.
+  ShredCache cache(/*capacity_bytes=*/1 << 20);
+  for (int c = 0; c < 64; ++c) {
+    ASSERT_OK(cache.Insert("t", c, nullptr,
+                           IntColumn(std::vector<int32_t>(100, c))));
+  }
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.entries, 64);
 }
 
 }  // namespace

@@ -126,6 +126,31 @@ TEST(ParserTest, SyntaxErrors) {
   EXPECT_FALSE(Parse("SELECT a, MAX(b) FROM t").ok());  // needs GROUP BY
 }
 
+TEST(ParserTest, PositionalParameters) {
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec spec,
+      Parse("SELECT MAX(col2) FROM t WHERE col1 < ? AND col3 = ?"));
+  EXPECT_EQ(spec.num_params, 2);
+  ASSERT_EQ(spec.predicates.size(), 2u);
+  EXPECT_TRUE(spec.predicates[0].is_parameter());
+  EXPECT_EQ(spec.predicates[0].param_index, 0);
+  EXPECT_TRUE(spec.predicates[1].is_parameter());
+  EXPECT_EQ(spec.predicates[1].param_index, 1);
+  // Parameters and literals mix freely.
+  ASSERT_OK_AND_ASSIGN(
+      QuerySpec mixed,
+      Parse("SELECT COUNT(*) FROM t WHERE a < 5 AND b < ?"));
+  EXPECT_EQ(mixed.num_params, 1);
+  EXPECT_FALSE(mixed.predicates[0].is_parameter());
+  EXPECT_TRUE(mixed.predicates[1].is_parameter());
+  // ToString renders placeholders, not stale literals.
+  EXPECT_NE(spec.ToString().find("col1 < ?1"), std::string::npos)
+      << spec.ToString();
+  // `?` outside a predicate literal position is rejected.
+  EXPECT_FALSE(Parse("SELECT MAX(?) FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) FROM t LIMIT ?").ok());
+}
+
 TEST(ParserTest, ToStringRendersSpec) {
   ASSERT_OK_AND_ASSIGN(
       QuerySpec spec,
