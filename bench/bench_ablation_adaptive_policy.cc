@@ -37,7 +37,7 @@ void Run() {
       TimedQuery(session.get(), Q1(&dataset, sel), options);
       row.push_back(TimedQuery(session.get(), Q2(&dataset, sel), options));
     }
-    PrintSeriesRow(system.name, row);
+    PrintSeriesRow(system.name, row, sels);
   }
   printf("\nExpect: Adaptive hugs min(FullColumns, Shreds) on both sides of\n"
          "the crossover — the cost model picks the right placement from the\n"

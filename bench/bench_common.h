@@ -6,6 +6,7 @@
 // so every binary emits the rows/series of its paper figure.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,20 @@ inline void PrintTitle(const std::string& title) {
   printf("\n=== %s ===\n", title.c_str());
 }
 
+/// When $RAW_BENCH_JSON names a file, every datapoint printed through
+/// PrintSeriesRow / PrintKeyValue (plus explicit calls) is also appended
+/// there as one JSON object per line — the machine-readable trail the
+/// nightly benchmark workflow diffs across runs. Keys must not contain
+/// quotes or backslashes (bench/series names never do).
+inline void RecordJson(const std::string& key, double seconds) {
+  static const char* path = std::getenv("RAW_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  FILE* f = fopen(path, "a");
+  if (f == nullptr) return;
+  fprintf(f, "{\"key\": \"%s\", \"seconds\": %.6f}\n", key.c_str(), seconds);
+  fclose(f);
+}
+
 inline void PrintSeriesHeader(const std::string& first_col,
                               const std::vector<double>& sels) {
   printf("%-28s", first_col.c_str());
@@ -43,10 +58,30 @@ inline void PrintSeriesRow(const std::string& name,
   printf("%-28s", name.c_str());
   for (double s : seconds) printf("%9.3fs", s);
   printf("\n");
+  for (size_t i = 0; i < seconds.size(); ++i) {
+    RecordJson(name + "#" + std::to_string(i), seconds[i]);
+  }
+}
+
+/// Series variant with self-identifying JSON keys: datapoints are keyed by
+/// the swept selectivity ("name@40%"), not the position, so editing a
+/// bench's selectivity list cannot silently misalign the nightly diff.
+inline void PrintSeriesRow(const std::string& name,
+                           const std::vector<double>& seconds,
+                           const std::vector<double>& sels) {
+  printf("%-28s", name.c_str());
+  for (double s : seconds) printf("%9.3fs", s);
+  printf("\n");
+  for (size_t i = 0; i < seconds.size() && i < sels.size(); ++i) {
+    char label[32];
+    snprintf(label, sizeof(label), "@%g%%", sels[i] * 100);
+    RecordJson(name + label, seconds[i]);
+  }
 }
 
 inline void PrintKeyValue(const std::string& key, double seconds) {
   printf("%-40s %9.3fs\n", key.c_str(), seconds);
+  RecordJson(key, seconds);
 }
 
 /// Dies with a message when a Status is not OK (benchmarks are scripts; any

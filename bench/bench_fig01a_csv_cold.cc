@@ -33,6 +33,7 @@ void Run() {
     double wall = watch.ElapsedSeconds();
     printf("%-28s %9.3fs   (query %.3fs + JIT compile %.3fs)\n",
            system.name.c_str(), wall, query_seconds, compile);
+    RecordJson(system.name, wall);
   }
   printf("\nExpect: DBMS/ExternalTables slowest (full load/convert); InSitu\n"
          "and JIT close (fewer conversions); JIT pays one-off compilation.\n");

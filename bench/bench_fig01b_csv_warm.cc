@@ -38,7 +38,7 @@ void Run() {
     if (skipped) {
       printf("%-28s (skipped: no compiler)\n", system.name.c_str());
     } else {
-      PrintSeriesRow(system.name, row);
+      PrintSeriesRow(system.name, row, sels);
     }
   }
   printf("\nExpect: DBMS flat & fastest; JIT < InSitu (~2x); *-Col7 slower\n"

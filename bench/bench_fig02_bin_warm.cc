@@ -44,7 +44,7 @@ void Run() {
     if (skipped) {
       printf("%-28s (skipped: no compiler)\n", system.name);
     } else {
-      PrintSeriesRow(system.name, row);
+      PrintSeriesRow(system.name, row, sels);
     }
   }
   printf("\nExpect: gaps smaller than CSV (no conversion); JIT < InSitu.\n");

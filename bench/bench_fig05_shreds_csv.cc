@@ -51,7 +51,7 @@ void Run() {
     if (skipped) {
       printf("%-28s (skipped: no compiler)\n", system.name.c_str());
     } else {
-      PrintSeriesRow(system.name, row);
+      PrintSeriesRow(system.name, row, sels);
     }
   }
   printf("\nExpect: Shreds <= Full everywhere, converging at 100%%; Col7\n"

@@ -37,7 +37,7 @@ void Run() {
       row.push_back(TimedQuery(session.get(), Q2(&dataset, sel), options));
     }
     if (skipped) continue;
-    PrintSeriesRow(system.name, row);
+    PrintSeriesRow(system.name, row, sels);
   }
   printf("\nExpect: Shreds <= Full, equal at 100%% selectivity.\n");
 }

@@ -48,7 +48,7 @@ void Run() {
       TimedQuery(session.get(), q1, options);
       row.push_back(TimedQuery(session.get(), q2, options));
     }
-    PrintSeriesRow(system.name, row);
+    PrintSeriesRow(system.name, row, sels);
   }
   printf("\nExpect: DBMS flat and fastest; shreds track DBMS only at low\n"
          "selectivity, then rise steeply (float conversion cost).\n");

@@ -45,7 +45,7 @@ void Run() {
       TimedQuery(session.get(), q1, options);
       row.push_back(TimedQuery(session.get(), q2, options));
     }
-    PrintSeriesRow(system.name, row);
+    PrintSeriesRow(system.name, row, sels);
   }
   printf("\nExpect: small absolute times; shreds ~match DBMS for a wide\n"
          "range, modest gap at 100%% (column building).\n");

@@ -47,7 +47,7 @@ void Run() {
       options.shred_policy = system.policy;
       row.push_back(TimedQuery(session.get(), q, options));
     }
-    PrintSeriesRow(system.name, row);
+    PrintSeriesRow(system.name, row, sels);
   }
   printf("\nExpect: single-column shreds win below ~40%% selectivity; above\n"
          "that the repeated incremental parsing dominates and multi-column\n"

@@ -73,7 +73,7 @@ void Run() {
           lit.ToString();
       row.push_back(TimedQuery(session.get(), q, options));
     }
-    PrintSeriesRow(system.name, row);
+    PrintSeriesRow(system.name, row, sels);
   }
   printf("\nExpect: Late <= Early at low selectivity, converging as it\n"
          "rises; join cost masks much of the raw-access cost (Fig. 11).\n");

@@ -74,7 +74,7 @@ void Run() {
           lit.ToString();
       row.push_back(TimedQuery(session.get(), q, options));
     }
-    PrintSeriesRow(system.name, row);
+    PrintSeriesRow(system.name, row, sels);
   }
   printf("\nExpect: Late wins only at low selectivity, then degrades below\n"
          "Early (random raw-file access); Intermediate in between (Fig 12).\n");

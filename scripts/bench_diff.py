@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff two directories of nightly benchmark JSONL results.
+
+Each file holds one JSON object per line: {"key": "<series>", "seconds": x}
+(written by bench_common.h when RAW_BENCH_JSON is set). Datapoints are
+identified by (file stem, key). Any datapoint slower than the baseline by
+more than --threshold (default 10%) is flagged: a GitHub warning annotation
+per regression plus a markdown table in $GITHUB_STEP_SUMMARY (or stdout).
+
+Exit code is 0 even when regressions are found — nightly timing on shared
+runners is noisy, so the workflow flags instead of failing; use
+--fail-on-regression to gate.
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def load_dir(path):
+    """(file stem, key) -> seconds for every JSONL file under `path`."""
+    points = {}
+    root = Path(path)
+    if not root.is_dir():
+        return points
+    for file in sorted(root.glob("*.jsonl")) + sorted(root.glob("*.json")):
+        for line in file.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if "key" not in obj or "seconds" not in obj:
+                continue
+            points[(file.stem, str(obj["key"]))] = float(obj["seconds"])
+    return points
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="directory of previous-run JSONL files")
+    parser.add_argument("current", help="directory of this run's JSONL files")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown that counts as a regression")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore datapoints faster than this (noise floor)")
+    parser.add_argument("--fail-on-regression", action="store_true")
+    args = parser.parse_args()
+
+    baseline = load_dir(args.baseline)
+    current = load_dir(args.current)
+
+    if not baseline:
+        print("No baseline results found — first run, nothing to diff.")
+        return 0
+    if not current:
+        print("ERROR: no current results found", file=sys.stderr)
+        return 1
+
+    rows = []
+    regressions = []
+    missing = sorted(set(baseline) - set(current))
+    for point, now in sorted(current.items()):
+        before = baseline.get(point)
+        if before is None:
+            rows.append((point, before, now, "new"))
+            continue
+        delta = (now - before) / before if before > 0 else 0.0
+        status = f"{delta:+.1%}"
+        if max(before, now) >= args.min_seconds and delta > args.threshold:
+            status += " REGRESSION"
+            regressions.append((point, before, now, delta))
+        rows.append((point, before, now, status))
+
+    lines = ["| benchmark | key | baseline | current | change |",
+             "| --- | --- | --- | --- | --- |"]
+    for (stem, key), before, now, status in rows:
+        before_s = f"{before:.3f}s" if before is not None else "—"
+        lines.append(f"| {stem} | {key} | {before_s} | {now:.3f}s | {status} |")
+    # A datapoint that vanished is as suspicious as a slow one: a renamed
+    # series or a bench that stopped emitting must not look like a clean run.
+    for (stem, key) in missing:
+        lines.append(f"| {stem} | {key} | {baseline[(stem, key)]:.3f}s | — "
+                     "| MISSING |")
+    summary = "\n".join(
+        [f"## Nightly benchmark diff ({len(regressions)} regression(s) "
+         f">{args.threshold:.0%}, {len(missing)} missing datapoint(s))",
+         ""] + lines)
+
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a") as f:
+            f.write(summary + "\n")
+    print(summary)
+
+    for (stem, key), before, now, delta in regressions:
+        # GitHub annotation: shows on the workflow run page.
+        print(f"::warning title=Bench regression::{stem} / {key}: "
+              f"{before:.3f}s -> {now:.3f}s ({delta:+.1%})")
+    for (stem, key) in missing:
+        print(f"::warning title=Bench datapoint missing::{stem} / {key}: "
+              f"present in baseline, absent from this run")
+
+    if (regressions or missing) and args.fail_on_regression:
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,142 @@
 #include "columnar/hash_join.h"
 
+#include <algorithm>
+#include <sstream>
 #include <unordered_set>
 
+#include "common/hash.h"
+
 namespace raw {
+
+namespace {
+
+/// Join keys are widened to int64 once at build/probe time.
+StatusOr<int64_t> JoinKeyAt(const Column& col, int64_t i) {
+  switch (col.type()) {
+    case DataType::kInt32:
+      return static_cast<int64_t>(col.Value<int32_t>(i));
+    case DataType::kInt64:
+      return col.Value<int64_t>(i);
+    case DataType::kBool:
+      return col.Value<bool>(i) ? 1 : 0;
+    default:
+      return Status::InvalidArgument("unsupported join key type");
+  }
+}
+
+uint64_t NextPowerOfTwo(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// =============================================================================
+// JoinHashTable
+// =============================================================================
+
+uint64_t JoinHashTable::BucketFor(int64_t key) const {
+  return MixHash64(static_cast<uint64_t>(key)) & (num_buckets_ - 1);
+}
+
+Status JoinHashTable::Build(const Column& keys, ThreadPool* pool,
+                            int num_threads) {
+  const int64_t n = keys.length();
+  keys_.assign(static_cast<size_t>(n), 0);
+  next_.assign(static_cast<size_t>(n), -1);
+  // ~0.5 load factor keeps chains short without blowing up memory; the
+  // bucket count is a pure function of n, so serial and parallel builds
+  // produce the same layout.
+  num_buckets_ = n > 0 ? NextPowerOfTwo(static_cast<uint64_t>(2 * n)) : 0;
+  heads_.assign(static_cast<size_t>(num_buckets_), -1);
+  if (n == 0) return Status::OK();
+
+  // Phase 1 — per-morsel build partials: convert keys and compute bucket
+  // indices for disjoint row ranges. Pure per-row work, so thread count
+  // cannot affect the values, and each partial's slice of the shared arrays
+  // has exactly one writer — the "merge" is positional, like stitching
+  // GroupByPartial outputs.
+  const int64_t kMinRowsPerPartial = 1024;
+  const int64_t target = num_threads > 1 ? num_threads * 4 : 1;
+  const int64_t chunk = std::max(kMinRowsPerPartial, (n + target - 1) / target);
+  const int64_t num_partials = (n + chunk - 1) / chunk;
+  std::vector<uint64_t> buckets(static_cast<size_t>(n));
+  auto build_partial = [&](int64_t p) -> Status {
+    const int64_t first = p * chunk;
+    const int64_t count = std::min(chunk, n - first);
+    for (int64_t i = first; i < first + count; ++i) {
+      RAW_ASSIGN_OR_RETURN(int64_t key, JoinKeyAt(keys, i));
+      keys_[static_cast<size_t>(i)] = key;
+      buckets[static_cast<size_t>(i)] = BucketFor(key);
+    }
+    return Status::OK();
+  };
+  if (pool != nullptr && num_threads > 1 && num_partials > 1) {
+    RAW_RETURN_NOT_OK(pool->ParallelFor(num_partials, num_threads,
+                                        build_partial));
+  } else {
+    for (int64_t p = 0; p < num_partials; ++p) {
+      RAW_RETURN_NOT_OK(build_partial(p));
+    }
+  }
+
+  // Phase 2 — link the chains, partitioned by bucket range: each worker owns
+  // a contiguous slice of buckets and scans every row, linking only rows
+  // whose bucket falls in its slice. Every head/next slot has exactly one
+  // writer, and descending insertion makes traversal ascend in build-row
+  // order — so the layout is deterministic for any worker count. Workers
+  // re-scan the (sequential, prefetch-friendly) buckets array W times in
+  // exchange for slice-local head writes; that trade only pays off once the
+  // serial link's scattered stores dominate, so small builds stay serial.
+  const int64_t kMinRowsForParallelLink = 1 << 16;
+  auto link_partition = [&](uint64_t bucket_begin,
+                            uint64_t bucket_end) -> Status {
+    for (int64_t i = n - 1; i >= 0; --i) {
+      const uint64_t b = buckets[static_cast<size_t>(i)];
+      if (b < bucket_begin || b >= bucket_end) continue;
+      next_[static_cast<size_t>(i)] = heads_[b];
+      heads_[b] = i;
+    }
+    return Status::OK();
+  };
+  if (pool != nullptr && num_threads > 1 && n >= kMinRowsForParallelLink &&
+      num_buckets_ >= static_cast<uint64_t>(2 * num_threads)) {
+    const uint64_t W = static_cast<uint64_t>(num_threads);
+    const uint64_t per = num_buckets_ / W;
+    RAW_RETURN_NOT_OK(pool->ParallelFor(
+        static_cast<int64_t>(W), num_threads, [&](int64_t w) {
+          const uint64_t begin = static_cast<uint64_t>(w) * per;
+          const uint64_t end =
+              w + 1 == static_cast<int64_t>(W) ? num_buckets_ : begin + per;
+          return link_partition(begin, end);
+        }));
+  } else {
+    RAW_RETURN_NOT_OK(link_partition(0, num_buckets_));
+  }
+  return Status::OK();
+}
+
+int64_t JoinHashTable::MaxChain() const {
+  int64_t max_chain = 0;
+  for (int64_t head : heads_) {
+    int64_t len = 0;
+    for (int64_t i = head; i >= 0; i = next_[static_cast<size_t>(i)]) ++len;
+    max_chain = std::max(max_chain, len);
+  }
+  return max_chain;
+}
+
+std::string JoinHashTable::DescribeStats() const {
+  std::ostringstream out;
+  out << "rows=" << num_rows() << " buckets=" << num_buckets()
+      << " max-chain=" << MaxChain();
+  return out.str();
+}
+
+// =============================================================================
+// HashJoinOperator
+// =============================================================================
 
 HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
                                    int probe_key, int build_key,
@@ -12,6 +146,11 @@ HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
       probe_key_(probe_key),
       build_key_(build_key),
       emit_build_row_ids_(emit_build_row_ids) {}
+
+void HashJoinOperator::SetParallel(ThreadPool* pool, int num_threads) {
+  pool_ = pool;
+  num_threads_ = num_threads;
+}
 
 Status HashJoinOperator::Open() {
   RAW_RETURN_NOT_OK(probe_->Open());
@@ -49,20 +188,6 @@ Status HashJoinOperator::Open() {
   return Status::OK();
 }
 
-StatusOr<int64_t> HashJoinOperator::KeyAt(const Column& col,
-                                          int64_t i) const {
-  switch (col.type()) {
-    case DataType::kInt32:
-      return static_cast<int64_t>(col.Value<int32_t>(i));
-    case DataType::kInt64:
-      return col.Value<int64_t>(i);
-    case DataType::kBool:
-      return col.Value<bool>(i) ? 1 : 0;
-    default:
-      return Status::InvalidArgument("unsupported join key type");
-  }
-}
-
 Status HashJoinOperator::BuildHashTable() {
   RAW_ASSIGN_OR_RETURN(ColumnBatch all, CollectAll(build_.get()));
   build_table_ = std::move(all);
@@ -74,14 +199,17 @@ Status HashJoinOperator::BuildHashTable() {
       build_row_ids_[static_cast<size_t>(i)] = i;
     }
   }
-  table_.reserve(static_cast<size_t>(build_table_.num_rows()));
   if (build_table_.num_rows() == 0) return Status::OK();
-  const Column& keys = *build_table_.column(build_key_);
-  for (int64_t i = 0; i < build_table_.num_rows(); ++i) {
-    RAW_ASSIGN_OR_RETURN(int64_t key, KeyAt(keys, i));
-    table_.emplace(key, i);
-  }
-  return Status::OK();
+  return table_.Build(*build_table_.column(build_key_), pool_, num_threads_);
+}
+
+std::string HashJoinOperator::build_stats() const {
+  if (!built_) return "";
+  std::ostringstream out;
+  out << "[join-build " << table_.DescribeStats();
+  if (pool_ != nullptr && num_threads_ > 1) out << " parallel x" << num_threads_;
+  out << "] ";
+  return out.str();
 }
 
 StatusOr<ColumnBatch> HashJoinOperator::Next() {
@@ -96,17 +224,17 @@ StatusOr<ColumnBatch> HashJoinOperator::Next() {
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, probe_->Next());
     if (batch.empty()) return ColumnBatch(output_schema_);
 
-    // Gather matching (probe_row, build_row) pairs, probe order preserved.
+    // Gather matching (probe_row, build_row) pairs: probe order outermost,
+    // build rows ascending within a probe row (the chain traversal order).
     std::vector<int32_t> probe_rows;
     std::vector<int64_t> build_rows;
     const Column& keys = *batch.column(probe_key_);
     for (int64_t i = 0; i < batch.num_rows(); ++i) {
-      RAW_ASSIGN_OR_RETURN(int64_t key, KeyAt(keys, i));
-      auto [lo, hi] = table_.equal_range(key);
-      for (auto it = lo; it != hi; ++it) {
+      RAW_ASSIGN_OR_RETURN(int64_t key, JoinKeyAt(keys, i));
+      table_.ForEachMatch(key, [&](int64_t build_row) {
         probe_rows.push_back(static_cast<int32_t>(i));
-        build_rows.push_back(it->second);
-      }
+        build_rows.push_back(build_row);
+      });
     }
     if (probe_rows.empty()) continue;
 

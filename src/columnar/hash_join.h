@@ -1,12 +1,67 @@
 #ifndef RAW_COLUMNAR_HASH_JOIN_H_
 #define RAW_COLUMNAR_HASH_JOIN_H_
 
-#include <unordered_map>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "columnar/operator.h"
+#include "common/thread_pool.h"
 
 namespace raw {
+
+/// Contiguous bucket+chain hash table over an int64 key column — the probe
+/// structure of HashJoinOperator (replacing std::unordered_multimap in the
+/// serial path too: one flat allocation for the chains, one for the heads,
+/// keys re-read from a packed array during probe).
+///
+/// The build runs as per-morsel partials (the join-side analogue of
+/// GroupByPartial): disjoint row ranges extract keys and bucket indices
+/// straight into the packed arrays — a positional merge with one writer per
+/// slot — and the final chain linking partitions *buckets by key hash*
+/// across workers, so the finished layout is byte-identical for any thread
+/// count.
+///
+/// Layout: `heads_[b]` is the first build row of bucket b (-1 = empty);
+/// `next_[i]` chains to the next row of row i's bucket. Rows are linked in
+/// descending order so traversal yields *ascending* build-row order —
+/// deterministic probe output independent of build thread count.
+class JoinHashTable {
+ public:
+  /// Builds from `keys` (int32/int64/bool column). With `num_threads` > 1,
+  /// key conversion + hashing fan out over row-range morsels and bucket
+  /// linking fans out over bucket partitions on `pool`; the resulting
+  /// structure is identical to the serial build.
+  Status Build(const Column& keys, ThreadPool* pool, int num_threads);
+
+  /// Calls fn(build_row) for every row whose key equals `key`, ascending.
+  template <typename Fn>
+  void ForEachMatch(int64_t key, Fn&& fn) const {
+    if (num_buckets_ == 0) return;
+    const uint64_t b = BucketFor(key);
+    for (int64_t i = heads_[b]; i >= 0; i = next_[static_cast<size_t>(i)]) {
+      if (keys_[static_cast<size_t>(i)] == key) fn(i);
+    }
+  }
+
+  int64_t num_rows() const { return static_cast<int64_t>(keys_.size()); }
+  int64_t num_buckets() const { return static_cast<int64_t>(num_buckets_); }
+
+  /// Longest collision chain (an O(buckets + rows) walk; used for the
+  /// post-execution plan description, not the hot path).
+  int64_t MaxChain() const;
+
+  /// "rows=N buckets=B max-chain=K" — the structure proof benches look for.
+  std::string DescribeStats() const;
+
+ private:
+  uint64_t BucketFor(int64_t key) const;
+
+  std::vector<int64_t> keys_;
+  std::vector<int64_t> heads_;
+  std::vector<int64_t> next_;
+  uint64_t num_buckets_ = 0;  // power of two; 0 until built
+};
 
 /// Inner hash equi-join. The *right* child is the build side (hash table) and
 /// the *left* child probes it in a pipelined fashion, preserving probe-side
@@ -18,12 +73,21 @@ namespace raw {
 /// `emit_build_row_ids` is set, an extra trailing int64 column named
 /// `kBuildRowIdColumn` carries build-side row ids — the hook for
 /// pipeline-breaking late materialization (§5.3.2 "Late"/"Intermediate").
+///
+/// The build phase drains the build child, then constructs a JoinHashTable;
+/// SetParallel fans the construction out over the thread pool with results
+/// bit-for-bit identical to the serial build (matches emit in ascending
+/// build-row order either way).
 class HashJoinOperator : public Operator {
  public:
   static constexpr const char* kBuildRowIdColumn = "__build_row_id";
 
   HashJoinOperator(OperatorPtr probe, OperatorPtr build, int probe_key,
                    int build_key, bool emit_build_row_ids = false);
+
+  /// Enables parallel hash-table construction (num_threads <= 1 stays
+  /// serial; the probe structure is identical either way).
+  void SetParallel(ThreadPool* pool, int num_threads);
 
   const Schema& output_schema() const override { return output_schema_; }
   Status Open() override;
@@ -34,9 +98,12 @@ class HashJoinOperator : public Operator {
   /// Rows in the build hash table (after build-side drain).
   int64_t build_rows() const { return build_table_.num_rows(); }
 
+  /// Build-structure stats for the plan description ("join-build rows=...
+  /// buckets=... max-chain=..."); empty before the build ran.
+  std::string build_stats() const;
+
  private:
   Status BuildHashTable();
-  StatusOr<int64_t> KeyAt(const Column& col, int64_t i) const;
 
   OperatorPtr probe_;
   OperatorPtr build_;
@@ -45,10 +112,12 @@ class HashJoinOperator : public Operator {
   bool emit_build_row_ids_;
   Schema output_schema_;
   bool built_ = false;
+  ThreadPool* pool_ = nullptr;
+  int num_threads_ = 1;
 
-  ColumnBatch build_table_;                 // fully materialized build side
-  std::vector<int64_t> build_row_ids_;      // original row ids of build rows
-  std::unordered_multimap<int64_t, int64_t> table_;  // key -> build row index
+  ColumnBatch build_table_;             // fully materialized build side
+  std::vector<int64_t> build_row_ids_;  // original row ids of build rows
+  JoinHashTable table_;                 // key -> build row chains
 };
 
 }  // namespace raw

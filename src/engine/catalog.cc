@@ -290,8 +290,28 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 void Catalog::ResetAdaptiveState() {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  for (const auto& [name, entry] : tables_) entry->ResetAdaptiveState();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& [name, entry] : tables_) entry->ResetAdaptiveState();
+  }
+  // Decoded-cluster caches are adaptive state too: drop them so REF queries
+  // revert to cold behaviour. In-flight reads keep their pinned handles.
+  std::lock_guard<std::mutex> lock(ref_mu_);
+  for (const auto& [path, reader] : ref_readers_) reader->ClearCache();
+}
+
+ClusterPoolStats Catalog::RefPoolStats() const {
+  ClusterPoolStats total;
+  std::lock_guard<std::mutex> lock(ref_mu_);
+  for (const auto& [path, reader] : ref_readers_) {
+    ClusterPoolStats s = reader->pool()->Stats();
+    total.entries += s.entries;
+    total.bytes += s.bytes;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+  }
+  return total;
 }
 
 std::vector<TableStats> Catalog::Stats() const {

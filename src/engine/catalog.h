@@ -171,10 +171,16 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
-  /// Drops every table's adaptive state (see TableEntry::ResetAdaptiveState).
+  /// Drops every table's adaptive state (see TableEntry::ResetAdaptiveState)
+  /// and every REF file's decoded-cluster cache (safe against in-flight
+  /// readers: their pinned cluster handles stay alive).
   void ResetAdaptiveState();
 
   std::vector<TableStats> Stats() const;
+
+  /// Aggregated cluster-buffer-pool counters across every open REF file
+  /// (readers are shared per file, so each pool counts once).
+  ClusterPoolStats RefPoolStats() const;
 
  private:
   Status Register(TableInfo info);
@@ -182,7 +188,7 @@ class Catalog {
   CatalogOptions options_;
   mutable std::shared_mutex mu_;
   std::map<std::string, std::unique_ptr<TableEntry>> tables_;
-  std::mutex ref_mu_;
+  mutable std::mutex ref_mu_;
   std::map<std::string, std::shared_ptr<RefReader>> ref_readers_;  // by path
 };
 

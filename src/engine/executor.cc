@@ -27,11 +27,13 @@ StatusOr<Datum> QueryResult::Scalar() const {
 
 StatusOr<QueryResult> Executor::Run(PhysicalPlan plan) {
   QueryResult result;
-  result.plan_description = plan.description;
   result.compile_seconds = plan.compile_seconds;
   Stopwatch watch;
   RAW_ASSIGN_OR_RETURN(result.table, CollectAll(plan.root.get()));
   result.execute_seconds = watch.ElapsedSeconds();
+  // Execution-time facts (join-build structure stats, ...) append once the
+  // drain is done.
+  result.plan_description = plan.description + plan.RuntimeDescription();
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef RAW_ENGINE_PHYSICAL_PLAN_H_
 #define RAW_ENGINE_PHYSICAL_PLAN_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,19 @@ struct PhysicalPlan {
   /// RawEngine::ResetAdaptiveState() drops the engine's own references
   /// mid-stream.
   std::vector<std::shared_ptr<const void>> resources;
+
+  /// Describers invoked after the plan drains, appended to the reported
+  /// plan description — for facts only known at execution time (hash-join
+  /// build row/bucket stats, say). Each captures an operator owned by
+  /// `root`, so they must not outlive the plan.
+  std::vector<std::function<std::string()>> runtime_describers;
+
+  /// Runs every runtime describer and concatenates the results.
+  std::string RuntimeDescription() const {
+    std::string out;
+    for (const auto& fn : runtime_describers) out += fn();
+    return out;
+  }
 };
 
 }  // namespace raw

@@ -832,8 +832,11 @@ StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableCtx& tc,
           needs_event_id_derivation = true;
         }
       }
-      if (opts.access_path == AccessPathKind::kJit &&
-          !needs_event_id_derivation) {
+      const bool use_jit = opts.access_path == AccessPathKind::kJit &&
+                           !needs_event_id_derivation;
+
+      auto make_jit_args = [&](int64_t first,
+                               int64_t count) -> StatusOr<JitScanArgs> {
         AccessPathSpec spec;
         spec.format = FileFormat::kRef;
         spec.mode = ScanMode::kSequential;
@@ -848,25 +851,68 @@ StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableCtx& tc,
         args.spec = std::move(spec);
         args.output_schema = qualified;
         args.ref_reader = entry->ref_reader();
-        args.total_rows = tc.row_count;
+        args.first_row = first;
+        args.total_rows = first + count;  // REF kernels scan [cursor, total)
         args.batch_rows = opts.batch_rows;
+        return args;
+      };
+      auto make_insitu = [&](int64_t first, int64_t count) -> OperatorPtr {
+        RefScanSpec spec;
+        spec.group = info.ref_group;
+        spec.fields = field_names;
+        spec.batch_rows = opts.batch_rows;
+        spec.first_row = first;
+        spec.num_rows = count;
+        auto op = std::make_unique<RefTableScanOperator>(entry->ref_reader(),
+                                                         std::move(spec));
+        std::vector<int> idx(cols.size());
+        std::vector<std::string> names;
+        for (size_t i = 0; i < cols.size(); ++i) {
+          idx[i] = static_cast<int>(i);
+          names.push_back(qualified.field(static_cast<int>(i)).name);
+        }
+        return std::make_unique<SelectColumnsOperator>(
+            std::move(op), std::move(idx), std::move(names));
+      };
+
+      // Morsels split on cluster boundaries of the table's row branch, so
+      // parallel workers decode disjoint cluster sets. Emitted row ids are
+      // file-global already; the driver only re-orders batches.
+      std::vector<RowMorsel> morsels;
+      if (ctx.num_threads > 1) {
+        const RefBranch* row_branch =
+            entry->ref_reader()->RowBranch(info.ref_group);
+        if (row_branch != nullptr) {
+          morsels = SplitRefRowRanges(*row_branch, ctx.num_threads * 4);
+        }
+      }
+      if (morsels.size() > 1) {
+        ParallelTableScanOperator::Options popts;
+        popts.num_threads = ctx.num_threads;
+        std::vector<OperatorPtr> children;
+        for (const RowMorsel& m : morsels) {
+          if (use_jit) {
+            RAW_ASSIGN_OR_RETURN(JitScanArgs args,
+                                 make_jit_args(m.first, m.count));
+            children.push_back(
+                std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
+          } else {
+            children.push_back(make_insitu(m.first, m.count));
+          }
+        }
+        (*ctx.desc) << "[parallel x" << ctx.num_threads << " morsels="
+                    << morsels.size() << "] ";
+        return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
+            qualified, std::move(children), std::move(popts)));
+      }
+
+      if (use_jit) {
+        RAW_ASSIGN_OR_RETURN(JitScanArgs args,
+                             make_jit_args(0, tc.row_count));
         return OperatorPtr(
             std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
       }
-      RefScanSpec spec;
-      spec.group = info.ref_group;
-      spec.fields = field_names;
-      spec.batch_rows = opts.batch_rows;
-      auto op = std::make_unique<RefTableScanOperator>(entry->ref_reader(),
-                                                       std::move(spec));
-      std::vector<int> idx(cols.size());
-      std::vector<std::string> names;
-      for (size_t i = 0; i < cols.size(); ++i) {
-        idx[i] = static_cast<int>(i);
-        names.push_back(qualified.field(static_cast<int>(i)).name);
-      }
-      return OperatorPtr(std::make_unique<SelectColumnsOperator>(
-          std::move(op), std::move(idx), std::move(names)));
+      return make_insitu(0, -1);
     }
   }
   return Status::Internal("bad format");
@@ -1060,6 +1106,13 @@ StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, TableCtx& tc,
       }
       break;
     }
+  }
+  // Big row sets fan out over the pool (order-preserving chunks); the cache
+  // wrapper sits outside so a subsuming shred still answers in one lookup.
+  if (ctx.num_threads > 1) {
+    inner = std::make_unique<ParallelRowFetcher>(
+        std::move(inner), ThreadPool::Shared(), ctx.num_threads);
+    (*ctx.desc) << "[parallel-fetch x" << ctx.num_threads << "] ";
   }
   if (!opts.use_shred_cache) return inner;
   return RowFetcherPtr(std::make_unique<CacheAwareFetcher>(
@@ -1535,6 +1588,15 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
     auto join = std::make_unique<HashJoinOperator>(
         std::move(probe_op), std::move(build_op), probe_key, build_key,
         emit_build_ids);
+    if (ctx.num_threads > 1) {
+      join->SetParallel(ThreadPool::Shared(), ctx.num_threads);
+      (*ctx.desc) << "[parallel join-build x" << ctx.num_threads << "] ";
+    }
+    // Build structure stats (rows/buckets/max-chain) only exist after the
+    // drain; report them through the post-execution describers.
+    HashJoinOperator* join_ptr = join.get();
+    plan.runtime_describers.push_back(
+        [join_ptr] { return join_ptr->build_stats(); });
     op = std::move(join);
 
     if (!late_probe.empty()) {

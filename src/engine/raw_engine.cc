@@ -61,6 +61,7 @@ EngineStats RawEngine::Stats() const {
   EngineStats stats;
   stats.shred_cache = shreds_.Stats();
   stats.jit_cache = jit_.Stats();
+  stats.ref_pool = catalog_.RefPoolStats();
   stats.tables = catalog_.Stats();
   stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   stats.queries_parsed = queries_parsed_.load(std::memory_order_relaxed);

@@ -32,6 +32,9 @@ struct RawEngineOptions {
 struct EngineStats {
   CacheStats shred_cache;
   JitCacheStats jit_cache;
+  /// Decoded-cluster buffer pools of every open REF file, aggregated
+  /// (hit/miss/eviction counters of the sharded ClusterBufferPool).
+  ClusterPoolStats ref_pool;
   std::vector<TableStats> tables;
 
   int64_t sessions_opened = 0;
@@ -145,9 +148,10 @@ class RawEngine {
 
   const RawEngineOptions& options() const { return options_; }
 
-  /// Drops all adaptive state (shred pool + compiled-kernel cache + maps),
-  /// reverting the engine to its freshly-started behaviour. Safe against
-  /// in-flight sessions: running queries hold immutable snapshots and
+  /// Drops all adaptive state (shred pool + compiled-kernel cache + maps +
+  /// REF decoded-cluster caches), reverting the engine to its
+  /// freshly-started behaviour. Safe against in-flight sessions: running
+  /// queries hold immutable snapshots (and pinned cluster handles) and
   /// simply finish on the state they started with.
   void ResetAdaptiveState();
 

@@ -87,7 +87,7 @@ StatusOr<QueryResult> Cursor::Consume() {
   }
   QueryResult result;
   RAW_ASSIGN_OR_RETURN(result.table, ConcatBatches(result_schema, batches));
-  result.plan_description = plan_.description;
+  result.plan_description = plan_.description + plan_.RuntimeDescription();
   result.plan_seconds = plan_seconds_;
   result.compile_seconds = compile_seconds_;
   result.execute_seconds = execute_seconds_;

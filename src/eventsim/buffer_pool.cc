@@ -1,42 +1,100 @@
 #include "eventsim/buffer_pool.h"
 
+#include <algorithm>
+
+#include "common/hash.h"
+
 namespace raw {
 
-const std::vector<uint8_t>* ClusterBufferPool::Get(uint64_t key) {
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
-    return nullptr;
+ClusterBufferPool::ClusterBufferPool(int64_t capacity_bytes, int num_shards)
+    : capacity_bytes_(capacity_bytes) {
+  num_shards = std::max(num_shards, 1);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-  return &it->second->data;
 }
 
-const std::vector<uint8_t>* ClusterBufferPool::Put(uint64_t key,
-                                                   std::vector<uint8_t> data) {
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return &it->second->data;
+ClusterBufferPool::Shard& ClusterBufferPool::ShardFor(uint64_t key) const {
+  return *shards_[MixHash64(key) % shards_.size()];
+}
+
+ClusterDataPtr ClusterBufferPool::Get(uint64_t key) {
+  if (capacity_bytes_ <= 0) {
+    // Caching disabled: every access is a miss, no shard mutex touched.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
   }
-  bytes_cached_ += static_cast<int64_t>(data.size());
-  lru_.push_front(Entry{key, std::move(data)});
-  index_[key] = lru_.begin();
-  while (bytes_cached_ > capacity_bytes_ && lru_.size() > 1) {
-    Entry& victim = lru_.back();
-    bytes_cached_ -= static_cast<int64_t>(victim.data.size());
-    index_.erase(victim.key);
-    lru_.pop_back();
-    ++evictions_;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
   }
-  return &lru_.front().data;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // to front
+  return it->second->data;
+}
+
+ClusterDataPtr ClusterBufferPool::Put(uint64_t key,
+                                      std::vector<uint8_t> data) {
+  auto owned =
+      std::make_shared<const std::vector<uint8_t>>(std::move(data));
+  if (capacity_bytes_ <= 0) return owned;  // uncached; pinned by caller only
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Concurrent decoders raced this cluster: keep the first copy so every
+    // reader shares one buffer, and drop the duplicate bytes.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->data;
+  }
+  total_bytes_.fetch_add(static_cast<int64_t>(owned->size()),
+                         std::memory_order_relaxed);
+  shard.lru.push_front(Entry{key, owned});
+  shard.index[key] = shard.lru.begin();
+  // The budget is pool-wide; an over-budget insert sheds its own shard's LRU
+  // tail (down to one surviving entry — the oversized-entry guard the
+  // single-LRU always had). Other shards shed their own tails on their own
+  // next inserts, so the total converges onto the budget without cross-shard
+  // locking. Evicted buffers stay alive while any reader still pins them.
+  while (total_bytes_.load(std::memory_order_relaxed) > capacity_bytes_ &&
+         shard.lru.size() > 1) {
+    Entry& victim = shard.lru.back();
+    total_bytes_.fetch_sub(static_cast<int64_t>(victim.data->size()),
+                           std::memory_order_relaxed);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return owned;
 }
 
 void ClusterBufferPool::Clear() {
-  lru_.clear();
-  index_.clear();
-  bytes_cached_ = 0;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& e : shard->lru) {
+      total_bytes_.fetch_sub(static_cast<int64_t>(e.data->size()),
+                             std::memory_order_relaxed);
+    }
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+ClusterPoolStats ClusterBufferPool::Stats() const {
+  ClusterPoolStats stats;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += static_cast<int64_t>(shard->lru.size());
+  }
+  stats.bytes = bytes_cached();
+  stats.hits = hits();
+  stats.misses = misses();
+  stats.evictions = evictions();
+  return stats;
 }
 
 }  // namespace raw

@@ -1,8 +1,11 @@
 #ifndef RAW_EVENTSIM_BUFFER_POOL_H_
 #define RAW_EVENTSIM_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -10,15 +13,44 @@
 
 namespace raw {
 
+/// A decoded cluster pinned by whoever holds the handle. The pool only drops
+/// its own reference on eviction/Clear, so readers mid-copy never observe a
+/// freed buffer — the pinning rule that makes concurrent REF readers safe.
+using ClusterDataPtr = std::shared_ptr<const std::vector<uint8_t>>;
+
+/// Read-only counter snapshot of the pool (see RawEngine::Stats()).
+struct ClusterPoolStats {
+  int64_t entries = 0;
+  int64_t bytes = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+};
+
 /// LRU cache of decoded branch clusters — REF's equivalent of ROOT's
 /// in-memory "buffer pool of commonly-accessed objects" (§6). The warm-run
 /// behaviour of the hand-written Higgs analysis comes from this cache.
+///
+/// Thread-safety: the pool is *sharded* by cluster key hash (mirroring
+/// ShredCache); each shard has its own mutex and LRU list, so concurrent
+/// sessions decoding different clusters never contend on one lock. The byte
+/// budget stays *global* (an atomic total): an insert evicts from its own
+/// shard's LRU tail only while the whole pool is over capacity, so key skew
+/// cannot evict warm clusters while most of the budget sits unused.
+///
+/// Pinning rule: Get/Put return shared handles. Eviction and Clear() only
+/// drop the pool's reference; the bytes stay alive until the last reader
+/// releases its handle. Callers must therefore hold the ClusterDataPtr for
+/// as long as they read through it (never stash the raw data() pointer).
 class ClusterBufferPool {
  public:
+  static constexpr int kDefaultNumShards = 16;
+
   /// `capacity_bytes` bounds the decoded bytes held; 0 disables caching
-  /// (every access decodes from disk — fully cold behaviour).
-  explicit ClusterBufferPool(int64_t capacity_bytes)
-      : capacity_bytes_(capacity_bytes) {}
+  /// (every access decodes from disk — fully cold behaviour; Get/Put then
+  /// short-circuit without touching any shard mutex).
+  explicit ClusterBufferPool(int64_t capacity_bytes,
+                             int num_shards = kDefaultNumShards);
   RAW_DISALLOW_COPY_AND_ASSIGN(ClusterBufferPool);
 
   /// Key identifying a cluster: (branch index << 32) | cluster index.
@@ -28,32 +60,53 @@ class ClusterBufferPool {
   }
 
   /// Returns the cached cluster or nullptr (counts a hit/miss).
-  const std::vector<uint8_t>* Get(uint64_t key);
+  ClusterDataPtr Get(uint64_t key);
 
-  /// Inserts a decoded cluster, evicting LRU entries over capacity. Returns
-  /// a stable pointer to the cached bytes (valid until eviction).
-  const std::vector<uint8_t>* Put(uint64_t key, std::vector<uint8_t> data);
+  /// Inserts a decoded cluster, evicting LRU entries while the pool is over
+  /// its global capacity. Returns a pinned handle to the cached bytes (or,
+  /// when another thread raced the same key in first, to *its* bytes, so all
+  /// readers agree). With capacity 0 the data is handed straight back,
+  /// pinned only by the caller.
+  ClusterDataPtr Put(uint64_t key, std::vector<uint8_t> data);
 
   void Clear();
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
-  int64_t bytes_cached() const { return bytes_cached_; }
-  int64_t evictions() const { return evictions_; }
+  /// Consistent-enough counter snapshot (shards summed one at a time).
+  ClusterPoolStats Stats() const;
+
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_cached() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
     uint64_t key;
-    std::vector<uint8_t> data;
+    ClusterDataPtr data;
   };
 
+  struct Shard {
+    Shard() = default;
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(uint64_t key) const;
+
   int64_t capacity_bytes_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t bytes_cached_ = 0;
-  int64_t evictions_ = 0;
+  std::atomic<int64_t> total_bytes_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace raw

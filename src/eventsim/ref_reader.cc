@@ -100,10 +100,10 @@ int RefReader::BranchIndex(std::string_view name) const {
   return -1;
 }
 
-StatusOr<const std::vector<uint8_t>*> RefReader::FetchCluster(
-    int branch, int cluster_idx) {
+StatusOr<ClusterDataPtr> RefReader::FetchCluster(int branch,
+                                                 int cluster_idx) {
   uint64_t key = ClusterBufferPool::MakeKey(branch, cluster_idx);
-  if (const std::vector<uint8_t>* cached = pool_->Get(key)) return cached;
+  if (ClusterDataPtr cached = pool_->Get(key)) return cached;
   const RefBranch& b = branches_[static_cast<size_t>(branch)];
   const RefCluster& c = b.clusters[static_cast<size_t>(cluster_idx)];
   std::vector<uint8_t> stored(static_cast<size_t>(c.stored_bytes));
@@ -145,8 +145,9 @@ Status RefReader::ReadRange(int branch, int64_t first, int64_t count,
     int ci = b.ClusterFor(cursor);
     if (ci < 0) return Status::Internal("cluster lookup failed");
     const RefCluster& c = b.clusters[static_cast<size_t>(ci)];
-    RAW_ASSIGN_OR_RETURN(const std::vector<uint8_t>* data,
-                         FetchCluster(branch, ci));
+    // The handle pins the decoded bytes through the memcpy below even if a
+    // concurrent insert evicts the cluster or ClearCache() runs mid-read.
+    RAW_ASSIGN_OR_RETURN(ClusterDataPtr data, FetchCluster(branch, ci));
     int64_t in_cluster_offset = cursor - c.first_value;
     int64_t available = c.num_values - in_cluster_offset;
     int64_t take = std::min(available, remaining);
@@ -205,6 +206,12 @@ void RefReader::GroupRange(int group, int64_t event, int64_t* begin,
       group_offsets_[static_cast<size_t>(group)];
   *begin = offsets[static_cast<size_t>(event)];
   *count = offsets[static_cast<size_t>(event) + 1] - *begin;
+}
+
+const RefBranch* RefReader::RowBranch(int group) const {
+  int branch = group < 0 ? id_branch_ : group_branch_[group][1];
+  if (branch < 0) return nullptr;
+  return &branches_[static_cast<size_t>(branch)];
 }
 
 int64_t RefReader::EventOfFlatIndex(int group, int64_t flat_index) const {

@@ -18,6 +18,13 @@ namespace raw {
 /// ROOT I/O API the paper's generated code calls (§6): `GetEntry(i)` for
 /// object-at-a-time access and `ReadField*(branch, id)` for id-based access
 /// that "pushes some filtering downwards, avoiding full scans".
+///
+/// Thread-safety: all read methods are safe to call from any number of
+/// threads concurrently. File access uses pread on a shared descriptor,
+/// branch/group metadata is immutable after Open, and decoded clusters flow
+/// through the sharded ClusterBufferPool whose handles pin the bytes for the
+/// duration of each read (see the pool's pinning rule). Racing decoders of
+/// the same cold cluster may decode it twice; the pool keeps one copy.
 class RefReader {
  public:
   /// Opens `path`; `pool_capacity_bytes` bounds the decoded-cluster cache
@@ -65,6 +72,13 @@ class RefReader {
   /// search over the per-event offsets).
   int64_t EventOfFlatIndex(int group, int64_t flat_index) const;
 
+  /// The branch whose clusters define the row layout of a derived table:
+  /// event/id for the event table (`group` < 0), the group's pt branch for a
+  /// particle table. Morsel splitters align REF row ranges to its cluster
+  /// boundaries so parallel workers never share a decode. Null when the
+  /// branch is missing.
+  const RefBranch* RowBranch(int group) const;
+
   ClusterBufferPool* pool() { return pool_.get(); }
 
   /// Drops all cached clusters (simulates a cold ROOT session).
@@ -74,9 +88,9 @@ class RefReader {
   RefReader(int fd, std::string path, RefHeader header,
             std::vector<RefBranch> branches, int64_t pool_capacity_bytes);
 
-  /// Returns the decoded bytes of `cluster_idx` of `branch` via the pool.
-  StatusOr<const std::vector<uint8_t>*> FetchCluster(int branch,
-                                                     int cluster_idx);
+  /// Returns the decoded bytes of `cluster_idx` of `branch` via the pool,
+  /// pinned for the caller (safe against concurrent eviction/Clear).
+  StatusOr<ClusterDataPtr> FetchCluster(int branch, int cluster_idx);
 
   Status BuildGroupOffsets();
 

@@ -46,6 +46,10 @@ Status JitScanOperator::Open() {
   }
   ctx_.total_rows = args_.total_rows;
   ctx_.max_rows = args_.batch_rows;
+  if (args_.first_row < 0) {
+    return Status::InvalidArgument("JIT scan first_row out of range");
+  }
+  ctx_.row_cursor = args_.first_row;
   if (args_.row_set.has_value()) {
     const RowSet& rows = *args_.row_set;
     if (args_.spec.mode == ScanMode::kByPosition &&

@@ -49,6 +49,12 @@ struct JitScanArgs {
   /// Added to every emitted row id (see window_begin).
   int64_t row_id_offset = 0;
 
+  /// REF sequential morsels: the kernel's row cursor starts here instead of
+  /// 0, so a morsel covers rows [first_row, total_rows) — set total_rows to
+  /// the morsel's end row. REF kernels address branches by global flat index
+  /// and emit global row ids, so no window/rebase is involved.
+  int64_t first_row = 0;
+
   /// CSV sequential: positional map populated as a side effect of the scan.
   /// Must be configured with exactly spec.pmap_tracked columns.
   PositionalMap* build_pmap = nullptr;

@@ -67,4 +67,28 @@ std::vector<RowMorsel> SplitPmapRowRanges(const PositionalMap& pmap,
   return SplitRowRanges(pmap.num_rows(), target_morsels, min_rows);
 }
 
+std::vector<RowMorsel> SplitRefRowRanges(const RefBranch& row_branch,
+                                         int target_morsels,
+                                         int64_t min_rows) {
+  std::vector<RowMorsel> morsels;
+  const int64_t total = row_branch.num_values();
+  if (total <= 0) return morsels;
+  target_morsels = std::max(target_morsels, 1);
+  const int64_t chunk =
+      std::max(min_rows, (total + target_morsels - 1) / target_morsels);
+  int64_t begin = 0;
+  for (const RefCluster& c : row_branch.clusters) {
+    const int64_t cluster_end = c.first_value + c.num_values;
+    // Cut at the first cluster boundary at or past the chunk target.
+    if (cluster_end - begin >= chunk || cluster_end == total) {
+      morsels.push_back(RowMorsel{begin, cluster_end - begin});
+      begin = cluster_end;
+    }
+  }
+  if (begin < total) {  // defensive: trailing values not covered by clusters
+    morsels.push_back(RowMorsel{begin, total - begin});
+  }
+  return morsels;
+}
+
 }  // namespace raw

@@ -6,6 +6,7 @@
 
 #include "csv/csv_options.h"
 #include "csv/positional_map.h"
+#include "eventsim/ref_format.h"
 
 namespace raw {
 
@@ -49,6 +50,16 @@ std::vector<RowMorsel> SplitRowRanges(int64_t total_rows, int target_morsels,
 std::vector<RowMorsel> SplitPmapRowRanges(const PositionalMap& pmap,
                                           int target_morsels,
                                           int64_t min_rows = kMinMorselRows);
+
+/// Row (event / flat-particle) ranges over an REF table, aligned to the
+/// cluster boundaries of `row_branch` (the branch defining the table's row
+/// layout, see RefReader::RowBranch). Cluster alignment means parallel
+/// workers decode disjoint cluster sets — no duplicated decode work and no
+/// contended pool entries on a cold scan. Morsels cover every value exactly
+/// once; a branch stored as a single cluster yields one morsel.
+std::vector<RowMorsel> SplitRefRowRanges(const RefBranch& row_branch,
+                                         int target_morsels,
+                                         int64_t min_rows = kMinMorselRows);
 
 }  // namespace raw
 

@@ -54,9 +54,19 @@ Status RefTableScanOperator::Open() {
   }
   RAW_RETURN_NOT_OK(schema.Validate());
   output_schema_ = std::move(schema);
-  total_rows_ = spec_.row_set.has_value() ? spec_.row_set->size()
-                : spec_.group < 0         ? reader_->num_events()
-                                          : reader_->GroupTotal(spec_.group);
+  const int64_t table_rows = spec_.group < 0
+                                 ? reader_->num_events()
+                                 : reader_->GroupTotal(spec_.group);
+  if (spec_.row_set.has_value()) {
+    total_rows_ = spec_.row_set->size();
+  } else {
+    if (spec_.first_row < 0 || spec_.first_row > table_rows) {
+      return Status::InvalidArgument("REF scan first_row out of range");
+    }
+    total_rows_ = spec_.num_rows >= 0
+                      ? std::min(spec_.num_rows, table_rows - spec_.first_row)
+                      : table_rows - spec_.first_row;
+  }
   return Status::OK();
 }
 
@@ -101,10 +111,14 @@ StatusOr<ColumnBatch> RefTableScanOperator::Next() {
   const int64_t take = std::min(spec_.batch_rows, total_rows_ - cursor_);
   const std::vector<int64_t>* explicit_rows =
       spec_.row_set.has_value() ? &spec_.row_set->ids : nullptr;
+  // Row-set scans index into the set; sequential scans read at the global
+  // offset (first_row shifts the morsel window, ids stay file-global).
+  const int64_t first =
+      explicit_rows != nullptr ? cursor_ : spec_.first_row + cursor_;
 
   for (const std::string& f : spec_.fields) {
     RAW_ASSIGN_OR_RETURN(ColumnPtr col,
-                         ReadFieldColumn(f, cursor_, take, explicit_rows));
+                         ReadFieldColumn(f, first, take, explicit_rows));
     out.AddColumn(std::move(col));
   }
   out.SetNumRows(take);
@@ -113,7 +127,7 @@ StatusOr<ColumnBatch> RefTableScanOperator::Next() {
     ids[static_cast<size_t>(i)] =
         explicit_rows != nullptr
             ? (*explicit_rows)[static_cast<size_t>(cursor_ + i)]
-            : cursor_ + i;
+            : first + i;
   }
   out.SetRowIds(std::move(ids));
   cursor_ += take;

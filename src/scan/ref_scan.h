@@ -21,6 +21,12 @@ struct RefScanSpec {
   /// any of {"eventID","pt","eta","phi"}. Empty => all fields.
   std::vector<std::string> fields;
   int64_t batch_rows = kDefaultBatchRows;
+  /// Morsel window for sequential scans: rows (event indices, or flat
+  /// particle indices) [first_row, first_row + num_rows). num_rows = -1
+  /// scans to the end. Emitted row ids stay file-global, so the parallel
+  /// driver needs no rebasing. Ignored when `row_set` is present.
+  int64_t first_row = 0;
+  int64_t num_rows = -1;
   /// Explicit rows (event indices, or flat particle indices); id-based
   /// access instead of a full scan.
   std::optional<RowSet> row_set;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "scan/access_path.h"
 #include "scan/insitu_bin_scan.h"
 #include "scan/insitu_csv_scan.h"
@@ -90,6 +91,32 @@ class InsituRowFetcher : public RowFetcher {
   BinScanSpec bin_spec_;
   Schema schema_;
   bool is_csv_ = false;
+};
+
+/// RowFetcher decorator that chunks big row sets across the thread pool and
+/// reassembles the fetched columns in chunk order — the parallel late-scan
+/// path. Chunks are contiguous slices of the request, so concatenating the
+/// per-chunk results in chunk order reproduces the serial output bit for
+/// bit. Small requests (under ~2 chunks) skip the pool entirely.
+///
+/// The inner fetcher's Fetch must be re-entrant: every fetcher in this
+/// module is (each call builds a private scan operator over shared immutable
+/// state), which is what makes this decorator safe.
+class ParallelRowFetcher : public RowFetcher {
+ public:
+  static constexpr int64_t kDefaultMinChunkRows = 2048;
+
+  ParallelRowFetcher(RowFetcherPtr inner, ThreadPool* pool, int num_threads,
+                     int64_t min_chunk_rows = kDefaultMinChunkRows);
+
+  const Schema& fields() const override { return inner_->fields(); }
+  StatusOr<std::vector<ColumnPtr>> Fetch(const RowSet& rows) override;
+
+ private:
+  RowFetcherPtr inner_;
+  ThreadPool* pool_;
+  int num_threads_;
+  int64_t min_chunk_rows_;
 };
 
 /// RowFetcher gathering from already-materialized full columns (cache hits:

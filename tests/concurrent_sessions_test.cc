@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/raw_engine.h"
+#include "eventsim/event_generator.h"
 #include "tests/test_util.h"
 #include "workload/data_gen.h"
 
@@ -202,6 +203,149 @@ TEST_F(ConcurrentSessionsTest, ResetAdaptiveStateDuringInflightSessions) {
   auto session = engine->OpenSession(options);
   ASSERT_OK(session->Query("SELECT COUNT(*) FROM t_csv WHERE col0 >= 0")
                 .status());
+}
+
+// REF was the last access path barred from concurrent sessions (the old
+// buffer pool mutated LRU state un-locked). With the sharded, pinning pool
+// any number of sessions may hammer the same REF file — cold and warm, event
+// and particle tables — and every result must match serial execution.
+class ConcurrentRefSessionsTest : public ConcurrentSessionsTest {
+ protected:
+  void SetUp() override {
+    ConcurrentSessionsTest::SetUp();
+    EventGenOptions options;
+    options.num_events = 2000;
+    ASSERT_OK(WriteRefFile(Path("e.ref"), options, /*cluster_events=*/128));
+  }
+
+  std::unique_ptr<RawEngine> NewRefEngine() {
+    auto engine = std::make_unique<RawEngine>();
+    EXPECT_OK(engine->RegisterRef("a", Path("e.ref")));
+    return engine;
+  }
+
+  /// Distinct per-session REF workload: event + particle tables, filters,
+  /// aggregates, group-by, and the derived-eventID path.
+  std::vector<std::string> RefSessionQueries(int session) const {
+    double pt_cut = 4.0 + 2.0 * session;
+    std::vector<std::string> queries;
+    queries.push_back("SELECT COUNT(*) FROM a_events WHERE runNumber > " +
+                      std::to_string(2005 + session));
+    queries.push_back("SELECT MAX(pt), MIN(eta) FROM a_muons WHERE pt > " +
+                      std::to_string(pt_cut));
+    queries.push_back("SELECT COUNT(*) FROM a_jets WHERE eta < " +
+                      std::to_string(1.0 + session));
+    queries.push_back("SELECT MAX(eventID) FROM a_electrons WHERE pt > " +
+                      std::to_string(pt_cut));
+    queries.push_back("SELECT runNumber, COUNT(*) FROM a_events GROUP BY "
+                      "runNumber");
+    return queries;
+  }
+
+  std::map<std::string, std::string> RefSerialResults(
+      const PlannerOptions& options) {
+    auto engine = NewRefEngine();
+    auto session = engine->OpenSession(options);
+    std::map<std::string, std::string> results;
+    for (int s = 0; s < kNumSessions; ++s) {
+      for (const std::string& sql : RefSessionQueries(s)) {
+        for (int round = 0; round < 2; ++round) {
+          auto result = session->Query(sql);
+          EXPECT_TRUE(result.ok()) << sql << ": "
+                                   << result.status().ToString();
+          if (!result.ok()) continue;
+          std::string table = result->table.ToString(10000);
+          auto [it, inserted] = results.emplace(sql, table);
+          EXPECT_EQ(it->second, table) << "cold/warm mismatch for " << sql;
+        }
+      }
+    }
+    return results;
+  }
+};
+
+TEST_F(ConcurrentRefSessionsTest, RefSessionsMatchSerial) {
+  PlannerOptions options;
+  options.access_path = AccessPathKind::kInSitu;
+  std::map<std::string, std::string> expected = RefSerialResults(options);
+  auto engine = NewRefEngine();
+
+  std::vector<std::vector<std::string>> errors(kNumSessions);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kNumSessions; ++s) {
+    threads.emplace_back([&, s] {
+      auto session = engine->OpenSession(options);
+      for (int round = 0; round < 2; ++round) {
+        for (const std::string& sql : RefSessionQueries(s)) {
+          auto result = session->Query(sql);
+          if (!result.ok()) {
+            errors[static_cast<size_t>(s)].push_back(
+                sql + ": " + result.status().ToString());
+            continue;
+          }
+          std::string table = result->table.ToString(10000);
+          if (table != expected.at(sql)) {
+            errors[static_cast<size_t>(s)].push_back("result diverged: " +
+                                                     sql);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const auto& session_errors : errors) {
+    EXPECT_EQ(session_errors, std::vector<std::string>());
+  }
+  // The sessions shared one cluster pool: the warm rounds took hits.
+  EngineStats stats = engine->Stats();
+  EXPECT_GT(stats.ref_pool.hits, 0);
+  EXPECT_GT(stats.ref_pool.bytes, 0);
+}
+
+TEST_F(ConcurrentRefSessionsTest, ResetAdaptiveStateDuringInflightRefSessions) {
+  PlannerOptions options;
+  options.access_path = AccessPathKind::kInSitu;
+  std::map<std::string, std::string> expected = RefSerialResults(options);
+  auto engine = NewRefEngine();
+
+  std::vector<std::vector<std::string>> errors(kNumSessions);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kNumSessions; ++s) {
+    threads.emplace_back([&, s] {
+      auto session = engine->OpenSession(options);
+      std::vector<std::string> queries = RefSessionQueries(s);
+      for (int round = 0; round < 4; ++round) {
+        for (const std::string& sql : queries) {
+          auto result = session->Query(sql);
+          if (!result.ok()) {
+            errors[static_cast<size_t>(s)].push_back(
+                sql + ": " + result.status().ToString());
+            continue;
+          }
+          std::string table = result->table.ToString(10000);
+          if (table != expected.at(sql)) {
+            errors[static_cast<size_t>(s)].push_back("result diverged: " +
+                                                     sql);
+          }
+        }
+      }
+    });
+  }
+  // Keep dropping the cluster cache (and every other adaptive cache) while
+  // REF queries are mid-read: pinned cluster handles keep in-flight reads
+  // valid, and re-decodes repopulate the pool.
+  for (int i = 0; i < 20; ++i) {
+    engine->ResetAdaptiveState();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (std::thread& t : threads) t.join();
+  for (const auto& session_errors : errors) {
+    EXPECT_EQ(session_errors, std::vector<std::string>());
+  }
+  auto session = engine->OpenSession(options);
+  ASSERT_OK(
+      session->Query("SELECT COUNT(*) FROM a_events WHERE runNumber > 0")
+          .status());
 }
 
 TEST_F(ConcurrentSessionsTest, PreparedQuerySkipsReparseAndRebind) {

@@ -100,14 +100,15 @@ TEST(BufferPoolTest, HitMissAccounting) {
   EXPECT_EQ(pool.Get(key), nullptr);
   EXPECT_EQ(pool.misses(), 1);
   pool.Put(key, std::vector<uint8_t>(100, 1));
-  const std::vector<uint8_t>* hit = pool.Get(key);
+  ClusterDataPtr hit = pool.Get(key);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->size(), 100u);
   EXPECT_EQ(pool.hits(), 1);
 }
 
 TEST(BufferPoolTest, EvictsLruOverCapacity) {
-  ClusterBufferPool pool(250);
+  // One shard: the classic single-LRU eviction order is observable.
+  ClusterBufferPool pool(250, /*num_shards=*/1);
   pool.Put(1, std::vector<uint8_t>(100));
   pool.Put(2, std::vector<uint8_t>(100));
   EXPECT_NE(pool.Get(1), nullptr);  // refresh 1; 2 is now LRU
@@ -116,6 +117,34 @@ TEST(BufferPoolTest, EvictsLruOverCapacity) {
   EXPECT_NE(pool.Get(1), nullptr);
   EXPECT_NE(pool.Get(3), nullptr);
   EXPECT_GE(pool.evictions(), 1);
+}
+
+TEST(BufferPoolTest, EvictedHandleStaysReadable) {
+  // The pinning rule: a handle taken before eviction keeps the bytes alive.
+  ClusterBufferPool pool(150, /*num_shards=*/1);
+  ClusterDataPtr pinned = pool.Put(1, std::vector<uint8_t>(100, 7));
+  pool.Put(2, std::vector<uint8_t>(100, 9));  // evicts key 1
+  EXPECT_EQ(pool.Get(1), nullptr);
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->at(42), 7);  // still valid through the pin
+}
+
+TEST(BufferPoolTest, ZeroCapacityShortCircuits) {
+  ClusterBufferPool pool(0);
+  ClusterDataPtr direct = pool.Put(1, std::vector<uint8_t>(64, 3));
+  ASSERT_NE(direct, nullptr);  // caller still gets its decoded bytes
+  EXPECT_EQ(direct->size(), 64u);
+  EXPECT_EQ(pool.Get(1), nullptr);  // nothing was cached
+  EXPECT_EQ(pool.bytes_cached(), 0);
+  EXPECT_EQ(pool.Stats().entries, 0);
+}
+
+TEST(BufferPoolTest, DuplicatePutSharesFirstCopy) {
+  ClusterBufferPool pool(1 << 20);
+  ClusterDataPtr first = pool.Put(5, std::vector<uint8_t>(10, 1));
+  ClusterDataPtr second = pool.Put(5, std::vector<uint8_t>(10, 2));
+  EXPECT_EQ(first.get(), second.get());  // racing decoders share one buffer
+  EXPECT_EQ(pool.bytes_cached(), 10);
 }
 
 TEST(BufferPoolTest, ClearDropsEverything) {

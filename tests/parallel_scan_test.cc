@@ -12,10 +12,15 @@
 #include <string>
 #include <vector>
 
+#include <random>
+
 #include "columnar/hash_group_by.h"
+#include "columnar/hash_join.h"
 #include "common/mmap_file.h"
 #include "engine/raw_engine.h"
+#include "eventsim/event_generator.h"
 #include "scan/morsel.h"
+#include "scan/shred_scan.h"
 #include "tests/test_util.h"
 #include "workload/data_gen.h"
 
@@ -96,6 +101,38 @@ TEST(MorselSplitterTest, QuotedContentFallsBackToOneMorsel) {
   ASSERT_EQ(morsels.size(), 1u);
   EXPECT_EQ(morsels[0].begin, 0u);
   EXPECT_EQ(morsels[0].end, csv.size());
+}
+
+TEST(MorselSplitterTest, RefRowRangesAlignToClusterBoundaries) {
+  RefBranch branch;
+  branch.name = "event/id";
+  int64_t first = 0;
+  for (int c = 0; c < 24; ++c) {
+    RefCluster cluster;
+    cluster.first_value = first;
+    cluster.num_values = 128;
+    first += cluster.num_values;
+    branch.clusters.push_back(cluster);
+  }
+  std::vector<RowMorsel> morsels =
+      SplitRefRowRanges(branch, /*target_morsels=*/16, /*min_rows=*/256);
+  ASSERT_GT(morsels.size(), 1u);
+  int64_t next = 0;
+  for (const RowMorsel& m : morsels) {
+    EXPECT_EQ(m.first, next);  // contiguous, gap-free
+    EXPECT_GT(m.count, 0);
+    // Every boundary sits on a cluster boundary (multiples of 128 here).
+    EXPECT_EQ(m.first % 128, 0);
+    next += m.count;
+  }
+  EXPECT_EQ(next, branch.num_values());
+
+  // A single-cluster branch cannot split.
+  RefBranch one;
+  one.clusters.push_back(RefCluster{0, 0, 0, 1000});
+  EXPECT_EQ(SplitRefRowRanges(one, 16, 1).size(), 1u);
+  // No clusters => no morsels.
+  EXPECT_TRUE(SplitRefRowRanges(RefBranch(), 8, 1).empty());
 }
 
 TEST(MorselSplitterTest, RowRangesPartitionExactly) {
@@ -323,6 +360,334 @@ TEST_F(ParallelScanTest, MissingTrailingNewlineAllThreadCounts) {
   EXPECT_EQ(count.int64_value(), 3001);
   ExpectSameTable(serial, run(2), "partial-newline threads=2");
   ExpectSameTable(serial, run(8), "partial-newline threads=8");
+}
+
+// =============================================================================
+// REF parallel scans: thread-count determinism + cluster-cache equivalence
+// =============================================================================
+
+class RefParallelScanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new TempDir(std::move(*TempDir::Create("raw_refpar_")));
+    ref_path_ = new std::string(dir_->FilePath("e.ref"));
+    EventGenOptions options;
+    options.num_events = 3000;
+    // Small clusters so the cluster-aligned splitter yields real morsels.
+    ASSERT_OK(WriteRefFile(*ref_path_, options, /*cluster_events=*/128));
+  }
+  static void TearDownTestSuite() {
+    delete ref_path_;
+    delete dir_;
+  }
+
+  /// Event table, particle tables, group-by, and the derived-eventID path
+  /// (which must stay on the interpreted scan even under kJit).
+  static std::vector<std::string> Queries() {
+    return {
+        "SELECT COUNT(*) FROM a_events WHERE runNumber > 2010",
+        "SELECT MAX(eventID), MIN(runNumber) FROM a_events",
+        "SELECT runNumber, COUNT(*) FROM a_events GROUP BY runNumber",
+        "SELECT MAX(pt), MIN(eta) FROM a_muons WHERE pt > 5.0",
+        "SELECT COUNT(*) FROM a_jets WHERE eta < 1.0",
+        "SELECT MAX(eventID) FROM a_muons WHERE pt > 10.0",
+    };
+  }
+
+  /// Runs the query list twice on one engine — cold (decoding every
+  /// cluster) then warm (cluster pool + shred cache hits) — with `threads`.
+  static std::vector<QueryResult> RunAll(AccessPathKind access, int threads) {
+    RawEngine engine;
+    EXPECT_OK(engine.RegisterRef("a", *ref_path_));
+    PlannerOptions options;
+    options.access_path = access;
+    options.num_threads = threads;
+    std::vector<QueryResult> results;
+    for (int round = 0; round < 2; ++round) {
+      for (const std::string& sql : Queries()) {
+        auto result = engine.Query(sql, options);
+        EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+        if (result.ok()) results.push_back(std::move(result).value());
+      }
+    }
+    return results;
+  }
+
+  static void CheckDeterminism(AccessPathKind access) {
+    std::vector<QueryResult> reference = RunAll(access, /*threads=*/1);
+    for (int threads : {2, 4, 8}) {
+      std::vector<QueryResult> parallel = RunAll(access, threads);
+      ASSERT_EQ(reference.size(), parallel.size());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        ExpectSameTable(reference[i], parallel[i],
+                        "threads=" + std::to_string(threads) + " query#" +
+                            std::to_string(i));
+      }
+    }
+  }
+
+  static TempDir* dir_;
+  static std::string* ref_path_;
+};
+
+TempDir* RefParallelScanTest::dir_ = nullptr;
+std::string* RefParallelScanTest::ref_path_ = nullptr;
+
+TEST_F(RefParallelScanTest, InsituDeterministicAcrossThreadCounts) {
+  CheckDeterminism(AccessPathKind::kInSitu);
+}
+
+TEST_F(RefParallelScanTest, JitDeterministicAcrossThreadCounts) {
+  RawEngine probe;
+  if (!probe.Stats().jit_compiler_available()) GTEST_SKIP() << "no compiler";
+  CheckDeterminism(AccessPathKind::kJit);
+}
+
+TEST_F(RefParallelScanTest, ParallelPlanDescriptionConfirmsRefMorsels) {
+  RawEngine engine;
+  ASSERT_OK(engine.RegisterRef("a", *ref_path_));
+  PlannerOptions options;
+  options.access_path = AccessPathKind::kInSitu;
+  options.num_threads = 4;
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      engine.Query("SELECT MAX(eventID) FROM a_events", options));
+  EXPECT_NE(result.plan_description.find("[ref-scan"), std::string::npos)
+      << result.plan_description;
+  EXPECT_NE(result.plan_description.find("[parallel x4"), std::string::npos)
+      << result.plan_description;
+}
+
+TEST_F(RefParallelScanTest, ClusterCacheEquivalentAcrossThreadCounts) {
+  // The REF analogue of the positional-map equivalence check: after the same
+  // full scan, the cluster pool must hold the same clusters (same entry
+  // count, same decoded bytes) no matter how many threads scanned — racing
+  // decoders dedup on Put, morsels align to cluster boundaries.
+  auto run = [&](int threads) {
+    RawEngine engine;
+    EXPECT_OK(engine.RegisterRef("a", *ref_path_));
+    PlannerOptions options;
+    options.access_path = AccessPathKind::kInSitu;
+    options.shred_policy = ShredPolicy::kFullColumns;
+    options.num_threads = threads;
+    EXPECT_OK(
+        engine.Query("SELECT MAX(pt), MIN(eta) FROM a_muons", options)
+            .status());
+    return engine.Stats().ref_pool;
+  };
+  ClusterPoolStats serial = run(1);
+  EXPECT_GT(serial.entries, 0);
+  EXPECT_GT(serial.bytes, 0);
+  EXPECT_GT(serial.misses, 0);
+  for (int threads : {2, 8}) {
+    ClusterPoolStats parallel = run(threads);
+    EXPECT_EQ(parallel.entries, serial.entries) << "threads=" << threads;
+    EXPECT_EQ(parallel.bytes, serial.bytes) << "threads=" << threads;
+  }
+}
+
+TEST_F(RefParallelScanTest, WarmRunHitsClusterPool) {
+  RawEngine engine;
+  ASSERT_OK(engine.RegisterRef("a", *ref_path_));
+  PlannerOptions options;
+  options.access_path = AccessPathKind::kInSitu;
+  options.shred_policy = ShredPolicy::kFullColumns;
+  options.num_threads = 4;
+  options.use_shred_cache = false;  // force raw REF reads on the warm run
+  options.populate_shred_cache = false;
+  const std::string sql = "SELECT MAX(pt) FROM a_jets";
+  ASSERT_OK(engine.Query(sql, options).status());
+  ClusterPoolStats cold = engine.Stats().ref_pool;
+  ASSERT_OK(engine.Query(sql, options).status());
+  ClusterPoolStats warm = engine.Stats().ref_pool;
+  EXPECT_EQ(warm.misses, cold.misses);  // fully served from the pool
+  EXPECT_GT(warm.hits, cold.hits);
+  // ResetAdaptiveState drops the cluster cache: the next run decodes again.
+  engine.ResetAdaptiveState();
+  EXPECT_EQ(engine.Stats().ref_pool.bytes, 0);
+  ASSERT_OK(engine.Query(sql, options).status());
+  EXPECT_GT(engine.Stats().ref_pool.misses, warm.misses);
+}
+
+// =============================================================================
+// Parallel late-scan row fetchers
+// =============================================================================
+
+TEST_F(ParallelScanTest, ParallelRowFetcherMatchesSerialFetch) {
+  // Chunked parallel fetch must reassemble exactly the serial fetch, for
+  // contiguous, strided and small (serial short-circuit) row sets.
+  ASSERT_OK_AND_ASSIGN(BinaryLayout layout,
+                       BinaryLayout::Create(spec_->ToSchema()));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<BinaryReader> reader,
+                       BinaryReader::Open(*bin_path_, std::move(layout)));
+  const int64_t n = reader->num_rows();
+  ASSERT_GT(n, 1000);
+
+  auto make_fetcher = [&]() {
+    BinScanSpec spec;
+    spec.outputs = {1, 4};
+    return std::make_unique<InsituRowFetcher>(reader.get(), std::move(spec));
+  };
+
+  std::vector<RowSet> requests(3);
+  for (int64_t i = 0; i < n; ++i) requests[0].ids.push_back(i);
+  for (int64_t i = 0; i < n; i += 3) requests[1].ids.push_back(i);
+  for (int64_t i = n - 10; i < n; ++i) requests[2].ids.push_back(i);
+
+  for (size_t r = 0; r < requests.size(); ++r) {
+    auto serial = make_fetcher();
+    ASSERT_OK_AND_ASSIGN(std::vector<ColumnPtr> expect,
+                         serial->Fetch(requests[r]));
+    for (int threads : {2, 8}) {
+      ParallelRowFetcher parallel(make_fetcher(), ThreadPool::Shared(),
+                                  threads, /*min_chunk_rows=*/64);
+      ASSERT_OK_AND_ASSIGN(std::vector<ColumnPtr> actual,
+                           parallel.Fetch(requests[r]));
+      ASSERT_EQ(actual.size(), expect.size());
+      for (size_t c = 0; c < expect.size(); ++c) {
+        ASSERT_EQ(actual[c]->length(), expect[c]->length())
+            << "request#" << r << " threads=" << threads;
+        for (int64_t i = 0; i < expect[c]->length(); ++i) {
+          ASSERT_EQ(actual[c]->GetDatum(i).ToString(),
+                    expect[c]->GetDatum(i).ToString())
+              << "request#" << r << " threads=" << threads << " (" << c
+              << "," << i << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ParallelScanTest, LateScanUsesParallelFetchInPlan) {
+  RawEngine engine;
+  ASSERT_OK(engine.RegisterBinary("t", *bin_path_, spec_->ToSchema()));
+  PlannerOptions serial_opts;
+  serial_opts.access_path = AccessPathKind::kInSitu;
+  serial_opts.num_threads = 1;
+  // Keep the raw late-scan path live on both runs (no cache-served shreds).
+  serial_opts.use_shred_cache = false;
+  serial_opts.populate_shred_cache = false;
+  PlannerOptions par_opts = serial_opts;
+  par_opts.num_threads = 4;
+  // Everything passes the filter, so the late scan fetches full batches —
+  // big enough row sets to exercise the chunked path.
+  const std::string sql = "SELECT col1, col4 FROM t WHERE col0 >= 0";
+  ASSERT_OK_AND_ASSIGN(QueryResult expect, engine.Query(sql, serial_opts));
+  ASSERT_OK_AND_ASSIGN(QueryResult actual, engine.Query(sql, par_opts));
+  ExpectSameTable(expect, actual, "parallel late fetch");
+  EXPECT_NE(actual.plan_description.find("[parallel-fetch x4"),
+            std::string::npos)
+      << actual.plan_description;
+  EXPECT_NE(actual.plan_description.find("[late-scan"), std::string::npos)
+      << actual.plan_description;
+}
+
+// =============================================================================
+// Parallel hash-join build
+// =============================================================================
+
+TEST(JoinHashTableTest, ParallelBuildMatchesSerialRowForRow) {
+  // Random keys with heavy skew: half the rows draw from ten hot keys, the
+  // rest from a wide range. The parallel build must produce the same probe
+  // structure — matches row-for-row, ascending — for any thread count.
+  // Big enough that both parallel build phases engage (the chain-linking
+  // phase stays serial below 1<<16 rows).
+  constexpr int64_t kRows = 80011;
+  std::mt19937_64 rng(20260731);
+  std::uniform_int_distribution<int64_t> hot(0, 9);
+  std::uniform_int_distribution<int64_t> wide(-1000000, 1000000);
+  auto keys = std::make_shared<Column>(DataType::kInt64);
+  std::vector<int64_t> key_values;
+  for (int64_t i = 0; i < kRows; ++i) {
+    int64_t k = (rng() & 1) != 0 ? hot(rng) : wide(rng);
+    key_values.push_back(k);
+    keys->Append<int64_t>(k);
+  }
+
+  JoinHashTable serial;
+  ASSERT_OK(serial.Build(*keys, nullptr, 1));
+  EXPECT_EQ(serial.num_rows(), kRows);
+  EXPECT_GT(serial.num_buckets(), 0);
+
+  std::vector<int64_t> probes = key_values;
+  probes.push_back(31337000);  // a key that matches nothing
+  std::sort(probes.begin(), probes.end());
+  probes.erase(std::unique(probes.begin(), probes.end()), probes.end());
+  auto matches_of = [&](const JoinHashTable& table, int64_t key) {
+    std::vector<int64_t> rows;
+    table.ForEachMatch(key, [&](int64_t row) { rows.push_back(row); });
+    return rows;
+  };
+  for (int threads : {2, 4, 8}) {
+    JoinHashTable parallel;
+    ASSERT_OK(parallel.Build(*keys, ThreadPool::Shared(), threads));
+    ASSERT_EQ(parallel.num_buckets(), serial.num_buckets());
+    for (int64_t key : probes) {
+      std::vector<int64_t> expect = matches_of(serial, key);
+      std::vector<int64_t> actual = matches_of(parallel, key);
+      ASSERT_EQ(actual, expect) << "threads=" << threads << " key=" << key;
+      // Ascending build-row order is the determinism contract.
+      ASSERT_TRUE(std::is_sorted(expect.begin(), expect.end()));
+    }
+  }
+}
+
+TEST_F(ParallelScanTest, JoinDeterministicAcrossThreadCountsWithBuildStats) {
+  // Engine-level join: skewed keys on both sides, parallel scan + parallel
+  // join build + parallel late fetch vs the serial plan, plus the
+  // description proof that the flat build structure ran.
+  std::string f1 = dir_->FilePath("j1.csv");
+  std::string f2 = dir_->FilePath("j2.csv");
+  TableSpec s1 = TableSpec::UniformInt32("f1", 6, 4000, 99);
+  TableSpec s2 = TableSpec::UniformInt32("f2", 4, 1500, 77);
+  s1.columns[0].max_value = 500;  // duplicate-heavy join keys
+  s2.columns[0].max_value = 500;
+  ASSERT_OK(WriteCsvFile(s1, f1));
+  ASSERT_OK(WriteCsvFile(s2, f2));
+
+  auto run = [&](int threads) {
+    RawEngine engine;
+    EXPECT_OK(engine.RegisterCsv("f1", f1, s1.ToSchema()));
+    EXPECT_OK(engine.RegisterCsv("f2", f2, s2.ToSchema()));
+    PlannerOptions options;
+    options.access_path = AccessPathKind::kInSitu;
+    options.num_threads = threads;
+    std::vector<QueryResult> results;
+    for (const char* sql :
+         {"SELECT COUNT(*) FROM f1 JOIN f2 ON f1.col0 = f2.col0",
+          "SELECT MAX(f1.col4) FROM f1 JOIN f2 ON f1.col0 = f2.col0 "
+          "WHERE f2.col1 < 600000000",
+          "SELECT MAX(f2.col3) FROM f1 JOIN f2 ON f1.col0 = f2.col0 "
+          "WHERE f1.col2 < 700000000"}) {
+      auto result = engine.Query(sql, options);
+      EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+      if (result.ok()) results.push_back(std::move(result).value());
+    }
+    return results;
+  };
+
+  std::vector<QueryResult> reference = run(1);
+  ASSERT_EQ(reference.size(), 3u);
+  // Serial plans report the flat build structure too.
+  EXPECT_NE(reference[0].plan_description.find("[join-build rows="),
+            std::string::npos)
+      << reference[0].plan_description;
+  for (int threads : {2, 4, 8}) {
+    std::vector<QueryResult> parallel = run(threads);
+    ASSERT_EQ(parallel.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ExpectSameTable(reference[i], parallel[i],
+                      "join threads=" + std::to_string(threads) + " query#" +
+                          std::to_string(i));
+    }
+    EXPECT_NE(parallel[0].plan_description.find("[parallel join-build x" +
+                                                std::to_string(threads)),
+              std::string::npos)
+        << parallel[0].plan_description;
+    EXPECT_NE(parallel[0].plan_description.find("[join-build rows="),
+              std::string::npos)
+        << parallel[0].plan_description;
+  }
 }
 
 // =============================================================================
