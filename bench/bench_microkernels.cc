@@ -1,0 +1,324 @@
+// Microbenchmarks for the kernel core (common/kernels.h): tokenizer
+// throughput per dispatch tier, compare/arith/aggregate kernel rates against
+// their scalar reference paths, and a fig01b-style warm-CSV predicate eval
+// through the engine at num_threads=1 — all recorded via RAW_BENCH_JSON so
+// the nightly diff catches kernel regressions.
+//
+// Speedup datapoints (`...speedup` keys) record a ratio, not seconds: the
+// tokenizer criterion is swar >= 1.5x scalar, the warm predicate eval
+// criterion is kernels >= 1.3x scalar.
+
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "columnar/aggregate.h"
+#include "columnar/batch.h"
+#include "columnar/eval_kernels.h"
+#include "columnar/expression.h"
+#include "common/kernels.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "csv/csv_tokenizer.h"
+
+namespace raw::bench {
+namespace {
+
+int64_t EnvRows() {
+  const char* env = std::getenv("RAW_BENCH_ROWS");
+  if (env != nullptr && *env != '\0') return std::atoll(env);
+  return 2000000;
+}
+
+// Prevents the optimizer from deleting a measured loop.
+volatile uint64_t g_sink;
+
+// --- tokenizer ---------------------------------------------------------------
+
+/// D30-shaped buffer: 30 comma-separated 9-digit integer fields per row
+/// (~300-byte rows), the paper's CSV workload.
+std::string MakeCsvBuffer(int64_t rows, int fields_per_row) {
+  Rng rng(42);
+  std::string buf;
+  buf.reserve(static_cast<size_t>(rows) * fields_per_row * 10);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int f = 0; f < fields_per_row; ++f) {
+      if (f > 0) buf.push_back(',');
+      buf += std::to_string(rng.NextInt64(0, 999999999));
+    }
+    buf.push_back('\n');
+  }
+  return buf;
+}
+
+/// Walks every field of `buf` through `fn` (the FieldEnd search): the cold
+/// full-tokenize workload (every column needed).
+double TimeFieldWalk(ScanTwoFn fn, const std::string& buf, int reps) {
+  const char* begin = buf.data();
+  const char* end = begin + buf.size();
+  uint64_t fields = 0;
+  Stopwatch sw;
+  for (int rep = 0; rep < reps; ++rep) {
+    const char* p = begin;
+    while (p < end) {
+      p = fn(p, end, ',', '\n') + 1;
+      ++fields;
+    }
+  }
+  double seconds = sw.ElapsedSeconds();
+  g_sink = fields;
+  return seconds;
+}
+
+/// Per row: FieldEnd on the leading field, then skip to the row terminator —
+/// the selective-scan workload (`SELECT agg(col0) WHERE col0 < x` over a
+/// 30-column table: parse one field, skip ~290 bytes). The row skip is where
+/// the wide kernels earn their keep.
+double TimeScanWalk(ScanTwoFn field_fn, ScanOneFn row_fn,
+                    const std::string& buf, int reps) {
+  const char* begin = buf.data();
+  const char* end = begin + buf.size();
+  uint64_t rows = 0;
+  Stopwatch sw;
+  for (int rep = 0; rep < reps; ++rep) {
+    const char* p = begin;
+    while (p < end) {
+      const char* field_end = field_fn(p, end, ',', '\n');
+      g_sink = static_cast<uint64_t>(field_end - p);
+      const char* nl = row_fn(field_end, end, '\n');
+      p = (nl == end) ? end : nl + 1;
+      ++rows;
+    }
+  }
+  double seconds = sw.ElapsedSeconds();
+  g_sink = rows;
+  return seconds;
+}
+
+void RunTokenizer(int64_t rows) {
+  PrintTitle("Microkernels — tokenizer (GB/s per tier, D30-shaped rows)");
+  const std::string buf = MakeCsvBuffer(rows / 3, 30);
+  const int reps = 3;
+  const double gb =
+      static_cast<double>(buf.size()) * reps / (1024.0 * 1024.0 * 1024.0);
+  printf("buffer=%.1f MiB  reps=%d  active tier=%s\n",
+         buf.size() / (1024.0 * 1024.0), reps,
+         std::string(KernelTierName(ActiveKernelTier())).c_str());
+
+  double scan_scalar = 0;
+  double scan_swar = 0;
+  for (KernelTier tier :
+       {KernelTier::kScalar, KernelTier::kSwar, KernelTier::kSse2,
+        KernelTier::kAvx2}) {
+    ScanTwoFn field_fn = ScanForEitherImpl(tier);
+    ScanOneFn row_fn = ScanForImpl(tier);
+    if (field_fn == nullptr) continue;  // tier unsupported on this CPU
+    std::string tname(KernelTierName(tier));
+    double walk_seconds = TimeFieldWalk(field_fn, buf, reps);
+    double scan_seconds = TimeScanWalk(field_fn, row_fn, buf, reps);
+    printf("%-40s %9.3fs  %7.2f GB/s\n",
+           ("ukern/tokenizer-walk/" + tname).c_str(), walk_seconds,
+           gb / walk_seconds);
+    printf("%-40s %9.3fs  %7.2f GB/s\n",
+           ("ukern/tokenizer-scan/" + tname).c_str(), scan_seconds,
+           gb / scan_seconds);
+    RecordJson("ukern/tokenizer-walk/" + tname, walk_seconds);
+    RecordJson("ukern/tokenizer-scan/" + tname, scan_seconds);
+    if (tier == KernelTier::kScalar) scan_scalar = scan_seconds;
+    if (tier == KernelTier::kSwar) scan_swar = scan_seconds;
+  }
+  if (scan_scalar > 0 && scan_swar > 0) {
+    double speedup = scan_scalar / scan_swar;
+    printf("%-40s %9.2fx  (criterion: >= 1.5x)\n",
+           "ukern/tokenizer-scan/swar-speedup", speedup);
+    RecordJson("ukern/tokenizer-scan/swar-speedup", speedup);
+  }
+}
+
+// --- columnar kernels --------------------------------------------------------
+
+template <typename F>
+double TimeReps(int reps, F&& body) {
+  Stopwatch sw;
+  for (int rep = 0; rep < reps; ++rep) body();
+  return sw.ElapsedSeconds();
+}
+
+void RunCompare(int64_t rows) {
+  PrintTitle("Microkernels — compare selection (int32 < c, rows/s)");
+  Rng rng(7);
+  std::vector<int32_t> values(static_cast<size_t>(rows));
+  for (auto& v : values) v = rng.NextInt32(0, 99);
+  const int reps = 5;
+  SelectionVector out;
+  for (int pct : {1, 50, 100}) {
+    const int32_t c = pct;  // values uniform in [0, 100)
+    double scalar_seconds = TimeReps(reps, [&] {
+      out.Clear();
+      SelectCompareConstScalar<int32_t>(CompareOp::kLt, values.data(), rows, c,
+                                        nullptr, &out);
+      g_sink = static_cast<uint64_t>(out.size());
+    });
+    double kernel_seconds = TimeReps(reps, [&] {
+      out.Clear();
+      SelectCompareConst<int32_t>(CompareOp::kLt, values.data(), rows, c,
+                                  nullptr, &out);
+      g_sink = static_cast<uint64_t>(out.size());
+    });
+    char label[64];
+    snprintf(label, sizeof(label), "ukern/compare-i32@%d%%", pct);
+    printf("%-40s scalar %.3fs  kernels %.3fs  (%.2fx, %.0f Mrows/s)\n", label,
+           scalar_seconds, kernel_seconds, scalar_seconds / kernel_seconds,
+           rows * reps / kernel_seconds / 1e6);
+    RecordJson(std::string(label) + "/scalar", scalar_seconds);
+    RecordJson(std::string(label) + "/kernels", kernel_seconds);
+    RecordJson(std::string(label) + "/speedup",
+               scalar_seconds / kernel_seconds);
+  }
+}
+
+void RunArith(int64_t rows) {
+  PrintTitle("Microkernels — arithmetic (float64 a*b via ArithExpr)");
+  Rng rng(11);
+  Schema schema;
+  schema.AddField("a", DataType::kFloat64);
+  schema.AddField("b", DataType::kFloat64);
+  auto a = std::make_shared<Column>(DataType::kFloat64);
+  auto b = std::make_shared<Column>(DataType::kFloat64);
+  a->Reserve(rows);
+  b->Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    a->Append<double>(rng.NextDouble(0, 1000));
+    b->Append<double>(rng.NextDouble(0, 1000));
+  }
+  ColumnBatch batch(schema);
+  batch.AddColumn(a);
+  batch.AddColumn(b);
+  batch.SetNumRows(rows);
+  ExprPtr expr = Arith(ArithOp::kMul, Col(0), Col(1));
+  const int reps = 5;
+  const KernelTier restore = ActiveKernelTier();
+
+  SetKernelTier(KernelTier::kScalar);
+  double scalar_seconds = TimeReps(reps, [&] {
+    auto result = expr->Evaluate(batch);
+    CheckOk(result.status(), "arith scalar");
+    g_sink = static_cast<uint64_t>(result->length());
+  });
+  SetKernelTier(restore);
+  double kernel_seconds = TimeReps(reps, [&] {
+    auto result = expr->Evaluate(batch);
+    CheckOk(result.status(), "arith kernels");
+    g_sink = static_cast<uint64_t>(result->length());
+  });
+  printf("%-40s scalar %.3fs  kernels %.3fs  (%.2fx)\n", "ukern/arith-f64-mul",
+         scalar_seconds, kernel_seconds, scalar_seconds / kernel_seconds);
+  RecordJson("ukern/arith-f64-mul/scalar", scalar_seconds);
+  RecordJson("ukern/arith-f64-mul/kernels", kernel_seconds);
+  RecordJson("ukern/arith-f64-mul/speedup", scalar_seconds / kernel_seconds);
+}
+
+void RunAggregate(int64_t rows) {
+  PrintTitle("Microkernels — aggregation (SUM float64 + MAX int32)");
+  Rng rng(13);
+  Column doubles(DataType::kFloat64);
+  Column ints(DataType::kInt32);
+  doubles.Reserve(rows);
+  ints.Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    doubles.Append<double>(rng.NextDouble(0, 100));
+    ints.Append<int32_t>(rng.NextInt32(0, 1000000));
+  }
+  const int reps = 5;
+  const KernelTier restore = ActiveKernelTier();
+  auto run_pair = [&](const char* label, const Column& col, AggKind kind) {
+    SetKernelTier(KernelTier::kScalar);
+    double scalar_seconds = TimeReps(reps, [&] {
+      AggAccumulator acc(kind, col.type());
+      CheckOk(acc.UpdateBatch(col, nullptr, rows), "agg scalar");
+      g_sink = static_cast<uint64_t>(acc.count());
+    });
+    SetKernelTier(restore);
+    double kernel_seconds = TimeReps(reps, [&] {
+      AggAccumulator acc(kind, col.type());
+      CheckOk(acc.UpdateBatch(col, nullptr, rows), "agg kernels");
+      g_sink = static_cast<uint64_t>(acc.count());
+    });
+    printf("%-40s scalar %.3fs  kernels %.3fs  (%.2fx)\n", label,
+           scalar_seconds, kernel_seconds, scalar_seconds / kernel_seconds);
+    RecordJson(std::string(label) + "/scalar", scalar_seconds);
+    RecordJson(std::string(label) + "/kernels", kernel_seconds);
+    RecordJson(std::string(label) + "/speedup",
+               scalar_seconds / kernel_seconds);
+  };
+  run_pair("ukern/agg-sum-f64", doubles, AggKind::kSum);
+  run_pair("ukern/agg-max-i32", ints, AggKind::kMax);
+}
+
+// --- fig01b-style warm predicate eval ----------------------------------------
+
+/// The fig01b Q2 hot loop once everything is warm: with the positional map
+/// built and both columns in the shred cache, the query is exactly a
+/// predicate eval + MAX over full in-memory columns — the columnar kernel
+/// path, measured through the whole engine at num_threads=1.
+void RunWarmEval(Dataset* dataset) {
+  PrintTitle("Microkernels — fig01b warm-CSV predicate eval (1 thread)");
+  auto engine = D30CsvEngine(dataset, 10);
+  auto session = engine->OpenSession();
+  PlannerOptions options;
+  options.access_path = AccessPathKind::kInSitu;
+  options.shred_policy = ShredPolicy::kFullColumns;
+  options.num_threads = 1;
+  const std::string sql = Q2(dataset, 0.4);
+  printf("query: %s\n", sql.c_str());
+
+  // Warm: first run builds the positional map, second runs from the map and
+  // leaves both columns cached; from the third run on the timed path is
+  // cache-scan -> filter -> aggregate.
+  TimedQuery(session.get(), sql, options);
+  TimedQuery(session.get(), sql, options);
+
+  const int reps = 5;
+  const KernelTier restore = ActiveKernelTier();
+  SetKernelTier(KernelTier::kScalar);
+  double scalar_seconds = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    scalar_seconds += TimedQuery(session.get(), sql, options);
+  }
+  SetKernelTier(restore);
+  QueryResult probe = CheckOk(session->Query(sql, options), "warm probe");
+  double kernel_seconds = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    kernel_seconds += TimedQuery(session.get(), sql, options);
+  }
+  printf("plan: %s\n", probe.plan_description.c_str());
+  printf("%-40s scalar %.3fs  kernels %.3fs  (%.2fx, criterion >= 1.3x)\n",
+         "ukern/fig01b-warm-eval", scalar_seconds, kernel_seconds,
+         scalar_seconds / kernel_seconds);
+  RecordJson("ukern/fig01b-warm-eval/scalar", scalar_seconds);
+  RecordJson("ukern/fig01b-warm-eval/kernels", kernel_seconds);
+  RecordJson("ukern/fig01b-warm-eval/speedup",
+             scalar_seconds / kernel_seconds);
+}
+
+void Run() {
+  Dataset dataset = CheckOk(Dataset::Open(), "dataset");
+  const int64_t rows = EnvRows();
+  printf("rows=%" PRId64 "  max tier=%s  active tier=%s\n", rows,
+         std::string(KernelTierName(MaxSupportedKernelTier())).c_str(),
+         std::string(KernelTierName(ActiveKernelTier())).c_str());
+  RunTokenizer(rows);
+  RunCompare(rows);
+  RunArith(rows);
+  RunAggregate(rows);
+  RunWarmEval(&dataset);
+}
+
+}  // namespace
+}  // namespace raw::bench
+
+int main() {
+  raw::bench::Run();
+  return 0;
+}

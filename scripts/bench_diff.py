@@ -61,6 +61,12 @@ def main():
         print("ERROR: no current results found", file=sys.stderr)
         return 1
 
+    def is_ratio(key):
+        # `.../speedup` datapoints (bench_microkernels) record a unitless
+        # scalar-vs-kernels ratio: higher is better, so the regression test
+        # inverts, and the seconds noise floor does not apply.
+        return key.endswith("speedup")
+
     rows = []
     regressions = []
     missing = sorted(set(baseline) - set(current))
@@ -71,7 +77,12 @@ def main():
             continue
         delta = (now - before) / before if before > 0 else 0.0
         status = f"{delta:+.1%}"
-        if max(before, now) >= args.min_seconds and delta > args.threshold:
+        if is_ratio(point[1]):
+            regressed = -delta > args.threshold
+        else:
+            regressed = (max(before, now) >= args.min_seconds
+                         and delta > args.threshold)
+        if regressed:
             status += " REGRESSION"
             regressions.append((point, before, now, delta))
         rows.append((point, before, now, status))
@@ -79,8 +90,10 @@ def main():
     lines = ["| benchmark | key | baseline | current | change |",
              "| --- | --- | --- | --- | --- |"]
     for (stem, key), before, now, status in rows:
-        before_s = f"{before:.3f}s" if before is not None else "—"
-        lines.append(f"| {stem} | {key} | {before_s} | {now:.3f}s | {status} |")
+        unit = "x" if is_ratio(key) else "s"
+        before_s = f"{before:.3f}{unit}" if before is not None else "—"
+        lines.append(
+            f"| {stem} | {key} | {before_s} | {now:.3f}{unit} | {status} |")
     # A datapoint that vanished is as suspicious as a slow one: a renamed
     # series or a bench that stopped emitting must not look like a clean run.
     for (stem, key) in missing:
@@ -99,8 +112,9 @@ def main():
 
     for (stem, key), before, now, delta in regressions:
         # GitHub annotation: shows on the workflow run page.
+        unit = "x" if is_ratio(key) else "s"
         print(f"::warning title=Bench regression::{stem} / {key}: "
-              f"{before:.3f}s -> {now:.3f}s ({delta:+.1%})")
+              f"{before:.3f}{unit} -> {now:.3f}{unit} ({delta:+.1%})")
     for (stem, key) in missing:
         print(f"::warning title=Bench datapoint missing::{stem} / {key}: "
               f"present in baseline, absent from this run")

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/kernels.h"
+
 namespace raw {
 
 std::string_view AggKindToString(AggKind kind) {
@@ -50,45 +52,45 @@ StatusOr<DataType> AggResultType(AggKind kind, DataType input_type) {
 AggAccumulator::AggAccumulator(AggKind kind, DataType input_type)
     : kind_(kind), input_type_(input_type) {}
 
+// The per-row entry points dispatch to the kind-hoisted templates, so one
+// definition of the update rules exists (the "every tier bit-identical"
+// invariant rests on it).
 void AggAccumulator::UpdateNumeric(double value) {
-  ++count_;
   switch (kind_) {
     case AggKind::kCount:
+      UpdateNumericT<AggKind::kCount>(value);
       break;
     case AggKind::kSum:
+      UpdateNumericT<AggKind::kSum>(value);
+      break;
     case AggKind::kAvg:
-      dacc_ += value;
-      iacc_ += static_cast<int64_t>(value);
+      UpdateNumericT<AggKind::kAvg>(value);
       break;
     case AggKind::kMax:
-      if (!initialized_ || value > dacc_) dacc_ = value;
-      initialized_ = true;
+      UpdateNumericT<AggKind::kMax>(value);
       break;
     case AggKind::kMin:
-      if (!initialized_ || value < dacc_) dacc_ = value;
-      initialized_ = true;
+      UpdateNumericT<AggKind::kMin>(value);
       break;
   }
 }
 
 void AggAccumulator::UpdateInt(int64_t value) {
-  ++count_;
   switch (kind_) {
     case AggKind::kCount:
+      UpdateIntT<AggKind::kCount>(value);
       break;
     case AggKind::kSum:
-      iacc_ += value;
+      UpdateIntT<AggKind::kSum>(value);
       break;
     case AggKind::kAvg:
-      dacc_ += static_cast<double>(value);
+      UpdateIntT<AggKind::kAvg>(value);
       break;
     case AggKind::kMax:
-      if (!initialized_ || value > iacc_) iacc_ = value;
-      initialized_ = true;
+      UpdateIntT<AggKind::kMax>(value);
       break;
     case AggKind::kMin:
-      if (!initialized_ || value < iacc_) iacc_ = value;
-      initialized_ = true;
+      UpdateIntT<AggKind::kMin>(value);
       break;
   }
 }
@@ -128,6 +130,107 @@ void AggAccumulator::Merge(const AggAccumulator& other) {
       }
       break;
   }
+}
+
+namespace {
+
+// One tight loop per (kind, type): the kind dispatch is hoisted into the
+// template parameter, the type dispatch into the caller's switch.
+template <AggKind K, typename T, bool kIntPath>
+void AccumulateLoop(AggAccumulator* acc, const T* values, const int32_t* sel,
+                    int64_t n) {
+  if (sel == nullptr) {
+    for (int64_t i = 0; i < n; ++i) {
+      if constexpr (kIntPath) {
+        acc->UpdateIntT<K>(values[i]);
+      } else {
+        acc->UpdateNumericT<K>(static_cast<double>(values[i]));
+      }
+    }
+  } else {
+    for (int64_t j = 0; j < n; ++j) {
+      if constexpr (kIntPath) {
+        acc->UpdateIntT<K>(values[sel[j]]);
+      } else {
+        acc->UpdateNumericT<K>(static_cast<double>(values[sel[j]]));
+      }
+    }
+  }
+}
+
+template <AggKind K>
+Status UpdateBatchForKind(AggAccumulator* acc, const Column& col,
+                          const int32_t* sel, int64_t n) {
+  switch (col.type()) {
+    case DataType::kInt32:
+      AccumulateLoop<K, int32_t, true>(acc, col.Data<int32_t>(), sel, n);
+      return Status::OK();
+    case DataType::kInt64:
+      AccumulateLoop<K, int64_t, true>(acc, col.Data<int64_t>(), sel, n);
+      return Status::OK();
+    case DataType::kFloat32:
+      AccumulateLoop<K, float, false>(acc, col.Data<float>(), sel, n);
+      return Status::OK();
+    case DataType::kFloat64:
+      AccumulateLoop<K, double, false>(acc, col.Data<double>(), sel, n);
+      return Status::OK();
+    default:
+      return Status::InvalidArgument("cannot aggregate non-numeric column");
+  }
+}
+
+}  // namespace
+
+Status AggAccumulator::UpdateBatch(const Column& col, const int32_t* sel,
+                                   int64_t n) {
+  // COUNT ignores the values entirely — short-circuit before the tier split
+  // so every tier agrees (including on columns the typed loops would reject).
+  if (kind_ == AggKind::kCount) {
+    count_ += n;
+    return Status::OK();
+  }
+  if (ActiveKernelTier() == KernelTier::kScalar) {
+    // Reference path: per-row dispatch, exactly the pre-kernel loops.
+    switch (col.type()) {
+      case DataType::kInt32: {
+        const int32_t* v = col.Data<int32_t>();
+        for (int64_t i = 0; i < n; ++i) UpdateInt(v[sel ? sel[i] : i]);
+        return Status::OK();
+      }
+      case DataType::kInt64: {
+        const int64_t* v = col.Data<int64_t>();
+        for (int64_t i = 0; i < n; ++i) UpdateInt(v[sel ? sel[i] : i]);
+        return Status::OK();
+      }
+      case DataType::kFloat32: {
+        const float* v = col.Data<float>();
+        for (int64_t i = 0; i < n; ++i) {
+          UpdateNumeric(static_cast<double>(v[sel ? sel[i] : i]));
+        }
+        return Status::OK();
+      }
+      case DataType::kFloat64: {
+        const double* v = col.Data<double>();
+        for (int64_t i = 0; i < n; ++i) UpdateNumeric(v[sel ? sel[i] : i]);
+        return Status::OK();
+      }
+      default:
+        return Status::InvalidArgument("cannot aggregate non-numeric column");
+    }
+  }
+  switch (kind_) {
+    case AggKind::kCount:
+      return Status::OK();  // handled above
+    case AggKind::kSum:
+      return UpdateBatchForKind<AggKind::kSum>(this, col, sel, n);
+    case AggKind::kAvg:
+      return UpdateBatchForKind<AggKind::kAvg>(this, col, sel, n);
+    case AggKind::kMax:
+      return UpdateBatchForKind<AggKind::kMax>(this, col, sel, n);
+    case AggKind::kMin:
+      return UpdateBatchForKind<AggKind::kMin>(this, col, sel, n);
+  }
+  return Status::Internal("bad AggKind");
 }
 
 Datum AggAccumulator::Finalize() const {
@@ -204,42 +307,12 @@ StatusOr<ColumnBatch> AggregateOperator::Next() {
       const AggSpec& spec = specs_[s];
       AggAccumulator& acc = accs[s];
       if (spec.kind == AggKind::kCount) {
-        for (int64_t i = 0; i < batch.num_rows(); ++i) acc.UpdateCount();
+        acc.UpdateCount(batch.num_rows());
         continue;
       }
-      const Column& col = *batch.column(spec.input);
-      switch (col.type()) {
-        case DataType::kInt32: {
-          const int32_t* v = col.Data<int32_t>();
-          for (int64_t i = 0; i < batch.num_rows(); ++i) {
-            acc.UpdateInt(v[i]);
-          }
-          break;
-        }
-        case DataType::kInt64: {
-          const int64_t* v = col.Data<int64_t>();
-          for (int64_t i = 0; i < batch.num_rows(); ++i) {
-            acc.UpdateInt(v[i]);
-          }
-          break;
-        }
-        case DataType::kFloat32: {
-          const float* v = col.Data<float>();
-          for (int64_t i = 0; i < batch.num_rows(); ++i) {
-            acc.UpdateNumeric(static_cast<double>(v[i]));
-          }
-          break;
-        }
-        case DataType::kFloat64: {
-          const double* v = col.Data<double>();
-          for (int64_t i = 0; i < batch.num_rows(); ++i) {
-            acc.UpdateNumeric(v[i]);
-          }
-          break;
-        }
-        default:
-          return Status::InvalidArgument("cannot aggregate non-numeric column");
-      }
+      RAW_RETURN_NOT_OK(
+          acc.UpdateBatch(*batch.column(spec.input), nullptr,
+                          batch.num_rows()));
     }
   }
 

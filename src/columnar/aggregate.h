@@ -34,7 +34,50 @@ class AggAccumulator {
   /// Exact integer path (no double round-trip; int64 values above 2^53 stay
   /// precise).
   void UpdateInt(int64_t value);
-  void UpdateCount() { ++count_; }
+  void UpdateCount(int64_t n = 1) { count_ += n; }
+
+  /// Kind-hoisted per-row updates (K must equal the accumulator's kind):
+  /// identical semantics to UpdateInt / UpdateNumeric with the kind switch
+  /// lifted out, so bulk loops dispatch once and run tight (group-by
+  /// absorption and the dense/selection kernels below use these).
+  template <AggKind K>
+  void UpdateIntT(int64_t value) {
+    ++count_;
+    if constexpr (K == AggKind::kSum) {
+      iacc_ += value;
+    } else if constexpr (K == AggKind::kAvg) {
+      dacc_ += static_cast<double>(value);
+    } else if constexpr (K == AggKind::kMax) {
+      if (!initialized_ || value > iacc_) iacc_ = value;
+      initialized_ = true;
+    } else if constexpr (K == AggKind::kMin) {
+      if (!initialized_ || value < iacc_) iacc_ = value;
+      initialized_ = true;
+    }
+  }
+
+  template <AggKind K>
+  void UpdateNumericT(double value) {
+    ++count_;
+    if constexpr (K == AggKind::kSum || K == AggKind::kAvg) {
+      dacc_ += value;
+      iacc_ += static_cast<int64_t>(value);
+    } else if constexpr (K == AggKind::kMax) {
+      if (!initialized_ || value > dacc_) dacc_ = value;
+      initialized_ = true;
+    } else if constexpr (K == AggKind::kMin) {
+      if (!initialized_ || value < dacc_) dacc_ = value;
+      initialized_ = true;
+    }
+  }
+
+  /// Bulk, selection-aware accumulation over a numeric column: rows
+  /// [0, n) when `sel` is null, else rows sel[0..n). Non-scalar kernel
+  /// tiers dispatch once on (kind, type) and run a tight typed loop —
+  /// no per-row switch, no Datum boxing; the scalar tier replays the
+  /// per-row reference updates. Accumulation order (and therefore every
+  /// float bit) is identical either way.
+  Status UpdateBatch(const Column& col, const int32_t* sel, int64_t n);
 
   /// Folds another accumulator of the same (kind, input type) into this one —
   /// the merge step combining per-thread partial aggregates. For SUM/AVG the

@@ -1,0 +1,252 @@
+#include "columnar/eval_kernels.h"
+
+#include "columnar/expression.h"
+
+namespace raw {
+
+namespace {
+
+template <typename T, CompareOp kOp>
+inline bool Keep(T value, T constant) {
+  if constexpr (kOp == CompareOp::kLt) {
+    return value < constant;
+  } else if constexpr (kOp == CompareOp::kLe) {
+    return value <= constant;
+  } else if constexpr (kOp == CompareOp::kGt) {
+    return value > constant;
+  } else if constexpr (kOp == CompareOp::kGe) {
+    return value >= constant;
+  } else if constexpr (kOp == CompareOp::kEq) {
+    return value == constant;
+  } else {
+    return value != constant;
+  }
+}
+
+// Branchless selection: always write the candidate index, advance the write
+// cursor only when the predicate holds. No data-dependent branch, so the
+// loop's cost is independent of selectivity (and auto-vectorizes cleanly).
+template <typename T, CompareOp kOp>
+void SelectBranchless(const T* values, int64_t n, T constant,
+                      const SelectionVector* sel, SelectionVector* out) {
+  const int64_t base = out->size();
+  int32_t* dst = out->AppendUninitialized(n);
+  int64_t k = 0;
+  if (sel == nullptr) {
+    for (int64_t i = 0; i < n; ++i) {
+      dst[k] = static_cast<int32_t>(i);
+      k += Keep<T, kOp>(values[i], constant) ? 1 : 0;
+    }
+  } else {
+    const int32_t* in = sel->data();
+    for (int64_t j = 0; j < n; ++j) {
+      const int32_t i = in[j];
+      dst[k] = i;
+      k += Keep<T, kOp>(values[i], constant) ? 1 : 0;
+    }
+  }
+  out->Truncate(base + k);
+}
+
+template <typename T, CompareOp kOp>
+void SelectBranchy(const T* values, int64_t n, T constant,
+                   const SelectionVector* sel, SelectionVector* out) {
+  if (sel == nullptr) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (Keep<T, kOp>(values[i], constant)) {
+        out->Append(static_cast<int32_t>(i));
+      }
+    }
+  } else {
+    const int32_t* in = sel->data();
+    for (int64_t j = 0; j < n; ++j) {
+      if (Keep<T, kOp>(values[in[j]], constant)) out->Append(in[j]);
+    }
+  }
+}
+
+template <typename T, template <typename, CompareOp> class Loop>
+struct OpDispatch {
+  static void Run(CompareOp op, const T* values, int64_t n, T constant,
+                  const SelectionVector* sel, SelectionVector* out) {
+    switch (op) {
+      case CompareOp::kLt:
+        Loop<T, CompareOp::kLt>::Run(values, n, constant, sel, out);
+        break;
+      case CompareOp::kLe:
+        Loop<T, CompareOp::kLe>::Run(values, n, constant, sel, out);
+        break;
+      case CompareOp::kGt:
+        Loop<T, CompareOp::kGt>::Run(values, n, constant, sel, out);
+        break;
+      case CompareOp::kGe:
+        Loop<T, CompareOp::kGe>::Run(values, n, constant, sel, out);
+        break;
+      case CompareOp::kEq:
+        Loop<T, CompareOp::kEq>::Run(values, n, constant, sel, out);
+        break;
+      case CompareOp::kNe:
+        Loop<T, CompareOp::kNe>::Run(values, n, constant, sel, out);
+        break;
+    }
+  }
+};
+
+template <typename T, CompareOp kOp>
+struct BranchlessLoop {
+  static void Run(const T* values, int64_t n, T constant,
+                  const SelectionVector* sel, SelectionVector* out) {
+    SelectBranchless<T, kOp>(values, n, constant, sel, out);
+  }
+};
+
+template <typename T, CompareOp kOp>
+struct BranchyLoop {
+  static void Run(const T* values, int64_t n, T constant,
+                  const SelectionVector* sel, SelectionVector* out) {
+    SelectBranchy<T, kOp>(values, n, constant, sel, out);
+  }
+};
+
+}  // namespace
+
+template <typename T>
+void SelectCompareConst(CompareOp op, const T* values, int64_t n, T constant,
+                        const SelectionVector* sel, SelectionVector* out) {
+  if (ActiveKernelTier() == KernelTier::kScalar) {
+    OpDispatch<T, BranchyLoop>::Run(op, values, n, constant, sel, out);
+  } else {
+    OpDispatch<T, BranchlessLoop>::Run(op, values, n, constant, sel, out);
+  }
+}
+
+template <typename T>
+void SelectCompareConstScalar(CompareOp op, const T* values, int64_t n,
+                              T constant, const SelectionVector* sel,
+                              SelectionVector* out) {
+  OpDispatch<T, BranchyLoop>::Run(op, values, n, constant, sel, out);
+}
+
+template void SelectCompareConst<int32_t>(CompareOp, const int32_t*, int64_t,
+                                          int32_t, const SelectionVector*,
+                                          SelectionVector*);
+template void SelectCompareConst<int64_t>(CompareOp, const int64_t*, int64_t,
+                                          int64_t, const SelectionVector*,
+                                          SelectionVector*);
+template void SelectCompareConst<float>(CompareOp, const float*, int64_t, float,
+                                        const SelectionVector*,
+                                        SelectionVector*);
+template void SelectCompareConst<double>(CompareOp, const double*, int64_t,
+                                         double, const SelectionVector*,
+                                         SelectionVector*);
+template void SelectCompareConstScalar<int32_t>(CompareOp, const int32_t*,
+                                                int64_t, int32_t,
+                                                const SelectionVector*,
+                                                SelectionVector*);
+template void SelectCompareConstScalar<int64_t>(CompareOp, const int64_t*,
+                                                int64_t, int64_t,
+                                                const SelectionVector*,
+                                                SelectionVector*);
+template void SelectCompareConstScalar<float>(CompareOp, const float*, int64_t,
+                                              float, const SelectionVector*,
+                                              SelectionVector*);
+template void SelectCompareConstScalar<double>(CompareOp, const double*,
+                                               int64_t, double,
+                                               const SelectionVector*,
+                                               SelectionVector*);
+
+// --- arithmetic --------------------------------------------------------------
+
+bool CanWidenToDouble(DataType type) {
+  return type == DataType::kInt32 || type == DataType::kInt64 ||
+         type == DataType::kFloat32 || type == DataType::kFloat64;
+}
+
+void WidenToDouble(const Column& col, int64_t n, double* out) {
+  switch (col.type()) {
+    case DataType::kInt32: {
+      const int32_t* v = col.Data<int32_t>();
+      for (int64_t i = 0; i < n; ++i) out[i] = static_cast<double>(v[i]);
+      break;
+    }
+    case DataType::kInt64: {
+      const int64_t* v = col.Data<int64_t>();
+      for (int64_t i = 0; i < n; ++i) out[i] = static_cast<double>(v[i]);
+      break;
+    }
+    case DataType::kFloat32: {
+      const float* v = col.Data<float>();
+      for (int64_t i = 0; i < n; ++i) out[i] = static_cast<double>(v[i]);
+      break;
+    }
+    case DataType::kFloat64: {
+      const double* v = col.Data<double>();
+      for (int64_t i = 0; i < n; ++i) out[i] = v[i];
+      break;
+    }
+    default:
+      break;  // guarded by CanWidenToDouble
+  }
+}
+
+namespace {
+
+template <ArithOp kOp, typename O>
+void FusedArithLoop(const double* a, const double* b, int64_t n, O* dst) {
+  for (int64_t i = 0; i < n; ++i) {
+    double r;
+    if constexpr (kOp == ArithOp::kAdd) {
+      r = a[i] + b[i];
+    } else if constexpr (kOp == ArithOp::kSub) {
+      r = a[i] - b[i];
+    } else if constexpr (kOp == ArithOp::kMul) {
+      r = a[i] * b[i];
+    } else {
+      r = a[i] / b[i];
+    }
+    dst[i] = static_cast<O>(r);
+  }
+}
+
+template <typename O>
+void FusedArithDispatch(ArithOp op, const double* a, const double* b,
+                        int64_t n, O* dst) {
+  switch (op) {
+    case ArithOp::kAdd:
+      FusedArithLoop<ArithOp::kAdd, O>(a, b, n, dst);
+      break;
+    case ArithOp::kSub:
+      FusedArithLoop<ArithOp::kSub, O>(a, b, n, dst);
+      break;
+    case ArithOp::kMul:
+      FusedArithLoop<ArithOp::kMul, O>(a, b, n, dst);
+      break;
+    case ArithOp::kDiv:
+      FusedArithLoop<ArithOp::kDiv, O>(a, b, n, dst);
+      break;
+  }
+}
+
+}  // namespace
+
+void ArithCombineNarrow(ArithOp op, const double* a, const double* b,
+                        int64_t n, Column* out) {
+  const int64_t base = out->length();
+  out->Resize(base + n);
+  switch (out->type()) {
+    case DataType::kInt32:
+      FusedArithDispatch<int32_t>(op, a, b, n,
+                                  out->MutableData<int32_t>() + base);
+      break;
+    case DataType::kInt64:
+      FusedArithDispatch<int64_t>(op, a, b, n,
+                                  out->MutableData<int64_t>() + base);
+      break;
+    default:
+      FusedArithDispatch<double>(op, a, b, n,
+                                 out->MutableData<double>() + base);
+      break;
+  }
+}
+
+}  // namespace raw

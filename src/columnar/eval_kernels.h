@@ -1,0 +1,92 @@
+#ifndef RAW_COLUMNAR_EVAL_KERNELS_H_
+#define RAW_COLUMNAR_EVAL_KERNELS_H_
+
+#include <cstdint>
+
+#include "columnar/column.h"
+#include "columnar/selection_vector.h"
+#include "common/kernels.h"
+
+namespace raw {
+
+enum class CompareOp;  // expression.h
+enum class ArithOp;    // expression.h
+
+/// The branchless columnar kernel core under predicate and projection
+/// evaluation (§4.1's unrolled flavour, applied to the interpreted engine).
+/// Every kernel is selection-aware: pass `sel == nullptr` to run over the
+/// dense row range [0, n), or a selection vector to evaluate only surviving
+/// rows (conjunctions chain these instead of materializing bool columns).
+/// The scalar dispatch tier (see common/kernels.h) routes to the per-row
+/// reference implementations; results are bit-for-bit identical on every
+/// tier.
+
+/// Appends the indices of rows where `values[i] <op> constant` holds to
+/// `out`. With `sel`, examines rows sel[0..n) and appends their original
+/// indices. Non-scalar tiers run a predicated write loop
+/// (`dst[k] = i; k += matches`) with the op lifted out of the loop.
+template <typename T>
+void SelectCompareConst(CompareOp op, const T* values, int64_t n, T constant,
+                        const SelectionVector* sel, SelectionVector* out);
+
+/// Per-row branchy reference implementation (scalar tier; also the ground
+/// truth the kernel property suite compares every tier against).
+template <typename T>
+void SelectCompareConstScalar(CompareOp op, const T* values, int64_t n,
+                              T constant, const SelectionVector* sel,
+                              SelectionVector* out);
+
+extern template void SelectCompareConst<int32_t>(CompareOp, const int32_t*,
+                                                 int64_t, int32_t,
+                                                 const SelectionVector*,
+                                                 SelectionVector*);
+extern template void SelectCompareConst<int64_t>(CompareOp, const int64_t*,
+                                                 int64_t, int64_t,
+                                                 const SelectionVector*,
+                                                 SelectionVector*);
+extern template void SelectCompareConst<float>(CompareOp, const float*, int64_t,
+                                               float, const SelectionVector*,
+                                               SelectionVector*);
+extern template void SelectCompareConst<double>(CompareOp, const double*,
+                                                int64_t, double,
+                                                const SelectionVector*,
+                                                SelectionVector*);
+extern template void SelectCompareConstScalar<int32_t>(CompareOp,
+                                                       const int32_t*, int64_t,
+                                                       int32_t,
+                                                       const SelectionVector*,
+                                                       SelectionVector*);
+extern template void SelectCompareConstScalar<int64_t>(CompareOp,
+                                                       const int64_t*, int64_t,
+                                                       int64_t,
+                                                       const SelectionVector*,
+                                                       SelectionVector*);
+extern template void SelectCompareConstScalar<float>(CompareOp, const float*,
+                                                     int64_t, float,
+                                                     const SelectionVector*,
+                                                     SelectionVector*);
+extern template void SelectCompareConstScalar<double>(CompareOp, const double*,
+                                                      int64_t, double,
+                                                      const SelectionVector*,
+                                                      SelectionVector*);
+
+// --- arithmetic --------------------------------------------------------------
+
+/// True for the types the widen/combine/narrow pipeline handles
+/// (int32/int64/float32/float64).
+bool CanWidenToDouble(DataType type);
+
+/// Widens `col[0..n)` into `out` as doubles — exactly the per-row widening
+/// the interpreted arithmetic loop performs, hoisted into one typed pass.
+void WidenToDouble(const Column& col, int64_t n, double* out);
+
+/// Appends narrow(a[i] <op> b[i]) for i in [0, n) to `out` (a kInt32/kInt64/
+/// kFloat64 column): one fused pass computing in double and applying the same
+/// narrowing cast the interpreted loop used per row, with the (op, out-type)
+/// dispatch hoisted out of the loop.
+void ArithCombineNarrow(ArithOp op, const double* a, const double* b,
+                        int64_t n, Column* out);
+
+}  // namespace raw
+
+#endif  // RAW_COLUMNAR_EVAL_KERNELS_H_

@@ -1,7 +1,9 @@
 #include "columnar/expression.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "columnar/eval_kernels.h"
 #include "common/macros.h"
 
 namespace raw {
@@ -37,6 +39,23 @@ Status Expression::EvaluateSelection(const ColumnBatch& batch,
   return Status::OK();
 }
 
+Status Expression::EvaluateSelectionFiltered(const ColumnBatch& batch,
+                                             const SelectionVector& sel_in,
+                                             SelectionVector* out) const {
+  // Narrow first so the expression only computes over survivors (at low
+  // selectivity, evaluating the full batch would redo up to 1/selectivity
+  // times the work); kernel-capable subclasses override this with a direct
+  // gather instead.
+  ColumnBatch narrowed = batch.Filter(sel_in);
+  SelectionVector local;
+  local.Reserve(sel_in.size());
+  RAW_RETURN_NOT_OK(EvaluateSelection(narrowed, &local));
+  for (int64_t j = 0; j < local.size(); ++j) {
+    out->Append(sel_in[local[j]]);
+  }
+  return Status::OK();
+}
+
 // --- ColumnRefExpr ----------------------------------------------------------
 
 StatusOr<DataType> ColumnRefExpr::ResultType(const Schema& schema) const {
@@ -56,7 +75,9 @@ StatusOr<Column> ColumnRefExpr::Evaluate(const ColumnBatch& batch) const {
 }
 
 std::string ColumnRefExpr::ToString() const {
-  return "$" + std::to_string(index_);
+  std::string out = "$";
+  out += std::to_string(index_);
+  return out;
 }
 
 // --- LiteralExpr ------------------------------------------------------------
@@ -66,9 +87,36 @@ StatusOr<DataType> LiteralExpr::ResultType(const Schema& /*schema*/) const {
 }
 
 StatusOr<Column> LiteralExpr::Evaluate(const ColumnBatch& batch) const {
+  // Typed splat: size the column once and fill it, instead of boxing the
+  // Datum through AppendDatum per row.
+  const int64_t n = batch.num_rows();
   Column out(value_.type());
-  out.Reserve(batch.num_rows());
-  for (int64_t i = 0; i < batch.num_rows(); ++i) out.AppendDatum(value_);
+  switch (value_.type()) {
+    case DataType::kBool:
+      out.Resize(n);
+      std::fill_n(out.MutableData<bool>(), n, value_.bool_value());
+      break;
+    case DataType::kInt32:
+      out.Resize(n);
+      std::fill_n(out.MutableData<int32_t>(), n, value_.int32_value());
+      break;
+    case DataType::kInt64:
+      out.Resize(n);
+      std::fill_n(out.MutableData<int64_t>(), n, value_.int64_value());
+      break;
+    case DataType::kFloat32:
+      out.Resize(n);
+      std::fill_n(out.MutableData<float>(), n, value_.float32_value());
+      break;
+    case DataType::kFloat64:
+      out.Resize(n);
+      std::fill_n(out.MutableData<double>(), n, value_.float64_value());
+      break;
+    case DataType::kString:
+      out.Reserve(n);
+      for (int64_t i = 0; i < n; ++i) out.AppendString(value_.string_value());
+      break;
+  }
   return out;
 }
 
@@ -95,57 +143,6 @@ inline bool ApplyCompare(CompareOp op, T a, T b) {
       return a != b;
   }
   return false;
-}
-
-// Branch-light selection loop: compare column values against a constant and
-// append qualifying indices. The comparison op is a template parameter so the
-// compiler emits a tight loop per op (the "unrolled" flavour general-purpose
-// scans lack; see §4.1).
-template <typename T, CompareOp kOp>
-void SelectCompareConst(const T* values, int64_t n, T constant,
-                        SelectionVector* out) {
-  for (int64_t i = 0; i < n; ++i) {
-    bool keep;
-    if constexpr (kOp == CompareOp::kLt) {
-      keep = values[i] < constant;
-    } else if constexpr (kOp == CompareOp::kLe) {
-      keep = values[i] <= constant;
-    } else if constexpr (kOp == CompareOp::kGt) {
-      keep = values[i] > constant;
-    } else if constexpr (kOp == CompareOp::kGe) {
-      keep = values[i] >= constant;
-    } else if constexpr (kOp == CompareOp::kEq) {
-      keep = values[i] == constant;
-    } else {
-      keep = values[i] != constant;
-    }
-    if (keep) out->Append(static_cast<int32_t>(i));
-  }
-}
-
-template <typename T>
-void SelectCompareConstDispatch(CompareOp op, const T* values, int64_t n,
-                                T constant, SelectionVector* out) {
-  switch (op) {
-    case CompareOp::kLt:
-      SelectCompareConst<T, CompareOp::kLt>(values, n, constant, out);
-      break;
-    case CompareOp::kLe:
-      SelectCompareConst<T, CompareOp::kLe>(values, n, constant, out);
-      break;
-    case CompareOp::kGt:
-      SelectCompareConst<T, CompareOp::kGt>(values, n, constant, out);
-      break;
-    case CompareOp::kGe:
-      SelectCompareConst<T, CompareOp::kGe>(values, n, constant, out);
-      break;
-    case CompareOp::kEq:
-      SelectCompareConst<T, CompareOp::kEq>(values, n, constant, out);
-      break;
-    case CompareOp::kNe:
-      SelectCompareConst<T, CompareOp::kNe>(values, n, constant, out);
-      break;
-  }
 }
 
 // Widens a column's value at i to double for mixed-type comparison.
@@ -205,55 +202,85 @@ StatusOr<Column> CompareExpr::Evaluate(const ColumnBatch& batch) const {
   return out;
 }
 
+Status CompareExpr::TryConstCompareKernel(const ColumnBatch& batch,
+                                          const SelectionVector* sel,
+                                          SelectionVector* out,
+                                          bool* handled) const {
+  *handled = false;
+  // Typed kernel path: <column> <op> <literal> on a numeric column. With a
+  // selection the kernel examines only surviving rows (conjunction chaining).
+  if (lhs_->kind() != Kind::kColumnRef || rhs_->kind() != Kind::kLiteral) {
+    return Status::OK();
+  }
+  const auto* ref = static_cast<const ColumnRefExpr*>(lhs_.get());
+  const auto* lit = static_cast<const LiteralExpr*>(rhs_.get());
+  if (ref->index() < 0 || ref->index() >= batch.num_columns()) {
+    return Status::OK();
+  }
+  const Column& col = *batch.column(ref->index());
+  const int64_t n = sel != nullptr ? sel->size() : batch.num_rows();
+  switch (col.type()) {
+    case DataType::kInt32: {
+      RAW_ASSIGN_OR_RETURN(int64_t c64, lit->value().AsInt64());
+      if (lit->value().type() == DataType::kInt32 ||
+          (c64 >= INT32_MIN && c64 <= INT32_MAX)) {
+        SelectCompareConst<int32_t>(op_, col.Data<int32_t>(), n,
+                                    static_cast<int32_t>(c64), sel, out);
+        *handled = true;
+      }
+      break;
+    }
+    case DataType::kInt64: {
+      RAW_ASSIGN_OR_RETURN(int64_t c, lit->value().AsInt64());
+      SelectCompareConst<int64_t>(op_, col.Data<int64_t>(), n, c, sel, out);
+      *handled = true;
+      break;
+    }
+    case DataType::kFloat32: {
+      RAW_ASSIGN_OR_RETURN(double c, lit->value().AsDouble());
+      SelectCompareConst<float>(op_, col.Data<float>(), n,
+                                static_cast<float>(c), sel, out);
+      *handled = true;
+      break;
+    }
+    case DataType::kFloat64: {
+      RAW_ASSIGN_OR_RETURN(double c, lit->value().AsDouble());
+      SelectCompareConst<double>(op_, col.Data<double>(), n, c, sel, out);
+      *handled = true;
+      break;
+    }
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
 Status CompareExpr::EvaluateSelection(const ColumnBatch& batch,
                                       SelectionVector* out) const {
-  // Fast path: <column> <op> <literal> on a numeric column.
-  if (lhs_->kind() == Kind::kColumnRef && rhs_->kind() == Kind::kLiteral) {
-    const auto* ref = static_cast<const ColumnRefExpr*>(lhs_.get());
-    const auto* lit = static_cast<const LiteralExpr*>(rhs_.get());
-    if (ref->index() >= 0 && ref->index() < batch.num_columns()) {
-      const Column& col = *batch.column(ref->index());
-      const int64_t n = batch.num_rows();
-      switch (col.type()) {
-        case DataType::kInt32: {
-          RAW_ASSIGN_OR_RETURN(int64_t c64, lit->value().AsInt64());
-          if (lit->value().type() == DataType::kInt32 ||
-              (c64 >= INT32_MIN && c64 <= INT32_MAX)) {
-            SelectCompareConstDispatch<int32_t>(
-                op_, col.Data<int32_t>(), n, static_cast<int32_t>(c64), out);
-            return Status::OK();
-          }
-          break;
-        }
-        case DataType::kInt64: {
-          RAW_ASSIGN_OR_RETURN(int64_t c, lit->value().AsInt64());
-          SelectCompareConstDispatch<int64_t>(op_, col.Data<int64_t>(), n, c,
-                                              out);
-          return Status::OK();
-        }
-        case DataType::kFloat32: {
-          RAW_ASSIGN_OR_RETURN(double c, lit->value().AsDouble());
-          SelectCompareConstDispatch<float>(op_, col.Data<float>(), n,
-                                            static_cast<float>(c), out);
-          return Status::OK();
-        }
-        case DataType::kFloat64: {
-          RAW_ASSIGN_OR_RETURN(double c, lit->value().AsDouble());
-          SelectCompareConstDispatch<double>(op_, col.Data<double>(), n, c,
-                                             out);
-          return Status::OK();
-        }
-        default:
-          break;
-      }
-    }
-  }
+  bool handled = false;
+  RAW_RETURN_NOT_OK(TryConstCompareKernel(batch, nullptr, out, &handled));
+  if (handled) return Status::OK();
   return Expression::EvaluateSelection(batch, out);
 }
 
+Status CompareExpr::EvaluateSelectionFiltered(const ColumnBatch& batch,
+                                              const SelectionVector& sel_in,
+                                              SelectionVector* out) const {
+  bool handled = false;
+  RAW_RETURN_NOT_OK(TryConstCompareKernel(batch, &sel_in, out, &handled));
+  if (handled) return Status::OK();
+  return Expression::EvaluateSelectionFiltered(batch, sel_in, out);
+}
+
 std::string CompareExpr::ToString() const {
-  return "(" + lhs_->ToString() + " " + std::string(CompareOpToString(op_)) +
-         " " + rhs_->ToString() + ")";
+  std::string out = "(";
+  out += lhs_->ToString();
+  out += " ";
+  out += CompareOpToString(op_);
+  out += " ";
+  out += rhs_->ToString();
+  out += ")";
+  return out;
 }
 
 // --- ArithExpr --------------------------------------------------------------
@@ -279,8 +306,36 @@ StatusOr<Column> ArithExpr::Evaluate(const ColumnBatch& batch) const {
   RAW_ASSIGN_OR_RETURN(Column left, lhs_->Evaluate(batch));
   RAW_ASSIGN_OR_RETURN(Column right, rhs_->Evaluate(batch));
   RAW_ASSIGN_OR_RETURN(DataType out_type, ResultType(batch.schema()));
+  const int64_t n = batch.num_rows();
+  if (ActiveKernelTier() != KernelTier::kScalar &&
+      CanWidenToDouble(left.type()) && CanWidenToDouble(right.type())) {
+    // Hoisted-switch kernels: widen non-double operands once (double columns
+    // feed the loop in place), then one fused combine+narrow pass — the same
+    // per-row double math as the interpreted loop below, minus its per-row
+    // dispatch.
+    std::vector<double> scratch_a, scratch_b;
+    const double* a;
+    const double* b;
+    if (left.type() == DataType::kFloat64) {
+      a = left.Data<double>();
+    } else {
+      scratch_a.resize(static_cast<size_t>(n));
+      WidenToDouble(left, n, scratch_a.data());
+      a = scratch_a.data();
+    }
+    if (right.type() == DataType::kFloat64) {
+      b = right.Data<double>();
+    } else {
+      scratch_b.resize(static_cast<size_t>(n));
+      WidenToDouble(right, n, scratch_b.data());
+      b = scratch_b.data();
+    }
+    Column out(out_type);
+    ArithCombineNarrow(op_, a, b, n, &out);
+    return out;
+  }
   Column out(out_type);
-  out.Reserve(batch.num_rows());
+  out.Reserve(n);
   for (int64_t i = 0; i < batch.num_rows(); ++i) {
     double a = WidenedValue(left, i);
     double b = WidenedValue(right, i);
@@ -316,8 +371,14 @@ StatusOr<Column> ArithExpr::Evaluate(const ColumnBatch& batch) const {
 
 std::string ArithExpr::ToString() const {
   const char* names[] = {"+", "-", "*", "/"};
-  return "(" + lhs_->ToString() + " " + names[static_cast<int>(op_)] + " " +
-         rhs_->ToString() + ")";
+  std::string out = "(";
+  out += lhs_->ToString();
+  out += " ";
+  out += names[static_cast<int>(op_)];
+  out += " ";
+  out += rhs_->ToString();
+  out += ")";
+  return out;
 }
 
 // --- BoolOpExpr -------------------------------------------------------------
@@ -361,15 +422,38 @@ Status BoolOpExpr::EvaluateSelection(const ColumnBatch& batch,
   if (kind() != Kind::kAnd || children_.empty()) {
     return Expression::EvaluateSelection(batch, out);
   }
-  // AND: evaluate first child's selection, then re-filter progressively.
-  // This keeps the common conjunctive-predicate path allocation-light.
+  // Short-circuit AND: the first child produces a selection, every later
+  // child evaluates only over the survivors (no bool-column materialization,
+  // no batch gather, no index composition).
   SelectionVector current;
   RAW_RETURN_NOT_OK(children_[0]->EvaluateSelection(batch, &current));
   for (size_t k = 1; k < children_.size() && current.size() > 0; ++k) {
-    ColumnBatch narrowed = batch.Filter(current);
     SelectionVector next;
-    RAW_RETURN_NOT_OK(children_[k]->EvaluateSelection(narrowed, &next));
-    current = current.Compose(next);
+    next.Reserve(current.size());
+    RAW_RETURN_NOT_OK(
+        children_[k]->EvaluateSelectionFiltered(batch, current, &next));
+    current = std::move(next);
+  }
+  for (int64_t i = 0; i < current.size(); ++i) out->Append(current[i]);
+  return Status::OK();
+}
+
+Status BoolOpExpr::EvaluateSelectionFiltered(const ColumnBatch& batch,
+                                             const SelectionVector& sel_in,
+                                             SelectionVector* out) const {
+  if (kind() != Kind::kAnd || children_.empty()) {
+    return Expression::EvaluateSelectionFiltered(batch, sel_in, out);
+  }
+  SelectionVector current;
+  current.Reserve(sel_in.size());
+  RAW_RETURN_NOT_OK(
+      children_[0]->EvaluateSelectionFiltered(batch, sel_in, &current));
+  for (size_t k = 1; k < children_.size() && current.size() > 0; ++k) {
+    SelectionVector next;
+    next.Reserve(current.size());
+    RAW_RETURN_NOT_OK(
+        children_[k]->EvaluateSelectionFiltered(batch, current, &next));
+    current = std::move(next);
   }
   for (int64_t i = 0; i < current.size(); ++i) out->Append(current[i]);
   return Status::OK();
@@ -408,7 +492,9 @@ StatusOr<Column> NotExpr::Evaluate(const ColumnBatch& batch) const {
 }
 
 std::string NotExpr::ToString() const {
-  return "NOT " + child_->ToString();
+  std::string out = "NOT ";
+  out += child_->ToString();
+  return out;
 }
 
 // --- convenience ------------------------------------------------------------

@@ -47,6 +47,16 @@ class Expression {
   virtual Status EvaluateSelection(const ColumnBatch& batch,
                                    SelectionVector* out) const;
 
+  /// Selection-aware predicate evaluation: examines only the rows listed in
+  /// `sel_in` and appends the surviving *original* indices to `out` — the
+  /// chaining step of a short-circuit conjunction (later AND terms run over
+  /// survivors instead of materializing bool columns and intersecting).
+  /// Default implementation materializes a bool column via Evaluate() and
+  /// tests the selected rows.
+  virtual Status EvaluateSelectionFiltered(const ColumnBatch& batch,
+                                           const SelectionVector& sel_in,
+                                           SelectionVector* out) const;
+
   virtual std::string ToString() const = 0;
 
  protected:
@@ -105,9 +115,18 @@ class CompareExpr : public Expression {
   StatusOr<Column> Evaluate(const ColumnBatch& batch) const override;
   Status EvaluateSelection(const ColumnBatch& batch,
                            SelectionVector* out) const override;
+  Status EvaluateSelectionFiltered(const ColumnBatch& batch,
+                                   const SelectionVector& sel_in,
+                                   SelectionVector* out) const override;
   std::string ToString() const override;
 
  private:
+  /// Runs the typed <column> <op> <literal> kernel when applicable; sets
+  /// `*handled` and appends to `out` (sel-aware when `sel` is non-null).
+  Status TryConstCompareKernel(const ColumnBatch& batch,
+                               const SelectionVector* sel, SelectionVector* out,
+                               bool* handled) const;
+
   CompareOp op_;
   ExprPtr lhs_, rhs_;
 };
@@ -143,6 +162,9 @@ class BoolOpExpr : public Expression {
   StatusOr<Column> Evaluate(const ColumnBatch& batch) const override;
   Status EvaluateSelection(const ColumnBatch& batch,
                            SelectionVector* out) const override;
+  Status EvaluateSelectionFiltered(const ColumnBatch& batch,
+                                   const SelectionVector& sel_in,
+                                   SelectionVector* out) const override;
   std::string ToString() const override;
 
  private:

@@ -7,14 +7,16 @@ StatusOr<ColumnBatch> FilterOperator::Next() {
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
     if (batch.empty()) return batch;  // EOF
     rows_in_ += batch.num_rows();
-    SelectionVector selection;
-    selection.Reserve(batch.num_rows());
-    RAW_RETURN_NOT_OK(predicate_->EvaluateSelection(batch, &selection));
-    if (selection.empty()) continue;  // fully filtered; pull next batch
-    rows_out_ += selection.size();
+    // Reuse one selection buffer across batches: Clear() keeps the
+    // allocation, so steady state runs without a per-batch malloc.
+    selection_.Clear();
+    selection_.Reserve(batch.num_rows());
+    RAW_RETURN_NOT_OK(predicate_->EvaluateSelection(batch, &selection_));
+    if (selection_.empty()) continue;  // fully filtered; pull next batch
+    rows_out_ += selection_.size();
     // All rows pass: forward the batch untouched (common at 100% selectivity).
-    if (selection.size() == batch.num_rows()) return batch;
-    return batch.Filter(selection);
+    if (selection_.size() == batch.num_rows()) return batch;
+    return batch.Filter(selection_);
   }
 }
 

@@ -30,6 +30,7 @@ class FilterOperator : public Operator {
  private:
   OperatorPtr child_;
   ExprPtr predicate_;
+  SelectionVector selection_;  // reusable per-batch buffer
   int64_t rows_in_ = 0;
   int64_t rows_out_ = 0;
 };

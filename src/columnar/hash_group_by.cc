@@ -114,8 +114,8 @@ void GroupByPartial::EncodeKeys(const ColumnBatch& batch,
   }
 }
 
-Status GroupByPartial::AbsorbRow(const ColumnBatch& batch, int64_t row,
-                                 int64_t seq, const std::string& key) {
+size_t GroupByPartial::FindOrCreateGroup(const ColumnBatch& batch, int64_t row,
+                                         int64_t seq, const std::string& key) {
   auto [it, inserted] = index_.try_emplace(key, groups_.size());
   if (inserted) {
     Group g;
@@ -129,30 +129,75 @@ Status GroupByPartial::AbsorbRow(const ColumnBatch& batch, int64_t row,
     }
     groups_.push_back(std::move(g));
   }
-  Group& g = groups_[it->second];
-  for (size_t s = 0; s < aggs_.size(); ++s) {
-    const AggSpec& spec = aggs_[s];
-    if (spec.kind == AggKind::kCount) {
-      g.accs[s].UpdateCount();
-      continue;
+  return it->second;
+}
+
+template <AggKind K>
+void GroupByPartial::AccumulateSpecTyped(const Column& col, size_t s) {
+  const size_t n = rows_scratch_.size();
+  switch (col.type()) {
+    case DataType::kInt32: {
+      const int32_t* v = col.Data<int32_t>();
+      for (size_t j = 0; j < n; ++j) {
+        groups_[gidx_scratch_[j]].accs[s].UpdateIntT<K>(v[rows_scratch_[j]]);
+      }
+      break;
     }
-    const Column& col = *batch.column(spec.input);
-    switch (col.type()) {
-      case DataType::kInt32:
-        g.accs[s].UpdateInt(col.Value<int32_t>(row));
-        break;
-      case DataType::kInt64:
-        g.accs[s].UpdateInt(col.Value<int64_t>(row));
-        break;
-      case DataType::kFloat32:
-        g.accs[s].UpdateNumeric(static_cast<double>(col.Value<float>(row)));
-        break;
-      case DataType::kFloat64:
-        g.accs[s].UpdateNumeric(col.Value<double>(row));
-        break;
-      default:
-        return Status::InvalidArgument("cannot aggregate non-numeric column");
+    case DataType::kInt64: {
+      const int64_t* v = col.Data<int64_t>();
+      for (size_t j = 0; j < n; ++j) {
+        groups_[gidx_scratch_[j]].accs[s].UpdateIntT<K>(v[rows_scratch_[j]]);
+      }
+      break;
     }
+    case DataType::kFloat32: {
+      const float* v = col.Data<float>();
+      for (size_t j = 0; j < n; ++j) {
+        groups_[gidx_scratch_[j]].accs[s].UpdateNumericT<K>(
+            static_cast<double>(v[rows_scratch_[j]]));
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      const double* v = col.Data<double>();
+      for (size_t j = 0; j < n; ++j) {
+        groups_[gidx_scratch_[j]].accs[s].UpdateNumericT<K>(
+            v[rows_scratch_[j]]);
+      }
+      break;
+    }
+    default:
+      break;  // guarded in AccumulateSpec
+  }
+}
+
+Status GroupByPartial::AccumulateSpec(const ColumnBatch& batch, size_t s) {
+  const AggSpec& spec = aggs_[s];
+  if (spec.kind == AggKind::kCount) {
+    for (size_t j = 0; j < rows_scratch_.size(); ++j) {
+      groups_[gidx_scratch_[j]].accs[s].UpdateCount();
+    }
+    return Status::OK();
+  }
+  const Column& col = *batch.column(spec.input);
+  if (col.type() == DataType::kBool || col.type() == DataType::kString) {
+    return Status::InvalidArgument("cannot aggregate non-numeric column");
+  }
+  switch (spec.kind) {
+    case AggKind::kSum:
+      AccumulateSpecTyped<AggKind::kSum>(col, s);
+      break;
+    case AggKind::kAvg:
+      AccumulateSpecTyped<AggKind::kAvg>(col, s);
+      break;
+    case AggKind::kMax:
+      AccumulateSpecTyped<AggKind::kMax>(col, s);
+      break;
+    case AggKind::kMin:
+      AccumulateSpecTyped<AggKind::kMin>(col, s);
+      break;
+    case AggKind::kCount:
+      break;  // handled above
   }
   return Status::OK();
 }
@@ -179,6 +224,10 @@ Status GroupByPartial::Absorb(const ColumnBatch& batch, int64_t seq_base,
     return Status::InvalidArgument(
         "precomputed hashes do not match batch rows");
   }
+  // Phase 1: group identity per owned row (stream order, so first-seen
+  // sequences and per-group accumulation order match the serial path).
+  rows_scratch_.clear();
+  gidx_scratch_.clear();
   const std::hash<std::string> hasher;
   std::string scratch;
   for (int64_t r = 0; r < batch.num_rows(); ++r) {
@@ -206,7 +255,16 @@ Status GroupByPartial::Absorb(const ColumnBatch& batch, int64_t seq_base,
         key = &scratch;
       }
     }
-    RAW_RETURN_NOT_OK(AbsorbRow(batch, r, seq_base + r, *key));
+    size_t g = FindOrCreateGroup(batch, r, seq_base + r, *key);
+    rows_scratch_.push_back(static_cast<int32_t>(r));
+    gidx_scratch_.push_back(static_cast<uint32_t>(g));
+  }
+  if (rows_scratch_.empty()) return Status::OK();
+  // Phase 2: per aggregate, one (kind, type)-hoisted pass over the staged
+  // rows. Each accumulator still sees its rows in stream order, so results
+  // are bit-for-bit those of the old row-at-a-time absorption.
+  for (size_t s = 0; s < aggs_.size(); ++s) {
+    RAW_RETURN_NOT_OK(AccumulateSpec(batch, s));
   }
   return Status::OK();
 }

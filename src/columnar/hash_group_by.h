@@ -68,14 +68,26 @@ class GroupByPartial {
     int64_t first_seen = 0;
   };
 
-  Status AbsorbRow(const ColumnBatch& batch, int64_t row, int64_t seq,
-                   const std::string& key);
+  /// Phase 1 of absorption: group identity for one row (creates the group on
+  /// first sight, recording `seq` as its first-seen order).
+  size_t FindOrCreateGroup(const ColumnBatch& batch, int64_t row, int64_t seq,
+                           const std::string& key);
+
+  /// Phase 2: folds the rows staged in rows_/gidx_scratch_ into aggregate
+  /// `s`, with the (kind, type) dispatch hoisted out of the row loop.
+  Status AccumulateSpec(const ColumnBatch& batch, size_t s);
+  template <AggKind K>
+  void AccumulateSpecTyped(const Column& col, size_t s);
 
   std::vector<int> key_columns_;
   std::vector<AggSpec> aggs_;
   std::vector<DataType> agg_input_types_;
   std::unordered_map<std::string, size_t> index_;
   std::vector<Group> groups_;
+  // Per-batch scratch: the rows this partial absorbed and their group index
+  // (parallel arrays), reused across batches to stay allocation-light.
+  std::vector<int32_t> rows_scratch_;
+  std::vector<uint32_t> gidx_scratch_;
 };
 
 /// Hash-based GROUP BY over integer/string key columns. Consumes the whole

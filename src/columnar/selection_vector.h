@@ -30,6 +30,22 @@ class SelectionVector {
   void Clear() { indices_.clear(); }
   void Reserve(int64_t n) { indices_.reserve(static_cast<size_t>(n)); }
 
+  /// Grows by `n` scratch slots (zero-filled — vector semantics; one cheap
+  /// sequential pass the kernel immediately overwrites) and returns a pointer
+  /// to the first new slot — the write target for branchless selection
+  /// kernels (`dst[k] = i; k += matches`), which overshoot then Truncate()
+  /// back to the `size() + k` entries actually kept.
+  int32_t* AppendUninitialized(int64_t n) {
+    size_t old = indices_.size();
+    indices_.resize(old + static_cast<size_t>(n));
+    return indices_.data() + old;
+  }
+
+  /// Drops entries past `new_size` (new_size <= size()).
+  void Truncate(int64_t new_size) {
+    indices_.resize(static_cast<size_t>(new_size));
+  }
+
   const std::vector<int32_t>& indices() const { return indices_; }
 
   /// Composes: returns selection s.t. result[i] = this[inner[i]].

@@ -1,0 +1,277 @@
+#include "common/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define RAW_KERNELS_X86 1
+#endif
+
+namespace raw {
+
+namespace {
+
+// --- scalar reference --------------------------------------------------------
+
+const char* ScanTwoScalar(const char* p, const char* end, char a, char b) {
+  while (p != end && *p != a && *p != b) ++p;
+  return p;
+}
+
+const char* ScanOneScalar(const char* p, const char* end, char c) {
+  while (p != end && *p != c) ++p;
+  return p;
+}
+
+// --- SWAR: 8 bytes per iteration, zero-byte trick ---------------------------
+//
+// The zero-byte trick can mark false positives, but only in bytes *more
+// significant* than a genuine zero. Taking the least-significant marked byte
+// is therefore always exact — and on a little-endian host that byte is also
+// the one earliest in the buffer, which is what a left-to-right scan must
+// return. Big-endian hosts (where "earliest in buffer" is the *most*
+// significant byte, squarely in false-positive territory) fall back to the
+// scalar loop instead.
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+
+constexpr uint64_t kLowBits = 0x0101010101010101ULL;
+constexpr uint64_t kHighBits = 0x8080808080808080ULL;
+
+inline uint64_t Broadcast(char c) {
+  return kLowBits * static_cast<uint8_t>(c);
+}
+
+/// 0x80 in (at least) every byte of `x` that is zero; possible extra marks
+/// only in bytes above the lowest zero (see the note above).
+inline uint64_t ZeroBytes(uint64_t x) { return (x - kLowBits) & ~x & kHighBits; }
+
+/// Buffer index of the first (= least significant) marked byte (mask != 0).
+inline int FirstMarked(uint64_t mask) { return __builtin_ctzll(mask) >> 3; }
+
+const char* ScanTwoSwar(const char* p, const char* end, char a, char b) {
+  const uint64_t needle_a = Broadcast(a);
+  const uint64_t needle_b = Broadcast(b);
+  while (end - p >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    uint64_t hits = ZeroBytes(word ^ needle_a) | ZeroBytes(word ^ needle_b);
+    if (hits != 0) return p + FirstMarked(hits);
+    p += 8;
+  }
+  return ScanTwoScalar(p, end, a, b);
+}
+
+const char* ScanOneSwar(const char* p, const char* end, char c) {
+  const uint64_t needle = Broadcast(c);
+  while (end - p >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    uint64_t hits = ZeroBytes(word ^ needle);
+    if (hits != 0) return p + FirstMarked(hits);
+    p += 8;
+  }
+  return ScanOneScalar(p, end, c);
+}
+
+#else  // big-endian: scalar stands in for the SWAR tier
+
+const char* ScanTwoSwar(const char* p, const char* end, char a, char b) {
+  return ScanTwoScalar(p, end, a, b);
+}
+
+const char* ScanOneSwar(const char* p, const char* end, char c) {
+  return ScanOneScalar(p, end, c);
+}
+
+#endif
+
+// --- SSE2 / AVX2: 16 / 32 bytes per iteration -------------------------------
+
+#ifdef RAW_KERNELS_X86
+
+const char* ScanTwoSse2(const char* p, const char* end, char a, char b) {
+  const __m128i needle_a = _mm_set1_epi8(a);
+  const __m128i needle_b = _mm_set1_epi8(b);
+  while (end - p >= 16) {
+    __m128i chunk = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    __m128i hits = _mm_or_si128(_mm_cmpeq_epi8(chunk, needle_a),
+                                _mm_cmpeq_epi8(chunk, needle_b));
+    int mask = _mm_movemask_epi8(hits);
+    if (mask != 0) return p + __builtin_ctz(static_cast<unsigned>(mask));
+    p += 16;
+  }
+  return ScanTwoScalar(p, end, a, b);
+}
+
+const char* ScanOneSse2(const char* p, const char* end, char c) {
+  const __m128i needle = _mm_set1_epi8(c);
+  while (end - p >= 16) {
+    __m128i chunk = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(chunk, needle));
+    if (mask != 0) return p + __builtin_ctz(static_cast<unsigned>(mask));
+    p += 16;
+  }
+  return ScanOneScalar(p, end, c);
+}
+
+__attribute__((target("avx2"))) const char* ScanTwoAvx2(const char* p,
+                                                        const char* end,
+                                                        char a, char b) {
+  const __m256i needle_a = _mm256_set1_epi8(a);
+  const __m256i needle_b = _mm256_set1_epi8(b);
+  while (end - p >= 32) {
+    __m256i chunk = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    __m256i hits = _mm256_or_si256(_mm256_cmpeq_epi8(chunk, needle_a),
+                                   _mm256_cmpeq_epi8(chunk, needle_b));
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_epi8(hits));
+    if (mask != 0) return p + __builtin_ctz(mask);
+    p += 32;
+  }
+  return ScanTwoSse2(p, end, a, b);
+}
+
+__attribute__((target("avx2"))) const char* ScanOneAvx2(const char* p,
+                                                        const char* end,
+                                                        char c) {
+  const __m256i needle = _mm256_set1_epi8(c);
+  while (end - p >= 32) {
+    __m256i chunk = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(chunk, needle)));
+    if (mask != 0) return p + __builtin_ctz(mask);
+    p += 32;
+  }
+  return ScanOneSse2(p, end, c);
+}
+
+#endif  // RAW_KERNELS_X86
+
+std::atomic<KernelTier> g_active_tier{KernelTier::kScalar};
+
+KernelTier ClampToSupported(KernelTier tier) {
+  KernelTier max = MaxSupportedKernelTier();
+  return static_cast<int>(tier) > static_cast<int>(max) ? max : tier;
+}
+
+void ApplyTier(KernelTier tier) {
+  tier = ClampToSupported(tier);
+  ScanTwoFn two = ScanForEitherImpl(tier);
+  ScanOneFn one = ScanForImpl(tier);
+  kernel_detail::scan_two.store(two, std::memory_order_relaxed);
+  kernel_detail::scan_one.store(one, std::memory_order_relaxed);
+  g_active_tier.store(tier, std::memory_order_relaxed);
+}
+
+KernelTier TierFromEnv() {
+  const char* env = std::getenv("RAW_KERNELS");
+  if (env == nullptr || *env == '\0') return MaxSupportedKernelTier();
+  std::string_view v(env);
+  if (v == "scalar") return KernelTier::kScalar;
+  if (v == "swar") return KernelTier::kSwar;
+  if (v == "sse2") return KernelTier::kSse2;
+  if (v == "avx2") return KernelTier::kAvx2;
+  // "simd" (and anything unrecognized): best the CPU offers.
+  return MaxSupportedKernelTier();
+}
+
+}  // namespace
+
+namespace kernel_detail {
+// Constant-initialized (constexpr atomic ctor + function addresses), so these
+// hold the scalar tier even before this TU's dynamic initializer below runs.
+std::atomic<ScanTwoFn> scan_two{&ScanTwoScalar};
+std::atomic<ScanOneFn> scan_one{&ScanOneScalar};
+}  // namespace kernel_detail
+
+namespace {
+// Dynamic initialization runs before main(), i.e. before any query thread
+// exists, so the relaxed stores in ApplyTier are safely visible.
+const bool g_dispatch_initialized = [] {
+  ApplyTier(TierFromEnv());
+  return true;
+}();
+}  // namespace
+
+std::string_view KernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kSwar:
+      return "swar";
+    case KernelTier::kSse2:
+      return "sse2";
+    case KernelTier::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+KernelTier MaxSupportedKernelTier() {
+#ifdef RAW_KERNELS_X86
+  if (__builtin_cpu_supports("avx2")) return KernelTier::kAvx2;
+  return KernelTier::kSse2;  // baseline on x86-64
+#else
+  return KernelTier::kSwar;
+#endif
+}
+
+KernelTier ActiveKernelTier() {
+  (void)g_dispatch_initialized;
+  return g_active_tier.load(std::memory_order_relaxed);
+}
+
+void SetKernelTier(KernelTier tier) { ApplyTier(tier); }
+
+KernelTier ResetKernelTierFromEnv() {
+  KernelTier tier = ClampToSupported(TierFromEnv());
+  ApplyTier(tier);
+  return tier;
+}
+
+ScanTwoFn ScanForEitherImpl(KernelTier tier) {
+  if (static_cast<int>(tier) > static_cast<int>(MaxSupportedKernelTier())) {
+    return nullptr;
+  }
+  switch (tier) {
+    case KernelTier::kScalar:
+      return &ScanTwoScalar;
+    case KernelTier::kSwar:
+      return &ScanTwoSwar;
+#ifdef RAW_KERNELS_X86
+    case KernelTier::kSse2:
+      return &ScanTwoSse2;
+    case KernelTier::kAvx2:
+      return &ScanTwoAvx2;
+#else
+    default:
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+ScanOneFn ScanForImpl(KernelTier tier) {
+  if (static_cast<int>(tier) > static_cast<int>(MaxSupportedKernelTier())) {
+    return nullptr;
+  }
+  switch (tier) {
+    case KernelTier::kScalar:
+      return &ScanOneScalar;
+    case KernelTier::kSwar:
+      return &ScanOneSwar;
+#ifdef RAW_KERNELS_X86
+    case KernelTier::kSse2:
+      return &ScanOneSse2;
+    case KernelTier::kAvx2:
+      return &ScanOneAvx2;
+#else
+    default:
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+}  // namespace raw

@@ -1,0 +1,74 @@
+#ifndef RAW_COMMON_KERNELS_H_
+#define RAW_COMMON_KERNELS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace raw {
+
+/// Dispatch tiers for the data-parallel kernel core under the hot scan/eval
+/// path. `kScalar` is the byte-at-a-time / per-row reference implementation
+/// every other tier must match bit for bit; `kSwar` is portable word-at-a-time
+/// C++ (8 bytes per step, zero-byte trick) plus the branchless columnar
+/// kernels; `kSse2`/`kAvx2` swap the tokenizer inner loop for 16-/32-byte
+/// vector compares (columnar kernels are shared with kSwar). The active tier
+/// is resolved once at startup from the CPU and the `RAW_KERNELS` environment
+/// variable (`scalar` | `swar` | `simd`), and every plan description reports
+/// it as `[kernels=...]` so benchmark runs prove which path executed.
+enum class KernelTier : int { kScalar = 0, kSwar = 1, kSse2 = 2, kAvx2 = 3 };
+
+/// Lowercase tier name: "scalar", "swar", "sse2", "avx2".
+std::string_view KernelTierName(KernelTier tier);
+
+/// The best tier this CPU supports (ignores RAW_KERNELS).
+KernelTier MaxSupportedKernelTier();
+
+/// The tier all kernel entry points currently dispatch to.
+KernelTier ActiveKernelTier();
+
+/// Forces a tier (clamped to MaxSupportedKernelTier) and rewires the
+/// dispatched function pointers. Intended for tests and microbenchmarks that
+/// sweep tiers inside one process; thread-safe, but concurrent queries may
+/// observe either tier mid-flight (results are identical on every tier, so
+/// this is benign).
+void SetKernelTier(KernelTier tier);
+
+/// Re-reads $RAW_KERNELS and the CPU and re-applies the default dispatch
+/// (what startup did). Returns the tier applied.
+KernelTier ResetKernelTierFromEnv();
+
+// --- dispatched byte scanners (the tokenizer core) ---------------------------
+
+/// Returns a pointer to the first occurrence of `a` or `b` in [p, end), or
+/// `end`. This is the CSV field terminator search (delimiter-or-newline); the
+/// SWAR/SIMD tiers step 8/16/32 bytes per iteration.
+using ScanTwoFn = const char* (*)(const char* p, const char* end, char a,
+                                  char b);
+/// Same for a single needle `c` (row-end search / newline alignment).
+using ScanOneFn = const char* (*)(const char* p, const char* end, char c);
+
+namespace kernel_detail {
+extern std::atomic<ScanTwoFn> scan_two;
+extern std::atomic<ScanOneFn> scan_one;
+}  // namespace kernel_detail
+
+inline const char* ScanForEither(const char* p, const char* end, char a,
+                                 char b) {
+  return kernel_detail::scan_two.load(std::memory_order_relaxed)(p, end, a, b);
+}
+
+inline const char* ScanFor(const char* p, const char* end, char c) {
+  return kernel_detail::scan_one.load(std::memory_order_relaxed)(p, end, c);
+}
+
+// --- per-tier entry points (property tests pit tiers against each other) ----
+
+/// Returns the implementation a specific tier would dispatch to. Tiers above
+/// MaxSupportedKernelTier() return nullptr (the property suite skips them).
+ScanTwoFn ScanForEitherImpl(KernelTier tier);
+ScanOneFn ScanForImpl(KernelTier tier);
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_KERNELS_H_

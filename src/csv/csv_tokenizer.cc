@@ -51,9 +51,8 @@ Status CsvRowCursor::NextRow(std::vector<FieldRef>* fields) {
 }
 
 void CsvRowCursor::SkipRow() {
-  const char* p = static_cast<const char*>(
-      std::memchr(pos_, '\n', static_cast<size_t>(end_ - pos_)));
-  pos_ = (p == nullptr) ? end_ : p + 1;
+  const char* p = RowEnd(pos_, end_);
+  pos_ = (p == end_) ? end_ : p + 1;
 }
 
 int64_t CountRows(const char* begin, const char* end,
@@ -61,10 +60,9 @@ int64_t CountRows(const char* begin, const char* end,
   const char* p = begin + DataStartOffset(begin, end, options);
   int64_t rows = 0;
   while (p < end) {
-    const char* nl = static_cast<const char*>(
-        std::memchr(p, '\n', static_cast<size_t>(end - p)));
+    const char* nl = RowEnd(p, end);
     ++rows;
-    if (nl == nullptr) break;
+    if (nl == end) break;
     p = nl + 1;
     if (p == end) break;  // trailing newline: no extra row
   }
@@ -74,9 +72,8 @@ int64_t CountRows(const char* begin, const char* end,
 uint64_t DataStartOffset(const char* begin, const char* end,
                          const CsvOptions& options) {
   if (!options.has_header) return 0;
-  const char* nl = static_cast<const char*>(
-      std::memchr(begin, '\n', static_cast<size_t>(end - begin)));
-  if (nl == nullptr) return static_cast<uint64_t>(end - begin);
+  const char* nl = RowEnd(begin, end);
+  if (nl == end) return static_cast<uint64_t>(end - begin);
   return static_cast<uint64_t>(nl + 1 - begin);
 }
 

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/kernels.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "csv/csv_options.h"
@@ -28,10 +29,18 @@ struct FieldRef {
 /// sequence with no per-field switch (§4.1).
 
 /// Returns a pointer one past the end of the field starting at `p`
-/// (i.e. at the delimiter / newline / `end`).
+/// (i.e. at the delimiter / newline / `end`). Dispatches to the active
+/// kernel tier: SWAR walks 8 bytes per iteration via the zero-byte trick,
+/// SSE2/AVX2 compare 16/32 bytes at a time (see common/kernels.h).
 inline const char* FieldEnd(const char* p, const char* end, char delim) {
-  while (p != end && *p != delim && *p != '\n') ++p;
-  return p;
+  return ScanForEither(p, end, delim, '\n');
+}
+
+/// Returns a pointer to the first row terminator ('\n') at or after `p`, or
+/// `end` — the newline search used by row skipping, row counting and morsel
+/// boundary alignment; rides the same dispatched kernel core as FieldEnd.
+inline const char* RowEnd(const char* p, const char* end) {
+  return ScanFor(p, end, '\n');
 }
 
 /// Advances past the field *and* its trailing delimiter.

@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/kernels.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "engine/cost_model.h"
@@ -1393,6 +1394,9 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
 
   PhysicalPlan plan;
   std::ostringstream desc;
+  // Which kernel dispatch tier the hot scan/eval loops will run on — benches
+  // assert on this so recorded numbers prove which path executed.
+  desc << "[kernels=" << KernelTierName(ActiveKernelTier()) << "] ";
   double compile_seconds = 0;
   std::map<TableEntry*, TableCtx> table_ctxs;
   BuildCtx ctx{catalog_,         jit_,  shreds_,

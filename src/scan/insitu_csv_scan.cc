@@ -234,9 +234,8 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextSequential() {
       if (p < end_ && *p == delim) ++p;
     }
     // Skip the remainder of the row.
-    const char* nl = static_cast<const char*>(
-        std::memchr(p, '\n', static_cast<size_t>(end_ - p)));
-    pos_ = (nl != nullptr) ? nl + 1 : end_;
+    const char* nl = RowEnd(p, end_);
+    pos_ = (nl != end_) ? nl + 1 : end_;
     if (pmap != nullptr) pmap->AppendRow(row_start, slot_positions.data());
     row_id_scratch_.push_back(row_);
     ++row_;

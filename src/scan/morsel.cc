@@ -37,10 +37,10 @@ std::vector<ByteMorsel> SplitCsvByteRanges(const char* data, size_t size,
     if (probe >= size) {
       end = size;
     } else {
-      // Align the cut to the next row boundary: one past the next newline.
-      const char* nl = static_cast<const char*>(
-          std::memchr(data + probe, '\n', size - probe));
-      end = nl != nullptr ? static_cast<uint64_t>(nl - data) + 1 : size;
+      // Align the cut to the next row boundary: one past the next newline
+      // (RowEnd rides the SWAR/SIMD kernel core, see common/kernels.h).
+      const char* nl = RowEnd(data + probe, data + size);
+      end = nl != data + size ? static_cast<uint64_t>(nl - data) + 1 : size;
     }
     morsels.push_back(ByteMorsel{begin, end});
     begin = end;
