@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/mmap_file.h"
+#include "engine/formats/builtin.h"
 #include "common/temp_dir.h"
 #include "scan/insitu_bin_scan.h"
 #include "scan/insitu_csv_scan.h"
@@ -24,6 +25,7 @@ struct Fixture {
   Fixture()
       : dir(std::move(*TempDir::Create("raw_ab_"))),
         spec(TableSpec::UniformInt32("a", 30, 200000, 3)) {
+    EnsureBuiltinFormatDriversRegistered();  // JIT codegen needs the registry
     if (!WriteCsvFile(spec, dir.FilePath("a.csv")).ok()) abort();
     if (!WriteBinaryFile(spec, dir.FilePath("a.bin")).ok()) abort();
     csv = std::move(*MmapFile::Open(dir.FilePath("a.csv")));

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "engine/formats/builtin.h"
 #include "jit/template_cache.h"
 
 namespace raw {
@@ -22,6 +23,7 @@ AccessPathSpec SpecForColumns(int first_col) {
 }
 
 void BM_CompileColdSpec(benchmark::State& state) {
+  EnsureBuiltinFormatDriversRegistered();
   JitTemplateCache cache;
   if (!cache.compiler_available()) {
     state.SkipWithError("no external compiler");
@@ -41,6 +43,7 @@ void BM_CompileColdSpec(benchmark::State& state) {
 BENCHMARK(BM_CompileColdSpec)->Unit(benchmark::kMillisecond)->Iterations(5);
 
 void BM_TemplateCacheHit(benchmark::State& state) {
+  EnsureBuiltinFormatDriversRegistered();
   JitTemplateCache cache;
   if (!cache.compiler_available()) {
     state.SkipWithError("no external compiler");

@@ -10,6 +10,7 @@
 #include "columnar/aggregate.h"
 #include "columnar/filter.h"
 #include "common/mmap_file.h"
+#include "engine/formats/builtin.h"
 #include "scan/insitu_csv_scan.h"
 #include "scan/jit_scan.h"
 
@@ -28,6 +29,7 @@ void PrintBreakdown(const char* name, const ScanProfile& profile) {
 }
 
 void Run() {
+  EnsureBuiltinFormatDriversRegistered();  // JIT codegen needs the registry
   Dataset dataset = CheckOk(Dataset::Open(), "dataset");
   PrintTitle("Figure 3 — cost breakdown of raw-data access (InSitu vs JIT)");
   TableSpec spec = dataset.D30Spec();

@@ -1,0 +1,57 @@
+// JSONL scans through the pluggable format driver: the same D30 data as
+// Figures 1a/1b, read as line-delimited JSON.
+//   Q1 (cold):  SELECT MAX(col0)  FROM t WHERE col0 < X — full parse, builds
+//               the field-offset map (the JSON generalization of the CSV
+//               positional map).
+//   Q2 (warm):  SELECT MAX(col10) FROM t WHERE col0 < X — jumps straight to
+//               mapped value offsets.
+// Expect: cold JSONL slower than cold CSV (key matching + escape handling);
+// the warm/cold gap mirrors the CSV positional-map speedup.
+
+#include "bench/bench_common.h"
+
+namespace raw::bench {
+namespace {
+
+std::unique_ptr<RawEngine> JsonlEngine(Dataset* dataset) {
+  auto engine = std::make_unique<RawEngine>();
+  std::string path = CheckOk(dataset->D30Jsonl(), "D30 jsonl");
+  CheckOk(engine->RegisterJsonl("t", path, dataset->D30Spec().ToSchema()),
+          "register jsonl");
+  return engine;
+}
+
+void Run() {
+  Dataset dataset = CheckOk(Dataset::Open(), "dataset");
+  std::vector<double> sels = Selectivities();
+  PrintTitle("JSONL scans — cold (field-offset map build) vs warm");
+  printf("rows=%lld  num_threads=%d  query: %s\n",
+         static_cast<long long>(dataset.d30_rows()), BenchNumThreads(),
+         Q2(&dataset, 0.5).c_str());
+  PrintSeriesHeader("series", sels);
+
+  PlannerOptions options;
+  options.access_path = AccessPathKind::kInSitu;
+
+  std::vector<double> cold;
+  std::vector<double> warm;
+  for (double sel : sels) {
+    auto engine = JsonlEngine(&dataset);
+    auto session = engine->OpenSession();
+    cold.push_back(TimedQuery(session.get(), Q1(&dataset, sel), options));
+    warm.push_back(TimedQuery(session.get(), Q2(&dataset, sel), options));
+  }
+  PrintSeriesRow("Jsonl-cold", cold, sels);
+  PrintSeriesRow("Jsonl-warm", warm, sels);
+
+  printf("\nExpect: warm well under cold (offset map skips key matching);\n"
+         "RAW_NUM_THREADS=1 vs =4 shows the byte-morsel parallel speedup.\n");
+}
+
+}  // namespace
+}  // namespace raw::bench
+
+int main() {
+  raw::bench::Run();
+  return 0;
+}

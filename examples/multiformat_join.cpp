@@ -1,8 +1,12 @@
 // multiformat_join: the headline capability of §1/§3 — transparently joining
 // heterogeneous raw files in one query. An orders ledger lives in CSV, the
-// same-keyed measurements table lives in the fixed-width binary format, and
-// RAW joins them without loading either. Two concurrent sessions share the
-// one engine: the positional map and column shreds the first query
+// same-keyed measurements table lives in the fixed-width binary format, a
+// device inventory arrives as line-delimited JSON, and an archived readings
+// log is gzip-compressed CSV. Every file sits behind the same pluggable
+// FormatDriver interface ("csv", "bin", "jsonl", "csv.gz" — see
+// docs/format-drivers.md), so RAW joins any of them without loading
+// anything. Two concurrent sessions share the one engine: the positional
+// maps, field-offset maps, block indexes and column shreds the first query
 // materializes speed up whichever session runs next.
 
 #include <cstdio>
@@ -15,6 +19,8 @@
 #include "common/temp_dir.h"
 #include "csv/csv_writer.h"
 #include "engine/raw_engine.h"
+#include "jsonl/jsonl_writer.h"
+#include "zcsv/gzip_block.h"
 
 using namespace raw;
 
@@ -62,9 +68,47 @@ int main() {
     if (!writer.Close().ok()) return 1;
   }
 
+  // --- JSONL: device inventory, one flat object per line ----------------------
+  Schema devices_schema{{"sensor_id", DataType::kInt32},
+                        {"model", DataType::kString},
+                        {"firmware", DataType::kInt32}};
+  std::string devices_jsonl = dir->FilePath("devices.jsonl");
+  {
+    JsonlWriter writer(devices_jsonl, devices_schema);
+    if (!writer.Open().ok()) return 1;
+    for (int s = 0; s < kSensors; ++s) {
+      Status st = writer.AppendDatumRow(
+          {Datum::Int32(s), Datum::String("model-" + std::to_string(s % 7)),
+           Datum::Int32(100 + s % 4)});
+      if (!st.ok()) return 1;
+    }
+    if (!writer.Close().ok()) return 1;
+  }
+
+  // --- csv.gz: archived readings, multi-member gzip-compressed CSV -------------
+  std::string archive_gz = dir->FilePath("archive.csv.gz");
+  {
+    std::string text;
+    for (int64_t i = 0; i < kReadings / 2; ++i) {
+      text += std::to_string(rng.NextBelow(kSensors)) + "," +
+              std::to_string(rng.NextDouble(0, 100.0)) + "," +
+              std::to_string(-1 - i) + "\n";
+    }
+    // Small members so warm scans split into many block-parallel morsels.
+    if (!WriteCsvGzFile(archive_gz, text, /*block_bytes=*/64 * 1024).ok()) {
+      return 1;
+    }
+  }
+
   RawEngine engine;
   if (!engine.RegisterCsv("sensors", sensors_csv, sensors_schema).ok()) return 1;
   if (!engine.RegisterBinary("readings", readings_bin, readings_schema).ok()) {
+    return 1;
+  }
+  if (!engine.RegisterJsonl("devices", devices_jsonl, devices_schema).ok()) {
+    return 1;
+  }
+  if (!engine.RegisterCsvGz("archive", archive_gz, readings_schema).ok()) {
     return 1;
   }
 
@@ -75,13 +119,20 @@ int main() {
       // Cross-format join: binary fact table probes the CSV dimension.
       "SELECT COUNT(*) FROM readings JOIN sensors ON readings.sensor_id = "
       "sensors.sensor_id WHERE sensors.zone = 3",
-      // Aggregate over the joined pair.
-      "SELECT MAX(readings.value) FROM readings JOIN sensors ON "
-      "readings.sensor_id = sensors.sensor_id WHERE sensors.zone = 3",
+      // JSONL dimension against the binary log.
+      "SELECT COUNT(*) FROM readings JOIN devices ON readings.sensor_id = "
+      "devices.sensor_id WHERE devices.firmware = 102",
+      // Compressed archive probes the CSV dimension: cold scan builds the
+      // gzip block index, so the second archive query is block-parallel.
+      "SELECT COUNT(*) FROM archive JOIN sensors ON archive.sensor_id = "
+      "sensors.sensor_id WHERE sensors.zone = 3",
+      "SELECT MAX(archive.value) FROM archive JOIN sensors ON "
+      "archive.sensor_id = sensors.sensor_id WHERE sensors.zone = 3",
   };
   std::vector<const char*> scan_client = {
       "SELECT COUNT(*) FROM sensors WHERE threshold > 70.0",
       "SELECT AVG(value) FROM readings WHERE sensor_id < 10",
+      "SELECT COUNT(*) FROM devices WHERE firmware = 101",
   };
 
   struct Shown {
@@ -111,8 +162,8 @@ int main() {
   t2.join();
   for (const Shown& out : outputs) printf("%s", out.text.c_str());
 
-  printf("\nJoined a CSV dimension with a binary fact table in place — no\n"
-         "loading, two JIT access paths in one plan, and two concurrent\n"
-         "sessions sharing one engine's adaptive state.\n");
+  printf("\nJoined CSV, binary, JSONL and gzip-compressed CSV in place — no\n"
+         "loading, four format drivers behind one interface, and two\n"
+         "concurrent sessions sharing one engine's adaptive state.\n");
   return 0;
 }

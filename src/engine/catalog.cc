@@ -1,66 +1,58 @@
 #include "engine/catalog.h"
 
 #include "common/stopwatch.h"
-#include "csv/csv_tokenizer.h"
-#include "scan/loader.h"
+#include "engine/formats/builtin.h"
 
 namespace raw {
 
 Status TableEntry::EnsureOpen() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (opened_) {
-    // REF row counts refresh on every lookup (the shared reader may serve
-    // several derived tables).
-    if (info.format == FileFormat::kRef && ref_reader_ != nullptr) {
-      row_count_.store(info.ref_group < 0
-                           ? ref_reader_->num_events()
-                           : ref_reader_->GroupTotal(info.ref_group),
-                       std::memory_order_release);
+  RAW_ASSIGN_OR_RETURN(const FormatDriver* driver,
+                       FormatRegistry::Global().Require(info.format));
+  {
+    std::lock_guard<std::mutex> lock(open_mu_);
+    if (!opened_) {
+      RAW_RETURN_NOT_OK(driver->OpenTable(*this));
+      opened_ = true;
     }
-    return Status::OK();
   }
-  switch (info.format) {
-    case FileFormat::kCsv: {
-      if (mmap_ == nullptr) {
-        RAW_ASSIGN_OR_RETURN(mmap_, MmapFile::Open(info.path));
-        // One memchr pass over the file decides the tokenizer for every
-        // future scan (quote handling must be known up front — a quote
-        // appearing late would invalidate earlier row boundaries). The
-        // pass also warms the page cache the first scan reads right after,
-        // so on files that fit in memory the extra disk I/O is ~zero.
-        csv_quoted_ = BufferContainsQuote(mmap_->data(),
-                                          mmap_->data() + mmap_->size(),
-                                          info.csv_options.quote);
-      }
-      break;
-    }
-    case FileFormat::kBinary: {
-      if (mmap_ == nullptr) {
-        RAW_ASSIGN_OR_RETURN(mmap_, MmapFile::Open(info.path));
-      }
-      if (bin_reader_ == nullptr) {
-        RAW_ASSIGN_OR_RETURN(BinaryLayout layout,
-                             BinaryLayout::Create(info.schema));
-        RAW_ASSIGN_OR_RETURN(bin_reader_,
-                             BinaryReader::Open(info.path, std::move(layout)));
-        row_count_.store(bin_reader_->num_rows(), std::memory_order_release);
-      }
-      break;
-    }
-    case FileFormat::kRef:
-      // The shared reader is attached by Catalog::Get.
-      if (ref_reader_ == nullptr) {
-        return Status::Internal("REF reader not attached for table " +
-                                info.name);
-      }
-      row_count_.store(info.ref_group < 0
-                           ? ref_reader_->num_events()
-                           : ref_reader_->GroupTotal(info.ref_group),
-                       std::memory_order_release);
-      break;
-  }
-  opened_ = true;
+  // Derived state may change between queries (e.g. REF row counts served by
+  // a shared reader) — refresh on every lookup.
+  driver->RefreshEntry(*this);
   return Status::OK();
+}
+
+StatusOr<const MmapFile*> TableEntry::EnsureMmap() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mmap_ == nullptr) {
+    RAW_ASSIGN_OR_RETURN(mmap_, MmapFile::Open(info.path));
+  }
+  return mmap_.get();
+}
+
+void TableEntry::SetCsvQuoted(bool quoted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  csv_quoted_ = quoted;
+}
+
+Status TableEntry::EnsureBinReader() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bin_reader_ == nullptr) {
+    RAW_ASSIGN_OR_RETURN(BinaryLayout layout, BinaryLayout::Create(info.schema));
+    RAW_ASSIGN_OR_RETURN(bin_reader_,
+                         BinaryReader::Open(info.path, std::move(layout)));
+    StoreRowCount(bin_reader_->num_rows());
+  }
+  return Status::OK();
+}
+
+void TableEntry::AttachRefReader(std::shared_ptr<RefReader> reader) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ref_reader_ == nullptr) ref_reader_ = std::move(reader);
+}
+
+bool TableEntry::HasRefReader() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ref_reader_ != nullptr;
 }
 
 Status TableEntry::DropPageCache() const {
@@ -99,6 +91,36 @@ void TableEntry::PublishPmap(std::shared_ptr<const PositionalMap> map) {
   pmap_building_.store(false, std::memory_order_release);
 }
 
+std::shared_ptr<const FormatAdaptiveState> TableEntry::format_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return format_state_;
+}
+
+bool TableEntry::TryClaimFormatStateBuild() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (format_state_ != nullptr) return false;
+  }
+  bool expected = false;
+  return format_state_building_.compare_exchange_strong(
+      expected, true, std::memory_order_acq_rel);
+}
+
+void TableEntry::AbandonFormatStateBuild() {
+  format_state_building_.store(false, std::memory_order_release);
+}
+
+void TableEntry::PublishFormatState(
+    std::shared_ptr<const FormatAdaptiveState> state) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (format_state_ == nullptr && state != nullptr) {
+      format_state_ = std::move(state);
+    }
+  }
+  format_state_building_.store(false, std::memory_order_release);
+}
+
 StatusOr<std::shared_ptr<const InMemoryTable>> TableEntry::EnsureLoaded(
     double* load_seconds) {
   if (load_seconds != nullptr) *load_seconds = 0;
@@ -108,38 +130,19 @@ StatusOr<std::shared_ptr<const InMemoryTable>> TableEntry::EnsureLoaded(
   }
   // Duplicate loaders serialize on load_mu_ (the work happens once), but
   // `mu_` stays free so concurrent readers of the entry's other state are
-  // not stalled behind a multi-second load. The file handles read below are
-  // stable after EnsureOpen, which every caller has been through.
+  // not stalled behind a multi-second load. The file handles the driver
+  // reads below are stable after EnsureOpen, which every caller has been
+  // through.
   std::lock_guard<std::mutex> load_lock(load_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (loaded_ != nullptr) return loaded_;  // lost the race; share it
   }
+  RAW_ASSIGN_OR_RETURN(const FormatDriver* driver,
+                       FormatRegistry::Global().Require(info.format));
   Stopwatch watch;
-  std::vector<int> all;
-  for (int c = 0; c < info.schema.num_fields(); ++c) all.push_back(c);
-  std::unique_ptr<InMemoryTable> table;
-  switch (info.format) {
-    case FileFormat::kCsv: {
-      RAW_ASSIGN_OR_RETURN(
-          table, LoadCsvTable(mmap_.get(), info.schema, all, info.csv_options,
-                              csv_quoted_));
-      break;
-    }
-    case FileFormat::kBinary: {
-      RAW_ASSIGN_OR_RETURN(table, LoadBinaryTable(bin_reader_.get(), all));
-      break;
-    }
-    case FileFormat::kRef: {
-      if (info.ref_group < 0) {
-        RAW_ASSIGN_OR_RETURN(table, LoadRefEventTable(ref_reader_.get()));
-      } else {
-        RAW_ASSIGN_OR_RETURN(
-            table, LoadRefParticleTable(ref_reader_.get(), info.ref_group));
-      }
-      break;
-    }
-  }
+  RAW_ASSIGN_OR_RETURN(std::unique_ptr<InMemoryTable> table,
+                       driver->LoadTable(*this));
   std::shared_ptr<const InMemoryTable> loaded(std::move(table));
   row_count_.store(loaded->num_rows(), std::memory_order_release);
   {
@@ -159,6 +162,7 @@ std::shared_ptr<const InMemoryTable> TableEntry::loaded() const {
 void TableEntry::ResetAdaptiveState() {
   std::lock_guard<std::mutex> lock(mu_);
   pmap_.reset();
+  format_state_.reset();
   loaded_.reset();
 }
 
@@ -172,19 +176,24 @@ TableStats TableEntry::Stats() const {
     stats.pmap_rows = pmap_->num_rows();
     stats.pmap_bytes = pmap_->MemoryBytes();
   }
+  if (format_state_ != nullptr) {
+    stats.format_state_bytes = format_state_->MemoryBytes();
+  }
   stats.loaded = loaded_ != nullptr;
   return stats;
 }
 
-void TableEntry::AttachRefReader(std::shared_ptr<RefReader> reader) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ref_reader_ == nullptr) ref_reader_ = std::move(reader);
+Catalog::Catalog(CatalogOptions options) : options_(options) {
+  EnsureBuiltinFormatDriversRegistered();
 }
-
-Catalog::Catalog(CatalogOptions options) : options_(options) {}
 
 Status Catalog::Register(TableInfo info) {
   RAW_RETURN_NOT_OK(info.schema.Validate());
+  // Unknown formats fail here — with the registry's annotated error naming
+  // the registered drivers — instead of deep inside a later plan.
+  RAW_ASSIGN_OR_RETURN(const FormatDriver* driver,
+                       FormatRegistry::Global().Require(info.format));
+  (void)driver;
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.count(info.name) > 0) {
     return Status::AlreadyExists("table '" + info.name +
@@ -245,6 +254,28 @@ Status Catalog::RegisterRef(const std::string& prefix,
   return Status::OK();
 }
 
+Status Catalog::RegisterJsonl(const std::string& name, const std::string& path,
+                              Schema schema, int pmap_stride) {
+  TableInfo info;
+  info.name = name;
+  info.path = path;
+  info.format = FileFormat::kJsonl;
+  info.schema = std::move(schema);
+  info.pmap_stride = pmap_stride;
+  return Register(std::move(info));
+}
+
+Status Catalog::RegisterCsvGz(const std::string& name, const std::string& path,
+                              Schema schema, CsvOptions options) {
+  TableInfo info;
+  info.name = name;
+  info.path = path;
+  info.format = FileFormat::kCsvGz;
+  info.schema = std::move(schema);
+  info.csv_options = options;
+  return Register(std::move(info));
+}
+
 StatusOr<TableEntry*> Catalog::Get(const std::string& name) {
   TableEntry* entry = nullptr;
   {
@@ -255,23 +286,9 @@ StatusOr<TableEntry*> Catalog::Get(const std::string& name) {
     }
     entry = it->second.get();
   }
-  if (entry->info.format == FileFormat::kRef && !entry->HasRefReader()) {
-    // First lookup of this REF table: resolve/share the file's reader under
-    // the (cold-path-only) global lock. Racing lookups both enter; the
-    // attach is idempotent.
-    std::lock_guard<std::mutex> lock(ref_mu_);
-    auto rit = ref_readers_.find(entry->info.path);
-    if (rit == ref_readers_.end()) {
-      RAW_ASSIGN_OR_RETURN(
-          std::unique_ptr<RefReader> reader,
-          RefReader::Open(entry->info.path, options_.ref_pool_bytes));
-      rit = ref_readers_
-                .emplace(entry->info.path,
-                         std::shared_ptr<RefReader>(std::move(reader)))
-                .first;
-    }
-    entry->AttachRefReader(rit->second);
-  }
+  RAW_ASSIGN_OR_RETURN(const FormatDriver* driver,
+                       FormatRegistry::Global().Require(entry->info.format));
+  RAW_RETURN_NOT_OK(driver->PrepareShared(*this, *entry));
   RAW_RETURN_NOT_OK(entry->EnsureOpen());
   return entry;
 }
@@ -287,6 +304,22 @@ std::vector<std::string> Catalog::TableNames() const {
   names.reserve(tables_.size());
   for (const auto& [name, entry] : tables_) names.push_back(name);
   return names;
+}
+
+StatusOr<std::shared_ptr<RefReader>> Catalog::SharedRefReader(
+    const std::string& path) {
+  // Cold-path-only global lock; racing lookups both enter, the map makes the
+  // open happen once per path.
+  std::lock_guard<std::mutex> lock(ref_mu_);
+  auto it = ref_readers_.find(path);
+  if (it == ref_readers_.end()) {
+    RAW_ASSIGN_OR_RETURN(std::unique_ptr<RefReader> reader,
+                         RefReader::Open(path, options_.ref_pool_bytes));
+    it = ref_readers_
+             .emplace(path, std::shared_ptr<RefReader>(std::move(reader)))
+             .first;
+  }
+  return it->second;
 }
 
 void Catalog::ResetAdaptiveState() {

@@ -16,7 +16,7 @@
 #include "csv/csv_options.h"
 #include "csv/positional_map.h"
 #include "eventsim/ref_reader.h"
-#include "jit/access_path_spec.h"
+#include "format/format_driver.h"
 
 namespace raw {
 
@@ -27,13 +27,14 @@ struct TableInfo {
   std::string name;
   std::string path;
   FileFormat format = FileFormat::kCsv;
-  /// CSV/binary: the file's full physical schema. REF: the derived table
-  /// schema (partial schemas are natural here — only queried fields).
+  /// CSV/binary/JSONL: the file's full physical schema. REF: the derived
+  /// table schema (partial schemas are natural here — only queried fields).
   Schema schema;
   CsvOptions csv_options;
   /// REF: particle group of this table (-1 = event table).
   int ref_group = -1;
-  /// CSV: positional-map tracking stride used when the map is first built.
+  /// Textual formats: positional-map tracking stride used when the map is
+  /// first built (CSV field positions, JSONL field offsets).
   int pmap_stride = 10;
 };
 
@@ -44,26 +45,30 @@ struct TableStats {
   int64_t row_count = -1;   // -1 until discovered
   int64_t pmap_rows = 0;    // 0 when no positional map is published
   int64_t pmap_bytes = 0;
+  /// Footprint of the driver's published adaptive state (e.g. the
+  /// compressed-CSV block index); 0 when none.
+  int64_t format_state_bytes = 0;
   bool loaded = false;      // DBMS-baseline copy resident
 };
 
 /// Per-table runtime state accumulated across queries: open file handles,
-/// the positional map, discovered row counts, and (for the DBMS baseline) a
-/// fully loaded copy.
+/// the positional map, format-specific adaptive state, discovered row
+/// counts, and (for the DBMS baseline) a fully loaded copy.
 ///
 /// Thread-safety: `info` is immutable after registration. File handles are
-/// opened once (EnsureOpen, idempotent under the entry mutex) and never
-/// reset, so their raw pointers stay valid for the engine's lifetime.
-/// Adaptive state — the positional map and the loaded copy — is published as
-/// immutable shared_ptr snapshots: planners take a snapshot per query, so
+/// opened once (EnsureOpen dispatches to the format driver, idempotent under
+/// the entry's open lock) and never reset, so their raw pointers stay valid
+/// for the engine's lifetime. Adaptive state — the positional map, the
+/// driver's format state, and the loaded copy — is published as immutable
+/// shared_ptr snapshots: planners take a snapshot per query, so
 /// ResetAdaptiveState() can drop the entry's reference while in-flight
 /// queries keep theirs.
 struct TableEntry {
   TableInfo info;
 
-  /// Opens file handles appropriate for the format (idempotent, thread-safe).
-  /// For CSV this also detects — once — whether the file uses quoting, which
-  /// routes scans onto the quote-aware tokenizer.
+  /// Opens the table through its format driver (idempotent, thread-safe):
+  /// dispatches FormatDriver::OpenTable once, then RefreshEntry on every
+  /// call so drivers can refresh derived state between queries.
   Status EnsureOpen();
 
   // --- stable handles (valid after a successful EnsureOpen) ------------------
@@ -71,6 +76,21 @@ struct TableEntry {
   const BinaryReader* bin_reader() const { return bin_reader_.get(); }
   RefReader* ref_reader() const { return ref_reader_.get(); }
   bool csv_quoted() const { return csv_quoted_; }
+
+  // --- driver-facing open hooks ----------------------------------------------
+  // Called from FormatDriver catalog hooks (OpenTable/PrepareShared); each is
+  // idempotent and takes the entry mutex internally.
+
+  /// Maps the table's file read-only; returns the stable handle.
+  StatusOr<const MmapFile*> EnsureMmap();
+  /// Records whether the (CSV-family) file uses quoting.
+  void SetCsvQuoted(bool quoted);
+  /// Opens the fixed-layout binary reader for `info.schema` and discovers
+  /// the row count.
+  Status EnsureBinReader();
+  /// Adopts a shared REF reader (first attach wins; later calls no-op).
+  void AttachRefReader(std::shared_ptr<RefReader> reader);
+  bool HasRefReader() const;
 
   /// Best-effort OS page-cache drop for cold-run benchmarks.
   Status DropPageCache() const;
@@ -83,6 +103,11 @@ struct TableEntry {
     int64_t expected = -1;
     row_count_.compare_exchange_strong(expected, rows,
                                        std::memory_order_acq_rel);
+  }
+  /// Unconditional store, for drivers whose backing store reports exact
+  /// counts that may grow between queries (REF shared readers).
+  void StoreRowCount(int64_t rows) {
+    row_count_.store(rows, std::memory_order_release);
   }
 
   // --- positional map --------------------------------------------------------
@@ -97,36 +122,43 @@ struct TableEntry {
   void AbandonPmapBuild();
   void PublishPmap(std::shared_ptr<const PositionalMap> map);
 
+  // --- per-format adaptive state ---------------------------------------------
+  // Same publication protocol as the positional map, for structures only the
+  // format driver understands (e.g. the compressed-CSV block-offset index).
+
+  /// The published (complete, immutable) driver state, or null.
+  std::shared_ptr<const FormatAdaptiveState> format_state() const;
+
+  bool TryClaimFormatStateBuild();
+  void AbandonFormatStateBuild();
+  void PublishFormatState(std::shared_ptr<const FormatAdaptiveState> state);
+
   // --- DBMS-baseline loaded copy ---------------------------------------------
-  /// Loads the full table once (thread-safe; concurrent callers share the
-  /// result). `load_seconds` (optional) receives the one-off load time when
-  /// this call performed the load, else 0.
+  /// Loads the full table once through the format driver (thread-safe;
+  /// concurrent callers share the result). `load_seconds` (optional)
+  /// receives the one-off load time when this call performed the load,
+  /// else 0.
   StatusOr<std::shared_ptr<const InMemoryTable>> EnsureLoaded(
       double* load_seconds);
   std::shared_ptr<const InMemoryTable> loaded() const;
 
-  /// Drops the positional map and the loaded copy (snapshots held by
-  /// in-flight queries stay alive).
+  /// Drops the positional map, the driver state, and the loaded copy
+  /// (snapshots held by in-flight queries stay alive).
   void ResetAdaptiveState();
 
   TableStats Stats() const;
 
  private:
-  friend class Catalog;
-
-  void AttachRefReader(std::shared_ptr<RefReader> reader);
-  bool HasRefReader() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return ref_reader_ != nullptr;
-  }
-
   mutable std::mutex mu_;
+  /// Serializes the one-off driver OpenTable without holding `mu_` (driver
+  /// hooks like EnsureMmap take `mu_` themselves).
+  std::mutex open_mu_;
   /// Serializes duplicate DBMS-baseline loads without holding `mu_` for the
   /// load's duration (readers of other entry state must not stall behind a
   /// multi-second load).
   std::mutex load_mu_;
-  bool opened_ = false;
-  std::unique_ptr<MmapFile> mmap_;           // CSV / binary bytes
+  bool opened_ = false;  // guarded by open_mu_
+  std::unique_ptr<MmapFile> mmap_;           // raw file bytes
   std::unique_ptr<BinaryReader> bin_reader_;  // binary layout view
   std::shared_ptr<RefReader> ref_reader_;     // shared across one file's tables
   bool csv_quoted_ = false;
@@ -135,6 +167,9 @@ struct TableEntry {
 
   std::shared_ptr<const PositionalMap> pmap_;   // published map (complete)
   std::atomic<bool> pmap_building_{false};
+
+  std::shared_ptr<const FormatAdaptiveState> format_state_;  // published
+  std::atomic<bool> format_state_building_{false};
 
   std::shared_ptr<const InMemoryTable> loaded_;  // DBMS baseline storage
   double load_seconds_ = 0;
@@ -149,6 +184,11 @@ struct CatalogOptions {
 /// Name -> table registry plus shared readers. Registration takes the writer
 /// lock; lookups are shared, so concurrent sessions resolve tables without
 /// serializing on each other (entries are stable once registered).
+///
+/// Constructing a catalog registers the built-in format drivers (CSV,
+/// binary, REF, JSONL, compressed CSV) in the global FormatRegistry; every
+/// Register* call validates that a driver exists for the table's format, so
+/// unknown formats fail at registration instead of plan time.
 class Catalog {
  public:
   explicit Catalog(CatalogOptions options = CatalogOptions());
@@ -164,12 +204,25 @@ class Catalog {
   /// `<prefix>_jets` (Figure 13).
   Status RegisterRef(const std::string& prefix, const std::string& path);
 
+  /// Registers a line-delimited JSON file (one flat object per line).
+  Status RegisterJsonl(const std::string& name, const std::string& path,
+                       Schema schema, int pmap_stride = 10);
+
+  /// Registers a gzip-compressed CSV file (single- or multi-member).
+  Status RegisterCsvGz(const std::string& name, const std::string& path,
+                       Schema schema, CsvOptions options = CsvOptions());
+
   /// Looks up a table; the entry is owned by the catalog and stable.
   StatusOr<TableEntry*> Get(const std::string& name);
 
   bool Contains(const std::string& name) const;
 
   std::vector<std::string> TableNames() const;
+
+  /// One shared REF reader per file path, opened on first use (drivers call
+  /// this from PrepareShared so every derived table of a file shares one
+  /// cluster cache).
+  StatusOr<std::shared_ptr<RefReader>> SharedRefReader(const std::string& path);
 
   /// Drops every table's adaptive state (see TableEntry::ResetAdaptiveState)
   /// and every REF file's decoded-cluster cache (safe against in-flight

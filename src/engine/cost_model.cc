@@ -2,45 +2,40 @@
 
 #include <algorithm>
 
+#include "engine/formats/builtin.h"
+#include "format/format_driver.h"
+
 namespace raw {
+namespace {
+
+/// Per-format access-primitive costs come from the format driver — the cost
+/// model itself is format-agnostic and only combines them. Unregistered
+/// formats fall back to the (pessimistic) defaults.
+FormatCostParams ResolveFormatParams(const CostParams& base,
+                                     FileFormat format) {
+  EnsureBuiltinFormatDriversRegistered();
+  const FormatDriver* driver = FormatRegistry::Global().Find(format);
+  if (driver != nullptr) return driver->cost_params(base);
+  return FormatCostParams{};
+}
+
+}  // namespace
 
 double CostModel::PerValueFetchCost(const ShredDecisionInput& in) const {
-  switch (in.format) {
-    case FileFormat::kCsv: {
-      double cost = params_.csv_jump +
-                    params_.csv_skip_field * in.skip_distance +
-                    params_.csv_parse_field + params_.build_value;
-      if (in.random_order) cost += params_.bin_random_penalty * 4;
-      return cost;
-    }
-    case FileFormat::kBinary: {
-      double cost = params_.bin_read_value + params_.build_value;
-      if (in.random_order) cost += params_.bin_random_penalty;
-      return cost;
-    }
-    case FileFormat::kRef:
-      return params_.ref_api_value + params_.build_value;
-  }
-  return 1.0;
+  FormatCostParams p = ResolveFormatParams(params_, in.format);
+  double cost = p.jump + p.skip_field * in.skip_distance + p.read_value +
+                params_.build_value;
+  if (in.random_order) cost += p.random_penalty;
+  return cost;
 }
 
 double CostModel::FullColumnCost(const ShredDecisionInput& in) const {
   // Sequential materialization of every row. No jump cost, and no skip cost
   // either: the bottom scan's forward pass tokenizes through intermediate
   // fields regardless of whether this column rides along.
-  double per_value = 0;
-  switch (in.format) {
-    case FileFormat::kCsv:
-      per_value = params_.csv_parse_field + params_.build_value;
-      break;
-    case FileFormat::kBinary:
-      per_value = params_.bin_read_value + params_.build_value;
-      break;
-    case FileFormat::kRef:
-      per_value = params_.ref_api_value + params_.build_value;
-      break;
-  }
-  return static_cast<double>(in.table_rows) * per_value;
+  FormatCostParams p = ResolveFormatParams(params_, in.format);
+  return static_cast<double>(in.table_rows) *
+         (p.read_value + params_.build_value);
 }
 
 double CostModel::ShredCost(const ShredDecisionInput& in) const {
@@ -52,12 +47,13 @@ double CostModel::MultiColumnShredCost(const ShredDecisionInput& in) const {
   // One jump per row, then parse through the colocated span: the extra
   // columns ride along for (roughly) one parse each instead of paying a
   // fresh jump + skip chain per column.
+  FormatCostParams p = ResolveFormatParams(params_, in.format);
   ShredDecisionInput one = in;
   one.colocated_columns = 1;
   double first = ShredCost(one);
   double extra_per_column = static_cast<double>(in.table_rows) *
                             in.selectivity *
-                            (params_.csv_parse_field + params_.build_value);
+                            (p.read_value + params_.build_value);
   return first + extra_per_column * (in.colocated_columns - 1);
 }
 
@@ -71,8 +67,9 @@ double CostModel::ShredCrossover(const ShredDecisionInput& in) const {
 }
 
 ShredPolicy CostModel::ChoosePolicy(const ShredDecisionInput& in) const {
+  FormatCostParams p = ResolveFormatParams(params_, in.format);
   double full = FullColumnCost(in);
-  if (in.colocated_columns > 1 && in.format == FileFormat::kCsv) {
+  if (in.colocated_columns > 1 && p.colocated_shreds) {
     double multi = MultiColumnShredCost(in);
     double single =
         ShredCost(in) * in.colocated_columns;  // one late scan per column

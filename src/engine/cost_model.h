@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "engine/physical_plan.h"
-#include "jit/access_path_spec.h"
+#include "format/format.h"
 
 namespace raw {
 

@@ -1,0 +1,174 @@
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/cost_model.h"
+#include "engine/executor.h"
+#include "engine/formats/driver_util.h"
+#include "engine/formats/drivers.h"
+#include "engine/physical_plan.h"
+#include "jit/codegen.h"
+#include "scan/insitu_bin_scan.h"
+#include "scan/jit_scan.h"
+#include "scan/loader.h"
+#include "scan/morsel.h"
+#include "scan/shred_scan.h"
+
+namespace raw {
+namespace {
+
+class BinaryFormatDriver final : public FormatDriver {
+ public:
+  FileFormat format() const override { return FileFormat::kBinary; }
+  std::string_view name() const override { return "bin"; }
+
+  Status OpenTable(TableEntry& entry) const override {
+    RAW_RETURN_NOT_OK(entry.EnsureMmap().status());
+    return entry.EnsureBinReader();
+  }
+
+  StatusOr<std::unique_ptr<InMemoryTable>> LoadTable(
+      const TableEntry& entry) const override {
+    std::vector<int> all;
+    for (int c = 0; c < entry.info.schema.num_fields(); ++c) all.push_back(c);
+    return LoadBinaryTable(entry.bin_reader(), all);
+  }
+
+  std::vector<ScanRange> SplitMorsels(const FormatScanContext& tc,
+                                      int target_morsels) const override {
+    return SplitRowRanges(tc.entry->bin_reader()->num_rows(), target_morsels);
+  }
+
+  /// Full binary scan; with num_threads > 1, row-range morsels. Binary
+  /// morsels know their first row up front, so ids stay global (JIT kernels
+  /// emit window-local ids that JitScanOperator rebases by row_id_offset).
+  StatusOr<OperatorPtr> BuildScan(FormatScanContext& tc,
+                                  const std::vector<int>& cols,
+                                  const Schema& qualified) const override {
+    TableEntry* entry = tc.entry;
+    const TableInfo& info = entry->info;
+    const PlannerOptions& opts = *tc.opts;
+    (*tc.desc) << "[bin-scan " << info.name << "] ";
+
+    std::vector<ScanRange> morsels;
+    if (tc.num_threads > 1) {
+      morsels = SplitMorsels(tc, tc.num_threads * 4);
+    }
+
+    if (opts.access_path == AccessPathKind::kJit) {
+      RAW_ASSIGN_OR_RETURN(BinaryLayout layout,
+                           BinaryLayout::Create(info.schema));
+      auto make_jit_args = [&](int64_t first, int64_t count) {
+        AccessPathSpec spec;
+        spec.format = FileFormat::kBinary;
+        spec.mode = ScanMode::kSequential;
+        spec.row_width = layout.row_width();
+        for (int c : cols) {
+          spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
+          spec.column_offsets.push_back(layout.ColumnOffset(c));
+        }
+        JitScanArgs args;
+        args.spec = std::move(spec);
+        args.output_schema = qualified;
+        args.file = entry->mmap();
+        args.total_rows = count;
+        args.batch_rows = opts.batch_rows;
+        if (first > 0 || count < entry->bin_reader()->num_rows()) {
+          const uint64_t width = static_cast<uint64_t>(layout.row_width());
+          args.window_begin = static_cast<uint64_t>(first) * width;
+          args.window_end = static_cast<uint64_t>(first + count) * width;
+          args.row_id_offset = first;
+        }
+        return args;
+      };
+      if (morsels.size() > 1) {
+        ParallelTableScanOperator::Options popts;
+        popts.num_threads = tc.num_threads;
+        std::vector<OperatorPtr> children;
+        for (const ScanRange& m : morsels) {
+          children.push_back(std::make_unique<JitScanOperator>(
+              tc.jit, make_jit_args(m.begin, m.count())));
+        }
+        (*tc.desc) << "[parallel x" << tc.num_threads << " morsels="
+                   << morsels.size() << "] ";
+        return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
+            qualified, std::move(children), std::move(popts)));
+      }
+      return OperatorPtr(std::make_unique<JitScanOperator>(
+          tc.jit, make_jit_args(0, entry->bin_reader()->num_rows())));
+    }
+
+    auto make_insitu = [&](int64_t first, int64_t count) {
+      BinScanSpec spec;
+      spec.outputs = cols;
+      spec.batch_rows = opts.batch_rows;
+      spec.range = ScanRange::Rows(first, count);
+      return WrapQualified(std::make_unique<InsituBinScanOperator>(
+                               entry->bin_reader(), std::move(spec)),
+                           qualified);
+    };
+    if (morsels.size() > 1) {
+      ParallelTableScanOperator::Options popts;
+      popts.num_threads = tc.num_threads;
+      std::vector<OperatorPtr> children;
+      for (const ScanRange& m : morsels) {
+        children.push_back(make_insitu(m.begin, m.count()));
+      }
+      (*tc.desc) << "[parallel x" << tc.num_threads << " morsels="
+                 << morsels.size() << "] ";
+      return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
+          qualified, std::move(children), std::move(popts)));
+    }
+    return make_insitu(0, entry->bin_reader()->num_rows());
+  }
+
+  StatusOr<RowFetcherPtr> BuildFetcher(FormatScanContext& tc,
+                                       const std::vector<int>& cols,
+                                       const Schema& qualified) const override {
+    TableEntry* entry = tc.entry;
+    const TableInfo& info = entry->info;
+    if (tc.opts->access_path == AccessPathKind::kJit) {
+      RAW_ASSIGN_OR_RETURN(BinaryLayout layout,
+                           BinaryLayout::Create(info.schema));
+      AccessPathSpec spec;
+      spec.format = FileFormat::kBinary;
+      spec.mode = ScanMode::kByRowIndex;
+      spec.row_width = layout.row_width();
+      for (int c : cols) {
+        spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
+        spec.column_offsets.push_back(layout.ColumnOffset(c));
+      }
+      JitScanArgs args;
+      args.spec = std::move(spec);
+      args.output_schema = qualified;
+      args.file = entry->mmap();
+      return RowFetcherPtr(
+          std::make_unique<JitRowFetcher>(tc.jit, std::move(args)));
+    }
+    BinScanSpec spec;
+    spec.outputs = cols;
+    auto fetcher =
+        std::make_unique<InsituRowFetcher>(entry->bin_reader(), std::move(spec));
+    fetcher->set_fields(qualified);
+    return RowFetcherPtr(std::move(fetcher));
+  }
+
+  FormatCostParams cost_params(const CostParams& base) const override {
+    FormatCostParams p;
+    p.read_value = base.bin_read_value;
+    p.random_penalty = base.bin_random_penalty;
+    return p;
+  }
+
+  StatusOr<std::string> EmitJitSource(const AccessPathSpec& spec) const override {
+    return GenerateBinScanSource(spec);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<FormatDriver> MakeBinaryFormatDriver() {
+  return std::make_unique<BinaryFormatDriver>();
+}
+
+}  // namespace raw

@@ -1,0 +1,24 @@
+#include "engine/formats/builtin.h"
+
+#include <mutex>
+
+#include "engine/formats/drivers.h"
+
+namespace raw {
+
+void EnsureBuiltinFormatDriversRegistered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    FormatRegistry& registry = FormatRegistry::Global();
+    // Statuses intentionally ignored: AlreadyExists just means user code
+    // registered a replacement for a builtin slot before the first catalog
+    // was constructed, which is a supported extension point.
+    (void)registry.Register(MakeCsvFormatDriver());
+    (void)registry.Register(MakeBinaryFormatDriver());
+    (void)registry.Register(MakeRefFormatDriver());
+    (void)registry.Register(MakeJsonlFormatDriver());
+    (void)registry.Register(MakeCsvGzFormatDriver());
+  });
+}
+
+}  // namespace raw

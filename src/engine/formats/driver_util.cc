@@ -1,0 +1,92 @@
+#include "engine/formats/driver_util.h"
+
+#include "engine/planner.h"
+
+namespace raw {
+
+SelectColumnsOperator::SelectColumnsOperator(OperatorPtr child,
+                                             std::vector<int> indices,
+                                             std::vector<std::string> names)
+    : child_(std::move(child)),
+      indices_(std::move(indices)),
+      names_(std::move(names)) {}
+
+Status SelectColumnsOperator::Open() {
+  RAW_RETURN_NOT_OK(child_->Open());
+  Schema schema;
+  const Schema& in = child_->output_schema();
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    schema.AddField(names_[i], in.field(indices_[i]).type);
+  }
+  RAW_RETURN_NOT_OK(schema.Validate());
+  schema_ = std::move(schema);
+  return Status::OK();
+}
+
+StatusOr<ColumnBatch> SelectColumnsOperator::Next() {
+  RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
+  ColumnBatch out(schema_);
+  if (batch.empty()) return out;  // EOF
+  for (int idx : indices_) out.AddColumn(batch.column(idx));
+  out.SetNumRows(batch.num_rows());
+  if (batch.has_row_ids()) out.SetRowIds(batch.row_ids());
+  return out;
+}
+
+PmapPublishOperator::PmapPublishOperator(OperatorPtr child,
+                                         std::shared_ptr<PositionalMap> map,
+                                         TableEntry* entry)
+    : child_(std::move(child)), map_(std::move(map)), entry_(entry) {}
+
+PmapPublishOperator::~PmapPublishOperator() { Finish(/*publish=*/false); }
+
+StatusOr<ColumnBatch> PmapPublishOperator::Next() {
+  RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
+  if (batch.empty()) drained_ = true;
+  return batch;
+}
+
+Status PmapPublishOperator::Close() {
+  Status status = child_->Close();
+  Finish(/*publish=*/drained_ && status.ok());
+  return status;
+}
+
+void PmapPublishOperator::Finish(bool publish) {
+  if (finished_) return;
+  finished_ = true;
+  if (publish && map_ != nullptr && map_->CheckConsistency().ok()) {
+    entry_->PublishPmap(std::move(map_));
+  } else {
+    entry_->AbandonPmapBuild();
+  }
+}
+
+Schema QualifiedSchema(const TableEntry& entry, const std::vector<int>& cols) {
+  Schema out;
+  for (int c : cols) {
+    out.AddField(QualifiedName(entry.info.name, entry.info.schema.field(c).name),
+                 entry.info.schema.field(c).type);
+  }
+  return out;
+}
+
+OperatorPtr WrapQualified(OperatorPtr op, const Schema& qualified) {
+  std::vector<int> idx(static_cast<size_t>(qualified.num_fields()));
+  std::vector<std::string> names;
+  for (int i = 0; i < qualified.num_fields(); ++i) {
+    idx[static_cast<size_t>(i)] = i;
+    names.push_back(qualified.field(i).name);
+  }
+  return std::make_unique<SelectColumnsOperator>(std::move(op), std::move(idx),
+                                                 std::move(names));
+}
+
+bool AnyStringColumn(const Schema& schema, const std::vector<int>& cols) {
+  for (int c : cols) {
+    if (schema.field(c).type == DataType::kString) return true;
+  }
+  return false;
+}
+
+}  // namespace raw

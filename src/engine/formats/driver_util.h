@@ -1,0 +1,77 @@
+#ifndef RAW_ENGINE_FORMATS_DRIVER_UTIL_H_
+#define RAW_ENGINE_FORMATS_DRIVER_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/operator.h"
+#include "engine/catalog.h"
+
+namespace raw {
+
+/// Plan glue shared by format drivers and the planner: schema-shaping
+/// operators and helpers that are format-agnostic but sit right at the
+/// driver/planner seam (every BuildScan renames its outputs with these).
+
+/// Zero-copy column subset + rename.
+class SelectColumnsOperator : public Operator {
+ public:
+  SelectColumnsOperator(OperatorPtr child, std::vector<int> indices,
+                        std::vector<std::string> names);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  StatusOr<ColumnBatch> Next() override;
+  Status Close() override { return child_->Close(); }
+  std::string name() const override { return "SelectColumns"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<int> indices_;
+  std::vector<std::string> names_;
+  Schema schema_;
+};
+
+/// Owns the positional map a cold textual scan is building for this query
+/// and publishes it to the table entry once the scan drains completely. The
+/// map stays private to the query until then, so concurrent sessions never
+/// observe a half-built map; a partial scan (LIMIT, error, dropped cursor)
+/// abandons the build claim instead, letting a later query rebuild.
+class PmapPublishOperator : public Operator {
+ public:
+  PmapPublishOperator(OperatorPtr child, std::shared_ptr<PositionalMap> map,
+                      TableEntry* entry);
+  ~PmapPublishOperator() override;
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override { return child_->Open(); }
+  StatusOr<ColumnBatch> Next() override;
+  Status Close() override;
+  std::string name() const override { return "PmapPublish"; }
+
+ private:
+  void Finish(bool publish);
+
+  OperatorPtr child_;
+  std::shared_ptr<PositionalMap> map_;
+  TableEntry* entry_;
+  bool drained_ = false;
+  bool finished_ = false;
+};
+
+/// Qualified ("<table>.<column>") output schema for table columns.
+Schema QualifiedSchema(const TableEntry& entry, const std::vector<int>& cols);
+
+/// Zero-copy rename of a scan's outputs to their qualified names.
+OperatorPtr WrapQualified(OperatorPtr op, const Schema& qualified);
+
+/// True when any of `cols` is variable-length. JIT kernels only materialize
+/// fixed-width values; string columns take the interpreted path.
+bool AnyStringColumn(const Schema& schema, const std::vector<int>& cols);
+
+}  // namespace raw
+
+#endif  // RAW_ENGINE_FORMATS_DRIVER_UTIL_H_

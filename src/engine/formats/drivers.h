@@ -1,0 +1,21 @@
+#ifndef RAW_ENGINE_FORMATS_DRIVERS_H_
+#define RAW_ENGINE_FORMATS_DRIVERS_H_
+
+#include <memory>
+
+#include "format/format_driver.h"
+
+namespace raw {
+
+/// Factories for the built-in drivers (one translation unit each); used by
+/// EnsureBuiltinFormatDriversRegistered and by tests that want a scratch
+/// registry entry.
+std::unique_ptr<FormatDriver> MakeCsvFormatDriver();
+std::unique_ptr<FormatDriver> MakeBinaryFormatDriver();
+std::unique_ptr<FormatDriver> MakeRefFormatDriver();
+std::unique_ptr<FormatDriver> MakeJsonlFormatDriver();
+std::unique_ptr<FormatDriver> MakeCsvGzFormatDriver();
+
+}  // namespace raw
+
+#endif  // RAW_ENGINE_FORMATS_DRIVERS_H_

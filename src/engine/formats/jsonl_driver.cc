@@ -1,0 +1,268 @@
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "engine/cost_model.h"
+#include "engine/executor.h"
+#include "engine/formats/driver_util.h"
+#include "engine/formats/drivers.h"
+#include "engine/physical_plan.h"
+#include "jsonl/jsonl_scan.h"
+#include "scan/morsel.h"
+#include "scan/shred_scan.h"
+
+namespace raw {
+namespace {
+
+/// First-contact JSONL scan: sequential, building the field-offset map en
+/// route (same claim/publish protocol as the CSV positional map — the map
+/// machinery is format-agnostic; only what the offsets *mean* differs).
+StatusOr<OperatorPtr> BuildJsonlSequentialScan(FormatScanContext& tc,
+                                               const std::vector<int>& cols,
+                                               const Schema& qualified,
+                                               std::vector<ScanRange> morsels) {
+  TableEntry* entry = tc.entry;
+  const TableInfo& info = entry->info;
+  const PlannerOptions& opts = *tc.opts;
+  PositionalMap* build = nullptr;
+  if (opts.access_path != AccessPathKind::kExternalTable &&
+      opts.build_positional_map && !tc.has_complete_pmap() &&
+      !tc.pmap_build_wired &&
+      (tc.building_pmap != nullptr || entry->TryClaimPmapBuild())) {
+    if (tc.building_pmap == nullptr) {
+      tc.building_pmap = std::make_shared<PositionalMap>(
+          PositionalMap::WithStride(info.schema.num_fields(),
+                                    info.pmap_stride));
+    }
+    tc.pmap_build_wired = true;
+    build = tc.building_pmap.get();
+  }
+  (*tc.desc) << "[seq-scan " << info.name << "] ";
+
+  auto make_spec = [&] {
+    JsonlScanSpec spec;
+    spec.file_schema = info.schema;
+    spec.outputs = cols;
+    spec.batch_rows = opts.batch_rows;
+    return spec;
+  };
+  auto wrap_publish = [&](OperatorPtr op) -> OperatorPtr {
+    if (build == nullptr) return op;
+    return std::make_unique<PmapPublishOperator>(std::move(op),
+                                                 tc.building_pmap, entry);
+  };
+
+  if (morsels.size() > 1) {
+    ParallelTableScanOperator::Options popts;
+    popts.num_threads = tc.num_threads;
+    popts.rebase_row_ids = true;  // morsel children emit range-local ids
+    popts.merge_pmap_into = build;
+    std::vector<OperatorPtr> children;
+    for (const ScanRange& m : morsels) {
+      PositionalMap* child_pmap = nullptr;
+      if (build != nullptr) {
+        popts.partial_pmaps.push_back(
+            std::make_unique<PositionalMap>(PositionalMap::WithStride(
+                info.schema.num_fields(), info.pmap_stride)));
+        child_pmap = popts.partial_pmaps.back().get();
+      }
+      JsonlScanSpec spec = make_spec();
+      spec.build_pmap = child_pmap;
+      spec.range = m;
+      children.push_back(WrapQualified(
+          std::make_unique<JsonlScanOperator>(entry->mmap(), std::move(spec)),
+          qualified));
+    }
+    (*tc.desc) << "[parallel x" << tc.num_threads << " morsels="
+               << morsels.size() << "] ";
+    return wrap_publish(std::make_unique<ParallelTableScanOperator>(
+        qualified, std::move(children), std::move(popts)));
+  }
+
+  JsonlScanSpec spec = make_spec();
+  spec.build_pmap = build;
+  return wrap_publish(WrapQualified(
+      std::make_unique<JsonlScanOperator>(entry->mmap(), std::move(spec)),
+      qualified));
+}
+
+/// Warm JSONL scan: jump to every mapped value offset. Ids are file-global,
+/// so no rebasing is needed.
+StatusOr<OperatorPtr> BuildJsonlPositionalScan(FormatScanContext& tc,
+                                               const std::vector<int>& cols,
+                                               const Schema& qualified,
+                                               std::vector<ScanRange> morsels) {
+  TableEntry* entry = tc.entry;
+  const TableInfo& info = entry->info;
+  const PlannerOptions& opts = *tc.opts;
+  const PositionalMap& pmap = *tc.published_pmap;
+  (*tc.desc) << "[offset-scan " << info.name << "] ";
+
+  auto make_insitu = [&](std::optional<RowSet> rows) {
+    JsonlScanSpec spec;
+    spec.file_schema = info.schema;
+    spec.outputs = cols;
+    spec.batch_rows = opts.batch_rows;
+    spec.use_pmap = &pmap;
+    spec.row_set = std::move(rows);
+    return WrapQualified(
+        std::make_unique<JsonlScanOperator>(entry->mmap(), std::move(spec)),
+        qualified);
+  };
+  auto iota_rows = [](int64_t first, int64_t count) {
+    RowSet rows;
+    rows.ids.resize(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      rows.ids[static_cast<size_t>(i)] = first + i;
+    }
+    return rows;
+  };
+
+  if (morsels.size() > 1) {
+    ParallelTableScanOperator::Options popts;
+    popts.num_threads = tc.num_threads;
+    std::vector<OperatorPtr> children;
+    for (const ScanRange& m : morsels) {
+      children.push_back(make_insitu(iota_rows(m.begin, m.count())));
+    }
+    (*tc.desc) << "[parallel x" << tc.num_threads << " morsels="
+               << morsels.size() << "] ";
+    return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
+        qualified, std::move(children), std::move(popts)));
+  }
+  return StatusOr<OperatorPtr>(make_insitu(std::nullopt));
+}
+
+class JsonlFormatDriver final : public FormatDriver {
+ public:
+  FileFormat format() const override { return FileFormat::kJsonl; }
+  std::string_view name() const override { return "jsonl"; }
+
+  Status OpenTable(TableEntry& entry) const override {
+    return entry.EnsureMmap().status();
+  }
+
+  StatusOr<std::unique_ptr<InMemoryTable>> LoadTable(
+      const TableEntry& entry) const override {
+    JsonlScanSpec spec;
+    spec.file_schema = entry.info.schema;
+    for (int c = 0; c < entry.info.schema.num_fields(); ++c) {
+      spec.outputs.push_back(c);
+    }
+    JsonlScanOperator scan(entry.mmap(), std::move(spec));
+    RAW_RETURN_NOT_OK(scan.Open());
+    auto table = std::make_unique<InMemoryTable>(scan.output_schema());
+    while (true) {
+      RAW_ASSIGN_OR_RETURN(ColumnBatch batch, scan.Next());
+      if (batch.empty()) break;
+      RAW_RETURN_NOT_OK(table->AppendBatch(batch));
+    }
+    RAW_RETURN_NOT_OK(scan.Close());
+    return table;
+  }
+
+  /// Same protocol as CSV: a published field-offset map, or the right to
+  /// build one as a side effect of this query's base scan.
+  bool EnsureLateScanNavigable(FormatScanContext& tc) const override {
+    const PlannerOptions& opts = *tc.opts;
+    if (tc.has_complete_pmap()) return true;
+    if (opts.access_path == AccessPathKind::kLoaded ||
+        opts.access_path == AccessPathKind::kExternalTable ||
+        !opts.build_positional_map) {
+      return false;
+    }
+    if (tc.building_pmap != nullptr) return true;
+    if (!tc.entry->TryClaimPmapBuild()) return false;
+    tc.building_pmap = std::make_shared<PositionalMap>(
+        PositionalMap::WithStride(tc.entry->info.schema.num_fields(),
+                                  tc.entry->info.pmap_stride));
+    return true;
+  }
+
+  int EstimateSkipDistance(const FormatScanContext& tc) const override {
+    if (!tc.has_complete_pmap()) return 0;
+    // Untracked values re-parse from the row start (key order is not
+    // positional), so the typical "skip" is about half the object's keys.
+    const auto& tracked = tc.published_pmap->tracked_columns();
+    if (static_cast<int>(tracked.size()) ==
+        tc.entry->info.schema.num_fields()) {
+      return 0;  // every value jumps directly
+    }
+    return tc.entry->info.schema.num_fields() / 2;
+  }
+
+  std::vector<ScanRange> SplitMorsels(const FormatScanContext& tc,
+                                      int target_morsels) const override {
+    if (tc.has_complete_pmap()) {
+      return SplitPmapRowRanges(*tc.published_pmap, target_morsels);
+    }
+    const MmapFile* file = tc.entry->mmap();
+    return SplitJsonlByteRanges(file->data(), file->size(), target_morsels);
+  }
+
+  StatusOr<OperatorPtr> BuildScan(FormatScanContext& tc,
+                                  const std::vector<int>& cols,
+                                  const Schema& qualified) const override {
+    // The external-table baseline re-parses per query even when a map has
+    // been published, so its morsels must stay byte-addressed.
+    const bool sequential =
+        !tc.has_complete_pmap() ||
+        tc.opts->access_path == AccessPathKind::kExternalTable;
+    std::vector<ScanRange> morsels;
+    if (tc.num_threads > 1) {
+      if (sequential) {
+        const MmapFile* file = tc.entry->mmap();
+        morsels = SplitJsonlByteRanges(file->data(), file->size(),
+                                       tc.num_threads * 4);
+      } else {
+        morsels = SplitMorsels(tc, tc.num_threads * 4);
+      }
+    }
+    if (sequential) {
+      return BuildJsonlSequentialScan(tc, cols, qualified, std::move(morsels));
+    }
+    return BuildJsonlPositionalScan(tc, cols, qualified, std::move(morsels));
+  }
+
+  StatusOr<RowFetcherPtr> BuildFetcher(FormatScanContext& tc,
+                                       const std::vector<int>& cols,
+                                       const Schema& qualified) const override {
+    const PositionalMap* pmap = tc.pmap_view();
+    if (pmap == nullptr) {
+      return Status::Internal(
+          "JSONL late scan requires a field-offset map (none configured)");
+    }
+    JsonlScanSpec spec;
+    spec.file_schema = tc.entry->info.schema;
+    spec.outputs = cols;
+    spec.use_pmap = pmap;
+    auto fetcher =
+        std::make_unique<JsonlRowFetcher>(tc.entry->mmap(), std::move(spec));
+    fetcher->set_fields(qualified);
+    return RowFetcherPtr(std::move(fetcher));
+  }
+
+  FormatCostParams cost_params(const CostParams& base) const override {
+    FormatCostParams p;
+    // Keys ride along with every value, so tokenizing one JSONL field costs
+    // more than one CSV field; jumps resolve through the same offset map.
+    p.read_value = base.csv_parse_field * 1.5;
+    p.jump = base.csv_jump;
+    p.skip_field = base.csv_skip_field;
+    p.random_penalty = base.bin_random_penalty * 4;
+    // An untracked fetch parses the whole object anyway, so extra columns in
+    // the same late scan are nearly free.
+    p.colocated_shreds = true;
+    return p;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<FormatDriver> MakeJsonlFormatDriver() {
+  return std::make_unique<JsonlFormatDriver>();
+}
+
+}  // namespace raw

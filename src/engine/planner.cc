@@ -12,18 +12,12 @@
 #include "common/thread_pool.h"
 #include "engine/cost_model.h"
 #include "engine/executor.h"
+#include "engine/formats/driver_util.h"
 
 #include "columnar/filter.h"
 #include "columnar/hash_group_by.h"
 #include "columnar/hash_join.h"
 #include "columnar/project.h"
-#include "scan/external_table_scan.h"
-#include "scan/insitu_bin_scan.h"
-#include "scan/insitu_csv_scan.h"
-#include "scan/jit_scan.h"
-#include "scan/loader.h"
-#include "scan/morsel.h"
-#include "scan/ref_scan.h"
 #include "scan/shred_scan.h"
 
 namespace raw {
@@ -38,46 +32,9 @@ namespace {
 // =============================================================================
 // Small plan-glue operators
 // =============================================================================
-
-/// Zero-copy column subset + rename.
-class SelectColumnsOperator : public Operator {
- public:
-  SelectColumnsOperator(OperatorPtr child, std::vector<int> indices,
-                        std::vector<std::string> names)
-      : child_(std::move(child)),
-        indices_(std::move(indices)),
-        names_(std::move(names)) {}
-
-  const Schema& output_schema() const override { return schema_; }
-  Status Open() override {
-    RAW_RETURN_NOT_OK(child_->Open());
-    Schema schema;
-    const Schema& in = child_->output_schema();
-    for (size_t i = 0; i < indices_.size(); ++i) {
-      schema.AddField(names_[i], in.field(indices_[i]).type);
-    }
-    RAW_RETURN_NOT_OK(schema.Validate());
-    schema_ = std::move(schema);
-    return Status::OK();
-  }
-  StatusOr<ColumnBatch> Next() override {
-    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
-    ColumnBatch out(schema_);
-    if (batch.empty()) return out;  // EOF
-    for (int idx : indices_) out.AddColumn(batch.column(idx));
-    out.SetNumRows(batch.num_rows());
-    if (batch.has_row_ids()) out.SetRowIds(batch.row_ids());
-    return out;
-  }
-  Status Close() override { return child_->Close(); }
-  std::string name() const override { return "SelectColumns"; }
-
- private:
-  OperatorPtr child_;
-  std::vector<int> indices_;
-  std::vector<std::string> names_;
-  Schema schema_;
-};
+// Format-specific plan glue (scan construction, fetchers, publish operators)
+// lives with the format drivers (engine/formats/); what remains here is the
+// format-agnostic part: limits, cache wiring, and subplan assembly.
 
 /// LIMIT n.
 class LimitOperator : public Operator {
@@ -145,53 +102,6 @@ class CachedColumnsScanOperator : public Operator {
   Schema schema_;
   std::vector<ColumnPtr> columns_;
   bool done_ = false;
-};
-
-/// Owns the positional map a cold CSV scan is building for this query and
-/// publishes it to the table entry once the scan drains completely. The map
-/// stays private to the query until then, so concurrent sessions never
-/// observe a half-built map; a partial scan (LIMIT, error, dropped cursor)
-/// abandons the build claim instead, letting a later query rebuild.
-class PmapPublishOperator : public Operator {
- public:
-  PmapPublishOperator(OperatorPtr child, std::shared_ptr<PositionalMap> map,
-                      TableEntry* entry)
-      : child_(std::move(child)), map_(std::move(map)), entry_(entry) {}
-
-  ~PmapPublishOperator() override { Finish(/*publish=*/false); }
-
-  const Schema& output_schema() const override {
-    return child_->output_schema();
-  }
-  Status Open() override { return child_->Open(); }
-  StatusOr<ColumnBatch> Next() override {
-    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
-    if (batch.empty()) drained_ = true;
-    return batch;
-  }
-  Status Close() override {
-    Status status = child_->Close();
-    Finish(/*publish=*/drained_ && status.ok());
-    return status;
-  }
-  std::string name() const override { return "PmapPublish"; }
-
- private:
-  void Finish(bool publish) {
-    if (finished_) return;
-    finished_ = true;
-    if (publish && map_ != nullptr && map_->CheckConsistency().ok()) {
-      entry_->PublishPmap(std::move(map_));
-    } else {
-      entry_->AbandonPmapBuild();
-    }
-  }
-
-  OperatorPtr child_;
-  std::shared_ptr<PositionalMap> map_;
-  TableEntry* entry_;
-  bool drained_ = false;
-  bool finished_ = false;
 };
 
 /// Accumulates the values flowing out of a raw scan and registers them in the
@@ -320,78 +230,12 @@ class CacheAwareFetcher : public RowFetcher {
   RowFetcherPtr inner_;
 };
 
-/// Interpreted REF fetcher (handles derived eventID on particle tables).
-class RefRowFetcher : public RowFetcher {
- public:
-  RefRowFetcher(RefReader* reader, int group, std::vector<std::string> fields,
-                Schema qualified_schema)
-      : reader_(reader),
-        group_(group),
-        field_names_(std::move(fields)),
-        schema_(std::move(qualified_schema)) {}
-
-  const Schema& fields() const override { return schema_; }
-
-  StatusOr<std::vector<ColumnPtr>> Fetch(const RowSet& rows) override {
-    RefScanSpec spec;
-    spec.group = group_;
-    spec.fields = field_names_;
-    spec.row_set = rows;
-    spec.batch_rows = std::max<int64_t>(rows.size(), 1);
-    RefTableScanOperator op(reader_, std::move(spec));
-    RAW_RETURN_NOT_OK(op.Open());
-    std::vector<ColumnPtr> out;
-    if (rows.empty()) {
-      for (const Field& f : schema_.fields()) {
-        out.push_back(std::make_shared<Column>(f.type));
-      }
-      return out;
-    }
-    RAW_ASSIGN_OR_RETURN(ColumnBatch batch, op.Next());
-    for (int c = 0; c < batch.num_columns(); ++c) {
-      out.push_back(batch.column(c));
-    }
-    return out;
-  }
-
- private:
-  RefReader* reader_;
-  int group_;
-  std::vector<std::string> field_names_;
-  Schema schema_;
-};
-
 // =============================================================================
 // Planning context and helpers
 // =============================================================================
 
-/// Per-query snapshot of one table's adaptive state. Taken once when planning
-/// starts, so the whole plan sees one consistent view even while other
-/// sessions publish maps, load copies, or reset the engine.
-struct TableCtx {
-  TableEntry* entry = nullptr;
-
-  /// Complete, immutable map published by an earlier query (may be null).
-  std::shared_ptr<const PositionalMap> published_pmap;
-  /// Map this query is building (claim held); merged/appended during the
-  /// base scan, published by PmapPublishOperator on full drain.
-  std::shared_ptr<PositionalMap> building_pmap;
-  bool build_wired = false;  // a scan of this plan already builds the map
-
-  std::shared_ptr<const InMemoryTable> loaded;  // resolved for kLoaded
-  int64_t row_count = -1;
-
-  bool has_complete_pmap() const {
-    return published_pmap != nullptr && !published_pmap->empty();
-  }
-  /// The map same-query late scans should navigate: the one being built, or
-  /// the published one.
-  const PositionalMap* pmap_view() const {
-    if (building_pmap != nullptr) return building_pmap.get();
-    return published_pmap.get();
-  }
-};
-
+/// Per-query planning state: tables map to their FormatScanContext — the
+/// per-(query, table) snapshot threaded through every FormatDriver hook.
 struct BuildCtx {
   Catalog* catalog;
   JitTemplateCache* jit;
@@ -400,18 +244,32 @@ struct BuildCtx {
   double* compile_seconds;
   std::ostringstream* desc;
   int num_threads = 1;  // resolved from opts->num_threads once per plan
-  std::map<TableEntry*, TableCtx>* tables = nullptr;
+  std::map<TableEntry*, FormatScanContext>* tables = nullptr;
 
-  TableCtx& Ctx(TableEntry* entry) {
-    TableCtx& tc = (*tables)[entry];
+  FormatScanContext& Ctx(TableEntry* entry) {
+    FormatScanContext& tc = (*tables)[entry];
     if (tc.entry == nullptr) {
       tc.entry = entry;
+      tc.opts = opts;
+      tc.jit = jit;
+      tc.num_threads = num_threads;
+      tc.desc = desc;
+      // Snapshot the adaptive state once when planning starts, so the whole
+      // plan sees one consistent view even while other sessions publish
+      // maps, load copies, or reset the engine.
       tc.published_pmap = entry->pmap();
+      tc.format_state = entry->format_state();
       tc.row_count = entry->row_count();
     }
     return tc;
   }
 };
+
+/// Registered driver for the entry's format (annotated NotFound otherwise —
+/// normally unreachable past Catalog::Register, which validates this).
+StatusOr<const FormatDriver*> DriverFor(const TableEntry& entry) {
+  return FormatRegistry::Global().Require(entry.info.format);
+}
 
 std::vector<int> SortedUnique(std::vector<int> v) {
   std::sort(v.begin(), v.end());
@@ -419,59 +277,9 @@ std::vector<int> SortedUnique(std::vector<int> v) {
   return v;
 }
 
-/// True when any of `cols` is variable-length. CSV JIT kernels only
-/// materialize fixed-width values; string columns take the interpreted path.
-bool AnyStringColumn(const Schema& schema, const std::vector<int>& cols) {
-  for (int c : cols) {
-    if (schema.field(c).type == DataType::kString) return true;
-  }
-  return false;
-}
-
-/// CSV JIT kernels tokenize with the branch-light unquoted fast path; quoted
-/// files fall back to the interpreted, quote-aware scan.
-bool CsvJitEligible(const TableEntry& entry, const std::vector<int>& cols) {
-  return !AnyStringColumn(entry.info.schema, cols) && !entry.csv_quoted();
-}
-
-/// Qualified output schema for table columns.
-Schema QualifiedSchema(const TableEntry& entry, const std::vector<int>& cols) {
-  Schema out;
-  for (int c : cols) {
-    out.AddField(QualifiedName(entry.info.name, entry.info.schema.field(c).name),
-                 entry.info.schema.field(c).type);
-  }
-  return out;
-}
-
-/// True when late scans against `tc`'s table can work: non-CSV formats
-/// fetch by row index, CSV needs a positional map — one already published,
-/// or one this query can (and, as a side effect here, does) claim the right
-/// to build. Returns false for the CSV baselines that never build maps and
-/// for cold CSV tables whose build claim another in-flight session holds;
-/// callers must then route columns into base scans instead of late scans.
-bool LateScanFeasible(BuildCtx& ctx, TableCtx& tc) {
-  if (tc.entry->info.format != FileFormat::kCsv) return true;
-  const PlannerOptions& opts = *ctx.opts;
-  if (tc.has_complete_pmap()) return true;
-  if (opts.access_path == AccessPathKind::kLoaded ||
-      opts.access_path == AccessPathKind::kExternalTable ||
-      !opts.build_positional_map) {
-    return false;
-  }
-  if (tc.building_pmap != nullptr) return true;
-  if (!tc.entry->TryClaimPmapBuild()) return false;
-  // Claim taken here so the planning decision is binding; the base scan
-  // wires this map in (BuildBaseScan guarantees the sequential scan runs
-  // while the claim is unwired).
-  tc.building_pmap = std::make_shared<PositionalMap>(PositionalMap::WithStride(
-      tc.entry->info.schema.num_fields(), tc.entry->info.pmap_stride));
-  return true;
-}
-
 /// Ensures the DBMS baseline copy exists (loads every column once, shared
 /// across sessions) and snapshots it into the table context.
-Status EnsureLoaded(BuildCtx& ctx, TableCtx& tc) {
+Status EnsureLoaded(BuildCtx& ctx, FormatScanContext& tc) {
   if (tc.loaded != nullptr) return Status::OK();
   double load_seconds = 0;
   RAW_ASSIGN_OR_RETURN(tc.loaded, tc.entry->EnsureLoaded(&load_seconds));
@@ -483,445 +291,22 @@ Status EnsureLoaded(BuildCtx& ctx, TableCtx& tc) {
   return Status::OK();
 }
 
-/// Zero-copy rename of a scan's outputs to their qualified names.
-OperatorPtr WrapQualified(OperatorPtr op, const Schema& qualified) {
-  std::vector<int> idx(static_cast<size_t>(qualified.num_fields()));
-  std::vector<std::string> names;
-  for (int i = 0; i < qualified.num_fields(); ++i) {
-    idx[static_cast<size_t>(i)] = i;
-    names.push_back(qualified.field(i).name);
-  }
-  return std::make_unique<SelectColumnsOperator>(std::move(op), std::move(idx),
-                                                 std::move(names));
-}
-
-/// First-contact CSV scan: sequential, building the positional map en route.
-/// With num_threads > 1 the file splits into newline-aligned byte morsels
-/// scanned concurrently; each morsel builds a private partial map that the
-/// parallel driver stitches together in file order at end of stream.
-///
-/// The map is built into query-private storage under the table's build claim
-/// (at most one query builds at a time; losers just scan) and published to
-/// the shared entry only on a complete drain.
-StatusOr<OperatorPtr> BuildCsvSequentialScan(BuildCtx& ctx, TableCtx& tc,
-                                             const std::vector<int>& cols,
-                                             const Schema& qualified) {
-  TableEntry* entry = tc.entry;
-  const TableInfo& info = entry->info;
-  const PlannerOptions& opts = *ctx.opts;
-  PositionalMap* build = nullptr;
-  if (opts.build_positional_map && !tc.has_complete_pmap() &&
-      !tc.build_wired &&
-      (tc.building_pmap != nullptr || entry->TryClaimPmapBuild())) {
-    if (tc.building_pmap == nullptr) {
-      tc.building_pmap = std::make_shared<PositionalMap>(
-          PositionalMap::WithStride(info.schema.num_fields(),
-                                    info.pmap_stride));
-    }
-    tc.build_wired = true;
-    build = tc.building_pmap.get();
-  }
-  (*ctx.desc) << "[seq-scan " << info.name << "] ";
-  const bool use_jit = opts.access_path == AccessPathKind::kJit &&
-                       CsvJitEligible(*entry, cols);
-
-  auto make_jit_spec = [&] {
-    AccessPathSpec spec;
-    spec.format = FileFormat::kCsv;
-    spec.mode = ScanMode::kSequential;
-    spec.delimiter = info.csv_options.delimiter;
-    for (int c : cols) {
-      spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
-    }
-    if (build != nullptr) spec.pmap_tracked = build->tracked_columns();
-    return spec;
-  };
-  auto make_insitu_spec = [&] {
-    CsvScanSpec spec;
-    spec.file_schema = info.schema;
-    spec.outputs = cols;
-    spec.options = info.csv_options;
-    spec.quoted = entry->csv_quoted();
-    spec.batch_rows = opts.batch_rows;
-    return spec;
-  };
-  auto wrap_publish = [&](OperatorPtr op) -> OperatorPtr {
-    if (build == nullptr) return op;
-    return std::make_unique<PmapPublishOperator>(std::move(op),
-                                                 tc.building_pmap, entry);
-  };
-
-  std::vector<ByteMorsel> morsels;
-  if (ctx.num_threads > 1) {
-    morsels = SplitCsvByteRanges(entry->mmap()->data(), entry->mmap()->size(),
-                                 info.csv_options, ctx.num_threads * 4);
-  }
-  if (morsels.size() > 1) {
-    ParallelTableScanOperator::Options popts;
-    popts.num_threads = ctx.num_threads;
-    popts.rebase_row_ids = true;  // morsel children emit range-local ids
-    popts.merge_pmap_into = build;
-    std::vector<OperatorPtr> children;
-    for (const ByteMorsel& m : morsels) {
-      PositionalMap* child_pmap = nullptr;
-      if (build != nullptr) {
-        popts.partial_pmaps.push_back(
-            std::make_unique<PositionalMap>(PositionalMap::WithStride(
-                info.schema.num_fields(), info.pmap_stride)));
-        child_pmap = popts.partial_pmaps.back().get();
-      }
-      if (use_jit) {
-        JitScanArgs args;
-        args.spec = make_jit_spec();
-        args.output_schema = qualified;
-        args.file = entry->mmap();
-        args.build_pmap = child_pmap;
-        args.window_begin = m.begin;
-        args.window_end = m.end;
-        args.batch_rows = opts.batch_rows;
-        children.push_back(
-            std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
-      } else {
-        CsvScanSpec spec = make_insitu_spec();
-        spec.build_pmap = child_pmap;
-        spec.range_begin = m.begin;
-        spec.range_end = m.end;
-        children.push_back(WrapQualified(
-            std::make_unique<InsituCsvScanOperator>(entry->mmap(),
-                                                    std::move(spec)),
-            qualified));
-      }
-    }
-    (*ctx.desc) << "[parallel x" << ctx.num_threads << " morsels="
-                << morsels.size() << "] ";
-    return wrap_publish(std::make_unique<ParallelTableScanOperator>(
-        qualified, std::move(children), std::move(popts)));
-  }
-
-  if (use_jit) {
-    JitScanArgs args;
-    args.spec = make_jit_spec();
-    args.output_schema = qualified;
-    args.file = entry->mmap();
-    args.build_pmap = build;
-    args.batch_rows = opts.batch_rows;
-    return wrap_publish(
-        std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
-  }
-  CsvScanSpec spec = make_insitu_spec();
-  spec.build_pmap = build;
-  return wrap_publish(WrapQualified(std::make_unique<InsituCsvScanOperator>(
-                                        entry->mmap(), std::move(spec)),
-                                    qualified));
-}
-
-/// Warm CSV scan: jump to every mapped row via the positional map. With
-/// num_threads > 1 the mapped rows split into row-range morsels; ids are
-/// already file-global, so no rebasing is needed.
-StatusOr<OperatorPtr> BuildCsvPositionalScan(BuildCtx& ctx, TableCtx& tc,
-                                             const std::vector<int>& cols,
-                                             const Schema& qualified) {
-  TableEntry* entry = tc.entry;
-  const TableInfo& info = entry->info;
-  const PlannerOptions& opts = *ctx.opts;
-  const PositionalMap& pmap = *tc.published_pmap;
-  int anchor = pmap.tracked_columns().front();
-  for (int t : pmap.tracked_columns()) {
-    if (t <= cols.front()) anchor = t;
-  }
-  (*ctx.desc) << "[pmap-scan " << info.name << " anchor=" << anchor << "] ";
-  const bool use_jit = opts.access_path == AccessPathKind::kJit &&
-                       CsvJitEligible(*entry, cols);
-
-  auto make_jit_args = [&](RowSet rows) -> StatusOr<JitScanArgs> {
-    RAW_RETURN_NOT_OK(FillPositions(pmap, pmap.SlotFor(anchor), &rows));
-    AccessPathSpec spec;
-    spec.format = FileFormat::kCsv;
-    spec.mode = ScanMode::kByPosition;
-    spec.delimiter = info.csv_options.delimiter;
-    spec.anchor_column = anchor;
-    for (int c : cols) {
-      spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
-    }
-    JitScanArgs args;
-    args.spec = std::move(spec);
-    args.output_schema = qualified;
-    args.file = entry->mmap();
-    args.row_set = std::move(rows);
-    args.batch_rows = opts.batch_rows;
-    return args;
-  };
-  auto make_insitu = [&](std::optional<RowSet> rows) {
-    CsvScanSpec spec;
-    spec.file_schema = info.schema;
-    spec.outputs = cols;
-    spec.options = info.csv_options;
-    spec.quoted = entry->csv_quoted();
-    spec.batch_rows = opts.batch_rows;
-    spec.use_pmap = &pmap;
-    spec.anchor_column = anchor;
-    spec.row_set = std::move(rows);
-    return WrapQualified(std::make_unique<InsituCsvScanOperator>(
-                             entry->mmap(), std::move(spec)),
-                         qualified);
-  };
-  auto iota_rows = [](int64_t first, int64_t count) {
-    RowSet rows;
-    rows.ids.resize(static_cast<size_t>(count));
-    for (int64_t i = 0; i < count; ++i) {
-      rows.ids[static_cast<size_t>(i)] = first + i;
-    }
-    return rows;
-  };
-
-  std::vector<RowMorsel> morsels;
-  if (ctx.num_threads > 1) {
-    morsels = SplitPmapRowRanges(pmap, ctx.num_threads * 4);
-  }
-  if (morsels.size() > 1) {
-    ParallelTableScanOperator::Options popts;
-    popts.num_threads = ctx.num_threads;
-    std::vector<OperatorPtr> children;
-    for (const RowMorsel& m : morsels) {
-      if (use_jit) {
-        RAW_ASSIGN_OR_RETURN(JitScanArgs args,
-                             make_jit_args(iota_rows(m.first, m.count)));
-        children.push_back(
-            std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
-      } else {
-        children.push_back(make_insitu(iota_rows(m.first, m.count)));
-      }
-    }
-    (*ctx.desc) << "[parallel x" << ctx.num_threads << " morsels="
-                << morsels.size() << "] ";
-    return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
-        qualified, std::move(children), std::move(popts)));
-  }
-
-  if (use_jit) {
-    RAW_ASSIGN_OR_RETURN(JitScanArgs args,
-                         make_jit_args(iota_rows(0, pmap.num_rows())));
-    return OperatorPtr(
-        std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
-  }
-  return make_insitu(std::nullopt);
-}
-
-/// Full binary scan; with num_threads > 1, row-range morsels. Binary morsels
-/// know their first row up front, so ids stay global (JIT kernels emit
-/// window-local ids that JitScanOperator rebases by row_id_offset).
-StatusOr<OperatorPtr> BuildBinSequentialScan(BuildCtx& ctx, TableCtx& tc,
-                                             const std::vector<int>& cols,
-                                             const Schema& qualified) {
-  TableEntry* entry = tc.entry;
-  const TableInfo& info = entry->info;
-  const PlannerOptions& opts = *ctx.opts;
-  (*ctx.desc) << "[bin-scan " << info.name << "] ";
-
-  if (opts.access_path == AccessPathKind::kJit) {
-    RAW_ASSIGN_OR_RETURN(BinaryLayout layout, BinaryLayout::Create(info.schema));
-    auto make_jit_args = [&](int64_t first, int64_t count) {
-      AccessPathSpec spec;
-      spec.format = FileFormat::kBinary;
-      spec.mode = ScanMode::kSequential;
-      spec.row_width = layout.row_width();
-      for (int c : cols) {
-        spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
-        spec.column_offsets.push_back(layout.ColumnOffset(c));
-      }
-      JitScanArgs args;
-      args.spec = std::move(spec);
-      args.output_schema = qualified;
-      args.file = entry->mmap();
-      args.total_rows = count;
-      args.batch_rows = opts.batch_rows;
-      if (first > 0 || count < entry->bin_reader()->num_rows()) {
-        const uint64_t width = static_cast<uint64_t>(layout.row_width());
-        args.window_begin = static_cast<uint64_t>(first) * width;
-        args.window_end = static_cast<uint64_t>(first + count) * width;
-        args.row_id_offset = first;
-      }
-      return args;
-    };
-    std::vector<RowMorsel> morsels;
-    if (ctx.num_threads > 1) {
-      morsels = SplitRowRanges(entry->bin_reader()->num_rows(),
-                               ctx.num_threads * 4);
-    }
-    if (morsels.size() > 1) {
-      ParallelTableScanOperator::Options popts;
-      popts.num_threads = ctx.num_threads;
-      std::vector<OperatorPtr> children;
-      for (const RowMorsel& m : morsels) {
-        children.push_back(std::make_unique<JitScanOperator>(
-            ctx.jit, make_jit_args(m.first, m.count)));
-      }
-      (*ctx.desc) << "[parallel x" << ctx.num_threads << " morsels="
-                  << morsels.size() << "] ";
-      return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
-          qualified, std::move(children), std::move(popts)));
-    }
-    return OperatorPtr(std::make_unique<JitScanOperator>(
-        ctx.jit, make_jit_args(0, entry->bin_reader()->num_rows())));
-  }
-
-  auto make_insitu = [&](int64_t first, int64_t count) {
-    BinScanSpec spec;
-    spec.outputs = cols;
-    spec.batch_rows = opts.batch_rows;
-    spec.first_row = first;
-    spec.num_rows = count;
-    return WrapQualified(std::make_unique<InsituBinScanOperator>(
-                             entry->bin_reader(), std::move(spec)),
-                         qualified);
-  };
-  std::vector<RowMorsel> morsels;
-  if (ctx.num_threads > 1) {
-    morsels = SplitRowRanges(entry->bin_reader()->num_rows(),
-                             ctx.num_threads * 4);
-  }
-  if (morsels.size() > 1) {
-    ParallelTableScanOperator::Options popts;
-    popts.num_threads = ctx.num_threads;
-    std::vector<OperatorPtr> children;
-    for (const RowMorsel& m : morsels) {
-      children.push_back(make_insitu(m.first, m.count));
-    }
-    (*ctx.desc) << "[parallel x" << ctx.num_threads << " morsels="
-                << morsels.size() << "] ";
-    return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
-        qualified, std::move(children), std::move(popts)));
-  }
-  return make_insitu(0, entry->bin_reader()->num_rows());
-}
-
-/// Builds the raw-file scan for `cols` of `entry` (no cache involvement).
-StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, TableCtx& tc,
+/// Builds the raw-file scan for `cols` of the context's table by dispatching
+/// to its format driver (no cache involvement). Every driver's BuildScan is
+/// a full scan today; the out-param stays for cache bookkeeping.
+StatusOr<OperatorPtr> BuildRawScan(BuildCtx& ctx, FormatScanContext& tc,
                                    const std::vector<int>& cols,
                                    bool* full_scan) {
-  TableEntry* entry = tc.entry;
-  const TableInfo& info = entry->info;
-  const PlannerOptions& opts = *ctx.opts;
   *full_scan = true;
-  Schema qualified = QualifiedSchema(*entry, cols);
-
-  switch (info.format) {
-    case FileFormat::kCsv: {
-      if (opts.access_path == AccessPathKind::kExternalTable) {
-        // The "external tables" baseline re-parses everything per query by
-        // design; it stays serial (it is a comparison system, not a target).
-        auto ext = std::make_unique<ExternalTableScanOperator>(
-            entry->mmap(), info.schema, cols, info.csv_options,
-            opts.batch_rows);
-        return WrapQualified(std::move(ext), qualified);
-      }
-      if (!tc.has_complete_pmap()) {
-        return BuildCsvSequentialScan(ctx, tc, cols, qualified);
-      }
-      return BuildCsvPositionalScan(ctx, tc, cols, qualified);
-    }
-    case FileFormat::kBinary:
-      return BuildBinSequentialScan(ctx, tc, cols, qualified);
-    case FileFormat::kRef: {
-      (*ctx.desc) << "[ref-scan " << info.name << "] ";
-      std::vector<std::string> field_names;
-      bool needs_event_id_derivation = false;
-      for (int c : cols) {
-        const std::string& f = info.schema.field(c).name;
-        field_names.push_back(f);
-        if (f == "eventID" && info.ref_group >= 0) {
-          needs_event_id_derivation = true;
-        }
-      }
-      const bool use_jit = opts.access_path == AccessPathKind::kJit &&
-                           !needs_event_id_derivation;
-
-      auto make_jit_args = [&](int64_t first,
-                               int64_t count) -> StatusOr<JitScanArgs> {
-        AccessPathSpec spec;
-        spec.format = FileFormat::kRef;
-        spec.mode = ScanMode::kSequential;
-        for (size_t i = 0; i < cols.size(); ++i) {
-          RAW_ASSIGN_OR_RETURN(
-              int branch, RefBranchFor(*entry->ref_reader(), info.ref_group,
-                                       field_names[i]));
-          spec.outputs.push_back(OutputField{
-              branch, info.schema.field(cols[i]).type});
-        }
-        JitScanArgs args;
-        args.spec = std::move(spec);
-        args.output_schema = qualified;
-        args.ref_reader = entry->ref_reader();
-        args.first_row = first;
-        args.total_rows = first + count;  // REF kernels scan [cursor, total)
-        args.batch_rows = opts.batch_rows;
-        return args;
-      };
-      auto make_insitu = [&](int64_t first, int64_t count) -> OperatorPtr {
-        RefScanSpec spec;
-        spec.group = info.ref_group;
-        spec.fields = field_names;
-        spec.batch_rows = opts.batch_rows;
-        spec.first_row = first;
-        spec.num_rows = count;
-        auto op = std::make_unique<RefTableScanOperator>(entry->ref_reader(),
-                                                         std::move(spec));
-        std::vector<int> idx(cols.size());
-        std::vector<std::string> names;
-        for (size_t i = 0; i < cols.size(); ++i) {
-          idx[i] = static_cast<int>(i);
-          names.push_back(qualified.field(static_cast<int>(i)).name);
-        }
-        return std::make_unique<SelectColumnsOperator>(
-            std::move(op), std::move(idx), std::move(names));
-      };
-
-      // Morsels split on cluster boundaries of the table's row branch, so
-      // parallel workers decode disjoint cluster sets. Emitted row ids are
-      // file-global already; the driver only re-orders batches.
-      std::vector<RowMorsel> morsels;
-      if (ctx.num_threads > 1) {
-        const RefBranch* row_branch =
-            entry->ref_reader()->RowBranch(info.ref_group);
-        if (row_branch != nullptr) {
-          morsels = SplitRefRowRanges(*row_branch, ctx.num_threads * 4);
-        }
-      }
-      if (morsels.size() > 1) {
-        ParallelTableScanOperator::Options popts;
-        popts.num_threads = ctx.num_threads;
-        std::vector<OperatorPtr> children;
-        for (const RowMorsel& m : morsels) {
-          if (use_jit) {
-            RAW_ASSIGN_OR_RETURN(JitScanArgs args,
-                                 make_jit_args(m.first, m.count));
-            children.push_back(
-                std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
-          } else {
-            children.push_back(make_insitu(m.first, m.count));
-          }
-        }
-        (*ctx.desc) << "[parallel x" << ctx.num_threads << " morsels="
-                    << morsels.size() << "] ";
-        return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
-            qualified, std::move(children), std::move(popts)));
-      }
-
-      if (use_jit) {
-        RAW_ASSIGN_OR_RETURN(JitScanArgs args,
-                             make_jit_args(0, tc.row_count));
-        return OperatorPtr(
-            std::make_unique<JitScanOperator>(ctx.jit, std::move(args)));
-      }
-      return make_insitu(0, -1);
-    }
-  }
-  return Status::Internal("bad format");
+  RAW_ASSIGN_OR_RETURN(const FormatDriver* driver, DriverFor(*tc.entry));
+  (*ctx.desc) << "[format=" << driver->name() << "] ";
+  Schema qualified = QualifiedSchema(*tc.entry, cols);
+  return driver->BuildScan(tc, cols, qualified);
 }
 
 /// Builds the bottom-of-plan scan for `cols`, consulting the shred cache and
 /// the DBMS-loaded copy, and wiring cache population.
-StatusOr<OperatorPtr> BuildBaseScan(BuildCtx& ctx, TableCtx& tc,
+StatusOr<OperatorPtr> BuildBaseScan(BuildCtx& ctx, FormatScanContext& tc,
                                     std::vector<int> cols) {
   cols = SortedUnique(std::move(cols));
   TableEntry* entry = tc.entry;
@@ -945,13 +330,12 @@ StatusOr<OperatorPtr> BuildBaseScan(BuildCtx& ctx, TableCtx& tc,
   }
 
   // Partition into cache-served full columns and raw columns. When this
-  // query holds the (not yet wired) positional-map build claim, skip the
-  // cache so the sequential scan — and with it the map build the late scans
-  // of this very plan rely on — is guaranteed to run.
+  // query holds a (not yet wired) adaptive-state build claim, skip the
+  // cache so the raw scan — and with it the build the late scans of this
+  // very plan rely on — is guaranteed to run.
   std::vector<int> cached_cols, raw_cols;
   std::vector<ColumnPtr> cached_values;
-  const bool must_run_raw_scan =
-      tc.building_pmap != nullptr && !tc.build_wired;
+  const bool must_run_raw_scan = tc.HoldsUnwiredBuildClaim();
   if (opts.use_shred_cache && !must_run_raw_scan) {
     for (int c : cols) {
       auto hit = ctx.shreds->LookupFull(info.name, c);
@@ -996,118 +380,17 @@ StatusOr<OperatorPtr> BuildBaseScan(BuildCtx& ctx, TableCtx& tc,
   return op;
 }
 
-/// Builds a cache-aware late-scan fetcher for `cols` of `entry`.
-StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, TableCtx& tc,
+/// Builds a cache-aware late-scan fetcher for `cols` of the context's table:
+/// the format driver supplies the raw fetcher, the planner adds the generic
+/// parallel and cache-aware wrappers.
+StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, FormatScanContext& tc,
                                      std::vector<int> cols) {
   cols = SortedUnique(std::move(cols));
-  TableEntry* entry = tc.entry;
-  const TableInfo& info = entry->info;
   const PlannerOptions& opts = *ctx.opts;
-  Schema qualified = QualifiedSchema(*entry, cols);
-  RowFetcherPtr inner;
-
-  switch (info.format) {
-    case FileFormat::kCsv: {
-      const PositionalMap* pmap = tc.pmap_view();
-      if (pmap == nullptr) {
-        return Status::Internal(
-            "CSV late scan requires a positional map (none configured)");
-      }
-      int anchor = pmap->tracked_columns().front();
-      for (int t : pmap->tracked_columns()) {
-        if (t <= cols.front()) anchor = t;
-      }
-      if (opts.access_path == AccessPathKind::kJit &&
-          CsvJitEligible(*entry, cols)) {
-        AccessPathSpec spec;
-        spec.format = FileFormat::kCsv;
-        spec.mode = ScanMode::kByPosition;
-        spec.delimiter = info.csv_options.delimiter;
-        spec.anchor_column = anchor;
-        for (int c : cols) {
-          spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
-        }
-        JitScanArgs args;
-        args.spec = std::move(spec);
-        args.output_schema = qualified;
-        args.file = entry->mmap();
-        inner = std::make_unique<JitRowFetcher>(ctx.jit, std::move(args),
-                                                pmap);
-      } else {
-        CsvScanSpec spec;
-        spec.file_schema = info.schema;
-        spec.outputs = cols;
-        spec.options = info.csv_options;
-        spec.quoted = entry->csv_quoted();
-        spec.use_pmap = pmap;
-        spec.anchor_column = anchor;
-        auto fetcher = std::make_unique<InsituRowFetcher>(entry->mmap(),
-                                                          std::move(spec));
-        fetcher->set_fields(qualified);
-        inner = std::move(fetcher);
-      }
-      break;
-    }
-    case FileFormat::kBinary: {
-      if (opts.access_path == AccessPathKind::kJit) {
-        RAW_ASSIGN_OR_RETURN(BinaryLayout layout,
-                             BinaryLayout::Create(info.schema));
-        AccessPathSpec spec;
-        spec.format = FileFormat::kBinary;
-        spec.mode = ScanMode::kByRowIndex;
-        spec.row_width = layout.row_width();
-        for (int c : cols) {
-          spec.outputs.push_back(OutputField{c, info.schema.field(c).type});
-          spec.column_offsets.push_back(layout.ColumnOffset(c));
-        }
-        JitScanArgs args;
-        args.spec = std::move(spec);
-        args.output_schema = qualified;
-        args.file = entry->mmap();
-        inner = std::make_unique<JitRowFetcher>(ctx.jit, std::move(args));
-      } else {
-        BinScanSpec spec;
-        spec.outputs = cols;
-        auto fetcher = std::make_unique<InsituRowFetcher>(
-            entry->bin_reader(), std::move(spec));
-        fetcher->set_fields(qualified);
-        inner = std::move(fetcher);
-      }
-      break;
-    }
-    case FileFormat::kRef: {
-      std::vector<std::string> field_names;
-      bool derived_event_id = false;
-      for (int c : cols) {
-        field_names.push_back(info.schema.field(c).name);
-        if (field_names.back() == "eventID" && info.ref_group >= 0) {
-          derived_event_id = true;
-        }
-      }
-      if (opts.access_path == AccessPathKind::kJit && !derived_event_id) {
-        AccessPathSpec spec;
-        spec.format = FileFormat::kRef;
-        spec.mode = ScanMode::kByRowIndex;
-        for (size_t i = 0; i < cols.size(); ++i) {
-          RAW_ASSIGN_OR_RETURN(
-              int branch, RefBranchFor(*entry->ref_reader(), info.ref_group,
-                                       field_names[i]));
-          spec.outputs.push_back(
-              OutputField{branch, info.schema.field(cols[i]).type});
-        }
-        JitScanArgs args;
-        args.spec = std::move(spec);
-        args.output_schema = qualified;
-        args.ref_reader = entry->ref_reader();
-        inner = std::make_unique<JitRowFetcher>(ctx.jit, std::move(args));
-      } else {
-        inner = std::make_unique<RefRowFetcher>(entry->ref_reader(),
-                                                info.ref_group, field_names,
-                                                qualified);
-      }
-      break;
-    }
-  }
+  Schema qualified = QualifiedSchema(*tc.entry, cols);
+  RAW_ASSIGN_OR_RETURN(const FormatDriver* driver, DriverFor(*tc.entry));
+  RAW_ASSIGN_OR_RETURN(RowFetcherPtr inner,
+                       driver->BuildFetcher(tc, cols, qualified));
   // Big row sets fan out over the pool (order-preserving chunks); the cache
   // wrapper sits outside so a subsuming shred still answers in one lookup.
   if (ctx.num_threads > 1) {
@@ -1117,7 +400,18 @@ StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, TableCtx& tc,
   }
   if (!opts.use_shred_cache) return inner;
   return RowFetcherPtr(std::make_unique<CacheAwareFetcher>(
-      ctx.shreds, info.name, cols, std::move(inner)));
+      ctx.shreds, tc.entry->info.name, cols, std::move(inner)));
+}
+
+/// True when late scans (selective row fetches) against `tc`'s table can
+/// navigate to arbitrary rows — delegated to the format driver, which may
+/// claim an adaptive-state build (positional map, block index) as a side
+/// effect. Returns false for baselines that never build navigation state and
+/// for cold tables whose build claim another in-flight session holds;
+/// callers must then route columns into base scans instead of late scans.
+StatusOr<bool> LateScanFeasible(FormatScanContext& tc) {
+  RAW_ASSIGN_OR_RETURN(const FormatDriver* driver, DriverFor(*tc.entry));
+  return driver->EnsureLateScanNavigable(tc);
 }
 
 // =============================================================================
@@ -1198,10 +492,11 @@ std::optional<double> EstimateSelectivity(ShredCache* shreds,
 
 /// Resolves kAdaptive to a concrete policy for one table side using the
 /// cost model: estimate the combined selectivity below each late-fetch
-/// point, then compare full-column vs shred vs multi-column costs.
+/// point, then compare full-column vs shred vs multi-column costs. The
+/// per-format cost constants come from the table's format driver.
 ShredPolicy ResolveAdaptivePolicy(BuildCtx& ctx, const SidePlan& side) {
   const TableEntry& entry = *side.entry;
-  const TableCtx& tc = ctx.Ctx(side.entry);
+  const FormatScanContext& tc = ctx.Ctx(side.entry);
   if (tc.row_count < 0) {
     // First contact with the file: row count unknown, predicate columns not
     // cached. Shreds are never worse than full columns for the bottom
@@ -1231,13 +526,8 @@ ShredPolicy ResolveAdaptivePolicy(BuildCtx& ctx, const SidePlan& side) {
     fetch_cols += static_cast<int>(side.predicates.size()) - 1;
   }
   in.colocated_columns = std::max(fetch_cols, 1);
-  if (entry.info.format == FileFormat::kCsv && tc.has_complete_pmap()) {
-    // Typical skip distance: half the tracking stride.
-    const auto& tracked = tc.published_pmap->tracked_columns();
-    int stride = tracked.size() > 1 ? tracked[1] - tracked[0]
-                                    : entry.info.schema.num_fields();
-    in.skip_distance = stride / 2;
-  }
+  const FormatDriver* driver = FormatRegistry::Global().Find(entry.info.format);
+  if (driver != nullptr) in.skip_distance = driver->EstimateSkipDistance(tc);
   CostModel model;
   ShredPolicy policy = model.ChoosePolicy(in);
   (*ctx.desc) << "[adaptive: sel=" << selectivity
@@ -1267,20 +557,18 @@ OperatorPtr WrapLateScanCacheInsert(BuildCtx& ctx, OperatorPtr op,
 /// Builds scan -> [late scan, filter]* -> [late scan] for one table.
 StatusOr<OperatorPtr> BuildTableSubplan(BuildCtx& ctx, SidePlan& side) {
   const PlannerOptions& opts = *ctx.opts;
-  TableCtx& tc = ctx.Ctx(side.entry);
+  FormatScanContext& tc = ctx.Ctx(side.entry);
   const std::string& table = side.entry->info.name;
 
-  // A CSV table without any positional map in reach (published, or built by
-  // this very query) cannot serve late scans: force every column into the
-  // base scan instead. This covers build_positional_map=false and the case
-  // where another in-flight session holds the build claim.
-  bool csv_can_late_scan = true;
-  if (side.entry->info.format == FileFormat::kCsv &&
-      opts.access_path != AccessPathKind::kLoaded &&
-      opts.access_path != AccessPathKind::kExternalTable &&
-      !tc.has_complete_pmap()) {
-    csv_can_late_scan = LateScanFeasible(ctx, tc);
-    if (!csv_can_late_scan) {
+  // A table without navigable late-scan access in reach (e.g. a cold CSV
+  // file whose positional-map build claim another in-flight session holds,
+  // or build_positional_map=false) cannot serve late scans: force every
+  // column into the base scan instead. The format driver owns the decision.
+  bool can_late_scan = true;
+  if (opts.access_path != AccessPathKind::kLoaded &&
+      opts.access_path != AccessPathKind::kExternalTable) {
+    RAW_ASSIGN_OR_RETURN(can_late_scan, LateScanFeasible(tc));
+    if (!can_late_scan) {
       (*ctx.desc) << "[no-pmap: full columns " << table << "] ";
     }
   }
@@ -1289,7 +577,7 @@ StatusOr<OperatorPtr> BuildTableSubplan(BuildCtx& ctx, SidePlan& side) {
       side.policy == ShredPolicy::kFullColumns ||
       opts.access_path == AccessPathKind::kLoaded ||
       opts.access_path == AccessPathKind::kExternalTable ||
-      !csv_can_late_scan;
+      !can_late_scan;
 
   std::vector<int> base_cols = side.force_base;
   std::set<int> have;
@@ -1398,7 +686,7 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
   // assert on this so recorded numbers prove which path executed.
   desc << "[kernels=" << KernelTierName(ActiveKernelTier()) << "] ";
   double compile_seconds = 0;
-  std::map<TableEntry*, TableCtx> table_ctxs;
+  std::map<TableEntry*, FormatScanContext> table_ctxs;
   BuildCtx ctx{catalog_,         jit_,  shreds_,
                &options,         &compile_seconds,
                &desc,            ResolveNumThreads(options.num_threads),
@@ -1412,16 +700,21 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
     ctx.Ctx(entry);  // snapshot adaptive state once per query
   }
 
-  // If planning fails after a table context claimed a pmap build without
-  // wiring it into an operator (which would own the claim), release it.
+  // If planning fails after a table context claimed an adaptive-state build
+  // without wiring it into an operator (which would own the claim), release
+  // it.
   struct ClaimGuard {
-    std::map<TableEntry*, TableCtx>* tables;
+    std::map<TableEntry*, FormatScanContext>* tables;
     bool disarm = false;
     ~ClaimGuard() {
       if (disarm) return;
       for (auto& [entry, tc] : *tables) {
-        if (tc.building_pmap != nullptr && !tc.build_wired) {
+        if (tc.building_pmap != nullptr && !tc.pmap_build_wired) {
           entry->AbandonPmapBuild();
+        }
+        if (tc.building_format_state != nullptr &&
+            !tc.format_state_build_wired) {
+          entry->AbandonFormatStateBuild();
         }
       }
     }
@@ -1517,13 +810,15 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
 
     // Projected / aggregated columns: placement decides which side structure
     // receives them (early -> base scan, intermediate -> after side filters,
-    // late -> after the join). Post-join late scans need a navigable
-    // positional map for CSV sides; when none is in reach (baseline access
-    // paths, build_positional_map off, or another session holds the build
-    // claim) the columns demote to intermediate placement instead of
-    // failing at fetch time.
-    const bool probe_late_ok = LateScanFeasible(ctx, ctx.Ctx(probe_entry));
-    const bool build_late_ok = LateScanFeasible(ctx, ctx.Ctx(build_entry));
+    // late -> after the join). Post-join late scans need navigable row
+    // access on their side; when none is in reach (baseline access paths,
+    // build_positional_map off, or another session holds the build claim)
+    // the columns demote to intermediate placement instead of failing at
+    // fetch time.
+    RAW_ASSIGN_OR_RETURN(const bool probe_late_ok,
+                         LateScanFeasible(ctx.Ctx(probe_entry)));
+    RAW_ASSIGN_OR_RETURN(const bool build_late_ok,
+                         LateScanFeasible(ctx.Ctx(build_entry)));
     std::vector<OutCol> late_probe, late_build;
     auto place = [&](const OutCol& c) {
       if (c.entry == nullptr) return;
@@ -1698,9 +993,13 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
   for (auto& [entry, tc] : table_ctxs) {
     if (tc.published_pmap != nullptr) plan.resources.push_back(tc.published_pmap);
     if (tc.building_pmap != nullptr) plan.resources.push_back(tc.building_pmap);
+    if (tc.format_state != nullptr) plan.resources.push_back(tc.format_state);
+    if (tc.building_format_state != nullptr) {
+      plan.resources.push_back(tc.building_format_state);
+    }
     if (tc.loaded != nullptr) plan.resources.push_back(tc.loaded);
   }
-  claim_guard.disarm = true;  // wired claims are owned by PmapPublishOperator
+  claim_guard.disarm = true;  // wired claims are owned by publish operators
 
   plan.root = std::move(op);
   plan.description = desc.str();

@@ -104,6 +104,16 @@ class RawEngine {
   Status RegisterRef(const std::string& prefix, const std::string& path) {
     return catalog_.RegisterRef(prefix, path);
   }
+  /// Registers a line-delimited JSON file (one flat object per line).
+  Status RegisterJsonl(const std::string& name, const std::string& path,
+                       Schema schema, int pmap_stride = 10) {
+    return catalog_.RegisterJsonl(name, path, std::move(schema), pmap_stride);
+  }
+  /// Registers a gzip-compressed CSV file (single- or multi-member).
+  Status RegisterCsvGz(const std::string& name, const std::string& path,
+                       Schema schema, CsvOptions csv = CsvOptions()) {
+    return catalog_.RegisterCsvGz(name, path, std::move(schema), csv);
+  }
 
   // --- sessions --------------------------------------------------------------
   /// Opens a client session with the engine's default planner options (or an

@@ -1,0 +1,93 @@
+#include "format/format.h"
+
+#include <mutex>
+#include <utility>
+
+#include "format/format_driver.h"
+
+namespace raw {
+
+FormatRegistry& FormatRegistry::Global() {
+  static FormatRegistry* registry = new FormatRegistry();
+  return *registry;
+}
+
+Status FormatRegistry::Register(std::unique_ptr<FormatDriver> driver) {
+  if (driver == nullptr) {
+    return Status::InvalidArgument("cannot register a null format driver");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = drivers_.find(driver->format());
+  if (it != drivers_.end()) {
+    return Status::AlreadyExists(
+        "a format driver named '" + std::string(it->second->name()) +
+        "' is already registered for format value " +
+        std::to_string(static_cast<int>(driver->format())));
+  }
+  for (const auto& [format, existing] : drivers_) {
+    if (existing->name() == driver->name()) {
+      return Status::AlreadyExists("a format driver named '" +
+                                   std::string(driver->name()) +
+                                   "' is already registered");
+    }
+  }
+  drivers_[driver->format()] = std::move(driver);
+  return Status::OK();
+}
+
+const FormatDriver* FormatRegistry::Find(FileFormat format) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = drivers_.find(format);
+  return it == drivers_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<const FormatDriver*> FormatRegistry::Require(
+    FileFormat format) const {
+  const FormatDriver* driver = Find(format);
+  if (driver != nullptr) return driver;
+  std::string names;
+  for (const FormatDriver* d : Drivers()) {
+    if (!names.empty()) names += ", ";
+    names += d->name();
+  }
+  return Status::NotFound(
+      "no format driver registered for format value " +
+      std::to_string(static_cast<int>(format)) + " (registered: " +
+      (names.empty() ? std::string("none") : names) + ")");
+}
+
+const FormatDriver* FormatRegistry::FindByName(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [format, driver] : drivers_) {
+    if (driver->name() == name) return driver.get();
+  }
+  return nullptr;
+}
+
+std::vector<const FormatDriver*> FormatRegistry::Drivers() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<const FormatDriver*> out;
+  out.reserve(drivers_.size());
+  for (const auto& [format, driver] : drivers_) out.push_back(driver.get());
+  return out;
+}
+
+std::string_view FileFormatToString(FileFormat format) {
+  const FormatDriver* driver = FormatRegistry::Global().Find(format);
+  return driver != nullptr ? driver->name() : "unregistered";
+}
+
+StatusOr<FileFormat> ParseFileFormat(std::string_view name) {
+  const FormatDriver* driver = FormatRegistry::Global().FindByName(name);
+  if (driver != nullptr) return driver->format();
+  std::string names;
+  for (const FormatDriver* d : FormatRegistry::Global().Drivers()) {
+    if (!names.empty()) names += ", ";
+    names += d->name();
+  }
+  return Status::NotFound("unknown format '" + std::string(name) +
+                          "' (registered: " +
+                          (names.empty() ? std::string("none") : names) + ")");
+}
+
+}  // namespace raw

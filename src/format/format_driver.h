@@ -1,0 +1,251 @@
+#ifndef RAW_FORMAT_FORMAT_DRIVER_H_
+#define RAW_FORMAT_FORMAT_DRIVER_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "csv/positional_map.h"
+#include "format/format.h"
+#include "jit/access_path_spec.h"
+#include "scan/access_path.h"
+
+namespace raw {
+
+class Catalog;
+class InMemoryTable;
+class JitTemplateCache;
+struct CostParams;
+struct PlannerOptions;
+struct TableEntry;
+
+/// Opaque base for per-format adaptive runtime state a driver publishes on a
+/// TableEntry as a side effect of scanning — the generalization of the CSV
+/// positional map to structures only one format understands (e.g. the
+/// compressed-CSV block-offset index). Published snapshots are immutable and
+/// shared_ptr-pinned per query, exactly like positional maps, so
+/// ResetAdaptiveState can drop the entry's reference while in-flight queries
+/// keep theirs.
+struct FormatAdaptiveState {
+  virtual ~FormatAdaptiveState() = default;
+  /// Memory footprint, reported through TableStats.
+  virtual int64_t MemoryBytes() const { return 0; }
+};
+
+/// Per-format cost parameters the shared cost model charges for one value —
+/// the driver-owned half of CostModel (engine/cost_model.h keeps only the
+/// format-independent pieces). `base` tuning knobs come from CostParams so a
+/// custom-calibrated model still reaches every driver.
+struct FormatCostParams {
+  /// Materialize one value during a forward scan (tokenize/convert/read).
+  double read_value = 1.0;
+  /// Position to one row for selective access (map jump, offset computation).
+  double jump = 0.0;
+  /// Incrementally parse past one intervening field after a jump.
+  double skip_field = 0.0;
+  /// Extra per-value cost when row ids arrive out of order (random access).
+  double random_penalty = 0.0;
+  /// True when adjacent columns ride along almost for free after one jump —
+  /// enables the multi-column (speculative) shred policy of §5.3.1.
+  bool colocated_shreds = false;
+};
+
+/// Per-(query, table) planning context threaded through every FormatDriver
+/// hook: the adaptive-state snapshot taken when planning started (one
+/// consistent view even while other sessions publish maps or reset the
+/// engine), the planner options, and the plan-description sink. The planner
+/// owns one per table; drivers update the build-claim fields when they wire
+/// adaptive-state construction into a scan.
+struct FormatScanContext {
+  TableEntry* entry = nullptr;
+  const PlannerOptions* opts = nullptr;
+  JitTemplateCache* jit = nullptr;
+  int num_threads = 1;           // resolved from opts once per plan
+  std::ostringstream* desc = nullptr;  // plan-description sink
+
+  /// Complete, immutable map published by an earlier query (may be null).
+  std::shared_ptr<const PositionalMap> published_pmap;
+  /// Map this query is building (claim held); merged/appended during the
+  /// base scan, published on full drain.
+  std::shared_ptr<PositionalMap> building_pmap;
+  bool pmap_build_wired = false;  // a scan of this plan already builds it
+
+  /// Published per-format adaptive state (e.g. a block index), or null.
+  std::shared_ptr<const FormatAdaptiveState> format_state;
+  /// Per-format state this query is building (claim held).
+  std::shared_ptr<FormatAdaptiveState> building_format_state;
+  bool format_state_build_wired = false;
+
+  std::shared_ptr<const InMemoryTable> loaded;  // resolved for kLoaded
+  int64_t row_count = -1;
+
+  bool has_complete_pmap() const {
+    return published_pmap != nullptr && !published_pmap->empty();
+  }
+  /// The map same-query late scans should navigate: the one being built, or
+  /// the published one.
+  const PositionalMap* pmap_view() const {
+    if (building_pmap != nullptr) return building_pmap.get();
+    return published_pmap.get();
+  }
+  /// True while this query holds an adaptive-state build claim that no scan
+  /// operator owns yet — the base scan must then run raw so the build
+  /// actually happens (see Planner::BuildBaseScan).
+  bool HoldsUnwiredBuildClaim() const {
+    return (building_pmap != nullptr && !pmap_build_wired) ||
+           (building_format_state != nullptr && !format_state_build_wired);
+  }
+};
+
+/// Everything the engine needs to query one raw-file format in situ. One
+/// stateless, immutable instance per format lives in the FormatRegistry;
+/// every hook must be thread-safe (drivers hold no mutable state — per-table
+/// state lives on TableEntry, per-query state in FormatScanContext).
+///
+/// The contract, hook by hook, is documented in docs/format-drivers.md
+/// ("Writing a format driver"); the short version:
+///  * OpenTable/RefreshEntry/PrepareShared run under the catalog's per-entry
+///    open lock; they install stable handles (mmap, readers) that outlive
+///    every query.
+///  * BuildScan returns the complete (possibly morsel-parallel) scan
+///    operator for `cols`, with outputs renamed to `qualified`; morsels come
+///    from the driver's own SplitMorsels and must cover every row exactly
+///    once, aligned so workers never split a row.
+///  * BuildFetcher returns a re-entrant RowFetcher (Fetch may be called
+///    concurrently; build private cursors per call over shared immutable
+///    state).
+///  * Adaptive-state hooks (EnsureLateScanNavigable, the claim fields on
+///    FormatScanContext) let a driver gate late scans on navigation
+///    structures and build them as scan side effects.
+class FormatDriver {
+ public:
+  virtual ~FormatDriver() = default;
+
+  virtual FileFormat format() const = 0;
+  /// Short stable name ("csv", "jsonl", ...): printed in plan descriptions
+  /// as `[format=<name>]`, parsed by ParseFileFormat, used in JIT cache keys.
+  virtual std::string_view name() const = 0;
+
+  // --- catalog hooks ---------------------------------------------------------
+
+  /// Opens the per-table handles (runs once per entry, serialized by the
+  /// entry's open lock). Handles must stay valid for the engine's lifetime.
+  virtual Status OpenTable(TableEntry& entry) const = 0;
+
+  /// Runs on every catalog lookup after the entry is open — refresh derived
+  /// state that may change between queries (e.g. REF row counts served by a
+  /// shared reader). Default: nothing.
+  virtual void RefreshEntry(TableEntry& entry) const { (void)entry; }
+
+  /// Resolves catalog-wide shared resources before OpenTable (e.g. one REF
+  /// reader shared by all derived tables of a file). Default: nothing.
+  virtual Status PrepareShared(Catalog& catalog, TableEntry& entry) const {
+    (void)catalog;
+    (void)entry;
+    return Status::OK();
+  }
+
+  /// Fully materializes the table — the "DBMS" baseline load (§2.1).
+  virtual StatusOr<std::unique_ptr<InMemoryTable>> LoadTable(
+      const TableEntry& entry) const = 0;
+
+  // --- planner hooks ---------------------------------------------------------
+
+  /// True when late scans (selective row fetches) against the table can
+  /// navigate to arbitrary rows. Drivers needing an adaptive navigation
+  /// structure (CSV/JSONL positional maps) claim its build here as a side
+  /// effect; returning false routes every column into the base scan.
+  virtual bool EnsureLateScanNavigable(FormatScanContext& ctx) const {
+    (void)ctx;
+    return true;
+  }
+
+  /// Estimated fields to incrementally parse past per selective fetch —
+  /// feeds ShredDecisionInput::skip_distance. Formats with computed or
+  /// exactly-mapped offsets return 0.
+  virtual int EstimateSkipDistance(const FormatScanContext& ctx) const {
+    (void)ctx;
+    return 0;
+  }
+
+  /// Splits the table into independently scannable ranges for the access
+  /// path the driver would choose under `ctx` (cold scans split the raw
+  /// bytes, warm scans split mapped/indexed rows). At most `target_morsels`
+  /// ranges, covering all data exactly once, aligned to row boundaries.
+  virtual std::vector<ScanRange> SplitMorsels(const FormatScanContext& ctx,
+                                              int target_morsels) const = 0;
+
+  /// Builds the full scan operator over `cols` (ascending table column
+  /// indices), outputs renamed to `qualified`. The driver owns access-path
+  /// choice (interpreted vs JIT vs positional), morsel parallelism (via
+  /// SplitMorsels + ParallelTableScanOperator), and adaptive-state build
+  /// wiring; generic cache glue stays in the planner.
+  virtual StatusOr<OperatorPtr> BuildScan(FormatScanContext& ctx,
+                                          const std::vector<int>& cols,
+                                          const Schema& qualified) const = 0;
+
+  /// Builds the late-scan row fetcher for `cols` (fields() == `qualified`).
+  /// Must be re-entrant (see class comment). The planner adds the parallel
+  /// and cache-aware wrappers.
+  virtual StatusOr<RowFetcherPtr> BuildFetcher(FormatScanContext& ctx,
+                                               const std::vector<int>& cols,
+                                               const Schema& qualified)
+      const = 0;
+
+  // --- cost model ------------------------------------------------------------
+
+  /// Per-value access costs, derived from the model's tuning knobs.
+  virtual FormatCostParams cost_params(const CostParams& base) const = 0;
+
+  // --- JIT plug-in -----------------------------------------------------------
+
+  /// Emits the C++ translation unit for a generated scan kernel ("a
+  /// file-format-specific plug-in is activated for each scan operator
+  /// specification", §3). Default: no JIT support.
+  virtual StatusOr<std::string> EmitJitSource(
+      const AccessPathSpec& /*spec*/) const {
+    return Status::NotImplemented("format '" + std::string(name()) +
+                                  "' has no JIT code-generation plug-in");
+  }
+};
+
+/// Process-wide FileFormat -> FormatDriver registry. Registration happens at
+/// engine construction (see engine/formats/builtin.h) or from user code for
+/// out-of-tree formats; lookups are lock-cheap and the returned drivers are
+/// immortal, so planners and codegen dispatch through raw pointers.
+class FormatRegistry {
+ public:
+  static FormatRegistry& Global();
+
+  /// Installs a driver; AlreadyExists if the format or name is taken.
+  Status Register(std::unique_ptr<FormatDriver> driver);
+
+  /// Driver for `format`, or null when none is registered.
+  const FormatDriver* Find(FileFormat format) const;
+
+  /// Driver for `format`, or an annotated NotFound naming the format value
+  /// and the registered drivers — the error surfaces at Register*/plan time
+  /// instead of crashing a per-format switch.
+  StatusOr<const FormatDriver*> Require(FileFormat format) const;
+
+  /// Driver by name ("csv", "jsonl", ...), or null.
+  const FormatDriver* FindByName(std::string_view name) const;
+
+  /// All registered drivers, ordered by format value.
+  std::vector<const FormatDriver*> Drivers() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<FileFormat, std::unique_ptr<FormatDriver>> drivers_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_FORMAT_FORMAT_DRIVER_H_

@@ -4,18 +4,6 @@
 
 namespace raw {
 
-std::string_view FileFormatToString(FileFormat format) {
-  switch (format) {
-    case FileFormat::kCsv:
-      return "csv";
-    case FileFormat::kBinary:
-      return "binary";
-    case FileFormat::kRef:
-      return "ref";
-  }
-  return "?";
-}
-
 std::string_view ScanModeToString(ScanMode mode) {
   switch (mode) {
     case ScanMode::kSequential:

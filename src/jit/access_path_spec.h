@@ -5,17 +5,9 @@
 #include <vector>
 
 #include "common/types.h"
+#include "format/format.h"
 
 namespace raw {
-
-/// Raw-file formats the engine has code-generation plug-ins for.
-enum class FileFormat : uint8_t {
-  kCsv = 0,
-  kBinary = 1,
-  kRef = 2,
-};
-
-std::string_view FileFormatToString(FileFormat format);
 
 /// How a generated kernel walks the file.
 enum class ScanMode : uint8_t {

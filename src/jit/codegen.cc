@@ -1,0 +1,17 @@
+#include "jit/codegen.h"
+
+#include "format/format_driver.h"
+
+namespace raw {
+
+StatusOr<std::string> GenerateScanSource(const AccessPathSpec& spec) {
+  // Format dispatch goes through the registry: a driver either delegates to
+  // one of the plug-ins below (the built-in formats) or emits its own
+  // kernels; formats without a plug-in report Unimplemented and the planner
+  // keeps them on the interpreted path.
+  RAW_ASSIGN_OR_RETURN(const FormatDriver* driver,
+                       FormatRegistry::Global().Require(spec.format));
+  return driver->EmitJitSource(spec);
+}
+
+}  // namespace raw

@@ -1,0 +1,229 @@
+#include "jsonl/jsonl_parser.h"
+
+#include "common/macros.h"
+
+#include <cstring>
+
+#include "common/kernels.h"
+
+namespace raw {
+namespace {
+
+inline const char* SkipSpace(const char* p, const char* end) {
+  while (p != end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p;
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed JSONL row: ") + what);
+}
+
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+StatusOr<uint32_t> ParseHex4(const char* p, const char* end) {
+  if (end - p < 4) return Malformed("truncated \\u escape");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    char c = p[i];
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      return Malformed("invalid \\u escape digit");
+    }
+  }
+  return v;
+}
+
+/// Scans a JSON string starting *after* the opening quote; returns the span
+/// of its content and leaves `*pp` one past the closing quote. Rides the
+/// dispatched SWAR/SIMD byte scanners: each step jumps to the next quote or
+/// backslash instead of inspecting every character.
+Status ScanJsonString(const char** pp, const char* end, const char** content,
+                      int32_t* size, bool* escaped) {
+  const char* start = *pp;
+  const char* p = start;
+  *escaped = false;
+  while (true) {
+    p = ScanForEither(p, end, '"', '\\');
+    if (p == end) return Malformed("unterminated string");
+    if (*p == '"') break;
+    // Backslash: skip the escape introducer and the escaped character.
+    *escaped = true;
+    p += 2;
+    if (p > end) return Malformed("unterminated escape");
+  }
+  *content = start;
+  *size = static_cast<int32_t>(p - start);
+  *pp = p + 1;  // past the closing quote
+  return Status::OK();
+}
+
+}  // namespace
+
+Status UnescapeJsonString(const char* data, int32_t size, std::string* out) {
+  out->clear();
+  out->reserve(static_cast<size_t>(size));
+  const char* p = data;
+  const char* end = data + size;
+  while (p != end) {
+    if (*p != '\\') {
+      const char* next = ScanFor(p, end, '\\');
+      out->append(p, static_cast<size_t>(next - p));
+      p = next;
+      continue;
+    }
+    if (++p == end) return Malformed("dangling backslash");
+    switch (*p) {
+      case '"': out->push_back('"'); ++p; break;
+      case '\\': out->push_back('\\'); ++p; break;
+      case '/': out->push_back('/'); ++p; break;
+      case 'b': out->push_back('\b'); ++p; break;
+      case 'f': out->push_back('\f'); ++p; break;
+      case 'n': out->push_back('\n'); ++p; break;
+      case 'r': out->push_back('\r'); ++p; break;
+      case 't': out->push_back('\t'); ++p; break;
+      case 'u': {
+        ++p;
+        RAW_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4(p, end));
+        p += 4;
+        if (cp >= 0xD800 && cp <= 0xDBFF && end - p >= 6 && p[0] == '\\' &&
+            p[1] == 'u') {
+          RAW_ASSIGN_OR_RETURN(uint32_t low, ParseHex4(p + 2, end));
+          if (low >= 0xDC00 && low <= 0xDFFF) {
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            p += 6;
+          }
+        }
+        AppendUtf8(cp, out);
+        break;
+      }
+      default:
+        return Malformed("unknown escape character");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseJsonValue(const char** pp, const char* end, JsonlField* out) {
+  const char* p = *pp;
+  if (p == end) return Malformed("missing value");
+  out->quoted = false;
+  out->escaped = false;
+  if (*p == '"') {
+    out->quoted = true;
+    ++p;
+    RAW_RETURN_NOT_OK(
+        ScanJsonString(&p, end, &out->data, &out->size, &out->escaped));
+    *pp = p;
+    return Status::OK();
+  }
+  if (*p == '{' || *p == '[') {
+    return Malformed("nested objects/arrays are not supported");
+  }
+  // Number / true / false / null: literal text up to a structural character.
+  const char* start = p;
+  while (p != end && *p != ',' && *p != '}' && *p != ' ' && *p != '\t' &&
+         *p != '\r' && *p != '\n') {
+    ++p;
+  }
+  if (p == start) return Malformed("empty value");
+  out->data = start;
+  out->size = static_cast<int32_t>(p - start);
+  *pp = p;
+  return Status::OK();
+}
+
+JsonlRowParser::JsonlRowParser(const Schema& schema)
+    : num_fields_(schema.num_fields()) {
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    index_.emplace(schema.field(c).name, c);
+  }
+}
+
+Status JsonlRowParser::ParseRow(const char** pp, const char* end,
+                                const char* base, JsonlField* fields) const {
+  for (int c = 0; c < num_fields_; ++c) fields[c] = JsonlField{};
+  const char* p = SkipSpace(*pp, end);
+  if (p == end || *p != '{') return Malformed("expected '{'");
+  p = SkipSpace(p + 1, end);
+  if (p != end && *p == '}') {
+    ++p;
+  } else {
+    while (true) {
+      if (p == end || *p != '"') return Malformed("expected key string");
+      const char* key;
+      int32_t key_size;
+      bool key_escaped;
+      ++p;
+      RAW_RETURN_NOT_OK(ScanJsonString(&p, end, &key, &key_size, &key_escaped));
+      if (key_escaped) return Malformed("escaped keys are not supported");
+      p = SkipSpace(p, end);
+      if (p == end || *p != ':') return Malformed("expected ':'");
+      p = SkipSpace(p + 1, end);
+      JsonlField value;
+      // The offset map records the value *including* a string's opening
+      // quote, so a positional jump can re-detect the value kind in place.
+      value.offset = static_cast<uint64_t>(p - base);
+      RAW_RETURN_NOT_OK(ParseJsonValue(&p, end, &value));
+      value.present = true;
+      auto it = index_.find(std::string_view(key, static_cast<size_t>(key_size)));
+      if (it != index_.end()) fields[it->second] = value;
+      p = SkipSpace(p, end);
+      if (p == end) return Malformed("unterminated object");
+      if (*p == ',') {
+        p = SkipSpace(p + 1, end);
+        continue;
+      }
+      if (*p == '}') {
+        ++p;
+        break;
+      }
+      return Malformed("expected ',' or '}'");
+    }
+  }
+  p = SkipSpace(p, end);
+  if (p != end && *p != '\n') return Malformed("trailing data after object");
+  if (p != end) ++p;  // past '\n'
+  *pp = p;
+  for (int c = 0; c < num_fields_; ++c) {
+    if (!fields[c].present) {
+      return Status::InvalidArgument("JSONL row is missing key");
+    }
+  }
+  return Status::OK();
+}
+
+int64_t CountJsonlRows(const char* begin, const char* end) {
+  int64_t rows = 0;
+  const char* p = begin;
+  while (p < end) {
+    const char* line_end = ScanFor(p, end, '\n');
+    const char* q = SkipSpace(p, line_end);
+    if (q != line_end) ++rows;
+    p = (line_end == end) ? end : line_end + 1;
+  }
+  return rows;
+}
+
+}  // namespace raw

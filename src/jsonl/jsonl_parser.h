@@ -1,0 +1,73 @@
+#ifndef RAW_JSONL_JSONL_PARSER_H_
+#define RAW_JSONL_JSONL_PARSER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace raw {
+
+/// A view into one JSON value inside a mapped JSONL file. For string values
+/// the view covers the *content* between the quotes (escapes left in place —
+/// see `escaped`); for numbers / booleans it covers the literal text.
+struct JsonlField {
+  const char* data = nullptr;
+  int32_t size = 0;
+  bool present = false;  // the row contained this schema key
+  bool quoted = false;   // the value was a JSON string
+  bool escaped = false;  // content contains backslash escapes
+  /// Byte offset of the value's first byte (strings: the opening quote),
+  /// relative to the parse base — the JSONL field-offset map entry for this
+  /// value, the generalization of the CSV positional map (§2.3): keys may
+  /// appear in any order, so per-value offsets replace per-column positions.
+  uint64_t offset = 0;
+};
+
+/// Decodes a JSON string span (content between the quotes) into `out`,
+/// resolving \" \\ \/ \b \f \n \r \t and \uXXXX (BMP only; surrogate pairs
+/// are combined) escapes.
+Status UnescapeJsonString(const char* data, int32_t size, std::string* out);
+
+/// Parses the single scalar JSON value starting at `*pp` (no leading
+/// whitespace): a string, number, true, false or null. Advances `*pp` one
+/// past the value. Nested objects and arrays are rejected — RAW's JSONL
+/// driver handles flat objects, mirroring the paper's tabular raw files.
+Status ParseJsonValue(const char** pp, const char* end, JsonlField* out);
+
+/// Reusable parser for the rows of one JSONL file: each line is a flat JSON
+/// object whose keys are matched against a fixed schema. Unknown keys are
+/// skipped; schema keys may appear in any order but must all be present
+/// (RAW columns have no null representation).
+///
+/// The parser is immutable after construction and safe to share across
+/// threads (morsel-parallel scans parse disjoint line ranges concurrently).
+class JsonlRowParser {
+ public:
+  explicit JsonlRowParser(const Schema& schema);
+
+  /// Parses the object on the line starting at `*pp` (leading spaces/tabs
+  /// tolerated) and fills `fields[0..num_fields)` indexed by schema column.
+  /// Offsets are recorded relative to `base`. Advances `*pp` one past the
+  /// row's terminating '\n' (or to `end`). `fields` is reset first.
+  Status ParseRow(const char** pp, const char* end, const char* base,
+                  JsonlField* fields) const;
+
+  int num_fields() const { return num_fields_; }
+
+ private:
+  // Heterogeneous lookup (string_view key probe without allocating).
+  std::map<std::string, int, std::less<>> index_;
+  int num_fields_;
+};
+
+/// Counts data rows (non-empty lines) in the buffer.
+int64_t CountJsonlRows(const char* begin, const char* end);
+
+}  // namespace raw
+
+#endif  // RAW_JSONL_JSONL_PARSER_H_

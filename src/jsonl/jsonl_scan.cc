@@ -1,0 +1,262 @@
+#include "jsonl/jsonl_scan.h"
+
+#include <algorithm>
+
+#include "csv/fast_parse.h"
+
+namespace raw {
+namespace {
+
+inline const char* SkipBlank(const char* p, const char* end) {
+  while (p != end &&
+         (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\n')) {
+    ++p;
+  }
+  return p;
+}
+
+}  // namespace
+
+JsonlScanOperator::JsonlScanOperator(const MmapFile* file, JsonlScanSpec spec)
+    : JsonlScanOperator(file->data(), file->size(), std::move(spec)) {}
+
+JsonlScanOperator::JsonlScanOperator(const char* data, size_t size,
+                                     JsonlScanSpec spec)
+    : data_(data), size_(size), spec_(std::move(spec)),
+      parser_(spec_.file_schema) {
+  output_schema_ = SchemaForColumns(spec_.file_schema, spec_.outputs);
+}
+
+Status JsonlScanOperator::Open() {
+  pos_ = data_;
+  end_ = data_ + size_;
+  if (!spec_.range.whole()) {
+    if (spec_.range.unit != ScanRange::Unit::kBytes) {
+      return Status::InvalidArgument("JSONL scan range must be byte-addressed");
+    }
+    const int64_t size = static_cast<int64_t>(size_);
+    const int64_t range_end = spec_.range.bounded() ? spec_.range.end : size;
+    if (spec_.range.begin < 0 || range_end > size ||
+        spec_.range.begin > range_end) {
+      return Status::InvalidArgument("JSONL scan byte range out of bounds");
+    }
+    pos_ = data_ + spec_.range.begin;
+    end_ = data_ + range_end;
+  }
+  row_ = 0;
+  input_cursor_ = 0;
+  if (spec_.outputs.empty()) {
+    return Status::InvalidArgument("JSONL scan needs at least one output");
+  }
+  if (!std::is_sorted(spec_.outputs.begin(), spec_.outputs.end())) {
+    return Status::InvalidArgument("JSONL scan outputs must be ascending");
+  }
+  for (int c : spec_.outputs) {
+    if (c < 0 || c >= spec_.file_schema.num_fields()) {
+      return Status::InvalidArgument("JSONL scan output column out of range");
+    }
+  }
+  row_fields_.assign(static_cast<size_t>(spec_.file_schema.num_fields()), {});
+  refs_.assign(spec_.outputs.size(), {});
+  if (spec_.use_pmap != nullptr) {
+    needs_full_row_ = false;
+    slot_for_output_.clear();
+    for (int c : spec_.outputs) {
+      int slot = spec_.use_pmap->SlotFor(c);
+      slot_for_output_.push_back(slot);
+      if (slot < 0) needs_full_row_ = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status JsonlScanOperator::ConvertAndBuild(int64_t rows, ColumnBatch* out) {
+  if (spec_.profile) spec_.profile->conversion.Start();
+  std::vector<ColumnPtr> columns;
+  columns.reserve(refs_.size());
+  for (size_t j = 0; j < spec_.outputs.size(); ++j) {
+    DataType type = spec_.file_schema.field(spec_.outputs[j]).type;
+    auto col = std::make_shared<Column>(type);
+    col->Reserve(rows);
+    const std::vector<JsonlField>& fr = refs_[j];
+    for (int64_t i = 0; i < rows; ++i) {
+      const JsonlField& f = fr[static_cast<size_t>(i)];
+      switch (type) {
+        case DataType::kInt32: {
+          RAW_ASSIGN_OR_RETURN(int32_t v, ParseInt32(f.data, f.size));
+          col->Append<int32_t>(v);
+          break;
+        }
+        case DataType::kInt64: {
+          RAW_ASSIGN_OR_RETURN(int64_t v, ParseInt64(f.data, f.size));
+          col->Append<int64_t>(v);
+          break;
+        }
+        case DataType::kFloat32: {
+          RAW_ASSIGN_OR_RETURN(float v, ParseFloat32(f.data, f.size));
+          col->Append<float>(v);
+          break;
+        }
+        case DataType::kFloat64: {
+          RAW_ASSIGN_OR_RETURN(double v, ParseFloat64(f.data, f.size));
+          col->Append<double>(v);
+          break;
+        }
+        case DataType::kBool: {
+          RAW_ASSIGN_OR_RETURN(bool v, ParseBool(f.data, f.size));
+          col->Append<bool>(v);
+          break;
+        }
+        case DataType::kString:
+          if (f.escaped) {
+            RAW_RETURN_NOT_OK(
+                UnescapeJsonString(f.data, f.size, &unescape_scratch_));
+            col->AppendString(unescape_scratch_);
+          } else {
+            col->AppendString(
+                std::string(f.data, static_cast<size_t>(f.size)));
+          }
+          break;
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+  if (spec_.profile) {
+    spec_.profile->conversion.Stop();
+    spec_.profile->build_columns.Start();
+  }
+  for (ColumnPtr& col : columns) out->AddColumn(std::move(col));
+  out->SetNumRows(rows);
+  if (spec_.profile) spec_.profile->build_columns.Stop();
+  return Status::OK();
+}
+
+StatusOr<ColumnBatch> JsonlScanOperator::NextSequential() {
+  ColumnBatch out(output_schema_);
+  pos_ = SkipBlank(pos_, end_);
+  if (pos_ >= end_) return out;
+  if (spec_.profile) spec_.profile->parsing.Start();
+
+  PositionalMap* pmap = spec_.build_pmap;
+  const int num_slots = pmap != nullptr ? pmap->num_tracked() : 0;
+  std::vector<uint64_t> slot_positions(
+      static_cast<size_t>(std::max(num_slots, 1)));
+
+  for (auto& v : refs_) v.clear();
+  row_id_scratch_.clear();
+
+  int64_t rows = 0;
+  while (rows < spec_.batch_rows) {
+    pos_ = SkipBlank(pos_, end_);
+    if (pos_ >= end_) break;
+    const uint64_t row_start = static_cast<uint64_t>(pos_ - data_);
+    RAW_RETURN_NOT_OK(
+        parser_.ParseRow(&pos_, end_, data_, row_fields_.data()));
+    for (size_t j = 0; j < spec_.outputs.size(); ++j) {
+      refs_[j].push_back(
+          row_fields_[static_cast<size_t>(spec_.outputs[j])]);
+    }
+    if (pmap != nullptr) {
+      const auto& tracked = pmap->tracked_columns();
+      for (int s = 0; s < num_slots; ++s) {
+        slot_positions[static_cast<size_t>(s)] =
+            row_fields_[static_cast<size_t>(tracked[static_cast<size_t>(s)])]
+                .offset;
+      }
+      pmap->AppendRow(row_start, slot_positions.data());
+    }
+    row_id_scratch_.push_back(row_);
+    ++row_;
+    ++rows;
+  }
+  if (spec_.profile) spec_.profile->parsing.Stop();
+
+  RAW_RETURN_NOT_OK(ConvertAndBuild(rows, &out));
+  out.SetRowIds(row_id_scratch_);
+  if (spec_.profile) spec_.profile->rows += rows;
+  return out;
+}
+
+StatusOr<ColumnBatch> JsonlScanOperator::NextPositional() {
+  ColumnBatch out(output_schema_);
+  const PositionalMap& pmap = *spec_.use_pmap;
+  const int64_t total = spec_.row_set.has_value() ? spec_.row_set->size()
+                                                  : pmap.num_rows();
+  if (input_cursor_ >= total) return out;
+  if (spec_.profile) spec_.profile->parsing.Start();
+
+  const char* file_end = data_ + size_;
+  for (auto& v : refs_) v.clear();
+  row_id_scratch_.clear();
+
+  int64_t rows = 0;
+  while (rows < spec_.batch_rows && input_cursor_ < total) {
+    int64_t row_id = spec_.row_set.has_value()
+                         ? spec_.row_set->ids[static_cast<size_t>(input_cursor_)]
+                         : input_cursor_;
+    if (row_id < 0 || row_id >= pmap.num_rows()) {
+      return Status::InvalidArgument("JSONL row id outside the offset map");
+    }
+    if (needs_full_row_) {
+      // Some output column is untracked: jump to the row start and parse the
+      // whole object once; every output rides along.
+      const char* p = data_ + pmap.RowStart(row_id);
+      RAW_RETURN_NOT_OK(
+          parser_.ParseRow(&p, file_end, data_, row_fields_.data()));
+      for (size_t j = 0; j < spec_.outputs.size(); ++j) {
+        refs_[j].push_back(
+            row_fields_[static_cast<size_t>(spec_.outputs[j])]);
+      }
+    } else {
+      // Every output is tracked: jump straight to each value's mapped byte
+      // offset — no tokenizing past other fields at all.
+      for (size_t j = 0; j < spec_.outputs.size(); ++j) {
+        const char* p =
+            data_ + pmap.Position(row_id, slot_for_output_[j]);
+        JsonlField value;
+        RAW_RETURN_NOT_OK(ParseJsonValue(&p, file_end, &value));
+        value.present = true;
+        refs_[j].push_back(value);
+      }
+    }
+    row_id_scratch_.push_back(row_id);
+    ++input_cursor_;
+    ++rows;
+  }
+  if (spec_.profile) spec_.profile->parsing.Stop();
+
+  RAW_RETURN_NOT_OK(ConvertAndBuild(rows, &out));
+  out.SetRowIds(row_id_scratch_);
+  if (spec_.profile) spec_.profile->rows += rows;
+  return out;
+}
+
+StatusOr<ColumnBatch> JsonlScanOperator::Next() {
+  if (spec_.use_pmap != nullptr) return NextPositional();
+  return NextSequential();
+}
+
+JsonlRowFetcher::JsonlRowFetcher(const MmapFile* file, JsonlScanSpec spec)
+    : file_(file), spec_(std::move(spec)) {
+  schema_ = SchemaForColumns(spec_.file_schema, spec_.outputs);
+}
+
+StatusOr<std::vector<ColumnPtr>> JsonlRowFetcher::Fetch(const RowSet& rows) {
+  JsonlScanSpec spec = spec_;
+  spec.row_set = rows;
+  spec.batch_rows = std::max<int64_t>(rows.size(), 1);
+  JsonlScanOperator op(file_, std::move(spec));
+  RAW_RETURN_NOT_OK(op.Open());
+  std::vector<ColumnPtr> out;
+  if (rows.empty()) {
+    for (const Field& f : schema_.fields()) {
+      out.push_back(std::make_shared<Column>(f.type));
+    }
+    return out;
+  }
+  RAW_ASSIGN_OR_RETURN(ColumnBatch batch, op.Next());
+  for (int c = 0; c < batch.num_columns(); ++c) out.push_back(batch.column(c));
+  return out;
+}
+
+}  // namespace raw

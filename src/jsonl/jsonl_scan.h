@@ -1,0 +1,117 @@
+#ifndef RAW_JSONL_JSONL_SCAN_H_
+#define RAW_JSONL_JSONL_SCAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/mmap_file.h"
+#include "csv/positional_map.h"
+#include "format/format.h"
+#include "jsonl/jsonl_parser.h"
+#include "scan/access_path.h"
+#include "scan/scan_profile.h"
+
+namespace raw {
+
+/// Configuration of an in-situ scan over line-delimited JSON (one flat
+/// object per line). One spec describes either:
+///  * a sequential scan of a newline-aligned byte range (optionally building
+///    the field-offset map — a PositionalMap whose tracked positions are the
+///    byte offsets of tracked columns' *values*, wherever their keys appear
+///    in each row), or
+///  * a positional scan that jumps straight to mapped value offsets (tracked
+///    columns) or to the row start (untracked columns) for a set of rows.
+struct JsonlScanSpec {
+  Schema file_schema;        // full object schema (all keys)
+  std::vector<int> outputs;  // columns to materialize, ascending
+  int64_t batch_rows = kDefaultBatchRows;
+
+  /// Sequential mode: byte-addressed morsel (default: whole file). Must cut
+  /// on line boundaries (see SplitJsonlByteRanges). Emitted row ids are
+  /// range-local; the parallel scan driver rebases them.
+  ScanRange range;
+
+  /// Sequential mode: build this field-offset map while scanning (may be
+  /// null). Offsets are file-global even for sub-range scans.
+  PositionalMap* build_pmap = nullptr;
+
+  /// Positional mode: jump with this map (null => sequential mode). Unlike
+  /// CSV there is no anchor column — JSON keys carry no positional order, so
+  /// untracked columns re-parse from the row start instead of incrementally
+  /// parsing from a preceding field.
+  const PositionalMap* use_pmap = nullptr;
+
+  /// Positional mode: explicit rows (column shreds). Only `ids` are used;
+  /// positions resolve through the map. When absent, all mapped rows.
+  std::optional<RowSet> row_set;
+
+  ScanProfile* profile = nullptr;  // optional instrumentation
+};
+
+/// The interpreted JSONL scan operator — the JSON twin of
+/// InsituCsvScanOperator, demonstrating that the engine's adaptive
+/// machinery (positional maps, shreds, morsel parallelism) is
+/// format-agnostic once value offsets replace column positions.
+class JsonlScanOperator : public Operator {
+ public:
+  /// `file` must outlive the operator.
+  JsonlScanOperator(const MmapFile* file, JsonlScanSpec spec);
+  /// In-memory flavour (decompressed buffers, tests). `data` must outlive
+  /// the operator.
+  JsonlScanOperator(const char* data, size_t size, JsonlScanSpec spec);
+
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Open() override;
+  StatusOr<ColumnBatch> Next() override;
+  std::string name() const override { return "JsonlScan"; }
+
+ private:
+  StatusOr<ColumnBatch> NextSequential();
+  StatusOr<ColumnBatch> NextPositional();
+  Status ConvertAndBuild(int64_t rows, ColumnBatch* out);
+
+  const char* data_;
+  size_t size_;
+  JsonlScanSpec spec_;
+  Schema output_schema_;
+  JsonlRowParser parser_;
+  // Sequential cursor state.
+  const char* pos_ = nullptr;
+  const char* end_ = nullptr;
+  int64_t row_ = 0;
+  // Positional cursor state.
+  int64_t input_cursor_ = 0;
+  bool needs_full_row_ = false;        // some output column is untracked
+  std::vector<int> slot_for_output_;   // tracked slot per output, -1 untracked
+  // Scratch.
+  std::vector<JsonlField> row_fields_;             // one per schema field
+  std::vector<std::vector<JsonlField>> refs_;      // [output][batch row]
+  std::vector<int64_t> row_id_scratch_;
+  std::string unescape_scratch_;
+};
+
+/// RowFetcher for JSONL late scans: each Fetch runs a private positional
+/// JsonlScanOperator over the shared map — re-entrant, so the parallel
+/// fetch decorator can chunk row sets across threads.
+class JsonlRowFetcher : public RowFetcher {
+ public:
+  /// `spec.use_pmap` must be set; its row_set is supplied per Fetch call.
+  JsonlRowFetcher(const MmapFile* file, JsonlScanSpec spec);
+
+  /// Overrides the published field schema (e.g. qualified names).
+  void set_fields(Schema fields) { schema_ = std::move(fields); }
+
+  const Schema& fields() const override { return schema_; }
+  StatusOr<std::vector<ColumnPtr>> Fetch(const RowSet& rows) override;
+
+ private:
+  const MmapFile* file_;
+  JsonlScanSpec spec_;
+  Schema schema_;
+};
+
+}  // namespace raw
+
+#endif  // RAW_JSONL_JSONL_SCAN_H_

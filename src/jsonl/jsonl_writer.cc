@@ -1,0 +1,127 @@
+#include "jsonl/jsonl_writer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace raw {
+
+namespace {
+constexpr size_t kFlushThreshold = 1 << 20;  // 1 MiB write buffer
+}
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char tmp[8];
+          snprintf(tmp, sizeof(tmp), "\\u%04x", c);
+          out->append(tmp);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+JsonlWriter::JsonlWriter(std::string path, Schema schema)
+    : path_(std::move(path)), schema_(std::move(schema)) {}
+
+JsonlWriter::~JsonlWriter() {
+  if (file_ != nullptr) {
+    // Best effort; callers that care about errors call Close().
+    if (!buffer_.empty()) fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    fclose(file_);
+  }
+}
+
+Status JsonlWriter::Open() {
+  file_ = fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot create JSONL file '" + path_ + "'");
+  }
+  buffer_.reserve(kFlushThreshold + (1 << 16));
+  return Status::OK();
+}
+
+void JsonlWriter::Put(std::string_view s) { buffer_.append(s); }
+
+void JsonlWriter::PutEscaped(std::string_view s) {
+  AppendJsonString(s, &buffer_);
+}
+
+Status JsonlWriter::AppendDatumRow(const std::vector<Datum>& values) {
+  if (static_cast<int>(values.size()) != schema_.num_fields()) {
+    return Status::InvalidArgument("JSONL row width does not match schema");
+  }
+  buffer_.push_back('{');
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    if (i > 0) buffer_.push_back(',');
+    PutEscaped(schema_.field(i).name);
+    buffer_.push_back(':');
+    const Datum& d = values[static_cast<size_t>(i)];
+    char tmp[32];
+    int n;
+    switch (d.type()) {
+      case DataType::kInt32:
+        n = snprintf(tmp, sizeof(tmp), "%d", d.int32_value());
+        buffer_.append(tmp, static_cast<size_t>(n));
+        break;
+      case DataType::kInt64:
+        n = snprintf(tmp, sizeof(tmp), "%" PRId64, d.int64_value());
+        buffer_.append(tmp, static_cast<size_t>(n));
+        break;
+      case DataType::kFloat32:
+        n = snprintf(tmp, sizeof(tmp), "%.9g",
+                     static_cast<double>(d.float32_value()));
+        buffer_.append(tmp, static_cast<size_t>(n));
+        break;
+      case DataType::kFloat64:
+        n = snprintf(tmp, sizeof(tmp), "%.17g", d.float64_value());
+        buffer_.append(tmp, static_cast<size_t>(n));
+        break;
+      case DataType::kBool:
+        Put(d.bool_value() ? "true" : "false");
+        break;
+      case DataType::kString:
+        PutEscaped(d.string_value());
+        break;
+    }
+  }
+  buffer_.append("}\n");
+  ++rows_written_;
+  if (buffer_.size() >= kFlushThreshold) {
+    fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    buffer_.clear();
+  }
+  return Status::OK();
+}
+
+Status JsonlWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  if (!buffer_.empty()) {
+    if (fwrite(buffer_.data(), 1, buffer_.size(), file_) != buffer_.size()) {
+      fclose(file_);
+      file_ = nullptr;
+      return Status::IOError("short write to '" + path_ + "'");
+    }
+    buffer_.clear();
+  }
+  if (fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IOError("close failed for '" + path_ + "'");
+  }
+  file_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace raw

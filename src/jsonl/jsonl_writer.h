@@ -1,0 +1,51 @@
+#ifndef RAW_JSONL_JSONL_WRITER_H_
+#define RAW_JSONL_JSONL_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "common/macros.h"
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace raw {
+
+/// Buffered line-delimited JSON writer used by tests and the workload
+/// generators: one flat object per line, keys in schema order.
+class JsonlWriter {
+ public:
+  JsonlWriter(std::string path, Schema schema);
+  ~JsonlWriter();
+  RAW_DISALLOW_COPY_AND_ASSIGN(JsonlWriter);
+
+  /// Opens the file (truncating).
+  Status Open();
+
+  /// Appends one row of typed values (one per schema field, matching types).
+  Status AppendDatumRow(const std::vector<Datum>& values);
+
+  /// Flushes and closes. Returns any deferred I/O error.
+  Status Close();
+
+  int64_t rows_written() const { return rows_written_; }
+
+ private:
+  void Put(std::string_view s);
+  void PutEscaped(std::string_view s);
+
+  std::string path_;
+  Schema schema_;
+  FILE* file_ = nullptr;
+  int64_t rows_written_ = 0;
+  std::string buffer_;
+};
+
+/// Serializes one string as a JSON string literal (quotes included) into
+/// `out` — shared by the writer and the tests' expected-value fixtures.
+void AppendJsonString(std::string_view s, std::string* out);
+
+}  // namespace raw
+
+#endif  // RAW_JSONL_JSONL_WRITER_H_

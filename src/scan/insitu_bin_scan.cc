@@ -15,8 +15,11 @@ Status InsituBinScanOperator::Open() {
   if (spec_.outputs.empty()) {
     return Status::InvalidArgument("binary scan needs at least one output");
   }
-  if (spec_.first_row < 0 || spec_.first_row > reader_->num_rows()) {
-    return Status::InvalidArgument("binary scan first_row out of range");
+  if (spec_.range.unit != ScanRange::Unit::kRows) {
+    return Status::InvalidArgument("binary scan range must be row-addressed");
+  }
+  if (spec_.range.begin < 0 || spec_.range.begin > reader_->num_rows()) {
+    return Status::InvalidArgument("binary scan range start out of bounds");
   }
   for (int c : spec_.outputs) {
     if (c < 0 || c >= reader_->layout().num_columns()) {
@@ -32,8 +35,8 @@ StatusOr<ColumnBatch> InsituBinScanOperator::Next() {
   if (spec_.row_set.has_value()) {
     total = spec_.row_set->size();
   } else {
-    total = reader_->num_rows() - spec_.first_row;
-    if (spec_.num_rows >= 0) total = std::min(total, spec_.num_rows);
+    total = reader_->num_rows() - spec_.range.begin;
+    if (spec_.range.bounded()) total = std::min(total, spec_.range.count());
   }
   if (cursor_ >= total) return out;
   if (spec_.profile) spec_.profile->main_loop.Start();
@@ -47,7 +50,7 @@ StatusOr<ColumnBatch> InsituBinScanOperator::Next() {
   for (int64_t i = 0; i < take; ++i) {
     int64_t row = spec_.row_set.has_value()
                       ? spec_.row_set->ids[static_cast<size_t>(cursor_ + i)]
-                      : spec_.first_row + cursor_ + i;
+                      : spec_.range.begin + cursor_ + i;
     row_ids.push_back(row);
   }
   if (spec_.profile) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "binfmt/binary_reader.h"
+#include "format/format.h"
 #include "scan/access_path.h"
 #include "scan/scan_profile.h"
 
@@ -19,11 +20,10 @@ struct BinScanSpec {
   int64_t batch_rows = kDefaultBatchRows;
   /// Explicit rows (column shreds); absent => all rows.
   std::optional<RowSet> row_set;
-  /// Row-range morsel [first_row, first_row + num_rows) when `row_set` is
-  /// absent (num_rows < 0 => through the last row). Emitted row ids stay
-  /// global, so parallel morsels concatenate into the full-table id space.
-  int64_t first_row = 0;
-  int64_t num_rows = -1;
+  /// Row-addressed morsel when `row_set` is absent (default: all rows).
+  /// Emitted row ids stay global, so parallel morsels concatenate into the
+  /// full-table id space.
+  ScanRange range;
   ScanProfile* profile = nullptr;
 };
 

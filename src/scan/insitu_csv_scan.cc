@@ -9,21 +9,30 @@ namespace raw {
 
 InsituCsvScanOperator::InsituCsvScanOperator(const MmapFile* file,
                                              CsvScanSpec spec)
-    : file_(file), spec_(std::move(spec)) {
+    : InsituCsvScanOperator(file->data(), file->size(), std::move(spec)) {}
+
+InsituCsvScanOperator::InsituCsvScanOperator(const char* data, size_t size,
+                                             CsvScanSpec spec)
+    : data_(data), size_(size), spec_(std::move(spec)) {
   output_schema_ = SchemaForColumns(spec_.file_schema, spec_.outputs);
 }
 
 Status InsituCsvScanOperator::Open() {
-  const char* begin = file_->data();
-  end_ = begin + file_->size();
+  const char* begin = data_;
+  end_ = begin + size_;
   pos_ = begin + DataStartOffset(begin, end_, spec_.options);
-  if (spec_.range_end > 0) {
-    if (spec_.range_end > file_->size() ||
-        spec_.range_begin > spec_.range_end) {
+  if (!spec_.range.whole()) {
+    if (spec_.range.unit != ScanRange::Unit::kBytes) {
+      return Status::InvalidArgument("CSV scan range must be byte-addressed");
+    }
+    const int64_t size = static_cast<int64_t>(size_);
+    const int64_t range_end = spec_.range.bounded() ? spec_.range.end : size;
+    if (spec_.range.begin < 0 || range_end > size ||
+        spec_.range.begin > range_end) {
       return Status::InvalidArgument("CSV scan byte range out of bounds");
     }
-    pos_ = begin + spec_.range_begin;
-    end_ = begin + spec_.range_end;
+    pos_ = begin + spec_.range.begin;
+    end_ = begin + range_end;
   }
   row_ = 0;
   input_cursor_ = 0;
@@ -144,7 +153,7 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextSequentialQuoted() {
   const int num_fields = spec_.file_schema.num_fields();
 
   int64_t rows = 0;
-  const char* base = file_->data();
+  const char* base = data_;
   while (rows < spec_.batch_rows && pos_ < end_) {
     const char* p = pos_;
     const uint64_t row_start = static_cast<uint64_t>(p - base);
@@ -211,7 +220,7 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextSequential() {
     spec_.profile->parsing.Start();
   }
   int64_t rows = 0;
-  const char* base = file_->data();
+  const char* base = data_;
   while (rows < spec_.batch_rows && pos_ < end_) {
     const char* p = pos_;
     const uint64_t row_start = static_cast<uint64_t>(p - base);
@@ -261,7 +270,7 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextPositional() {
   const char delim = spec_.options.delimiter;
   const char quote = spec_.options.quote;
   const bool quoted = spec_.quoted;
-  const char* base = file_->data();
+  const char* base = data_;
   for (auto& v : refs_) v.clear();
   row_id_scratch_.clear();
 

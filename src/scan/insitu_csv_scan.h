@@ -9,6 +9,7 @@
 #include "csv/csv_options.h"
 #include "csv/csv_tokenizer.h"
 #include "csv/positional_map.h"
+#include "format/format.h"
 #include "scan/access_path.h"
 #include "scan/scan_profile.h"
 
@@ -32,13 +33,12 @@ struct CsvScanSpec {
   bool quoted = false;
   int64_t batch_rows = kDefaultBatchRows;
 
-  /// Sequential mode: restrict the scan to a byte sub-range of the file — a
-  /// morsel (range_end == 0 => whole file). `range_begin` must point at the
-  /// start of a data row and `range_end` one past a row terminator (or file
+  /// Sequential mode: restrict the scan to a byte-addressed morsel of the
+  /// file (default: the whole file). `range.begin` must point at the start
+  /// of a data row and `range.end` one past a row terminator (or the file
   /// size); see SplitCsvByteRanges. Emitted row ids are local to the range
   /// (the parallel scan driver rebases them by morsel prefix sums).
-  uint64_t range_begin = 0;
-  uint64_t range_end = 0;
+  ScanRange range;
 
   /// Sequential mode: build this map while scanning (may be null).
   PositionalMap* build_pmap = nullptr;
@@ -63,6 +63,9 @@ class InsituCsvScanOperator : public Operator {
  public:
   /// `file` must outlive the operator.
   InsituCsvScanOperator(const MmapFile* file, CsvScanSpec spec);
+  /// In-memory flavour (decompressed gzip blocks, tests). `data` must
+  /// outlive the operator.
+  InsituCsvScanOperator(const char* data, size_t size, CsvScanSpec spec);
 
   const Schema& output_schema() const override { return output_schema_; }
   Status Open() override;
@@ -76,7 +79,8 @@ class InsituCsvScanOperator : public Operator {
   Status ConvertAndBuild(const std::vector<std::vector<FieldRef>>& refs,
                          int64_t rows, ColumnBatch* out);
 
-  const MmapFile* file_;
+  const char* data_;
+  size_t size_;
   CsvScanSpec spec_;
   Schema output_schema_;
   // Sequential cursor state.

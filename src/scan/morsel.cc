@@ -7,29 +7,23 @@
 
 namespace raw {
 
-std::vector<ByteMorsel> SplitCsvByteRanges(const char* data, size_t size,
-                                           const CsvOptions& options,
-                                           int target_morsels,
-                                           uint64_t min_bytes) {
-  std::vector<ByteMorsel> morsels;
-  const uint64_t start = DataStartOffset(data, data + size, options);
-  if (start >= size) return morsels;  // empty file / header only
-  const uint64_t span = size - start;
+namespace {
 
-  // One serial memchr pass over the region. Deliberate trade-off: it runs at
-  // memory bandwidth (an order of magnitude faster than parsing the same
-  // bytes, which the scan does next anyway), and a missed quote would split
-  // inside a quoted row — a correctness risk no speedup justifies.
-  const bool has_quotes =
-      std::memchr(data + start, options.quote, span) != nullptr;
+/// Newline-aligned byte ranges over [start, size) of `data`.
+std::vector<ScanRange> SplitByteSpan(const char* data, size_t size,
+                                     uint64_t start, int target_morsels,
+                                     uint64_t min_bytes) {
+  std::vector<ScanRange> morsels;
+  if (start >= size) return morsels;
+  const uint64_t span = size - start;
   target_morsels = std::max(target_morsels, 1);
-  uint64_t chunk = std::max<uint64_t>(min_bytes, span / static_cast<uint64_t>(
-                                                     target_morsels));
-  if (has_quotes || chunk >= span) {
-    morsels.push_back(ByteMorsel{start, size});
+  uint64_t chunk = std::max<uint64_t>(
+      min_bytes, span / static_cast<uint64_t>(target_morsels));
+  if (chunk >= span) {
+    morsels.push_back(ScanRange::Bytes(static_cast<int64_t>(start),
+                                       static_cast<int64_t>(size)));
     return morsels;
   }
-
   uint64_t begin = start;
   while (begin < size) {
     uint64_t probe = begin + chunk;
@@ -42,35 +36,65 @@ std::vector<ByteMorsel> SplitCsvByteRanges(const char* data, size_t size,
       const char* nl = RowEnd(data + probe, data + size);
       end = nl != data + size ? static_cast<uint64_t>(nl - data) + 1 : size;
     }
-    morsels.push_back(ByteMorsel{begin, end});
+    morsels.push_back(ScanRange::Bytes(static_cast<int64_t>(begin),
+                                       static_cast<int64_t>(end)));
     begin = end;
   }
   return morsels;
 }
 
-std::vector<RowMorsel> SplitRowRanges(int64_t total_rows, int target_morsels,
+}  // namespace
+
+std::vector<ScanRange> SplitCsvByteRanges(const char* data, size_t size,
+                                          const CsvOptions& options,
+                                          int target_morsels,
+                                          uint64_t min_bytes) {
+  const uint64_t start = DataStartOffset(data, data + size, options);
+  if (start >= size) return {};  // empty file / header only
+
+  // One serial memchr pass over the region. Deliberate trade-off: it runs at
+  // memory bandwidth (an order of magnitude faster than parsing the same
+  // bytes, which the scan does next anyway), and a missed quote would split
+  // inside a quoted row — a correctness risk no speedup justifies.
+  const bool has_quotes =
+      std::memchr(data + start, options.quote, size - start) != nullptr;
+  if (has_quotes) {
+    return {ScanRange::Bytes(static_cast<int64_t>(start),
+                             static_cast<int64_t>(size))};
+  }
+  return SplitByteSpan(data, size, start, target_morsels, min_bytes);
+}
+
+std::vector<ScanRange> SplitJsonlByteRanges(const char* data, size_t size,
+                                            int target_morsels,
+                                            uint64_t min_bytes) {
+  return SplitByteSpan(data, size, 0, target_morsels, min_bytes);
+}
+
+std::vector<ScanRange> SplitRowRanges(int64_t total_rows, int target_morsels,
                                       int64_t min_rows) {
-  std::vector<RowMorsel> morsels;
+  std::vector<ScanRange> morsels;
   if (total_rows <= 0) return morsels;
   target_morsels = std::max(target_morsels, 1);
   const int64_t chunk =
       std::max(min_rows, (total_rows + target_morsels - 1) / target_morsels);
   for (int64_t first = 0; first < total_rows; first += chunk) {
-    morsels.push_back(RowMorsel{first, std::min(chunk, total_rows - first)});
+    morsels.push_back(
+        ScanRange::Rows(first, std::min(chunk, total_rows - first)));
   }
   return morsels;
 }
 
-std::vector<RowMorsel> SplitPmapRowRanges(const PositionalMap& pmap,
+std::vector<ScanRange> SplitPmapRowRanges(const PositionalMap& pmap,
                                           int target_morsels,
                                           int64_t min_rows) {
   return SplitRowRanges(pmap.num_rows(), target_morsels, min_rows);
 }
 
-std::vector<RowMorsel> SplitRefRowRanges(const RefBranch& row_branch,
+std::vector<ScanRange> SplitRefRowRanges(const RefBranch& row_branch,
                                          int target_morsels,
                                          int64_t min_rows) {
-  std::vector<RowMorsel> morsels;
+  std::vector<ScanRange> morsels;
   const int64_t total = row_branch.num_values();
   if (total <= 0) return morsels;
   target_morsels = std::max(target_morsels, 1);
@@ -81,12 +105,12 @@ std::vector<RowMorsel> SplitRefRowRanges(const RefBranch& row_branch,
     const int64_t cluster_end = c.first_value + c.num_values;
     // Cut at the first cluster boundary at or past the chunk target.
     if (cluster_end - begin >= chunk || cluster_end == total) {
-      morsels.push_back(RowMorsel{begin, cluster_end - begin});
+      morsels.push_back(ScanRange::Rows(begin, cluster_end - begin));
       begin = cluster_end;
     }
   }
   if (begin < total) {  // defensive: trailing values not covered by clusters
-    morsels.push_back(RowMorsel{begin, total - begin});
+    morsels.push_back(ScanRange::Rows(begin, total - begin));
   }
   return morsels;
 }

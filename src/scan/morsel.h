@@ -7,23 +7,17 @@
 #include "csv/csv_options.h"
 #include "csv/positional_map.h"
 #include "eventsim/ref_format.h"
+#include "format/format.h"
 
 namespace raw {
 
-/// A morsel is one independently scannable slice of a raw file: a byte range
-/// for textual formats, a row range for formats with computed or mapped
-/// offsets. Morsels are the unit of work the parallel scan drivers hand to
-/// the thread pool (morsel-driven parallelism à la Leis et al.); results are
-/// re-emitted in morsel order so parallel plans stay deterministic.
-struct ByteMorsel {
-  uint64_t begin = 0;  // inclusive, start of a row
-  uint64_t end = 0;    // exclusive, one past a row terminator (or file end)
-};
-
-struct RowMorsel {
-  int64_t first = 0;
-  int64_t count = 0;
-};
+/// Morsels are the unit of work the parallel scan drivers hand to the thread
+/// pool (morsel-driven parallelism à la Leis et al.); results are re-emitted
+/// in morsel order so parallel plans stay deterministic. Every splitter
+/// returns the engine-wide ScanRange representation (format/format.h): byte
+/// ranges for textual formats, row ranges for formats with computed or
+/// mapped offsets. FormatDriver::SplitMorsels is the uniform entry point;
+/// the helpers below are the building blocks drivers share.
 
 /// Minimum work per morsel; below these, splitting overhead dominates.
 inline constexpr uint64_t kMinMorselBytes = 4096;
@@ -35,19 +29,19 @@ inline constexpr int64_t kMinMorselRows = 256;
 /// quote character, fields may hide newlines, so boundaries found by newline
 /// search cannot be trusted — the whole region is returned as one morsel.
 /// An empty data region yields no morsels.
-std::vector<ByteMorsel> SplitCsvByteRanges(const char* data, size_t size,
-                                           const CsvOptions& options,
-                                           int target_morsels,
-                                           uint64_t min_bytes = kMinMorselBytes);
+std::vector<ScanRange> SplitCsvByteRanges(
+    const char* data, size_t size, const CsvOptions& options,
+    int target_morsels, uint64_t min_bytes = kMinMorselBytes);
 
 /// Partitions [0, total_rows) into up to `target_morsels` contiguous row
 /// ranges of at least `min_rows` each. Zero rows yields no morsels.
-std::vector<RowMorsel> SplitRowRanges(int64_t total_rows, int target_morsels,
+std::vector<ScanRange> SplitRowRanges(int64_t total_rows, int target_morsels,
                                       int64_t min_rows = kMinMorselRows);
 
 /// Row ranges over the rows a positional map has indexed — the splitter for
-/// warm (positional) CSV scans, where jumping makes byte alignment moot.
-std::vector<RowMorsel> SplitPmapRowRanges(const PositionalMap& pmap,
+/// warm (positional) scans of mapped textual formats, where jumping makes
+/// byte alignment moot.
+std::vector<ScanRange> SplitPmapRowRanges(const PositionalMap& pmap,
                                           int target_morsels,
                                           int64_t min_rows = kMinMorselRows);
 
@@ -57,9 +51,18 @@ std::vector<RowMorsel> SplitPmapRowRanges(const PositionalMap& pmap,
 /// workers decode disjoint cluster sets — no duplicated decode work and no
 /// contended pool entries on a cold scan. Morsels cover every value exactly
 /// once; a branch stored as a single cluster yields one morsel.
-std::vector<RowMorsel> SplitRefRowRanges(const RefBranch& row_branch,
+std::vector<ScanRange> SplitRefRowRanges(const RefBranch& row_branch,
                                          int target_morsels,
                                          int64_t min_rows = kMinMorselRows);
+
+/// Partitions the line-delimited data region of a JSONL buffer into up to
+/// `target_morsels` newline-aligned byte ranges. JSON forbids raw control
+/// characters inside strings (newlines appear only as the two-byte escape
+/// \n), so — unlike CSV — newline cuts are always safe and there is no
+/// quote bail-out to a single morsel.
+std::vector<ScanRange> SplitJsonlByteRanges(
+    const char* data, size_t size, int target_morsels,
+    uint64_t min_bytes = kMinMorselBytes);
 
 }  // namespace raw
 

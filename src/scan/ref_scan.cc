@@ -60,12 +60,16 @@ Status RefTableScanOperator::Open() {
   if (spec_.row_set.has_value()) {
     total_rows_ = spec_.row_set->size();
   } else {
-    if (spec_.first_row < 0 || spec_.first_row > table_rows) {
-      return Status::InvalidArgument("REF scan first_row out of range");
+    if (spec_.range.unit != ScanRange::Unit::kRows) {
+      return Status::InvalidArgument("REF scan range must be row-addressed");
     }
-    total_rows_ = spec_.num_rows >= 0
-                      ? std::min(spec_.num_rows, table_rows - spec_.first_row)
-                      : table_rows - spec_.first_row;
+    if (spec_.range.begin < 0 || spec_.range.begin > table_rows) {
+      return Status::InvalidArgument("REF scan range start out of bounds");
+    }
+    total_rows_ =
+        spec_.range.bounded()
+            ? std::min(spec_.range.count(), table_rows - spec_.range.begin)
+            : table_rows - spec_.range.begin;
   }
   return Status::OK();
 }
@@ -112,9 +116,9 @@ StatusOr<ColumnBatch> RefTableScanOperator::Next() {
   const std::vector<int64_t>* explicit_rows =
       spec_.row_set.has_value() ? &spec_.row_set->ids : nullptr;
   // Row-set scans index into the set; sequential scans read at the global
-  // offset (first_row shifts the morsel window, ids stay file-global).
+  // offset (range.begin shifts the morsel window, ids stay file-global).
   const int64_t first =
-      explicit_rows != nullptr ? cursor_ : spec_.first_row + cursor_;
+      explicit_rows != nullptr ? cursor_ : spec_.range.begin + cursor_;
 
   for (const std::string& f : spec_.fields) {
     RAW_ASSIGN_OR_RETURN(ColumnPtr col,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "eventsim/ref_reader.h"
+#include "format/format.h"
 #include "scan/access_path.h"
 
 namespace raw {
@@ -21,12 +22,11 @@ struct RefScanSpec {
   /// any of {"eventID","pt","eta","phi"}. Empty => all fields.
   std::vector<std::string> fields;
   int64_t batch_rows = kDefaultBatchRows;
-  /// Morsel window for sequential scans: rows (event indices, or flat
-  /// particle indices) [first_row, first_row + num_rows). num_rows = -1
-  /// scans to the end. Emitted row ids stay file-global, so the parallel
-  /// driver needs no rebasing. Ignored when `row_set` is present.
-  int64_t first_row = 0;
-  int64_t num_rows = -1;
+  /// Row-addressed morsel window for sequential scans (rows are event
+  /// indices, or flat particle indices; default: the whole table). Emitted
+  /// row ids stay file-global, so the parallel driver needs no rebasing.
+  /// Ignored when `row_set` is present.
+  ScanRange range;
   /// Explicit rows (event indices, or flat particle indices); id-based
   /// access instead of a full scan.
   std::optional<RowSet> row_set;

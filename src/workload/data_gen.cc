@@ -1,8 +1,12 @@
 #include "workload/data_gen.h"
 
+#include <cstdio>
+
 #include "binfmt/binary_writer.h"
 #include "common/macros.h"
 #include "csv/csv_writer.h"
+#include "jsonl/jsonl_writer.h"
+#include "zcsv/gzip_block.h"
 
 namespace raw {
 
@@ -79,6 +83,43 @@ Status WriteBinaryFile(const TableSpec& spec, const std::string& path,
     writer.EndRow();
   }
   return writer.Close();
+}
+
+Status WriteJsonlFile(const TableSpec& spec, const std::string& path,
+                      const std::vector<int64_t>* permutation) {
+  TableDataSource source(spec);
+  JsonlWriter writer(path, spec.ToSchema());
+  RAW_RETURN_NOT_OK(writer.Open());
+  std::vector<Datum> values(spec.columns.size());
+  for (int64_t r = 0; r < spec.rows; ++r) {
+    int64_t row = permutation != nullptr
+                      ? (*permutation)[static_cast<size_t>(r)]
+                      : r;
+    for (size_t c = 0; c < spec.columns.size(); ++c) {
+      values[c] = source.Value(row, static_cast<int>(c));
+    }
+    RAW_RETURN_NOT_OK(writer.AppendDatumRow(values));
+  }
+  return writer.Close();
+}
+
+Status WriteCsvGzTable(const TableSpec& spec, const std::string& path,
+                       size_t block_bytes,
+                       const std::vector<int64_t>* permutation) {
+  // Reuse the CSV writer for byte-identical text, then gzip it in members.
+  const std::string tmp = path + ".plain.tmp";
+  RAW_RETURN_NOT_OK(WriteCsvFile(spec, tmp, permutation));
+  std::string text;
+  {
+    FILE* f = fopen(tmp.c_str(), "rb");
+    if (f == nullptr) return Status::IOError("cannot reopen '" + tmp + "'");
+    char buf[64 * 1024];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    fclose(f);
+  }
+  remove(tmp.c_str());
+  return WriteCsvGzFile(path, text, block_bytes);
 }
 
 }  // namespace raw

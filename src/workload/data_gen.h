@@ -18,6 +18,18 @@ Status WriteCsvFile(const TableSpec& spec, const std::string& path,
 Status WriteBinaryFile(const TableSpec& spec, const std::string& path,
                        const std::vector<int64_t>* permutation = nullptr);
 
+/// Writes `spec` as line-delimited JSON at `path` (one flat object per row,
+/// keys = column names; same logical data as the CSV flavour).
+Status WriteJsonlFile(const TableSpec& spec, const std::string& path,
+                      const std::vector<int64_t>* permutation = nullptr);
+
+/// Writes `spec` as a multi-member gzip-compressed CSV at `path`, cutting
+/// members on row boundaries every ~`block_bytes` of uncompressed text
+/// (same logical data as the CSV flavour).
+Status WriteCsvGzTable(const TableSpec& spec, const std::string& path,
+                       size_t block_bytes = 64 * 1024,
+                       const std::vector<int64_t>* permutation = nullptr);
+
 }  // namespace raw
 
 #endif  // RAW_WORKLOAD_DATA_GEN_H_

@@ -83,6 +83,20 @@ StatusOr<std::string> Dataset::D30CsvShuffled() {
                     });
 }
 
+StatusOr<std::string> Dataset::D30Jsonl() {
+  return EnsureFile("d30_" + std::to_string(d30_rows_) + ".jsonl",
+                    [&](const std::string& p) {
+                      return WriteJsonlFile(D30Spec(), p);
+                    });
+}
+
+StatusOr<std::string> Dataset::D30CsvGz() {
+  return EnsureFile("d30_" + std::to_string(d30_rows_) + ".csv.gz",
+                    [&](const std::string& p) {
+                      return WriteCsvGzTable(D30Spec(), p);
+                    });
+}
+
 StatusOr<std::string> Dataset::D120Csv() {
   return EnsureFile("d120_" + std::to_string(d120_rows_) + ".csv",
                     [&](const std::string& p) {

@@ -33,6 +33,10 @@ class Dataset {
   StatusOr<std::string> D30Binary();
   /// Shuffled row-order copy (file2 of the join experiments, §5.3.2).
   StatusOr<std::string> D30CsvShuffled();
+  /// Same logical data as line-delimited JSON.
+  StatusOr<std::string> D30Jsonl();
+  /// Same logical data as multi-member gzip-compressed CSV.
+  StatusOr<std::string> D30CsvGz();
 
   // --- D120: 120 mixed int/float columns (paper §5.2) -------------------------
   TableSpec D120Spec() const;

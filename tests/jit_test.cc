@@ -6,6 +6,7 @@
 #include "jit/cc_compiler.h"
 #include "jit/codegen.h"
 #include "jit/source_builder.h"
+#include "engine/formats/builtin.h"
 #include "jit/template_cache.h"
 #include "tests/test_util.h"
 
@@ -107,6 +108,9 @@ class JitExecTest : public testing::TempDirTest {
  protected:
   void SetUp() override {
     testing::TempDirTest::SetUp();
+    // Codegen dispatches through the format registry even when driven
+    // directly (no catalog to register the builtins for us).
+    EnsureBuiltinFormatDriversRegistered();
     if (!cache_.compiler_available()) {
       GTEST_SKIP() << "no external C++ compiler on this host (probed '"
                    << cache_.compiler_options().cxx

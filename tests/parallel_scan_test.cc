@@ -36,31 +36,32 @@ TEST(MorselSplitterTest, ByteRangesAreNewlineAlignedAndCoverTheFile) {
   for (int i = 0; i < 3000; ++i) {
     csv += std::to_string(i) + "," + std::to_string(i * 7) + "\n";
   }
-  std::vector<ByteMorsel> morsels =
+  std::vector<ScanRange> morsels =
       SplitCsvByteRanges(csv.data(), csv.size(), CsvOptions(), 8, 1024);
   ASSERT_GT(morsels.size(), 1u);
-  uint64_t expect_begin = 0;
-  for (const ByteMorsel& m : morsels) {
+  int64_t expect_begin = 0;
+  for (const ScanRange& m : morsels) {
+    EXPECT_EQ(m.unit, ScanRange::Unit::kBytes);
     EXPECT_EQ(m.begin, expect_begin);  // contiguous, gap-free
     ASSERT_GT(m.end, m.begin);
     // Every boundary except the file end sits one past a newline.
-    if (m.end < csv.size()) {
-      EXPECT_EQ(csv[m.end - 1], '\n');
+    if (m.end < static_cast<int64_t>(csv.size())) {
+      EXPECT_EQ(csv[static_cast<size_t>(m.end) - 1], '\n');
     }
     expect_begin = m.end;
   }
-  EXPECT_EQ(morsels.back().end, csv.size());
+  EXPECT_EQ(morsels.back().end, static_cast<int64_t>(csv.size()));
 }
 
 TEST(MorselSplitterTest, LastPartialMorselWithoutTrailingNewline) {
   std::string csv = "1,2\n3,4\n5,6";  // no trailing newline
-  std::vector<ByteMorsel> morsels =
+  std::vector<ScanRange> morsels =
       SplitCsvByteRanges(csv.data(), csv.size(), CsvOptions(), 4, 4);
   ASSERT_FALSE(morsels.empty());
-  EXPECT_EQ(morsels.back().end, csv.size());
-  uint64_t covered = 0;
-  for (const ByteMorsel& m : morsels) covered += m.end - m.begin;
-  EXPECT_EQ(covered, csv.size());
+  EXPECT_EQ(morsels.back().end, static_cast<int64_t>(csv.size()));
+  int64_t covered = 0;
+  for (const ScanRange& m : morsels) covered += m.count();
+  EXPECT_EQ(covered, static_cast<int64_t>(csv.size()));
 }
 
 TEST(MorselSplitterTest, EmptyFileYieldsNoMorsels) {
@@ -79,11 +80,11 @@ TEST(MorselSplitterTest, HeaderOnlyFileYieldsNoMorsels) {
 
 TEST(MorselSplitterTest, HeaderIsExcludedFromTheFirstMorsel) {
   std::string csv = "a,b\n";
-  const uint64_t header = csv.size();
+  const int64_t header = static_cast<int64_t>(csv.size());
   for (int i = 0; i < 100; ++i) csv += "1,2\n";
   CsvOptions options;
   options.has_header = true;
-  std::vector<ByteMorsel> morsels =
+  std::vector<ScanRange> morsels =
       SplitCsvByteRanges(csv.data(), csv.size(), options, 4, 32);
   ASSERT_FALSE(morsels.empty());
   EXPECT_EQ(morsels.front().begin, header);
@@ -96,11 +97,11 @@ TEST(MorselSplitterTest, QuotedContentFallsBackToOneMorsel) {
   for (int i = 0; i < 2000; ++i) csv += "1,2,3\n";
   csv += "4,\"line1\nline2\",6\n";
   for (int i = 0; i < 2000; ++i) csv += "7,8,9\n";
-  std::vector<ByteMorsel> morsels =
+  std::vector<ScanRange> morsels =
       SplitCsvByteRanges(csv.data(), csv.size(), CsvOptions(), 8, 64);
   ASSERT_EQ(morsels.size(), 1u);
-  EXPECT_EQ(morsels[0].begin, 0u);
-  EXPECT_EQ(morsels[0].end, csv.size());
+  EXPECT_EQ(morsels[0].begin, 0);
+  EXPECT_EQ(morsels[0].end, static_cast<int64_t>(csv.size()));
 }
 
 TEST(MorselSplitterTest, RefRowRangesAlignToClusterBoundaries) {
@@ -114,16 +115,17 @@ TEST(MorselSplitterTest, RefRowRangesAlignToClusterBoundaries) {
     first += cluster.num_values;
     branch.clusters.push_back(cluster);
   }
-  std::vector<RowMorsel> morsels =
+  std::vector<ScanRange> morsels =
       SplitRefRowRanges(branch, /*target_morsels=*/16, /*min_rows=*/256);
   ASSERT_GT(morsels.size(), 1u);
   int64_t next = 0;
-  for (const RowMorsel& m : morsels) {
-    EXPECT_EQ(m.first, next);  // contiguous, gap-free
-    EXPECT_GT(m.count, 0);
+  for (const ScanRange& m : morsels) {
+    EXPECT_EQ(m.unit, ScanRange::Unit::kRows);
+    EXPECT_EQ(m.begin, next);  // contiguous, gap-free
+    EXPECT_GT(m.count(), 0);
     // Every boundary sits on a cluster boundary (multiples of 128 here).
-    EXPECT_EQ(m.first % 128, 0);
-    next += m.count;
+    EXPECT_EQ(m.begin % 128, 0);
+    next += m.count();
   }
   EXPECT_EQ(next, branch.num_values());
 
@@ -136,13 +138,13 @@ TEST(MorselSplitterTest, RefRowRangesAlignToClusterBoundaries) {
 }
 
 TEST(MorselSplitterTest, RowRangesPartitionExactly) {
-  std::vector<RowMorsel> morsels = SplitRowRanges(10001, 8, 16);
+  std::vector<ScanRange> morsels = SplitRowRanges(10001, 8, 16);
   ASSERT_GT(morsels.size(), 1u);
   int64_t next = 0;
-  for (const RowMorsel& m : morsels) {
-    EXPECT_EQ(m.first, next);
-    EXPECT_GT(m.count, 0);
-    next += m.count;
+  for (const ScanRange& m : morsels) {
+    EXPECT_EQ(m.begin, next);
+    EXPECT_GT(m.count(), 0);
+    next += m.count();
   }
   EXPECT_EQ(next, 10001);
   EXPECT_TRUE(SplitRowRanges(0, 8, 16).empty());

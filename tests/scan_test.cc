@@ -3,6 +3,7 @@
 #include "columnar/filter.h"
 #include "common/mmap_file.h"
 #include "csv/csv_writer.h"
+#include "engine/formats/builtin.h"
 #include "scan/external_table_scan.h"
 #include "scan/insitu_bin_scan.h"
 #include "scan/insitu_csv_scan.h"
@@ -22,6 +23,7 @@ class ScanTest : public testing::TempDirTest {
  protected:
   void SetUp() override {
     testing::TempDirTest::SetUp();
+    EnsureBuiltinFormatDriversRegistered();  // JIT codegen needs the registry
     spec_ = TableSpec::UniformInt32("t", 8, 500, /*seed=*/11);
     spec_.columns[5].type = DataType::kFloat64;  // mix in a float column
     csv_path_ = Path("t.csv");

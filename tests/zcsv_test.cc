@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/mmap_file.h"
+#include "tests/test_util.h"
+#include "zcsv/gzip_block.h"
+#include "zcsv/zcsv_scan.h"
+
+namespace raw {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema{{"a", DataType::kInt32}, {"b", DataType::kString}};
+}
+
+std::string MakeCsvText(int rows) {
+  std::string text;
+  for (int i = 0; i < rows; ++i) {
+    text += std::to_string(i) + ",s" + std::to_string(i) + "\n";
+  }
+  return text;
+}
+
+// Built without a leading string literal in an rvalue operator+ chain (GCC
+// 12's -Wrestrict false positive, which -Werror CI would reject).
+std::string SVal(int64_t i) {
+  std::string s = "s";
+  s += std::to_string(i);
+  return s;
+}
+
+std::string QuotedVal(int64_t i) {
+  std::string s = "line1\nline2 ";
+  s += std::to_string(i);
+  return s;
+}
+
+TEST(GzipBlockTest, MemberRoundTripAndConsumedSize) {
+  std::string compressed;
+  ASSERT_OK(GzipCompressMember("hello gzip", &compressed));
+  ASSERT_OK(GzipCompressMember(" and again", &compressed));
+  std::string out;
+  size_t consumed = 0;
+  ASSERT_OK(GunzipMember(compressed.data(), compressed.size(), &out,
+                         &consumed));
+  EXPECT_EQ(out, "hello gzip");
+  ASSERT_LT(consumed, compressed.size());
+  ASSERT_OK(GunzipMember(compressed.data() + consumed,
+                         compressed.size() - consumed, &out, &consumed));
+  EXPECT_EQ(out, "hello gzip and again");
+  std::string garbage = "not gzip at all";
+  EXPECT_FALSE(
+      GunzipMember(garbage.data(), garbage.size(), &out, &consumed).ok());
+}
+
+TEST(GzipBlockTest, IndexFindsRowsAndChecksConsistency) {
+  GzipBlockIndex index;
+  index.AppendBlock({0, 100, 400, 0, 10});
+  index.AppendBlock({100, 80, 300, 10, 5});
+  index.AppendBlock({180, 90, 350, 15, 20});
+  ASSERT_OK(index.CheckConsistency());
+  EXPECT_EQ(index.total_rows(), 35);
+  EXPECT_EQ(index.FindBlockForRow(0), 0);
+  EXPECT_EQ(index.FindBlockForRow(9), 0);
+  EXPECT_EQ(index.FindBlockForRow(10), 1);
+  EXPECT_EQ(index.FindBlockForRow(14), 1);
+  EXPECT_EQ(index.FindBlockForRow(15), 2);
+  EXPECT_EQ(index.FindBlockForRow(34), 2);
+  EXPECT_EQ(index.FindBlockForRow(35), -1);
+  EXPECT_EQ(index.FindBlockForRow(-1), -1);
+  EXPECT_GT(index.MemoryBytes(), 0);
+
+  GzipBlockIndex gap;
+  gap.AppendBlock({0, 100, 400, 0, 10});
+  gap.AppendBlock({120, 80, 300, 10, 5});  // compressed-offset gap
+  EXPECT_FALSE(gap.CheckConsistency().ok());
+}
+
+class ZcsvScanTest : public testing::TempDirTest {
+ protected:
+  /// Writes `rows` of (int,string) CSV as multi-member gzip with small
+  /// blocks, opens it, and returns the text for ground truth.
+  std::string WriteAndOpen(int rows, size_t block_bytes) {
+    std::string text = MakeCsvText(rows);
+    EXPECT_OK(WriteCsvGzFile(Path("t.csv.gz"), text, block_bytes));
+    auto file = MmapFile::Open(Path("t.csv.gz"));
+    EXPECT_TRUE(file.ok());
+    file_ = std::move(file).value();
+    return text;
+  }
+
+  std::unique_ptr<MmapFile> file_;
+};
+
+TEST_F(ZcsvScanTest, ColdScanBuildsIndexAndWarmScanAgrees) {
+  constexpr int kRows = 2000;
+  WriteAndOpen(kRows, /*block_bytes=*/512);
+
+  GzipBlockIndex index;
+  {
+    ZcsvScanSpec cold;
+    cold.file_schema = TwoColSchema();
+    cold.outputs = {0, 1};
+    cold.build_index = &index;
+    ZcsvScanOperator scan(file_.get(), cold);
+    ASSERT_OK(scan.Open());
+    int64_t seen = 0;
+    while (true) {
+      ASSERT_OK_AND_ASSIGN(ColumnBatch batch, scan.Next());
+      if (batch.empty()) break;
+      for (int64_t r = 0; r < batch.num_rows(); ++r) {
+        const int64_t row = batch.row_ids()[static_cast<size_t>(r)];
+        EXPECT_EQ(batch.column(0)->Value<int32_t>(r), row);
+        EXPECT_EQ(batch.column(1)->StringValue(r), SVal(row));
+      }
+      seen += batch.num_rows();
+    }
+    EXPECT_EQ(seen, kRows);
+  }
+  ASSERT_OK(index.CheckConsistency());
+  EXPECT_EQ(index.total_rows(), kRows);
+  ASSERT_GT(index.num_blocks(), 1) << "block size too large to split";
+
+  // Warm: scan an interior block range; ids must be file-global.
+  const int mid = index.num_blocks() / 2;
+  ZcsvScanSpec warm;
+  warm.file_schema = TwoColSchema();
+  warm.outputs = {0};
+  warm.index = &index;
+  warm.range = ScanRange::Rows(mid, 1);
+  ZcsvScanOperator scan(file_.get(), warm);
+  ASSERT_OK(scan.Open());
+  int64_t seen = 0;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(ColumnBatch batch, scan.Next());
+    if (batch.empty()) break;
+    for (int64_t r = 0; r < batch.num_rows(); ++r) {
+      EXPECT_EQ(batch.column(0)->Value<int32_t>(r),
+                batch.row_ids()[static_cast<size_t>(r)]);
+    }
+    seen += batch.num_rows();
+  }
+  EXPECT_EQ(seen, index.block(mid).num_rows);
+}
+
+TEST_F(ZcsvScanTest, FetcherDecompressesOnlyNeededBlocks) {
+  constexpr int kRows = 1000;
+  WriteAndOpen(kRows, /*block_bytes=*/256);
+  GzipBlockIndex index;
+  {
+    ZcsvScanSpec cold;
+    cold.file_schema = TwoColSchema();
+    cold.outputs = {0};
+    cold.build_index = &index;
+    ZcsvScanOperator scan(file_.get(), cold);
+    ASSERT_OK(scan.Open());
+    while (true) {
+      ASSERT_OK_AND_ASSIGN(ColumnBatch batch, scan.Next());
+      if (batch.empty()) break;
+    }
+  }
+  ASSERT_OK(index.CheckConsistency());
+
+  ZcsvRowFetcher fetcher(file_.get(), &index, TwoColSchema(), {0, 1},
+                         CsvOptions());
+  RowSet rows;
+  rows.ids = {0, 1, 500, 999};
+  ASSERT_OK_AND_ASSIGN(std::vector<ColumnPtr> cols, fetcher.Fetch(rows));
+  ASSERT_EQ(cols.size(), 2u);
+  for (size_t i = 0; i < rows.ids.size(); ++i) {
+    EXPECT_EQ(cols[0]->Value<int32_t>(static_cast<int64_t>(i)), rows.ids[i]);
+    EXPECT_EQ(cols[1]->StringValue(static_cast<int64_t>(i)),
+              SVal(rows.ids[i]));
+  }
+  RowSet out_of_range;
+  out_of_range.ids = {kRows + 5};
+  EXPECT_FALSE(fetcher.Fetch(out_of_range).ok());
+  RowSet empty;
+  ASSERT_OK_AND_ASSIGN(std::vector<ColumnPtr> none, fetcher.Fetch(empty));
+  EXPECT_EQ(none[0]->length(), 0);
+}
+
+TEST_F(ZcsvScanTest, QuotedFieldsWithEmbeddedNewlinesSurvive) {
+  // Member cuts are quote-aware: the embedded "\n" must not split a row.
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += std::to_string(i) + ",\"line1\nline2 " + std::to_string(i) +
+            "\"\n";
+  }
+  ASSERT_OK(WriteCsvGzFile(Path("q.csv.gz"), text, /*block_bytes=*/128));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<MmapFile> file,
+                       MmapFile::Open(Path("q.csv.gz")));
+  GzipBlockIndex index;
+  ZcsvScanSpec cold;
+  cold.file_schema = TwoColSchema();
+  cold.outputs = {0, 1};
+  cold.build_index = &index;
+  ZcsvScanOperator scan(file.get(), cold);
+  ASSERT_OK(scan.Open());
+  int64_t seen = 0;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(ColumnBatch batch, scan.Next());
+    if (batch.empty()) break;
+    for (int64_t r = 0; r < batch.num_rows(); ++r) {
+      const int64_t row = batch.row_ids()[static_cast<size_t>(r)];
+      EXPECT_EQ(batch.column(1)->StringValue(r), QuotedVal(row));
+    }
+    seen += batch.num_rows();
+  }
+  EXPECT_EQ(seen, 200);
+  ASSERT_OK(index.CheckConsistency());
+  EXPECT_TRUE(index.quoted());
+  EXPECT_GT(index.num_blocks(), 1);
+
+  // Quoted late-scan fetch through the index.
+  ZcsvRowFetcher fetcher(file.get(), &index, TwoColSchema(), {1},
+                         CsvOptions());
+  RowSet rows;
+  rows.ids = {199, 3};
+  ASSERT_OK_AND_ASSIGN(std::vector<ColumnPtr> cols, fetcher.Fetch(rows));
+  EXPECT_EQ(cols[0]->StringValue(0), QuotedVal(199));
+  EXPECT_EQ(cols[0]->StringValue(1), QuotedVal(3));
+}
+
+TEST_F(ZcsvScanTest, EmptyFileYieldsZeroRowsAndEmptyIndex) {
+  ASSERT_OK(WriteCsvGzFile(Path("e.csv.gz"), ""));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<MmapFile> file,
+                       MmapFile::Open(Path("e.csv.gz")));
+  GzipBlockIndex index;
+  ZcsvScanSpec spec;
+  spec.file_schema = TwoColSchema();
+  spec.outputs = {0};
+  spec.build_index = &index;
+  ZcsvScanOperator scan(file.get(), spec);
+  ASSERT_OK(scan.Open());
+  ASSERT_OK_AND_ASSIGN(ColumnBatch batch, scan.Next());
+  EXPECT_TRUE(batch.empty());
+  ASSERT_OK(index.CheckConsistency());
+  EXPECT_EQ(index.total_rows(), 0);
+}
+
+}  // namespace
+}  // namespace raw
