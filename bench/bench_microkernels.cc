@@ -17,6 +17,7 @@
 #include "columnar/batch.h"
 #include "columnar/eval_kernels.h"
 #include "columnar/expression.h"
+#include "common/env.h"
 #include "common/kernels.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -26,9 +27,8 @@ namespace raw::bench {
 namespace {
 
 int64_t EnvRows() {
-  const char* env = std::getenv("RAW_BENCH_ROWS");
-  if (env != nullptr && *env != '\0') return std::atoll(env);
-  return 2000000;
+  return GetEnvInt64("RAW_BENCH_ROWS", /*fallback=*/2000000, /*min=*/1,
+                     /*max=*/int64_t{1} << 40);
 }
 
 // Prevents the optimizer from deleting a measured loop.

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Smoke-test a running rawd daemon over its wire protocol.
+
+Speaks the length-framed protocol from src/serve/wire.h with nothing but the
+Python stdlib: Hello as an interactive client, a pipelined burst of queries
+against the --demo table, then Goodbye. Exits non-zero if any frame is
+malformed, any query errors, or fewer responses than queries come back —
+shed (OVERLOADED) responses are counted as answered for liveness purposes
+but reported separately.
+
+Usage: rawd_smoke.py PORT [BURST]
+"""
+
+import socket
+import struct
+import sys
+
+KHELLO, KQUERY, KGOODBYE = 1, 2, 3
+KHELLO_OK, KRESULT, KERROR, KOVERLOADED, KGOODBYE_OK = 128, 129, 130, 131, 132
+
+QUERY = b"SELECT COUNT(*), MAX(value) FROM demo WHERE value > 1.0"
+
+
+def send_frame(sock, frame_type, payload=b""):
+    sock.sendall(struct.pack("<IB", len(payload), frame_type) + payload)
+
+
+def recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise EOFError("connection closed mid-frame")
+        buf += chunk
+    return buf
+
+
+def recv_frame(sock):
+    length, frame_type = struct.unpack("<IB", recv_exact(sock, 5))
+    if length > 64 << 20:
+        raise ValueError(f"oversized frame: {length} bytes")
+    return frame_type, recv_exact(sock, length)
+
+
+def main():
+    port = int(sys.argv[1])
+    burst = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+
+    sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+    sock.settimeout(30)
+
+    send_frame(sock, KHELLO, struct.pack("<B", 0))  # priority: interactive
+    frame_type, _ = recv_frame(sock)
+    assert frame_type == KHELLO_OK, f"expected HelloOk, got {frame_type}"
+
+    # Pipelined burst: all queries on the wire before reading any response.
+    for i in range(burst):
+        payload = struct.pack("<QI", i + 1, 10000)  # id, deadline_ms
+        payload += struct.pack("<I", len(QUERY)) + QUERY
+        send_frame(sock, KQUERY, payload)
+
+    answered = shed = 0
+    seen_ids = set()
+    for _ in range(burst):
+        frame_type, payload = recv_frame(sock)
+        (request_id,) = struct.unpack_from("<Q", payload)
+        seen_ids.add(request_id)
+        if frame_type == KRESULT:
+            answered += 1
+        elif frame_type == KOVERLOADED:
+            shed += 1
+        elif frame_type == KERROR:
+            code, msg_len = struct.unpack_from("<II", payload, 8)
+            msg = payload[16 : 16 + msg_len].decode("utf-8", "replace")
+            sys.exit(f"query {request_id} failed: code={code} {msg}")
+        else:
+            sys.exit(f"unexpected frame type {frame_type}")
+
+    assert seen_ids == set(range(1, burst + 1)), f"missing ids: {seen_ids}"
+    assert answered >= 1, "every query was shed — burst proved nothing"
+
+    send_frame(sock, KGOODBYE)
+    frame_type, _ = recv_frame(sock)
+    assert frame_type == KGOODBYE_OK, f"expected GoodbyeOk, got {frame_type}"
+    sock.close()
+    print(f"rawd smoke ok: {answered} answered, {shed} shed of {burst}")
+
+
+if __name__ == "__main__":
+    main()

@@ -292,7 +292,7 @@ Status AggregateOperator::Open() {
 }
 
 StatusOr<ColumnBatch> AggregateOperator::Next() {
-  if (done_) return ColumnBatch(output_schema_);
+  if (done_) return ColumnBatch::EndOfStream(output_schema_);
   done_ = true;
 
   std::vector<AggAccumulator> accs;
@@ -302,7 +302,8 @@ StatusOr<ColumnBatch> AggregateOperator::Next() {
 
   while (true) {
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
-    if (batch.empty()) break;
+    if (batch.end_of_stream()) break;
+    if (batch.empty()) continue;
     for (size_t s = 0; s < specs_.size(); ++s) {
       const AggSpec& spec = specs_[s];
       AggAccumulator& acc = accs[s];

@@ -27,6 +27,19 @@ class ColumnBatch {
   ColumnBatch() = default;
   explicit ColumnBatch(Schema schema) : schema_(std::move(schema)) {}
 
+  /// The stream-terminating sentinel: a zero-row batch carrying an explicit
+  /// end-of-stream mark. Operators return this (once) when exhausted, so a
+  /// legitimate zero-row *data* batch mid-stream (a fully filtered morsel,
+  /// an empty decompressed block) is distinguishable from EOF — consumers
+  /// must test end_of_stream(), never empty().
+  static ColumnBatch EndOfStream(Schema schema) {
+    ColumnBatch batch(std::move(schema));
+    batch.end_of_stream_ = true;
+    return batch;
+  }
+
+  bool end_of_stream() const { return end_of_stream_; }
+
   const Schema& schema() const { return schema_; }
   Schema* mutable_schema() { return &schema_; }
 
@@ -70,6 +83,7 @@ class ColumnBatch {
   std::vector<ColumnPtr> columns_;
   std::vector<int64_t> row_ids_;
   int64_t num_rows_ = 0;
+  bool end_of_stream_ = false;
 };
 
 }  // namespace raw

@@ -5,7 +5,8 @@ namespace raw {
 StatusOr<ColumnBatch> FilterOperator::Next() {
   while (true) {
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
-    if (batch.empty()) return batch;  // EOF
+    if (batch.end_of_stream()) return batch;  // EOF
+    if (batch.empty()) continue;  // zero-row data batch (e.g. drained morsel)
     rows_in_ += batch.num_rows();
     // Reuse one selection buffer across batches: Clear() keeps the
     // allocation, so steady state runs without a per-batch malloc.

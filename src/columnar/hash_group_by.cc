@@ -328,7 +328,8 @@ Status HashGroupByOperator::ConsumeChild() {
   int64_t seq = 0;
   while (true) {
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
-    if (batch.empty()) break;
+    if (batch.end_of_stream()) break;
+    if (batch.empty()) continue;
     RAW_RETURN_NOT_OK(partial.Absorb(batch, seq));
     seq += batch.num_rows();
   }
@@ -383,7 +384,8 @@ Status HashGroupByOperator::ConsumeChildParallel() {
 
   while (true) {
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
-    if (batch.empty()) break;
+    if (batch.end_of_stream()) break;
+    if (batch.empty()) continue;
     seq_base.push_back(seq);
     seq += batch.num_rows();
     chunk.push_back(std::move(batch));
@@ -411,7 +413,9 @@ StatusOr<ColumnBatch> HashGroupByOperator::Next() {
       RAW_RETURN_NOT_OK(ConsumeChild());
     }
   }
-  if (emit_cursor_ >= num_groups_) return ColumnBatch(output_schema_);
+  if (emit_cursor_ >= num_groups_) {
+    return ColumnBatch::EndOfStream(output_schema_);
+  }
   int64_t take = std::min(kDefaultBatchRows, num_groups_ - emit_cursor_);
   ColumnBatch out(output_schema_);
   std::vector<int64_t> idx(static_cast<size_t>(take));

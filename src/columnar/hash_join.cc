@@ -222,7 +222,8 @@ StatusOr<ColumnBatch> HashJoinOperator::Next() {
 
   while (true) {
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, probe_->Next());
-    if (batch.empty()) return ColumnBatch(output_schema_);
+    if (batch.end_of_stream()) return ColumnBatch::EndOfStream(output_schema_);
+    if (batch.empty()) continue;
 
     // Gather matching (probe_row, build_row) pairs: probe order outermost,
     // build rows ascending within a probe row (the chain traversal order).

@@ -55,7 +55,7 @@ Status InMemoryScanOperator::Open() {
 }
 
 StatusOr<ColumnBatch> InMemoryScanOperator::Next() {
-  if (cursor_ >= table_->num_rows()) return ColumnBatch(schema_);
+  if (cursor_ >= table_->num_rows()) return ColumnBatch::EndOfStream(schema_);
   int64_t take = std::min(batch_rows_, table_->num_rows() - cursor_);
   if (cursor_ == 0 && take == table_->num_rows()) {
     // Whole table in one batch: share the column buffers (zero copy).

@@ -7,7 +7,8 @@ StatusOr<ColumnBatch> CollectAll(Operator* op) {
   std::vector<ColumnBatch> batches;
   while (true) {
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, op->Next());
-    if (batch.empty()) break;
+    if (batch.end_of_stream()) break;
+    if (batch.empty()) continue;  // zero-row data batch, not EOF
     batches.push_back(std::move(batch));
   }
   RAW_RETURN_NOT_OK(op->Close());

@@ -16,9 +16,13 @@ namespace raw {
 /// Volcano-style vector-at-a-time operator (§2.1, §3): every Next() call
 /// returns a batch of rows rather than a single tuple.
 ///
-/// Contract: Open() before the first Next(); Next() returns batches with
-/// num_rows() > 0 until the stream is exhausted, then exactly one empty
-/// batch (EOF); Close() releases resources and may be called once.
+/// Contract: Open() before the first Next(); Next() returns data batches
+/// until the stream is exhausted, then a ColumnBatch::EndOfStream() sentinel
+/// (and keeps returning the sentinel if pulled again); Close() releases
+/// resources and may be called once. A data batch may legitimately carry
+/// zero rows (a fully filtered morsel, say) — consumers must detect EOF via
+/// ColumnBatch::end_of_stream(), never via empty(), or a zero-row interior
+/// batch silently truncates the stream.
 /// Open() must be idempotent *before* the first Next() — the planner opens
 /// subtrees while building plans (to materialize output schemas for
 /// expression binding) and the executor opens the root again.

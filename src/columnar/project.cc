@@ -25,8 +25,12 @@ Status ProjectOperator::Open() {
 }
 
 StatusOr<ColumnBatch> ProjectOperator::Next() {
-  RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
-  if (batch.empty()) return ColumnBatch(output_schema_);
+  ColumnBatch batch(child_->output_schema());
+  while (true) {
+    RAW_ASSIGN_OR_RETURN(batch, child_->Next());
+    if (batch.end_of_stream()) return ColumnBatch::EndOfStream(output_schema_);
+    if (!batch.empty()) break;  // skip zero-row data batches
+  }
   ColumnBatch out(output_schema_);
   for (const ExprPtr& expr : exprs_) {
     RAW_ASSIGN_OR_RETURN(Column col, expr->Evaluate(batch));

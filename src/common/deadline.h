@@ -1,0 +1,62 @@
+#ifndef RAW_COMMON_DEADLINE_H_
+#define RAW_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace raw {
+
+/// A point in time after which work should stop: the cooperative cancellation
+/// primitive shared by the serving tier's admission queue and the morsel
+/// pool's workers. Deadlines are value types on the steady clock (immune to
+/// wall-clock jumps); the default-constructed Deadline never expires, so
+/// plumbing one through unconditionally costs a comparison, not a branch on
+/// "is there a deadline at all" at every call site.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `millis` from now (<= 0: already expired).
+  static Deadline AfterMillis(int64_t millis) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(millis));
+  }
+
+  static Deadline AfterSeconds(double seconds) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(seconds)));
+  }
+
+  /// Already expired (fast-fail paths in tests).
+  static Deadline Expired() { return Deadline(Clock::time_point::min()); }
+
+  bool is_infinite() const { return !has_deadline_; }
+
+  bool expired() const { return has_deadline_ && Clock::now() >= at_; }
+
+  /// Seconds until expiry; negative once expired, +inf when infinite.
+  double remaining_seconds() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ - Clock::now()).count();
+  }
+
+  /// The raw time point (Clock::time_point::max() when infinite) — for
+  /// condition-variable wait_until calls.
+  Clock::time_point time_point() const {
+    return has_deadline_ ? at_ : Clock::time_point::max();
+  }
+
+ private:
+  explicit Deadline(Clock::time_point at) : has_deadline_(true), at_(at) {}
+
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_DEADLINE_H_

@@ -1,0 +1,62 @@
+#include "common/env.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <utility>
+
+namespace raw {
+
+std::optional<int64_t> ParseInt64Strict(const std::string& text, int64_t min,
+                                        int64_t max) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  if (begin == end) return std::nullopt;
+  // from_chars accepts a leading '-' but not '+'; tolerate an explicit '+'.
+  if (*begin == '+') {
+    ++begin;
+    if (begin == end || *begin == '-') return std::nullopt;
+  }
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(begin, end, value, /*base=*/10);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  if (value < min || value > max) return std::nullopt;
+  return value;
+}
+
+void WarnMalformedEnvOnce(const char* name, const std::string& value,
+                          const std::string& expected) {
+  static std::mutex mu;
+  static std::set<std::pair<std::string, std::string>>* warned =
+      new std::set<std::pair<std::string, std::string>>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!warned->emplace(name, value).second) return;
+  }
+  std::fprintf(stderr,
+               "raw: ignoring malformed environment variable %s=\"%s\" "
+               "(expected %s)\n",
+               name, value.c_str(), expected.c_str());
+}
+
+int64_t GetEnvInt64(const char* name, int64_t fallback, int64_t min,
+                    int64_t max) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  std::optional<int64_t> value = ParseInt64Strict(env, min, max);
+  if (!value.has_value()) {
+    WarnMalformedEnvOnce(name, env,
+                         "an integer in [" + std::to_string(min) + ", " +
+                             std::to_string(max) + "]");
+    return fallback;
+  }
+  return *value;
+}
+
+int GetEnvInt(const char* name, int fallback, int min, int max) {
+  return static_cast<int>(GetEnvInt64(name, fallback, min, max));
+}
+
+}  // namespace raw

@@ -1,0 +1,40 @@
+#ifndef RAW_COMMON_ENV_H_
+#define RAW_COMMON_ENV_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace raw {
+
+/// Strict integer parsing for environment knobs (RAW_NUM_THREADS,
+/// RAW_BENCH_*). Unlike atoi/atoll — which silently read "4abc" as 4 and
+/// return 0 or garbage on overflow — these reject trailing characters and
+/// out-of-range values, warn once per variable on stderr, and fall back to
+/// the caller's default. A malformed knob must never silently reconfigure
+/// the engine.
+
+/// Parses the whole of `text` as a base-10 integer in [min, max]. Leading
+/// '+'/'-' allowed; leading/trailing whitespace and any other trailing
+/// characters are rejected, as are empty strings and values outside range.
+std::optional<int64_t> ParseInt64Strict(const std::string& text, int64_t min,
+                                        int64_t max);
+
+/// Reads `$name` as an integer in [min, max]. Returns `fallback` when unset.
+/// When set but malformed or out of range, warns once per variable on stderr
+/// (naming the variable, the value and the accepted range) and returns
+/// `fallback`.
+int64_t GetEnvInt64(const char* name, int64_t fallback, int64_t min,
+                    int64_t max);
+
+/// Int-sized convenience over GetEnvInt64.
+int GetEnvInt(const char* name, int fallback, int min, int max);
+
+/// Warns once per (variable, value) about a malformed environment knob.
+/// Exposed for env consumers with non-integer grammars (RAW_KERNELS).
+void WarnMalformedEnvOnce(const char* name, const std::string& value,
+                          const std::string& expected);
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_ENV_H_

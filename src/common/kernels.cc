@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #define RAW_KERNELS_X86 1
@@ -172,7 +174,12 @@ KernelTier TierFromEnv() {
   if (v == "swar") return KernelTier::kSwar;
   if (v == "sse2") return KernelTier::kSse2;
   if (v == "avx2") return KernelTier::kAvx2;
-  // "simd" (and anything unrecognized): best the CPU offers.
+  // "simd" means the best the CPU offers; anything else is a typo the user
+  // should hear about rather than silently running the auto-selected tier.
+  if (v != "simd") {
+    WarnMalformedEnvOnce("RAW_KERNELS", env,
+                         "one of scalar|swar|sse2|avx2|simd");
+  }
   return MaxSupportedKernelTier();
 }
 

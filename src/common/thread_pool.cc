@@ -75,6 +75,18 @@ int64_t ThreadPool::queue_depth() const {
 }
 
 Status ThreadPool::ParallelFor(int64_t n, int parallelism,
+                               const Deadline& deadline,
+                               const std::function<Status(int64_t)>& fn) {
+  if (deadline.is_infinite()) return ParallelFor(n, parallelism, fn);
+  return ParallelFor(n, parallelism, [&](int64_t i) -> Status {
+    if (deadline.expired()) {
+      return Status::ResourceExhausted("deadline exceeded in ParallelFor");
+    }
+    return fn(i);
+  });
+}
+
+Status ThreadPool::ParallelFor(int64_t n, int parallelism,
                                const std::function<Status(int64_t)>& fn) {
   if (n <= 0) return Status::OK();
   parallelism = std::max(1, std::min<int>(parallelism,

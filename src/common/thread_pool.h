@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/macros.h"
 #include "common/status.h"
 
@@ -50,6 +51,12 @@ class ThreadPool {
   /// Returns the error of the smallest failing index; remaining indices are
   /// abandoned after the first observed failure.
   Status ParallelFor(int64_t n, int parallelism,
+                     const std::function<Status(int64_t)>& fn);
+
+  /// Deadline-aware ParallelFor: claimants re-check `deadline` before every
+  /// index; once it expires, remaining indices are abandoned and the call
+  /// returns ResourceExhausted (already-started indices still finish).
+  Status ParallelFor(int64_t n, int parallelism, const Deadline& deadline,
                      const std::function<Status(int64_t)>& fn);
 
   /// Process-wide shared pool used by the engine's parallel operators.

@@ -26,6 +26,11 @@ StatusOr<Datum> QueryResult::Scalar() const {
 }
 
 StatusOr<QueryResult> Executor::Run(PhysicalPlan plan) {
+  // Fast-fail before draining: a deadline that lapsed during planning (or
+  // while queued in a server's admission queue) must not start execution.
+  if (plan.deadline.expired()) {
+    return Status::ResourceExhausted("query deadline exceeded");
+  }
   QueryResult result;
   result.compile_seconds = plan.compile_seconds;
   Stopwatch watch;
@@ -100,6 +105,14 @@ void ParallelTableScanOperator::WorkerLoop() {
     }
     if (cancel_.load(std::memory_order_relaxed)) return;
     MorselResult result;
+    if (options_.deadline.expired()) {
+      result.status = Status::ResourceExhausted("query deadline exceeded");
+      std::lock_guard<std::mutex> lock(mu_);
+      result.done = true;
+      results_[static_cast<size_t>(i)] = std::move(result);
+      cv_.notify_all();
+      continue;
+    }
     // `done` must be set on EVERY exit path — an unmarked morsel would park
     // the consumer's cv_.wait forever — so exceptions fold into the status.
     try {
@@ -110,7 +123,8 @@ void ParallelTableScanOperator::WorkerLoop() {
           result.status = batch.status();
           break;
         }
-        if (batch->empty()) break;
+        if (batch->end_of_stream()) break;
+        if (batch->empty()) continue;  // drop zero-row interior batches
         result.batches.push_back(std::move(batch).value());
       }
     } catch (const std::exception& e) {
@@ -131,7 +145,7 @@ void ParallelTableScanOperator::WorkerLoop() {
 }
 
 StatusOr<ColumnBatch> ParallelTableScanOperator::Next() {
-  if (eof_) return ColumnBatch(output_schema_);
+  if (eof_) return ColumnBatch::EndOfStream(output_schema_);
   if (!started_) StartWorkers();
 
   while (emit_morsel_ < children_.size()) {
@@ -174,7 +188,7 @@ StatusOr<ColumnBatch> ParallelTableScanOperator::Next() {
   }
 
   eof_ = true;
-  return ColumnBatch(output_schema_);
+  return ColumnBatch::EndOfStream(output_schema_);
 }
 
 void ParallelTableScanOperator::JoinWorkers() {

@@ -11,6 +11,7 @@
 
 #include "columnar/batch.h"
 #include "common/datum.h"
+#include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "csv/positional_map.h"
 #include "engine/physical_plan.h"
@@ -70,6 +71,9 @@ class ParallelTableScanOperator : public Operator {
     /// the same query rely on this). Ignored if the target is non-empty.
     PositionalMap* merge_pmap_into = nullptr;
     std::vector<std::unique_ptr<PositionalMap>> partial_pmaps;
+    /// Workers re-check this before claiming each morsel; once expired the
+    /// scan stops producing and Next() returns ResourceExhausted.
+    Deadline deadline;
   };
 
   ParallelTableScanOperator(Schema output_schema,

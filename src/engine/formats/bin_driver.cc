@@ -83,6 +83,7 @@ class BinaryFormatDriver final : public FormatDriver {
       };
       if (morsels.size() > 1) {
         ParallelTableScanOperator::Options popts;
+        popts.deadline = tc.opts->deadline;
         popts.num_threads = tc.num_threads;
         std::vector<OperatorPtr> children;
         for (const ScanRange& m : morsels) {
@@ -109,6 +110,7 @@ class BinaryFormatDriver final : public FormatDriver {
     };
     if (morsels.size() > 1) {
       ParallelTableScanOperator::Options popts;
+      popts.deadline = tc.opts->deadline;
       popts.num_threads = tc.num_threads;
       std::vector<OperatorPtr> children;
       for (const ScanRange& m : morsels) {

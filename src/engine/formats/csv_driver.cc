@@ -87,6 +87,7 @@ StatusOr<OperatorPtr> BuildCsvSequentialScan(FormatScanContext& tc,
 
   if (morsels.size() > 1) {
     ParallelTableScanOperator::Options popts;
+    popts.deadline = tc.opts->deadline;
     popts.num_threads = tc.num_threads;
     popts.rebase_row_ids = true;  // morsel children emit range-local ids
     popts.merge_pmap_into = build;
@@ -205,6 +206,7 @@ StatusOr<OperatorPtr> BuildCsvPositionalScan(FormatScanContext& tc,
 
   if (morsels.size() > 1) {
     ParallelTableScanOperator::Options popts;
+    popts.deadline = tc.opts->deadline;
     popts.num_threads = tc.num_threads;
     std::vector<OperatorPtr> children;
     for (const ScanRange& m : morsels) {

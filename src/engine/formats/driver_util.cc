@@ -25,8 +25,9 @@ Status SelectColumnsOperator::Open() {
 
 StatusOr<ColumnBatch> SelectColumnsOperator::Next() {
   RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
+  if (batch.end_of_stream()) return ColumnBatch::EndOfStream(schema_);
   ColumnBatch out(schema_);
-  if (batch.empty()) return out;  // EOF
+  if (batch.empty()) return out;  // zero-row data batch
   for (int idx : indices_) out.AddColumn(batch.column(idx));
   out.SetNumRows(batch.num_rows());
   if (batch.has_row_ids()) out.SetRowIds(batch.row_ids());
@@ -42,7 +43,7 @@ PmapPublishOperator::~PmapPublishOperator() { Finish(/*publish=*/false); }
 
 StatusOr<ColumnBatch> PmapPublishOperator::Next() {
   RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
-  if (batch.empty()) drained_ = true;
+  if (batch.end_of_stream()) drained_ = true;
   return batch;
 }
 

@@ -56,6 +56,7 @@ StatusOr<OperatorPtr> BuildJsonlSequentialScan(FormatScanContext& tc,
 
   if (morsels.size() > 1) {
     ParallelTableScanOperator::Options popts;
+    popts.deadline = tc.opts->deadline;
     popts.num_threads = tc.num_threads;
     popts.rebase_row_ids = true;  // morsel children emit range-local ids
     popts.merge_pmap_into = build;
@@ -122,6 +123,7 @@ StatusOr<OperatorPtr> BuildJsonlPositionalScan(FormatScanContext& tc,
 
   if (morsels.size() > 1) {
     ParallelTableScanOperator::Options popts;
+    popts.deadline = tc.opts->deadline;
     popts.num_threads = tc.num_threads;
     std::vector<OperatorPtr> children;
     for (const ScanRange& m : morsels) {
@@ -156,7 +158,8 @@ class JsonlFormatDriver final : public FormatDriver {
     auto table = std::make_unique<InMemoryTable>(scan.output_schema());
     while (true) {
       RAW_ASSIGN_OR_RETURN(ColumnBatch batch, scan.Next());
-      if (batch.empty()) break;
+      if (batch.end_of_stream()) break;
+      if (batch.empty()) continue;
       RAW_RETURN_NOT_OK(table->AppendBatch(batch));
     }
     RAW_RETURN_NOT_OK(scan.Close());

@@ -179,6 +179,7 @@ class RefFormatDriver final : public FormatDriver {
     }
     if (morsels.size() > 1) {
       ParallelTableScanOperator::Options popts;
+      popts.deadline = tc.opts->deadline;
       popts.num_threads = tc.num_threads;
       std::vector<OperatorPtr> children;
       for (const ScanRange& m : morsels) {

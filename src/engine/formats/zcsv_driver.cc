@@ -30,7 +30,7 @@ class IndexPublishOperator : public Operator {
   Status Open() override { return child_->Open(); }
   StatusOr<ColumnBatch> Next() override {
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
-    if (batch.empty()) drained_ = true;
+    if (batch.end_of_stream()) drained_ = true;
     return batch;
   }
   Status Close() override {
@@ -88,7 +88,8 @@ class CsvGzFormatDriver final : public FormatDriver {
     auto table = std::make_unique<InMemoryTable>(scan.output_schema());
     while (true) {
       RAW_ASSIGN_OR_RETURN(ColumnBatch batch, scan.Next());
-      if (batch.empty()) break;
+      if (batch.end_of_stream()) break;
+      if (batch.empty()) continue;
       RAW_RETURN_NOT_OK(table->AppendBatch(batch));
     }
     RAW_RETURN_NOT_OK(scan.Close());
@@ -153,6 +154,7 @@ class CsvGzFormatDriver final : public FormatDriver {
         // Warm children emit file-global row ids (rebased per block inside
         // the operator), so the parallel driver does not rebase.
         ParallelTableScanOperator::Options popts;
+        popts.deadline = tc.opts->deadline;
         popts.num_threads = tc.num_threads;
         std::vector<OperatorPtr> children;
         for (const ScanRange& m : morsels) {

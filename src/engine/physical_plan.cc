@@ -1,18 +1,19 @@
 #include "engine/physical_plan.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <thread>
+
+#include "common/env.h"
 
 namespace raw {
 
 int ResolveNumThreads(int requested) {
   if (requested > 0) return requested;
-  const char* env = std::getenv("RAW_NUM_THREADS");
-  if (env != nullptr) {
-    int v = std::atoi(env);
-    if (v > 0) return v;
-  }
+  // Strict parse: "4abc" or an overflowing value is a configuration error,
+  // not a thread count — warn and fall back to auto instead of guessing.
+  int v = GetEnvInt("RAW_NUM_THREADS", /*fallback=*/0, /*min=*/1,
+                    /*max=*/4096);
+  if (v > 0) return v;
   return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "columnar/operator.h"
+#include "common/deadline.h"
 #include "scan/access_path.h"
 
 namespace raw {
@@ -58,6 +59,10 @@ struct PlannerOptions {
   /// Parallel plans return identical results for every thread count (morsels
   /// re-emit in file order; group-by partials partition rows by key).
   int num_threads = 0;
+  /// Per-query execution deadline (default: never expires). Morsel workers
+  /// and Cursor::Next() check it and fail the query with ResourceExhausted
+  /// once it passes; the serving tier maps that onto its wire error.
+  Deadline deadline;
 };
 
 /// Resolves PlannerOptions::num_threads (see above); always >= 1.
@@ -69,6 +74,7 @@ struct PhysicalPlan {
   OperatorPtr root;
   std::string description;      // EXPLAIN-style summary
   double compile_seconds = 0;   // JIT compilation charged to this query
+  Deadline deadline;            // propagated from PlannerOptions
   /// Immutable snapshots the operator tree references by raw pointer
   /// (positional maps, loaded tables). Holding them here pins them for the
   /// plan's whole lifetime — streaming cursors keep working even if

@@ -50,9 +50,11 @@ class LimitOperator : public Operator {
     return child_->Open();
   }
   StatusOr<ColumnBatch> Next() override {
-    if (emitted_ >= limit_) return ColumnBatch(child_->output_schema());
+    if (emitted_ >= limit_) {
+      return ColumnBatch::EndOfStream(child_->output_schema());
+    }
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
-    if (batch.empty()) return batch;
+    if (batch.end_of_stream() || batch.empty()) return batch;
     if (emitted_ + batch.num_rows() > limit_) {
       SelectionVector head;
       for (int64_t i = 0; i < limit_ - emitted_; ++i) {
@@ -85,8 +87,8 @@ class CachedColumnsScanOperator : public Operator {
     return Status::OK();
   }
   StatusOr<ColumnBatch> Next() override {
+    if (done_) return ColumnBatch::EndOfStream(schema_);
     ColumnBatch out(schema_);
-    if (done_) return out;
     done_ = true;
     for (const ColumnPtr& col : columns_) out.AddColumn(col);
     int64_t rows = columns_.empty() ? 0 : columns_[0]->length();
@@ -141,7 +143,7 @@ class CacheInsertOperator : public Operator {
   }
   StatusOr<ColumnBatch> Next() override {
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
-    if (batch.empty()) {
+    if (batch.end_of_stream()) {
       drained_ = true;
       return batch;
     }
@@ -681,6 +683,7 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
   }
 
   PhysicalPlan plan;
+  plan.deadline = options.deadline;
   std::ostringstream desc;
   // Which kernel dispatch tier the hot scan/eval loops will run on — benches
   // assert on this so recorded numbers prove which path executed.

@@ -64,6 +64,14 @@ EngineStats RawEngine::Stats() const {
   stats.ref_pool = catalog_.RefPoolStats();
   stats.tables = catalog_.Stats();
   stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  stats.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  stats.admission.admitted =
+      admission_.admitted.load(std::memory_order_relaxed);
+  stats.admission.executed =
+      admission_.executed.load(std::memory_order_relaxed);
+  stats.admission.shed = admission_.shed.load(std::memory_order_relaxed);
+  stats.admission.deadline_expired =
+      admission_.deadline_expired.load(std::memory_order_relaxed);
   stats.queries_parsed = queries_parsed_.load(std::memory_order_relaxed);
   stats.queries_planned = queries_planned_.load(std::memory_order_relaxed);
   stats.queries_executed = queries_executed_.load(std::memory_order_relaxed);

@@ -26,6 +26,25 @@ struct RawEngineOptions {
   int shred_cache_shards = ShredCache::kDefaultNumShards;
 };
 
+/// Live admission-control counters a serving tier (rawd) maintains on its
+/// engine. The server increments them; EngineStats snapshots them, so load
+/// shedding is observable through the same introspection surface as the
+/// caches.
+struct AdmissionCounters {
+  std::atomic<int64_t> admitted{0};   // requests accepted into the queue
+  std::atomic<int64_t> executed{0};   // requests that ran to completion
+  std::atomic<int64_t> shed{0};       // fast-failed with OVERLOADED
+  std::atomic<int64_t> deadline_expired{0};  // expired before/while running
+};
+
+/// Point-in-time snapshot of AdmissionCounters.
+struct AdmissionStats {
+  int64_t admitted = 0;
+  int64_t executed = 0;
+  int64_t shed = 0;
+  int64_t deadline_expired = 0;
+};
+
 /// Read-only snapshot of the engine's shared state: cache counters, query
 /// counters, and per-table adaptive state. This is the introspection surface
 /// — tests and benchmarks read stats instead of poking mutable internals.
@@ -38,6 +57,10 @@ struct EngineStats {
   std::vector<TableStats> tables;
 
   int64_t sessions_opened = 0;
+  /// Sessions whose handles have been destroyed; opened - closed = live.
+  int64_t sessions_closed = 0;
+  /// Serving-tier admission counters (all zero when no server runs).
+  AdmissionStats admission;
   /// SQL statements parsed + bound (Prepare counts once; re-executing a
   /// PreparedQuery does not re-parse — that is the point).
   int64_t queries_parsed = 0;
@@ -56,6 +79,10 @@ struct EngineStats {
       if (t.name == name) return &t;
     }
     return nullptr;
+  }
+
+  int64_t sessions_active() const {
+    return sessions_opened - sessions_closed;
   }
 };
 
@@ -158,6 +185,10 @@ class RawEngine {
 
   const RawEngineOptions& options() const { return options_; }
 
+  /// Mutable admission counters for a serving tier running on this engine
+  /// (rawd's AdmissionController increments them). Thread-safe.
+  AdmissionCounters& admission_counters() { return admission_; }
+
   /// Drops all adaptive state (shred pool + compiled-kernel cache + maps +
   /// REF decoded-cluster caches), reverting the engine to its
   /// freshly-started behaviour. Safe against in-flight sessions: running
@@ -176,6 +207,8 @@ class RawEngine {
 
   std::atomic<int64_t> next_session_id_{1};
   std::atomic<int64_t> sessions_opened_{0};
+  std::atomic<int64_t> sessions_closed_{0};
+  AdmissionCounters admission_;
   std::atomic<int64_t> queries_parsed_{0};
   std::atomic<int64_t> queries_planned_{0};
   std::atomic<int64_t> queries_executed_{0};

@@ -64,15 +64,25 @@ StatusOr<ColumnBatch> Cursor::Next() {
     if (plan_.root == nullptr) eof_ = true;
     return ColumnBatch(schema());
   }
+  if (plan_.deadline.expired()) {
+    return Status::ResourceExhausted("query deadline exceeded");
+  }
   Stopwatch watch;
   RAW_RETURN_NOT_OK(EnsureOpen());
+  // Zero-row data batches (a fully filtered morsel, say) are legal
+  // mid-stream; only the EndOfStream sentinel terminates. Loop past the
+  // former so clients keep the simple "empty batch == done" contract.
   StatusOr<ColumnBatch> batch = plan_.root->Next();
+  while (batch.ok() && !batch->end_of_stream() && batch->empty()) {
+    batch = plan_.root->Next();
+  }
   execute_seconds_ += watch.ElapsedSeconds();
-  if (batch.ok() && batch->empty()) {
+  if (batch.ok() && batch->end_of_stream()) {
     eof_ = true;
     // Close eagerly so end-of-stream side effects (shred-cache population,
     // positional-map publication) land without waiting for destruction.
     RAW_RETURN_NOT_OK(Close());
+    return ColumnBatch(schema());
   }
   return batch;
 }
@@ -142,6 +152,10 @@ StatusOr<Cursor> PreparedQuery::ExecuteStream(
 // =============================================================================
 // Session
 // =============================================================================
+
+Session::~Session() {
+  engine_->sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+}
 
 StatusOr<QuerySpec> Session::Parse(const std::string& sql) {
   RAW_ASSIGN_OR_RETURN(QuerySpec spec, sql::Parse(sql));

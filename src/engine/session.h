@@ -132,6 +132,10 @@ class PreparedQuery {
 /// one per client thread (they are cheap), or guard a shared one yourself.
 class Session {
  public:
+  /// Notifies the engine (sessions_closed counter) — servers rely on this to
+  /// verify that disconnects release their sessions.
+  ~Session();
+
   const PlannerOptions& planner_options() const { return options_; }
   void set_planner_options(const PlannerOptions& options) {
     options_ = options;

@@ -107,13 +107,20 @@ Status UnescapeJsonString(const char* data, int32_t size, std::string* out) {
         ++p;
         RAW_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4(p, end));
         p += 4;
-        if (cp >= 0xD800 && cp <= 0xDBFF && end - p >= 6 && p[0] == '\\' &&
-            p[1] == 'u') {
-          RAW_ASSIGN_OR_RETURN(uint32_t low, ParseHex4(p + 2, end));
-          if (low >= 0xDC00 && low <= 0xDFFF) {
-            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
-            p += 6;
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+          // High surrogate: only valid immediately followed by a low
+          // surrogate escape; together they name one astral code point.
+          if (end - p < 6 || p[0] != '\\' || p[1] != 'u') {
+            return Malformed("unpaired high surrogate in \\u escape");
           }
+          RAW_ASSIGN_OR_RETURN(uint32_t low, ParseHex4(p + 2, end));
+          if (low < 0xDC00 || low > 0xDFFF) {
+            return Malformed("unpaired high surrogate in \\u escape");
+          }
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          p += 6;
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+          return Malformed("unpaired low surrogate in \\u escape");
         }
         AppendUtf8(cp, out);
         break;

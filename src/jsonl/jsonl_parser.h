@@ -29,8 +29,10 @@ struct JsonlField {
 };
 
 /// Decodes a JSON string span (content between the quotes) into `out`,
-/// resolving \" \\ \/ \b \f \n \r \t and \uXXXX (BMP only; surrogate pairs
-/// are combined) escapes.
+/// resolving \" \\ \/ \b \f \n \r \t and \uXXXX escapes. A high/low
+/// surrogate escape pair (😀) combines into the astral-plane code
+/// point's UTF-8 sequence; an unpaired surrogate is rejected with
+/// InvalidArgument rather than smuggled through as invalid UTF-8.
 Status UnescapeJsonString(const char* data, int32_t size, std::string* out);
 
 /// Parses the single scalar JSON value starting at `*pp` (no leading

@@ -134,7 +134,7 @@ Status JsonlScanOperator::ConvertAndBuild(int64_t rows, ColumnBatch* out) {
 StatusOr<ColumnBatch> JsonlScanOperator::NextSequential() {
   ColumnBatch out(output_schema_);
   pos_ = SkipBlank(pos_, end_);
-  if (pos_ >= end_) return out;
+  if (pos_ >= end_) return ColumnBatch::EndOfStream(output_schema_);
   if (spec_.profile) spec_.profile->parsing.Start();
 
   PositionalMap* pmap = spec_.build_pmap;
@@ -182,7 +182,7 @@ StatusOr<ColumnBatch> JsonlScanOperator::NextPositional() {
   const PositionalMap& pmap = *spec_.use_pmap;
   const int64_t total = spec_.row_set.has_value() ? spec_.row_set->size()
                                                   : pmap.num_rows();
-  if (input_cursor_ >= total) return out;
+  if (input_cursor_ >= total) return ColumnBatch::EndOfStream(output_schema_);
   if (spec_.profile) spec_.profile->parsing.Start();
 
   const char* file_end = data_ + size_;

@@ -26,7 +26,7 @@ Status ExternalTableScanOperator::Open() {
 
 StatusOr<ColumnBatch> ExternalTableScanOperator::Next() {
   ColumnBatch out(output_schema_);
-  if (pos_ >= end_) return out;
+  if (pos_ >= end_) return ColumnBatch::EndOfStream(output_schema_);
 
   const int num_fields = file_schema_.num_fields();
   std::vector<ColumnPtr> columns;

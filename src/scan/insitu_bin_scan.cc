@@ -38,7 +38,7 @@ StatusOr<ColumnBatch> InsituBinScanOperator::Next() {
     total = reader_->num_rows() - spec_.range.begin;
     if (spec_.range.bounded()) total = std::min(total, spec_.range.count());
   }
-  if (cursor_ >= total) return out;
+  if (cursor_ >= total) return ColumnBatch::EndOfStream(output_schema_);
   if (spec_.profile) spec_.profile->main_loop.Start();
 
   const int64_t take = std::min(spec_.batch_rows, total - cursor_);

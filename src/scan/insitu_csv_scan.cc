@@ -137,7 +137,7 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextSequentialQuoted() {
   // steps through every field with the quote-aware tokenizer instead of
   // stopping at the last needed column and memchr-ing for '\n'.
   ColumnBatch out(output_schema_);
-  if (pos_ >= end_) return out;
+  if (pos_ >= end_) return ColumnBatch::EndOfStream(output_schema_);
   if (spec_.profile) spec_.profile->parsing.Start();
 
   const char delim = spec_.options.delimiter;
@@ -197,7 +197,7 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextSequentialQuoted() {
 StatusOr<ColumnBatch> InsituCsvScanOperator::NextSequential() {
   if (spec_.quoted) return NextSequentialQuoted();
   ColumnBatch out(output_schema_);
-  if (pos_ >= end_) return out;
+  if (pos_ >= end_) return ColumnBatch::EndOfStream(output_schema_);
   if (spec_.profile) spec_.profile->main_loop.Start();
 
   const char delim = spec_.options.delimiter;
@@ -264,7 +264,7 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextPositional() {
   const int64_t total = spec_.row_set.has_value()
                             ? spec_.row_set->size()
                             : pmap.num_rows();
-  if (input_cursor_ >= total) return out;
+  if (input_cursor_ >= total) return ColumnBatch::EndOfStream(output_schema_);
   if (spec_.profile) spec_.profile->parsing.Start();
 
   const char delim = spec_.options.delimiter;

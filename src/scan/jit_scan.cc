@@ -94,7 +94,7 @@ Status JitScanOperator::Open() {
 
 StatusOr<ColumnBatch> JitScanOperator::Next() {
   ColumnBatch out(args_.output_schema);
-  if (eof_) return out;
+  if (eof_) return ColumnBatch::EndOfStream(args_.output_schema);
 
   if (args_.profile) args_.profile->build_columns.Start();
   // Allocate output buffers for this batch; the kernel fills them in place
@@ -120,7 +120,7 @@ StatusOr<ColumnBatch> JitScanOperator::Next() {
   }
   if (produced == 0) {
     eof_ = true;
-    return out;
+    return ColumnBatch::EndOfStream(args_.output_schema);
   }
 
   if (args_.profile) args_.profile->build_columns.Start();

@@ -13,7 +13,8 @@ StatusOr<std::unique_ptr<InMemoryTable>> Drain(Operator* scan) {
   auto table = std::make_unique<InMemoryTable>(scan->output_schema());
   while (true) {
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, scan->Next());
-    if (batch.empty()) break;
+    if (batch.end_of_stream()) break;
+    if (batch.empty()) continue;
     RAW_RETURN_NOT_OK(table->AppendBatch(batch));
   }
   RAW_RETURN_NOT_OK(scan->Close());

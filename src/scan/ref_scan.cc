@@ -111,7 +111,7 @@ StatusOr<ColumnPtr> RefTableScanOperator::ReadFieldColumn(
 
 StatusOr<ColumnBatch> RefTableScanOperator::Next() {
   ColumnBatch out(output_schema_);
-  if (cursor_ >= total_rows_) return out;
+  if (cursor_ >= total_rows_) return ColumnBatch::EndOfStream(output_schema_);
   const int64_t take = std::min(spec_.batch_rows, total_rows_ - cursor_);
   const std::vector<int64_t>* explicit_rows =
       spec_.row_set.has_value() ? &spec_.row_set->ids : nullptr;

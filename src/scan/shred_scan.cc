@@ -39,8 +39,12 @@ Status LateScanOperator::Open() {
 }
 
 StatusOr<ColumnBatch> LateScanOperator::Next() {
-  RAW_ASSIGN_OR_RETURN(ColumnBatch batch, child_->Next());
-  if (batch.empty()) return ColumnBatch(output_schema_);
+  ColumnBatch batch(child_->output_schema());
+  while (true) {
+    RAW_ASSIGN_OR_RETURN(batch, child_->Next());
+    if (batch.end_of_stream()) return ColumnBatch::EndOfStream(output_schema_);
+    if (!batch.empty()) break;  // skip zero-row data batches
+  }
 
   RowSet rows;
   if (row_id_index_ >= 0) {

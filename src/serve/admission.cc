@@ -1,0 +1,163 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "engine/raw_engine.h"
+
+namespace raw {
+namespace serve {
+
+namespace {
+inline int ClassIndex(PriorityClass p) { return static_cast<int>(p); }
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         AdmissionCounters* counters)
+    : options_(std::move(options)), counters_(counters) {
+  const int workers = std::max(options_.num_workers, 1);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AdmissionController::~AdmissionController() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+Status AdmissionController::Submit(PriorityClass priority, int64_t cost_bytes,
+                                   Deadline deadline, Job job) {
+  const int ci = ClassIndex(priority);
+  const ClassLimits& limits =
+      priority == PriorityClass::kInteractive ? options_.interactive
+                                              : options_.batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || stop_) {
+      return Status::InvalidArgument("server is draining");
+    }
+    std::deque<Request>& queue =
+        priority == PriorityClass::kInteractive ? interactive_ : batch_;
+    const int64_t total_queued =
+        static_cast<int64_t>(interactive_.size() + batch_.size());
+    if (total_queued >= options_.max_total_queued) {
+      if (counters_ != nullptr) {
+        counters_->shed.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::ResourceExhausted("OVERLOADED: global queue full");
+    }
+    if (static_cast<int>(queue.size()) >= limits.max_queued) {
+      if (counters_ != nullptr) {
+        counters_->shed.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::ResourceExhausted("OVERLOADED: class queue full");
+    }
+    if (queued_bytes_[ci] + cost_bytes > limits.max_queued_bytes) {
+      if (counters_ != nullptr) {
+        counters_->shed.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::ResourceExhausted("OVERLOADED: class byte quota full");
+    }
+    queued_bytes_[ci] += cost_bytes;
+    queue.push_back(Request{priority, cost_bytes, deadline, std::move(job)});
+    if (counters_ != nullptr) {
+      counters_->admitted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+bool AdmissionController::PickLocked(Request* out) {
+  // Interactive strictly before batch, each FIFO, respecting the per-class
+  // running caps. A class at its cap does not block the other.
+  for (std::deque<Request>* queue : {&interactive_, &batch_}) {
+    if (queue->empty()) continue;
+    const PriorityClass p = queue->front().priority;
+    const ClassLimits& limits =
+        p == PriorityClass::kInteractive ? options_.interactive
+                                         : options_.batch;
+    if (running_[ClassIndex(p)] >= limits.max_concurrent) continue;
+    *out = std::move(queue->front());
+    queue->pop_front();
+    return true;
+  }
+  return false;
+}
+
+void AdmissionController::WorkerLoop() {
+  while (true) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stop_ ||
+               (!interactive_.empty() &&
+                running_[0] < options_.interactive.max_concurrent) ||
+               (!batch_.empty() &&
+                running_[1] < options_.batch.max_concurrent);
+      });
+      if (stop_ && interactive_.empty() && batch_.empty()) return;
+      if (!PickLocked(&req)) continue;
+      const int ci = ClassIndex(req.priority);
+      queued_bytes_[ci] -= req.cost_bytes;
+      ++running_[ci];
+      ++total_running_;
+    }
+    Status admission = Status::OK();
+    if (req.deadline.expired()) {
+      admission =
+          Status::ResourceExhausted("deadline expired before execution");
+      if (counters_ != nullptr) {
+        counters_->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    req.job(admission);
+    if (admission.ok() && counters_ != nullptr) {
+      counters_->executed.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_[ClassIndex(req.priority)];
+      --total_running_;
+      if (total_running_ == 0 && interactive_.empty() && batch_.empty()) {
+        idle_cv_.notify_all();
+      }
+    }
+    // A freed class slot may unblock a queued peer.
+    work_cv_.notify_one();
+  }
+}
+
+void AdmissionController::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+void AdmissionController::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  idle_cv_.wait(lock, [this] {
+    return total_running_ == 0 && interactive_.empty() && batch_.empty();
+  });
+}
+
+int64_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(interactive_.size() + batch_.size());
+}
+
+int64_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_running_;
+}
+
+}  // namespace serve
+}  // namespace raw

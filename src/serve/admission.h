@@ -1,0 +1,111 @@
+#ifndef RAW_SERVE_ADMISSION_H_
+#define RAW_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "serve/wire.h"
+
+namespace raw {
+
+struct AdmissionCounters;
+
+namespace serve {
+
+/// Per-priority-class admission quotas.
+struct ClassLimits {
+  /// Queries of this class running at once (dedicated worker slots).
+  int max_concurrent = 2;
+  /// Queries of this class waiting in the queue before new ones shed.
+  int max_queued = 16;
+  /// Total request payload bytes this class may hold queued.
+  int64_t max_queued_bytes = 16ll << 20;
+};
+
+struct AdmissionOptions {
+  ClassLimits interactive;
+  ClassLimits batch{/*max_concurrent=*/1, /*max_queued=*/8,
+                    /*max_queued_bytes=*/64ll << 20};
+  /// Worker threads draining the queue (>= 1). Bounds total concurrency
+  /// together with the per-class max_concurrent caps.
+  int num_workers = 2;
+  /// Global queue depth across classes; beyond it everything sheds.
+  int max_total_queued = 64;
+};
+
+/// Bounded admission queue in front of the engine: requests are enqueued with
+/// a priority class, a deadline and a byte cost; dedicated workers drain them
+/// interactive-first. Over-quota submissions fail fast (load shedding) instead
+/// of queueing without bound, and requests whose deadline lapses while queued
+/// are failed at dequeue without touching the engine.
+///
+/// The controller optionally mirrors its counters into an engine-owned
+/// AdmissionCounters struct so shedding shows up in EngineStats.
+class AdmissionController {
+ public:
+  /// Runs on a worker thread with the admission verdict: OK after a
+  /// successful dequeue, ResourceExhausted when the deadline lapsed queued.
+  /// Never invoked for shed requests — Submit reports those synchronously.
+  using Job = std::function<void(const Status& admission)>;
+
+  explicit AdmissionController(AdmissionOptions options,
+                               AdmissionCounters* counters = nullptr);
+  ~AdmissionController();
+  RAW_DISALLOW_COPY_AND_ASSIGN(AdmissionController);
+
+  /// Enqueues `job`, or sheds: ResourceExhausted("OVERLOADED: ...") when a
+  /// class or global bound is hit, InvalidArgument after BeginDrain. A shed
+  /// job is never run.
+  Status Submit(PriorityClass priority, int64_t cost_bytes,
+                Deadline deadline, Job job);
+
+  /// Stops accepting new work; queued and running jobs still complete.
+  void BeginDrain();
+
+  /// Blocks until every admitted job has finished. Implies BeginDrain.
+  void Drain();
+
+  int64_t queued() const;
+  int64_t running() const;
+
+ private:
+  struct Request {
+    PriorityClass priority;
+    int64_t cost_bytes;
+    Deadline deadline;
+    Job job;
+  };
+
+  void WorkerLoop();
+  /// Picks the next runnable request (interactive first, FIFO within class)
+  /// honoring per-class concurrency caps. Caller holds mu_.
+  bool PickLocked(Request* out);
+
+  AdmissionOptions options_;
+  AdmissionCounters* counters_;  // nullable
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: new work / drain
+  std::condition_variable idle_cv_;   // Drain(): all work finished
+  std::deque<Request> interactive_;
+  std::deque<Request> batch_;
+  int64_t queued_bytes_[2] = {0, 0};  // indexed by PriorityClass
+  int running_[2] = {0, 0};
+  int64_t total_running_ = 0;
+  bool draining_ = false;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace raw
+
+#endif  // RAW_SERVE_ADMISSION_H_

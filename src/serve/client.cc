@@ -1,0 +1,173 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace raw {
+namespace serve {
+
+namespace {
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+RawClient::~RawClient() { Close(); }
+
+RawClient::RawClient(RawClient&& other) noexcept
+    : fd_(other.fd_),
+      next_request_id_(other.next_request_id_),
+      assembler_(std::move(other.assembler_)) {
+  other.fd_ = -1;
+}
+
+RawClient& RawClient::operator=(RawClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    assembler_ = std::move(other.assembler_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<std::unique_ptr<RawClient>> RawClient::Connect(
+    const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("invalid host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Errno("connect");
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<RawClient>(new RawClient(fd));
+}
+
+Status RawClient::Hello(PriorityClass priority) {
+  PayloadWriter out;
+  out.PutU8(static_cast<uint8_t>(priority));
+  RAW_RETURN_NOT_OK(WriteFrame(MessageType::kHello, out.bytes()));
+  RAW_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.type != MessageType::kHelloOk) {
+    return Status::IOError("unexpected response to hello");
+  }
+  return Status::OK();
+}
+
+StatusOr<QueryResponse> RawClient::Query(const std::string& sql,
+                                         uint32_t deadline_ms) {
+  const uint64_t id = next_request_id_++;
+  RAW_RETURN_NOT_OK(SendQuery(id, sql, deadline_ms));
+  return ReadResponse();
+}
+
+Status RawClient::SendQuery(uint64_t request_id, const std::string& sql,
+                            uint32_t deadline_ms) {
+  if (request_id >= next_request_id_) next_request_id_ = request_id + 1;
+  PayloadWriter out;
+  out.PutU64(request_id);
+  out.PutU32(deadline_ms);
+  out.PutString(sql);
+  return WriteFrame(MessageType::kQuery, out.bytes());
+}
+
+StatusOr<QueryResponse> RawClient::ReadResponse() {
+  RAW_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  QueryResponse resp;
+  PayloadReader reader(frame.payload);
+  switch (frame.type) {
+    case MessageType::kResult: {
+      RAW_ASSIGN_OR_RETURN(resp.request_id, reader.U64());
+      RAW_ASSIGN_OR_RETURN(resp.plan_seconds, reader.F64());
+      RAW_ASSIGN_OR_RETURN(resp.execute_seconds, reader.F64());
+      RAW_ASSIGN_OR_RETURN(resp.table, DeserializeTable(&reader));
+      return resp;
+    }
+    case MessageType::kError: {
+      RAW_ASSIGN_OR_RETURN(resp.request_id, reader.U64());
+      RAW_ASSIGN_OR_RETURN(uint32_t code, reader.U32());
+      RAW_ASSIGN_OR_RETURN(std::string message, reader.String());
+      resp.status = Status(static_cast<StatusCode>(code), message);
+      return resp;
+    }
+    case MessageType::kOverloaded: {
+      RAW_ASSIGN_OR_RETURN(resp.request_id, reader.U64());
+      RAW_ASSIGN_OR_RETURN(resp.overload_reason, reader.String());
+      resp.overloaded = true;
+      resp.status = Status::ResourceExhausted(resp.overload_reason);
+      return resp;
+    }
+    default:
+      return Status::IOError("unexpected response frame type");
+  }
+}
+
+Status RawClient::Goodbye() {
+  RAW_RETURN_NOT_OK(WriteFrame(MessageType::kGoodbye, {}));
+  // Responses to still-pipelined queries may precede the goodbye ack.
+  while (true) {
+    RAW_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    if (frame.type == MessageType::kGoodbyeOk) break;
+  }
+  Close();
+  return Status::OK();
+}
+
+void RawClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Status RawClient::WriteFrame(MessageType type,
+                             const std::vector<uint8_t>& payload) {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  std::vector<uint8_t> frame = EncodeFrame(type, payload);
+  size_t written = 0;
+  while (written < frame.size()) {
+    ssize_t n = ::send(fd_, frame.data() + written, frame.size() - written,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+StatusOr<Frame> RawClient::ReadFrame() {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  Frame frame;
+  uint8_t buf[64 << 10];
+  while (!assembler_.Pop(&frame)) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      RAW_RETURN_NOT_OK(assembler_.Feed(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+  return frame;
+}
+
+}  // namespace serve
+}  // namespace raw

@@ -1,0 +1,86 @@
+#ifndef RAW_SERVE_CLIENT_H_
+#define RAW_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "columnar/batch.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "serve/wire.h"
+
+namespace raw {
+namespace serve {
+
+/// One query's outcome as seen over the wire.
+struct QueryResponse {
+  uint64_t request_id = 0;
+  /// Server-side verdict: OK with `table` filled, or the error the engine
+  /// (or the admission controller) returned. Overload sheds surface as
+  /// ResourceExhausted with `overloaded` set.
+  Status status = Status::OK();
+  ColumnBatch table;
+  /// True when the server shed the request (typed kOverloaded frame) rather
+  /// than executing and failing it.
+  bool overloaded = false;
+  std::string overload_reason;
+  double plan_seconds = 0;
+  double execute_seconds = 0;
+};
+
+/// Blocking client for the rawd wire protocol. Not thread-safe; use one per
+/// thread. Query() is the simple request/response path; SendQuery() /
+/// ReadResponse() expose pipelining (several requests in flight on one
+/// connection) for load drivers and quota tests.
+class RawClient {
+ public:
+  ~RawClient();
+  RAW_DISALLOW_COPY_AND_ASSIGN(RawClient);
+  RawClient(RawClient&& other) noexcept;
+  RawClient& operator=(RawClient&& other) noexcept;
+
+  /// Connects a blocking TCP socket to `host:port`.
+  static StatusOr<std::unique_ptr<RawClient>> Connect(const std::string& host,
+                                                      int port);
+
+  /// Declares the connection's priority class; must precede queries.
+  Status Hello(PriorityClass priority = PriorityClass::kInteractive);
+
+  /// One-shot: SendQuery + ReadResponse. deadline_ms 0 means no deadline.
+  StatusOr<QueryResponse> Query(const std::string& sql,
+                                uint32_t deadline_ms = 0);
+
+  /// Writes a query frame without waiting; pair with ReadResponse().
+  Status SendQuery(uint64_t request_id, const std::string& sql,
+                   uint32_t deadline_ms = 0);
+
+  /// Reads the next response frame (result, error, or overload shed).
+  /// Responses to pipelined requests may arrive out of submission order;
+  /// match on request_id.
+  StatusOr<QueryResponse> ReadResponse();
+
+  /// Polite shutdown: kGoodbye, wait for kGoodbyeOk.
+  Status Goodbye();
+
+  /// Drops the socket without a goodbye (tests: abrupt disconnect).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit RawClient(int fd) : fd_(fd) {}
+
+  Status WriteFrame(MessageType type, const std::vector<uint8_t>& payload);
+  StatusOr<Frame> ReadFrame();
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameAssembler assembler_;
+};
+
+}  // namespace serve
+}  // namespace raw
+
+#endif  // RAW_SERVE_CLIENT_H_

@@ -1,0 +1,355 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace raw {
+namespace serve {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+RawServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+RawServer::RawServer(RawEngine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  admission_ = std::make_unique<AdmissionController>(
+      options_.admission, &engine_->admission_counters());
+}
+
+RawServer::~RawServer() { Shutdown(); }
+
+Status RawServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) return Errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  if (::pipe(wake_pipe_) < 0) return Errno("pipe");
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void RawServer::RequestDrain() {
+  if (drain_requested_.exchange(true)) return;
+  admission_->BeginDrain();
+  // Wake poll() so the loop observes the drain promptly.
+  char b = 1;
+  if (wake_pipe_[1] >= 0) {
+    ssize_t ignored = ::write(wake_pipe_[1], &b, 1);
+    (void)ignored;
+  }
+}
+
+void RawServer::Shutdown() {
+  if (stopped_.exchange(true)) return;
+  RequestDrain();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  admission_.reset();  // joins workers; all responses flushed
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void RawServer::EventLoop() {
+  while (true) {
+    std::vector<pollfd> fds;
+    std::vector<std::shared_ptr<Connection>> polled;
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    const bool accepting = !drain_requested_.load(std::memory_order_acquire);
+    if (accepting) fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [fd, conn] : conns_) {
+        fds.push_back(pollfd{fd, POLLIN, 0});
+        polled.push_back(conn);
+      }
+    }
+    ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+
+    // Drain the wake pipe.
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (accepting && (fds[1].revents & POLLIN)) AcceptPending();
+
+    const size_t conn_base = accepting ? 2 : 1;
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const short revents = fds[conn_base + i].revents;
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        if (!ReadFrames(polled[i])) CloseConnection(polled[i]->fd);
+      }
+    }
+
+    // Close connections that said goodbye once their queries finished.
+    {
+      std::vector<int> done;
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [fd, conn] : conns_) {
+        if (conn->closing &&
+            conn->inflight.load(std::memory_order_acquire) == 0) {
+          done.push_back(fd);
+        }
+      }
+      for (int fd : done) {
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) {
+          ::shutdown(it->second->fd, SHUT_RDWR);
+          conns_.erase(it);
+        }
+      }
+    }
+
+    if (drain_requested_.load(std::memory_order_acquire)) {
+      // Graceful drain: every admitted query finishes and its response is
+      // written (WriteFrame is synchronous), then connections close.
+      admission_->Drain();
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [fd, conn] : conns_) ::shutdown(fd, SHUT_RDWR);
+      conns_.clear();
+      return;
+    }
+  }
+}
+
+void RawServer::AcceptPending() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error
+    SetNonBlocking(fd);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_[fd] = std::move(conn);
+  }
+}
+
+bool RawServer::ReadFrames(const std::shared_ptr<Connection>& conn) {
+  uint8_t buf[64 << 10];
+  while (true) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!conn->assembler.Feed(buf, static_cast<size_t>(n)).ok()) {
+        return false;  // oversized/corrupt frame: drop the peer
+      }
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  Frame frame;
+  while (conn->assembler.Pop(&frame)) {
+    DispatchFrame(conn, std::move(frame));
+    if (conn->closing) break;  // no requests after goodbye
+  }
+  return true;
+}
+
+void RawServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                              Frame frame) {
+  switch (frame.type) {
+    case MessageType::kHello: {
+      PayloadReader reader(frame.payload);
+      StatusOr<uint8_t> priority = reader.U8();
+      if (priority.ok() && *priority <= 1) {
+        conn->priority = static_cast<PriorityClass>(*priority);
+      }
+      if (conn->session == nullptr) conn->session = engine_->OpenSession();
+      conn->hello_done = true;
+      WriteFrame(conn, MessageType::kHelloOk, {});
+      return;
+    }
+    case MessageType::kQuery:
+      HandleQuery(conn, std::move(frame.payload));
+      return;
+    case MessageType::kGoodbye:
+      WriteFrame(conn, MessageType::kGoodbyeOk, {});
+      conn->closing = true;
+      return;
+    default: {
+      PayloadWriter out;
+      out.PutU64(0);
+      out.PutU32(static_cast<uint32_t>(StatusCode::kInvalidArgument));
+      out.PutString("unknown message type");
+      WriteFrame(conn, MessageType::kError, out.bytes());
+      return;
+    }
+  }
+}
+
+void RawServer::HandleQuery(const std::shared_ptr<Connection>& conn,
+                            std::vector<uint8_t> payload) {
+  PayloadReader reader(payload);
+  uint64_t request_id = 0;
+  uint32_t deadline_ms = 0;
+  std::string sql;
+  Status parsed = [&]() -> Status {
+    RAW_ASSIGN_OR_RETURN(request_id, reader.U64());
+    RAW_ASSIGN_OR_RETURN(deadline_ms, reader.U32());
+    RAW_ASSIGN_OR_RETURN(sql, reader.String());
+    return Status::OK();
+  }();
+  if (!parsed.ok()) {
+    PayloadWriter out;
+    out.PutU64(request_id);
+    out.PutU32(static_cast<uint32_t>(parsed.code()));
+    out.PutString(std::string(parsed.message()));
+    WriteFrame(conn, MessageType::kError, out.bytes());
+    return;
+  }
+  if (conn->session == nullptr) conn->session = engine_->OpenSession();
+
+  const Deadline deadline = deadline_ms > 0
+                                ? Deadline::AfterMillis(deadline_ms)
+                                : Deadline();
+  conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+  RawEngine* engine = engine_;
+  auto job = [conn, engine, request_id, deadline,
+              sql = std::move(sql)](const Status& admission) {
+    if (!admission.ok()) {
+      PayloadWriter out;
+      out.PutU64(request_id);
+      out.PutU32(static_cast<uint32_t>(admission.code()));
+      out.PutString(std::string(admission.message()));
+      WriteFrame(conn, MessageType::kError, out.bytes());
+      conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
+    PlannerOptions options = conn->session->planner_options();
+    options.deadline = deadline;
+    StatusOr<QueryResult> result = conn->session->Query(sql, options);
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kResourceExhausted) {
+        engine->admission_counters().deadline_expired.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      PayloadWriter out;
+      out.PutU64(request_id);
+      out.PutU32(static_cast<uint32_t>(result.status().code()));
+      out.PutString(std::string(result.status().message()));
+      WriteFrame(conn, MessageType::kError, out.bytes());
+    } else {
+      PayloadWriter out;
+      out.PutU64(request_id);
+      out.PutF64(result->plan_seconds);
+      out.PutF64(result->execute_seconds);
+      SerializeTable(result->table, &out);
+      WriteFrame(conn, MessageType::kResult, out.bytes());
+    }
+    conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  Status admitted =
+      admission_->Submit(conn->priority,
+                         static_cast<int64_t>(payload.size()), deadline,
+                         std::move(job));
+  if (!admitted.ok()) {
+    // Shed (or draining): typed fast-fail, never queued.
+    conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    if (admitted.code() == StatusCode::kResourceExhausted) {
+      PayloadWriter out;
+      out.PutU64(request_id);
+      out.PutString(std::string(admitted.message()));
+      WriteFrame(conn, MessageType::kOverloaded, out.bytes());
+    } else {
+      PayloadWriter out;
+      out.PutU64(request_id);
+      out.PutU32(static_cast<uint32_t>(admitted.code()));
+      out.PutString(std::string(admitted.message()));
+      WriteFrame(conn, MessageType::kError, out.bytes());
+    }
+  }
+}
+
+void RawServer::CloseConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  // shutdown() (not close()) so in-flight workers holding the Connection
+  // cannot write into a recycled descriptor; close happens when the last
+  // shared_ptr drops.
+  ::shutdown(it->second->fd, SHUT_RDWR);
+  conns_.erase(it);
+}
+
+void RawServer::WriteFrame(const std::shared_ptr<Connection>& conn,
+                           MessageType type,
+                           const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame = EncodeFrame(type, payload);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  size_t written = 0;
+  while (written < frame.size()) {
+    ssize_t n = ::send(conn->fd, frame.data() + written,
+                       frame.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      ::poll(&pfd, 1, /*timeout_ms=*/1000);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // peer gone; response dropped
+  }
+}
+
+}  // namespace serve
+}  // namespace raw

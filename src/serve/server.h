@@ -1,0 +1,107 @@
+#ifndef RAW_SERVE_SERVER_H_
+#define RAW_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "engine/raw_engine.h"
+#include "serve/admission.h"
+#include "serve/wire.h"
+
+namespace raw {
+namespace serve {
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (tests).
+  int port = 0;
+  AdmissionOptions admission;
+};
+
+/// rawd's network front end: a poll()-based event loop accepts connections
+/// and assembles length-framed requests, every query goes through the bounded
+/// admission queue (priority classes, quotas, load shedding, deadlines), and
+/// responses are written back from the worker that ran the query. One engine
+/// Session per connection; dropping the connection releases it.
+///
+/// Lifecycle: Start() binds and spawns the loop; RequestDrain() stops
+/// accepting, lets admitted work finish, then closes connections and stops
+/// the loop (SIGTERM handling); Shutdown() is RequestDrain + join.
+class RawServer {
+ public:
+  RawServer(RawEngine* engine, ServerOptions options);
+  ~RawServer();
+  RAW_DISALLOW_COPY_AND_ASSIGN(RawServer);
+
+  /// Binds, listens and starts the event loop thread.
+  Status Start();
+
+  /// The bound port (after Start); useful with port 0.
+  int port() const { return port_; }
+
+  /// Graceful drain: stop accepting, finish in-flight and queued queries,
+  /// flush responses, close connections, stop the loop. Idempotent.
+  void RequestDrain();
+
+  /// RequestDrain + join the loop thread. Idempotent; the destructor calls
+  /// it too.
+  void Shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameAssembler assembler;
+    PriorityClass priority = PriorityClass::kInteractive;
+    bool hello_done = false;
+    bool closing = false;  // close once in-flight queries finish
+    std::unique_ptr<Session> session;
+    std::atomic<int64_t> inflight{0};
+    /// Serializes response writes (worker threads vs the event loop).
+    std::mutex write_mu;
+
+    ~Connection();
+  };
+
+  void EventLoop();
+  void AcceptPending();
+  /// Reads available bytes; returns false when the peer is gone.
+  bool ReadFrames(const std::shared_ptr<Connection>& conn);
+  void DispatchFrame(const std::shared_ptr<Connection>& conn, Frame frame);
+  void HandleQuery(const std::shared_ptr<Connection>& conn,
+                   std::vector<uint8_t> payload);
+  void CloseConnection(int fd);
+
+  /// Blocking, mutex-guarded frame write (handles partial writes/EAGAIN).
+  static void WriteFrame(const std::shared_ptr<Connection>& conn,
+                         MessageType type,
+                         const std::vector<uint8_t>& payload);
+
+  RawEngine* engine_;
+  ServerOptions options_;
+  std::unique_ptr<AdmissionController> admission_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: wake poll() for shutdown
+  int port_ = 0;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::mutex conns_mu_;
+  std::map<int, std::shared_ptr<Connection>> conns_;
+};
+
+}  // namespace serve
+}  // namespace raw
+
+#endif  // RAW_SERVE_SERVER_H_

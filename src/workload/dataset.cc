@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <functional>
 
+#include "common/env.h"
 #include "common/file_lock.h"
 #include "common/macros.h"
 #include "common/mmap_file.h"
@@ -12,10 +13,10 @@
 namespace raw {
 
 namespace {
+// Strict parse: a malformed scale knob falls back to the default (with a
+// one-time stderr warning) instead of silently generating a 0-row dataset.
 int64_t EnvInt(const char* name, int64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  return std::atoll(v);
+  return GetEnvInt64(name, fallback, /*min=*/1, /*max=*/int64_t{1} << 40);
 }
 }  // namespace
 

@@ -216,10 +216,10 @@ StatusOr<ColumnBatch> ZcsvScanOperator::Next() {
     if (inner_ == nullptr) {
       bool done = false;
       RAW_RETURN_NOT_OK(AdvanceBlock(&done));
-      if (done) return ColumnBatch(output_schema_);
+      if (done) return ColumnBatch::EndOfStream(output_schema_);
     }
     RAW_ASSIGN_OR_RETURN(ColumnBatch batch, inner_->Next());
-    if (batch.empty()) {
+    if (batch.end_of_stream()) {
       RAW_RETURN_NOT_OK(inner_->Close());
       inner_.reset();
       continue;

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <set>
 
 #include "common/datum.h"
+#include "common/env.h"
 #include "common/hash.h"
 #include "common/mmap_file.h"
 #include "common/rng.h"
@@ -295,6 +298,46 @@ TEST(TempDirTest2, CreatesAndRemoves) {
     EXPECT_TRUE(FileExists(dir->FilePath("x")));
   }
   EXPECT_FALSE(FileExists(kept + "/x"));
+}
+
+
+// --- strict environment parsing ---------------------------------------------
+
+TEST(EnvTest, ParseInt64StrictAcceptsExactIntegers) {
+  EXPECT_EQ(ParseInt64Strict("42", 0, 100), 42);
+  EXPECT_EQ(ParseInt64Strict("+7", 0, 100), 7);
+  EXPECT_EQ(ParseInt64Strict("-3", -10, 10), -3);
+  EXPECT_EQ(ParseInt64Strict("0", 0, 0), 0);
+}
+
+TEST(EnvTest, ParseInt64StrictRejectsGarbage) {
+  // atoi would read "4abc" as 4; the strict parser must not.
+  EXPECT_FALSE(ParseInt64Strict("4abc", 0, 100).has_value());
+  EXPECT_FALSE(ParseInt64Strict("", 0, 100).has_value());
+  EXPECT_FALSE(ParseInt64Strict(" 4", 0, 100).has_value());
+  EXPECT_FALSE(ParseInt64Strict("4 ", 0, 100).has_value());
+  EXPECT_FALSE(ParseInt64Strict("0x10", 0, 100).has_value());
+  EXPECT_FALSE(ParseInt64Strict("4.5", 0, 100).has_value());
+  EXPECT_FALSE(ParseInt64Strict("--4", -10, 100).has_value());
+}
+
+TEST(EnvTest, ParseInt64StrictEnforcesRange) {
+  EXPECT_FALSE(ParseInt64Strict("101", 0, 100).has_value());
+  EXPECT_FALSE(ParseInt64Strict("-1", 0, 100).has_value());
+  // Overflow past int64 must be rejected, not wrapped.
+  EXPECT_FALSE(
+      ParseInt64Strict("99999999999999999999999", 0, INT64_MAX).has_value());
+}
+
+TEST(EnvTest, GetEnvInt64FallsBackOnMalformedValues) {
+  ::setenv("RAW_TEST_ENV_KNOB", "17", 1);
+  EXPECT_EQ(GetEnvInt64("RAW_TEST_ENV_KNOB", 5, 1, 100), 17);
+  ::setenv("RAW_TEST_ENV_KNOB", "17banana", 1);
+  EXPECT_EQ(GetEnvInt64("RAW_TEST_ENV_KNOB", 5, 1, 100), 5);
+  ::setenv("RAW_TEST_ENV_KNOB", "5000", 1);  // out of range
+  EXPECT_EQ(GetEnvInt64("RAW_TEST_ENV_KNOB", 5, 1, 100), 5);
+  ::unsetenv("RAW_TEST_ENV_KNOB");
+  EXPECT_EQ(GetEnvInt64("RAW_TEST_ENV_KNOB", 5, 1, 100), 5);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 
 #include "common/mmap_file.h"
@@ -236,6 +237,41 @@ TEST_F(JsonlScanTest, EmptyFileScansToZeroRows) {
   ASSERT_OK(scan.Open());
   ASSERT_OK_AND_ASSIGN(ColumnBatch batch, scan.Next());
   EXPECT_TRUE(batch.empty());
+}
+
+
+TEST(JsonlParserTest, DecodesSurrogatePairEscapes) {
+  // 😀 is U+1F600 (grinning face); the pair must decode to one
+  // 4-byte UTF-8 sequence, not two replacement characters or CESU-8.
+  const std::string raw = R"(hi \ud83d\ude00!)";
+  std::string out;
+  ASSERT_OK(UnescapeJsonString(raw.data(), static_cast<int32_t>(raw.size()),
+                               &out));
+  EXPECT_EQ(out, "hi \xf0\x9f\x98\x80!");
+}
+
+TEST(JsonlParserTest, RejectsLoneAndMismatchedSurrogates) {
+  const char* bad[] = {
+      R"(\ud83d)",        // lone high surrogate at end of string
+      R"(\ud83d tail)",   // high surrogate followed by plain text
+      R"(\ud83dA)",  // high surrogate followed by a non-surrogate
+      R"(\ude00)",        // lone low surrogate
+  };
+  for (const char* raw : bad) {
+    std::string out;
+    EXPECT_FALSE(UnescapeJsonString(raw, static_cast<int32_t>(strlen(raw)),
+                                    &out)
+                     .ok())
+        << raw;
+  }
+}
+
+TEST(JsonlParserTest, BmpEscapesStillDecode) {
+  const std::string raw = R"(\u0041\u00e9\u4e2d)";  // A, e-acute, CJK
+  std::string out;
+  ASSERT_OK(UnescapeJsonString(raw.data(), static_cast<int32_t>(raw.size()),
+                               &out));
+  EXPECT_EQ(out, "A\xc3\xa9\xe4\xb8\xad");
 }
 
 }  // namespace

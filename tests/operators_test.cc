@@ -272,5 +272,113 @@ TEST(HashJoinTest, RejectsFloatKeys) {
   EXPECT_FALSE(join->Open().ok());
 }
 
+
+// --- stream protocol: zero-row interior batches --------------------------
+//
+// Regression for the "empty batch == EOF" truncation bug: a fully filtered
+// morsel used to end the stream early, silently dropping every later batch.
+// Sources now emit an explicit EndOfStream sentinel and consumers must skip
+// interior zero-row data batches.
+
+// Emits a fixed batch sequence (which may include zero-row data batches),
+// then the EndOfStream sentinel forever.
+class ChunkedStubOperator : public Operator {
+ public:
+  ChunkedStubOperator(Schema schema, std::vector<ColumnBatch> batches)
+      : schema_(std::move(schema)), batches_(std::move(batches)) {}
+
+  const Schema& output_schema() const override { return schema_; }
+  StatusOr<ColumnBatch> Next() override {
+    if (next_ >= batches_.size()) return ColumnBatch::EndOfStream(schema_);
+    return std::move(batches_[next_++]);
+  }
+  std::string name() const override { return "ChunkedStub"; }
+
+ private:
+  Schema schema_;
+  std::vector<ColumnBatch> batches_;
+  size_t next_ = 0;
+};
+
+// One batch of `rows` rows: k = start..start+rows-1 (mod `modulo`), v = k.
+ColumnBatch StubBatch(const Schema& schema, int64_t start, int64_t rows,
+                      int32_t modulo) {
+  ColumnBatch batch(schema);
+  auto k = std::make_shared<Column>(DataType::kInt32);
+  auto v = std::make_shared<Column>(DataType::kFloat64);
+  for (int64_t i = 0; i < rows; ++i) {
+    k->Append<int32_t>(static_cast<int32_t>((start + i) % modulo));
+    v->Append<double>(static_cast<double>(start + i));
+  }
+  batch.AddColumn(k);
+  batch.AddColumn(v);
+  return batch;
+}
+
+std::unique_ptr<ChunkedStubOperator> StubWithInteriorEmpty(int32_t modulo) {
+  Schema schema{{"k", DataType::kInt32}, {"v", DataType::kFloat64}};
+  std::vector<ColumnBatch> batches;
+  batches.push_back(StubBatch(schema, 0, 50, modulo));
+  batches.push_back(StubBatch(schema, 0, 0, modulo));  // zero-row interior
+  batches.push_back(StubBatch(schema, 50, 50, modulo));
+  batches.push_back(StubBatch(schema, 0, 0, modulo));  // zero-row again
+  batches.push_back(StubBatch(schema, 100, 50, modulo));
+  return std::make_unique<ChunkedStubOperator>(schema, std::move(batches));
+}
+
+TEST(StreamProtocolTest, CollectAllSkipsInteriorEmptyBatches) {
+  auto stub = StubWithInteriorEmpty(10);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(stub.get()));
+  EXPECT_EQ(out.num_rows(), 150);  // nothing truncated at the empty batch
+  EXPECT_DOUBLE_EQ(out.column(1)->Value<double>(149), 149.0);
+}
+
+TEST(StreamProtocolTest, FilterStreamsPastInteriorEmptyBatches) {
+  auto filter = std::make_unique<FilterOperator>(
+      StubWithInteriorEmpty(10),
+      Cmp(CompareOp::kLt, Col(0), Lit(Datum::Int32(3))));
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(filter.get()));
+  EXPECT_EQ(out.num_rows(), 45);  // 3 of every 10, over all 150 rows
+}
+
+TEST(StreamProtocolTest, AggregateSeesRowsAfterInteriorEmptyBatch) {
+  std::vector<AggSpec> specs = {{AggKind::kCount, -1, "cnt"},
+                                {AggKind::kMax, 1, "max_v"}};
+  auto agg =
+      std::make_unique<AggregateOperator>(StubWithInteriorEmpty(10), specs);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(agg.get()));
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_EQ(out.column(0)->Value<int64_t>(0), 150);
+  EXPECT_DOUBLE_EQ(out.column(1)->Value<double>(0), 149.0);
+}
+
+TEST(StreamProtocolTest, GroupBySeesRowsAfterInteriorEmptyBatch) {
+  std::vector<AggSpec> specs = {{AggKind::kCount, -1, "cnt"}};
+  auto gb = std::make_unique<HashGroupByOperator>(
+      StubWithInteriorEmpty(3), std::vector<int>{0}, specs);
+  ASSERT_OK_AND_ASSIGN(ColumnBatch out, CollectAll(gb.get()));
+  ASSERT_EQ(out.num_rows(), 3);
+  int64_t total = 0;
+  for (int64_t i = 0; i < out.num_rows(); ++i) {
+    total += out.column(1)->Value<int64_t>(i);
+  }
+  EXPECT_EQ(total, 150);
+}
+
+TEST(StreamProtocolTest, SentinelIsSticky) {
+  Schema schema{{"k", DataType::kInt32}, {"v", DataType::kFloat64}};
+  std::vector<ColumnBatch> batches;
+  batches.push_back(StubBatch(schema, 0, 1, 10));
+  ChunkedStubOperator op(schema, std::move(batches));
+  ASSERT_OK(op.Open());
+  ASSERT_OK_AND_ASSIGN(ColumnBatch first, op.Next());
+  EXPECT_FALSE(first.end_of_stream());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK_AND_ASSIGN(ColumnBatch eos, op.Next());
+    EXPECT_TRUE(eos.end_of_stream());
+    EXPECT_TRUE(eos.empty());
+  }
+}
+
 }  // namespace
 }  // namespace raw

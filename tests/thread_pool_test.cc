@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/file_lock.h"
 #include "common/thread_pool.h"
 #include "tests/test_util.h"
@@ -167,6 +168,40 @@ TEST(FileLockTest, ManyThreadsContendWithoutDeadlock) {
     return Status::OK();
   }));
   EXPECT_EQ(acquisitions.load(), 64);
+}
+
+
+TEST(ThreadPoolTest, DeadlineParallelForCompletesBeforeExpiry) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> hits{0};
+  ASSERT_OK(pool.ParallelFor(64, 4, Deadline::AfterMillis(60 * 1000),
+                             [&hits](int64_t) {
+                               hits.fetch_add(1);
+                               return Status::OK();
+                             }));
+  EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(ThreadPoolTest, DeadlineParallelForInfiniteDeadlineRunsAll) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> hits{0};
+  ASSERT_OK(pool.ParallelFor(32, 4, Deadline(), [&hits](int64_t) {
+    hits.fetch_add(1);
+    return Status::OK();
+  }));
+  EXPECT_EQ(hits.load(), 32);
+}
+
+TEST(ThreadPoolTest, DeadlineParallelForAbandonsExpiredWork) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> hits{0};
+  Status st = pool.ParallelFor(1000, 4, Deadline::Expired(),
+                               [&hits](int64_t) {
+                                 hits.fetch_add(1);
+                                 return Status::OK();
+                               });
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(hits.load(), 0);
 }
 
 }  // namespace
