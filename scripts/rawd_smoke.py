@@ -3,20 +3,23 @@
 
 Speaks the length-framed protocol from src/serve/wire.h with nothing but the
 Python stdlib: Hello as an interactive client, a pipelined burst of queries
-against the --demo table, then Goodbye. Exits non-zero if any frame is
-malformed, any query errors, or fewer responses than queries come back —
-shed (OVERLOADED) responses are counted as answered for liveness purposes
-but reported separately.
+against the --demo table, a STATS round-trip (the response must be valid
+JSON carrying the engine's introspection sections), then Goodbye. Exits
+non-zero if any frame is malformed, any query errors, or fewer responses
+than queries come back — shed (OVERLOADED) responses are counted as
+answered for liveness purposes but reported separately.
 
 Usage: rawd_smoke.py PORT [BURST]
 """
 
+import json
 import socket
 import struct
 import sys
 
-KHELLO, KQUERY, KGOODBYE = 1, 2, 3
+KHELLO, KQUERY, KGOODBYE, KSTATS = 1, 2, 3, 4
 KHELLO_OK, KRESULT, KERROR, KOVERLOADED, KGOODBYE_OK = 128, 129, 130, 131, 132
+KSTATS_OK = 133
 
 QUERY = b"SELECT COUNT(*), MAX(value) FROM demo WHERE value > 1.0"
 
@@ -79,11 +82,26 @@ def main():
     assert seen_ids == set(range(1, burst + 1)), f"missing ids: {seen_ids}"
     assert answered >= 1, "every query was shed — burst proved nothing"
 
+    # STATS: served inline on the event loop, must work even under load.
+    send_frame(sock, KSTATS)
+    frame_type, payload = recv_frame(sock)
+    assert frame_type == KSTATS_OK, f"expected StatsResult, got {frame_type}"
+    (json_len,) = struct.unpack_from("<I", payload)
+    stats = json.loads(payload[4 : 4 + json_len].decode("utf-8"))
+    for key in ("shred_cache", "result_cache", "materializer", "admission",
+                "tables"):
+        assert key in stats, f"STATS json missing {key!r}: {stats.keys()}"
+    assert stats["admission"]["admitted"] >= answered + shed
+    demo = [t for t in stats["tables"] if t["name"] == "demo"]
+    assert demo and demo[0]["scans"] >= 1, f"demo table heat missing: {demo}"
+
     send_frame(sock, KGOODBYE)
     frame_type, _ = recv_frame(sock)
     assert frame_type == KGOODBYE_OK, f"expected GoodbyeOk, got {frame_type}"
     sock.close()
-    print(f"rawd smoke ok: {answered} answered, {shed} shed of {burst}")
+    print(f"rawd smoke ok: {answered} answered, {shed} shed of {burst}; "
+          f"stats: {len(stats['tables'])} tables, "
+          f"result_cache hits={stats['result_cache']['hits']}")
 
 
 if __name__ == "__main__":

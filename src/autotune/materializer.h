@@ -1,0 +1,140 @@
+#ifndef RAW_AUTOTUNE_MATERIALIZER_H_
+#define RAW_AUTOTUNE_MATERIALIZER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/logical_plan.h"
+
+namespace raw {
+
+class RawEngine;
+class Session;
+
+namespace autotune {
+
+/// Knobs of the background materializer (RawEngineOptions::autotune; the
+/// RAW_AUTOTUNE env knob flips `enabled` for binaries that wire it).
+struct MaterializerOptions {
+  /// Off by default: benches and tests that measure cold behaviour must not
+  /// race a warming thread unless they asked for one.
+  bool enabled = false;
+  /// Quiet period (no foreground activity) before the engine counts as idle.
+  int64_t idle_wait_ms = 250;
+  /// Worker wake-up cadence while waiting for idle.
+  int64_t poll_ms = 20;
+  /// Heat thresholds: a table/column must have been touched this often
+  /// before speculative work on it is worth anything.
+  int64_t min_table_scans = 2;
+  int64_t min_column_accesses = 2;
+  /// Tables whose file is at most this big qualify for a full load (every
+  /// column cached); bigger tables get per-column treatment only.
+  int64_t full_load_max_bytes = 64ll << 20;
+  /// Batch size for background build queries (0 = engine default). Smaller
+  /// batches tighten the preemption bound.
+  int64_t batch_rows = 0;
+  /// Microseconds slept between batches (politeness knob; 0 = none).
+  int64_t throttle_us_per_batch = 0;
+  /// Test hook invoked between batches of a build, before the yield check —
+  /// lets tests hold a build mid-flight deterministically.
+  std::function<void()> batch_hook;
+};
+
+/// Read-only counters (EngineStats::materializer).
+struct MaterializerStats {
+  int64_t passes = 0;              // idle passes that mined for work
+  int64_t actions_started = 0;
+  int64_t actions_completed = 0;
+  int64_t actions_preempted = 0;   // aborted because foreground work arrived
+  int64_t actions_failed = 0;
+  int64_t actions_skipped_budget = 0;  // mined but over the byte budget
+  int64_t pmaps_built = 0;         // navigation state completed (pmap/index)
+  int64_t columns_cached = 0;      // hot columns fully materialized
+  int64_t tables_loaded = 0;       // small tables fully cached
+};
+
+/// The idle-time background worker: watches the engine for idle (no queries
+/// in flight, admission queues empty, quiet for idle_wait_ms), mines the
+/// per-(table, column) access counters for hot sets, and speculatively
+/// completes the adaptive state future queries would otherwise pay for —
+/// positional maps / format navigation state, hot column shreds, full loads
+/// of small hot tables.
+///
+/// Every build runs as an ordinary single-threaded streamed projection
+/// through an internal session, so it exercises exactly the engine's own
+/// claim → scan → publish protocol (a background-built positional map is
+/// bit-for-bit the map a query would have built) and is bounded by the same
+/// ShredCache byte budget. The drain loop checks a preemption token between
+/// batches: the instant foreground work arrives (Preempt(), wired into
+/// session planning and the rawd front-end), the cursor is abandoned —
+/// partial builds release their claims and publish nothing.
+class BackgroundMaterializer {
+ public:
+  BackgroundMaterializer(RawEngine* engine, MaterializerOptions options);
+  ~BackgroundMaterializer();  // Stop()s and joins
+
+  /// Starts the worker thread (no-op unless options.enabled).
+  void Start();
+  /// Stops and joins the worker; idempotent.
+  void Stop();
+
+  /// Foreground activity signal: sets the preemption token the build loops
+  /// poll. Cheap (two relaxed stores); called on every query admission.
+  void Preempt();
+
+  MaterializerStats Stats() const;
+
+  /// True when the engine currently satisfies the idle predicate.
+  bool EngineIdle() const;
+
+  bool enabled() const { return options_.enabled; }
+
+ private:
+  /// One mined unit of speculative work.
+  struct Action {
+    enum class Kind { kNavigation, kCacheColumn, kLoadTable };
+    Kind kind = Kind::kNavigation;
+    std::string table;
+    QuerySpec spec;       // the projection query that performs the build
+    double score = 0;     // mining priority (descending)
+  };
+
+  void WorkerLoop();
+  /// True when the worker must stop building *now*.
+  bool ShouldYield() const;
+  std::vector<Action> MineActions();
+  /// Runs one build to completion; false on preemption or failure.
+  bool RunAction(Session* session, const Action& action);
+
+  RawEngine* engine_;
+  MaterializerOptions options_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> preempt_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread worker_;
+  bool started_ = false;
+
+  std::atomic<int64_t> passes_{0};
+  std::atomic<int64_t> actions_started_{0};
+  std::atomic<int64_t> actions_completed_{0};
+  std::atomic<int64_t> actions_preempted_{0};
+  std::atomic<int64_t> actions_failed_{0};
+  std::atomic<int64_t> actions_skipped_budget_{0};
+  std::atomic<int64_t> pmaps_built_{0};
+  std::atomic<int64_t> columns_cached_{0};
+  std::atomic<int64_t> tables_loaded_{0};
+};
+
+}  // namespace autotune
+}  // namespace raw
+
+#endif  // RAW_AUTOTUNE_MATERIALIZER_H_

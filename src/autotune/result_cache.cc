@@ -1,0 +1,136 @@
+#include "autotune/result_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace raw {
+namespace autotune {
+
+ResultCache::ResultCache(int64_t capacity_bytes, int num_shards)
+    : capacity_bytes_(std::max<int64_t>(capacity_bytes, 0)) {
+  if (num_shards < 1) num_shards = 1;
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) const {
+  size_t h = std::hash<std::string>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+int64_t ResultCache::EntryBytes(const std::string& key,
+                                const QueryResult& result) {
+  int64_t bytes = static_cast<int64_t>(key.size()) +
+                  static_cast<int64_t>(result.plan_description.size()) + 128;
+  for (const ColumnPtr& col : result.table.columns()) {
+    if (col != nullptr) bytes += col->MemoryBytes();
+  }
+  bytes += static_cast<int64_t>(result.table.row_ids().size()) * 8;
+  return bytes;
+}
+
+bool ResultCache::Lookup(const std::string& key, QueryResult* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  *out = it->second->result;  // columns are shared + immutable: cheap copy
+  return true;
+}
+
+void ResultCache::Insert(const std::string& key, const QueryResult& result,
+                         const std::vector<std::string>& tables) {
+  const int64_t bytes = EntryBytes(key, result);
+  if (capacity_bytes_ == 0 || bytes > capacity_bytes_) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh in place (same key => same semantic result; timings differ).
+    total_bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+    shard.bytes_cached -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  Entry entry;
+  entry.key = key;
+  entry.result = result;
+  entry.tables = tables;
+  entry.bytes = bytes;
+  shard.lru.push_front(std::move(entry));
+  shard.index[key] = shard.lru.begin();
+  shard.bytes_cached += bytes;
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  ++shard.inserted;
+  EvictOverCapacity(shard);
+}
+
+void ResultCache::EvictOverCapacity(Shard& shard) {
+  while (total_bytes_.load(std::memory_order_relaxed) > capacity_bytes_ &&
+         shard.lru.size() > 1) {
+    Entry& victim = shard.lru.back();
+    total_bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    shard.bytes_cached -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::InvalidateTable(const std::string& table) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      bool reads_table =
+          std::find(it->tables.begin(), it->tables.end(), table) !=
+          it->tables.end();
+      if (reads_table) {
+        total_bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+        shard->bytes_cached -= it->bytes;
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+        ++shard->invalidated;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ResultCache::Clear(bool count_invalidated) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total_bytes_.fetch_sub(shard->bytes_cached, std::memory_order_relaxed);
+    if (count_invalidated) {
+      shard->invalidated += static_cast<int64_t>(shard->index.size());
+    }
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes_cached = 0;
+  }
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += static_cast<int64_t>(shard->index.size());
+    stats.bytes += shard->bytes_cached;
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.inserted += shard->inserted;
+    stats.invalidated += shard->invalidated;
+    stats.evictions += shard->evictions;
+  }
+  return stats;
+}
+
+}  // namespace autotune
+}  // namespace raw

@@ -3,6 +3,7 @@
 //   rawd [--port N] [--csv NAME=PATH]... [--demo[=ROWS]]
 //        [--interactive-concurrent N] [--batch-concurrent N]
 //        [--max-queued N] [--workers N]
+//        [--autotune=0|1] [--result-cache-mb N]
 //
 // Registered files are queried in place per the RAW in-situ model; --demo
 // generates and registers a small synthetic CSV table named `demo`
@@ -32,7 +33,8 @@ int Usage(const char* argv0) {
   fprintf(stderr,
           "usage: %s [--port N] [--csv NAME=PATH]... [--demo[=ROWS]]\n"
           "          [--interactive-concurrent N] [--batch-concurrent N]\n"
-          "          [--max-queued N] [--workers N]\n",
+          "          [--max-queued N] [--workers N]\n"
+          "          [--autotune=0|1] [--result-cache-mb N]\n",
           argv0);
   return 2;
 }
@@ -55,11 +57,29 @@ int main(int argc, char** argv) {
   raw::serve::ServerOptions options;
   options.port = 4300;
   int64_t demo_rows = 0;
+  // Serving daemons default to the full self-tuning tier: the background
+  // materializer warms hot tables during idle gaps and the result cache
+  // short-circuits repeated queries. RAW_AUTOTUNE / RAW_RESULT_CACHE_BYTES
+  // still win over these flags (applied inside the engine constructor).
+  int autotune = 1;
+  int result_cache_mb = 64;
   std::vector<std::pair<std::string, std::string>> csvs;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (ParseIntFlag(arg, "--port", &options.port)) continue;
+    if (std::strncmp(arg, "--autotune=", 11) == 0) {
+      auto v = raw::ParseInt64Strict(arg + 11, 0, 1);
+      if (!v.has_value()) return Usage(argv[0]);
+      autotune = static_cast<int>(*v);
+      continue;
+    }
+    if (std::strncmp(arg, "--result-cache-mb=", 18) == 0) {
+      auto v = raw::ParseInt64Strict(arg + 18, 0, 1 << 20);
+      if (!v.has_value()) return Usage(argv[0]);
+      result_cache_mb = static_cast<int>(*v);
+      continue;
+    }
     if (ParseIntFlag(arg, "--interactive-concurrent",
                      &options.admission.interactive.max_concurrent)) {
       continue;
@@ -95,7 +115,11 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);
   }
 
-  raw::RawEngine engine;
+  raw::RawEngineOptions engine_options;
+  engine_options.autotune.enabled = autotune != 0;
+  engine_options.result_cache_bytes =
+      static_cast<int64_t>(result_cache_mb) << 20;
+  raw::RawEngine engine(engine_options);
 
   std::optional<raw::TempDir> demo_dir;
   if (demo_rows > 0) {
@@ -165,5 +189,12 @@ int main(int argc, char** argv) {
          static_cast<long long>(stats.admission.executed),
          static_cast<long long>(stats.admission.shed),
          static_cast<long long>(stats.admission.deadline_expired));
+  printf("rawd: autotune passes=%lld completed=%lld preempted=%lld "
+         "result_cache hits=%lld misses=%lld\n",
+         static_cast<long long>(stats.materializer.passes),
+         static_cast<long long>(stats.materializer.actions_completed),
+         static_cast<long long>(stats.materializer.actions_preempted),
+         static_cast<long long>(stats.result_cache.hits),
+         static_cast<long long>(stats.result_cache.misses));
   return 0;
 }

@@ -1,9 +1,25 @@
 #include "engine/catalog.h"
 
+#include <sys/stat.h>
+
 #include "common/stopwatch.h"
 #include "engine/formats/builtin.h"
 
 namespace raw {
+
+namespace {
+
+/// Stats `path` into a (mtime_ns, size) signature; false on failure.
+bool FileSignature(const std::string& path, int64_t* mtime_ns, int64_t* size) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return false;
+  *mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+              static_cast<int64_t>(st.st_mtim.tv_nsec);
+  *size = static_cast<int64_t>(st.st_size);
+  return true;
+}
+
+}  // namespace
 
 Status TableEntry::EnsureOpen() {
   RAW_ASSIGN_OR_RETURN(const FormatDriver* driver,
@@ -13,12 +29,82 @@ Status TableEntry::EnsureOpen() {
     if (!opened_) {
       RAW_RETURN_NOT_OK(driver->OpenTable(*this));
       opened_ = true;
+      RecordFileSignature();
     }
   }
   // Derived state may change between queries (e.g. REF row counts served by
   // a shared reader) — refresh on every lookup.
   driver->RefreshEntry(*this);
   return Status::OK();
+}
+
+void TableEntry::InitAccessCounters(int num_columns) {
+  if (column_accesses_ != nullptr || num_columns <= 0) return;
+  column_accesses_ =
+      std::make_unique<std::atomic<int64_t>[]>(static_cast<size_t>(num_columns));
+  for (int i = 0; i < num_columns; ++i) column_accesses_[i].store(0);
+  num_access_columns_ = num_columns;
+}
+
+void TableEntry::NoteColumnAccesses(const std::vector<int>& cols) {
+  if (column_accesses_ == nullptr) return;
+  for (int c : cols) {
+    if (c >= 0 && c < num_access_columns_) {
+      column_accesses_[c].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<int64_t> TableEntry::ColumnAccessSnapshot() const {
+  std::vector<int64_t> out(static_cast<size_t>(num_access_columns_), 0);
+  for (int i = 0; i < num_access_columns_; ++i) {
+    out[static_cast<size_t>(i)] =
+        column_accesses_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void TableEntry::RecordFileSignature() {
+  int64_t mtime_ns = 0;
+  int64_t size = -1;
+  if (!FileSignature(info.path, &mtime_ns, &size)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  file_mtime_ns_ = mtime_ns;
+  file_size_ = size;
+}
+
+bool TableEntry::CheckStale() {
+  // Shared-reader tables (REF) multiplex one file across entries and their
+  // reader cannot be swapped per entry; skip them.
+  if (info.format == FileFormat::kRef) return false;
+  int64_t mtime_ns = 0;
+  int64_t size = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_size_ < 0) return false;  // never opened: nothing to invalidate
+    if (!FileSignature(info.path, &mtime_ns, &size)) return false;
+    if (mtime_ns == file_mtime_ns_ && size == file_size_) return false;
+  }
+  // The file changed underneath us. Retire the open handles (in-flight
+  // queries hold raw pointers into them), drop derived state, and force the
+  // next EnsureOpen to remap the new contents.
+  std::lock_guard<std::mutex> open_lock(open_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (mmap_ != nullptr) retired_mmaps_.push_back(std::move(mmap_));
+    if (bin_reader_ != nullptr) {
+      retired_bin_readers_.push_back(std::move(bin_reader_));
+    }
+    pmap_.reset();
+    format_state_.reset();
+    loaded_.reset();
+    row_count_.store(-1, std::memory_order_release);
+    file_mtime_ns_ = mtime_ns;
+    file_size_ = size;
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  opened_ = false;  // guarded by open_mu_
+  return true;
 }
 
 StatusOr<const MmapFile*> TableEntry::EnsureMmap() {
@@ -180,6 +266,11 @@ TableStats TableEntry::Stats() const {
     stats.format_state_bytes = format_state_->MemoryBytes();
   }
   stats.loaded = loaded_ != nullptr;
+  stats.version = version_.load(std::memory_order_acquire);
+  stats.file_size = file_size_;
+  stats.file_mtime_ns = file_mtime_ns_;
+  stats.scans = scan_count_.load(std::memory_order_relaxed);
+  stats.column_accesses = ColumnAccessSnapshot();
   return stats;
 }
 
@@ -201,6 +292,7 @@ Status Catalog::Register(TableInfo info) {
   }
   auto entry = std::make_unique<TableEntry>();
   entry->info = std::move(info);
+  entry->InitAccessCounters(entry->info.schema.num_fields());
   tables_[entry->info.name] = std::move(entry);
   return Status::OK();
 }
@@ -289,6 +381,9 @@ StatusOr<TableEntry*> Catalog::Get(const std::string& name) {
   RAW_ASSIGN_OR_RETURN(const FormatDriver* driver,
                        FormatRegistry::Global().Require(entry->info.format));
   RAW_RETURN_NOT_OK(driver->PrepareShared(*this, *entry));
+  // Re-validate the backing file before (re)opening: a changed signature
+  // drops the entry's adaptive state and lets the engine purge caches.
+  if (entry->CheckStale() && on_invalidated_) on_invalidated_(name);
   RAW_RETURN_NOT_OK(entry->EnsureOpen());
   return entry;
 }

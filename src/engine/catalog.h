@@ -2,6 +2,7 @@
 #define RAW_ENGINE_CATALOG_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -49,6 +50,19 @@ struct TableStats {
   /// compressed-CSV block index); 0 when none.
   int64_t format_state_bytes = 0;
   bool loaded = false;      // DBMS-baseline copy resident
+  /// Queries that planned a scan over this table (one per query, not per
+  /// operator) — the background materializer's table-level heat signal.
+  int64_t scans = 0;
+  /// Per-schema-column access counts, incremented at scan/fetcher
+  /// construction. Indexed like info.schema; empty until first access.
+  std::vector<int64_t> column_accesses;
+  /// Bumped whenever the table's backing file is detected stale (mtime or
+  /// size changed) — cache keys derived from the table include it, so stale
+  /// results can never be served.
+  int64_t version = 0;
+  /// File signature recorded at open (-1 / 0 before the first open).
+  int64_t file_size = -1;
+  int64_t file_mtime_ns = 0;
 };
 
 /// Per-table runtime state accumulated across queries: open file handles,
@@ -142,6 +156,33 @@ struct TableEntry {
       double* load_seconds);
   std::shared_ptr<const InMemoryTable> loaded() const;
 
+  // --- workload access counters ----------------------------------------------
+  /// Sizes the per-column counters to the schema width (called once at
+  /// registration; later calls are no-ops).
+  void InitAccessCounters(int num_columns);
+  /// Records that a query's scan or late-scan fetcher was constructed over
+  /// `cols` (relaxed atomics; out-of-range columns are ignored).
+  void NoteColumnAccesses(const std::vector<int>& cols);
+  /// Records one query planning a scan over this table.
+  void NoteScan() { scan_count_.fetch_add(1, std::memory_order_relaxed); }
+  int64_t scan_count() const {
+    return scan_count_.load(std::memory_order_relaxed);
+  }
+  std::vector<int64_t> ColumnAccessSnapshot() const;
+
+  // --- file identity / staleness ---------------------------------------------
+  /// Stats the backing file and records its (mtime, size) signature; called
+  /// after every successful driver open so a reopened table re-anchors.
+  void RecordFileSignature();
+  /// Re-stats the backing file. When the signature changed since the last
+  /// open: bumps the version, drops adaptive state, retires the open file
+  /// handles (kept alive for in-flight raw-pointer readers) and arranges for
+  /// the next EnsureOpen to remap, then returns true. Never true before the
+  /// first open, on stat failure, or for shared-reader (REF) tables.
+  bool CheckStale();
+  /// Monotonic staleness epoch; part of every cache key over this table.
+  int64_t version() const { return version_.load(std::memory_order_acquire); }
+
   /// Drops the positional map, the driver state, and the loaded copy
   /// (snapshots held by in-flight queries stay alive).
   void ResetAdaptiveState();
@@ -162,6 +203,23 @@ struct TableEntry {
   std::unique_ptr<BinaryReader> bin_reader_;  // binary layout view
   std::shared_ptr<RefReader> ref_reader_;     // shared across one file's tables
   bool csv_quoted_ = false;
+  /// Handles displaced by a stale-file reopen. In-flight queries hold raw
+  /// pointers into them (the "stable handles" contract), so they retire here
+  /// instead of being destroyed; file replacement is rare, so the set stays
+  /// tiny.
+  std::vector<std::unique_ptr<MmapFile>> retired_mmaps_;
+  std::vector<std::unique_ptr<BinaryReader>> retired_bin_readers_;
+
+  /// Recorded file signature (guarded by mu_; -1 size = not yet recorded).
+  int64_t file_size_ = -1;
+  int64_t file_mtime_ns_ = 0;
+  std::atomic<int64_t> version_{0};
+
+  std::atomic<int64_t> scan_count_{0};
+  /// Fixed-size once InitAccessCounters runs (never resized, so concurrent
+  /// relaxed increments need no lock).
+  std::unique_ptr<std::atomic<int64_t>[]> column_accesses_;
+  int num_access_columns_ = 0;
 
   std::atomic<int64_t> row_count_{-1};  // -1 until discovered
 
@@ -212,8 +270,19 @@ class Catalog {
   Status RegisterCsvGz(const std::string& name, const std::string& path,
                        Schema schema, CsvOptions options = CsvOptions());
 
-  /// Looks up a table; the entry is owned by the catalog and stable.
+  /// Looks up a table; the entry is owned by the catalog and stable. Every
+  /// lookup re-validates the backing file's (mtime, size) signature; a stale
+  /// file drops the entry's adaptive state, bumps its version and fires the
+  /// invalidation callback before the (re)open.
   StatusOr<TableEntry*> Get(const std::string& name);
+
+  /// Invoked (outside catalog locks) with a table's name whenever its
+  /// backing file was detected stale. The engine hooks this to purge the
+  /// shred cache and the semantic result cache for that table. Set once at
+  /// engine construction, before any concurrent Get.
+  void SetInvalidationCallback(std::function<void(const std::string&)> cb) {
+    on_invalidated_ = std::move(cb);
+  }
 
   bool Contains(const std::string& name) const;
 
@@ -239,6 +308,7 @@ class Catalog {
   Status Register(TableInfo info);
 
   CatalogOptions options_;
+  std::function<void(const std::string&)> on_invalidated_;
   mutable std::shared_mutex mu_;
   std::map<std::string, std::unique_ptr<TableEntry>> tables_;
   mutable std::mutex ref_mu_;

@@ -49,6 +49,58 @@ std::string QuerySpec::ToString() const {
   return os.str();
 }
 
+namespace {
+
+/// Length-prefixed string: "5:muons" — unambiguous under concatenation.
+void PutStr(std::ostringstream& os, const std::string& s) {
+  os << s.size() << ':' << s;
+}
+
+void PutRef(std::ostringstream& os, const ColumnRefSpec& ref) {
+  PutStr(os, ref.table);
+  PutStr(os, ref.column);
+}
+
+void PutDatum(std::ostringstream& os, const Datum& d) {
+  os << static_cast<int>(d.type()) << '=';
+  PutStr(os, d.ToString());  // round-trippable precision for floats
+}
+
+}  // namespace
+
+std::string QuerySpec::Fingerprint() const {
+  std::ostringstream os;
+  os << "v1|T";
+  for (const std::string& t : tables) PutStr(os, t);
+  if (is_join()) {
+    os << "|J";
+    PutRef(os, join_left);
+    PutRef(os, join_right);
+  }
+  os << "|P" << predicates.size();
+  for (const PredicateSpec& p : predicates) {
+    PutRef(os, p.column);
+    os << static_cast<int>(p.op) << ';';
+    if (p.is_parameter()) {
+      os << '?' << p.param_index << '/' << static_cast<int>(p.param_type);
+    } else {
+      PutDatum(os, p.literal);
+    }
+  }
+  os << "|A" << aggregates.size();
+  for (const AggItemSpec& a : aggregates) {
+    os << static_cast<int>(a.kind) << (a.count_star ? '*' : '.');
+    PutRef(os, a.column);
+    PutStr(os, a.output_name);
+  }
+  os << "|C" << projections.size();
+  for (const ColumnRefSpec& c : projections) PutRef(os, c);
+  os << "|G" << group_by.size();
+  for (const ColumnRefSpec& g : group_by) PutRef(os, g);
+  os << "|L" << limit << "|N" << num_params;
+  return os.str();
+}
+
 Status QuerySpec::Validate() const {
   if (tables.empty() || tables.size() > 2) {
     return Status::InvalidArgument("query must reference one or two tables");

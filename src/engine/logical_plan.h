@@ -80,6 +80,13 @@ struct QuerySpec {
 
   std::string ToString() const;
 
+  /// Canonical structural serialization for cache keys: every field that
+  /// affects the result is encoded with a type tag and length-prefixed
+  /// strings, so two specs collide iff they describe the same query.
+  /// Parameter placeholders encode as their index — the semantic result
+  /// cache appends the bound values separately per execution.
+  std::string Fingerprint() const;
+
   /// Structural sanity checks (tables present, join condition set iff two
   /// tables, aggregate/projection exclusivity).
   Status Validate() const;

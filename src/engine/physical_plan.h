@@ -63,6 +63,10 @@ struct PlannerOptions {
   /// and Cursor::Next() check it and fail the query with ResourceExhausted
   /// once it passes; the serving tier maps that onto its wire error.
   Deadline deadline;
+  /// Record this query in the per-(table, column) access counters the
+  /// background materializer mines. Off for engine-internal sessions so
+  /// speculative builds never reinforce their own heat signal.
+  bool count_accesses = true;
 };
 
 /// Resolves PlannerOptions::num_threads (see above); always >= 1.

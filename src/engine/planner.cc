@@ -262,6 +262,8 @@ struct BuildCtx {
       tc.published_pmap = entry->pmap();
       tc.format_state = entry->format_state();
       tc.row_count = entry->row_count();
+      // First touch in this query: one scan tick per (query, table).
+      if (opts->count_accesses) entry->NoteScan();
     }
     return tc;
   }
@@ -314,6 +316,7 @@ StatusOr<OperatorPtr> BuildBaseScan(BuildCtx& ctx, FormatScanContext& tc,
   TableEntry* entry = tc.entry;
   const TableInfo& info = entry->info;
   const PlannerOptions& opts = *ctx.opts;
+  if (opts.count_accesses) entry->NoteColumnAccesses(cols);
 
   if (opts.access_path == AccessPathKind::kLoaded) {
     RAW_RETURN_NOT_OK(EnsureLoaded(ctx, tc));
@@ -389,6 +392,7 @@ StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, FormatScanContext& tc,
                                      std::vector<int> cols) {
   cols = SortedUnique(std::move(cols));
   const PlannerOptions& opts = *ctx.opts;
+  if (opts.count_accesses) tc.entry->NoteColumnAccesses(cols);
   Schema qualified = QualifiedSchema(*tc.entry, cols);
   RAW_ASSIGN_OR_RETURN(const FormatDriver* driver, DriverFor(*tc.entry));
   RAW_ASSIGN_OR_RETURN(RowFetcherPtr inner,

@@ -1,8 +1,21 @@
 #include "engine/raw_engine.h"
 
+#include <chrono>
+
+#include "common/env.h"
 #include "csv/schema_inference.h"
 
 namespace raw {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Status RawEngine::RegisterCsvInferred(const std::string& name,
                                       const std::string& path, CsvOptions csv,
@@ -25,7 +38,27 @@ RawEngine::RawEngine(RawEngineOptions options)
       jit_(options_.jit_compiler),
       shreds_(options_.shred_cache_bytes, options_.shred_cache_shards),
       planner_(&catalog_, &jit_, &shreds_) {
+  // Env knobs override the configured autotune defaults (strict parsing:
+  // malformed values fall back rather than misconfigure silently).
+  options_.autotune.enabled =
+      GetEnvInt64("RAW_AUTOTUNE", options_.autotune.enabled ? 1 : 0, 0, 1) !=
+      0;
+  options_.result_cache_bytes = GetEnvInt64(
+      "RAW_RESULT_CACHE_BYTES", options_.result_cache_bytes, 0, 1ll << 40);
+  if (options_.result_cache_bytes > 0) {
+    result_cache_ =
+        std::make_unique<autotune::ResultCache>(options_.result_cache_bytes);
+  }
+  // A stale backing file purges every cached structure derived from it.
+  catalog_.SetInvalidationCallback([this](const std::string& table) {
+    shreds_.EraseTable(table);
+    if (result_cache_ != nullptr) result_cache_->InvalidateTable(table);
+  });
   default_session_ = OpenSession(options_.planner);
+  materializer_ =
+      std::make_unique<autotune::BackgroundMaterializer>(this,
+                                                         options_.autotune);
+  materializer_->Start();
 }
 
 std::unique_ptr<Session> RawEngine::OpenSession() {
@@ -37,6 +70,51 @@ std::unique_ptr<Session> RawEngine::OpenSession(
   sessions_opened_.fetch_add(1, std::memory_order_relaxed);
   return std::unique_ptr<Session>(new Session(
       this, options, next_session_id_.fetch_add(1, std::memory_order_relaxed)));
+}
+
+std::unique_ptr<Session> RawEngine::OpenInternalSession() {
+  PlannerOptions options = options_.planner;
+  // Single-threaded plans drain on the materializer's own thread, batch by
+  // batch — that per-batch pull is the preemption granularity, and the
+  // shared pool stays free for foreground morsels.
+  options.num_threads = 1;
+  options.count_accesses = false;
+  if (options_.autotune.batch_rows > 0) {
+    options.batch_rows = options_.autotune.batch_rows;
+  }
+  // Not via OpenSession: internal sessions stay out of the session counters.
+  std::unique_ptr<Session> session(new Session(
+      this, options, next_session_id_.fetch_add(1, std::memory_order_relaxed)));
+  session->internal_ = true;
+  return session;
+}
+
+void RawEngine::NoteForegroundActivity() {
+  last_activity_ns_.store(NowNs(), std::memory_order_release);
+  if (materializer_ != nullptr) materializer_->Preempt();
+}
+
+void RawEngine::BeginQuery() {
+  queries_inflight_.fetch_add(1, std::memory_order_acq_rel);
+  NoteForegroundActivity();
+}
+
+void RawEngine::EndQuery() {
+  queries_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  // The idle clock starts when the last query *finishes*, not when it
+  // arrived — a long query followed by silence is still a full quiet period.
+  last_activity_ns_.store(NowNs(), std::memory_order_release);
+}
+
+StatusOr<std::string> RawEngine::ResultCacheKey(const QuerySpec& spec) {
+  std::string key = spec.Fingerprint();
+  for (const std::string& table : spec.tables) {
+    // Catalog::Get re-validates the file signature as a side effect, so a
+    // changed file both purges matching entries and shifts this key.
+    RAW_ASSIGN_OR_RETURN(TableEntry * entry, catalog_.Get(table));
+    key += "|" + table + "@" + std::to_string(entry->version());
+  }
+  return key;
 }
 
 StatusOr<QuerySpec> RawEngine::ParseSql(const std::string& sql) {
@@ -72,9 +150,15 @@ EngineStats RawEngine::Stats() const {
   stats.admission.shed = admission_.shed.load(std::memory_order_relaxed);
   stats.admission.deadline_expired =
       admission_.deadline_expired.load(std::memory_order_relaxed);
+  stats.admission.queued = admission_.queued.load(std::memory_order_relaxed);
+  stats.admission.running = admission_.running.load(std::memory_order_relaxed);
   stats.queries_parsed = queries_parsed_.load(std::memory_order_relaxed);
   stats.queries_planned = queries_planned_.load(std::memory_order_relaxed);
   stats.queries_executed = queries_executed_.load(std::memory_order_relaxed);
+  stats.queries_inflight =
+      queries_inflight_.load(std::memory_order_relaxed);
+  if (result_cache_ != nullptr) stats.result_cache = result_cache_->Stats();
+  if (materializer_ != nullptr) stats.materializer = materializer_->Stats();
   return stats;
 }
 
@@ -93,6 +177,9 @@ void RawEngine::ResetAdaptiveState() {
   shreds_.Clear();
   jit_.Clear();
   catalog_.ResetAdaptiveState();
+  // Cached results are adaptive state too: they were computed from the
+  // structures just dropped, so they invalidate with them.
+  if (result_cache_ != nullptr) result_cache_->Clear(/*count_invalidated=*/true);
 }
 
 }  // namespace raw

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "autotune/materializer.h"
+#include "autotune/result_cache.h"
 #include "engine/catalog.h"
 #include "engine/executor.h"
 #include "engine/planner.h"
@@ -24,6 +26,12 @@ struct RawEngineOptions {
   /// Lock shards of the shred cache (sessions touching different columns
   /// never contend); capacity splits evenly across shards.
   int shred_cache_shards = ShredCache::kDefaultNumShards;
+  /// Background materializer knobs (off by default; the RAW_AUTOTUNE env
+  /// knob overrides `autotune.enabled` at engine construction).
+  autotune::MaterializerOptions autotune;
+  /// Semantic result-cache budget; 0 disables the cache entirely. The
+  /// RAW_RESULT_CACHE_BYTES env knob overrides at engine construction.
+  int64_t result_cache_bytes = 0;
 };
 
 /// Live admission-control counters a serving tier (rawd) maintains on its
@@ -35,6 +43,11 @@ struct AdmissionCounters {
   std::atomic<int64_t> executed{0};   // requests that ran to completion
   std::atomic<int64_t> shed{0};       // fast-failed with OVERLOADED
   std::atomic<int64_t> deadline_expired{0};  // expired before/while running
+  /// Live gauges (not monotonic): requests waiting in the admission queue /
+  /// currently executing. The background materializer reads them as part of
+  /// its idle predicate.
+  std::atomic<int64_t> queued{0};
+  std::atomic<int64_t> running{0};
 };
 
 /// Point-in-time snapshot of AdmissionCounters.
@@ -43,6 +56,8 @@ struct AdmissionStats {
   int64_t executed = 0;
   int64_t shed = 0;
   int64_t deadline_expired = 0;
+  int64_t queued = 0;
+  int64_t running = 0;
 };
 
 /// Read-only snapshot of the engine's shared state: cache counters, query
@@ -68,6 +83,12 @@ struct EngineStats {
   int64_t queries_planned = 0;
   /// Plans executed (materialized or streamed).
   int64_t queries_executed = 0;
+  /// Foreground queries currently holding a live plan (gauge).
+  int64_t queries_inflight = 0;
+  /// Semantic result cache (all zero when disabled).
+  autotune::ResultCacheStats result_cache;
+  /// Background materializer (all zero when disabled).
+  autotune::MaterializerStats materializer;
 
   bool jit_compiler_available() const {
     return jit_cache.compiler_available;
@@ -189,6 +210,20 @@ class RawEngine {
   /// (rawd's AdmissionController increments them). Thread-safe.
   AdmissionCounters& admission_counters() { return admission_; }
 
+  /// Foreground-activity signal: refreshes the idle clock and preempts any
+  /// running background build. Session planning calls this automatically;
+  /// serving tiers call it at request admission so a queued query preempts
+  /// background work before it even plans.
+  void NoteForegroundActivity();
+
+  /// The background materializer (never null; inert unless enabled).
+  autotune::BackgroundMaterializer* materializer() {
+    return materializer_.get();
+  }
+
+  /// The semantic result cache, or null when disabled.
+  autotune::ResultCache* result_cache() { return result_cache_.get(); }
+
   /// Drops all adaptive state (shred pool + compiled-kernel cache + maps +
   /// REF decoded-cluster caches), reverting the engine to its
   /// freshly-started behaviour. Safe against in-flight sessions: running
@@ -198,6 +233,22 @@ class RawEngine {
 
  private:
   friend class Session;
+  friend class autotune::BackgroundMaterializer;
+
+  /// Marks the start/end of a foreground query's plan lifetime (the inflight
+  /// gauge the materializer's idle predicate watches). Begin also preempts
+  /// background work; End restarts the idle clock.
+  void BeginQuery();
+  void EndQuery();
+
+  /// Opens the materializer's session: single-threaded plans, excluded from
+  /// query counters, access mining and the result cache.
+  std::unique_ptr<Session> OpenInternalSession();
+
+  /// Result-cache key: the spec's structural fingerprint plus each referenced
+  /// table's staleness version (so a changed file can never serve old bytes,
+  /// even if an invalidation sweep were missed).
+  StatusOr<std::string> ResultCacheKey(const QuerySpec& spec);
 
   RawEngineOptions options_;
   Catalog catalog_;
@@ -212,8 +263,16 @@ class RawEngine {
   std::atomic<int64_t> queries_parsed_{0};
   std::atomic<int64_t> queries_planned_{0};
   std::atomic<int64_t> queries_executed_{0};
+  std::atomic<int64_t> queries_inflight_{0};
+  /// steady_clock ns of the last foreground activity (0 = never).
+  std::atomic<int64_t> last_activity_ns_{0};
 
   std::unique_ptr<Session> default_session_;  // backs the legacy shims
+
+  std::unique_ptr<autotune::ResultCache> result_cache_;  // null when disabled
+  /// Declared last: destroyed first, joining the worker thread while every
+  /// structure it touches (catalog, caches, sessions) is still alive.
+  std::unique_ptr<autotune::BackgroundMaterializer> materializer_;
 };
 
 }  // namespace raw

@@ -154,13 +154,17 @@ StatusOr<Cursor> PreparedQuery::ExecuteStream(
 // =============================================================================
 
 Session::~Session() {
-  engine_->sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  if (!internal_) {
+    engine_->sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 StatusOr<QuerySpec> Session::Parse(const std::string& sql) {
   RAW_ASSIGN_OR_RETURN(QuerySpec spec, sql::Parse(sql));
   RAW_RETURN_NOT_OK(sql::Bind(&engine_->catalog_, &spec));
-  engine_->queries_parsed_.fetch_add(1, std::memory_order_relaxed);
+  if (!internal_) {
+    engine_->queries_parsed_.fetch_add(1, std::memory_order_relaxed);
+  }
   return spec;
 }
 
@@ -173,13 +177,28 @@ StatusOr<PhysicalPlan> Session::PlanSpec(const QuerySpec& spec,
                                          const PlannerOptions& options,
                                          double* plan_seconds,
                                          double* compile_seconds) {
+  // Foreground queries raise the inflight gauge for their plan's whole
+  // lifetime (streaming cursors included): the guard rides in the plan's
+  // resource list and lowers it when the plan is destroyed. Raising it also
+  // preempts any background build before planning does real work.
+  std::shared_ptr<const void> inflight_guard;
+  if (!internal_) {
+    RawEngine* engine = engine_;
+    engine->BeginQuery();
+    inflight_guard = std::shared_ptr<const void>(
+        static_cast<const void*>(nullptr),
+        [engine](const void*) { engine->EndQuery(); });
+  }
   Stopwatch watch;
   const double compile_before = engine_->jit_.total_compile_seconds();
   RAW_ASSIGN_OR_RETURN(PhysicalPlan plan,
                        engine_->planner_.Plan(spec, options));
   *plan_seconds = watch.ElapsedSeconds();
   *compile_seconds = engine_->jit_.total_compile_seconds() - compile_before;
-  engine_->queries_planned_.fetch_add(1, std::memory_order_relaxed);
+  if (!internal_) {
+    engine_->queries_planned_.fetch_add(1, std::memory_order_relaxed);
+    plan.resources.push_back(std::move(inflight_guard));
+  }
   return plan;
 }
 
@@ -199,6 +218,31 @@ StatusOr<QueryResult> Session::Execute(const QuerySpec& spec) {
 
 StatusOr<QueryResult> Session::Execute(const QuerySpec& spec,
                                        const PlannerOptions& options) {
+  // Semantic result cache: a repeated materializing execution (typically a
+  // re-bound PreparedQuery — BindParams folds the bound values into the
+  // predicate literals, so they are part of the fingerprint) returns the
+  // cached result without planning or executing anything.
+  std::string cache_key;
+  autotune::ResultCache* cache = engine_->result_cache_.get();
+  const bool cacheable =
+      cache != nullptr && !internal_ && !spec.explain && spec.num_params == 0;
+  if (cacheable) {
+    StatusOr<std::string> key = engine_->ResultCacheKey(spec);
+    if (key.ok()) {
+      cache_key = std::move(key).value();
+      QueryResult cached;
+      if (cache->Lookup(cache_key, &cached)) {
+        // A hit is foreground activity (keeps the materializer polite) but
+        // costs no planning or execution — report timings accordingly.
+        engine_->NoteForegroundActivity();
+        cached.plan_seconds = 0;
+        cached.compile_seconds = 0;
+        cached.execute_seconds = 0;
+        cached.plan_description += " [result-cache hit]";
+        return cached;
+      }
+    }
+  }
   double plan_seconds = 0;
   double compile_seconds = 0;
   RAW_ASSIGN_OR_RETURN(
@@ -213,10 +257,15 @@ StatusOr<QueryResult> Session::Execute(const QuerySpec& spec,
     result.table = ExplainBatch(plan.description);
     return result;
   }
-  engine_->queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (!internal_) {
+    engine_->queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
   RAW_ASSIGN_OR_RETURN(QueryResult result, Executor::Run(std::move(plan)));
   result.plan_seconds = plan_seconds;
   result.compile_seconds = compile_seconds;
+  if (cacheable && !cache_key.empty()) {
+    cache->Insert(cache_key, result, spec.tables);
+  }
   return result;
 }
 
@@ -245,7 +294,9 @@ StatusOr<Cursor> Session::ExecuteStream(const QuerySpec& spec,
     return Cursor::FromBatch(ExplainBatch(plan.description), plan.description,
                              plan_seconds, compile_seconds);
   }
-  engine_->queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (!internal_) {
+    engine_->queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
   Cursor cursor(std::move(plan), plan_seconds, compile_seconds);
   RAW_RETURN_NOT_OK(cursor.EnsureOpen());
   return cursor;

@@ -186,6 +186,11 @@ class Session {
   RawEngine* engine_;
   PlannerOptions options_;
   int64_t id_;
+  /// Engine-internal session (the background materializer's): excluded from
+  /// session/query counters, the foreground-activity signal, access-counter
+  /// mining and the result cache — background work must never look like
+  /// foreground traffic or reinforce its own heat signals.
+  bool internal_ = false;
 };
 
 }  // namespace raw

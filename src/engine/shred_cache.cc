@@ -178,6 +178,23 @@ void ShredCache::Clear() {
   }
 }
 
+void ShredCache::EraseTable(const std::string& table) {
+  const std::string prefix = table + "#";
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->index.begin(); it != shard->index.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        total_bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+        shard->bytes_cached -= it->second->bytes;
+        shard->lru.erase(it->second);
+        it = shard->index.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
 CacheStats ShredCache::Stats() const {
   CacheStats stats;
   for (const auto& shard : shards_) {

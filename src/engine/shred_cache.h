@@ -78,6 +78,12 @@ class ShredCache {
 
   void Clear();
 
+  /// Drops every entry belonging to `table` (all columns, full or shredded) —
+  /// the invalidation path when the table's backing file changed.
+  void EraseTable(const std::string& table);
+
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+
   /// Aggregated counters across all shards (a consistent-enough snapshot for
   /// introspection; shards are summed one lock at a time).
   CacheStats Stats() const;

@@ -69,6 +69,7 @@ Status AdmissionController::Submit(PriorityClass priority, int64_t cost_bytes,
     queue.push_back(Request{priority, cost_bytes, deadline, std::move(job)});
     if (counters_ != nullptr) {
       counters_->admitted.fetch_add(1, std::memory_order_relaxed);
+      counters_->queued.fetch_add(1, std::memory_order_relaxed);
     }
   }
   work_cv_.notify_one();
@@ -110,6 +111,12 @@ void AdmissionController::WorkerLoop() {
       queued_bytes_[ci] -= req.cost_bytes;
       ++running_[ci];
       ++total_running_;
+      if (counters_ != nullptr) {
+        // Mirror the queued->running transition into the engine-owned
+        // gauges (the background materializer's idle predicate reads them).
+        counters_->queued.fetch_sub(1, std::memory_order_relaxed);
+        counters_->running.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     Status admission = Status::OK();
     if (req.deadline.expired()) {
@@ -120,8 +127,11 @@ void AdmissionController::WorkerLoop() {
       }
     }
     req.job(admission);
-    if (admission.ok() && counters_ != nullptr) {
-      counters_->executed.fetch_add(1, std::memory_order_relaxed);
+    if (counters_ != nullptr) {
+      counters_->running.fetch_sub(1, std::memory_order_relaxed);
+      if (admission.ok()) {
+        counters_->executed.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -118,6 +118,16 @@ StatusOr<QueryResponse> RawClient::ReadResponse() {
   }
 }
 
+StatusOr<std::string> RawClient::Stats() {
+  RAW_RETURN_NOT_OK(WriteFrame(MessageType::kStats, {}));
+  RAW_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.type != MessageType::kStatsResult) {
+    return Status::IOError("unexpected frame type for STATS response");
+  }
+  PayloadReader reader(frame.payload);
+  return reader.String();
+}
+
 Status RawClient::Goodbye() {
   RAW_RETURN_NOT_OK(WriteFrame(MessageType::kGoodbye, {}));
   // Responses to still-pipelined queries may precede the goodbye ack.

@@ -61,6 +61,11 @@ class RawClient {
   /// match on request_id.
   StatusOr<QueryResponse> ReadResponse();
 
+  /// Fetches the server's EngineStats snapshot as JSON text (the STATS
+  /// command; served inline, never queued or shed). Do not interleave with
+  /// pipelined queries — responses to those would be misread here.
+  StatusOr<std::string> Stats();
+
   /// Polite shutdown: kGoodbye, wait for kGoodbyeOk.
   Status Goodbye();
 

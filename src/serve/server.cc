@@ -1,5 +1,7 @@
 #include "serve/server.h"
 
+#include "serve/stats_json.h"
+
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -218,6 +220,15 @@ void RawServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
     case MessageType::kQuery:
       HandleQuery(conn, std::move(frame.payload));
       return;
+    case MessageType::kStats: {
+      // Introspection is served inline on the event loop — reading counters
+      // is cheap and must keep working while the admission queue sheds, so
+      // operators can watch an overloaded server.
+      PayloadWriter out;
+      out.PutString(EngineStatsJson(engine_->Stats()));
+      WriteFrame(conn, MessageType::kStatsResult, out.bytes());
+      return;
+    }
     case MessageType::kGoodbye:
       WriteFrame(conn, MessageType::kGoodbyeOk, {});
       conn->closing = true;
@@ -254,6 +265,10 @@ void RawServer::HandleQuery(const std::shared_ptr<Connection>& conn,
     return;
   }
   if (conn->session == nullptr) conn->session = engine_->OpenSession();
+
+  // Preempt background materialization at *admission*, not first plan: a
+  // queued query must never wait behind speculative work.
+  engine_->NoteForegroundActivity();
 
   const Deadline deadline = deadline_ms > 0
                                 ? Deadline::AfterMillis(deadline_ms)

@@ -1,0 +1,20 @@
+#ifndef RAW_SERVE_STATS_JSON_H_
+#define RAW_SERVE_STATS_JSON_H_
+
+#include <string>
+
+#include "engine/raw_engine.h"
+
+namespace raw {
+namespace serve {
+
+/// Renders an EngineStats snapshot as a JSON object (the STATS wire
+/// command's payload): cache/admission/query counters, the autotune
+/// materializer + result-cache counters, and one object per table with its
+/// adaptive state and per-column access counts.
+std::string EngineStatsJson(const EngineStats& stats);
+
+}  // namespace serve
+}  // namespace raw
+
+#endif  // RAW_SERVE_STATS_JSON_H_

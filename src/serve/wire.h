@@ -28,12 +28,14 @@ enum class MessageType : uint8_t {
   kHello = 1,     // u8 priority class; must be the first message
   kQuery = 2,     // u64 request_id, u32 deadline_ms (0 = none), u32 len, sql
   kGoodbye = 3,   // empty; server flushes and closes after kGoodbyeOk
+  kStats = 4,     // empty; served inline (no admission queue)
   // Responses (server -> client).
   kHelloOk = 128,     // empty
   kResult = 129,      // u64 request_id, f64 plan_s, f64 exec_s, table
   kError = 130,       // u64 request_id, u32 status code, u32 len, message
   kOverloaded = 131,  // u64 request_id, u32 len, reason — typed fast-fail
   kGoodbyeOk = 132,   // empty
+  kStatsResult = 133,  // u32 len, EngineStats snapshot as JSON text
 };
 
 /// Client priority classes; the admission controller gives kInteractive

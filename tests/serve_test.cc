@@ -491,6 +491,15 @@ TEST_F(ServeTest, GracefulDrainCompletesInFlight) {
   for (uint64_t id = 1; id <= kInFlight; ++id) {
     ASSERT_TRUE(client->SendQuery(id, "SELECT COUNT(*) FROM readings").ok());
   }
+  // Admission happens on the event-loop thread, asynchronously to the socket
+  // writes above. Wait until at least one query is genuinely in flight before
+  // draining — otherwise drain can win the race and reject everything at
+  // Submit, leaving nothing for the drain to complete. `admitted` increments
+  // synchronously inside Submit, so it cannot over-report.
+  for (int i = 0; i < 2500 && engine_.Stats().admission.admitted < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(engine_.Stats().admission.admitted, 1);
   server->RequestDrain();
   // Every admitted query still completes and its response is flushed before
   // the server closes the connection.
@@ -516,6 +525,59 @@ TEST_F(ServeTest, ShutdownIsIdempotent) {
   server->Shutdown();
   server->Shutdown();
   EXPECT_FALSE(server->running());
+}
+
+// ---------------------------------------------------------------------------
+// STATS introspection over the wire
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, StatsRoundTrip) {
+  auto server = StartServer();
+  auto client = Connect(*server);
+
+  // Run a couple of queries so the counters being reported are non-trivial.
+  ASSERT_TRUE(client->Query("SELECT COUNT(*) FROM readings").ok());
+  ASSERT_TRUE(
+      client->Query("SELECT MAX(value) FROM readings WHERE id > 10").ok());
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const std::string& json = *stats;
+
+  // Structural sanity: one JSON object, balanced braces/brackets.
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  int64_t braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+
+  // Every introspection section is present, including the autotune tier.
+  for (const char* key :
+       {"\"shred_cache\"", "\"result_cache\"", "\"materializer\"",
+        "\"jit_cache\"", "\"admission\"", "\"queries_executed\"",
+        "\"tables\"", "\"readings\"", "\"scans\"", "\"column_accesses\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing\n"
+                                                 << json;
+  }
+  // The queries above went through admission and were counted. (`admitted`
+  // increments at submit, strictly before the response reaches us; the
+  // worker's `executed` bookkeeping may still be a beat behind.)
+  EXPECT_NE(json.find("\"admitted\":2"), std::string::npos) << json;
+
+  // The connection still works for queries after a STATS exchange.
+  auto resp = client->Query("SELECT COUNT(*) FROM readings");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->status.ok());
+  EXPECT_TRUE(client->Goodbye().ok());
 }
 
 // ---------------------------------------------------------------------------
