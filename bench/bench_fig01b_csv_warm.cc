@@ -6,6 +6,8 @@
 // the "Col7" variants (map tracks column 7, incremental parse to 10) are
 // uniformly slower than direct-tracked counterparts.
 
+#include <algorithm>
+
 #include "bench/bench_common.h"
 
 namespace raw::bench {
@@ -43,6 +45,59 @@ void Run() {
   }
   printf("\nExpect: DBMS flat & fastest; JIT < InSitu (~2x); *-Col7 slower\n"
          "than direct variants (incremental parsing).\n");
+
+  // Fusion ablation: the same warm Q2 at num_threads=1, with the whole
+  // scan→filter→aggregate pipeline either compiled into one generated loop
+  // (RAW_JIT_FUSION=1) or run through the interpreted operators (=0). Both
+  // variants start from identical warm state (pmap + cached col0 from Q1)
+  // and read col10 from the file, so the ratio isolates the fusion win.
+  printf("\n--- pipeline fusion ablation (num_threads=1, warm) ---\n");
+  PrintSeriesHeader("variant", sels);
+  PlannerOptions interp;
+  interp.shred_policy = ShredPolicy::kFullColumns;
+  interp.num_threads = 1;
+  interp.populate_shred_cache = false;
+  interp.jit_fusion = JitFusion::kOff;
+  PlannerOptions fused = interp;
+  fused.jit_fusion = JitFusion::kOn;
+  std::vector<double> interp_row, fused_row;
+  for (double sel : sels) {
+    auto engine = D30CsvEngine(&dataset, 10);
+    if (!engine->Stats().jit_compiler_available()) {
+      printf("(skipped: no compiler)\n");
+      return;
+    }
+    auto session = engine->OpenSession();
+    // Warm-up (not timed): builds the positional map and caches col0.
+    PlannerOptions warm = interp;
+    warm.populate_shred_cache = true;
+    TimedQuery(session.get(), Q1(&dataset, sel), warm);
+    interp_row.push_back(TimedQuery(session.get(), Q2(&dataset, sel), interp));
+    fused_row.push_back(TimedQuery(session.get(), Q2(&dataset, sel), fused));
+  }
+  PrintSeriesRow("JIT-interpreted-1t", interp_row, sels);
+  PrintSeriesRow("JIT-fused-1t", fused_row, sels);
+  printf("%-28s", "fused speedup");
+  for (size_t i = 0; i < sels.size(); ++i) {
+    double speedup = interp_row[i] / std::max(fused_row[i], 1e-9);
+    printf("%9.2fx", speedup);
+    char label[48];
+    snprintf(label, sizeof(label), "JIT-fused-1t@%g%%/speedup",
+             sels[i] * 100);
+    RecordJson(label, speedup);
+  }
+  double interp_total = 0, fused_total = 0;
+  for (size_t i = 0; i < sels.size(); ++i) {
+    interp_total += interp_row[i];
+    fused_total += fused_row[i];
+  }
+  const double sweep_speedup = interp_total / std::max(fused_total, 1e-9);
+  printf("\n%-28s%9.2fx\n", "fused speedup (whole sweep)", sweep_speedup);
+  RecordJson("JIT-fused-1t/speedup", sweep_speedup);
+  printf("Expect: fused >= 1.3x over interpreted on the sweep; the win grows\n"
+         "as selectivity drops (skipped rows never touch the value column)\n"
+         "and narrows to ~parity at 100%% (the interpreted path's all-rows\n"
+         "pass-through fast path).\n");
 }
 
 }  // namespace

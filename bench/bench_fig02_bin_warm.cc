@@ -3,6 +3,8 @@
 // JIT hard-codes them into generated code. Paper result: same ordering as
 // CSV (DBMS < JIT < InSitu) with smaller gaps — no data conversion happens.
 
+#include <algorithm>
+
 #include "bench/bench_common.h"
 
 namespace raw::bench {
@@ -48,6 +50,57 @@ void Run() {
     }
   }
   printf("\nExpect: gaps smaller than CSV (no conversion); JIT < InSitu.\n");
+
+  // Fusion ablation: warm Q2 at num_threads=1, pipeline compiled into one
+  // generated loop (RAW_JIT_FUSION=1) vs. interpreted operators (=0). The
+  // binary plug-in fuses cold (no positional map involved); Q1 still warms
+  // the OS page cache and the col0 shred so both variants start identical.
+  printf("\n--- pipeline fusion ablation (num_threads=1, warm) ---\n");
+  PrintSeriesHeader("variant", sels);
+  PlannerOptions interp;
+  interp.shred_policy = ShredPolicy::kFullColumns;
+  interp.num_threads = 1;
+  interp.populate_shred_cache = false;
+  interp.jit_fusion = JitFusion::kOff;
+  PlannerOptions fused = interp;
+  fused.jit_fusion = JitFusion::kOn;
+  std::vector<double> interp_row, fused_row;
+  for (double sel : sels) {
+    auto engine = D30BinEngine(&dataset);
+    if (!engine->Stats().jit_compiler_available()) {
+      printf("(skipped: no compiler)\n");
+      return;
+    }
+    auto session = engine->OpenSession();
+    PlannerOptions warm = interp;
+    warm.populate_shred_cache = true;
+    TimedQuery(session.get(), Q1(&dataset, sel), warm);
+    interp_row.push_back(TimedQuery(session.get(), Q2(&dataset, sel), interp));
+    fused_row.push_back(TimedQuery(session.get(), Q2(&dataset, sel), fused));
+  }
+  PrintSeriesRow("JIT-interpreted-1t", interp_row, sels);
+  PrintSeriesRow("JIT-fused-1t", fused_row, sels);
+  printf("%-28s", "fused speedup");
+  for (size_t i = 0; i < sels.size(); ++i) {
+    double speedup = interp_row[i] / std::max(fused_row[i], 1e-9);
+    printf("%9.2fx", speedup);
+    char label[48];
+    snprintf(label, sizeof(label), "JIT-fused-1t@%g%%/speedup",
+             sels[i] * 100);
+    RecordJson(label, speedup);
+  }
+  double interp_total = 0, fused_total = 0;
+  for (size_t i = 0; i < sels.size(); ++i) {
+    interp_total += interp_row[i];
+    fused_total += fused_row[i];
+  }
+  const double sweep_speedup = interp_total / std::max(fused_total, 1e-9);
+  printf("\n%-28s%9.2fx\n", "fused speedup (whole sweep)", sweep_speedup);
+  RecordJson("JIT-fused-1t/speedup", sweep_speedup);
+  printf("Expect: fused >= 1.3x over interpreted on the sweep; the win grows\n"
+         "as selectivity drops (skipped rows never touch the value column)\n"
+         "and narrows to ~parity at 100%% (the interpreted path's all-rows\n"
+         "pass-through fast path).\n");
 }
 
 }  // namespace

@@ -30,6 +30,20 @@ class AggAccumulator {
  public:
   AggAccumulator(AggKind kind, DataType input_type);
 
+  /// Rehydrates an accumulator from externally-held partial state (the fused
+  /// JIT pipeline kernels leave exactly these four fields per aggregate in
+  /// their context arrays). The fields mirror the private members below.
+  static AggAccumulator FromPartial(AggKind kind, DataType input_type,
+                                    int64_t count, double dacc, int64_t iacc,
+                                    bool initialized) {
+    AggAccumulator acc(kind, input_type);
+    acc.count_ = count;
+    acc.dacc_ = dacc;
+    acc.iacc_ = iacc;
+    acc.initialized_ = initialized;
+    return acc;
+  }
+
   void UpdateNumeric(double value);
   /// Exact integer path (no double round-trip; int64 values above 2^53 stay
   /// precise).

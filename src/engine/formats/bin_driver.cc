@@ -8,6 +8,8 @@
 #include "engine/formats/drivers.h"
 #include "engine/physical_plan.h"
 #include "jit/codegen.h"
+#include "jit/pipeline_codegen.h"
+#include "scan/fused_pipeline.h"
 #include "scan/insitu_bin_scan.h"
 #include "scan/jit_scan.h"
 #include "scan/loader.h"
@@ -164,6 +166,80 @@ class BinaryFormatDriver final : public FormatDriver {
 
   StatusOr<std::string> EmitJitSource(const AccessPathSpec& spec) const override {
     return GenerateBinScanSource(spec);
+  }
+
+  StatusOr<std::string> EmitJitPipelineSource(
+      const PipelineSpec& spec) const override {
+    return GenerateBinPipelineSource(spec);
+  }
+
+  /// Fused binary pipelines scan row ranges sequentially; kernels emit
+  /// global row ids via dense_row_base, so morsel children need no rebase.
+  StatusOr<OperatorPtr> BuildFusedPipeline(
+      FormatScanContext& tc, const FusedPipelineRequest& req) const override {
+    TableEntry* entry = tc.entry;
+    const TableInfo& info = entry->info;
+    const PlannerOptions& opts = *tc.opts;
+    RAW_ASSIGN_OR_RETURN(BinaryLayout layout,
+                         BinaryLayout::Create(info.schema));
+
+    PipelineSpec spec;
+    spec.scan.format = FileFormat::kBinary;
+    spec.scan.mode = ScanMode::kSequential;
+    spec.scan.row_width = layout.row_width();
+    for (const PipelineInput& in : req.inputs) {
+      if (in.dense) continue;
+      spec.scan.outputs.push_back(OutputField{in.column, in.type});
+      spec.scan.column_offsets.push_back(layout.ColumnOffset(in.column));
+    }
+    spec.inputs = req.inputs;
+    spec.predicates = req.predicates;
+    spec.mode = req.mode;
+    spec.projections = req.projections;
+    spec.aggs = req.aggs;
+    Schema out_schema = req.mode == PipelineOutputMode::kAggregate
+                            ? FusedAggPartialSchema(req.aggs)
+                            : req.output_schema;
+    (*tc.desc) << "[fused-bin-scan " << info.name << "] ";
+
+    const int64_t num_rows = entry->bin_reader()->num_rows();
+    auto make_args = [&](int64_t first, int64_t count) {
+      FusedPipelineArgs args;
+      args.spec = spec;
+      args.output_schema = out_schema;
+      args.file = entry->mmap();
+      args.total_rows = count;
+      args.dense_row_base = first;
+      args.dense_columns = req.dense_columns;
+      args.batch_rows = opts.batch_rows;
+      if (first > 0 || count < num_rows) {
+        const uint64_t width = static_cast<uint64_t>(layout.row_width());
+        args.window_begin = static_cast<uint64_t>(first) * width;
+        args.window_end = static_cast<uint64_t>(first + count) * width;
+      }
+      return args;
+    };
+
+    std::vector<ScanRange> morsels;
+    if (tc.num_threads > 1) {
+      morsels = SplitMorsels(tc, tc.num_threads * 4);
+    }
+    if (morsels.size() > 1) {
+      ParallelTableScanOperator::Options popts;
+      popts.deadline = tc.opts->deadline;
+      popts.num_threads = tc.num_threads;
+      std::vector<OperatorPtr> children;
+      for (const ScanRange& m : morsels) {
+        children.push_back(std::make_unique<FusedPipelineOperator>(
+            tc.jit, make_args(m.begin, m.count())));
+      }
+      (*tc.desc) << "[parallel x" << tc.num_threads << " morsels="
+                 << morsels.size() << "] ";
+      return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
+          out_schema, std::move(children), std::move(popts)));
+    }
+    return OperatorPtr(std::make_unique<FusedPipelineOperator>(
+        tc.jit, make_args(0, num_rows)));
   }
 };
 

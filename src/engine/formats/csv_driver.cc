@@ -11,7 +11,9 @@
 #include "engine/formats/drivers.h"
 #include "engine/physical_plan.h"
 #include "jit/codegen.h"
+#include "jit/pipeline_codegen.h"
 #include "scan/external_table_scan.h"
+#include "scan/fused_pipeline.h"
 #include "scan/insitu_csv_scan.h"
 #include "scan/jit_scan.h"
 #include "scan/loader.h"
@@ -382,6 +384,105 @@ class CsvFormatDriver final : public FormatDriver {
 
   StatusOr<std::string> EmitJitSource(const AccessPathSpec& spec) const override {
     return GenerateCsvScanSource(spec);
+  }
+
+  StatusOr<std::string> EmitJitPipelineSource(
+      const PipelineSpec& spec) const override {
+    return GenerateCsvPipelineSource(spec);
+  }
+
+  /// Fused CSV pipelines run warm only: the complete positional map turns
+  /// the scan into by-position field parsing, and the fused kernel skips the
+  /// parse work of every row its dense predicates reject. Cold tables (and
+  /// quoted files) report NotImplemented so the planner stays interpreted.
+  StatusOr<OperatorPtr> BuildFusedPipeline(
+      FormatScanContext& tc, const FusedPipelineRequest& req) const override {
+    TableEntry* entry = tc.entry;
+    const TableInfo& info = entry->info;
+    const PlannerOptions& opts = *tc.opts;
+    if (!tc.has_complete_pmap()) {
+      return Status::NotImplemented(
+          "fused CSV pipelines require a complete positional map");
+    }
+    if (entry->csv_quoted()) {
+      return Status::NotImplemented(
+          "fused CSV pipelines do not handle quoted files");
+    }
+    const PositionalMap& pmap = *tc.published_pmap;
+    std::vector<int> file_cols;
+    for (const PipelineInput& in : req.inputs) {
+      if (!in.dense) file_cols.push_back(in.column);
+    }
+    if (file_cols.empty()) {
+      return Status::NotImplemented(
+          "fused CSV pipeline needs at least one file-read input");
+    }
+    int anchor = pmap.tracked_columns().front();
+    for (int t : pmap.tracked_columns()) {
+      if (t <= file_cols.front()) anchor = t;
+    }
+
+    PipelineSpec spec;
+    spec.scan.format = FileFormat::kCsv;
+    spec.scan.mode = ScanMode::kByPosition;
+    spec.scan.delimiter = info.csv_options.delimiter;
+    spec.scan.anchor_column = anchor;
+    for (const PipelineInput& in : req.inputs) {
+      if (!in.dense) spec.scan.outputs.push_back(OutputField{in.column, in.type});
+    }
+    spec.inputs = req.inputs;
+    spec.predicates = req.predicates;
+    spec.mode = req.mode;
+    spec.projections = req.projections;
+    spec.aggs = req.aggs;
+    Schema out_schema = req.mode == PipelineOutputMode::kAggregate
+                            ? FusedAggPartialSchema(req.aggs)
+                            : req.output_schema;
+    (*tc.desc) << "[fused-pmap-scan " << info.name << " anchor=" << anchor
+               << "] ";
+
+    auto make_args = [&](int64_t first,
+                         int64_t count) -> StatusOr<FusedPipelineArgs> {
+      RowSet rows;
+      rows.ids.resize(static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) {
+        rows.ids[static_cast<size_t>(i)] = first + i;
+      }
+      RAW_RETURN_NOT_OK(FillPositions(pmap, pmap.SlotFor(anchor), &rows));
+      FusedPipelineArgs args;
+      args.spec = spec;
+      args.output_schema = out_schema;
+      args.file = entry->mmap();
+      args.row_set = std::move(rows);
+      args.dense_columns = req.dense_columns;
+      args.batch_rows = opts.batch_rows;
+      return args;
+    };
+
+    std::vector<ScanRange> morsels;
+    if (tc.num_threads > 1) {
+      morsels = SplitPmapRowRanges(pmap, tc.num_threads * 4);
+    }
+    if (morsels.size() > 1) {
+      ParallelTableScanOperator::Options popts;
+      popts.deadline = tc.opts->deadline;
+      popts.num_threads = tc.num_threads;
+      std::vector<OperatorPtr> children;
+      for (const ScanRange& m : morsels) {
+        RAW_ASSIGN_OR_RETURN(FusedPipelineArgs args,
+                             make_args(m.begin, m.count()));
+        children.push_back(
+            std::make_unique<FusedPipelineOperator>(tc.jit, std::move(args)));
+      }
+      (*tc.desc) << "[parallel x" << tc.num_threads << " morsels="
+                 << morsels.size() << "] ";
+      return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
+          out_schema, std::move(children), std::move(popts)));
+    }
+    RAW_ASSIGN_OR_RETURN(FusedPipelineArgs args,
+                         make_args(0, pmap.num_rows()));
+    return OperatorPtr(
+        std::make_unique<FusedPipelineOperator>(tc.jit, std::move(args)));
   }
 };
 

@@ -10,6 +10,8 @@
 #include "engine/formats/drivers.h"
 #include "engine/physical_plan.h"
 #include "jit/codegen.h"
+#include "jit/pipeline_codegen.h"
+#include "scan/fused_pipeline.h"
 #include "scan/jit_scan.h"
 #include "scan/loader.h"
 #include "scan/morsel.h"
@@ -249,6 +251,82 @@ class RefFormatDriver final : public FormatDriver {
 
   StatusOr<std::string> EmitJitSource(const AccessPathSpec& spec) const override {
     return GenerateRefScanSource(spec);
+  }
+
+  StatusOr<std::string> EmitJitPipelineSource(
+      const PipelineSpec& spec) const override {
+    return GenerateRefPipelineSource(spec);
+  }
+
+  /// Fused REF pipelines support aggregation only (the bulk-decode API has
+  /// no output-compaction path for projections). PipelineInput.column holds
+  /// the *table column*; this hook remaps file inputs to branch indices,
+  /// which is what the generated read_range calls address.
+  StatusOr<OperatorPtr> BuildFusedPipeline(
+      FormatScanContext& tc, const FusedPipelineRequest& req) const override {
+    TableEntry* entry = tc.entry;
+    const TableInfo& info = entry->info;
+    const PlannerOptions& opts = *tc.opts;
+    if (req.mode != PipelineOutputMode::kAggregate) {
+      return Status::NotImplemented(
+          "fused REF pipelines support aggregation only");
+    }
+    PipelineSpec spec;
+    spec.scan.format = FileFormat::kRef;
+    spec.scan.mode = ScanMode::kSequential;
+    spec.inputs = req.inputs;
+    for (PipelineInput& in : spec.inputs) {
+      if (in.dense) continue;
+      const std::string& field = info.schema.field(in.column).name;
+      if (field == "eventID" && info.ref_group >= 0) {
+        return Status::NotImplemented(
+            "fused REF pipelines cannot derive eventID");
+      }
+      RAW_ASSIGN_OR_RETURN(
+          int branch,
+          RefBranchFor(*entry->ref_reader(), info.ref_group, field));
+      in.column = branch;
+      spec.scan.outputs.push_back(OutputField{branch, in.type});
+    }
+    spec.predicates = req.predicates;
+    spec.mode = req.mode;
+    spec.projections = req.projections;
+    spec.aggs = req.aggs;
+    Schema out_schema = FusedAggPartialSchema(req.aggs);
+    (*tc.desc) << "[fused-ref-scan " << info.name << "] ";
+
+    auto make_args = [&](int64_t first, int64_t count) {
+      FusedPipelineArgs args;
+      args.spec = spec;
+      args.output_schema = out_schema;
+      args.ref_reader = entry->ref_reader();
+      args.first_row = first;
+      args.total_rows = first + count;  // REF kernels scan [cursor, total)
+      args.dense_columns = req.dense_columns;
+      args.batch_rows = opts.batch_rows;
+      return args;
+    };
+
+    std::vector<ScanRange> morsels;
+    if (tc.num_threads > 1) {
+      morsels = SplitMorsels(tc, tc.num_threads * 4);
+    }
+    if (morsels.size() > 1) {
+      ParallelTableScanOperator::Options popts;
+      popts.deadline = tc.opts->deadline;
+      popts.num_threads = tc.num_threads;
+      std::vector<OperatorPtr> children;
+      for (const ScanRange& m : morsels) {
+        children.push_back(std::make_unique<FusedPipelineOperator>(
+            tc.jit, make_args(m.begin, m.count())));
+      }
+      (*tc.desc) << "[parallel x" << tc.num_threads << " morsels="
+                 << morsels.size() << "] ";
+      return OperatorPtr(std::make_unique<ParallelTableScanOperator>(
+          out_schema, std::move(children), std::move(popts)));
+    }
+    return OperatorPtr(std::make_unique<FusedPipelineOperator>(
+        tc.jit, make_args(0, tc.row_count)));
   }
 };
 

@@ -31,6 +31,18 @@ std::string_view ShredPolicyToString(ShredPolicy policy) {
   return "?";
 }
 
+std::string_view JitFusionToString(JitFusion fusion) {
+  switch (fusion) {
+    case JitFusion::kOff:
+      return "off";
+    case JitFusion::kOn:
+      return "on";
+    case JitFusion::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
 std::string_view JoinProjectionPlacementToString(JoinProjectionPlacement p) {
   switch (p) {
     case JoinProjectionPlacement::kEarly:

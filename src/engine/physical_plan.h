@@ -38,6 +38,16 @@ enum class JoinProjectionPlacement {
 
 std::string_view JoinProjectionPlacementToString(JoinProjectionPlacement p);
 
+/// Whether the planner may fuse whole scan→filter→project/aggregate
+/// pipelines into one JIT-generated loop (RAW_JIT_FUSION).
+enum class JitFusion {
+  kOff,   // always interpreted operators
+  kOn,    // fuse every eligible single-table pipeline
+  kAuto,  // like kOn today; reserved for cost-model arbitration
+};
+
+std::string_view JitFusionToString(JitFusion fusion);
+
 /// Knobs the experiments sweep.
 struct PlannerOptions {
   AccessPathKind access_path = AccessPathKind::kJit;
@@ -67,6 +77,11 @@ struct PlannerOptions {
   /// background materializer mines. Off for engine-internal sessions so
   /// speculative builds never reinforce their own heat signal.
   bool count_accesses = true;
+  /// Pipeline fusion: compile eligible single-table
+  /// scan→filter→project/aggregate plans into one generated loop. Ineligible
+  /// shapes (joins, group-by, string/bool predicates, formats without a
+  /// fusion plug-in) always fall back to interpreted operators.
+  JitFusion jit_fusion = JitFusion::kAuto;
 };
 
 /// Resolves PlannerOptions::num_threads (see above); always >= 1.

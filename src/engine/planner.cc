@@ -1,6 +1,8 @@
 #include "engine/planner.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <optional>
@@ -18,6 +20,8 @@
 #include "columnar/hash_group_by.h"
 #include "columnar/hash_join.h"
 #include "columnar/project.h"
+#include "jit/pipeline_spec.h"
+#include "scan/fused_pipeline.h"
 #include "scan/shred_scan.h"
 
 namespace raw {
@@ -409,6 +413,239 @@ StatusOr<RowFetcherPtr> BuildFetcher(BuildCtx& ctx, FormatScanContext& tc,
       ctx.shreds, tc.entry->info.name, cols, std::move(inner)));
 }
 
+// =============================================================================
+// Pipeline fusion
+// =============================================================================
+
+/// Column types a fused pipeline kernel can read and compare.
+bool FusableColumnType(DataType type) {
+  return type == DataType::kInt32 || type == DataType::kInt64 ||
+         type == DataType::kFloat32 || type == DataType::kFloat64;
+}
+
+/// Canonicalizes a predicate literal to the column's comparison type with
+/// exactly the coercion CompareExpr::TryConstCompareKernel applies, so the
+/// generated compare is bit-identical to the interpreted typed kernel.
+/// Returns false when that kernel would not handle the predicate (the
+/// interpreted path would widen to double instead) — such predicates keep
+/// the whole pipeline interpreted.
+bool CanonicalizeFusedLiteral(DataType col_type, const Datum& lit,
+                              Datum* out) {
+  switch (col_type) {
+    case DataType::kInt32: {
+      auto v = lit.AsInt64();
+      if (!v.ok()) return false;
+      if (lit.type() != DataType::kInt32 &&
+          (v.value() < INT32_MIN || v.value() > INT32_MAX)) {
+        return false;
+      }
+      *out = Datum::Int32(static_cast<int32_t>(v.value()));
+      return true;
+    }
+    case DataType::kInt64: {
+      auto v = lit.AsInt64();
+      if (!v.ok()) return false;
+      *out = Datum::Int64(v.value());
+      return true;
+    }
+    case DataType::kFloat32: {
+      auto v = lit.AsDouble();
+      if (!v.ok()) return false;
+      const float f = static_cast<float>(v.value());
+      // Generated source spells float literals in hexfloat, which cannot
+      // represent inf/nan.
+      if (!std::isfinite(f)) return false;
+      *out = Datum::Float32(f);
+      return true;
+    }
+    case DataType::kFloat64: {
+      auto v = lit.AsDouble();
+      if (!v.ok()) return false;
+      if (!std::isfinite(v.value())) return false;
+      *out = Datum::Float64(v.value());
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Whether partials of `kind` merge order-insensitively. COUNT/MIN/MAX and
+/// integer SUM are exact under any morsel split; float SUM and AVG depend on
+/// addition order, so they only fuse single-threaded (where one morsel folds
+/// in file order, bit-identical to the interpreted operator).
+bool FusedAggMergeable(AggKind kind, DataType input_type) {
+  switch (kind) {
+    case AggKind::kCount:
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return true;
+    case AggKind::kSum:
+      return input_type == DataType::kInt32 || input_type == DataType::kInt64;
+    case AggKind::kAvg:
+      return false;
+  }
+  return false;
+}
+
+/// Attempts to plan the (single-table, non-grouped) query as one fused
+/// scan→filter→project/aggregate JIT pipeline. Returns a null operator when
+/// any eligibility gate fails or the table's format driver has no fusion
+/// plug-in for its current state — the caller then builds the interpreted
+/// subplan. On success the returned tree replaces the scan, filter, and
+/// project/aggregate stages (LIMIT still applies on top).
+StatusOr<OperatorPtr> TryPlanFusedPipeline(BuildCtx& ctx, const QuerySpec& q,
+                                           TableEntry* entry,
+                                           const std::vector<int>& pred_cols,
+                                           const std::vector<int>& agg_inputs,
+                                           const std::vector<int>& proj_inputs) {
+  const PlannerOptions& opts = *ctx.opts;
+  if (opts.jit_fusion == JitFusion::kOff) return OperatorPtr();
+  if (opts.access_path != AccessPathKind::kJit) return OperatorPtr();
+  if (ctx.jit == nullptr || !ctx.jit->compiler_available()) {
+    return OperatorPtr();
+  }
+  if (!q.group_by.empty()) return OperatorPtr();
+  const bool aggregate = q.is_aggregate();
+  if (!aggregate && q.projections.empty()) return OperatorPtr();
+  const Schema& schema = entry->info.schema;
+
+  // Union of touched table columns, ascending — the PipelineSpec input
+  // order. COUNT(*)-only queries touch no column and stay interpreted (a
+  // fused kernel needs at least one input to drive its loop).
+  std::vector<int> cols = pred_cols;
+  for (int c : agg_inputs) {
+    if (c >= 0) cols.push_back(c);
+  }
+  if (!aggregate) {
+    for (int c : proj_inputs) cols.push_back(c);
+  }
+  cols = SortedUnique(std::move(cols));
+  if (cols.empty()) return OperatorPtr();
+  for (int c : cols) {
+    if (!FusableColumnType(schema.field(c).type)) return OperatorPtr();
+  }
+  auto input_of = [&](int col) {
+    return static_cast<int>(std::lower_bound(cols.begin(), cols.end(), col) -
+                            cols.begin());
+  };
+
+  std::vector<PipelinePredicate> preds;
+  for (size_t i = 0; i < q.predicates.size(); ++i) {
+    PipelinePredicate p;
+    p.input = input_of(pred_cols[i]);
+    p.op = q.predicates[i].op;
+    if (!CanonicalizeFusedLiteral(schema.field(pred_cols[i]).type,
+                                  q.predicates[i].literal, &p.literal)) {
+      return OperatorPtr();
+    }
+    preds.push_back(std::move(p));
+  }
+
+  std::vector<PipelineAgg> aggs;
+  if (aggregate) {
+    for (size_t i = 0; i < q.aggregates.size(); ++i) {
+      PipelineAgg a;
+      a.kind = q.aggregates[i].kind;
+      a.input = agg_inputs[i] >= 0 ? input_of(agg_inputs[i]) : -1;
+      if (ctx.num_threads > 1) {
+        const DataType in_type = agg_inputs[i] >= 0
+                                     ? schema.field(agg_inputs[i]).type
+                                     : DataType::kInt64;
+        if (!FusedAggMergeable(a.kind, in_type)) return OperatorPtr();
+      }
+      aggs.push_back(a);
+    }
+  }
+
+  // Shred-cache full-column hits feed the kernel directly (ctx->in_dense);
+  // at least one input must still come from the file, else the interpreted
+  // cache scan already answers without touching the raw data.
+  FormatScanContext& tc = ctx.Ctx(entry);
+  FusedPipelineRequest req;
+  int file_inputs = 0;
+  for (int c : cols) {
+    PipelineInput in;
+    in.column = c;
+    in.type = schema.field(c).type;
+    ColumnPtr dense;
+    if (opts.use_shred_cache && !tc.HoldsUnwiredBuildClaim()) {
+      auto hit = ctx.shreds->LookupFull(entry->info.name, c);
+      if (hit.ok()) dense = std::move(hit).value();
+    }
+    in.dense = dense != nullptr;
+    if (!in.dense) ++file_inputs;
+    req.inputs.push_back(in);
+    req.dense_columns.push_back(std::move(dense));
+  }
+  if (file_inputs == 0) return OperatorPtr();
+
+  req.predicates = std::move(preds);
+  if (aggregate) {
+    req.mode = PipelineOutputMode::kAggregate;
+    req.aggs = std::move(aggs);
+  } else {
+    req.mode = PipelineOutputMode::kProject;
+    // Output names exactly as the interpreted SelectColumnsOperator emits
+    // them: the bare column name, qualified on duplicates.
+    Schema out;
+    std::set<std::string> used;
+    for (size_t i = 0; i < q.projections.size(); ++i) {
+      req.projections.push_back(input_of(proj_inputs[i]));
+      std::string name = q.projections[i].column;
+      if (!used.insert(name).second) {
+        name = QualifiedName(q.projections[i].table, q.projections[i].column);
+      }
+      out.AddField(std::move(name), schema.field(proj_inputs[i]).type);
+    }
+    req.output_schema = std::move(out);
+  }
+
+  RAW_ASSIGN_OR_RETURN(const FormatDriver* driver, DriverFor(*entry));
+  auto built = driver->BuildFusedPipeline(tc, req);
+  if (!built.ok()) {
+    if (built.status().code() == StatusCode::kNotImplemented) {
+      // No fusion plug-in for this format / table state (cold CSV without a
+      // positional map, quoted files, REF projections, ...): interpreted.
+      return OperatorPtr();
+    }
+    return built.status();
+  }
+  if (opts.count_accesses) entry->NoteColumnAccesses(cols);
+  OperatorPtr op = std::move(built).value();
+
+  if (aggregate) {
+    // Merge the per-morsel partials with the schema and bit-exact values
+    // AggregateOperator would have produced.
+    std::vector<AggSpec> specs;
+    std::vector<DataType> input_types;
+    for (size_t i = 0; i < q.aggregates.size(); ++i) {
+      AggSpec spec;
+      spec.kind = q.aggregates[i].kind;
+      spec.input = -1;  // partial-state columns are positional, not indexed
+      spec.output_name =
+          !q.aggregates[i].output_name.empty()
+              ? q.aggregates[i].output_name
+              : std::string(AggKindToString(q.aggregates[i].kind)) + "(" +
+                    (q.aggregates[i].count_star
+                         ? "*"
+                         : q.aggregates[i].column.ToString()) +
+                    ")";
+      input_types.push_back(q.aggregates[i].kind != AggKind::kCount
+                                ? schema.field(agg_inputs[i]).type
+                                : DataType::kInt64);
+      specs.push_back(std::move(spec));
+    }
+    op = std::make_unique<FusedAggFinalizeOperator>(
+        std::move(op), std::move(specs), std::move(input_types));
+    (*ctx.desc) << "[aggregate] ";
+  } else {
+    (*ctx.desc) << "[project] ";
+  }
+  (*ctx.desc) << "[jit-fused] ";
+  return op;
+}
+
 /// True when late scans (selective row fetches) against `tc`'s table can
 /// navigate to arbitrary rows — delegated to the format driver, which may
 /// claim an adaptive-state build (positional map, block index) as a side
@@ -765,24 +1002,39 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
   }
 
   OperatorPtr op;
+  bool fused = false;
 
   if (!q.is_join()) {
-    SidePlan side;
-    side.entry = entries[0];
-    for (size_t i = 0; i < q.predicates.size(); ++i) {
-      side.predicates.push_back(q.predicates[i]);
-      side.predicate_cols.push_back(pred_col[i]);
-    }
+    // Pipeline fusion first: eligible scan→filter→project/aggregate shapes
+    // compile into one generated loop, replacing the whole interpreted
+    // subplan below (a null return means "not eligible, plan as usual").
+    std::vector<int> agg_inputs, proj_inputs;
     for (const OutCol& c : agg_cols) {
-      if (c.entry != nullptr) side.needed_after.push_back(c.column);
+      agg_inputs.push_back(c.entry != nullptr ? c.column : -1);
     }
-    for (const OutCol& c : proj_cols) side.needed_after.push_back(c.column);
-    for (const OutCol& c : group_cols) side.needed_after.push_back(c.column);
-    side.policy = options.shred_policy;
-    if (side.policy == ShredPolicy::kAdaptive) {
-      side.policy = ResolveAdaptivePolicy(ctx, side);
+    for (const OutCol& c : proj_cols) proj_inputs.push_back(c.column);
+    RAW_ASSIGN_OR_RETURN(
+        op, TryPlanFusedPipeline(ctx, q, entries[0], pred_col, agg_inputs,
+                                 proj_inputs));
+    fused = op != nullptr;
+    if (!fused) {
+      SidePlan side;
+      side.entry = entries[0];
+      for (size_t i = 0; i < q.predicates.size(); ++i) {
+        side.predicates.push_back(q.predicates[i]);
+        side.predicate_cols.push_back(pred_col[i]);
+      }
+      for (const OutCol& c : agg_cols) {
+        if (c.entry != nullptr) side.needed_after.push_back(c.column);
+      }
+      for (const OutCol& c : proj_cols) side.needed_after.push_back(c.column);
+      for (const OutCol& c : group_cols) side.needed_after.push_back(c.column);
+      side.policy = options.shred_policy;
+      if (side.policy == ShredPolicy::kAdaptive) {
+        side.policy = ResolveAdaptivePolicy(ctx, side);
+      }
+      RAW_ASSIGN_OR_RETURN(op, BuildTableSubplan(ctx, side));
     }
-    RAW_ASSIGN_OR_RETURN(op, BuildTableSubplan(ctx, side));
   } else {
     TableEntry* probe_entry = entries[0];
     TableEntry* build_entry = entries[1];
@@ -928,8 +1180,13 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
     }
   }
 
-  // Aggregation / grouping / projection.
-  if (q.is_aggregate()) {
+  // Aggregation / grouping / projection. Fused plans already filtered,
+  // projected, and (via FusedAggFinalizeOperator) aggregated inside the
+  // generated loop; opening the tree here compiles the kernel so its cost is
+  // charged to compile time, exactly like interpreted JIT scans.
+  if (fused) {
+    RAW_RETURN_NOT_OK(op->Open());
+  } else if (q.is_aggregate()) {
     RAW_RETURN_NOT_OK(op->Open());
     const Schema& in = op->output_schema();
     std::vector<AggSpec> specs;
@@ -1007,6 +1264,12 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
     if (tc.loaded != nullptr) plan.resources.push_back(tc.loaded);
   }
   claim_guard.disarm = true;  // wired claims are owned by publish operators
+
+  if (fused) {
+    plans_fused_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    plans_interpreted_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   plan.root = std::move(op);
   plan.description = desc.str();

@@ -1,6 +1,8 @@
 #ifndef RAW_ENGINE_PLANNER_H_
 #define RAW_ENGINE_PLANNER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,12 +29,23 @@ class Planner {
   StatusOr<PhysicalPlan> Plan(const QuerySpec& query,
                               const PlannerOptions& options);
 
+  /// How many plans ran through a fused JIT pipeline vs. interpreted
+  /// operators (observability; serialized by the STATS wire command).
+  int64_t plans_fused() const {
+    return plans_fused_.load(std::memory_order_relaxed);
+  }
+  int64_t plans_interpreted() const {
+    return plans_interpreted_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct TableSide;  // planning state for one table (defined in planner.cc)
 
   Catalog* catalog_;
   JitTemplateCache* jit_;
   ShredCache* shreds_;
+  std::atomic<int64_t> plans_fused_{0};
+  std::atomic<int64_t> plans_interpreted_{0};
 };
 
 /// Internal field naming: every materialized column is qualified as

@@ -1,6 +1,7 @@
 #include "engine/raw_engine.h"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "common/env.h"
 #include "csv/schema_inference.h"
@@ -45,9 +46,26 @@ RawEngine::RawEngine(RawEngineOptions options)
       0;
   options_.result_cache_bytes = GetEnvInt64(
       "RAW_RESULT_CACHE_BYTES", options_.result_cache_bytes, 0, 1ll << 40);
+  options_.result_cache_min_us = GetEnvInt64(
+      "RAW_RESULT_CACHE_MIN_US", options_.result_cache_min_us, 0, 1ll << 40);
   if (options_.result_cache_bytes > 0) {
     result_cache_ =
         std::make_unique<autotune::ResultCache>(options_.result_cache_bytes);
+  }
+  // RAW_JIT_FUSION: 0 = never fuse, 1 = fuse eligible pipelines, auto =
+  // planner's choice (today identical to 1; reserved for cost-model
+  // arbitration). Same strict-parse discipline as the integer knobs.
+  if (const char* fusion_env = std::getenv("RAW_JIT_FUSION")) {
+    const std::string v(fusion_env);
+    if (v == "0") {
+      options_.planner.jit_fusion = JitFusion::kOff;
+    } else if (v == "1") {
+      options_.planner.jit_fusion = JitFusion::kOn;
+    } else if (v == "auto") {
+      options_.planner.jit_fusion = JitFusion::kAuto;
+    } else {
+      WarnMalformedEnvOnce("RAW_JIT_FUSION", v, "0, 1 or auto");
+    }
   }
   // A stale backing file purges every cached structure derived from it.
   catalog_.SetInvalidationCallback([this](const std::string& table) {
@@ -159,6 +177,8 @@ EngineStats RawEngine::Stats() const {
       queries_inflight_.load(std::memory_order_relaxed);
   if (result_cache_ != nullptr) stats.result_cache = result_cache_->Stats();
   if (materializer_ != nullptr) stats.materializer = materializer_->Stats();
+  stats.plans_fused = planner_.plans_fused();
+  stats.plans_interpreted = planner_.plans_interpreted();
   return stats;
 }
 

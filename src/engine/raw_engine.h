@@ -32,6 +32,12 @@ struct RawEngineOptions {
   /// Semantic result-cache budget; 0 disables the cache entirely. The
   /// RAW_RESULT_CACHE_BYTES env knob overrides at engine construction.
   int64_t result_cache_bytes = 0;
+  /// Cost-aware result-cache admission: only results whose execution took at
+  /// least this many microseconds are cached (0 = admit everything). Keeps
+  /// sub-threshold queries — cheaper to recompute than to cache — from
+  /// evicting expensive results. The RAW_RESULT_CACHE_MIN_US env knob
+  /// overrides at engine construction.
+  int64_t result_cache_min_us = 0;
 };
 
 /// Live admission-control counters a serving tier (rawd) maintains on its
@@ -89,6 +95,9 @@ struct EngineStats {
   autotune::ResultCacheStats result_cache;
   /// Background materializer (all zero when disabled).
   autotune::MaterializerStats materializer;
+  /// Plans that ran through a fused JIT pipeline vs. interpreted operators.
+  int64_t plans_fused = 0;
+  int64_t plans_interpreted = 0;
 
   bool jit_compiler_available() const {
     return jit_cache.compiler_available;

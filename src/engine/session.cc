@@ -263,7 +263,13 @@ StatusOr<QueryResult> Session::Execute(const QuerySpec& spec,
   RAW_ASSIGN_OR_RETURN(QueryResult result, Executor::Run(std::move(plan)));
   result.plan_seconds = plan_seconds;
   result.compile_seconds = compile_seconds;
-  if (cacheable && !cache_key.empty()) {
+  // Cost-aware admission: caching a result that took microseconds to compute
+  // just evicts results worth keeping. Below the configured floor the query
+  // re-executes on its next arrival instead.
+  const bool worth_caching =
+      result.execute_seconds * 1e6 >=
+      static_cast<double>(engine_->options_.result_cache_min_us);
+  if (cacheable && worth_caching && !cache_key.empty()) {
     cache->Insert(cache_key, result, spec.tables);
   }
   return result;

@@ -23,6 +23,8 @@ class Catalog;
 class InMemoryTable;
 class JitTemplateCache;
 struct CostParams;
+struct FusedPipelineRequest;
+struct PipelineSpec;
 struct PlannerOptions;
 struct TableEntry;
 
@@ -213,6 +215,27 @@ class FormatDriver {
       const AccessPathSpec& /*spec*/) const {
     return Status::NotImplemented("format '" + std::string(name()) +
                                   "' has no JIT code-generation plug-in");
+  }
+
+  /// Emits the C++ translation unit for a fused scan→filter→project→aggregate
+  /// pipeline kernel (jit/pipeline_spec.h). Default: no fusion plug-in; the
+  /// planner falls back to the interpreted pipeline.
+  virtual StatusOr<std::string> EmitJitPipelineSource(
+      const PipelineSpec& /*spec*/) const {
+    return Status::NotImplemented("format '" + std::string(name()) +
+                                  "' has no JIT pipeline-fusion plug-in");
+  }
+
+  /// Builds the scan-level operator executing a fused pipeline over this
+  /// table (morsel-parallel when ctx.num_threads allows). kProject requests
+  /// emit filtered projected rows; kAggregate requests emit one mergeable
+  /// partial row per morsel, in morsel order. Default: no fusion support —
+  /// NotImplemented routes the planner to the interpreted pipeline.
+  virtual StatusOr<OperatorPtr> BuildFusedPipeline(
+      FormatScanContext& /*ctx*/, const FusedPipelineRequest& /*request*/)
+      const {
+    return Status::NotImplemented("format '" + std::string(name()) +
+                                  "' has no JIT pipeline-fusion plug-in");
   }
 };
 

@@ -20,9 +20,22 @@ StatusOr<std::string> GenerateCsvScanSource(const AccessPathSpec& spec);
 StatusOr<std::string> GenerateBinScanSource(const AccessPathSpec& spec);
 StatusOr<std::string> GenerateRefScanSource(const AccessPathSpec& spec);
 
+class SourceBuilder;
+
 namespace jit_internal {
 /// C type spelling for a DataType ("int32_t", "double", ...).
 std::string_view CTypeName(DataType type);
+
+/// Shared CSV emitters (csv_codegen.cc owns the definitions; the fused
+/// pipeline generator reuses them so fused and plain kernels parse fields
+/// with byte-identical code).
+///
+/// Emits inline code parsing the field at `p` into `target`, leaving `p` at
+/// the field terminator (delimiter or newline).
+void EmitCsvParseField(SourceBuilder* src, DataType type,
+                       const std::string& target, char delim);
+/// Emits code skipping `count` fields including their trailing delimiter.
+void EmitCsvSkipFields(SourceBuilder* src, int count, char delim);
 }  // namespace jit_internal
 
 }  // namespace raw

@@ -66,6 +66,26 @@ typedef struct RawJitContext {
   // --- error reporting -------------------------------------------------------
   int32_t error;      // nonzero => kernel aborted
   int64_t error_row;  // row where the error occurred
+
+  // --- fused pipelines (appended; zero-initialized for plain scan kernels) --
+  // Dense already-cached input columns, parallel to the PipelineSpec input
+  // list: in_dense[k] points at the full column's packed values for dense
+  // inputs and is null for inputs the kernel reads from the file.
+  const void* const* in_dense;
+  // Global row id of the kernel's first row (binary window morsels index
+  // dense columns as dense_row_base + local row).
+  int64_t dense_row_base;
+  // Aggregation state, one slot per PipelineAgg (fused aggregate kernels
+  // consume their whole input in one call and leave partials here).
+  int64_t* agg_count;
+  double* agg_dacc;
+  int64_t* agg_iacc;
+  uint8_t* agg_init;
+  // Scratch row mask (capacity max_rows) for the dense-predicate prepass.
+  uint8_t* sel_mask;
+  // Active KernelTier as an int (0=scalar..3=avx2); >=3 enables the AVX2
+  // mask loop when the CPU supports it.
+  int32_t kernel_tier;
 } RawJitContext;
 
 // Every generated library exports this symbol. Returns the number of rows

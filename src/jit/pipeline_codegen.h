@@ -1,0 +1,35 @@
+#ifndef RAW_JIT_PIPELINE_CODEGEN_H_
+#define RAW_JIT_PIPELINE_CODEGEN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "jit/pipeline_spec.h"
+
+namespace raw {
+
+/// Emits the complete C++ translation unit implementing a fused
+/// scan→filter→project→aggregate pipeline. Dispatches to the per-format
+/// plug-in through FormatDriver::EmitJitPipelineSource, exactly like
+/// GenerateScanSource; a driver without a fusion emitter reports
+/// NotImplemented and the planner keeps the query interpreted.
+StatusOr<std::string> GeneratePipelineSource(const PipelineSpec& spec);
+
+/// Built-in format plug-ins. Each composes the format's scan loop with the
+/// generated predicate/aggregate bodies:
+///  * dense (already-cached) input predicates run in a block mask prepass
+///    emitted twice — a scalar copy and an AVX2 target-attribute copy chosen
+///    at runtime via __builtin_cpu_supports when ctx->kernel_tier allows —
+///    with exact typed compares, so both copies agree bit for bit;
+///  * file-column predicates are tested right after their field is parsed,
+///    skipping the remaining parse work for failing rows;
+///  * aggregate updates replicate AggAccumulator's int/numeric paths
+///    exactly, leaving mergeable partial state in the context arrays.
+StatusOr<std::string> GenerateCsvPipelineSource(const PipelineSpec& spec);
+StatusOr<std::string> GenerateBinPipelineSource(const PipelineSpec& spec);
+StatusOr<std::string> GenerateRefPipelineSource(const PipelineSpec& spec);
+
+}  // namespace raw
+
+#endif  // RAW_JIT_PIPELINE_CODEGEN_H_

@@ -1,0 +1,86 @@
+#include "jit/pipeline_spec.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace raw {
+
+std::string_view PipelineOutputModeToString(PipelineOutputMode mode) {
+  switch (mode) {
+    case PipelineOutputMode::kProject:
+      return "project";
+    case PipelineOutputMode::kAggregate:
+      return "aggregate";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Exact-bit literal encoding: two float literals that print the same but
+/// differ in the last ulp must not share a compiled kernel.
+void AppendLiteralKey(std::ostringstream& os, const Datum& lit) {
+  switch (lit.type()) {
+    case DataType::kInt32:
+      os << "i32:" << lit.int32_value();
+      return;
+    case DataType::kInt64:
+      os << "i64:" << lit.int64_value();
+      return;
+    case DataType::kFloat32: {
+      float v = lit.float32_value();
+      uint32_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      os << "f32:" << std::hex << bits << std::dec;
+      return;
+    }
+    case DataType::kFloat64: {
+      double v = lit.float64_value();
+      uint64_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      os << "f64:" << std::hex << bits << std::dec;
+      return;
+    }
+    default:
+      os << "?:" << lit.ToString();
+      return;
+  }
+}
+
+}  // namespace
+
+std::string PipelineSpec::CacheKey() const {
+  std::ostringstream os;
+  os << "pipe1|" << scan.CacheKey() << "|in=";
+  for (const PipelineInput& in : inputs) {
+    os << in.column << ':' << DataTypeToString(in.type)
+       << (in.dense ? ":d" : ":f") << ',';
+  }
+  os << "|pred=";
+  for (const PipelinePredicate& p : predicates) {
+    os << p.input << ':' << CompareOpToString(p.op) << ':';
+    AppendLiteralKey(os, p.literal);
+    os << ',';
+  }
+  os << "|mode=" << PipelineOutputModeToString(mode) << "|proj=";
+  for (int p : projections) os << p << ',';
+  os << "|agg=";
+  for (const PipelineAgg& a : aggs) {
+    os << AggKindToString(a.kind) << ':' << a.input << ',';
+  }
+  return os.str();
+}
+
+Schema FusedAggPartialSchema(const std::vector<PipelineAgg>& aggs) {
+  Schema schema;
+  for (size_t s = 0; s < aggs.size(); ++s) {
+    std::string base = "agg" + std::to_string(s);
+    schema.AddField(base + "_count", DataType::kInt64);
+    schema.AddField(base + "_dacc", DataType::kFloat64);
+    schema.AddField(base + "_iacc", DataType::kInt64);
+    schema.AddField(base + "_init", DataType::kInt64);
+  }
+  return schema;
+}
+
+}  // namespace raw

@@ -11,6 +11,24 @@ JitTemplateCache::JitTemplateCache(CcCompilerOptions compiler_options)
 StatusOr<CompiledKernel> JitTemplateCache::GetOrCompile(
     const AccessPathSpec& spec) {
   std::string key = spec.CacheKey();
+  std::string hint = std::string(FileFormatToString(spec.format)) + "_" +
+                     HashToHex(Fnv1a64(key));
+  return GetOrCompileKey(key, hint, [&] { return GenerateScanSource(spec); });
+}
+
+StatusOr<CompiledKernel> JitTemplateCache::GetOrCompile(
+    const PipelineSpec& spec) {
+  std::string key = spec.CacheKey();
+  std::string hint = "pipe_" +
+                     std::string(FileFormatToString(spec.scan.format)) + "_" +
+                     HashToHex(Fnv1a64(key));
+  return GetOrCompileKey(key, hint,
+                         [&] { return GeneratePipelineSource(spec); });
+}
+
+StatusOr<CompiledKernel> JitTemplateCache::GetOrCompileKey(
+    const std::string& key, const std::string& hint,
+    const std::function<StatusOr<std::string>()>& emit) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     while (true) {
@@ -37,9 +55,7 @@ StatusOr<CompiledKernel> JitTemplateCache::GetOrCompile(
   // Generation + compilation run unlocked: distinct specs compile in
   // parallel. The in-flight marker must be cleared on every exit path.
   StatusOr<CompiledKernel> kernel = [&]() -> StatusOr<CompiledKernel> {
-    RAW_ASSIGN_OR_RETURN(std::string source, GenerateScanSource(spec));
-    std::string hint = std::string(FileFormatToString(spec.format)) + "_" +
-                       HashToHex(Fnv1a64(key));
+    RAW_ASSIGN_OR_RETURN(std::string source, emit());
     return compiler_.Compile(source, hint);
   }();
 
@@ -47,6 +63,7 @@ StatusOr<CompiledKernel> JitTemplateCache::GetOrCompile(
     std::lock_guard<std::mutex> lock(mutex_);
     inflight_.erase(key);
     if (kernel.ok()) {
+      ++compiles_;
       total_compile_seconds_ += kernel->compile_seconds;
       cache_[key] = *kernel;
     }
@@ -61,6 +78,7 @@ JitCacheStats JitTemplateCache::Stats() const {
   stats.entries = static_cast<int64_t>(cache_.size());
   stats.hits = hits_;
   stats.misses = misses_;
+  stats.compiles = compiles_;
   stats.total_compile_seconds = total_compile_seconds_;
   stats.compiler_available = compiler_available_;
   return stats;

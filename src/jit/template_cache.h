@@ -8,9 +8,13 @@
 #include <string>
 #include <unordered_map>
 
+#include <functional>
+
 #include "jit/access_path_spec.h"
 #include "jit/cc_compiler.h"
 #include "jit/codegen.h"
+#include "jit/pipeline_codegen.h"
+#include "jit/pipeline_spec.h"
 
 namespace raw {
 
@@ -19,6 +23,7 @@ struct JitCacheStats {
   int64_t entries = 0;
   int64_t hits = 0;
   int64_t misses = 0;
+  int64_t compiles = 0;  // successful external-compiler invocations
   double total_compile_seconds = 0;
   bool compiler_available = false;
 };
@@ -39,6 +44,11 @@ class JitTemplateCache {
   /// Returns the kernel for `spec`, generating + compiling on a miss.
   /// On a hit, `kernel.compile_seconds` is 0.
   StatusOr<CompiledKernel> GetOrCompile(const AccessPathSpec& spec);
+
+  /// Same contract for fused pipelines; keyed by PipelineSpec::CacheKey()
+  /// (namespaced so fused kernels never collide with plain scan kernels) and
+  /// deduplicated in flight exactly like scan specs.
+  StatusOr<CompiledKernel> GetOrCompile(const PipelineSpec& spec);
 
   /// Pre-generates without executing (used to overlap compilation with
   /// other planning work, and by tests to validate emitted source).
@@ -66,6 +76,12 @@ class JitTemplateCache {
   void Clear();
 
  private:
+  /// Shared hit/in-flight/compile flow for both spec families. `emit`
+  /// generates the translation unit on a miss.
+  StatusOr<CompiledKernel> GetOrCompileKey(
+      const std::string& key, const std::string& hint,
+      const std::function<StatusOr<std::string>()>& emit);
+
   CcCompiler compiler_;
   bool compiler_available_;
 
@@ -75,6 +91,7 @@ class JitTemplateCache {
   std::set<std::string> inflight_;  // specs some thread is compiling
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t compiles_ = 0;
   double total_compile_seconds_ = 0;
 };
 

@@ -119,9 +119,21 @@ std::string EngineStatsJson(const EngineStats& stats) {
   root.Key("jit_cache");
   {
     ObjectWriter o(os);
+    o.Int("entries", stats.jit_cache.entries);
     o.Int("hits", stats.jit_cache.hits);
     o.Int("misses", stats.jit_cache.misses);
+    o.Int("compiles", stats.jit_cache.compiles);
+    o.Key("compile_seconds");
+    os << stats.jit_cache.total_compile_seconds;
     o.Bool("compiler_available", stats.jit_cache.compiler_available);
+    o.Close();
+  }
+
+  root.Key("planner");
+  {
+    ObjectWriter o(os);
+    o.Int("plans_fused", stats.plans_fused);
+    o.Int("plans_interpreted", stats.plans_interpreted);
     o.Close();
   }
 

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -296,6 +297,75 @@ TEST_F(AutotuneTest, ResultCacheInvalidatedOnFileChange) {
   EXPECT_GT(stats.table("t")->version, version_before);
   // And the fresh answer caches under the new version.
   EXPECT_EQ(Count(engine.get(), sql), kRows + 500);
+}
+
+// Parameterized-query regression: re-executing a PreparedQuery with the same
+// bound values must hit the result cache (BindParams folds the values into
+// the predicate literals, so they are part of the fingerprint), while a
+// different binding is its own entry — never a collision.
+TEST_F(AutotuneTest, PreparedQueryReexecutionHitsResultCache) {
+  RawEngineOptions options;
+  options.result_cache_bytes = 8ll << 20;
+  auto engine = NewEngine(options);
+  auto session = engine->OpenSession();
+  ASSERT_OK_AND_ASSIGN(
+      PreparedQuery prepared,
+      session->Prepare("SELECT COUNT(*) FROM t WHERE col0 < ?"));
+
+  ASSERT_OK_AND_ASSIGN(QueryResult cold,
+                       prepared.Execute({Datum::Int64(500000000)}));
+  ASSERT_OK_AND_ASSIGN(QueryResult warm,
+                       prepared.Execute({Datum::Int64(500000000)}));
+  EXPECT_NE(warm.plan_description.find("[result-cache hit]"),
+            std::string::npos)
+      << warm.plan_description;
+  ASSERT_OK_AND_ASSIGN(Datum cold_count, cold.Scalar());
+  ASSERT_OK_AND_ASSIGN(Datum warm_count, warm.Scalar());
+  EXPECT_EQ(cold_count, warm_count);
+  EXPECT_EQ(engine->Stats().result_cache.hits, 1);
+
+  // A different bound value fingerprints differently: miss, new entry.
+  ASSERT_OK_AND_ASSIGN(QueryResult other,
+                       prepared.Execute({Datum::Int64(100000000)}));
+  EXPECT_EQ(other.plan_description.find("[result-cache hit]"),
+            std::string::npos);
+  ASSERT_OK_AND_ASSIGN(Datum other_count, other.Scalar());
+  EXPECT_NE(cold_count, other_count);
+  EXPECT_EQ(engine->Stats().result_cache.entries, 2);
+  // Re-executing never re-parses; the whole loop above parsed exactly once.
+  EXPECT_EQ(engine->Stats().queries_parsed, 1);
+}
+
+// Cost-aware admission: with a floor far above anything this small table can
+// take, results are computed but never admitted — repeats re-execute instead
+// of evicting results worth keeping. Floor zero admits everything again.
+TEST_F(AutotuneTest, ResultCacheMinMicrosGatesAdmission) {
+  RawEngineOptions options;
+  options.result_cache_bytes = 8ll << 20;
+  options.result_cache_min_us = 600ll * 1000 * 1000;  // ten minutes
+  auto engine = NewEngine(options);
+  ASSERT_NE(engine->result_cache(), nullptr);
+
+  EXPECT_EQ(Count(engine.get()), Count(engine.get()));
+  {
+    const EngineStats stats = engine->Stats();
+    EXPECT_EQ(stats.result_cache.inserted, 0);
+    EXPECT_EQ(stats.result_cache.entries, 0);
+    EXPECT_EQ(stats.result_cache.hits, 0);
+    // Both lookups missed, both executions really ran.
+    EXPECT_EQ(stats.result_cache.misses, 2);
+    EXPECT_EQ(stats.queries_executed, 2);
+  }
+
+  // The env knob overrides the configured floor at engine construction.
+  ASSERT_EQ(setenv("RAW_RESULT_CACHE_MIN_US", "0", /*overwrite=*/1), 0);
+  auto permissive = NewEngine(options);
+  ASSERT_EQ(unsetenv("RAW_RESULT_CACHE_MIN_US"), 0);
+  EXPECT_EQ(permissive->options().result_cache_min_us, 0);
+  Count(permissive.get());
+  EXPECT_EQ(permissive->Stats().result_cache.inserted, 1);
+  Count(permissive.get());
+  EXPECT_EQ(permissive->Stats().result_cache.hits, 1);
 }
 
 // The worker must survive an adversary resetting adaptive state under it

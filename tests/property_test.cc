@@ -333,6 +333,87 @@ TEST(ParallelConsistencyProperty, RandomSchemasParallelEqualsSerial) {
   }
 }
 
+// --- pipeline-fusion invariant ----------------------------------------------------
+
+// For randomly generated schemas and single-table aggregate/projection
+// queries, the fused JIT pipeline must return exactly the interpreted
+// operator pipeline's answer — same rows, same aggregates, same order, at
+// any thread count. Ineligible shapes silently fall back, so every query in
+// this sweep is valid under both settings.
+TEST(FusionConsistencyProperty, RandomQueriesFusedEqualsInterpreted) {
+  ASSERT_OK_AND_ASSIGN(TempDir dir, TempDir::Create("raw_fuseprop_"));
+  {
+    RawEngine probe;
+    if (!probe.Stats().jit_compiler_available()) GTEST_SKIP() << "no compiler";
+  }
+  std::mt19937_64 rng(20260808);
+  for (int iter = 0; iter < 12; ++iter) {
+    const int num_columns = 2 + static_cast<int>(rng() % 7);
+    const int64_t rows = static_cast<int64_t>(rng() % 900);  // 0 happens
+    TableSpec spec = TableSpec::UniformInt32(
+        "q", num_columns, rows, /*seed=*/static_cast<uint64_t>(rng()));
+    // col0 stays int32 so predicates always have a literal the SQL layer and
+    // the fusion canonicalizer agree on; the rest mix types.
+    for (int c = 1; c < num_columns; ++c) {
+      switch (rng() % 4) {
+        case 0:
+          spec.columns[static_cast<size_t>(c)].type = DataType::kFloat64;
+          break;
+        case 1:
+          spec.columns[static_cast<size_t>(c)].type = DataType::kInt64;
+          break;
+        default:
+          break;  // keep int32
+      }
+    }
+    const bool use_csv = rng() % 2 == 0;
+    std::string path = dir.FilePath("q" + std::to_string(iter) +
+                                    (use_csv ? ".csv" : ".bin"));
+    ASSERT_OK(use_csv ? WriteCsvFile(spec, path)
+                      : WriteBinaryFile(spec, path));
+
+    RawEngine engine;
+    ASSERT_OK(use_csv ? engine.RegisterCsv("q", path, spec.ToSchema(),
+                                           CsvOptions(), /*pmap_stride=*/3)
+                      : engine.RegisterBinary("q", path, spec.ToSchema()));
+    const int agg_col = static_cast<int>(rng() % num_columns);
+    const std::string agg = "col" + std::to_string(agg_col);
+    const int64_t lit =
+        *spec.SelectivityLiteral(0, 0.1 + 0.8 * ((rng() % 100) / 100.0))
+             .AsInt64();
+    const std::string where = " FROM q WHERE col0 < " + std::to_string(lit);
+    std::vector<std::string> queries = {
+        "SELECT COUNT(*)" + where,
+        "SELECT MAX(" + agg + "), MIN(" + agg + "), SUM(" + agg + ")" + where,
+        "SELECT AVG(" + agg + ")" + where,
+        "SELECT " + agg + where,
+    };
+    const int threads = 1 + static_cast<int>(rng() % 4);
+    // Warm-up publishes the positional map the fused CSV plug-in needs.
+    PlannerOptions interp;
+    interp.jit_fusion = JitFusion::kOff;
+    interp.num_threads = threads;
+    ASSERT_TRUE(engine.Query(queries[0], interp).ok());
+    PlannerOptions fused = interp;
+    fused.jit_fusion = JitFusion::kOn;
+    for (const std::string& sql : queries) {
+      ASSERT_OK_AND_ASSIGN(QueryResult f, engine.Query(sql, fused));
+      ASSERT_OK_AND_ASSIGN(QueryResult i, engine.Query(sql, interp));
+      ASSERT_EQ(f.num_rows(), i.num_rows()) << "iter " << iter << ": " << sql;
+      ASSERT_EQ(f.num_columns(), i.num_columns());
+      for (int64_t r = 0; r < f.num_rows(); ++r) {
+        for (int c = 0; c < f.num_columns(); ++c) {
+          ASSERT_OK_AND_ASSIGN(Datum fv, f.ValueAt(r, c));
+          ASSERT_OK_AND_ASSIGN(Datum iv, i.ValueAt(r, c));
+          ASSERT_EQ(fv.ToString(), iv.ToString())
+              << "iter " << iter << " threads " << threads << ": " << sql
+              << " at (" << r << "," << c << ")";
+        }
+      }
+    }
+  }
+}
+
 // --- REF cluster-size invariant ---------------------------------------------------
 
 struct RefSweepCase {

@@ -564,9 +564,19 @@ TEST_F(ServeTest, StatsRoundTrip) {
   for (const char* key :
        {"\"shred_cache\"", "\"result_cache\"", "\"materializer\"",
         "\"jit_cache\"", "\"admission\"", "\"queries_executed\"",
-        "\"tables\"", "\"readings\"", "\"scans\"", "\"column_accesses\""}) {
+        "\"tables\"", "\"readings\"", "\"scans\"", "\"column_accesses\"",
+        // JIT observability: compile counters inside jit_cache, plus the
+        // planner's fused-vs-interpreted split.
+        "\"compiles\"", "\"compile_seconds\"", "\"compiler_available\"",
+        "\"planner\"", "\"plans_fused\"", "\"plans_interpreted\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " missing\n"
                                                  << json;
+  }
+  // The two materializing queries above each produced exactly one plan, so
+  // the fused + interpreted split accounts for both.
+  {
+    EngineStats engine_stats = engine_.Stats();
+    EXPECT_GE(engine_stats.plans_fused + engine_stats.plans_interpreted, 2);
   }
   // The queries above went through admission and were counted. (`admitted`
   // increments at submit, strictly before the response reaches us; the
