@@ -13,18 +13,31 @@
 //     (typed OVERLOADED fast-fails from the bounded admission queue) rather
 //     than queueing without bound: p99 of the *answered* queries stays
 //     bounded, and the sheds show up in EngineStats.
+//   Phase 3 (fault loop): closed loop against a CSV table whose backing
+//     file a toucher thread keeps churning (mtime bumps), so queries keep
+//     re-opening and re-scanning the raw file instead of riding the mmap /
+//     shred / result caches — with the fault injector failing a sample of
+//     those re-opens and clients dropping + transparently reconnecting
+//     their sockets. Records the answered-query error fraction and client
+//     retry/reconnect counts so nightly diffs catch robustness-path
+//     regressions.
 //
 // Knobs: RAW_BENCH_ROWS (table size), RAW_BENCH_SERVE_SECONDS (per-phase
 // duration), RAW_BENCH_SERVE_CLIENTS (concurrent clients). Every datapoint
 // also lands in $RAW_BENCH_JSON for the nightly diff.
 
+#include <fcntl.h>
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "bench/bench_common.h"
 #include "common/env.h"
+#include "common/fault_injector.h"
 #include "common/temp_dir.h"
 #include "csv/csv_writer.h"
 #include "serve/client.h"
@@ -176,6 +189,76 @@ LoadResult RunOpenLoop(int port, int clients, double qps, double seconds) {
   return merged;
 }
 
+/// Phase 3 (fault loop): closed-loop clients against a table whose backing
+/// file churns underneath them while the fault injector fails a sample of
+/// the resulting re-opens. Injected faults come back as typed ERROR frames
+/// (counted into the error fraction, never a dropped connection); every
+/// kDropEvery-th query the client drops its own socket first, so the
+/// transparent retry/reconnect/backoff path runs under load and its cost
+/// lands in this phase's throughput.
+struct FaultLoadResult {
+  int64_t answered = 0;
+  int64_t errors = 0;     // typed per-query error responses
+  int64_t transport = 0;  // Query() failures after retries were exhausted
+  int64_t retries = 0;
+  int64_t reconnects = 0;
+
+  int64_t total() const { return answered + errors + transport; }
+  double error_fraction() const {
+    return total() > 0 ? static_cast<double>(errors + transport) / total()
+                       : 0;
+  }
+};
+
+FaultLoadResult RunFaultLoop(int port, int clients, double seconds,
+                             const char* query) {
+  constexpr int64_t kDropEvery = 64;
+  std::vector<FaultLoadResult> per_thread(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  const auto end = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(seconds));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c, port] {
+      FaultLoadResult& r = per_thread[static_cast<size_t>(c)];
+      serve::RawClientOptions copts;
+      copts.max_retries = 2;
+      copts.backoff_initial_ms = 1;
+      copts.backoff_max_ms = 16;
+      copts.jitter_seed = static_cast<uint64_t>(c) + 1;
+      auto client = serve::RawClient::Connect("127.0.0.1", port, copts);
+      if (!client.ok() || !(*client)->Hello().ok()) return;
+      int64_t sent = 0;
+      while (Clock::now() < end) {
+        if (++sent % kDropEvery == 0) (*client)->Close();
+        auto resp = (*client)->Query(query);
+        if (!resp.ok()) {
+          ++r.transport;
+          if (!(*client)->connected()) break;
+          continue;
+        }
+        if (resp->status.ok()) {
+          ++r.answered;
+        } else {
+          ++r.errors;
+        }
+      }
+      r.retries = (*client)->retries();
+      r.reconnects = (*client)->reconnects();
+      if ((*client)->connected()) (*client)->Goodbye();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  FaultLoadResult merged;
+  for (const FaultLoadResult& r : per_thread) {
+    merged.answered += r.answered;
+    merged.errors += r.errors;
+    merged.transport += r.transport;
+    merged.retries += r.retries;
+    merged.reconnects += r.reconnects;
+  }
+  return merged;
+}
+
 void Run() {
   const int64_t rows =
       GetEnvInt64("RAW_BENCH_ROWS", 200000, 1, int64_t{1} << 40);
@@ -253,6 +336,83 @@ void Run() {
                r.shed_fraction());
   }
 
+  // Phase 3: the robustness path. Repeat scans of an unchanged file do no
+  // raw I/O by design (mmap once, then positional maps and column shreds
+  // absorb the rest), so sustained fault pressure needs file churn: a
+  // toucher thread bumps the table file's mtime every few milliseconds,
+  // each bump invalidates the mmap and every structure derived from it, and
+  // the next query re-opens and re-scans the raw file — with the injector
+  // failing a sample of those re-opens with EIO. The nightly diff on these
+  // numbers catches both error-path perf regressions and retry storms.
+  {
+    const std::string hostile_path = dir.FilePath("hostile.csv");
+    const int64_t hostile_rows = std::min<int64_t>(rows, 20000);
+    {
+      CsvWriter writer(hostile_path);
+      CheckOk(writer.Open(), "open hostile csv");
+      for (int64_t i = 0; i < hostile_rows; ++i) {
+        writer.AppendInt32(static_cast<int32_t>(i));
+        writer.AppendFloat64(static_cast<double>(i % 997) * 0.5);
+        writer.EndRow();
+      }
+      CheckOk(writer.Close(), "close hostile csv");
+    }
+    CheckOk(engine.RegisterCsv("hostile", hostile_path, schema),
+            "register hostile");
+    const char* hostile_query =
+        "SELECT COUNT(*), MAX(value) FROM hostile WHERE value > 10.0";
+    {
+      auto client = CheckOk(
+          serve::RawClient::Connect("127.0.0.1", server.port()), "connect");
+      CheckOk(client->Hello(), "hello");
+      auto resp = CheckOk(client->Query(hostile_query), "hostile warmup");
+      CheckOk(resp.status, "hostile warmup result");
+      CheckOk(client->Goodbye(), "goodbye");
+    }
+
+    FaultSpec fault;
+    std::string fault_err;
+    if (!FaultInjector::ParseSpec("eio:path=hostile.csv,sample=0.1,seed=11",
+                                  &fault, &fault_err)) {
+      fprintf(stderr, "fault spec: %s\n", fault_err.c_str());
+      exit(1);
+    }
+    FaultInjector::Global().Arm(fault);
+    std::atomic<bool> stop_toucher{false};
+    std::thread toucher([&] {
+      while (!stop_toucher.load(std::memory_order_relaxed)) {
+        ::utimensat(AT_FDCWD, hostile_path.c_str(), nullptr, 0);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+    FaultLoadResult fr =
+        RunFaultLoop(server.port(), clients, static_cast<double>(phase_seconds),
+                     hostile_query);
+    stop_toucher.store(true, std::memory_order_relaxed);
+    toucher.join();
+    FaultInjector::Global().Disarm();
+
+    printf("\nfault loop (file churn every 5 ms, 10%% of re-opens fail EIO, "
+           "retries=2, drop every 64th query):\n"
+           "  answered=%lld typed-errors=%lld transport-failures=%lld "
+           "error-fraction=%.3f%%\n"
+           "  client retries=%lld reconnects=%lld  answered qps=%.0f\n",
+           static_cast<long long>(fr.answered),
+           static_cast<long long>(fr.errors),
+           static_cast<long long>(fr.transport), 100 * fr.error_fraction(),
+           static_cast<long long>(fr.retries),
+           static_cast<long long>(fr.reconnects),
+           static_cast<double>(fr.answered) /
+               static_cast<double>(phase_seconds));
+    RecordJson("serve/fault-error-fraction", fr.error_fraction());
+    RecordJson("serve/fault-answered-qps",
+               static_cast<double>(fr.answered) /
+                   static_cast<double>(phase_seconds));
+    RecordJson("serve/fault-client-retries", static_cast<double>(fr.retries));
+    RecordJson("serve/fault-client-reconnects",
+               static_cast<double>(fr.reconnects));
+  }
+
   server.Shutdown();
   const EngineStats stats = engine.Stats();
   printf("\nadmission counters: admitted=%lld executed=%lld shed=%lld "
@@ -262,6 +422,9 @@ void Run() {
          static_cast<long long>(stats.admission.shed),
          static_cast<long long>(stats.admission.deadline_expired));
   RecordJson("serve/total-shed", static_cast<double>(stats.admission.shed));
+  printf("robustness counters: io_faults=%lld faults_injected=%lld\n",
+         static_cast<long long>(stats.io_faults),
+         static_cast<long long>(stats.faults_injected));
 
   printf("\nExpect: at 0.5x nothing sheds and p99 stays near the closed-loop\n"
          "latency; at 2x the bounded queue sheds the excess (typed\n"

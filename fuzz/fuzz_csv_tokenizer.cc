@@ -1,0 +1,78 @@
+// Fuzz target: the CSV tokenizer and field parsers over arbitrary bytes.
+//
+// The tokenizer walks attacker-controlled mmap'd file contents byte by byte
+// (quoted and unquoted paths), so the invariant under fuzzing is memory
+// safety and termination: every input tokenizes to completion, every field
+// view stays inside the buffer, and the numeric parsers return a typed
+// Status for garbage instead of reading out of bounds.
+//
+// The first input byte selects the dialect (delimiter / header flag); the
+// rest is the CSV buffer.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "csv/csv_options.h"
+#include "csv/csv_tokenizer.h"
+#include "csv/fast_parse.h"
+
+namespace {
+
+constexpr size_t kMaxInput = 1 << 16;
+constexpr int64_t kMaxRows = 1 << 14;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  if (size > kMaxInput) size = kMaxInput;
+
+  raw::CsvOptions options;
+  const uint8_t dialect = data[0];
+  options.delimiter = (dialect & 1) ? ';' : ',';
+  if (dialect & 2) options.delimiter = '\t';
+  options.has_header = (dialect & 4) != 0;
+
+  const char* begin = reinterpret_cast<const char*>(data) + 1;
+  const char* end = reinterpret_cast<const char*>(data) + size;
+
+  // Row counting and header skip must terminate and stay in bounds.
+  (void)raw::CountRows(begin, end, options);
+  const uint64_t start = raw::DataStartOffset(begin, end, options);
+  if (start > static_cast<uint64_t>(end - begin)) __builtin_trap();
+
+  raw::CsvRowCursor cursor(begin, end, options);
+  cursor.SeekTo(start);
+  std::vector<raw::FieldRef> fields;
+  int64_t rows = 0;
+  while (!cursor.AtEnd() && rows < kMaxRows) {
+    if (!cursor.NextRow(&fields).ok()) break;
+    ++rows;
+    for (const raw::FieldRef& f : fields) {
+      // Views must stay inside the buffer.
+      if (f.size < 0) __builtin_trap();
+      if (f.size > 0 && (f.data < begin || f.data + f.size > end)) {
+        __builtin_trap();
+      }
+      // Garbage must come back as a typed error, never a wild read.
+      (void)raw::ParseInt32(f.data, f.size);
+      (void)raw::ParseInt64(f.data, f.size);
+      (void)raw::ParseFloat64(f.data, f.size);
+      (void)raw::ParseBool(f.data, f.size);
+    }
+  }
+
+  // The low-level quote-aware walk used by positional jumps.
+  const char* p = begin;
+  while (p < end) {
+    const char* next =
+        raw::SkipFieldQuoted(p, end, options.delimiter, options.quote);
+    if (next <= p) {
+      p = raw::SkipRowEnd(raw::RowEnd(p, end), end);
+    } else {
+      p = next;
+    }
+  }
+  return 0;
+}

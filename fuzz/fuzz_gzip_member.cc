@@ -1,0 +1,69 @@
+// Fuzz target: gzip member decompression and the member-cut logic.
+//
+// Three attack surfaces per input:
+//   1. the raw bytes as a gzip member — header/deflate/trailer parsing of
+//      arbitrary garbage must return a typed Status;
+//   2. a valid member compressed from the input, truncated at a cut point
+//      derived from the input — every cut (header, deflate data, the CRC32/
+//      ISIZE trailer) must surface as DataCorruption, never a crash or an
+//      unreported short result;
+//   3. the same member with one bit flipped — the CRC/length validation must
+//      hold the line when inflate itself doesn't notice.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "zcsv/gzip_block.h"
+
+namespace {
+
+constexpr size_t kMaxInput = 1 << 15;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) size = kMaxInput;
+  const char* bytes = reinterpret_cast<const char*>(data);
+
+  // 1. Arbitrary bytes straight into the member decoder.
+  {
+    std::string out;
+    size_t consumed = 0;
+    (void)raw::GunzipMember(bytes, size, &out, &consumed);
+    if (consumed > size) __builtin_trap();
+  }
+  if (size == 0) return 0;
+
+  // 2. Round-trip, then cut mid-member at an input-derived offset.
+  std::string member;
+  if (!raw::GzipCompressMember(std::string_view(bytes, size), &member).ok()) {
+    return 0;
+  }
+  {
+    const size_t cut = data[size - 1] % (member.size() + 1);
+    std::string out;
+    size_t consumed = 0;
+    const raw::Status st =
+        raw::GunzipMember(member.data(), cut, &out, &consumed);
+    if (cut < member.size() && st.ok()) {
+      // A truncated member must never decode as a clean success.
+      __builtin_trap();
+    }
+  }
+
+  // 3. Flip one bit; either inflate errors out or the trailer check does —
+  // a clean success must reproduce the original bytes exactly.
+  {
+    std::string flipped = member;
+    flipped[data[0] % flipped.size()] ^= char(0x40);
+    std::string out;
+    size_t consumed = 0;
+    const raw::Status st =
+        raw::GunzipMember(flipped.data(), flipped.size(), &out, &consumed);
+    if (st.ok() && out != std::string_view(bytes, size)) __builtin_trap();
+  }
+  return 0;
+}

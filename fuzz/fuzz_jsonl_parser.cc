@@ -1,0 +1,72 @@
+// Fuzz target: the JSONL row parser over arbitrary bytes.
+//
+// JsonlRowParser::ParseRow walks attacker-controlled line content (flat JSON
+// objects with a schema-keyed field match); the invariants are memory safety,
+// termination, typed errors for structural garbage, and field views that
+// never escape the input buffer. String escape decoding (including \uXXXX
+// surrogate pairs) runs on every quoted field that parsed.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/schema.h"
+#include "common/types.h"
+#include "jsonl/jsonl_parser.h"
+
+namespace {
+
+constexpr size_t kMaxInput = 1 << 16;
+constexpr int kMaxRows = 1 << 14;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) size = kMaxInput;
+  const char* begin = reinterpret_cast<const char*>(data);
+  const char* end = begin + size;
+
+  static const raw::Schema* schema =
+      new raw::Schema{{"a", raw::DataType::kInt32},
+                      {"b", raw::DataType::kString},
+                      {"c", raw::DataType::kFloat64}};
+  static const raw::JsonlRowParser* parser = new raw::JsonlRowParser(*schema);
+
+  (void)raw::CountJsonlRows(begin, end);
+
+  raw::JsonlField fields[3];
+  std::string unescaped;
+  const char* p = begin;
+  int rows = 0;
+  while (p < end && rows < kMaxRows) {
+    const char* before = p;
+    const raw::Status st = parser->ParseRow(&p, end, begin, fields);
+    if (st.ok()) {
+      for (const raw::JsonlField& f : fields) {
+        if (!f.present) continue;
+        if (f.size < 0) __builtin_trap();
+        if (f.size > 0 && (f.data < begin || f.data + f.size > end)) {
+          __builtin_trap();
+        }
+        if (f.offset > static_cast<uint64_t>(size)) __builtin_trap();
+        if (f.quoted && f.escaped) {
+          // Escape decoding must reject bad escapes, not emit wild bytes.
+          (void)raw::UnescapeJsonString(f.data, f.size, &unescaped);
+        }
+      }
+    } else {
+      // Structural failure: resynchronize at the next line, as the tolerant
+      // scan policies do.
+      while (p < end && *p != '\n') ++p;
+      if (p < end) ++p;
+    }
+    if (p <= before) break;  // no forward progress — stop, don't spin
+    ++rows;
+  }
+
+  // The scalar-value parser on the raw buffer head.
+  raw::JsonlField value;
+  const char* vp = begin;
+  (void)raw::ParseJsonValue(&vp, end, &value);
+  return 0;
+}

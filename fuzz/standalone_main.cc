@@ -1,0 +1,49 @@
+// Standalone driver for the fuzz harnesses when the toolchain has no
+// libFuzzer (gcc, or clang without -fsanitize=fuzzer). Replays each file
+// passed on the command line — the checked-in corpus in CI — through the
+// harness entry point once, so the same fuzz_*.cc sources build and run
+// everywhere; under clang the real libFuzzer engine links in instead and
+// this file is not compiled.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReadFile(const char* path, std::vector<uint8_t>* out) {
+  FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s corpus-file...\n", argv[0]);
+    return 2;
+  }
+  std::vector<uint8_t> input;
+  for (int i = 1; i < argc; ++i) {
+    if (!ReadFile(argv[i], &input)) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 1;
+    }
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("replayed %d corpus inputs\n", argc - 1);
+  return 0;
+}

@@ -4,6 +4,7 @@
 //        [--interactive-concurrent N] [--batch-concurrent N]
 //        [--max-queued N] [--workers N]
 //        [--autotune=0|1] [--result-cache-mb N]
+//        [--malformed-rows=fail|skip|null-fill]
 //
 // Registered files are queried in place per the RAW in-situ model; --demo
 // generates and registers a small synthetic CSV table named `demo`
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/scan_health.h"
 #include "common/temp_dir.h"
 #include "csv/csv_writer.h"
 #include "engine/raw_engine.h"
@@ -34,7 +36,8 @@ int Usage(const char* argv0) {
           "usage: %s [--port N] [--csv NAME=PATH]... [--demo[=ROWS]]\n"
           "          [--interactive-concurrent N] [--batch-concurrent N]\n"
           "          [--max-queued N] [--workers N]\n"
-          "          [--autotune=0|1] [--result-cache-mb N]\n",
+          "          [--autotune=0|1] [--result-cache-mb N]\n"
+          "          [--malformed-rows=fail|skip|null-fill]\n",
           argv0);
   return 2;
 }
@@ -63,6 +66,7 @@ int main(int argc, char** argv) {
   // still win over these flags (applied inside the engine constructor).
   int autotune = 1;
   int result_cache_mb = 64;
+  raw::MalformedRowPolicy malformed_rows = raw::MalformedRowPolicy::kFail;
   std::vector<std::pair<std::string, std::string>> csvs;
 
   for (int i = 1; i < argc; ++i) {
@@ -78,6 +82,12 @@ int main(int argc, char** argv) {
       auto v = raw::ParseInt64Strict(arg + 18, 0, 1 << 20);
       if (!v.has_value()) return Usage(argv[0]);
       result_cache_mb = static_cast<int>(*v);
+      continue;
+    }
+    if (std::strncmp(arg, "--malformed-rows=", 17) == 0) {
+      auto p = raw::ParseMalformedRowPolicy(arg + 17);
+      if (!p.has_value()) return Usage(argv[0]);
+      malformed_rows = *p;
       continue;
     }
     if (ParseIntFlag(arg, "--interactive-concurrent",
@@ -119,6 +129,7 @@ int main(int argc, char** argv) {
   engine_options.autotune.enabled = autotune != 0;
   engine_options.result_cache_bytes =
       static_cast<int64_t>(result_cache_mb) << 20;
+  engine_options.planner.malformed_row_policy = malformed_rows;
   raw::RawEngine engine(engine_options);
 
   std::optional<raw::TempDir> demo_dir;

@@ -7,8 +7,13 @@ StatusOr<std::unique_ptr<BinaryReader>> BinaryReader::Open(
   RAW_ASSIGN_OR_RETURN(std::unique_ptr<MmapFile> file, MmapFile::Open(path));
   if (layout.row_width() > 0 &&
       static_cast<int64_t>(file->size()) % layout.row_width() != 0) {
-    return Status::ParseError(
-        "binary file size is not a multiple of the row width: " + path);
+    // A fixed-layout file that isn't a whole number of rows was truncated or
+    // written by a different schema — either way the trailing bytes are not
+    // trustworthy, so refuse the whole file with a typed error.
+    return Status::DataCorruption(
+        "binary file '" + path + "' holds " + std::to_string(file->size()) +
+        " bytes, not a multiple of the " +
+        std::to_string(layout.row_width()) + "-byte row width");
   }
   int64_t rows = layout.NumRows(static_cast<int64_t>(file->size()));
   return std::unique_ptr<BinaryReader>(

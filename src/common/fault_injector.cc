@@ -1,0 +1,190 @@
+#include "common/fault_injector.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/env.h"
+
+namespace raw {
+
+namespace {
+
+bool ParseDouble(std::string_view text, double* out) {
+  std::string buf(text);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty()) return false;
+  *out = v;
+  return true;
+}
+
+// xorshift64* — tiny, seedable, good enough for fault sampling.
+uint64_t NextRng(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+}  // namespace
+
+std::string_view FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kEio:
+      return "eio";
+    case FaultKind::kShortRead:
+      return "short";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kBitFlip:
+      return "bitflip";
+  }
+  return "none";
+}
+
+bool FaultInjector::ParseSpec(std::string_view text, FaultSpec* spec,
+                              std::string* error) {
+  FaultSpec out;
+  size_t colon = text.find(':');
+  std::string_view kind = text.substr(0, colon);
+  if (kind == "eio") {
+    out.kind = FaultKind::kEio;
+  } else if (kind == "short") {
+    out.kind = FaultKind::kShortRead;
+  } else if (kind == "truncate") {
+    out.kind = FaultKind::kTruncate;
+  } else if (kind == "bitflip") {
+    out.kind = FaultKind::kBitFlip;
+  } else {
+    if (error) *error = "unknown fault kind '" + std::string(kind) + "'";
+    return false;
+  }
+  if (colon != std::string_view::npos) {
+    std::string_view rest = text.substr(colon + 1);
+    while (!rest.empty()) {
+      size_t comma = rest.find(',');
+      std::string_view kv = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view()
+                                             : rest.substr(comma + 1);
+      size_t eq = kv.find('=');
+      if (eq == std::string_view::npos) {
+        if (error) *error = "expected key=value, got '" + std::string(kv) + "'";
+        return false;
+      }
+      std::string_view key = kv.substr(0, eq);
+      std::string_view val = kv.substr(eq + 1);
+      const std::string val_str(val);
+      if (key == "path") {
+        out.path_substr = val_str;
+      } else if (key == "offset") {
+        auto n = ParseInt64Strict(val_str, 0, INT64_MAX);
+        if (!n) {
+          if (error) *error = "offset must be a non-negative integer";
+          return false;
+        }
+        out.offset = *n;
+      } else if (key == "nth") {
+        auto n = ParseInt64Strict(val_str, 1, INT64_MAX);
+        if (!n) {
+          if (error) *error = "nth must be a positive integer";
+          return false;
+        }
+        out.nth = *n;
+      } else if (key == "max") {
+        auto n = ParseInt64Strict(val_str, 0, INT64_MAX);
+        if (!n) {
+          if (error) *error = "max must be a non-negative integer";
+          return false;
+        }
+        out.max_fires = *n;
+      } else if (key == "seed") {
+        auto n = ParseInt64Strict(val_str, 0, INT64_MAX);
+        if (!n) {
+          if (error) *error = "seed must be a non-negative integer";
+          return false;
+        }
+        out.seed = static_cast<uint64_t>(*n);
+      } else if (key == "sample") {
+        double p = 0;
+        if (!ParseDouble(val, &p) || p < 0 || p > 1) {
+          if (error) *error = "sample must be in [0,1]";
+          return false;
+        }
+        out.sample = p;
+      } else {
+        if (error) {
+          *error = "bad fault option '" + std::string(key) + "=" + val_str + "'";
+        }
+        return false;
+      }
+    }
+  }
+  *spec = out;
+  return true;
+}
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("RAW_FAULT_INJECT");
+  if (env == nullptr || env[0] == '\0') return;
+  FaultSpec spec;
+  std::string error;
+  if (!ParseSpec(env, &spec, &error)) {
+    std::fprintf(stderr, "raw: ignoring malformed RAW_FAULT_INJECT=%s (%s)\n",
+                 env, error.c_str());
+    return;
+  }
+  Arm(spec);
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = std::move(spec);
+  matches_ = 0;
+  spec_fired_ = 0;
+  rng_ = spec_.seed ? spec_.seed : 0x9e3779b97f4a7c15ULL;
+  enabled_.store(spec_.kind != FaultKind::kNone, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  spec_ = FaultSpec();
+}
+
+FaultKind FaultInjector::Check(std::string_view path, int64_t size,
+                               int64_t* offset) {
+  if (!enabled()) return FaultKind::kNone;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spec_.kind == FaultKind::kNone) return FaultKind::kNone;
+  if (!spec_.path_substr.empty() &&
+      path.find(spec_.path_substr) == std::string_view::npos) {
+    return FaultKind::kNone;
+  }
+  if (++matches_ < spec_.nth) return FaultKind::kNone;
+  if (spec_fired_ >= spec_.max_fires) return FaultKind::kNone;
+  if (spec_.sample < 1.0) {
+    double draw = static_cast<double>(NextRng(&rng_) >> 11) * 0x1p-53;
+    if (draw >= spec_.sample) return FaultKind::kNone;
+  }
+  ++spec_fired_;
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  if (offset != nullptr) {
+    int64_t off = spec_.offset >= 0 ? spec_.offset : size / 2;
+    if (size > 0 && off >= size) off = size - 1;
+    if (off < 0) off = 0;
+    *offset = off;
+  }
+  return spec_.kind;
+}
+
+}  // namespace raw

@@ -1,0 +1,102 @@
+#ifndef RAW_COMMON_FAULT_INJECTOR_H_
+#define RAW_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <climits>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace raw {
+
+/// Failure modes the injector can impose on a file operation. Raw files are
+/// hostile input: the engine does not own them, so every one of these happens
+/// in production — the injector makes each reproducible in a unit test.
+enum class FaultKind {
+  kNone = 0,
+  /// The open/read fails outright with an I/O error.
+  kEio,
+  /// A read returns fewer bytes than requested (pread paths); for mmap
+  /// opens this behaves like kTruncate (a mapping has no partial read).
+  kShortRead,
+  /// The file appears cut off at `offset` bytes (default: half its size).
+  kTruncate,
+  /// One byte at `offset` (default: the middle byte) has a bit flipped.
+  kBitFlip,
+};
+
+std::string_view FaultKindToString(FaultKind kind);
+
+/// A single armed fault. Matching is by path substring; `nth` selects which
+/// matching operation starts firing (1 = the first), `max_fires` caps how
+/// many fire, and `sample` < 1 turns deterministic firing into seeded
+/// pseudo-random sampling (for whole-suite chaos legs).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  std::string path_substr;     // empty = match every path
+  int64_t offset = -1;         // kTruncate/kBitFlip position; -1 = midpoint
+  int64_t nth = 1;             // first matching op that fires (1-based)
+  int64_t max_fires = INT64_MAX;
+  double sample = 1.0;         // firing probability once eligible
+  uint64_t seed = 0;           // sampling RNG seed (deterministic)
+};
+
+/// Deterministic I/O fault-injection harness (process-wide singleton).
+///
+/// The engine's file paths — MmapFile::Open, ReadFileToString, the REF
+/// reader's pread loop — consult the injector before touching the kernel.
+/// Disarmed (the default), the hook is one relaxed atomic load; armed, each
+/// matching operation counts up to the spec and fires the configured fault.
+///
+/// Arming: programmatic via Arm()/Disarm() (tests), or the RAW_FAULT_INJECT
+/// environment variable parsed once at first use:
+///
+///   RAW_FAULT_INJECT="kind[:key=value[,key=value...]]"
+///   kinds:  eio | short | truncate | bitflip
+///   keys:   path=<substring>  offset=<bytes>  nth=<n>  max=<n>
+///           sample=<0..1>  seed=<n>
+///
+///   RAW_FAULT_INJECT=eio:path=lineitem.csv,nth=2
+///   RAW_FAULT_INJECT=truncate:path=.ref,offset=4096
+///   RAW_FAULT_INJECT=eio:sample=0.01,seed=7
+///
+/// A malformed spec is reported to stderr once and ignored (the engine never
+/// refuses to start over an observability knob).
+class FaultInjector {
+ public:
+  /// The process-wide injector; first call parses RAW_FAULT_INJECT.
+  static FaultInjector& Global();
+
+  void Arm(FaultSpec spec);
+  void Disarm();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Faults fired since process start (armed specs only).
+  int64_t fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  /// Consulted by a file operation on `path`. Returns the fault to apply
+  /// (kNone = proceed normally) and, for kTruncate/kBitFlip, the byte
+  /// offset to apply it at given the operation spans `size` bytes.
+  FaultKind Check(std::string_view path, int64_t size, int64_t* offset);
+
+  /// Parses a RAW_FAULT_INJECT-syntax spec string into `*spec`; false (with
+  /// *error set) on malformed input. Exposed for tests.
+  static bool ParseSpec(std::string_view text, FaultSpec* spec,
+                        std::string* error);
+
+ private:
+  FaultInjector();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> fired_{0};
+  mutable std::mutex mu_;
+  FaultSpec spec_;          // guarded by mu_
+  int64_t matches_ = 0;     // matching ops seen since Arm (guarded by mu_)
+  int64_t spec_fired_ = 0;  // fires charged to the current spec
+  uint64_t rng_ = 0;        // sampling state (guarded by mu_)
+};
+
+}  // namespace raw
+
+#endif  // RAW_COMMON_FAULT_INJECTOR_H_

@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault_injector.h"
+
 namespace raw {
 
 namespace {
@@ -25,12 +27,37 @@ StatusOr<std::unique_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
     return Status::IOError(ErrnoMessage("cannot stat", path));
   }
   size_t size = static_cast<size_t>(st.st_size);
+
+  // Fault-injection hook: every mapped open funnels through here, so arming
+  // the injector perturbs any format's view of its backing file.
+  FaultKind fault = FaultKind::kNone;
+  int64_t fault_offset = 0;
+  auto& injector = FaultInjector::Global();
+  if (injector.enabled()) {
+    fault = injector.Check(path, static_cast<int64_t>(size), &fault_offset);
+    if (fault == FaultKind::kEio) {
+      ::close(fd);
+      return Status::IOError("injected EIO opening '" + path + "'");
+    }
+    if (fault == FaultKind::kTruncate || fault == FaultKind::kShortRead) {
+      // A mapping has no partial read; both kinds present a cut-off file.
+      size = static_cast<size_t>(fault_offset);
+    }
+  }
+
   const char* data = nullptr;
   if (size > 0) {
-    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    // PROT_WRITE on a MAP_PRIVATE mapping gives the bit-flip fault a
+    // copy-on-write page to scribble on without touching the real file.
+    int prot = PROT_READ;
+    if (fault == FaultKind::kBitFlip) prot |= PROT_WRITE;
+    void* addr = ::mmap(nullptr, size, prot, MAP_PRIVATE, fd, 0);
     if (addr == MAP_FAILED) {
       ::close(fd);
       return Status::IOError(ErrnoMessage("cannot mmap", path));
+    }
+    if (fault == FaultKind::kBitFlip) {
+      static_cast<char*>(addr)[fault_offset] ^= 0x40;
     }
     data = static_cast<const char*>(addr);
   }

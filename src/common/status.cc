@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDataCorruption:
+      return "DataCorruption";
+    case StatusCode::kProtocolError:
+      return "ProtocolError";
   }
   return "Unknown";
 }

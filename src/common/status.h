@@ -21,6 +21,16 @@ enum class StatusCode : int {
   kNotImplemented = 6,
   kInternal = 7,
   kResourceExhausted = 8,
+  /// The bytes read from a raw file do not match what the engine's adaptive
+  /// state says should be there: a shrunk file under a published positional
+  /// map, a gzip member failing its CRC, a binary file whose size stopped
+  /// being a multiple of the row width. Distinct from kParseError (the bytes
+  /// are well-formed text that doesn't parse) and kIOError (the read itself
+  /// failed).
+  kDataCorruption = 9,
+  /// A wire-protocol violation: a frame truncated by a mid-frame peer close,
+  /// an oversized length prefix, an unknown message type.
+  kProtocolError = 10,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -62,6 +72,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataCorruption(std::string msg) {
+    return Status(StatusCode::kDataCorruption, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -158,8 +158,12 @@ bool TableEntry::TryClaimPmapBuild() {
     if (pmap_ != nullptr) return false;
   }
   bool expected = false;
-  return pmap_building_.compare_exchange_strong(expected, true,
-                                                std::memory_order_acq_rel);
+  if (!pmap_building_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+    return false;
+  }
+  pmap_claim_version_.store(version(), std::memory_order_release);
+  return true;
 }
 
 void TableEntry::AbandonPmapBuild() {
@@ -167,9 +171,15 @@ void TableEntry::AbandonPmapBuild() {
 }
 
 void TableEntry::PublishPmap(std::shared_ptr<const PositionalMap> map) {
+  // A map built against bytes that changed mid-scan (CheckStale bumped the
+  // epoch since the claim) indexes the old file; publishing it would hand
+  // later queries offsets into unrelated data. Drop it silently — the next
+  // query re-claims and rebuilds against the fresh mapping.
+  const bool fresh =
+      pmap_claim_version_.load(std::memory_order_acquire) == version();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (pmap_ == nullptr && map != nullptr && !map->empty()) {
+    if (fresh && pmap_ == nullptr && map != nullptr && !map->empty()) {
       pmap_ = std::move(map);
       SetRowCountIfUnknown(pmap_->num_rows());
     }
@@ -188,8 +198,12 @@ bool TableEntry::TryClaimFormatStateBuild() {
     if (format_state_ != nullptr) return false;
   }
   bool expected = false;
-  return format_state_building_.compare_exchange_strong(
-      expected, true, std::memory_order_acq_rel);
+  if (!format_state_building_.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return false;
+  }
+  format_state_claim_version_.store(version(), std::memory_order_release);
+  return true;
 }
 
 void TableEntry::AbandonFormatStateBuild() {
@@ -198,9 +212,13 @@ void TableEntry::AbandonFormatStateBuild() {
 
 void TableEntry::PublishFormatState(
     std::shared_ptr<const FormatAdaptiveState> state) {
+  // Same mutate-under-claim guard as PublishPmap: an index of the old bytes
+  // must never describe the remapped file.
+  const bool fresh = format_state_claim_version_.load(
+                         std::memory_order_acquire) == version();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (format_state_ == nullptr && state != nullptr) {
+    if (fresh && format_state_ == nullptr && state != nullptr) {
       format_state_ = std::move(state);
     }
   }

@@ -225,9 +225,14 @@ struct TableEntry {
 
   std::shared_ptr<const PositionalMap> pmap_;   // published map (complete)
   std::atomic<bool> pmap_building_{false};
+  /// Staleness epoch recorded when the build claim was granted; Publish*
+  /// refuses the result if the file changed in between (the map indexes
+  /// bytes that no longer exist).
+  std::atomic<int64_t> pmap_claim_version_{-1};
 
   std::shared_ptr<const FormatAdaptiveState> format_state_;  // published
   std::atomic<bool> format_state_building_{false};
+  std::atomic<int64_t> format_state_claim_version_{-1};
 
   std::shared_ptr<const InMemoryTable> loaded_;  // DBMS baseline storage
   double load_seconds_ = 0;

@@ -39,6 +39,13 @@ StatusOr<QueryResult> Executor::Run(PhysicalPlan plan) {
   // Execution-time facts (join-build structure stats, ...) append once the
   // drain is done.
   result.plan_description = plan.description + plan.RuntimeDescription();
+  if (plan.health != nullptr) {
+    result.rows_skipped =
+        plan.health->rows_skipped.load(std::memory_order_relaxed);
+    result.rows_nulled =
+        plan.health->rows_nulled.load(std::memory_order_relaxed);
+    result.io_faults = plan.health->io_faults.load(std::memory_order_relaxed);
+  }
   return result;
 }
 

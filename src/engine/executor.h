@@ -26,6 +26,12 @@ struct QueryResult {
                                // and, for the DBMS baseline, data loading)
   double compile_seconds = 0;  // JIT compilation charged to this query
   std::string plan_description;
+  /// Robustness totals copied from the plan's ScanHealth after the drain:
+  /// rows dropped / zero-filled under a tolerant malformed-row policy, and
+  /// I/O faults (truncation, corruption) the scans detected and reported.
+  int64_t rows_skipped = 0;
+  int64_t rows_nulled = 0;
+  int64_t io_faults = 0;
 
   int64_t num_rows() const { return table.num_rows(); }
   int num_columns() const { return table.num_columns(); }

@@ -58,8 +58,13 @@ StatusOr<OperatorPtr> BuildCsvSequentialScan(FormatScanContext& tc,
     build = tc.building_pmap.get();
   }
   (*tc.desc) << "[seq-scan " << info.name << "] ";
-  const bool use_jit = opts.access_path == AccessPathKind::kJit &&
-                       CsvJitEligible(*entry, cols);
+  // Generated kernels fail hard on the first malformed value, so tolerant
+  // row policies always take the interpreted scan (the planner already
+  // downgrades access_path; this guard keeps the driver safe on its own).
+  const bool use_jit =
+      opts.access_path == AccessPathKind::kJit &&
+      opts.malformed_row_policy == MalformedRowPolicy::kFail &&
+      CsvJitEligible(*entry, cols);
 
   auto make_jit_spec = [&] {
     AccessPathSpec spec;
@@ -79,6 +84,8 @@ StatusOr<OperatorPtr> BuildCsvSequentialScan(FormatScanContext& tc,
     spec.options = info.csv_options;
     spec.quoted = entry->csv_quoted();
     spec.batch_rows = opts.batch_rows;
+    spec.policy = opts.malformed_row_policy;
+    spec.health = tc.health;
     return spec;
   };
   auto wrap_publish = [&](OperatorPtr op) -> OperatorPtr {
@@ -162,8 +169,10 @@ StatusOr<OperatorPtr> BuildCsvPositionalScan(FormatScanContext& tc,
     if (t <= cols.front()) anchor = t;
   }
   (*tc.desc) << "[pmap-scan " << info.name << " anchor=" << anchor << "] ";
-  const bool use_jit = opts.access_path == AccessPathKind::kJit &&
-                       CsvJitEligible(*entry, cols);
+  const bool use_jit =
+      opts.access_path == AccessPathKind::kJit &&
+      opts.malformed_row_policy == MalformedRowPolicy::kFail &&
+      CsvJitEligible(*entry, cols);
 
   auto make_jit_args = [&](RowSet rows) -> StatusOr<JitScanArgs> {
     RAW_RETURN_NOT_OK(FillPositions(pmap, pmap.SlotFor(anchor), &rows));
@@ -193,6 +202,7 @@ StatusOr<OperatorPtr> BuildCsvPositionalScan(FormatScanContext& tc,
     spec.use_pmap = &pmap;
     spec.anchor_column = anchor;
     spec.row_set = std::move(rows);
+    spec.health = tc.health;
     return WrapQualified(std::make_unique<InsituCsvScanOperator>(
                              entry->mmap(), std::move(spec)),
                          qualified);
@@ -365,6 +375,7 @@ class CsvFormatDriver final : public FormatDriver {
     spec.quoted = entry->csv_quoted();
     spec.use_pmap = pmap;
     spec.anchor_column = anchor;
+    spec.health = tc.health;
     auto fetcher =
         std::make_unique<InsituRowFetcher>(entry->mmap(), std::move(spec));
     fetcher->set_fields(qualified);

@@ -46,6 +46,8 @@ StatusOr<OperatorPtr> BuildJsonlSequentialScan(FormatScanContext& tc,
     spec.file_schema = info.schema;
     spec.outputs = cols;
     spec.batch_rows = opts.batch_rows;
+    spec.policy = opts.malformed_row_policy;
+    spec.health = tc.health;
     return spec;
   };
   auto wrap_publish = [&](OperatorPtr op) -> OperatorPtr {
@@ -108,6 +110,7 @@ StatusOr<OperatorPtr> BuildJsonlPositionalScan(FormatScanContext& tc,
     spec.batch_rows = opts.batch_rows;
     spec.use_pmap = &pmap;
     spec.row_set = std::move(rows);
+    spec.health = tc.health;
     return WrapQualified(
         std::make_unique<JsonlScanOperator>(entry->mmap(), std::move(spec)),
         qualified);
@@ -241,6 +244,7 @@ class JsonlFormatDriver final : public FormatDriver {
     spec.file_schema = tc.entry->info.schema;
     spec.outputs = cols;
     spec.use_pmap = pmap;
+    spec.health = tc.health;
     auto fetcher =
         std::make_unique<JsonlRowFetcher>(tc.entry->mmap(), std::move(spec));
     fetcher->set_fields(qualified);

@@ -137,6 +137,8 @@ class CsvGzFormatDriver final : public FormatDriver {
       spec.outputs = cols;
       spec.options = info.csv_options;
       spec.batch_rows = opts.batch_rows;
+      spec.policy = opts.malformed_row_policy;
+      spec.health = tc.health;
       return spec;
     };
 

@@ -8,6 +8,7 @@
 
 #include "columnar/operator.h"
 #include "common/deadline.h"
+#include "common/scan_health.h"
 #include "scan/access_path.h"
 
 namespace raw {
@@ -82,6 +83,12 @@ struct PlannerOptions {
   /// shapes (joins, group-by, string/bool predicates, formats without a
   /// fusion plug-in) always fall back to interpreted operators.
   JitFusion jit_fusion = JitFusion::kAuto;
+  /// What scans do with rows whose raw bytes fail to parse or convert
+  /// (RAW_MALFORMED_ROWS / per-query override). Tolerant policies (kSkip,
+  /// kNullFill) force full-column interpreted scans and disable positional-
+  /// map building, shred caching, and pipeline fusion — skipping compacts
+  /// row ids, which late scans and cached shreds would misinterpret.
+  MalformedRowPolicy malformed_row_policy = MalformedRowPolicy::kFail;
 };
 
 /// Resolves PlannerOptions::num_threads (see above); always >= 1.
@@ -100,6 +107,12 @@ struct PhysicalPlan {
   /// RawEngine::ResetAdaptiveState() drops the engine's own references
   /// mid-stream.
   std::vector<std::shared_ptr<const void>> resources;
+
+  /// Robustness counters scans of this plan update (rows skipped/null-filled
+  /// under a tolerant malformed-row policy, I/O faults observed). Owned here
+  /// so scan specs can hold a raw pointer for the plan's whole lifetime; the
+  /// executor folds the totals into the query result.
+  std::shared_ptr<ScanHealth> health;
 
   /// Describers invoked after the plan drains, appended to the reported
   /// plan description — for facts only known at execution time (hash-join

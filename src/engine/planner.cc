@@ -251,6 +251,7 @@ struct BuildCtx {
   std::ostringstream* desc;
   int num_threads = 1;  // resolved from opts->num_threads once per plan
   std::map<TableEntry*, FormatScanContext>* tables = nullptr;
+  ScanHealth* health = nullptr;  // owned by the PhysicalPlan under build
 
   FormatScanContext& Ctx(TableEntry* entry) {
     FormatScanContext& tc = (*tables)[entry];
@@ -260,6 +261,7 @@ struct BuildCtx {
       tc.jit = jit;
       tc.num_threads = num_threads;
       tc.desc = desc;
+      tc.health = health;
       // Snapshot the adaptive state once when planning starts, so the whole
       // plan sees one consistent view even while other sessions publish
       // maps, load copies, or reset the engine.
@@ -501,6 +503,11 @@ StatusOr<OperatorPtr> TryPlanFusedPipeline(BuildCtx& ctx, const QuerySpec& q,
                                            const std::vector<int>& proj_inputs) {
   const PlannerOptions& opts = *ctx.opts;
   if (opts.jit_fusion == JitFusion::kOff) return OperatorPtr();
+  // Fused kernels fail hard on the first malformed value; only the
+  // interpreted scan path can honor skip / null-fill row policies.
+  if (opts.malformed_row_policy != MalformedRowPolicy::kFail) {
+    return OperatorPtr();
+  }
   if (opts.access_path != AccessPathKind::kJit) return OperatorPtr();
   if (ctx.jit == nullptr || !ctx.jit->compiler_available()) {
     return OperatorPtr();
@@ -925,16 +932,39 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
 
   PhysicalPlan plan;
   plan.deadline = options.deadline;
+  plan.health = std::make_shared<ScanHealth>();
   std::ostringstream desc;
   // Which kernel dispatch tier the hot scan/eval loops will run on — benches
   // assert on this so recorded numbers prove which path executed.
   desc << "[kernels=" << KernelTierName(ActiveKernelTier()) << "] ";
+
+  // Tolerant malformed-row policies compact or rewrite row ids inside the
+  // scan, so everything keyed by raw row id must be disabled for the query:
+  // positional-map builds, shred-cache reads and writes, late scans (full
+  // columns instead), and JIT access paths / fused pipelines (generated
+  // kernels fail hard on the first malformed value).
+  PlannerOptions effective = options;
+  if (effective.malformed_row_policy != MalformedRowPolicy::kFail &&
+      effective.access_path != AccessPathKind::kLoaded) {
+    effective.shred_policy = ShredPolicy::kFullColumns;
+    effective.use_shred_cache = false;
+    effective.populate_shred_cache = false;
+    effective.build_positional_map = false;
+    effective.jit_fusion = JitFusion::kOff;
+    if (effective.access_path == AccessPathKind::kJit) {
+      effective.access_path = AccessPathKind::kInSitu;
+    }
+    desc << "[malformed-rows="
+         << MalformedRowPolicyToString(effective.malformed_row_policy)
+         << "] ";
+  }
+
   double compile_seconds = 0;
   std::map<TableEntry*, FormatScanContext> table_ctxs;
   BuildCtx ctx{catalog_,         jit_,  shreds_,
-               &options,         &compile_seconds,
-               &desc,            ResolveNumThreads(options.num_threads),
-               &table_ctxs};
+               &effective,       &compile_seconds,
+               &desc,            ResolveNumThreads(effective.num_threads),
+               &table_ctxs,      plan.health.get()};
 
   // Resolve tables.
   std::vector<TableEntry*> entries;
@@ -1029,7 +1059,7 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
       }
       for (const OutCol& c : proj_cols) side.needed_after.push_back(c.column);
       for (const OutCol& c : group_cols) side.needed_after.push_back(c.column);
-      side.policy = options.shred_policy;
+      side.policy = effective.shred_policy;
       if (side.policy == ShredPolicy::kAdaptive) {
         side.policy = ResolveAdaptivePolicy(ctx, side);
       }
@@ -1082,7 +1112,7 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
     auto place = [&](const OutCol& c) {
       if (c.entry == nullptr) return;
       SidePlan& side = c.entry == probe_entry ? probe : build;
-      JoinProjectionPlacement placement = options.join_placement;
+      JoinProjectionPlacement placement = effective.join_placement;
       if (placement == JoinProjectionPlacement::kLate &&
           !(c.entry == probe_entry ? probe_late_ok : build_late_ok)) {
         placement = JoinProjectionPlacement::kIntermediate;
@@ -1118,8 +1148,8 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
       side.needed_after.push_back(c.column);
     }
 
-    probe.policy = options.shred_policy;
-    build.policy = options.shred_policy;
+    probe.policy = effective.shred_policy;
+    build.policy = effective.shred_policy;
     if (probe.policy == ShredPolicy::kAdaptive) {
       probe.policy = ResolveAdaptivePolicy(ctx, probe);
     }
@@ -1141,7 +1171,7 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query,
                                                        q.join_right));
     (*ctx.desc) << "[hash-join " << q.join_left.ToString() << "="
                 << q.join_right.ToString() << " placement="
-                << JoinProjectionPlacementToString(options.join_placement)
+                << JoinProjectionPlacementToString(effective.join_placement)
                 << "] ";
     auto join = std::make_unique<HashJoinOperator>(
         std::move(probe_op), std::move(build_op), probe_key, build_key,

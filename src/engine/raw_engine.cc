@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <optional>
 
 #include "common/env.h"
+#include "common/fault_injector.h"
 #include "csv/schema_inference.h"
 
 namespace raw {
@@ -65,6 +67,17 @@ RawEngine::RawEngine(RawEngineOptions options)
       options_.planner.jit_fusion = JitFusion::kAuto;
     } else {
       WarnMalformedEnvOnce("RAW_JIT_FUSION", v, "0, 1 or auto");
+    }
+  }
+  // RAW_MALFORMED_ROWS: fail (default) | skip | null-fill — the engine-wide
+  // default policy for rows whose raw bytes don't parse. Same strict-parse
+  // discipline as the integer knobs.
+  if (const char* policy_env = std::getenv("RAW_MALFORMED_ROWS")) {
+    const std::string v(policy_env);
+    if (std::optional<MalformedRowPolicy> p = ParseMalformedRowPolicy(v)) {
+      options_.planner.malformed_row_policy = *p;
+    } else {
+      WarnMalformedEnvOnce("RAW_MALFORMED_ROWS", v, "fail, skip or null-fill");
     }
   }
   // A stale backing file purges every cached structure derived from it.
@@ -179,6 +192,10 @@ EngineStats RawEngine::Stats() const {
   if (materializer_ != nullptr) stats.materializer = materializer_->Stats();
   stats.plans_fused = planner_.plans_fused();
   stats.plans_interpreted = planner_.plans_interpreted();
+  stats.rows_skipped = rows_skipped_.load(std::memory_order_relaxed);
+  stats.rows_nulled = rows_nulled_.load(std::memory_order_relaxed);
+  stats.io_faults = io_faults_.load(std::memory_order_relaxed);
+  stats.faults_injected = FaultInjector::Global().fired();
   return stats;
 }
 

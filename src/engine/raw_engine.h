@@ -98,6 +98,14 @@ struct EngineStats {
   /// Plans that ran through a fused JIT pipeline vs. interpreted operators.
   int64_t plans_fused = 0;
   int64_t plans_interpreted = 0;
+  /// Robustness totals across every query on this engine: rows dropped /
+  /// zero-filled under tolerant malformed-row policies, typed I/O faults
+  /// scans detected (truncation, corruption, injected errors), and fault
+  /// injections actually fired (0 unless RAW_FAULT_INJECT is armed).
+  int64_t rows_skipped = 0;
+  int64_t rows_nulled = 0;
+  int64_t io_faults = 0;
+  int64_t faults_injected = 0;
 
   bool jit_compiler_available() const {
     return jit_cache.compiler_available;
@@ -273,6 +281,11 @@ class RawEngine {
   std::atomic<int64_t> queries_planned_{0};
   std::atomic<int64_t> queries_executed_{0};
   std::atomic<int64_t> queries_inflight_{0};
+  /// Robustness accumulators (see EngineStats); sessions fold each query's
+  /// ScanHealth in, including for queries that ultimately failed.
+  std::atomic<int64_t> rows_skipped_{0};
+  std::atomic<int64_t> rows_nulled_{0};
+  std::atomic<int64_t> io_faults_{0};
   /// steady_clock ns of the last foreground activity (0 = never).
   std::atomic<int64_t> last_activity_ns_{0};
 

@@ -260,7 +260,24 @@ StatusOr<QueryResult> Session::Execute(const QuerySpec& spec,
   if (!internal_) {
     engine_->queries_executed_.fetch_add(1, std::memory_order_relaxed);
   }
-  RAW_ASSIGN_OR_RETURN(QueryResult result, Executor::Run(std::move(plan)));
+  // Keep the health block alive past the move so its totals reach the
+  // engine-wide counters even when the drain fails mid-stream (typed I/O
+  // faults on failed queries still count).
+  std::shared_ptr<ScanHealth> health = plan.health;
+  StatusOr<QueryResult> run = Executor::Run(std::move(plan));
+  if (health != nullptr) {
+    engine_->rows_skipped_.fetch_add(
+        health->rows_skipped.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    engine_->rows_nulled_.fetch_add(
+        health->rows_nulled.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    engine_->io_faults_.fetch_add(
+        health->io_faults.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  RAW_RETURN_NOT_OK(run.status());
+  QueryResult result = std::move(run).value();
   result.plan_seconds = plan_seconds;
   result.compile_seconds = compile_seconds;
   // Cost-aware admission: caching a result that took microseconds to compute

@@ -1,7 +1,10 @@
 #include "engine/sql/parser.h"
 
 #include <charconv>
+#include <limits>
+#include <optional>
 
+#include "common/env.h"
 #include "engine/sql/lexer.h"
 
 namespace raw::sql {
@@ -225,7 +228,15 @@ StatusOr<QuerySpec> Parser::ParseQuery() {
       return Status::ParseError("expected integer after LIMIT");
     }
     Advance();
-    spec.limit = std::stoll(tok.text);
+    // Strict conversion: an out-of-range literal (e.g. 99999999999999999999)
+    // must be a parse error, not an uncaught std::out_of_range.
+    std::optional<int64_t> limit =
+        ParseInt64Strict(tok.text, 0, std::numeric_limits<int64_t>::max());
+    if (!limit.has_value()) {
+      return Status::ParseError("LIMIT value '" + tok.text +
+                                "' is not a valid non-negative integer");
+    }
+    spec.limit = *limit;
   }
   AcceptSymbol(";");
   if (Peek().type != TokenType::kEnd) {

@@ -7,11 +7,13 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault_injector.h"
+
 namespace raw {
 
 namespace {
-Status PRead(int fd, void* buf, size_t count, int64_t offset,
-             const std::string& path) {
+Status PReadRaw(int fd, void* buf, size_t count, int64_t offset,
+                const std::string& path) {
   size_t done = 0;
   while (done < count) {
     ssize_t n = ::pread(fd, static_cast<char*>(buf) + done, count - done,
@@ -19,10 +21,49 @@ Status PRead(int fd, void* buf, size_t count, int64_t offset,
     if (n < 0) {
       return Status::IOError("pread '" + path + "': " + std::strerror(errno));
     }
-    if (n == 0) return Status::IOError("unexpected EOF in '" + path + "'");
+    if (n == 0) {
+      // The file ended before the bytes its own directory promised: the
+      // file shrank (or the directory lies) — corruption, not an I/O error.
+      return Status::DataCorruption("unexpected EOF in '" + path + "'");
+    }
     done += static_cast<size_t>(n);
   }
   return Status::OK();
+}
+
+Status PRead(int fd, void* buf, size_t count, int64_t offset,
+             const std::string& path) {
+  // Fault-injection hook for the pread path (REF is the one format that
+  // reads through file descriptors instead of a mapping).
+  auto& injector = FaultInjector::Global();
+  if (injector.enabled()) {
+    int64_t fault_offset = 0;
+    switch (injector.Check(path, static_cast<int64_t>(count), &fault_offset)) {
+      case FaultKind::kEio:
+        return Status::IOError("injected EIO reading '" + path + "'");
+      case FaultKind::kShortRead:
+      case FaultKind::kTruncate: {
+        // Deliver only the first `fault_offset` bytes, then report the EOF
+        // a really-shrunk file would produce.
+        Status st = PReadRaw(fd, buf, static_cast<size_t>(fault_offset),
+                             offset, path);
+        if (!st.ok()) return st;
+        return Status::DataCorruption("unexpected EOF in '" + path +
+                                      "' (short read)");
+      }
+      case FaultKind::kBitFlip: {
+        Status st = PReadRaw(fd, buf, count, offset, path);
+        if (!st.ok()) return st;
+        if (count > 0) {
+          static_cast<char*>(buf)[static_cast<size_t>(fault_offset)] ^= 0x40;
+        }
+        return Status::OK();
+      }
+      case FaultKind::kNone:
+        break;
+    }
+  }
+  return PReadRaw(fd, buf, count, offset, path);
 }
 }  // namespace
 
@@ -48,7 +89,10 @@ StatusOr<std::unique_ptr<RefReader>> RefReader::Open(
   int64_t end = ::lseek(fd, 0, SEEK_END);
   if (end < header.directory_offset) {
     ::close(fd);
-    return Status::ParseError("REF directory offset beyond EOF");
+    return Status::DataCorruption(
+        "REF directory offset " + std::to_string(header.directory_offset) +
+        " lies beyond the file's " + std::to_string(end) + " bytes in '" +
+        path + "'");
   }
   std::vector<uint8_t> dir_bytes(
       static_cast<size_t>(end - header.directory_offset));
@@ -63,6 +107,23 @@ StatusOr<std::unique_ptr<RefReader>> RefReader::Open(
   if (!branches_or.ok()) {
     ::close(fd);
     return branches_or.status();
+  }
+  // Extent validation at open: every cluster the directory advertises must
+  // lie inside the file as it exists right now, so a truncated file fails
+  // here with a typed error instead of at some later pread mid-query.
+  for (const RefBranch& b : branches_or.value()) {
+    for (const RefCluster& c : b.clusters) {
+      if (c.file_offset < 0 || c.stored_bytes < 0 ||
+          c.file_offset + c.stored_bytes > end) {
+        ::close(fd);
+        return Status::DataCorruption(
+            "REF cluster of branch '" + b.name + "' spans bytes [" +
+            std::to_string(c.file_offset) + ", " +
+            std::to_string(c.file_offset + c.stored_bytes) +
+            ") but '" + path + "' holds only " + std::to_string(end) +
+            " bytes (file truncated?)");
+      }
+    }
   }
   std::unique_ptr<RefReader> reader(new RefReader(
       fd, path, header, std::move(branches_or).value(), pool_capacity_bytes));

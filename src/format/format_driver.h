@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/scan_health.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/statusor.h"
@@ -71,6 +72,9 @@ struct FormatScanContext {
   JitTemplateCache* jit = nullptr;
   int num_threads = 1;           // resolved from opts once per plan
   std::ostringstream* desc = nullptr;  // plan-description sink
+  /// Per-query robustness counters the driver threads into its scan specs
+  /// (owned by the physical plan; may be null in tests).
+  ScanHealth* health = nullptr;
 
   /// Complete, immutable map published by an earlier query (may be null).
   std::shared_ptr<const PositionalMap> published_pmap;

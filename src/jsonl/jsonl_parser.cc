@@ -14,8 +14,10 @@ inline const char* SkipSpace(const char* p, const char* end) {
   return p;
 }
 
+// Malformed raw data is a parse error (the CSV taxonomy); InvalidArgument
+// stays reserved for caller API misuse (bad scan specs, out-of-range ids).
 Status Malformed(const char* what) {
-  return Status::InvalidArgument(std::string("malformed JSONL row: ") + what);
+  return Status::ParseError(std::string("malformed JSONL row: ") + what);
 }
 
 void AppendUtf8(uint32_t cp, std::string* out) {
@@ -179,9 +181,9 @@ Status JsonlRowParser::ParseRow(const char** pp, const char* end,
   } else {
     while (true) {
       if (p == end || *p != '"') return Malformed("expected key string");
-      const char* key;
-      int32_t key_size;
-      bool key_escaped;
+      const char* key = nullptr;
+      int32_t key_size = 0;
+      bool key_escaped = false;
       ++p;
       RAW_RETURN_NOT_OK(ScanJsonString(&p, end, &key, &key_size, &key_escaped));
       if (key_escaped) return Malformed("escaped keys are not supported");
@@ -215,7 +217,7 @@ Status JsonlRowParser::ParseRow(const char** pp, const char* end,
   *pp = p;
   for (int c = 0; c < num_fields_; ++c) {
     if (!fields[c].present) {
-      return Status::InvalidArgument("JSONL row is missing key");
+      return Status::ParseError("JSONL row is missing key");
     }
   }
   return Status::OK();

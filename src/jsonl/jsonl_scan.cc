@@ -1,6 +1,7 @@
 #include "jsonl/jsonl_scan.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "csv/fast_parse.h"
 
@@ -70,16 +71,100 @@ Status JsonlScanOperator::Open() {
   return Status::OK();
 }
 
-Status JsonlScanOperator::ConvertAndBuild(int64_t rows, ColumnBatch* out) {
+namespace {
+
+// True when the field's bytes convert cleanly to `type` (including the
+// string unescape path — a broken \u escape is malformed data too).
+bool JsonlFieldConverts(DataType type, const JsonlField& f,
+                        std::string* scratch) {
+  if (f.data == nullptr) return false;  // absent / null-filled placeholder
+  switch (type) {
+    case DataType::kInt32:
+      return ParseInt32(f.data, f.size).ok();
+    case DataType::kInt64:
+      return ParseInt64(f.data, f.size).ok();
+    case DataType::kFloat32:
+      return ParseFloat32(f.data, f.size).ok();
+    case DataType::kFloat64:
+      return ParseFloat64(f.data, f.size).ok();
+    case DataType::kBool:
+      return ParseBool(f.data, f.size).ok();
+    case DataType::kString:
+      if (f.escaped) return UnescapeJsonString(f.data, f.size, scratch).ok();
+      return true;
+  }
+  return true;
+}
+
+// Appends the column type's zero value (the null-fill substitute).
+void AppendJsonlZeroValue(DataType type, Column* col) {
+  switch (type) {
+    case DataType::kInt32:
+      col->Append<int32_t>(0);
+      break;
+    case DataType::kInt64:
+      col->Append<int64_t>(0);
+      break;
+    case DataType::kFloat32:
+      col->Append<float>(0.0f);
+      break;
+    case DataType::kFloat64:
+      col->Append<double>(0.0);
+      break;
+    case DataType::kBool:
+      col->Append<bool>(false);
+      break;
+    case DataType::kString:
+      col->AppendString(std::string());
+      break;
+  }
+}
+
+}  // namespace
+
+Status JsonlScanOperator::ConvertAndBuild(int64_t rows, ColumnBatch* out,
+                                          std::vector<int64_t>* row_ids) {
   if (spec_.profile) spec_.profile->conversion.Start();
+
+  // Tolerant policies pre-validate row-wise so a malformed row is dropped or
+  // null-filled coherently across every output column.
+  std::vector<uint8_t> bad;
+  int64_t bad_rows = 0;
+  if (spec_.policy != MalformedRowPolicy::kFail && rows > 0) {
+    bad.assign(static_cast<size_t>(rows), 0);
+    for (size_t j = 0; j < spec_.outputs.size(); ++j) {
+      DataType type = spec_.file_schema.field(spec_.outputs[j]).type;
+      const std::vector<JsonlField>& fr = refs_[j];
+      for (int64_t i = 0; i < rows; ++i) {
+        if (!bad[static_cast<size_t>(i)] &&
+            !JsonlFieldConverts(type, fr[static_cast<size_t>(i)],
+                                &unescape_scratch_)) {
+          bad[static_cast<size_t>(i)] = 1;
+          ++bad_rows;
+        }
+      }
+    }
+  }
+  const bool skip = spec_.policy == MalformedRowPolicy::kSkip && bad_rows > 0;
+  const bool null_fill =
+      spec_.policy == MalformedRowPolicy::kNullFill && bad_rows > 0;
+  const int64_t out_rows = skip ? rows - bad_rows : rows;
+
   std::vector<ColumnPtr> columns;
   columns.reserve(refs_.size());
   for (size_t j = 0; j < spec_.outputs.size(); ++j) {
     DataType type = spec_.file_schema.field(spec_.outputs[j]).type;
     auto col = std::make_shared<Column>(type);
-    col->Reserve(rows);
+    col->Reserve(out_rows);
     const std::vector<JsonlField>& fr = refs_[j];
     for (int64_t i = 0; i < rows; ++i) {
+      if (!bad.empty() && bad[static_cast<size_t>(i)]) {
+        if (skip) continue;
+        if (null_fill) {
+          AppendJsonlZeroValue(type, col.get());
+          continue;
+        }
+      }
       const JsonlField& f = fr[static_cast<size_t>(i)];
       switch (type) {
         case DataType::kInt32: {
@@ -121,12 +206,30 @@ Status JsonlScanOperator::ConvertAndBuild(int64_t rows, ColumnBatch* out) {
     }
     columns.push_back(std::move(col));
   }
+
+  if (skip && row_ids != nullptr) {
+    size_t kept = 0;
+    for (int64_t i = 0; i < rows; ++i) {
+      if (!bad[static_cast<size_t>(i)]) {
+        (*row_ids)[kept++] = (*row_ids)[static_cast<size_t>(i)];
+      }
+    }
+    row_ids->resize(kept);
+  }
+  if (spec_.health != nullptr) {
+    if (skip) {
+      spec_.health->rows_skipped.fetch_add(bad_rows, std::memory_order_relaxed);
+    } else if (null_fill) {
+      spec_.health->rows_nulled.fetch_add(bad_rows, std::memory_order_relaxed);
+    }
+  }
+
   if (spec_.profile) {
     spec_.profile->conversion.Stop();
     spec_.profile->build_columns.Start();
   }
   for (ColumnPtr& col : columns) out->AddColumn(std::move(col));
-  out->SetNumRows(rows);
+  out->SetNumRows(out_rows);
   if (spec_.profile) spec_.profile->build_columns.Stop();
   return Status::OK();
 }
@@ -150,8 +253,30 @@ StatusOr<ColumnBatch> JsonlScanOperator::NextSequential() {
     pos_ = SkipBlank(pos_, end_);
     if (pos_ >= end_) break;
     const uint64_t row_start = static_cast<uint64_t>(pos_ - data_);
-    RAW_RETURN_NOT_OK(
-        parser_.ParseRow(&pos_, end_, data_, row_fields_.data()));
+    Status parsed = parser_.ParseRow(&pos_, end_, data_, row_fields_.data());
+    if (!parsed.ok()) {
+      // A line that isn't valid JSON at all. Tolerant policies step over it
+      // to the next newline (skip drops it; null-fill emits a zero row);
+      // map building is incompatible with either (the map can't index what
+      // didn't tokenize), so the strict error stands when a map is due.
+      if (spec_.policy == MalformedRowPolicy::kFail || pmap != nullptr) {
+        return parsed;
+      }
+      const char* line_start = data_ + row_start;
+      const void* nl = std::memchr(line_start, '\n',
+                                   static_cast<size_t>(end_ - line_start));
+      pos_ = nl != nullptr ? static_cast<const char*>(nl) + 1 : end_;
+      if (spec_.policy == MalformedRowPolicy::kSkip) {
+        if (spec_.health != nullptr) {
+          spec_.health->rows_skipped.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++row_;
+        continue;
+      }
+      // Null-fill: a row of empty fields; ConvertAndBuild sees every field
+      // as non-converting and zero-fills the whole row.
+      row_fields_.assign(row_fields_.size(), {});
+    }
     for (size_t j = 0; j < spec_.outputs.size(); ++j) {
       refs_[j].push_back(
           row_fields_[static_cast<size_t>(spec_.outputs[j])]);
@@ -171,7 +296,7 @@ StatusOr<ColumnBatch> JsonlScanOperator::NextSequential() {
   }
   if (spec_.profile) spec_.profile->parsing.Stop();
 
-  RAW_RETURN_NOT_OK(ConvertAndBuild(rows, &out));
+  RAW_RETURN_NOT_OK(ConvertAndBuild(rows, &out, &row_id_scratch_));
   out.SetRowIds(row_id_scratch_);
   if (spec_.profile) spec_.profile->rows += rows;
   return out;
@@ -200,9 +325,31 @@ StatusOr<ColumnBatch> JsonlScanOperator::NextPositional() {
     if (needs_full_row_) {
       // Some output column is untracked: jump to the row start and parse the
       // whole object once; every output rides along.
-      const char* p = data_ + pmap.RowStart(row_id);
-      RAW_RETURN_NOT_OK(
-          parser_.ParseRow(&p, file_end, data_, row_fields_.data()));
+      const uint64_t row_start = pmap.RowStart(row_id);
+      if (row_start >= size_) {
+        if (spec_.health != nullptr) {
+          spec_.health->io_faults.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (spec_.profile) spec_.profile->parsing.Stop();
+        return Status::DataCorruption(
+            "field-offset map row start " + std::to_string(row_start) +
+            " for row " + std::to_string(row_id) + " lies beyond the file's " +
+            std::to_string(size_) +
+            " bytes (file truncated since the map was built?)");
+      }
+      const char* p = data_ + row_start;
+      Status parsed = parser_.ParseRow(&p, file_end, data_, row_fields_.data());
+      if (!parsed.ok()) {
+        if (spec_.policy == MalformedRowPolicy::kFail) return parsed;
+        if (spec_.policy == MalformedRowPolicy::kSkip) {
+          if (spec_.health != nullptr) {
+            spec_.health->rows_skipped.fetch_add(1, std::memory_order_relaxed);
+          }
+          ++input_cursor_;
+          continue;
+        }
+        row_fields_.assign(row_fields_.size(), {});
+      }
       for (size_t j = 0; j < spec_.outputs.size(); ++j) {
         refs_[j].push_back(
             row_fields_[static_cast<size_t>(spec_.outputs[j])]);
@@ -210,13 +357,43 @@ StatusOr<ColumnBatch> JsonlScanOperator::NextPositional() {
     } else {
       // Every output is tracked: jump straight to each value's mapped byte
       // offset — no tokenizing past other fields at all.
+      bool row_dropped = false;
       for (size_t j = 0; j < spec_.outputs.size(); ++j) {
-        const char* p =
-            data_ + pmap.Position(row_id, slot_for_output_[j]);
+        const uint64_t position = pmap.Position(row_id, slot_for_output_[j]);
+        if (position >= size_) {
+          if (spec_.health != nullptr) {
+            spec_.health->io_faults.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (spec_.profile) spec_.profile->parsing.Stop();
+          return Status::DataCorruption(
+              "field-offset map offset " + std::to_string(position) +
+              " for row " + std::to_string(row_id) +
+              " lies beyond the file's " + std::to_string(size_) +
+              " bytes (file truncated since the map was built?)");
+        }
+        const char* p = data_ + position;
         JsonlField value;
-        RAW_RETURN_NOT_OK(ParseJsonValue(&p, file_end, &value));
+        Status parsed = ParseJsonValue(&p, file_end, &value);
+        if (!parsed.ok()) {
+          if (spec_.policy == MalformedRowPolicy::kFail) return parsed;
+          if (spec_.policy == MalformedRowPolicy::kSkip) {
+            // Drop the whole row: rewind the columns already collected.
+            for (size_t k = 0; k < j; ++k) refs_[k].pop_back();
+            if (spec_.health != nullptr) {
+              spec_.health->rows_skipped.fetch_add(1,
+                                                   std::memory_order_relaxed);
+            }
+            row_dropped = true;
+            break;
+          }
+          value = JsonlField{};  // null-fill: non-converting empty field
+        }
         value.present = true;
         refs_[j].push_back(value);
+      }
+      if (row_dropped) {
+        ++input_cursor_;
+        continue;
       }
     }
     row_id_scratch_.push_back(row_id);
@@ -225,7 +402,7 @@ StatusOr<ColumnBatch> JsonlScanOperator::NextPositional() {
   }
   if (spec_.profile) spec_.profile->parsing.Stop();
 
-  RAW_RETURN_NOT_OK(ConvertAndBuild(rows, &out));
+  RAW_RETURN_NOT_OK(ConvertAndBuild(rows, &out, &row_id_scratch_));
   out.SetRowIds(row_id_scratch_);
   if (spec_.profile) spec_.profile->rows += rows;
   return out;

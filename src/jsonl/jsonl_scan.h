@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/mmap_file.h"
+#include "common/scan_health.h"
 #include "csv/positional_map.h"
 #include "format/format.h"
 #include "jsonl/jsonl_parser.h"
@@ -47,6 +48,14 @@ struct JsonlScanSpec {
   /// positions resolve through the map. When absent, all mapped rows.
   std::optional<RowSet> row_set;
 
+  /// What to do with rows whose bytes don't convert to the schema (or lines
+  /// that aren't valid JSON at all). Tolerant policies must not be combined
+  /// with `build_pmap`: a map can't index rows the scan couldn't tokenize
+  /// (the planner never requests both).
+  MalformedRowPolicy policy = MalformedRowPolicy::kFail;
+  /// Per-query robustness counters (may be null); shared across morsels.
+  ScanHealth* health = nullptr;
+
   ScanProfile* profile = nullptr;  // optional instrumentation
 };
 
@@ -70,7 +79,10 @@ class JsonlScanOperator : public Operator {
  private:
   StatusOr<ColumnBatch> NextSequential();
   StatusOr<ColumnBatch> NextPositional();
-  Status ConvertAndBuild(int64_t rows, ColumnBatch* out);
+  /// Converts collected field views into typed columns; compacts `row_ids`
+  /// in place when the skip policy drops rows (callers SetRowIds after).
+  Status ConvertAndBuild(int64_t rows, ColumnBatch* out,
+                         std::vector<int64_t>* row_ids);
 
   const char* data_;
   size_t size_;

@@ -72,22 +72,104 @@ Status InsituCsvScanOperator::Open() {
   return Status::OK();
 }
 
+namespace {
+
+// True when the field's bytes convert cleanly to `type`.
+bool FieldConverts(DataType type, const FieldRef& f) {
+  switch (type) {
+    case DataType::kInt32:
+      return ParseInt32(f.data, f.size).ok();
+    case DataType::kInt64:
+      return ParseInt64(f.data, f.size).ok();
+    case DataType::kFloat32:
+      return ParseFloat32(f.data, f.size).ok();
+    case DataType::kFloat64:
+      return ParseFloat64(f.data, f.size).ok();
+    case DataType::kBool:
+      return ParseBool(f.data, f.size).ok();
+    case DataType::kString:
+      return true;
+  }
+  return true;
+}
+
+// Appends the column type's zero value (the null-fill substitute).
+void AppendZeroValue(DataType type, Column* col) {
+  switch (type) {
+    case DataType::kInt32:
+      col->Append<int32_t>(0);
+      break;
+    case DataType::kInt64:
+      col->Append<int64_t>(0);
+      break;
+    case DataType::kFloat32:
+      col->Append<float>(0.0f);
+      break;
+    case DataType::kFloat64:
+      col->Append<double>(0.0);
+      break;
+    case DataType::kBool:
+      col->Append<bool>(false);
+      break;
+    case DataType::kString:
+      col->AppendString(std::string());
+      break;
+  }
+}
+
+}  // namespace
+
 Status InsituCsvScanOperator::ConvertAndBuild(
     const std::vector<std::vector<FieldRef>>& refs, int64_t rows,
-    ColumnBatch* out) {
+    ColumnBatch* out, std::vector<int64_t>* row_ids) {
   // Data-type conversion: the general-purpose scan consults the catalog type
   // of every field and dispatches through a switch — the exact pattern the
   // paper's pseudo-code shows for interpreted scans (§4.1).
   if (spec_.profile) spec_.profile->conversion.Start();
+
+  // Tolerant policies pre-validate row-wise so a malformed row is dropped or
+  // null-filled coherently across every output column (a row, not a cell, is
+  // the unit of damage in a hostile file). The strict default skips this
+  // pass entirely.
+  std::vector<uint8_t> bad;
+  int64_t bad_rows = 0;
+  if (spec_.policy != MalformedRowPolicy::kFail && rows > 0) {
+    bad.assign(static_cast<size_t>(rows), 0);
+    for (size_t j = 0; j < spec_.outputs.size(); ++j) {
+      DataType type = spec_.file_schema.field(spec_.outputs[j]).type;
+      if (type == DataType::kString) continue;
+      const std::vector<FieldRef>& fr = refs[j];
+      for (int64_t i = 0; i < rows; ++i) {
+        if (!bad[static_cast<size_t>(i)] &&
+            !FieldConverts(type, fr[static_cast<size_t>(i)])) {
+          bad[static_cast<size_t>(i)] = 1;
+          ++bad_rows;
+        }
+      }
+    }
+  }
+
+  const bool skip = spec_.policy == MalformedRowPolicy::kSkip && bad_rows > 0;
+  const bool null_fill =
+      spec_.policy == MalformedRowPolicy::kNullFill && bad_rows > 0;
+  const int64_t out_rows = skip ? rows - bad_rows : rows;
+
   std::vector<ColumnPtr> columns;
   columns.reserve(refs.size());
   for (size_t j = 0; j < spec_.outputs.size(); ++j) {
     DataType type =
         spec_.file_schema.field(spec_.outputs[j]).type;
     auto col = std::make_shared<Column>(type);
-    col->Reserve(rows);
+    col->Reserve(out_rows);
     const std::vector<FieldRef>& fr = refs[j];
     for (int64_t i = 0; i < rows; ++i) {
+      if (!bad.empty() && bad[static_cast<size_t>(i)]) {
+        if (skip) continue;
+        if (null_fill) {
+          AppendZeroValue(type, col.get());
+          continue;
+        }
+      }
       const FieldRef& f = fr[static_cast<size_t>(i)];
       switch (type) {
         case DataType::kInt32: {
@@ -122,12 +204,30 @@ Status InsituCsvScanOperator::ConvertAndBuild(
     }
     columns.push_back(std::move(col));
   }
+
+  if (skip && row_ids != nullptr) {
+    size_t kept = 0;
+    for (int64_t i = 0; i < rows; ++i) {
+      if (!bad[static_cast<size_t>(i)]) {
+        (*row_ids)[kept++] = (*row_ids)[static_cast<size_t>(i)];
+      }
+    }
+    row_ids->resize(kept);
+  }
+  if (spec_.health != nullptr) {
+    if (skip) {
+      spec_.health->rows_skipped.fetch_add(bad_rows, std::memory_order_relaxed);
+    } else if (null_fill) {
+      spec_.health->rows_nulled.fetch_add(bad_rows, std::memory_order_relaxed);
+    }
+  }
+
   if (spec_.profile) {
     spec_.profile->conversion.Stop();
     spec_.profile->build_columns.Start();
   }
   for (ColumnPtr& col : columns) out->AddColumn(std::move(col));
-  out->SetNumRows(rows);
+  out->SetNumRows(out_rows);
   if (spec_.profile) spec_.profile->build_columns.Stop();
   return Status::OK();
 }
@@ -180,6 +280,12 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextSequentialQuoted() {
       }
       break;  // row terminator or EOF
     }
+    // A row cut off by EOF (truncated file) ends before the columns past the
+    // cut; pad them as empty fields so ConvertAndBuild sees a rectangular
+    // batch (empty fields fail conversion → the malformed-row policy rules).
+    while (out_idx < num_outputs) {
+      refs_[static_cast<size_t>(out_idx++)].push_back(FieldRef{"", 0});
+    }
     pos_ = SkipRowEnd(p, end_);
     if (pmap != nullptr) pmap->AppendRow(row_start, slot_positions.data());
     row_id_scratch_.push_back(row_);
@@ -188,7 +294,7 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextSequentialQuoted() {
   }
   if (spec_.profile) spec_.profile->parsing.Stop();
 
-  RAW_RETURN_NOT_OK(ConvertAndBuild(refs_, rows, &out));
+  RAW_RETURN_NOT_OK(ConvertAndBuild(refs_, rows, &out, &row_id_scratch_));
   out.SetRowIds(row_id_scratch_);
   if (spec_.profile) spec_.profile->rows += rows;
   return out;
@@ -242,6 +348,10 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextSequential() {
       p = field_end;
       if (p < end_ && *p == delim) ++p;
     }
+    // Truncated tail row: pad outputs past the EOF cut (see the quoted walk).
+    while (out_idx < num_outputs) {
+      refs_[static_cast<size_t>(out_idx++)].push_back(FieldRef{"", 0});
+    }
     // Skip the remainder of the row.
     const char* nl = RowEnd(p, end_);
     pos_ = (nl != end_) ? nl + 1 : end_;
@@ -252,7 +362,7 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextSequential() {
   }
   if (spec_.profile) spec_.profile->parsing.Stop();
 
-  RAW_RETURN_NOT_OK(ConvertAndBuild(refs_, rows, &out));
+  RAW_RETURN_NOT_OK(ConvertAndBuild(refs_, rows, &out, &row_id_scratch_));
   out.SetRowIds(row_id_scratch_);
   if (spec_.profile) spec_.profile->rows += rows;
   return out;
@@ -284,6 +394,19 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextPositional() {
     } else {
       row_id = input_cursor_;
       position = pmap.Position(input_cursor_, anchor_slot_);
+    }
+    if (position >= size_) {
+      // The published map outlived the bytes it indexes: the file shrank
+      // after the map was built. A typed error, never an out-of-range read.
+      if (spec_.health != nullptr) {
+        spec_.health->io_faults.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (spec_.profile) spec_.profile->parsing.Stop();
+      return Status::DataCorruption(
+          "positional map offset " + std::to_string(position) +
+          " for row " + std::to_string(row_id) +
+          " lies beyond the file's " + std::to_string(size_) +
+          " bytes (file truncated since the map was built?)");
     }
     const char* p = base + position;
     int col_cursor = spec_.anchor_column;
@@ -318,7 +441,7 @@ StatusOr<ColumnBatch> InsituCsvScanOperator::NextPositional() {
   }
   if (spec_.profile) spec_.profile->parsing.Stop();
 
-  RAW_RETURN_NOT_OK(ConvertAndBuild(refs_, rows, &out));
+  RAW_RETURN_NOT_OK(ConvertAndBuild(refs_, rows, &out, &row_id_scratch_));
   out.SetRowIds(row_id_scratch_);
   if (spec_.profile) spec_.profile->rows += rows;
   return out;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/mmap_file.h"
+#include "common/scan_health.h"
 #include "csv/csv_options.h"
 #include "csv/csv_tokenizer.h"
 #include "csv/positional_map.h"
@@ -53,6 +54,11 @@ struct CsvScanSpec {
   /// filled from the map. When absent, all mapped rows are visited.
   std::optional<RowSet> row_set;
 
+  /// What to do with rows whose bytes don't convert to the schema.
+  MalformedRowPolicy policy = MalformedRowPolicy::kFail;
+  /// Per-query robustness counters (may be null); shared across morsels.
+  ScanHealth* health = nullptr;
+
   ScanProfile* profile = nullptr;  // optional instrumentation
 };
 
@@ -76,8 +82,12 @@ class InsituCsvScanOperator : public Operator {
   StatusOr<ColumnBatch> NextSequential();
   StatusOr<ColumnBatch> NextSequentialQuoted();
   StatusOr<ColumnBatch> NextPositional();
+  /// Converts the collected field views into typed columns. `row_ids` (the
+  /// per-batch id scratch) is compacted in place when the skip policy drops
+  /// rows, so callers must SetRowIds() only after this returns.
   Status ConvertAndBuild(const std::vector<std::vector<FieldRef>>& refs,
-                         int64_t rows, ColumnBatch* out);
+                         int64_t rows, ColumnBatch* out,
+                         std::vector<int64_t>* row_ids);
 
   const char* data_;
   size_t size_;

@@ -1,45 +1,42 @@
 #include "serve/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace raw {
 namespace serve {
 
 namespace {
+
 Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
 }
-}  // namespace
 
-RawClient::~RawClient() { Close(); }
-
-RawClient::RawClient(RawClient&& other) noexcept
-    : fd_(other.fd_),
-      next_request_id_(other.next_request_id_),
-      assembler_(std::move(other.assembler_)) {
-  other.fd_ = -1;
+void SetIoTimeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
-RawClient& RawClient::operator=(RawClient&& other) noexcept {
-  if (this != &other) {
-    Close();
-    fd_ = other.fd_;
-    next_request_id_ = other.next_request_id_;
-    assembler_ = std::move(other.assembler_);
-    other.fd_ = -1;
-  }
-  return *this;
-}
-
-StatusOr<std::unique_ptr<RawClient>> RawClient::Connect(
-    const std::string& host, int port) {
+/// Dials host:port. With a connect timeout the socket goes non-blocking for
+/// the duration of connect() and back to blocking after.
+StatusOr<int> DialFd(const std::string& host, int port,
+                     const RawClientOptions& options) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   sockaddr_in addr{};
@@ -49,32 +46,184 @@ StatusOr<std::unique_ptr<RawClient>> RawClient::Connect(
     ::close(fd);
     return Status::InvalidArgument("invalid host address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status s = Errno("connect");
-    ::close(fd);
-    return s;
+  if (options.connect_timeout_ms > 0) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc < 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      rc = ::poll(&pfd, 1, options.connect_timeout_ms);
+      if (rc == 0) {
+        ::close(fd);
+        return Status::IOError("connect to " + host + " timed out after " +
+                               std::to_string(options.connect_timeout_ms) +
+                               "ms");
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (rc < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+          err != 0) {
+        if (err != 0) errno = err;
+        Status s = Errno("connect");
+        ::close(fd);
+        return s;
+      }
+    } else if (rc < 0) {
+      Status s = Errno("connect");
+      ::close(fd);
+      return s;
+    }
+    ::fcntl(fd, F_SETFL, flags);
+  } else {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      Status s = Errno("connect");
+      ::close(fd);
+      return s;
+    }
   }
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<RawClient>(new RawClient(fd));
+  SetIoTimeout(fd, options.io_timeout_ms);
+  return fd;
+}
+
+/// xorshift64* — deterministic jitter stream per client.
+uint64_t NextRng(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+}  // namespace
+
+RawClient::~RawClient() { Close(); }
+
+RawClient::RawClient(RawClient&& other) noexcept
+    : fd_(other.fd_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      options_(other.options_),
+      hello_sent_(other.hello_sent_),
+      priority_(other.priority_),
+      jitter_state_(other.jitter_state_),
+      retries_(other.retries_),
+      reconnects_(other.reconnects_),
+      next_request_id_(other.next_request_id_),
+      assembler_(std::move(other.assembler_)) {
+  other.fd_ = -1;
+}
+
+RawClient& RawClient::operator=(RawClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    options_ = other.options_;
+    hello_sent_ = other.hello_sent_;
+    priority_ = other.priority_;
+    jitter_state_ = other.jitter_state_;
+    retries_ = other.retries_;
+    reconnects_ = other.reconnects_;
+    next_request_id_ = other.next_request_id_;
+    assembler_ = std::move(other.assembler_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<std::unique_ptr<RawClient>> RawClient::Connect(
+    const std::string& host, int port, RawClientOptions options) {
+  RAW_ASSIGN_OR_RETURN(int fd, DialFd(host, port, options));
+  return std::unique_ptr<RawClient>(
+      new RawClient(fd, host, port, options));
 }
 
 Status RawClient::Hello(PriorityClass priority) {
+  priority_ = priority;
   PayloadWriter out;
   out.PutU8(static_cast<uint8_t>(priority));
   RAW_RETURN_NOT_OK(WriteFrame(MessageType::kHello, out.bytes()));
   RAW_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
   if (frame.type != MessageType::kHelloOk) {
-    return Status::IOError("unexpected response to hello");
+    return Status::ProtocolError("unexpected response to hello");
   }
+  hello_sent_ = true;
   return Status::OK();
+}
+
+bool RawClient::RetryableTransport(const Status& s) {
+  return s.code() == StatusCode::kIOError ||
+         s.code() == StatusCode::kProtocolError;
+}
+
+Status RawClient::Reconnect() {
+  Close();
+  RAW_ASSIGN_OR_RETURN(int fd, DialFd(host_, port_, options_));
+  fd_ = fd;
+  assembler_ = FrameAssembler();
+  if (hello_sent_) {
+    Status hello = Hello(priority_);
+    if (!hello.ok()) {
+      Close();
+      return hello;
+    }
+  }
+  ++reconnects_;
+  return Status::OK();
+}
+
+void RawClient::BackoffSleep(int64_t* backoff_ms) {
+  if (jitter_state_ == 0) {
+    jitter_state_ = options_.jitter_seed != 0 ? options_.jitter_seed : 1;
+  }
+  // Sleep uniformly in [backoff/2, backoff]: desynchronizes clients that
+  // failed together without ever collapsing the wait to zero.
+  const int64_t base = *backoff_ms;
+  const int64_t half = base / 2;
+  const int64_t jitter =
+      half > 0 ? static_cast<int64_t>(NextRng(&jitter_state_) %
+                                      static_cast<uint64_t>(half + 1))
+               : 0;
+  std::this_thread::sleep_for(std::chrono::milliseconds(half + jitter));
+  *backoff_ms = std::min<int64_t>(base * 2,
+                                  std::max(1, options_.backoff_max_ms));
 }
 
 StatusOr<QueryResponse> RawClient::Query(const std::string& sql,
                                          uint32_t deadline_ms) {
-  const uint64_t id = next_request_id_++;
-  RAW_RETURN_NOT_OK(SendQuery(id, sql, deadline_ms));
-  return ReadResponse();
+  int64_t backoff_ms = std::max(1, options_.backoff_initial_ms);
+  for (int attempt = 0;; ++attempt) {
+    StatusOr<QueryResponse> resp = [&]() -> StatusOr<QueryResponse> {
+      const uint64_t id = next_request_id_++;
+      RAW_RETURN_NOT_OK(SendQuery(id, sql, deadline_ms));
+      return ReadResponse();
+    }();
+
+    bool retry = false;
+    if (!resp.ok() && RetryableTransport(resp.status())) {
+      // The connection's stream position is unknown after a transport
+      // fault; drop it so the retry reconnects from scratch.
+      Close();
+      retry = true;
+    } else if (resp.ok() && resp->overloaded && options_.retry_overloaded) {
+      retry = true;
+    }
+    if (!retry || attempt >= options_.max_retries) return resp;
+
+    ++retries_;
+    BackoffSleep(&backoff_ms);
+    if (!connected()) {
+      Status re = Reconnect();
+      if (!re.ok() && attempt + 1 >= options_.max_retries) return re;
+      // A failed reconnect consumes the attempt; the next loop iteration
+      // retries the dial after another backoff.
+    }
+  }
 }
 
 Status RawClient::SendQuery(uint64_t request_id, const std::string& sql,
@@ -114,7 +263,7 @@ StatusOr<QueryResponse> RawClient::ReadResponse() {
       return resp;
     }
     default:
-      return Status::IOError("unexpected response frame type");
+      return Status::ProtocolError("unexpected response frame type");
   }
 }
 
@@ -122,7 +271,7 @@ StatusOr<std::string> RawClient::Stats() {
   RAW_RETURN_NOT_OK(WriteFrame(MessageType::kStats, {}));
   RAW_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
   if (frame.type != MessageType::kStatsResult) {
-    return Status::IOError("unexpected frame type for STATS response");
+    return Status::ProtocolError("unexpected frame type for STATS response");
   }
   PayloadReader reader(frame.payload);
   return reader.String();
@@ -157,6 +306,9 @@ Status RawClient::WriteFrame(MessageType type,
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::IOError("send timed out");
+    }
     return Errno("send");
   }
   return Status::OK();
@@ -172,8 +324,19 @@ StatusOr<Frame> RawClient::ReadFrame() {
       RAW_RETURN_NOT_OK(assembler_.Feed(buf, static_cast<size_t>(n)));
       continue;
     }
-    if (n == 0) return Status::IOError("server closed the connection");
+    if (n == 0) {
+      // Clean EOF between frames means the server hung up; EOF with a frame
+      // half-buffered means the stream was truncated mid-message.
+      if (assembler_.has_partial_frame()) {
+        return Status::ProtocolError(
+            "server closed the connection mid-frame (truncated stream)");
+      }
+      return Status::IOError("server closed the connection");
+    }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("recv timed out");
+    }
     return Errno("recv");
   }
   return frame;

@@ -30,10 +30,40 @@ struct QueryResponse {
   double execute_seconds = 0;
 };
 
+/// Client resilience knobs. The defaults keep the seed behaviour: blocking
+/// connect, no I/O timeout, no retries.
+struct RawClientOptions {
+  /// Milliseconds to wait for the TCP connect (0 = OS default, blocking).
+  int connect_timeout_ms = 5000;
+  /// Per-recv/send timeout in milliseconds (0 = wait forever). A timeout
+  /// surfaces as a retryable IOError and drops the connection — the peer's
+  /// stream position is unknowable after a partial read.
+  int io_timeout_ms = 0;
+  /// Transport-failure retries for idempotent one-shot queries (Query()):
+  /// reconnect transparently and resend. 0 = fail on the first error.
+  /// Pipelined SendQuery/ReadResponse never retry — the caller owns
+  /// request-id bookkeeping there.
+  int max_retries = 0;
+  /// Capped exponential backoff between retries, with deterministic jitter
+  /// (seeded so tests reproduce sleep sequences exactly).
+  int backoff_initial_ms = 50;
+  int backoff_max_ms = 2000;
+  uint64_t jitter_seed = 1;
+  /// Also retry typed overload sheds (kOverloaded), not just transport
+  /// failures. Off by default: shedding is the server asking for less load.
+  bool retry_overloaded = false;
+};
+
 /// Blocking client for the rawd wire protocol. Not thread-safe; use one per
 /// thread. Query() is the simple request/response path; SendQuery() /
 /// ReadResponse() expose pipelining (several requests in flight on one
 /// connection) for load drivers and quota tests.
+///
+/// With max_retries > 0, Query() survives transport faults: the socket is
+/// dropped, the client backs off (capped exponential + jitter), reconnects,
+/// replays the Hello handshake, and resends the query. Safe because one-shot
+/// queries are idempotent reads. retries()/reconnects() expose the effort
+/// for load drivers.
 class RawClient {
  public:
   ~RawClient();
@@ -42,13 +72,15 @@ class RawClient {
   RawClient& operator=(RawClient&& other) noexcept;
 
   /// Connects a blocking TCP socket to `host:port`.
-  static StatusOr<std::unique_ptr<RawClient>> Connect(const std::string& host,
-                                                      int port);
+  static StatusOr<std::unique_ptr<RawClient>> Connect(
+      const std::string& host, int port,
+      RawClientOptions options = RawClientOptions());
 
   /// Declares the connection's priority class; must precede queries.
   Status Hello(PriorityClass priority = PriorityClass::kInteractive);
 
-  /// One-shot: SendQuery + ReadResponse. deadline_ms 0 means no deadline.
+  /// One-shot: SendQuery + ReadResponse, with transparent retry/reconnect
+  /// when options.max_retries > 0. deadline_ms 0 means no deadline.
   StatusOr<QueryResponse> Query(const std::string& sql,
                                 uint32_t deadline_ms = 0);
 
@@ -74,13 +106,38 @@ class RawClient {
 
   bool connected() const { return fd_ >= 0; }
 
+  /// Query() attempts beyond the first, across the client's lifetime.
+  int64_t retries() const { return retries_; }
+  /// Successful transparent reconnects.
+  int64_t reconnects() const { return reconnects_; }
+
  private:
-  explicit RawClient(int fd) : fd_(fd) {}
+  RawClient(int fd, std::string host, int port, RawClientOptions options)
+      : fd_(fd), host_(std::move(host)), port_(port), options_(options) {}
 
   Status WriteFrame(MessageType type, const std::vector<uint8_t>& payload);
   StatusOr<Frame> ReadFrame();
 
+  /// True for failures worth a reconnect+resend: transport errors and
+  /// truncated streams, but not server-side query verdicts.
+  static bool RetryableTransport(const Status& s);
+  /// Re-dials host_:port_, replaying Hello when one was sent. Resets the
+  /// frame assembler — a partial frame from the dead connection must not
+  /// prefix the new stream.
+  Status Reconnect();
+  /// Sleeps the current backoff (with deterministic jitter), then doubles
+  /// it up to the cap.
+  void BackoffSleep(int64_t* backoff_ms);
+
   int fd_ = -1;
+  std::string host_;
+  int port_ = 0;
+  RawClientOptions options_;
+  bool hello_sent_ = false;
+  PriorityClass priority_ = PriorityClass::kInteractive;
+  uint64_t jitter_state_ = 0;
+  int64_t retries_ = 0;
+  int64_t reconnects_ = 0;
   uint64_t next_request_id_ = 1;
   FrameAssembler assembler_;
 };

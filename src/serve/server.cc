@@ -185,12 +185,25 @@ bool RawServer::ReadFrames(const std::shared_ptr<Connection>& conn) {
   while (true) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
-      if (!conn->assembler.Feed(buf, static_cast<size_t>(n)).ok()) {
-        return false;  // oversized/corrupt frame: drop the peer
+      Status fed = conn->assembler.Feed(buf, static_cast<size_t>(n));
+      if (!fed.ok()) {
+        // Oversized/corrupt frame: tell the peer why before dropping it —
+        // a silent close is indistinguishable from a server crash.
+        PayloadWriter out;
+        out.PutU64(0);
+        out.PutU32(static_cast<uint32_t>(StatusCode::kProtocolError));
+        out.PutString(std::string(fed.message()));
+        WriteFrame(conn, MessageType::kError, out.bytes());
+        return false;
       }
       continue;
     }
-    if (n == 0) return false;  // peer closed
+    if (n == 0) {
+      // Peer closed. A leftover partial frame means the stream was cut
+      // mid-message (crash or network truncation) rather than a clean
+      // hangup; either way the connection is done.
+      return false;
+    }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
     return false;

@@ -137,6 +137,16 @@ std::string EngineStatsJson(const EngineStats& stats) {
     o.Close();
   }
 
+  root.Key("robustness");
+  {
+    ObjectWriter o(os);
+    o.Int("rows_skipped", stats.rows_skipped);
+    o.Int("rows_nulled", stats.rows_nulled);
+    o.Int("io_faults", stats.io_faults);
+    o.Int("faults_injected", stats.faults_injected);
+    o.Close();
+  }
+
   root.Key("admission");
   {
     ObjectWriter o(os);

@@ -129,13 +129,21 @@ Status FrameAssembler::Feed(const uint8_t* data, size_t size) {
     consumed_ = 0;
   }
   buf_.insert(buf_.end(), data, data + size);
-  // Early length validation so an insane header fails fast.
-  if (buf_.size() - consumed_ >= 4) {
+  // Early length validation so an insane header fails fast. Walk every
+  // header already buffered, not just the first: when a valid frame and a
+  // corrupt header arrive in one batch, the corrupt length would otherwise
+  // stay hidden until after the frame is popped — and with no further bytes
+  // coming, no later Feed would ever re-check it (the reader would block
+  // forever waiting for a 4 GiB payload).
+  size_t off = consumed_;
+  while (buf_.size() - off >= 4) {
     uint32_t len;
-    std::memcpy(&len, buf_.data() + consumed_, 4);
+    std::memcpy(&len, buf_.data() + off, 4);
     if (len > kMaxPayloadBytes) {
       return Status::InvalidArgument("wire: frame exceeds 64 MiB cap");
     }
+    if (buf_.size() - off < 5u + len) break;
+    off += 5u + len;
   }
   return Status::OK();
 }

@@ -120,6 +120,10 @@ class FrameAssembler {
   /// are needed.
   bool Pop(Frame* out);
 
+  /// True while a frame is partially buffered — the peer closing now means
+  /// the stream was cut mid-frame (a protocol error), not a clean EOF.
+  bool has_partial_frame() const { return buf_.size() > consumed_; }
+
  private:
   std::vector<uint8_t> buf_;
   size_t consumed_ = 0;  // bytes of buf_ already popped

@@ -75,13 +75,18 @@ Status GunzipMember(const char* data, size_t size, std::string* out,
     rc = inflate(&zs, Z_NO_FLUSH);
     if (rc != Z_OK && rc != Z_STREAM_END) {
       inflateEnd(&zs);
-      return Status::IOError(std::string("corrupt gzip member: ") +
-                             (zs.msg != nullptr ? zs.msg : "inflate error"));
+      // Z_DATA_ERROR covers both a corrupt deflate stream and a member whose
+      // trailer CRC32/ISIZE doesn't match the decompressed bytes (zlib
+      // verifies both before returning Z_STREAM_END).
+      return Status::DataCorruption(
+          std::string("corrupt gzip member: ") +
+          (zs.msg != nullptr ? zs.msg : "inflate error"));
     }
     out->append(buffer, sizeof(buffer) - zs.avail_out);
     if (rc == Z_OK && zs.avail_in == 0 && zs.avail_out != 0) {
       inflateEnd(&zs);
-      return Status::IOError("truncated gzip member");
+      return Status::DataCorruption(
+          "truncated gzip member (input ended mid-stream)");
     }
   }
   *consumed = size - zs.avail_in;

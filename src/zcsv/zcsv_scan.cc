@@ -156,11 +156,33 @@ Status ZcsvScanOperator::AdvanceBlock(bool* done) {
       return Status::OK();
     }
     const GzipBlock& block = spec_.index->block(block_cursor_);
+    if (block.comp_offset >= file_size ||
+        block.comp_size > file_size - block.comp_offset) {
+      // The published block index outlived the bytes it indexes.
+      if (spec_.health != nullptr) {
+        spec_.health->io_faults.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::DataCorruption(
+          "gzip block " + std::to_string(block_cursor_) + " spans bytes [" +
+          std::to_string(block.comp_offset) + ", " +
+          std::to_string(block.comp_offset + block.comp_size) +
+          ") but the file holds only " + std::to_string(file_size) +
+          " bytes (file truncated since the index was built?)");
+    }
     buffer_.clear();
     size_t consumed = 0;
-    RAW_RETURN_NOT_OK(GunzipMember(base + block.comp_offset,
-                                   file_size - block.comp_offset, &buffer_,
-                                   &consumed));
+    Status gunzip = GunzipMember(base + block.comp_offset,
+                                 file_size - block.comp_offset, &buffer_,
+                                 &consumed);
+    if (!gunzip.ok()) {
+      if (spec_.health != nullptr) {
+        spec_.health->io_faults.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status(gunzip.code(),
+                    "gzip block " + std::to_string(block_cursor_) +
+                        " at offset " + std::to_string(block.comp_offset) +
+                        ": " + std::string(gunzip.message()));
+    }
     block_options.has_header = spec_.options.has_header && block_cursor_ == 0;
     quoted = spec_.index->quoted();
     row_base_ = block.first_row;
@@ -172,9 +194,16 @@ Status ZcsvScanOperator::AdvanceBlock(bool* done) {
     }
     buffer_.clear();
     size_t consumed = 0;
-    RAW_RETURN_NOT_OK(GunzipMember(base + comp_cursor_,
-                                   file_size - comp_cursor_, &buffer_,
-                                   &consumed));
+    Status gunzip = GunzipMember(base + comp_cursor_, file_size - comp_cursor_,
+                                 &buffer_, &consumed);
+    if (!gunzip.ok()) {
+      if (spec_.health != nullptr) {
+        spec_.health->io_faults.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status(gunzip.code(),
+                    "gzip member at offset " + std::to_string(comp_cursor_) +
+                        ": " + std::string(gunzip.message()));
+    }
     block_options.has_header = spec_.options.has_header && block_ordinal_ == 0;
     quoted = BufferContainsQuote(buffer_.data(),
                                  buffer_.data() + buffer_.size(),
@@ -205,6 +234,8 @@ Status ZcsvScanOperator::AdvanceBlock(bool* done) {
   inner_spec.options = block_options;
   inner_spec.quoted = quoted;
   inner_spec.batch_rows = spec_.batch_rows;
+  inner_spec.policy = spec_.policy;
+  inner_spec.health = spec_.health;
   inner_spec.profile = spec_.profile;
   inner_ = std::make_unique<InsituCsvScanOperator>(
       buffer_.data(), buffer_.size(), std::move(inner_spec));
@@ -276,6 +307,15 @@ StatusOr<std::vector<ColumnPtr>> ZcsvRowFetcher::Fetch(const RowSet& rows) {
     }
     if (bi != cached_block) {
       const GzipBlock& block = index_->block(bi);
+      if (block.comp_offset >= file_->size() ||
+          block.comp_size > file_->size() - block.comp_offset) {
+        return Status::DataCorruption(
+            "gzip block " + std::to_string(bi) + " spans bytes [" +
+            std::to_string(block.comp_offset) + ", " +
+            std::to_string(block.comp_offset + block.comp_size) +
+            ") but the file holds only " + std::to_string(file_->size()) +
+            " bytes (file truncated since the index was built?)");
+      }
       buffer.clear();
       size_t consumed = 0;
       RAW_RETURN_NOT_OK(GunzipMember(file_->data() + block.comp_offset,

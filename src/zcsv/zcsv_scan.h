@@ -40,6 +40,11 @@ struct ZcsvScanSpec {
   /// Cold mode: append one entry per decompressed member (may be null).
   GzipBlockIndex* build_index = nullptr;
 
+  /// Inherited by the inner per-block CSV scan (see CsvScanSpec::policy).
+  MalformedRowPolicy policy = MalformedRowPolicy::kFail;
+  /// Per-query robustness counters (may be null); shared across morsels.
+  ScanHealth* health = nullptr;
+
   ScanProfile* profile = nullptr;  // optional instrumentation
 };
 
